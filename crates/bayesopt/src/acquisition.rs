@@ -1,0 +1,197 @@
+//! Acquisition functions.
+//!
+//! All acquisitions are written for **minimisation** of the underlying
+//! objective and return a utility where *larger is better* (the optimiser
+//! picks the candidate with the maximum utility). Besides the classic EI /
+//! PI / (GP-)UCB family, this module implements the paper's conservative
+//! acquisition: the clipped randomised GP-UCB (cRGP-UCB) of Sec. 6.2, whose
+//! exploration weight `β_t` is drawn from a Gamma distribution with the
+//! iteration-dependent shape of Eq. 13 and clipped to `[0, B]`.
+
+use atlas_math::dist::{std_normal_cdf, std_normal_pdf, Gamma};
+use rand::Rng;
+
+/// The acquisition functions supported by the optimiser.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Acquisition {
+    /// Expected improvement over the incumbent best (minimisation form).
+    ExpectedImprovement,
+    /// Probability of improvement over the incumbent best.
+    ProbabilityOfImprovement,
+    /// Lower confidence bound with a fixed exploration weight `beta`.
+    LowerConfidenceBound {
+        /// Exploration weight multiplying the standard deviation.
+        beta: f64,
+    },
+    /// GP-UCB (Srinivas et al.): `β_t = 2·ln(d·t²·π²/(6δ))`, growing with
+    /// the iteration count to guarantee the sub-linear regret bound.
+    GpUcb {
+        /// Confidence parameter δ ∈ (0, 1).
+        delta: f64,
+        /// Input dimensionality `d`.
+        dim: usize,
+    },
+    /// Clipped randomised GP-UCB (the paper's conservative acquisition):
+    /// `β_t ~ Γ(κ_t, ρ)` with `κ_t = ln((n²+1)/√(2π)) / ln(1 + ρ/2)`,
+    /// clipped into `[0, clip]`.
+    ClippedRandomizedGpUcb {
+        /// Scale parameter ρ of the Gamma distribution (paper: 0.1).
+        rho: f64,
+        /// Upper clip `B` on the sampled β (paper: 10).
+        clip: f64,
+    },
+}
+
+impl Acquisition {
+    /// The paper's conservative acquisition with its published defaults
+    /// (ρ = 0.1, B = 10).
+    pub fn conservative_default() -> Self {
+        Acquisition::ClippedRandomizedGpUcb {
+            rho: 0.1,
+            clip: 10.0,
+        }
+    }
+
+    /// Samples (or computes) the exploration weight β for iteration
+    /// `iteration` (1-based).
+    pub fn beta<R: Rng + ?Sized>(&self, iteration: usize, rng: &mut R) -> f64 {
+        match *self {
+            Acquisition::LowerConfidenceBound { beta } => beta,
+            Acquisition::GpUcb { delta, dim } => {
+                let t = iteration.max(1) as f64;
+                let d = dim.max(1) as f64;
+                (2.0 * (d * t * t * std::f64::consts::PI.powi(2) / (6.0 * delta)).ln()).max(0.0)
+            }
+            Acquisition::ClippedRandomizedGpUcb { rho, clip } => {
+                let kappa = kappa_t(iteration, rho);
+                let beta = match Gamma::new(kappa.max(1e-6), rho) {
+                    Ok(g) => g.sample(rng),
+                    Err(_) => 0.0,
+                };
+                beta.clamp(0.0, clip)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Scores a candidate with predictive mean/std against the incumbent
+    /// best observed objective (for minimisation). Larger is better.
+    pub fn score<R: Rng + ?Sized>(
+        &self,
+        mean: f64,
+        std: f64,
+        best: f64,
+        iteration: usize,
+        rng: &mut R,
+    ) -> f64 {
+        let std = std.max(1e-12);
+        match self {
+            Acquisition::ExpectedImprovement => {
+                let z = (best - mean) / std;
+                (best - mean) * std_normal_cdf(z) + std * std_normal_pdf(z)
+            }
+            Acquisition::ProbabilityOfImprovement => {
+                let z = (best - mean) / std;
+                std_normal_cdf(z)
+            }
+            Acquisition::LowerConfidenceBound { .. }
+            | Acquisition::GpUcb { .. }
+            | Acquisition::ClippedRandomizedGpUcb { .. } => {
+                let beta = self.beta(iteration, rng);
+                -(mean - beta.sqrt() * std)
+            }
+        }
+    }
+}
+
+/// The iteration-dependent Gamma shape of Eq. 13:
+/// `κ_t = ln((n² + 1)/√(2π)) / ln(1 + ρ/2)`.
+pub fn kappa_t(iteration: usize, rho: f64) -> f64 {
+    let n = iteration.max(1) as f64;
+    ((n * n + 1.0) / (2.0 * std::f64::consts::PI).sqrt()).ln() / (1.0 + rho / 2.0).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_math::rng::seeded_rng;
+    use atlas_math::stats;
+
+    #[test]
+    fn ei_prefers_lower_mean_and_higher_uncertainty() {
+        let mut rng = seeded_rng(1);
+        let ei = Acquisition::ExpectedImprovement;
+        let better_mean = ei.score(0.2, 0.1, 1.0, 1, &mut rng);
+        let worse_mean = ei.score(0.8, 0.1, 1.0, 1, &mut rng);
+        assert!(better_mean > worse_mean);
+        let low_std = ei.score(1.5, 0.01, 1.0, 1, &mut rng);
+        let high_std = ei.score(1.5, 1.0, 1.0, 1, &mut rng);
+        assert!(high_std > low_std, "uncertainty should add EI above the incumbent");
+        assert!(ei.score(5.0, 1e-9, 1.0, 1, &mut rng) >= 0.0);
+    }
+
+    #[test]
+    fn pi_is_a_probability() {
+        let mut rng = seeded_rng(2);
+        let pi = Acquisition::ProbabilityOfImprovement;
+        for (mean, std) in [(0.0, 1.0), (2.0, 0.5), (-3.0, 0.1)] {
+            let p = pi.score(mean, std, 1.0, 1, &mut rng);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert!(pi.score(0.0, 0.1, 1.0, 1, &mut rng) > 0.99);
+    }
+
+    #[test]
+    fn lcb_trades_off_mean_and_std() {
+        let mut rng = seeded_rng(3);
+        let lcb = Acquisition::LowerConfidenceBound { beta: 4.0 };
+        // mean 1.0, std 0.5 => score -(1 - 2*0.5) = 0
+        assert!((lcb.score(1.0, 0.5, 0.0, 1, &mut rng) - 0.0).abs() < 1e-9);
+        // Larger std should increase the score (more optimistic).
+        assert!(lcb.score(1.0, 1.0, 0.0, 1, &mut rng) > lcb.score(1.0, 0.1, 0.0, 1, &mut rng));
+    }
+
+    #[test]
+    fn gp_ucb_beta_grows_with_iterations() {
+        let mut rng = seeded_rng(4);
+        let acq = Acquisition::GpUcb { delta: 0.1, dim: 6 };
+        let b1 = acq.beta(1, &mut rng);
+        let b100 = acq.beta(100, &mut rng);
+        assert!(b100 > b1);
+        assert!(b1 > 0.0);
+    }
+
+    #[test]
+    fn kappa_t_matches_eq13_shape() {
+        // κ grows logarithmically in n and is positive for n >= 2.
+        assert!(kappa_t(2, 0.1) > 0.0);
+        assert!(kappa_t(100, 0.1) > kappa_t(10, 0.1));
+        // Smaller ρ gives a larger shape (so the product κ·ρ stays moderate).
+        assert!(kappa_t(10, 0.05) > kappa_t(10, 0.2));
+    }
+
+    #[test]
+    fn crgp_ucb_beta_is_clipped_and_usually_smaller_than_gp_ucb() {
+        let mut rng = seeded_rng(5);
+        let conservative = Acquisition::conservative_default();
+        let gp_ucb = Acquisition::GpUcb { delta: 0.1, dim: 6 };
+        let betas: Vec<f64> = (0..500).map(|_| conservative.beta(50, &mut rng)).collect();
+        assert!(betas.iter().all(|b| (0.0..=10.0).contains(b)));
+        let mean_conservative = stats::mean(&betas);
+        let fixed = gp_ucb.beta(50, &mut rng);
+        assert!(
+            mean_conservative < fixed,
+            "conservative mean beta {mean_conservative} should be below GP-UCB beta {fixed}"
+        );
+    }
+
+    #[test]
+    fn conservative_scores_are_finite_across_iterations() {
+        let mut rng = seeded_rng(6);
+        let acq = Acquisition::conservative_default();
+        for it in [1usize, 2, 10, 100, 1000] {
+            let s = acq.score(0.4, 0.2, 0.3, it, &mut rng);
+            assert!(s.is_finite());
+        }
+    }
+}

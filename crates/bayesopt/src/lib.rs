@@ -1,0 +1,30 @@
+//! # atlas-bayesopt
+//!
+//! The Bayesian-optimisation framework used by every stage of the Atlas
+//! reproduction:
+//!
+//! * [`space::SearchSpace`] — box-constrained continuous search spaces with
+//!   normalisation, trust-region sampling (Eq. 2) and distance metrics.
+//! * [`surrogate`] — the [`surrogate::Surrogate`] trait with Gaussian-process
+//!   and Bayesian-neural-network implementations.
+//! * [`acquisition::Acquisition`] — EI, PI, fixed-β LCB, GP-UCB, and the
+//!   paper's clipped randomised GP-UCB (cRGP-UCB, Eq. 13).
+//! * [`optimizer::BayesOpt`] — the suggest/observe loop with random warm-up
+//!   and (parallel) Thompson-sampling batch proposals.
+//!
+//! Objective evaluation stays with the caller so that expensive simulator
+//! queries can be parallelised (the Atlas core uses crossbeam scoped
+//! threads for the paper's "parallel queries").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acquisition;
+pub mod optimizer;
+pub mod space;
+pub mod surrogate;
+
+pub use acquisition::Acquisition;
+pub use optimizer::{BayesOpt, Observation};
+pub use space::SearchSpace;
+pub use surrogate::{BnnSurrogate, GpSurrogate, Surrogate};

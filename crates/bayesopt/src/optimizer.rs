@@ -1,0 +1,286 @@
+//! The Bayesian-optimisation loop.
+//!
+//! [`BayesOpt`] keeps the observation history, fits a [`Surrogate`] on
+//! demand, and proposes the next query point(s) either by maximising an
+//! [`Acquisition`] over a random candidate set or by (parallel) Thompson
+//! sampling — the mechanism used by all three Atlas stages. Objective
+//! evaluation is left to the caller, which is what allows the Atlas core to
+//! run the expensive simulator queries in parallel worker threads.
+
+use crate::acquisition::Acquisition;
+use crate::space::SearchSpace;
+use crate::surrogate::Surrogate;
+use atlas_math::rng::Rng64;
+
+/// One evaluated point of the black-box objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// The queried input.
+    pub x: Vec<f64>,
+    /// The observed objective value (to be minimised).
+    pub y: f64,
+}
+
+/// A generic Bayesian-optimisation driver (minimisation).
+pub struct BayesOpt<S: Surrogate> {
+    space: SearchSpace,
+    surrogate: S,
+    observations: Vec<Observation>,
+    candidates_per_suggest: usize,
+    initial_random: usize,
+    iteration: usize,
+}
+
+impl<S: Surrogate> BayesOpt<S> {
+    /// Creates an optimiser over `space` using `surrogate`.
+    pub fn new(space: SearchSpace, surrogate: S) -> Self {
+        Self {
+            space,
+            surrogate,
+            observations: Vec::new(),
+            candidates_per_suggest: 2000,
+            initial_random: 10,
+            iteration: 0,
+        }
+    }
+
+    /// Sets the number of random candidates scored per suggestion (the
+    /// paper samples "tens of thousands"; smaller values are faster and
+    /// adequate for low-dimensional spaces).
+    pub fn with_candidates(mut self, n: usize) -> Self {
+        self.candidates_per_suggest = n.max(2);
+        self
+    }
+
+    /// Sets the number of purely random warm-up suggestions before the
+    /// surrogate is trusted (the paper uses 100 exploration iterations).
+    pub fn with_initial_random(mut self, n: usize) -> Self {
+        self.initial_random = n;
+        self
+    }
+
+    /// The search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// The surrogate model (read access).
+    pub fn surrogate(&self) -> &S {
+        &self.surrogate
+    }
+
+    /// All observations so far.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Number of completed observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether no observation has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// The incumbent best (minimum-objective) observation.
+    pub fn best(&self) -> Option<&Observation> {
+        self.observations
+            .iter()
+            .min_by(|a, b| a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Records an evaluated observation (clamped into the space).
+    pub fn observe(&mut self, x: Vec<f64>, y: f64) {
+        let x = self.space.clamp(&x);
+        self.observations.push(Observation { x, y });
+    }
+
+    /// Refits the surrogate on all observations.
+    pub fn fit(&mut self, rng: &mut Rng64) {
+        let xs: Vec<Vec<f64>> = self.observations.iter().map(|o| o.x.clone()).collect();
+        let ys: Vec<f64> = self.observations.iter().map(|o| o.y).collect();
+        self.surrogate.fit(&xs, &ys, rng);
+    }
+
+    /// Whether the optimiser is still in its random warm-up phase.
+    pub fn in_warmup(&self) -> bool {
+        self.observations.len() < self.initial_random
+    }
+
+    /// Proposes the next query point by maximising `acquisition` over a
+    /// fresh random candidate set (random during warm-up). Does **not**
+    /// refit the surrogate; call [`BayesOpt::fit`] when new observations
+    /// have arrived.
+    pub fn suggest(&mut self, acquisition: Acquisition, rng: &mut Rng64) -> Vec<f64> {
+        self.iteration += 1;
+        if self.in_warmup() {
+            return self.space.sample(rng);
+        }
+        let best = self.best().map(|o| o.y).unwrap_or(0.0);
+        let candidates = self.space.sample_n(self.candidates_per_suggest, rng);
+        let mut best_candidate = candidates[0].clone();
+        let mut best_score = f64::NEG_INFINITY;
+        for c in candidates {
+            let (mean, std) = self.surrogate.predict(&c);
+            let score = acquisition.score(mean, std, best, self.iteration, rng);
+            if score > best_score {
+                best_score = score;
+                best_candidate = c;
+            }
+        }
+        best_candidate
+    }
+
+    /// Proposes `q` query points by parallel Thompson sampling: each point
+    /// comes from one coherent posterior draw evaluated on its own random
+    /// candidate set, optionally combined with an analytic penalty term via
+    /// `score`, which maps `(candidate, drawn objective value)` to the
+    /// quantity actually minimised (identity on the drawn value reproduces
+    /// plain Thompson sampling).
+    pub fn suggest_thompson_batch<F>(
+        &mut self,
+        q: usize,
+        rng: &mut Rng64,
+        score: F,
+    ) -> Vec<Vec<f64>>
+    where
+        F: Fn(&[f64], f64) -> f64,
+    {
+        self.iteration += 1;
+        let q = q.max(1);
+        if self.in_warmup() {
+            return self.space.sample_n(q, rng);
+        }
+        let mut proposals = Vec::with_capacity(q);
+        for _ in 0..q {
+            let candidates = self.space.sample_n(self.candidates_per_suggest, rng);
+            let draws = self.surrogate.thompson_batch(&candidates, rng);
+            let mut best_idx = 0;
+            let mut best_val = f64::INFINITY;
+            for (i, (c, d)) in candidates.iter().zip(draws.iter()).enumerate() {
+                let v = score(c, *d);
+                if v < best_val {
+                    best_val = v;
+                    best_idx = i;
+                }
+            }
+            proposals.push(candidates[best_idx].clone());
+        }
+        proposals
+    }
+
+    /// Current iteration counter (number of suggestion rounds issued).
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surrogate::GpSurrogate;
+    use atlas_math::rng::seeded_rng;
+
+    /// A 2-D bowl with its minimum at (0.7, 0.2).
+    fn objective(x: &[f64]) -> f64 {
+        (x[0] - 0.7).powi(2) + (x[1] - 0.2).powi(2)
+    }
+
+    fn make_optimizer() -> BayesOpt<GpSurrogate> {
+        BayesOpt::new(SearchSpace::unit(2), GpSurrogate::new())
+            .with_candidates(500)
+            .with_initial_random(8)
+    }
+
+    #[test]
+    fn warmup_suggestions_are_random_but_in_bounds() {
+        let mut rng = seeded_rng(1);
+        let mut bo = make_optimizer();
+        assert!(bo.in_warmup());
+        let x = bo.suggest(Acquisition::ExpectedImprovement, &mut rng);
+        assert!(bo.space().contains(&x));
+        assert!(bo.is_empty());
+    }
+
+    #[test]
+    fn gp_ei_converges_near_the_optimum() {
+        let mut rng = seeded_rng(2);
+        let mut bo = make_optimizer();
+        for _ in 0..35 {
+            let x = bo.suggest(Acquisition::ExpectedImprovement, &mut rng);
+            let y = objective(&x);
+            bo.observe(x, y);
+            bo.fit(&mut rng);
+        }
+        let best = bo.best().unwrap();
+        assert!(
+            best.y < 0.02,
+            "best objective {} at {:?} should be near zero",
+            best.y,
+            best.x
+        );
+        assert_eq!(bo.len(), 35);
+    }
+
+    #[test]
+    fn thompson_batch_converges_too() {
+        let mut rng = seeded_rng(3);
+        let mut bo = make_optimizer();
+        for _ in 0..12 {
+            let batch = bo.suggest_thompson_batch(4, &mut rng, |_, v| v);
+            assert_eq!(batch.len(), 4);
+            for x in batch {
+                let y = objective(&x);
+                bo.observe(x, y);
+            }
+            bo.fit(&mut rng);
+        }
+        assert!(bo.best().unwrap().y < 0.05, "best {}", bo.best().unwrap().y);
+    }
+
+    #[test]
+    fn thompson_penalty_changes_the_selection() {
+        let mut rng = seeded_rng(4);
+        let mut bo = make_optimizer().with_initial_random(4);
+        // Seed with a coarse grid so the surrogate has signal.
+        for i in 0..5 {
+            for j in 0..5 {
+                let x = vec![i as f64 / 4.0, j as f64 / 4.0];
+                let y = objective(&x);
+                bo.observe(x, y);
+            }
+        }
+        bo.fit(&mut rng);
+        // Heavily penalise the first coordinate: proposals should move
+        // towards x0 = 0 even though the objective minimum is at 0.7.
+        let penalised = bo.suggest_thompson_batch(8, &mut rng, |x, v| v + 5.0 * x[0]);
+        let mean_x0: f64 =
+            penalised.iter().map(|x| x[0]).sum::<f64>() / penalised.len() as f64;
+        let plain = bo.suggest_thompson_batch(8, &mut rng, |_, v| v);
+        let plain_x0: f64 = plain.iter().map(|x| x[0]).sum::<f64>() / plain.len() as f64;
+        assert!(
+            mean_x0 < plain_x0,
+            "penalised mean x0 {mean_x0} should be below plain {plain_x0}"
+        );
+    }
+
+    #[test]
+    fn observe_clamps_out_of_bounds_points() {
+        let mut bo = make_optimizer();
+        bo.observe(vec![2.0, -1.0], 1.0);
+        let o = &bo.observations()[0];
+        assert_eq!(o.x, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn best_tracks_the_minimum() {
+        let mut bo = make_optimizer();
+        bo.observe(vec![0.1, 0.1], 5.0);
+        bo.observe(vec![0.2, 0.2], 2.0);
+        bo.observe(vec![0.3, 0.3], 7.0);
+        assert_eq!(bo.best().unwrap().y, 2.0);
+        assert_eq!(bo.iteration(), 0);
+    }
+}

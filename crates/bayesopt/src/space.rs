@@ -1,0 +1,206 @@
+//! Box-constrained search spaces.
+
+use atlas_math::linalg::l2_distance;
+use rand::Rng;
+
+/// A box-constrained, continuous search space `[lower, upper]^d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl SearchSpace {
+    /// Creates a search space from per-dimension bounds. Panics if the
+    /// bounds have different lengths or any lower bound exceeds its upper
+    /// bound (programming error).
+    pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> Self {
+        assert_eq!(lower.len(), upper.len(), "bound length mismatch");
+        assert!(
+            lower.iter().zip(upper.iter()).all(|(l, u)| l <= u),
+            "lower bounds must not exceed upper bounds"
+        );
+        Self { lower, upper }
+    }
+
+    /// The unit hypercube `[0, 1]^dim`.
+    pub fn unit(dim: usize) -> Self {
+        Self::new(vec![0.0; dim], vec![1.0; dim])
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Lower bounds.
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper bounds.
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Uniformly samples one point.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(self.upper.iter())
+            .map(|(l, u)| l + (u - l) * rng.random::<f64>())
+            .collect()
+    }
+
+    /// Uniformly samples `n` points.
+    pub fn sample_n<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Vec<f64>> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Clamps a point into the box.
+    pub fn clamp(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(self.lower.iter().zip(self.upper.iter()))
+            .map(|(v, (l, u))| v.clamp(*l, *u))
+            .collect()
+    }
+
+    /// Whether `x` lies inside the box (inclusive).
+    pub fn contains(&self, x: &[f64]) -> bool {
+        x.len() == self.dim()
+            && x.iter()
+                .zip(self.lower.iter().zip(self.upper.iter()))
+                .all(|(v, (l, u))| *v >= *l - 1e-12 && *v <= *u + 1e-12)
+    }
+
+    /// Maps a point into the unit cube.
+    pub fn normalize(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(self.lower.iter().zip(self.upper.iter()))
+            .map(|(v, (l, u))| if u > l { (v - l) / (u - l) } else { 0.0 })
+            .collect()
+    }
+
+    /// Maps a unit-cube point back into the box.
+    pub fn denormalize(&self, u: &[f64]) -> Vec<f64> {
+        u.iter()
+            .zip(self.lower.iter().zip(self.upper.iter()))
+            .map(|(v, (l, up))| l + v.clamp(0.0, 1.0) * (up - l))
+            .collect()
+    }
+
+    /// Euclidean distance between two points in normalised (unit-cube)
+    /// coordinates — the parameter-distance metric of Eq. 2.
+    pub fn normalized_distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        l2_distance(&self.normalize(a), &self.normalize(b))
+    }
+
+    /// Samples uniformly inside the ball `|x − centre|₂ ≤ radius` (in
+    /// normalised coordinates) intersected with the box, by rejection with
+    /// a clamped fallback. Implements the trust-region constraint of Eq. 2.
+    pub fn sample_near<R: Rng + ?Sized>(
+        &self,
+        centre: &[f64],
+        radius: f64,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        for _ in 0..64 {
+            let candidate = self.sample(rng);
+            if self.normalized_distance(&candidate, centre) <= radius {
+                return candidate;
+            }
+        }
+        // Fallback: interpolate towards the centre until inside the ball.
+        let mut candidate = self.sample(rng);
+        let mut t = 1.0;
+        while self.normalized_distance(&candidate, centre) > radius && t > 1e-3 {
+            t *= 0.5;
+            candidate = candidate
+                .iter()
+                .zip(centre.iter())
+                .map(|(c, m)| m + (c - m) * t)
+                .collect();
+        }
+        self.clamp(&candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_math::rng::seeded_rng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![0.0, -5.0, 10.0], vec![1.0, 5.0, 20.0])
+    }
+
+    #[test]
+    fn samples_stay_inside_bounds() {
+        let mut rng = seeded_rng(1);
+        let s = space();
+        for x in s.sample_n(500, &mut rng) {
+            assert!(s.contains(&x));
+        }
+    }
+
+    #[test]
+    fn clamp_and_contains() {
+        let s = space();
+        let clamped = s.clamp(&[-1.0, 100.0, 15.0]);
+        assert_eq!(clamped, vec![0.0, 5.0, 15.0]);
+        assert!(s.contains(&clamped));
+        assert!(!s.contains(&[0.5, 0.0, 100.0]));
+        assert!(!s.contains(&[0.5, 0.0]));
+    }
+
+    #[test]
+    fn normalization_roundtrips() {
+        let s = space();
+        let x = vec![0.3, 2.5, 12.0];
+        let u = s.normalize(&x);
+        assert!(u.iter().all(|v| (0.0..=1.0).contains(v)));
+        let back = s.denormalize(&u);
+        for (a, b) in back.iter().zip(x.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_dimension_normalizes_to_zero() {
+        let s = SearchSpace::new(vec![2.0], vec![2.0]);
+        assert_eq!(s.normalize(&[2.0]), vec![0.0]);
+        assert_eq!(s.denormalize(&[0.7]), vec![2.0]);
+    }
+
+    #[test]
+    fn normalized_distance_is_scale_invariant() {
+        let s = space();
+        let a = vec![0.0, -5.0, 10.0];
+        let b = vec![1.0, 5.0, 20.0];
+        // Opposite corners of the box are √3 apart in unit coordinates.
+        assert!((s.normalized_distance(&a, &b) - 3f64.sqrt()).abs() < 1e-9);
+        assert_eq!(s.normalized_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn sample_near_respects_the_radius() {
+        let mut rng = seeded_rng(2);
+        let s = space();
+        let centre = vec![0.5, 0.0, 15.0];
+        for _ in 0..200 {
+            let x = s.sample_near(&centre, 0.3, &mut rng);
+            assert!(s.contains(&x));
+            assert!(
+                s.normalized_distance(&x, &centre) <= 0.3 + 1e-9,
+                "point too far: {:?}",
+                x
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bounds must not exceed")]
+    fn inverted_bounds_panic() {
+        let _ = SearchSpace::new(vec![1.0], vec![0.0]);
+    }
+}

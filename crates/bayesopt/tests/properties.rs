@@ -1,0 +1,92 @@
+//! Property-based tests of the Bayesian-optimisation building blocks.
+
+use atlas_bayesopt::{Acquisition, BayesOpt, GpSurrogate, SearchSpace};
+use atlas_math::rng::seeded_rng;
+use proptest::prelude::*;
+
+fn bounds() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    prop::collection::vec((-100.0..100.0f64, 0.01..200.0f64), 1..6).prop_map(|pairs| {
+        let lower: Vec<f64> = pairs.iter().map(|(l, _)| *l).collect();
+        let upper: Vec<f64> = pairs.iter().map(|(l, w)| l + w).collect();
+        (lower, upper)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn samples_and_clamps_stay_in_bounds((lower, upper) in bounds(), seed in 0u64..1000) {
+        let space = SearchSpace::new(lower.clone(), upper.clone());
+        let mut rng = seeded_rng(seed);
+        for x in space.sample_n(20, &mut rng) {
+            prop_assert!(space.contains(&x));
+            let unit = space.normalize(&x);
+            prop_assert!(unit.iter().all(|u| (-1e-9..=1.0 + 1e-9).contains(u)));
+            let back = space.denormalize(&unit);
+            for (a, b) in back.iter().zip(x.iter()) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+        // Clamping an arbitrary far-away point lands inside the box.
+        let wild: Vec<f64> = lower.iter().map(|l| l - 1e6).collect();
+        prop_assert!(space.contains(&space.clamp(&wild)));
+    }
+
+    #[test]
+    fn trust_region_sampling_respects_the_radius(
+        (lower, upper) in bounds(),
+        radius in 0.05..1.0f64,
+        seed in 0u64..1000,
+    ) {
+        let space = SearchSpace::new(lower, upper);
+        let mut rng = seeded_rng(seed);
+        let centre = space.sample(&mut rng);
+        for _ in 0..10 {
+            let x = space.sample_near(&centre, radius, &mut rng);
+            prop_assert!(space.contains(&x));
+            prop_assert!(space.normalized_distance(&x, &centre) <= radius + 1e-9);
+        }
+    }
+
+    #[test]
+    fn acquisition_scores_are_finite(
+        mean in -10.0..10.0f64,
+        std in 0.0..5.0f64,
+        best in -10.0..10.0f64,
+        iteration in 1usize..500,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        for acq in [
+            Acquisition::ExpectedImprovement,
+            Acquisition::ProbabilityOfImprovement,
+            Acquisition::LowerConfidenceBound { beta: 4.0 },
+            Acquisition::GpUcb { delta: 0.1, dim: 6 },
+            Acquisition::conservative_default(),
+        ] {
+            let s = acq.score(mean, std, best, iteration, &mut rng);
+            prop_assert!(s.is_finite(), "{acq:?} produced {s}");
+        }
+        // The conservative beta is always within [0, clip].
+        let beta = Acquisition::conservative_default().beta(iteration, &mut rng);
+        prop_assert!((0.0..=10.0).contains(&beta));
+    }
+
+    #[test]
+    fn optimiser_best_never_increases_as_observations_arrive(
+        ys in prop::collection::vec(-100.0..100.0f64, 1..40),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let space = SearchSpace::unit(2);
+        let mut bo = BayesOpt::new(space.clone(), GpSurrogate::new()).with_initial_random(1000);
+        let mut best_so_far = f64::INFINITY;
+        for y in ys {
+            let x = space.sample(&mut rng);
+            bo.observe(x, y);
+            best_so_far = best_so_far.min(y);
+            prop_assert!((bo.best().unwrap().y - best_so_far).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Criterion micro-benchmarks of the Atlas building blocks.
+//!
+//! These quantify the costs the paper discusses in Sec. 7.3 (computation
+//! time per iteration of each stage) and the design choices DESIGN.md calls
+//! out for ablation: GP vs BNN surrogate scaling, single-draw Thompson
+//! sampling vs full posterior prediction, simulator query cost, and the
+//! KL-divergence discrepancy metric.
+
+use atlas::env::{Environment, SimulatorEnv, Sla};
+use atlas_bayesopt::{Acquisition, SearchSpace};
+use atlas_gp::GaussianProcess;
+use atlas_math::rng::seeded_rng;
+use atlas_math::stats;
+use atlas_netsim::{RealNetwork, Scenario, Simulator, SliceConfig};
+use atlas_nn::{Bnn, BnnConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn simulator_query(c: &mut Criterion) {
+    let sim = Simulator::with_original_params();
+    let real = RealNetwork::prototype();
+    let cfg = SliceConfig::default_generous();
+    let mut group = c.benchmark_group("simulator_query");
+    for duration in [5.0, 15.0, 60.0] {
+        let scenario = Scenario::default_with_seed(1).with_duration(duration);
+        group.bench_with_input(
+            BenchmarkId::new("offline_simulator", duration as u64),
+            &scenario,
+            |b, s| b.iter(|| black_box(sim.run(&cfg, s).frames_completed)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("emulated_testbed", duration as u64),
+            &scenario,
+            |b, s| b.iter(|| black_box(real.run(&cfg, s).frames_completed)),
+        );
+    }
+    group.finish();
+}
+
+fn kl_divergence(c: &mut Criterion) {
+    let sim = Simulator::with_original_params();
+    let real = RealNetwork::prototype();
+    let cfg = SliceConfig::default_generous();
+    let scenario = Scenario::default_with_seed(2).with_duration(30.0);
+    let a = sim.run(&cfg, &scenario).latencies_ms;
+    let b = real.run(&cfg, &scenario).latencies_ms;
+    c.bench_function("kl_divergence_empirical", |bench| {
+        bench.iter(|| black_box(stats::kl_divergence(&b, &a).unwrap()))
+    });
+}
+
+fn surrogate_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("surrogate_fit");
+    for n in [50usize, 150, 300] {
+        let mut rng = seeded_rng(3);
+        let space = SearchSpace::unit(6);
+        let xs = space.sample_n(n, &mut rng);
+        let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>() / 6.0).collect();
+        group.bench_with_input(BenchmarkId::new("gp", n), &n, |b, _| {
+            b.iter(|| {
+                let mut gp = GaussianProcess::default_matern();
+                gp.fit(&xs, &ys).unwrap();
+                black_box(gp.predict(&[0.5; 6]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bnn_10_epochs", n), &n, |b, _| {
+            b.iter(|| {
+                let mut bnn = Bnn::new(
+                    6,
+                    BnnConfig {
+                        hidden: [32, 32, 0, 0],
+                        ..BnnConfig::default()
+                    },
+                    &mut rng,
+                );
+                bnn.fit_epochs(&xs, &ys, 10, &mut rng);
+                black_box(bnn.predict_mean(&[0.5; 6]))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn thompson_vs_predictive(c: &mut Criterion) {
+    let mut rng = seeded_rng(4);
+    let space = SearchSpace::unit(6);
+    let xs = space.sample_n(200, &mut rng);
+    let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>() / 6.0).collect();
+    let mut bnn = Bnn::new(
+        6,
+        BnnConfig {
+            hidden: [32, 32, 0, 0],
+            ..BnnConfig::default()
+        },
+        &mut rng,
+    );
+    bnn.fit_epochs(&xs, &ys, 30, &mut rng);
+    let candidates = space.sample_n(2000, &mut rng);
+
+    let mut group = c.benchmark_group("acquisition_over_2000_candidates");
+    group.bench_function("single_draw_thompson", |b| {
+        b.iter(|| {
+            let f = bnn.thompson_sampler(&mut rng);
+            let best = candidates
+                .iter()
+                .map(|x| f(x))
+                .fold(f64::INFINITY, f64::min);
+            black_box(best)
+        })
+    });
+    group.bench_function("monte_carlo_mean_std_8_draws", |b| {
+        b.iter(|| {
+            let best = candidates
+                .iter()
+                .map(|x| bnn.predict_with_uncertainty(x, 8, &mut rng).0)
+                .fold(f64::INFINITY, f64::min);
+            black_box(best)
+        })
+    });
+    group.finish();
+}
+
+fn acquisition_functions(c: &mut Criterion) {
+    let mut rng = seeded_rng(5);
+    let acqs = [
+        ("ei", Acquisition::ExpectedImprovement),
+        ("pi", Acquisition::ProbabilityOfImprovement),
+        ("gp_ucb", Acquisition::GpUcb { delta: 0.1, dim: 6 }),
+        ("crgp_ucb", Acquisition::conservative_default()),
+    ];
+    let mut group = c.benchmark_group("acquisition_score_10k");
+    for (name, acq) in acqs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for i in 0..10_000usize {
+                    let mean = (i % 100) as f64 / 100.0;
+                    let std = 0.1 + (i % 7) as f64 * 0.01;
+                    total += acq.score(mean, std, 0.5, i + 1, &mut rng);
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn end_to_end_query(c: &mut Criterion) {
+    // The cost of one "query" as seen by the stages: connectivity floor,
+    // simulator run and QoE reduction.
+    let env = SimulatorEnv::new(Simulator::with_original_params());
+    let sla = Sla::paper_default();
+    let scenario = Scenario::default_with_seed(6).with_duration(15.0);
+    let cfg = SliceConfig::from_vec(&[10.0, 5.0, 0.0, 0.0, 10.0, 0.6]);
+    c.bench_function("stage_query_qoe", |b| {
+        b.iter(|| black_box(env.query(&cfg, &scenario, &sla).qoe))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = simulator_query,
+        kl_divergence,
+        surrogate_scaling,
+        thompson_vs_predictive,
+        acquisition_functions,
+        end_to_end_query
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Command-line entry point of the experiment harness.
+//!
+//! ```text
+//! experiments <id>... [--paper-scale] [--seed N]
+//! experiments all     [--paper-scale] [--seed N]
+//! experiments list
+//! ```
+//!
+//! Every experiment prints an aligned table and writes `results/<id>.csv`.
+
+use atlas_bench::experiments::{all_ids, run, Settings};
+use std::process::ExitCode;
+
+fn usage() {
+    eprintln!("usage: experiments <id>... | all | list  [--paper-scale] [--seed N]");
+    eprintln!("known experiment ids:");
+    for id in all_ids() {
+        eprintln!("  {id}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+
+    let mut settings = Settings::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--paper-scale" => settings.paper_scale = true,
+            "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => settings.seed = seed,
+                None => {
+                    eprintln!("--seed requires an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "list" => {
+                for id in all_ids() {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(all_ids().iter().map(|s| s.to_string())),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    if ids.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+
+    for id in &ids {
+        println!("### running {id} ###");
+        let started = std::time::Instant::now();
+        if let Err(err) = run(id, &settings) {
+            eprintln!("error: {err}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+        println!("### {id} finished in {:.1}s ###\n", started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,18 @@
+//! # atlas-bench
+//!
+//! Benchmark harness of the Atlas reproduction: the [`experiments`] module
+//! regenerates every table and figure of the paper's evaluation section
+//! (Sec. 8), and the Criterion benches under `benches/` measure the cost of
+//! the individual building blocks (simulator step rate, GP/BNN fitting,
+//! acquisition maximisation, KL estimation).
+//!
+//! Run a single experiment with
+//! `cargo run --release -p atlas-bench --bin experiments -- fig8`
+//! or the full sweep with `-- all` (results are also written as CSV files
+//! under `results/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod output;

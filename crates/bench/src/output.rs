@@ -1,0 +1,129 @@
+//! Plain-text table printing and CSV output for the experiment harness.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple result table that prints aligned columns to stdout and can be
+/// persisted as CSV under `results/`.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (values are stringified by the caller).
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Convenience for rows of floats with a fixed precision.
+    pub fn add_float_row(&mut self, label: &str, values: &[f64], precision: usize) {
+        let mut row = vec![label.to_string()];
+        row.extend(values.iter().map(|v| format!("{v:.precision$}")));
+        self.add_row(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as an aligned plain-text block.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:<width$}", width = widths[i]))
+            .collect();
+        out.push_str(&header_line.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Writes the table as `results/<name>.csv`.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut file = fs::File::create(&path)?;
+        writeln!(file, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(file, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Directory experiment CSVs are written to (`results/` next to the
+/// workspace root, or the current directory as a fallback).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns_and_counts_rows() {
+        let mut t = Table::new("demo", &["metric", "value"]);
+        assert!(t.is_empty());
+        t.add_row(vec!["latency".into(), "34.5".into()]);
+        t.add_float_row("throughput", &[19.87], 2);
+        assert_eq!(t.len(), 2);
+        let text = t.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("latency"));
+        assert!(text.contains("19.87"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.add_row(vec!["only one".into()]);
+    }
+}

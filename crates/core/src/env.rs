@@ -1,0 +1,279 @@
+//! Environments, SLAs and QoE accounting.
+//!
+//! The Atlas algorithms only ever interact with an [`Environment`]: a black
+//! box that measures the slice under a configuration and returns a latency
+//! trace. The simulator and the emulated testbed both implement it, so the
+//! three stages are written once and run against either.
+
+use atlas_math::stats;
+use atlas_netsim::{RealNetwork, Scenario, Simulator, SliceConfig, TraceSummary};
+
+/// The service-level agreement of a slice: the latency threshold `Y` and
+/// the required probability `E` of meeting it (Eq. 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sla {
+    /// Latency threshold `Y` in milliseconds.
+    pub latency_threshold_ms: f64,
+    /// Required QoE (probability of meeting the threshold) `E` in `[0, 1]`.
+    pub qoe_target: f64,
+}
+
+impl Sla {
+    /// Creates an SLA.
+    pub fn new(latency_threshold_ms: f64, qoe_target: f64) -> Self {
+        Self {
+            latency_threshold_ms,
+            qoe_target: qoe_target.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The paper's evaluation SLA: `Y = 300 ms`, `E = 0.9`.
+    pub fn paper_default() -> Self {
+        Self::new(300.0, 0.9)
+    }
+
+    /// QoE of a measured trace under this SLA.
+    pub fn qoe_of(&self, trace: &TraceSummary) -> f64 {
+        trace.qoe(self.latency_threshold_ms)
+    }
+
+    /// Whether a measured QoE satisfies the SLA.
+    pub fn satisfied_by(&self, qoe: f64) -> bool {
+        qoe + 1e-9 >= self.qoe_target
+    }
+}
+
+/// One evaluated configuration: what the policy-learning stages consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QoeSample {
+    /// The (floored) configuration that was actually applied.
+    pub config: SliceConfig,
+    /// Normalised resource usage `F(a)` of the applied configuration.
+    pub usage: f64,
+    /// Measured QoE under the SLA.
+    pub qoe: f64,
+    /// Mean end-to-end latency of the trace, in ms.
+    pub mean_latency_ms: f64,
+}
+
+/// A queryable network environment (simulator or testbed).
+pub trait Environment: Sync {
+    /// Measures the slice under `config` in `scenario`.
+    fn measure(&self, config: &SliceConfig, scenario: &Scenario) -> TraceSummary;
+
+    /// Convenience: measure and reduce to a [`QoeSample`]. The paper's
+    /// minimum connectivity allocation (6 UL / 3 DL PRBs) is enforced
+    /// before applying the configuration.
+    fn query(&self, config: &SliceConfig, scenario: &Scenario, sla: &Sla) -> QoeSample {
+        let applied = config.with_connectivity_floor();
+        let trace = self.measure(&applied, scenario);
+        QoeSample {
+            config: applied,
+            usage: applied.resource_usage(),
+            qoe: sla.qoe_of(&trace),
+            mean_latency_ms: trace.mean_latency_ms(),
+        }
+    }
+}
+
+/// The offline environment: the (possibly calibrated) simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulatorEnv {
+    /// The wrapped simulator.
+    pub simulator: Simulator,
+}
+
+impl SimulatorEnv {
+    /// Wraps a simulator.
+    pub fn new(simulator: Simulator) -> Self {
+        Self { simulator }
+    }
+}
+
+impl Environment for SimulatorEnv {
+    fn measure(&self, config: &SliceConfig, scenario: &Scenario) -> TraceSummary {
+        self.simulator.run(config, scenario)
+    }
+}
+
+/// The online environment: the emulated testbed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealEnv {
+    /// The wrapped testbed.
+    pub network: RealNetwork,
+}
+
+impl RealEnv {
+    /// Wraps a testbed instance.
+    pub fn new(network: RealNetwork) -> Self {
+        Self { network }
+    }
+}
+
+impl Environment for RealEnv {
+    fn measure(&self, config: &SliceConfig, scenario: &Scenario) -> TraceSummary {
+        self.network.run(config, scenario)
+    }
+}
+
+/// Queries several configurations in parallel (the paper's "parallel
+/// queries with multiprocessing"), one worker thread per configuration.
+/// Each query gets its own derived seed so results are reproducible and
+/// independent of scheduling order.
+pub fn query_parallel<E: Environment>(
+    env: &E,
+    configs: &[SliceConfig],
+    scenario: &Scenario,
+    sla: &Sla,
+    base_seed: u64,
+) -> Vec<QoeSample> {
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let mut results: Vec<Option<QoeSample>> = vec![None; configs.len()];
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(configs.len());
+        for (i, config) in configs.iter().enumerate() {
+            let seed = atlas_math::rng::derive_seed(base_seed, i as u64);
+            let run_scenario = scenario.with_seed(seed);
+            handles.push(scope.spawn(move |_| (i, env.query(config, &run_scenario, sla))));
+        }
+        for handle in handles {
+            let (i, sample) = handle.join().expect("simulator query thread panicked");
+            results[i] = Some(sample);
+        }
+    })
+    .expect("crossbeam scope failed");
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// The feature vector the policy surrogates operate on: the unit-cube
+/// configuration plus the normalised network state (user traffic) and the
+/// normalised latency threshold — matching the paper's BNN inputs
+/// ("network state s_t, threshold Y and network configuration a_t").
+pub fn policy_features(config: &SliceConfig, traffic: u32, sla: &Sla) -> Vec<f64> {
+    let mut f = config.to_unit();
+    f.push(f64::from(traffic) / 4.0);
+    f.push(sla.latency_threshold_ms / 500.0);
+    f
+}
+
+/// Dimensionality of [`policy_features`].
+pub const POLICY_FEATURE_DIM: usize = SliceConfig::DIM + 2;
+
+/// Collects the "online collection" `D_r` of Sec. 4.1: per-frame latencies
+/// logged from the environment under the currently deployed configuration.
+pub fn collect_latencies<E: Environment>(
+    env: &E,
+    config: &SliceConfig,
+    scenario: &Scenario,
+) -> Vec<f64> {
+    env.measure(&config.with_connectivity_floor(), scenario).latencies_ms
+}
+
+/// Mean latency convenience wrapper used by motivation experiments.
+pub fn mean_latency(latencies: &[f64]) -> f64 {
+    stats::mean(latencies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> Scenario {
+        Scenario::default_with_seed(1).with_duration(10.0)
+    }
+
+    #[test]
+    fn sla_qoe_and_satisfaction() {
+        let sla = Sla::paper_default();
+        assert_eq!(sla.latency_threshold_ms, 300.0);
+        assert!(sla.satisfied_by(0.9));
+        assert!(sla.satisfied_by(0.95));
+        assert!(!sla.satisfied_by(0.85));
+        let clamped = Sla::new(100.0, 2.0);
+        assert_eq!(clamped.qoe_target, 1.0);
+    }
+
+    #[test]
+    fn query_applies_connectivity_floor_and_reports_usage() {
+        let env = SimulatorEnv::new(Simulator::with_original_params());
+        let tiny = SliceConfig::from_vec(&[0.0, 0.0, 0.0, 0.0, 5.0, 0.5]);
+        let sample = env.query(&tiny, &scenario(), &Sla::paper_default());
+        assert_eq!(sample.config.bandwidth_ul, 6.0);
+        assert_eq!(sample.config.bandwidth_dl, 3.0);
+        assert!((0.0..=1.0).contains(&sample.qoe));
+        assert!(sample.usage > 0.0 && sample.usage < 1.0);
+        assert!(sample.mean_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn generous_config_meets_the_paper_sla_in_the_simulator() {
+        let env = SimulatorEnv::new(Simulator::with_original_params());
+        let sample = env.query(
+            &SliceConfig::default_generous(),
+            &scenario(),
+            &Sla::paper_default(),
+        );
+        assert!(
+            sample.qoe > 0.9,
+            "a generous allocation should comfortably meet the SLA, got {}",
+            sample.qoe
+        );
+    }
+
+    #[test]
+    fn real_env_is_harsher_than_simulator_env() {
+        let sim = SimulatorEnv::new(Simulator::with_original_params());
+        let real = RealEnv::new(RealNetwork::prototype());
+        let cfg = SliceConfig::from_vec(&[8.0, 4.0, 0.0, 0.0, 8.0, 0.55]);
+        let sla = Sla::paper_default();
+        let a = sim.query(&cfg, &scenario(), &sla);
+        let b = real.query(&cfg, &scenario(), &sla);
+        assert!(b.qoe <= a.qoe + 0.05, "real qoe {} vs sim {}", b.qoe, a.qoe);
+        assert!(b.mean_latency_ms > a.mean_latency_ms);
+    }
+
+    #[test]
+    fn parallel_queries_match_sequential_queries() {
+        let env = SimulatorEnv::new(Simulator::with_original_params());
+        let sla = Sla::paper_default();
+        let configs = vec![
+            SliceConfig::from_vec(&[10.0, 5.0, 0.0, 0.0, 10.0, 0.6]),
+            SliceConfig::from_vec(&[20.0, 10.0, 0.0, 0.0, 20.0, 0.9]),
+            SliceConfig::from_vec(&[6.0, 3.0, 0.0, 0.0, 5.0, 0.3]),
+        ];
+        let parallel = query_parallel(&env, &configs, &scenario(), &sla, 99);
+        assert_eq!(parallel.len(), 3);
+        for (i, cfg) in configs.iter().enumerate() {
+            let seed = atlas_math::rng::derive_seed(99, i as u64);
+            let sequential = env.query(cfg, &scenario().with_seed(seed), &sla);
+            assert_eq!(parallel[i], sequential);
+        }
+    }
+
+    #[test]
+    fn parallel_query_of_empty_list_is_empty() {
+        let env = SimulatorEnv::new(Simulator::with_original_params());
+        assert!(query_parallel(&env, &[], &scenario(), &Sla::paper_default(), 1).is_empty());
+    }
+
+    #[test]
+    fn policy_features_have_the_documented_layout() {
+        let cfg = SliceConfig::from_vec(&[25.0, 25.0, 5.0, 0.0, 50.0, 1.0]);
+        let f = policy_features(&cfg, 2, &Sla::paper_default());
+        assert_eq!(f.len(), POLICY_FEATURE_DIM);
+        assert!((f[0] - 0.5).abs() < 1e-9);
+        assert!((f[6] - 0.5).abs() < 1e-9); // traffic 2 of 4
+        assert!((f[7] - 0.6).abs() < 1e-9); // 300 / 500
+        assert!(f.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn collect_latencies_returns_the_trace() {
+        let env = SimulatorEnv::new(Simulator::with_original_params());
+        let lat = collect_latencies(&env, &SliceConfig::default_generous(), &scenario());
+        assert!(lat.len() > 10);
+        assert!(mean_latency(&lat) > 0.0);
+    }
+}

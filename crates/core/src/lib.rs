@@ -1,0 +1,66 @@
+//! # atlas
+//!
+//! A from-scratch Rust reproduction of **Atlas: Automate Online Service
+//! Configuration in Network Slicing** (Liu, Choi, Han — CoNEXT 2022).
+//!
+//! Atlas automates the service configuration of an end-to-end network
+//! slice (RAN + transport + core + edge) so that resource usage is
+//! minimised while the slice's QoE requirement is met, in three
+//! interrelated stages:
+//!
+//! 1. [`stage1`] — the **learning-based simulator**: Bayesian optimisation
+//!    (BNN surrogate + parallel Thompson sampling) over the simulator's
+//!    parameters to minimise the sim-to-real KL divergence.
+//! 2. [`stage2`] — **offline training**: learn the configuration policy in
+//!    the augmented simulator under an adaptive Lagrangian penalisation of
+//!    the SLA constraint.
+//! 3. [`stage3`] — **online learning**: refine the policy safely on the
+//!    real network with a Gaussian process that models only the sim-to-real
+//!    QoE residual and a conservative (clipped randomised GP-UCB)
+//!    acquisition.
+//!
+//! The [`baselines`] module re-implements the paper's comparison methods
+//! (GP-EI baseline, DLDA, VirtualEdge), [`regret`] implements the Eq. 10/11
+//! regret metrics, and [`pipeline`] wires everything into a single
+//! `run_atlas` call. The network substrate itself (the NS-3 stand-in and
+//! the emulated testbed) lives in the `atlas-netsim` crate.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use atlas::pipeline::{run_atlas, AtlasConfig};
+//! use atlas_netsim::{RealNetwork, Scenario};
+//!
+//! let real = RealNetwork::prototype();
+//! let scenario = Scenario::default_with_seed(7);
+//! let outcome = run_atlas(&real, &scenario, &AtlasConfig::default(), 42);
+//! println!(
+//!     "online best: usage {:.1}% at QoE {:.2}",
+//!     outcome.stage3.best.usage * 100.0,
+//!     outcome.stage3.best.qoe
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod env;
+pub mod model;
+pub mod pipeline;
+pub mod regret;
+pub mod stage1;
+pub mod stage2;
+pub mod stage3;
+
+pub use env::{Environment, QoeSample, RealEnv, SimulatorEnv, Sla};
+pub use model::SurrogateKind;
+pub use pipeline::{run_atlas, AtlasConfig, AtlasOutcome};
+pub use regret::RegretTracker;
+pub use stage1::{SimulatorCalibration, Stage1Config, Stage1Result};
+pub use stage2::{OfflineStrategy, OfflineTrainer, Stage2Config, Stage2Result};
+pub use stage3::{OnlineLearner, OnlineModel, OnlineOutcome, Stage3Config, Stage3Result};
+
+// Re-export the substrate types users need to drive the library.
+pub use atlas_bayesopt::Acquisition;
+pub use atlas_netsim::{Mobility, RealNetwork, Scenario, SimParams, Simulator, SliceConfig};

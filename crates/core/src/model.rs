@@ -1,0 +1,184 @@
+//! Surrogate models as used inside the Atlas stages.
+//!
+//! The stages need slightly more control than the generic
+//! [`atlas_bayesopt::Surrogate`] trait offers — in particular warm-started
+//! incremental training of the BNN after every batch of new transitions
+//! (the paper retrains "with new added transitions" rather than from
+//! scratch). [`PolicyModel`] wraps the two model families behind that
+//! richer interface.
+
+use atlas_gp::GaussianProcess;
+use atlas_math::rng::Rng64;
+use atlas_nn::{Bnn, BnnConfig};
+
+/// Which surrogate family a stage uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SurrogateKind {
+    /// Bayesian neural network (the paper's choice for stages 1–2).
+    Bnn,
+    /// Gaussian process (the baseline surrogate and the stage-3 model).
+    Gp,
+}
+
+/// A surrogate with incremental fitting, mean/std prediction and coherent
+/// Thompson draws.
+pub enum PolicyModel {
+    /// Bayesian-neural-network surrogate.
+    Bnn(Box<Bnn>),
+    /// Gaussian-process surrogate.
+    Gp(Box<GaussianProcess>),
+}
+
+impl PolicyModel {
+    /// Creates a model of the requested kind for `input_dim` features.
+    pub fn new(kind: SurrogateKind, input_dim: usize, bnn_config: BnnConfig, rng: &mut Rng64) -> Self {
+        match kind {
+            SurrogateKind::Bnn => PolicyModel::Bnn(Box::new(Bnn::new(input_dim, bnn_config, rng))),
+            SurrogateKind::Gp => PolicyModel::Gp(Box::new(GaussianProcess::default_matern())),
+        }
+    }
+
+    /// Which family this model belongs to.
+    pub fn kind(&self) -> SurrogateKind {
+        match self {
+            PolicyModel::Bnn(_) => SurrogateKind::Bnn,
+            PolicyModel::Gp(_) => SurrogateKind::Gp,
+        }
+    }
+
+    /// Fits the model to all observations, running `epochs` passes for the
+    /// BNN (warm start) and an exact refit for the GP.
+    pub fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64], epochs: usize, rng: &mut Rng64) {
+        if inputs.is_empty() {
+            return;
+        }
+        match self {
+            PolicyModel::Bnn(bnn) => {
+                bnn.fit_epochs(inputs, targets, epochs.max(1), rng);
+            }
+            PolicyModel::Gp(gp) => {
+                let _ = gp.fit(inputs, targets);
+            }
+        }
+    }
+
+    /// Predictive mean at one point (posterior mean for the BNN, exact
+    /// predictive mean for the GP).
+    pub fn predict_mean(&self, x: &[f64]) -> f64 {
+        match self {
+            PolicyModel::Bnn(bnn) => bnn.predict_mean(x),
+            PolicyModel::Gp(gp) => gp.predict(x).0,
+        }
+    }
+
+    /// Predictive mean and standard deviation.
+    pub fn predict(&self, x: &[f64], rng: &mut Rng64) -> (f64, f64) {
+        match self {
+            PolicyModel::Bnn(bnn) => bnn.predict_with_uncertainty(x, 12, rng),
+            PolicyModel::Gp(gp) => gp.predict(x),
+        }
+    }
+
+    /// One coherent Thompson draw evaluated over all candidates.
+    pub fn thompson_batch(&self, candidates: &[Vec<f64>], rng: &mut Rng64) -> Vec<f64> {
+        match self {
+            PolicyModel::Bnn(bnn) => {
+                let f = bnn.thompson_sampler(rng);
+                candidates.iter().map(|c| f(c)).collect()
+            }
+            PolicyModel::Gp(gp) => candidates
+                .iter()
+                .map(|c| {
+                    let (mean, std) = gp.predict(c);
+                    mean + std * atlas_math::dist::standard_normal_sample(rng)
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_math::rng::seeded_rng;
+
+    fn dataset() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 30.0, 1.0 - i as f64 / 30.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0 - x[1]).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn both_kinds_learn_the_trend() {
+        let mut rng = seeded_rng(1);
+        let (xs, ys) = dataset();
+        for kind in [SurrogateKind::Gp, SurrogateKind::Bnn] {
+            let mut model = PolicyModel::new(
+                kind,
+                2,
+                BnnConfig {
+                    hidden: [16, 16, 0, 0],
+                    epochs: 100,
+                    ..BnnConfig::default()
+                },
+                &mut rng,
+            );
+            model.fit(&xs, &ys, 100, &mut rng);
+            assert_eq!(model.kind(), kind);
+            let low = model.predict_mean(&[0.0, 1.0]);
+            let high = model.predict_mean(&[1.0, 0.0]);
+            assert!(high > low, "{kind:?}: {high} should exceed {low}");
+        }
+    }
+
+    #[test]
+    fn incremental_bnn_fit_improves_with_more_epochs() {
+        let mut rng = seeded_rng(2);
+        let (xs, ys) = dataset();
+        let mut model = PolicyModel::new(
+            SurrogateKind::Bnn,
+            2,
+            BnnConfig {
+                hidden: [16, 16, 0, 0],
+                ..BnnConfig::default()
+            },
+            &mut rng,
+        );
+        let err = |m: &PolicyModel| -> f64 {
+            xs.iter()
+                .zip(ys.iter())
+                .map(|(x, y)| (m.predict_mean(x) - y).abs())
+                .sum::<f64>()
+                / xs.len() as f64
+        };
+        model.fit(&xs, &ys, 5, &mut rng);
+        let early = err(&model);
+        for _ in 0..10 {
+            model.fit(&xs, &ys, 20, &mut rng);
+        }
+        let late = err(&model);
+        assert!(late <= early, "late error {late} should not exceed early error {early}");
+    }
+
+    #[test]
+    fn thompson_batch_and_predict_are_consistent_in_shape() {
+        let mut rng = seeded_rng(3);
+        let (xs, ys) = dataset();
+        let mut model = PolicyModel::new(SurrogateKind::Gp, 2, BnnConfig::default(), &mut rng);
+        model.fit(&xs, &ys, 1, &mut rng);
+        let candidates: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 10.0, 0.5]).collect();
+        let draws = model.thompson_batch(&candidates, &mut rng);
+        assert_eq!(draws.len(), candidates.len());
+        let (mean, std) = model.predict(&candidates[3], &mut rng);
+        assert!(mean.is_finite() && std >= 0.0);
+    }
+
+    #[test]
+    fn fitting_with_no_data_is_a_noop() {
+        let mut rng = seeded_rng(4);
+        let mut model = PolicyModel::new(SurrogateKind::Gp, 2, BnnConfig::default(), &mut rng);
+        model.fit(&[], &[], 10, &mut rng);
+        let (mean, std) = model.predict(&[0.5, 0.5], &mut rng);
+        assert!(mean.is_finite() && std > 0.0);
+    }
+}

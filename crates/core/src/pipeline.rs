@@ -1,0 +1,265 @@
+//! The full three-stage Atlas pipeline (Fig. 6).
+//!
+//! Wires the stages together the way the paper's artifact does: collect the
+//! online latency collection `D_r` from the real network under the
+//! currently deployed configuration, calibrate the simulator (stage 1),
+//! train the offline policy in the augmented simulator (stage 2), then
+//! learn online in the real network (stage 3). Any stage can be skipped for
+//! the component-ablation experiment (Fig. 24).
+
+use crate::env::{collect_latencies, Environment, RealEnv, SimulatorEnv, Sla};
+use crate::stage1::{SimulatorCalibration, Stage1Config, Stage1Result};
+use crate::stage2::{OfflineTrainer, Stage2Config, Stage2Result};
+use crate::stage3::{OnlineLearner, Stage3Config, Stage3Result};
+use atlas_math::rng::derive_seed;
+use atlas_netsim::{RealNetwork, Scenario, Simulator, SliceConfig};
+
+/// Configuration of a full Atlas run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtlasConfig {
+    /// Stage-1 settings.
+    pub stage1: Stage1Config,
+    /// Stage-2 settings.
+    pub stage2: Stage2Config,
+    /// Stage-3 settings.
+    pub stage3: Stage3Config,
+    /// The slice SLA.
+    pub sla: Sla,
+    /// Skip the learning-based simulator (use the original parameters).
+    pub skip_stage1: bool,
+    /// Skip offline training (learn online from scratch).
+    pub skip_stage2: bool,
+    /// Skip online learning (keep applying the offline best configuration).
+    pub skip_stage3: bool,
+    /// Configuration deployed while collecting the online collection `D_r`.
+    pub deployed_config: SliceConfig,
+}
+
+impl Default for AtlasConfig {
+    fn default() -> Self {
+        Self {
+            stage1: Stage1Config::default(),
+            stage2: Stage2Config::default(),
+            stage3: Stage3Config::default(),
+            sla: Sla::paper_default(),
+            skip_stage1: false,
+            skip_stage2: false,
+            skip_stage3: false,
+            deployed_config: SliceConfig::default_generous(),
+        }
+    }
+}
+
+/// Outcome of a full Atlas run.
+#[derive(Debug, Clone)]
+pub struct AtlasOutcome {
+    /// Stage-1 result (absent when skipped).
+    pub stage1: Option<Stage1Result>,
+    /// Stage-2 result (absent when skipped).
+    pub stage2: Option<Stage2Result>,
+    /// Stage-3 result (always present; when stage 3 is "skipped" the
+    /// offline configuration is simply replayed without learning).
+    pub stage3: Stage3Result,
+    /// The simulator (original or augmented) used by stages 2–3.
+    pub simulator: Simulator,
+}
+
+/// Runs the full Atlas pipeline against the given real network.
+pub fn run_atlas(
+    real: &RealNetwork,
+    scenario: &Scenario,
+    config: &AtlasConfig,
+    seed: u64,
+) -> AtlasOutcome {
+    let real_env = RealEnv::new(*real);
+
+    // ---- online collection D_r -------------------------------------------
+    let collection_scenario = scenario
+        .with_duration(config.stage1.duration_s)
+        .with_seed(derive_seed(seed, 1));
+    let real_latencies =
+        collect_latencies(&real_env, &config.deployed_config, &collection_scenario);
+
+    // ---- stage 1: learning-based simulator --------------------------------
+    let stage1 = if config.skip_stage1 {
+        None
+    } else {
+        let calibration = SimulatorCalibration::new(config.stage1);
+        Some(calibration.run(
+            &real_latencies,
+            &config.deployed_config,
+            scenario,
+            derive_seed(seed, 2),
+        ))
+    };
+    let simulator = stage1
+        .as_ref()
+        .map(Stage1Result::augmented_simulator)
+        .unwrap_or_else(Simulator::with_original_params);
+
+    // ---- stage 2: offline training ----------------------------------------
+    let stage2 = if config.skip_stage2 {
+        None
+    } else {
+        let trainer = OfflineTrainer::new(config.stage2, config.sla);
+        let sim_env = SimulatorEnv::new(simulator);
+        Some(trainer.run(&sim_env, scenario, derive_seed(seed, 3)))
+    };
+
+    // ---- stage 3: online learning -----------------------------------------
+    let stage3 = if config.skip_stage3 {
+        // Keep applying the offline best configuration without learning.
+        replay_offline_config(&real_env, &simulator, stage2.as_ref(), scenario, config, seed)
+    } else {
+        let learner = match &stage2 {
+            Some(offline) => OnlineLearner::new(config.stage3, config.sla, simulator, offline),
+            None => OnlineLearner::without_offline(config.stage3, config.sla, simulator),
+        };
+        learner.run(&real_env, scenario, derive_seed(seed, 4))
+    };
+
+    AtlasOutcome {
+        stage1,
+        stage2,
+        stage3,
+        simulator,
+    }
+}
+
+/// "No stage 3": apply the offline best configuration for every online
+/// iteration without any learning.
+fn replay_offline_config(
+    real_env: &RealEnv,
+    simulator: &Simulator,
+    stage2: Option<&Stage2Result>,
+    scenario: &Scenario,
+    config: &AtlasConfig,
+    seed: u64,
+) -> Stage3Result {
+    use crate::stage3::{best_outcome, OnlineOutcome};
+    let chosen = stage2
+        .map(|s| s.best_config)
+        .unwrap_or(config.deployed_config);
+    let sim_env = SimulatorEnv::new(*simulator);
+    let run_scenario = scenario.with_duration(config.stage3.duration_s);
+    let mut history = Vec::with_capacity(config.stage3.iterations);
+    for iteration in 0..config.stage3.iterations {
+        let sample = real_env.query(
+            &chosen,
+            &run_scenario.with_seed(derive_seed(seed, 90_000 + iteration as u64)),
+            &config.sla,
+        );
+        let sim_sample = sim_env.query(
+            &chosen,
+            &run_scenario.with_seed(derive_seed(seed, 95_000 + iteration as u64)),
+            &config.sla,
+        );
+        history.push(OnlineOutcome {
+            iteration,
+            config: sample.config,
+            usage: sample.usage,
+            qoe: sample.qoe,
+            simulator_qoe: sim_sample.qoe,
+        });
+    }
+    let best = best_outcome(&history, &config.sla);
+    Stage3Result {
+        history,
+        final_multiplier: stage2.map(|s| s.multiplier).unwrap_or(0.0),
+        best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SurrogateKind;
+    use atlas_nn::BnnConfig;
+
+    fn tiny_atlas_config() -> AtlasConfig {
+        AtlasConfig {
+            stage1: Stage1Config {
+                iterations: 5,
+                warmup: 2,
+                parallel: 2,
+                candidates: 150,
+                duration_s: 6.0,
+                surrogate: SurrogateKind::Gp,
+                train_epochs_per_iter: 2,
+                ..Stage1Config::default()
+            },
+            stage2: Stage2Config {
+                iterations: 8,
+                warmup: 3,
+                parallel: 2,
+                candidates: 150,
+                duration_s: 6.0,
+                bnn: BnnConfig {
+                    hidden: [12, 12, 0, 0],
+                    epochs: 8,
+                    ..BnnConfig::default()
+                },
+                train_epochs_per_iter: 2,
+                ..Stage2Config::default()
+            },
+            stage3: Stage3Config {
+                iterations: 4,
+                offline_updates: 1,
+                candidates: 150,
+                duration_s: 6.0,
+                ..Stage3Config::default()
+            },
+            ..AtlasConfig::default()
+        }
+    }
+
+    #[test]
+    fn full_pipeline_runs_all_three_stages() {
+        let real = RealNetwork::prototype();
+        let scenario = Scenario::default_with_seed(1).with_duration(6.0);
+        let outcome = run_atlas(&real, &scenario, &tiny_atlas_config(), 17);
+        assert!(outcome.stage1.is_some());
+        assert!(outcome.stage2.is_some());
+        assert_eq!(outcome.stage3.history.len(), 4);
+        // The augmented simulator uses the stage-1 best parameters.
+        assert_eq!(
+            *outcome.simulator.params(),
+            outcome.stage1.as_ref().unwrap().best_params
+        );
+    }
+
+    #[test]
+    fn stages_can_be_skipped() {
+        let real = RealNetwork::prototype();
+        let scenario = Scenario::default_with_seed(2).with_duration(6.0);
+        let config = AtlasConfig {
+            skip_stage1: true,
+            skip_stage2: true,
+            ..tiny_atlas_config()
+        };
+        let outcome = run_atlas(&real, &scenario, &config, 3);
+        assert!(outcome.stage1.is_none());
+        assert!(outcome.stage2.is_none());
+        assert_eq!(outcome.stage3.history.len(), 4);
+        assert_eq!(
+            *outcome.simulator.params(),
+            *Simulator::with_original_params().params()
+        );
+    }
+
+    #[test]
+    fn skipping_stage3_replays_the_offline_configuration() {
+        let real = RealNetwork::prototype();
+        let scenario = Scenario::default_with_seed(3).with_duration(6.0);
+        let config = AtlasConfig {
+            skip_stage1: true,
+            skip_stage3: true,
+            ..tiny_atlas_config()
+        };
+        let outcome = run_atlas(&real, &scenario, &config, 5);
+        let offline_best = outcome.stage2.as_ref().unwrap().best_config.with_connectivity_floor();
+        for o in &outcome.stage3.history {
+            assert_eq!(o.config, offline_best);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Regret accounting for the online learning stage.
+//!
+//! Implements the two regret definitions of Sec. 6.1:
+//!
+//! * usage regret `g_u(n) = Σ_j (F(φ_j) − F(φ*))`  (Eq. 10)
+//! * QoE regret  `g_p(n) = Σ_j max(Q(φ*) − Q(φ_j), 0)`  (Eq. 11)
+//!
+//! where `φ*` is a reference (oracle-best) policy. Table 5 and Figs. 20–26
+//! report the *average* regret, i.e. the cumulative regret divided by the
+//! number of online iterations.
+
+/// Tracks cumulative and average regret against a reference policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegretTracker {
+    reference_usage: f64,
+    reference_qoe: f64,
+    cumulative_usage: f64,
+    cumulative_qoe: f64,
+    iterations: usize,
+}
+
+impl RegretTracker {
+    /// Creates a tracker for a reference policy with the given resource
+    /// usage and QoE.
+    pub fn new(reference_usage: f64, reference_qoe: f64) -> Self {
+        Self {
+            reference_usage,
+            reference_qoe,
+            cumulative_usage: 0.0,
+            cumulative_qoe: 0.0,
+            iterations: 0,
+        }
+    }
+
+    /// Records one online iteration.
+    pub fn update(&mut self, usage: f64, qoe: f64) {
+        self.cumulative_usage += usage - self.reference_usage;
+        self.cumulative_qoe += (self.reference_qoe - qoe).max(0.0);
+        self.iterations += 1;
+    }
+
+    /// Number of recorded iterations.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Cumulative usage regret `g_u(n)` (Eq. 10). Can be negative when the
+    /// learner spends less than the reference on average.
+    pub fn cumulative_usage_regret(&self) -> f64 {
+        self.cumulative_usage
+    }
+
+    /// Cumulative QoE regret `g_p(n)` (Eq. 11); non-negative by definition.
+    pub fn cumulative_qoe_regret(&self) -> f64 {
+        self.cumulative_qoe
+    }
+
+    /// Average usage regret (what Table 5 reports, in the same normalised
+    /// units as the resource usage `F`).
+    pub fn avg_usage_regret(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.cumulative_usage / self.iterations as f64
+        }
+    }
+
+    /// Average QoE regret.
+    pub fn avg_qoe_regret(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.cumulative_qoe / self.iterations as f64
+        }
+    }
+
+    /// Reference usage.
+    pub fn reference_usage(&self) -> f64 {
+        self.reference_usage
+    }
+
+    /// Reference QoE.
+    pub fn reference_qoe(&self) -> f64 {
+        self.reference_qoe
+    }
+}
+
+/// Computes `(avg usage regret, avg QoE regret)` for a history of
+/// `(usage, qoe)` outcomes against a reference policy.
+pub fn average_regret(history: &[(f64, f64)], reference_usage: f64, reference_qoe: f64) -> (f64, f64) {
+    let mut tracker = RegretTracker::new(reference_usage, reference_qoe);
+    for (usage, qoe) in history {
+        tracker.update(*usage, *qoe);
+    }
+    (tracker.avg_usage_regret(), tracker.avg_qoe_regret())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_iterations_give_zero_regret() {
+        let t = RegretTracker::new(0.2, 0.9);
+        assert_eq!(t.avg_usage_regret(), 0.0);
+        assert_eq!(t.avg_qoe_regret(), 0.0);
+        assert_eq!(t.iterations(), 0);
+    }
+
+    #[test]
+    fn matching_the_reference_gives_zero_regret() {
+        let mut t = RegretTracker::new(0.2, 0.9);
+        for _ in 0..10 {
+            t.update(0.2, 0.9);
+        }
+        assert!(t.avg_usage_regret().abs() < 1e-12);
+        assert!(t.avg_qoe_regret().abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_regret_accumulates_linearly() {
+        let mut t = RegretTracker::new(0.2, 0.9);
+        t.update(0.3, 0.9); // +0.1
+        t.update(0.4, 0.9); // +0.2
+        assert!((t.cumulative_usage_regret() - 0.3).abs() < 1e-12);
+        assert!((t.avg_usage_regret() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qoe_regret_is_one_sided() {
+        let mut t = RegretTracker::new(0.2, 0.9);
+        t.update(0.2, 1.0); // better QoE than reference: no regret
+        t.update(0.2, 0.7); // 0.2 below
+        assert!((t.cumulative_qoe_regret() - 0.2).abs() < 1e-12);
+        assert!((t.avg_qoe_regret() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_regret_can_be_negative() {
+        let mut t = RegretTracker::new(0.5, 0.9);
+        t.update(0.3, 0.95);
+        assert!(t.avg_usage_regret() < 0.0);
+    }
+
+    #[test]
+    fn average_regret_helper_matches_tracker() {
+        let history = vec![(0.3, 0.8), (0.25, 0.95), (0.4, 0.9)];
+        let (u, q) = average_regret(&history, 0.2, 0.9);
+        let mut t = RegretTracker::new(0.2, 0.9);
+        for (usage, qoe) in &history {
+            t.update(*usage, *qoe);
+        }
+        assert!((u - t.avg_usage_regret()).abs() < 1e-12);
+        assert!((q - t.avg_qoe_regret()).abs() < 1e-12);
+        assert_eq!(t.reference_usage(), 0.2);
+        assert_eq!(t.reference_qoe(), 0.9);
+    }
+}

@@ -1,0 +1,399 @@
+//! Stage 1 — the learning-based simulator (Sec. 4, Algorithm 1).
+//!
+//! Searches the 7-dimensional simulation-parameter space of Table 3 for
+//! the vector `x` that minimises the *weighted sim-to-real discrepancy*
+//! `KL(D_r ‖ D_s(x)) + α·|x − x̂|₂`, subject to the trust region
+//! `|x − x̂|₂ ≤ H`, using a BNN surrogate with parallel Thompson sampling
+//! (or a GP surrogate, for the paper's stage-1 baseline comparison).
+
+use crate::env::{Environment, SimulatorEnv};
+use crate::model::{PolicyModel, SurrogateKind};
+use atlas_bayesopt::SearchSpace;
+use atlas_math::rng::{derive_seed, seeded_rng};
+use atlas_math::stats;
+use atlas_netsim::{Scenario, SimParams, Simulator, SliceConfig};
+use atlas_nn::BnnConfig;
+
+/// Configuration of the stage-1 parameter search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stage1Config {
+    /// Number of optimisation iterations (the paper runs 500 for Fig. 8).
+    pub iterations: usize,
+    /// Purely random exploration iterations at the start (paper: 100).
+    pub warmup: usize,
+    /// Parallel simulator queries per iteration (paper: up to 16).
+    pub parallel: usize,
+    /// Random candidates scored per Thompson draw.
+    pub candidates: usize,
+    /// Weight `α` of the parameter distance in the objective (paper: 7).
+    pub alpha: f64,
+    /// Trust-region radius `H` on the parameter distance (Eq. 2), in the
+    /// per-dimension-averaged metric of [`SimParams::distance_from`]
+    /// (maximum possible value ≈ 0.38).
+    pub max_distance: f64,
+    /// Surrogate family (BNN = "ours", GP = the baseline of Fig. 8).
+    pub surrogate: SurrogateKind,
+    /// BNN hyper-parameters (ignored for the GP surrogate).
+    pub bnn: BnnConfig,
+    /// Warm-start training epochs after each iteration's new transitions.
+    pub train_epochs_per_iter: usize,
+    /// Simulated seconds per query (the paper uses 60 s).
+    pub duration_s: f64,
+}
+
+impl Default for Stage1Config {
+    fn default() -> Self {
+        Self {
+            iterations: 120,
+            warmup: 25,
+            parallel: 4,
+            candidates: 1500,
+            alpha: 7.0,
+            max_distance: 0.25,
+            surrogate: SurrogateKind::Bnn,
+            bnn: BnnConfig {
+                hidden: [32, 32, 0, 0],
+                epochs: 40,
+                ..BnnConfig::default()
+            },
+            train_epochs_per_iter: 8,
+            duration_s: 15.0,
+        }
+    }
+}
+
+/// Per-iteration progress record (one point of Fig. 8 / Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stage1Iteration {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Mean weighted discrepancy of this iteration's parallel queries.
+    pub avg_weighted_discrepancy: f64,
+    /// Best (lowest) weighted discrepancy observed so far.
+    pub best_weighted_so_far: f64,
+}
+
+/// One evaluated simulation-parameter vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage1Observation {
+    /// The evaluated parameters.
+    pub params: SimParams,
+    /// The measured sim-to-real discrepancy `KL(D_r ‖ D_s(x))`.
+    pub discrepancy: f64,
+    /// The normalised parameter distance `|x − x̂|₂`.
+    pub distance: f64,
+}
+
+impl Stage1Observation {
+    /// The weighted objective `KL + α·distance`.
+    pub fn weighted(&self, alpha: f64) -> f64 {
+        self.discrepancy + alpha * self.distance
+    }
+}
+
+/// Result of a stage-1 run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage1Result {
+    /// The best simulation parameters found.
+    pub best_params: SimParams,
+    /// Sim-to-real discrepancy of the best parameters.
+    pub best_discrepancy: f64,
+    /// Parameter distance of the best parameters.
+    pub best_distance: f64,
+    /// Weighted objective of the best parameters.
+    pub best_weighted: f64,
+    /// Per-iteration search progress.
+    pub history: Vec<Stage1Iteration>,
+    /// Every evaluated parameter vector (for Pareto analysis, Fig. 12).
+    pub observations: Vec<Stage1Observation>,
+}
+
+impl Stage1Result {
+    /// A simulator configured with the best parameters found (the
+    /// "augmented simulator" of the paper).
+    pub fn augmented_simulator(&self) -> Simulator {
+        Simulator::new(self.best_params)
+    }
+}
+
+/// The stage-1 parameter-searching algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulatorCalibration {
+    config: Stage1Config,
+}
+
+impl SimulatorCalibration {
+    /// Creates the calibration stage.
+    pub fn new(config: Stage1Config) -> Self {
+        Self { config }
+    }
+
+    /// The stage configuration.
+    pub fn config(&self) -> &Stage1Config {
+        &self.config
+    }
+
+    /// Evaluates one simulation-parameter vector: runs the simulator under
+    /// the same configuration/scenario that produced the real collection
+    /// and measures the KL-divergence of the two latency distributions.
+    pub fn evaluate(
+        &self,
+        params: &SimParams,
+        real_latencies: &[f64],
+        slice_config: &SliceConfig,
+        scenario: &Scenario,
+        seed: u64,
+    ) -> Stage1Observation {
+        let simulator = Simulator::new(*params);
+        let env = SimulatorEnv::new(simulator);
+        let run_scenario = scenario.with_seed(seed).with_duration(self.config.duration_s);
+        let trace = env.measure(&slice_config.with_connectivity_floor(), &run_scenario);
+        let discrepancy = if trace.latencies_ms.is_empty() {
+            10.0
+        } else {
+            stats::kl_divergence(real_latencies, &trace.latencies_ms).unwrap_or(10.0)
+        };
+        Stage1Observation {
+            params: *params,
+            discrepancy,
+            distance: params.distance_from(&SimParams::original()),
+        }
+    }
+
+    /// Runs Algorithm 1: returns the best simulation parameters together
+    /// with the full search history.
+    pub fn run(
+        &self,
+        real_latencies: &[f64],
+        slice_config: &SliceConfig,
+        scenario: &Scenario,
+        seed: u64,
+    ) -> Stage1Result {
+        assert!(
+            !real_latencies.is_empty(),
+            "stage 1 needs a non-empty online collection D_r"
+        );
+        let cfg = &self.config;
+        let mut rng = seeded_rng(seed);
+        let space = SearchSpace::new(
+            SimParams::lower_bounds().to_vec(),
+            SimParams::upper_bounds().to_vec(),
+        );
+        let reference = SimParams::original();
+        let mut model = PolicyModel::new(cfg.surrogate, SimParams::DIM, cfg.bnn, &mut rng);
+
+        // Samples a parameter vector inside the trust region of Eq. 2 by
+        // contracting uniform draws towards the reference until the
+        // per-dimension distance metric is satisfied.
+        let sample_in_trust_region = |rng: &mut atlas_math::rng::Rng64| -> Vec<f64> {
+            let mut candidate = space.sample(rng);
+            let reference_vec = reference.to_vec();
+            for _ in 0..32 {
+                if SimParams::from_vec(&candidate).distance_from(&reference) <= cfg.max_distance {
+                    break;
+                }
+                candidate = candidate
+                    .iter()
+                    .zip(reference_vec.iter())
+                    .map(|(c, r)| r + (c - r) * 0.7)
+                    .collect();
+            }
+            candidate
+        };
+
+        let mut observations: Vec<Stage1Observation> = Vec::new();
+        let mut history = Vec::with_capacity(cfg.iterations);
+        let mut best_weighted = f64::INFINITY;
+
+        for iteration in 0..cfg.iterations {
+            // --- propose `parallel` parameter vectors -------------------
+            let mut proposals: Vec<SimParams> = if iteration < cfg.warmup || observations.is_empty() {
+                (0..cfg.parallel)
+                    .map(|_| SimParams::from_vec(&sample_in_trust_region(&mut rng)))
+                    .collect()
+            } else {
+                (0..cfg.parallel)
+                    .map(|_| {
+                        let candidates: Vec<Vec<f64>> = (0..cfg.candidates)
+                            .map(|_| sample_in_trust_region(&mut rng))
+                            .collect();
+                        let draws = model.thompson_batch(&candidates, &mut rng);
+                        let mut best_idx = 0;
+                        let mut best_val = f64::INFINITY;
+                        for (i, (c, d)) in candidates.iter().zip(draws.iter()).enumerate() {
+                            let dist = SimParams::from_vec(c).distance_from(&reference);
+                            let weighted = d + cfg.alpha * dist;
+                            if weighted < best_val {
+                                best_val = weighted;
+                                best_idx = i;
+                            }
+                        }
+                        SimParams::from_vec(&candidates[best_idx])
+                    })
+                    .collect()
+            };
+            if iteration == 0 {
+                // Always evaluate the original (specification-derived)
+                // parameters first: the search must never end up worse than
+                // the simulator it started from.
+                proposals[0] = SimParams::original();
+            }
+
+            // --- evaluate the proposals in parallel ----------------------
+            let iteration_seed = derive_seed(seed, 1000 + iteration as u64);
+            let mut results: Vec<Option<Stage1Observation>> = vec![None; proposals.len()];
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (i, params) in proposals.iter().enumerate() {
+                    let query_seed = derive_seed(iteration_seed, i as u64);
+                    handles.push(scope.spawn(move |_| {
+                        (
+                            i,
+                            self.evaluate(params, real_latencies, slice_config, scenario, query_seed),
+                        )
+                    }));
+                }
+                for h in handles {
+                    let (i, obs) = h.join().expect("stage-1 query thread panicked");
+                    results[i] = Some(obs);
+                }
+            })
+            .expect("crossbeam scope failed");
+            let new_obs: Vec<Stage1Observation> =
+                results.into_iter().map(|o| o.expect("all slots filled")).collect();
+
+            // --- bookkeeping --------------------------------------------
+            let weighted: Vec<f64> = new_obs.iter().map(|o| o.weighted(cfg.alpha)).collect();
+            for w in &weighted {
+                if *w < best_weighted {
+                    best_weighted = *w;
+                }
+            }
+            history.push(Stage1Iteration {
+                iteration,
+                avg_weighted_discrepancy: stats::mean(&weighted),
+                best_weighted_so_far: best_weighted,
+            });
+            observations.extend(new_obs);
+
+            // --- retrain the surrogate on the discrepancy only ----------
+            let xs: Vec<Vec<f64>> = observations.iter().map(|o| o.params.to_vec()).collect();
+            let ys: Vec<f64> = observations.iter().map(|o| o.discrepancy).collect();
+            model.fit(&xs, &ys, cfg.train_epochs_per_iter, &mut rng);
+        }
+
+        let best = observations
+            .iter()
+            .min_by(|a, b| {
+                a.weighted(cfg.alpha)
+                    .partial_cmp(&b.weighted(cfg.alpha))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("at least one observation")
+            .clone();
+
+        Stage1Result {
+            best_params: best.params,
+            best_discrepancy: best.discrepancy,
+            best_distance: best.distance,
+            best_weighted: best.weighted(cfg.alpha),
+            history,
+            observations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_netsim::RealNetwork;
+
+    fn collection_config() -> SliceConfig {
+        SliceConfig::from_vec(&[10.0, 5.0, 0.0, 0.0, 10.0, 0.8])
+    }
+
+    fn tiny_stage1() -> Stage1Config {
+        Stage1Config {
+            iterations: 10,
+            warmup: 4,
+            parallel: 2,
+            candidates: 200,
+            duration_s: 8.0,
+            surrogate: SurrogateKind::Gp,
+            train_epochs_per_iter: 2,
+            ..Stage1Config::default()
+        }
+    }
+
+    fn real_collection(scenario: &Scenario) -> Vec<f64> {
+        RealNetwork::prototype()
+            .run(&collection_config().with_connectivity_floor(), scenario)
+            .latencies_ms
+    }
+
+    #[test]
+    fn evaluate_reports_zero_distance_for_original_params() {
+        let scenario = Scenario::default_with_seed(3).with_duration(8.0);
+        let real = real_collection(&scenario);
+        let calib = SimulatorCalibration::new(tiny_stage1());
+        let obs = calib.evaluate(
+            &SimParams::original(),
+            &real,
+            &collection_config(),
+            &scenario,
+            7,
+        );
+        assert_eq!(obs.distance, 0.0);
+        assert!(obs.discrepancy > 0.0, "original simulator must show a gap");
+        assert!((obs.weighted(7.0) - obs.discrepancy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_reduces_the_weighted_discrepancy() {
+        let scenario = Scenario::default_with_seed(11).with_duration(8.0);
+        let real = real_collection(&scenario);
+        let calib = SimulatorCalibration::new(tiny_stage1());
+        let result = calib.run(&real, &collection_config(), &scenario, 21);
+        assert_eq!(result.history.len(), 10);
+        assert_eq!(result.observations.len(), 20);
+        // The search always evaluates the original parameters first, so the
+        // final best can never be worse than that in-run measurement.
+        let original_in_run = result
+            .observations
+            .iter()
+            .find(|o| o.distance == 0.0)
+            .expect("the original parameters are evaluated in iteration 0");
+        assert!(
+            result.best_weighted <= original_in_run.weighted(7.0) + 1e-9,
+            "search best {} should not exceed the original simulator's {}",
+            result.best_weighted,
+            original_in_run.weighted(7.0)
+        );
+        assert!(result.best_distance <= tiny_stage1().max_distance + 1e-6);
+        // History's running best is monotone non-increasing.
+        for w in result.history.windows(2) {
+            assert!(w[1].best_weighted_so_far <= w[0].best_weighted_so_far + 1e-12);
+        }
+    }
+
+    #[test]
+    fn augmented_simulator_uses_the_best_parameters() {
+        let scenario = Scenario::default_with_seed(5).with_duration(8.0);
+        let real = real_collection(&scenario);
+        let calib = SimulatorCalibration::new(Stage1Config {
+            iterations: 4,
+            warmup: 2,
+            ..tiny_stage1()
+        });
+        let result = calib.run(&real, &collection_config(), &scenario, 2);
+        assert_eq!(*result.augmented_simulator().params(), result.best_params);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty online collection")]
+    fn empty_real_collection_is_rejected() {
+        let calib = SimulatorCalibration::new(tiny_stage1());
+        let scenario = Scenario::default_with_seed(1);
+        let _ = calib.run(&[], &collection_config(), &scenario, 1);
+    }
+}

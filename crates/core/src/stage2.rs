@@ -1,0 +1,453 @@
+//! Stage 2 — offline policy training in the augmented simulator
+//! (Sec. 5, Algorithm 2).
+//!
+//! Learns the network-configuration policy that minimises resource usage
+//! `F(a)` subject to the SLA chance constraint `Pr(latency ≤ Y) ≥ E` by
+//! querying the augmented simulator. The constraint is folded into the
+//! objective with an adaptive Lagrangian multiplier (Eq. 8–9); the unknown
+//! QoE function is approximated by a BNN and queries are proposed with
+//! parallel Thompson sampling. GP-based variants (GP-EI/PI/UCB, compared in
+//! Fig. 17–18) are also provided: they optimise a fixed-penalty
+//! scalarisation of the same constrained problem with the classic
+//! acquisition functions.
+
+use crate::env::{policy_features, query_parallel, Environment, QoeSample, Sla, POLICY_FEATURE_DIM};
+use crate::model::{PolicyModel, SurrogateKind};
+use atlas_bayesopt::{Acquisition, SearchSpace};
+use atlas_math::rng::{derive_seed, seeded_rng, Rng64};
+use atlas_math::stats;
+use atlas_netsim::{Scenario, SliceConfig};
+use atlas_nn::{Bnn, BnnConfig};
+
+/// How stage 2 selects the next configurations to query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OfflineStrategy {
+    /// The paper's method: BNN surrogate of the QoE, parallel Thompson
+    /// sampling, adaptive Lagrangian penalisation (Algorithm 2).
+    ParallelThompson,
+    /// Baseline: a GP surrogate over the fixed-penalty scalarised objective
+    /// `F(a) + penalty·max(0, E − Q(a))`, with the given acquisition
+    /// function selecting the next query.
+    GpAcquisition(Acquisition),
+}
+
+/// Configuration of the offline training stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stage2Config {
+    /// Optimisation iterations (paper: 1000).
+    pub iterations: usize,
+    /// Purely random exploration iterations (paper: 100).
+    pub warmup: usize,
+    /// Parallel simulator queries per iteration (paper: 16).
+    pub parallel: usize,
+    /// Random candidates scored per proposal.
+    pub candidates: usize,
+    /// Dual-update step size ε (paper: 0.1).
+    pub epsilon: f64,
+    /// Selection strategy.
+    pub strategy: OfflineStrategy,
+    /// BNN hyper-parameters (for [`OfflineStrategy::ParallelThompson`]).
+    pub bnn: BnnConfig,
+    /// Warm-start training epochs per iteration.
+    pub train_epochs_per_iter: usize,
+    /// Simulated seconds per query.
+    pub duration_s: f64,
+    /// Penalty coefficient of the scalarised objective used by the GP
+    /// baselines.
+    pub scalarisation_penalty: f64,
+}
+
+impl Default for Stage2Config {
+    fn default() -> Self {
+        Self {
+            iterations: 150,
+            warmup: 30,
+            parallel: 4,
+            candidates: 1500,
+            epsilon: 0.1,
+            strategy: OfflineStrategy::ParallelThompson,
+            bnn: BnnConfig {
+                hidden: [32, 32, 0, 0],
+                epochs: 40,
+                ..BnnConfig::default()
+            },
+            train_epochs_per_iter: 8,
+            duration_s: 15.0,
+            scalarisation_penalty: 3.0,
+        }
+    }
+}
+
+/// Per-iteration progress record (one point of Fig. 16).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stage2Iteration {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Mean resource usage of this iteration's queries.
+    pub avg_usage: f64,
+    /// Mean QoE of this iteration's queries.
+    pub avg_qoe: f64,
+    /// Lagrangian multiplier after this iteration's dual update.
+    pub multiplier: f64,
+}
+
+/// Result of the offline training stage.
+#[derive(Debug, Clone)]
+pub struct Stage2Result {
+    /// The best configuration found: minimum usage among SLA-satisfying
+    /// queries (or the highest-QoE query if none satisfied the SLA).
+    pub best_config: SliceConfig,
+    /// Resource usage of the best configuration.
+    pub best_usage: f64,
+    /// QoE of the best configuration (in the augmented simulator).
+    pub best_qoe: f64,
+    /// Final Lagrangian multiplier λ (carried into stage 3).
+    pub multiplier: f64,
+    /// Per-iteration training progress.
+    pub history: Vec<Stage2Iteration>,
+    /// Every evaluated configuration with its measured QoE.
+    pub observations: Vec<QoeSample>,
+    /// The trained offline QoE model `Q_s` (present for the
+    /// parallel-Thompson strategy; carried into stage 3 as the offline
+    /// estimate of Eq. 12).
+    pub qoe_model: Option<Bnn>,
+}
+
+/// The stage-2 offline trainer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OfflineTrainer {
+    config: Stage2Config,
+    sla: Sla,
+}
+
+impl OfflineTrainer {
+    /// Creates the offline trainer.
+    pub fn new(config: Stage2Config, sla: Sla) -> Self {
+        Self { config, sla }
+    }
+
+    /// The stage configuration.
+    pub fn config(&self) -> &Stage2Config {
+        &self.config
+    }
+
+    /// Selects the best configuration from a set of evaluated samples:
+    /// minimum usage among SLA-satisfying ones, or the maximum-QoE sample
+    /// if none satisfies the SLA.
+    pub fn best_of(&self, samples: &[QoeSample]) -> Option<QoeSample> {
+        let feasible: Vec<&QoeSample> = samples
+            .iter()
+            .filter(|s| self.sla.satisfied_by(s.qoe))
+            .collect();
+        if feasible.is_empty() {
+            samples
+                .iter()
+                .max_by(|a, b| a.qoe.partial_cmp(&b.qoe).unwrap_or(std::cmp::Ordering::Equal))
+                .copied()
+        } else {
+            feasible
+                .into_iter()
+                .min_by(|a, b| a.usage.partial_cmp(&b.usage).unwrap_or(std::cmp::Ordering::Equal))
+                .copied()
+        }
+    }
+
+    /// Runs offline training against `env` (normally the augmented
+    /// simulator) for the given traffic scenario.
+    pub fn run<E: Environment>(&self, env: &E, scenario: &Scenario, seed: u64) -> Stage2Result {
+        match self.config.strategy {
+            OfflineStrategy::ParallelThompson => self.run_parallel_thompson(env, scenario, seed),
+            OfflineStrategy::GpAcquisition(acq) => self.run_gp_acquisition(env, scenario, seed, acq),
+        }
+    }
+
+    fn config_space() -> SearchSpace {
+        SearchSpace::new(SliceConfig::min().to_vec(), SliceConfig::max().to_vec())
+    }
+
+    /// Algorithm 2: BNN + parallel Thompson sampling + adaptive
+    /// penalisation.
+    fn run_parallel_thompson<E: Environment>(
+        &self,
+        env: &E,
+        scenario: &Scenario,
+        seed: u64,
+    ) -> Stage2Result {
+        let cfg = &self.config;
+        let mut rng = seeded_rng(seed);
+        let space = Self::config_space();
+        let mut qoe_model = Bnn::new(POLICY_FEATURE_DIM, cfg.bnn, &mut rng);
+        let mut fitted = false;
+
+        let mut observations: Vec<QoeSample> = Vec::new();
+        let mut features: Vec<Vec<f64>> = Vec::new();
+        let mut targets: Vec<f64> = Vec::new();
+        let mut history = Vec::with_capacity(cfg.iterations);
+        let mut multiplier: f64 = 0.0;
+
+        let run_scenario = scenario.with_duration(cfg.duration_s);
+
+        for iteration in 0..cfg.iterations {
+            // --- propose `parallel` configurations ----------------------
+            let proposals: Vec<SliceConfig> = if iteration < cfg.warmup || !fitted {
+                (0..cfg.parallel)
+                    .map(|_| SliceConfig::from_vec(&space.sample(&mut rng)))
+                    .collect()
+            } else {
+                (0..cfg.parallel)
+                    .map(|_| {
+                        let candidates: Vec<Vec<f64>> = space.sample_n(cfg.candidates, &mut rng);
+                        let candidate_features: Vec<Vec<f64>> = candidates
+                            .iter()
+                            .map(|c| {
+                                policy_features(&SliceConfig::from_vec(c), run_scenario.traffic, &self.sla)
+                            })
+                            .collect();
+                        let draw = qoe_model.thompson_sampler(&mut rng);
+                        let mut best_idx = 0;
+                        let mut best_val = f64::INFINITY;
+                        for (i, c) in candidates.iter().enumerate() {
+                            let config = SliceConfig::from_vec(c);
+                            let qoe_est = draw(&candidate_features[i]).clamp(0.0, 1.0);
+                            // Lagrangian of Eq. 8.
+                            let lagrangian = config.resource_usage()
+                                - multiplier * (qoe_est - self.sla.qoe_target);
+                            if lagrangian < best_val {
+                                best_val = lagrangian;
+                                best_idx = i;
+                            }
+                        }
+                        SliceConfig::from_vec(&candidates[best_idx])
+                    })
+                    .collect()
+            };
+
+            // --- query the simulator in parallel -------------------------
+            let iteration_seed = derive_seed(seed, 5000 + iteration as u64);
+            let samples = query_parallel(env, &proposals, &run_scenario, &self.sla, iteration_seed);
+
+            // --- bookkeeping + dual update -------------------------------
+            let usages: Vec<f64> = samples.iter().map(|s| s.usage).collect();
+            let qoes: Vec<f64> = samples.iter().map(|s| s.qoe).collect();
+            // Eq. 9: λ ← [λ − ε (Q_s − E)]⁺, averaged over parallel queries.
+            multiplier =
+                (multiplier - cfg.epsilon * (stats::mean(&qoes) - self.sla.qoe_target)).max(0.0);
+            history.push(Stage2Iteration {
+                iteration,
+                avg_usage: stats::mean(&usages),
+                avg_qoe: stats::mean(&qoes),
+                multiplier,
+            });
+            for s in &samples {
+                features.push(policy_features(&s.config, run_scenario.traffic, &self.sla));
+                targets.push(s.qoe);
+            }
+            observations.extend(samples);
+
+            // --- retrain the QoE surrogate -------------------------------
+            qoe_model.fit_epochs(&features, &targets, cfg.train_epochs_per_iter, &mut rng);
+            fitted = true;
+        }
+
+        let best = self
+            .best_of(&observations)
+            .expect("stage 2 evaluated at least one configuration");
+        Stage2Result {
+            best_config: best.config,
+            best_usage: best.usage,
+            best_qoe: best.qoe,
+            multiplier,
+            history,
+            observations,
+            qoe_model: Some(qoe_model),
+        }
+    }
+
+    /// GP-EI/PI/UCB baselines over the scalarised objective.
+    fn run_gp_acquisition<E: Environment>(
+        &self,
+        env: &E,
+        scenario: &Scenario,
+        seed: u64,
+        acquisition: Acquisition,
+    ) -> Stage2Result {
+        let cfg = &self.config;
+        let mut rng: Rng64 = seeded_rng(seed);
+        let space = Self::config_space();
+        let mut model = PolicyModel::new(SurrogateKind::Gp, SliceConfig::DIM, cfg.bnn, &mut rng);
+
+        let mut observations: Vec<QoeSample> = Vec::new();
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        let mut history = Vec::with_capacity(cfg.iterations);
+        let run_scenario = scenario.with_duration(cfg.duration_s);
+
+        let scalarise = |sample: &QoeSample| -> f64 {
+            sample.usage
+                + cfg.scalarisation_penalty * (self.sla.qoe_target - sample.qoe).max(0.0)
+        };
+
+        for iteration in 0..cfg.iterations {
+            let proposals: Vec<SliceConfig> = if iteration < cfg.warmup || xs.is_empty() {
+                (0..cfg.parallel)
+                    .map(|_| SliceConfig::from_vec(&space.sample(&mut rng)))
+                    .collect()
+            } else {
+                let best_y = ys.iter().copied().fold(f64::INFINITY, f64::min);
+                (0..cfg.parallel)
+                    .map(|_| {
+                        let candidates = space.sample_n(cfg.candidates, &mut rng);
+                        let mut best_idx = 0;
+                        let mut best_score = f64::NEG_INFINITY;
+                        for (i, c) in candidates.iter().enumerate() {
+                            let unit = space.normalize(c);
+                            let (mean, std) = model.predict(&unit, &mut rng);
+                            let score =
+                                acquisition.score(mean, std, best_y, iteration + 1, &mut rng);
+                            if score > best_score {
+                                best_score = score;
+                                best_idx = i;
+                            }
+                        }
+                        SliceConfig::from_vec(&candidates[best_idx])
+                    })
+                    .collect()
+            };
+
+            let iteration_seed = derive_seed(seed, 9000 + iteration as u64);
+            let samples = query_parallel(env, &proposals, &run_scenario, &self.sla, iteration_seed);
+
+            let usages: Vec<f64> = samples.iter().map(|s| s.usage).collect();
+            let qoes: Vec<f64> = samples.iter().map(|s| s.qoe).collect();
+            history.push(Stage2Iteration {
+                iteration,
+                avg_usage: stats::mean(&usages),
+                avg_qoe: stats::mean(&qoes),
+                multiplier: 0.0,
+            });
+            for s in &samples {
+                xs.push(space.normalize(&s.config.to_vec()));
+                ys.push(scalarise(s));
+            }
+            observations.extend(samples);
+            model.fit(&xs, &ys, 1, &mut rng);
+        }
+
+        let best = self
+            .best_of(&observations)
+            .expect("stage 2 evaluated at least one configuration");
+        Stage2Result {
+            best_config: best.config,
+            best_usage: best.usage,
+            best_qoe: best.qoe,
+            multiplier: 0.0,
+            history,
+            observations,
+            qoe_model: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::SimulatorEnv;
+    use atlas_netsim::Simulator;
+
+    fn tiny_config(strategy: OfflineStrategy) -> Stage2Config {
+        Stage2Config {
+            iterations: 14,
+            warmup: 5,
+            parallel: 2,
+            candidates: 300,
+            duration_s: 8.0,
+            strategy,
+            bnn: BnnConfig {
+                hidden: [16, 16, 0, 0],
+                epochs: 10,
+                ..BnnConfig::default()
+            },
+            train_epochs_per_iter: 3,
+            ..Stage2Config::default()
+        }
+    }
+
+    fn scenario() -> Scenario {
+        Scenario::default_with_seed(1).with_duration(8.0)
+    }
+
+    #[test]
+    fn best_of_prefers_cheapest_feasible_sample() {
+        let trainer = OfflineTrainer::new(Stage2Config::default(), Sla::paper_default());
+        let mk = |usage: f64, qoe: f64| QoeSample {
+            config: SliceConfig::default_generous(),
+            usage,
+            qoe,
+            mean_latency_ms: 100.0,
+        };
+        let samples = vec![mk(0.5, 0.95), mk(0.2, 0.92), mk(0.1, 0.5)];
+        let best = trainer.best_of(&samples).unwrap();
+        assert_eq!(best.usage, 0.2);
+        // With no feasible sample the highest QoE wins.
+        let infeasible = vec![mk(0.5, 0.4), mk(0.2, 0.7)];
+        assert_eq!(trainer.best_of(&infeasible).unwrap().qoe, 0.7);
+        assert!(trainer.best_of(&[]).is_none());
+    }
+
+    #[test]
+    fn parallel_thompson_training_finds_a_feasible_cheap_config() {
+        let env = SimulatorEnv::new(Simulator::with_original_params());
+        let trainer = OfflineTrainer::new(
+            tiny_config(OfflineStrategy::ParallelThompson),
+            Sla::paper_default(),
+        );
+        let result = trainer.run(&env, &scenario(), 3);
+        assert_eq!(result.history.len(), 14);
+        assert_eq!(result.observations.len(), 28);
+        assert!(result.qoe_model.is_some());
+        assert!(result.best_usage > 0.0 && result.best_usage < 1.0);
+        // The best configuration should satisfy the SLA in the simulator
+        // (the search space contains plenty of feasible configurations).
+        assert!(
+            result.best_qoe >= 0.85,
+            "best config should be near-feasible, qoe {}",
+            result.best_qoe
+        );
+        // It should not be the most expensive possible configuration.
+        assert!(result.best_usage < 0.8, "usage {}", result.best_usage);
+    }
+
+    #[test]
+    fn multiplier_reacts_to_constraint_violations() {
+        let env = SimulatorEnv::new(Simulator::with_original_params());
+        // An extremely strict SLA no configuration can satisfy forces the
+        // multiplier upward.
+        let strict = Sla::new(20.0, 0.99);
+        let trainer = OfflineTrainer::new(tiny_config(OfflineStrategy::ParallelThompson), strict);
+        let result = trainer.run(&env, &scenario(), 5);
+        assert!(
+            result.multiplier > 0.05,
+            "multiplier {} should grow under persistent violations",
+            result.multiplier
+        );
+        // A very loose SLA keeps the multiplier at (or near) zero.
+        let loose = Sla::new(5000.0, 0.1);
+        let trainer = OfflineTrainer::new(tiny_config(OfflineStrategy::ParallelThompson), loose);
+        let result = trainer.run(&env, &scenario(), 6);
+        assert!(result.multiplier < 0.05, "multiplier {}", result.multiplier);
+    }
+
+    #[test]
+    fn gp_acquisition_strategy_also_produces_a_result() {
+        let env = SimulatorEnv::new(Simulator::with_original_params());
+        let trainer = OfflineTrainer::new(
+            tiny_config(OfflineStrategy::GpAcquisition(Acquisition::ExpectedImprovement)),
+            Sla::paper_default(),
+        );
+        let result = trainer.run(&env, &scenario(), 7);
+        assert_eq!(result.history.len(), 14);
+        assert!(result.qoe_model.is_none());
+        assert!(result.best_usage > 0.0);
+        assert!((0.0..=1.0).contains(&result.best_qoe));
+    }
+}

@@ -1,0 +1,336 @@
+//! Exact Gaussian-process regression.
+//!
+//! Mirrors the subset of scikit-learn's `GaussianProcessRegressor` the
+//! paper relies on: a Matérn-ν2.5 kernel, a white-noise term, target
+//! normalisation (`normalize_y=True`) and maximum-marginal-likelihood
+//! hyper-parameter refinement over a small length-scale/variance grid.
+
+use crate::kernel::Kernel;
+use atlas_math::linalg::Matrix;
+use atlas_math::{MathError, Result};
+
+/// Configuration of the GP regressor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpConfig {
+    /// Covariance kernel (hyper-parameters act as the starting point for
+    /// refinement).
+    pub kernel: Kernel,
+    /// Observation noise variance added to the kernel diagonal.
+    pub noise_variance: f64,
+    /// Whether to z-score the targets before fitting (the paper enables
+    /// this).
+    pub normalize_y: bool,
+    /// Whether to refine the kernel hyper-parameters by maximising the log
+    /// marginal likelihood over a small grid around the current values.
+    pub optimize_hyperparameters: bool,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        Self {
+            kernel: Kernel::default_matern(),
+            noise_variance: 1e-4,
+            normalize_y: true,
+            optimize_hyperparameters: true,
+        }
+    }
+}
+
+/// A fitted (or empty) exact Gaussian-process regressor.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    config: GpConfig,
+    kernel: Kernel,
+    train_x: Vec<Vec<f64>>,
+    /// Normalised training targets.
+    train_y: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+    /// Cholesky factor of `K + σ²I`.
+    chol: Option<Matrix>,
+    /// `(K + σ²I)⁻¹ y` (in normalised target space).
+    alpha: Vec<f64>,
+}
+
+impl GaussianProcess {
+    /// Creates an unfitted GP.
+    pub fn new(config: GpConfig) -> Self {
+        Self {
+            kernel: config.kernel,
+            config,
+            train_x: Vec::new(),
+            train_y: Vec::new(),
+            y_mean: 0.0,
+            y_std: 1.0,
+            chol: None,
+            alpha: Vec::new(),
+        }
+    }
+
+    /// Creates a GP with the paper's default configuration.
+    pub fn default_matern() -> Self {
+        Self::new(GpConfig::default())
+    }
+
+    /// Number of training observations.
+    pub fn len(&self) -> usize {
+        self.train_x.len()
+    }
+
+    /// Whether the GP has no training data.
+    pub fn is_empty(&self) -> bool {
+        self.train_x.is_empty()
+    }
+
+    /// The kernel currently in use (after any hyper-parameter refinement).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Fits the GP to the given observations, replacing previous data.
+    pub fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<()> {
+        if inputs.len() != targets.len() {
+            return Err(MathError::ShapeMismatch {
+                op: "GaussianProcess::fit",
+                lhs: (inputs.len(), 1),
+                rhs: (targets.len(), 1),
+            });
+        }
+        if inputs.is_empty() {
+            return Err(MathError::EmptyInput("GaussianProcess::fit"));
+        }
+        self.train_x = inputs.to_vec();
+        let (y_mean, y_std) = if self.config.normalize_y {
+            let mean = atlas_math::stats::mean(targets);
+            let std = atlas_math::stats::std_dev(targets).max(1e-9);
+            (mean, std)
+        } else {
+            (0.0, 1.0)
+        };
+        self.y_mean = y_mean;
+        self.y_std = y_std;
+        self.train_y = targets.iter().map(|y| (y - y_mean) / y_std).collect();
+
+        if self.config.optimize_hyperparameters {
+            self.kernel = self.select_hyperparameters()?;
+        } else {
+            self.kernel = self.config.kernel;
+        }
+        let (chol, alpha) = self.factorise(&self.kernel)?;
+        self.chol = Some(chol);
+        self.alpha = alpha;
+        Ok(())
+    }
+
+    /// Adds one observation and refits (convenient for the online loop
+    /// where observations arrive one at a time).
+    pub fn add_observation(&mut self, input: Vec<f64>, target: f64) -> Result<()> {
+        let mut xs = self.train_x.clone();
+        let mut ys: Vec<f64> = self
+            .train_y
+            .iter()
+            .map(|y| y * self.y_std + self.y_mean)
+            .collect();
+        xs.push(input);
+        ys.push(target);
+        self.fit(&xs, &ys)
+    }
+
+    fn factorise(&self, kernel: &Kernel) -> Result<(Matrix, Vec<f64>)> {
+        let n = self.train_x.len();
+        let mut k = Matrix::from_fn(n, n, |i, j| kernel.eval(&self.train_x[i], &self.train_x[j]));
+        k.add_diagonal(self.config.noise_variance + 1e-8);
+        let chol = k.cholesky()?;
+        let alpha = chol.cholesky_solve(&self.train_y)?;
+        Ok((chol, alpha))
+    }
+
+    /// Log marginal likelihood of the (normalised) training data under the
+    /// given kernel.
+    fn log_marginal_likelihood(&self, kernel: &Kernel) -> Result<f64> {
+        let (chol, alpha) = self.factorise(kernel)?;
+        let n = self.train_y.len() as f64;
+        let data_fit: f64 = self
+            .train_y
+            .iter()
+            .zip(alpha.iter())
+            .map(|(y, a)| y * a)
+            .sum();
+        let log_det: f64 = chol.diagonal().iter().map(|d| d.ln()).sum::<f64>() * 2.0;
+        Ok(-0.5 * data_fit - 0.5 * log_det - 0.5 * n * (2.0 * std::f64::consts::PI).ln())
+    }
+
+    /// Grid refinement of length scale and variance by maximising the log
+    /// marginal likelihood (a lightweight stand-in for scikit-learn's
+    /// L-BFGS restarts, adequate at the data sizes Atlas uses online).
+    fn select_hyperparameters(&self) -> Result<Kernel> {
+        let base = self.config.kernel;
+        let mut best = base;
+        let mut best_lml = f64::NEG_INFINITY;
+        for &ls_mult in &[0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+            for &var in &[0.25, 0.5, 1.0, 2.0, 4.0] {
+                let candidate = base
+                    .with_length_scale(base.length_scale() * ls_mult)
+                    .with_variance(var);
+                match self.log_marginal_likelihood(&candidate) {
+                    Ok(lml) if lml > best_lml => {
+                        best_lml = lml;
+                        best = candidate;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// Predictive mean and standard deviation at `x` (in original target
+    /// units). An unfitted GP returns the prior `(0, √variance)` scaled by
+    /// the (identity) normalisation.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        if self.train_x.is_empty() || self.chol.is_none() {
+            return (self.y_mean, self.kernel.variance().sqrt() * self.y_std);
+        }
+        let chol = self.chol.as_ref().expect("fitted GP has a Cholesky factor");
+        let k_star: Vec<f64> = self
+            .train_x
+            .iter()
+            .map(|xi| self.kernel.eval(x, xi))
+            .collect();
+        let mean_norm: f64 = k_star
+            .iter()
+            .zip(self.alpha.iter())
+            .map(|(k, a)| k * a)
+            .sum();
+        // v = L⁻¹ k*, var = k(x,x) − vᵀv.
+        let v = chol
+            .solve_lower_triangular(&k_star)
+            .expect("triangular solve on fitted GP");
+        let prior_var = self.kernel.eval(x, x) + self.config.noise_variance;
+        let var_norm = (prior_var - v.iter().map(|vi| vi * vi).sum::<f64>()).max(1e-12);
+        (
+            mean_norm * self.y_std + self.y_mean,
+            var_norm.sqrt() * self.y_std,
+        )
+    }
+
+    /// Predicts a batch of points.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train_sine(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64 * 6.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0].sin() * 10.0 + 50.0).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let (xs, ys) = train_sine(25);
+        let mut gp = GaussianProcess::default_matern();
+        gp.fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            let (mean, std) = gp.predict(x);
+            assert!((mean - y).abs() < 0.5, "mean {mean} vs target {y}");
+            assert!(std < 1.5, "std {std} should be small at a training point");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let (xs, ys) = train_sine(20);
+        let mut gp = GaussianProcess::default_matern();
+        gp.fit(&xs, &ys).unwrap();
+        let (_, std_in) = gp.predict(&[3.0]);
+        let (_, std_out) = gp.predict(&[30.0]);
+        assert!(std_out > std_in * 2.0, "out {std_out} vs in {std_in}");
+    }
+
+    #[test]
+    fn predictions_are_sensible_between_points() {
+        let (xs, ys) = train_sine(40);
+        let mut gp = GaussianProcess::default_matern();
+        gp.fit(&xs, &ys).unwrap();
+        let x = 2.05; // between grid points
+        let (mean, _) = gp.predict(&[x]);
+        assert!((mean - (x.sin() * 10.0 + 50.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn unfitted_gp_returns_prior() {
+        let gp = GaussianProcess::default_matern();
+        let (mean, std) = gp.predict(&[1.0, 2.0]);
+        assert_eq!(mean, 0.0);
+        assert!(std > 0.0);
+        assert!(gp.is_empty());
+    }
+
+    #[test]
+    fn add_observation_refits_incrementally() {
+        let mut gp = GaussianProcess::default_matern();
+        gp.add_observation(vec![0.0], 1.0).unwrap();
+        gp.add_observation(vec![1.0], 3.0).unwrap();
+        gp.add_observation(vec![2.0], 5.0).unwrap();
+        assert_eq!(gp.len(), 3);
+        let (mean, _) = gp.predict(&[1.0]);
+        assert!((mean - 3.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn normalisation_handles_large_offsets() {
+        // Targets far from zero; without normalize_y the prior mean of 0
+        // would badly bias the extrapolation.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1000.0 + x[0]).collect();
+        let mut gp = GaussianProcess::default_matern();
+        gp.fit(&xs, &ys).unwrap();
+        let (mean, _) = gp.predict(&[4.5]);
+        assert!((mean - 1004.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn mismatched_or_empty_inputs_error() {
+        let mut gp = GaussianProcess::default_matern();
+        assert!(gp.fit(&[vec![1.0]], &[1.0, 2.0]).is_err());
+        assert!(gp.fit(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_the_factorisation() {
+        let xs = vec![vec![1.0], vec![1.0], vec![2.0]];
+        let ys = vec![5.0, 5.1, 7.0];
+        let mut gp = GaussianProcess::default_matern();
+        gp.fit(&xs, &ys).unwrap();
+        let (mean, _) = gp.predict(&[1.0]);
+        assert!((mean - 5.05).abs() < 0.5);
+    }
+
+    #[test]
+    fn hyperparameter_refinement_improves_fit_on_smooth_data() {
+        let (xs, ys) = train_sine(30);
+        let mut fixed = GaussianProcess::new(GpConfig {
+            optimize_hyperparameters: false,
+            kernel: Kernel::default_matern().with_length_scale(0.01),
+            ..GpConfig::default()
+        });
+        fixed.fit(&xs, &ys).unwrap();
+        let mut tuned = GaussianProcess::new(GpConfig {
+            kernel: Kernel::default_matern().with_length_scale(0.01),
+            ..GpConfig::default()
+        });
+        tuned.fit(&xs, &ys).unwrap();
+        // Evaluate midway between training points: the tuned GP should
+        // generalise better than the absurdly short fixed length scale.
+        let x = [2.05];
+        let truth = 2.05f64.sin() * 10.0 + 50.0;
+        let err_fixed = (fixed.predict(&x).0 - truth).abs();
+        let err_tuned = (tuned.predict(&x).0 - truth).abs();
+        assert!(err_tuned <= err_fixed + 1e-9);
+    }
+}

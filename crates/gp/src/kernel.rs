@@ -1,0 +1,192 @@
+//! Covariance kernels for Gaussian-process regression.
+//!
+//! The paper's online stage uses scikit-learn's `GaussianProcessRegressor`
+//! with a Matérn kernel (ν = 2.5); RBF and Matérn 3/2 are provided as well
+//! for the ablation experiments and the GP-based stage-1 baseline.
+
+use atlas_math::linalg::l2_distance;
+
+/// A stationary covariance kernel over `R^d`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Squared-exponential (radial basis function) kernel.
+    Rbf {
+        /// Length scale.
+        length_scale: f64,
+        /// Signal variance (output scale squared).
+        variance: f64,
+    },
+    /// Matérn kernel with ν = 3/2.
+    Matern32 {
+        /// Length scale.
+        length_scale: f64,
+        /// Signal variance.
+        variance: f64,
+    },
+    /// Matérn kernel with ν = 5/2 (the paper's default).
+    Matern52 {
+        /// Length scale.
+        length_scale: f64,
+        /// Signal variance.
+        variance: f64,
+    },
+}
+
+impl Kernel {
+    /// The paper's default kernel: Matérn ν = 2.5 with unit variance and
+    /// unit length scale (hyper-parameters are refined during fitting).
+    pub fn default_matern() -> Self {
+        Kernel::Matern52 {
+            length_scale: 1.0,
+            variance: 1.0,
+        }
+    }
+
+    /// Evaluates the kernel between two points.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let r = l2_distance(a, b);
+        match *self {
+            Kernel::Rbf {
+                length_scale,
+                variance,
+            } => variance * (-0.5 * (r / length_scale).powi(2)).exp(),
+            Kernel::Matern32 {
+                length_scale,
+                variance,
+            } => {
+                let s = 3f64.sqrt() * r / length_scale;
+                variance * (1.0 + s) * (-s).exp()
+            }
+            Kernel::Matern52 {
+                length_scale,
+                variance,
+            } => {
+                let s = 5f64.sqrt() * r / length_scale;
+                variance * (1.0 + s + s * s / 3.0) * (-s).exp()
+            }
+        }
+    }
+
+    /// Returns a copy with a different length scale.
+    pub fn with_length_scale(&self, length_scale: f64) -> Self {
+        let length_scale = length_scale.max(1e-6);
+        match *self {
+            Kernel::Rbf { variance, .. } => Kernel::Rbf {
+                length_scale,
+                variance,
+            },
+            Kernel::Matern32 { variance, .. } => Kernel::Matern32 {
+                length_scale,
+                variance,
+            },
+            Kernel::Matern52 { variance, .. } => Kernel::Matern52 {
+                length_scale,
+                variance,
+            },
+        }
+    }
+
+    /// Returns a copy with a different signal variance.
+    pub fn with_variance(&self, variance: f64) -> Self {
+        let variance = variance.max(1e-12);
+        match *self {
+            Kernel::Rbf { length_scale, .. } => Kernel::Rbf {
+                length_scale,
+                variance,
+            },
+            Kernel::Matern32 { length_scale, .. } => Kernel::Matern32 {
+                length_scale,
+                variance,
+            },
+            Kernel::Matern52 { length_scale, .. } => Kernel::Matern52 {
+                length_scale,
+                variance,
+            },
+        }
+    }
+
+    /// Current length scale.
+    pub fn length_scale(&self) -> f64 {
+        match *self {
+            Kernel::Rbf { length_scale, .. }
+            | Kernel::Matern32 { length_scale, .. }
+            | Kernel::Matern52 { length_scale, .. } => length_scale,
+        }
+    }
+
+    /// Current signal variance.
+    pub fn variance(&self) -> f64 {
+        match *self {
+            Kernel::Rbf { variance, .. }
+            | Kernel::Matern32 { variance, .. }
+            | Kernel::Matern52 { variance, .. } => variance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernels() -> Vec<Kernel> {
+        vec![
+            Kernel::Rbf {
+                length_scale: 1.0,
+                variance: 2.0,
+            },
+            Kernel::Matern32 {
+                length_scale: 1.0,
+                variance: 2.0,
+            },
+            Kernel::Matern52 {
+                length_scale: 1.0,
+                variance: 2.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn kernel_at_zero_distance_equals_variance() {
+        for k in kernels() {
+            let x = [0.3, -0.7];
+            assert!((k.eval(&x, &x) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kernel_decays_with_distance() {
+        for k in kernels() {
+            let a = [0.0, 0.0];
+            let near = [0.1, 0.0];
+            let far = [3.0, 0.0];
+            assert!(k.eval(&a, &near) > k.eval(&a, &far));
+            assert!(k.eval(&a, &far) > 0.0);
+            assert!(k.eval(&a, &far) < 2.0);
+        }
+    }
+
+    #[test]
+    fn kernel_is_symmetric() {
+        for k in kernels() {
+            let a = [0.1, 0.9, -2.0];
+            let b = [1.4, -0.3, 0.2];
+            assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn longer_length_scale_means_slower_decay() {
+        let short = Kernel::default_matern().with_length_scale(0.5);
+        let long = Kernel::default_matern().with_length_scale(5.0);
+        let a = [0.0];
+        let b = [1.0];
+        assert!(long.eval(&a, &b) > short.eval(&a, &b));
+    }
+
+    #[test]
+    fn setters_clamp_invalid_values() {
+        let k = Kernel::default_matern().with_length_scale(-1.0).with_variance(-2.0);
+        assert!(k.length_scale() > 0.0);
+        assert!(k.variance() > 0.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! # atlas-gp
+//!
+//! Exact Gaussian-process regression for the Atlas reproduction: Matérn and
+//! RBF kernels, Cholesky-based fitting, target normalisation and
+//! marginal-likelihood hyper-parameter refinement — the Rust counterpart of
+//! the scikit-learn `GaussianProcessRegressor` (Matérn ν = 2.5,
+//! `normalize_y=True`) the paper uses in its online learning stage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gpr;
+pub mod kernel;
+
+pub use gpr::{GaussianProcess, GpConfig};
+pub use kernel::Kernel;

@@ -1,0 +1,334 @@
+//! Probability distributions with explicit, seedable sampling.
+//!
+//! Implemented from first principles on top of `rand`'s uniform source:
+//! Box–Muller for the Normal, Marsaglia–Tsang for the Gamma, exponentiated
+//! Normal for the LogNormal. The standard-normal pdf/cdf are also exposed
+//! because the expected-improvement and probability-of-improvement
+//! acquisition functions need them.
+
+use crate::{MathError, Result};
+use rand::Rng;
+
+/// Standard normal probability density function.
+pub fn std_normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution function.
+///
+/// Uses the Abramowitz–Stegun 7.1.26 erf approximation (max absolute error
+/// ≈ 1.5e-7), which is ample for acquisition-function evaluation.
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz–Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution. `std_dev` must be non-negative and
+    /// finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self> {
+        if !(std_dev.is_finite() && std_dev >= 0.0 && mean.is_finite()) {
+            return Err(MathError::InvalidParameter("Normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The standard normal N(0, 1).
+    pub fn standard() -> Self {
+        Self {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+    }
+
+    /// Distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Distribution standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one sample using the Box–Muller transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal_sample(rng)
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if self.std_dev == 0.0 {
+            return if x == self.mean { f64::INFINITY } else { 0.0 };
+        }
+        std_normal_pdf((x - self.mean) / self.std_dev) / self.std_dev
+    }
+
+    /// Cumulative distribution at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.std_dev == 0.0 {
+            return if x >= self.mean { 1.0 } else { 0.0 };
+        }
+        std_normal_cdf((x - self.mean) / self.std_dev)
+    }
+}
+
+/// Draws one standard-normal sample via Box–Muller.
+pub fn standard_normal_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would produce -inf.
+    let u1: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Gamma distribution parameterised by shape `k` and scale `θ`.
+///
+/// Used to draw the exploration hyper-parameter `β_t ~ Γ(κ_t, ρ)` of the
+/// clipped randomised GP-UCB acquisition function (Sec. 6.2 / Eq. 13).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma distribution. Both parameters must be positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self> {
+        if !(shape > 0.0 && scale > 0.0 && shape.is_finite() && scale.is_finite()) {
+            return Err(MathError::InvalidParameter("Gamma requires shape > 0 and scale > 0"));
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// Distribution mean (`k·θ`).
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// Draws one sample using the Marsaglia–Tsang method (with the standard
+    /// boosting trick for shape < 1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape < 1.0 {
+            // X ~ Gamma(k+1), U^(1/k) boost.
+            let boosted = Gamma {
+                shape: self.shape + 1.0,
+                scale: self.scale,
+            };
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            return boosted.sample(rng) * u.powf(1.0 / self.shape);
+        }
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal_sample(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.random();
+            if u < 1.0 - 0.0331 * x.powi(4)
+                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
+            {
+                return d * v * self.scale;
+            }
+        }
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+///
+/// Used by the simulator for heavy-tailed compute and loading times in the
+/// emulated real network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the parameters of the underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !(sigma.is_finite() && sigma >= 0.0 && mu.is_finite()) {
+            return Err(MathError::InvalidParameter("LogNormal requires finite mu and sigma >= 0"));
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Creates a log-normal whose *arithmetic* mean and standard deviation
+    /// match the given values. Handy when matching measured statistics
+    /// (e.g. "81 ms mean, 35 ms std" compute times from the paper).
+    pub fn from_mean_std(mean: f64, std_dev: f64) -> Result<Self> {
+        if !(mean > 0.0 && std_dev >= 0.0) {
+            return Err(MathError::InvalidParameter("LogNormal::from_mean_std requires mean > 0 and std_dev >= 0"));
+        }
+        let variance_ratio = (std_dev / mean).powi(2);
+        let sigma2 = (1.0 + variance_ratio).ln();
+        let mu = mean.ln() - 0.5 * sigma2;
+        Ok(Self {
+            mu,
+            sigma: sigma2.sqrt(),
+        })
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal_sample(rng)).exp()
+    }
+
+    /// Arithmetic mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+}
+
+/// Continuous uniform distribution on `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution; requires `low <= high`.
+    pub fn new(low: f64, high: f64) -> Result<Self> {
+        if !(low <= high && low.is_finite() && high.is_finite()) {
+            return Err(MathError::InvalidParameter("Uniform requires finite low <= high"));
+        }
+        Ok(Self { low, high })
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.low == self.high {
+            return self.low;
+        }
+        self.low + (self.high - self.low) * rng.random::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use crate::stats;
+
+    #[test]
+    fn std_normal_cdf_reference_points() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((std_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((std_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(std_normal_cdf(8.0) > 0.9999999);
+        assert!(std_normal_cdf(-8.0) < 1e-7);
+    }
+
+    #[test]
+    fn std_normal_pdf_is_symmetric_and_peaks_at_zero() {
+        assert!((std_normal_pdf(0.0) - 0.398_942_280).abs() < 1e-6);
+        assert!((std_normal_pdf(1.3) - std_normal_pdf(-1.3)).abs() < 1e-12);
+        assert!(std_normal_pdf(0.0) > std_normal_pdf(0.5));
+    }
+
+    #[test]
+    fn normal_sampling_matches_moments() {
+        let mut rng = seeded_rng(1);
+        let dist = Normal::new(3.0, 2.0).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| dist.sample(&mut rng)).collect();
+        assert!((stats::mean(&samples) - 3.0).abs() < 0.05);
+        assert!((stats::std_dev(&samples) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn normal_rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn normal_cdf_pdf_consistency() {
+        let d = Normal::new(10.0, 5.0).unwrap();
+        assert!((d.cdf(10.0) - 0.5).abs() < 1e-7);
+        assert!(d.cdf(25.0) > 0.99);
+        assert!(d.pdf(10.0) > d.pdf(20.0));
+    }
+
+    #[test]
+    fn degenerate_normal_is_a_point_mass() {
+        let d = Normal::new(2.0, 0.0).unwrap();
+        let mut rng = seeded_rng(3);
+        assert_eq!(d.sample(&mut rng), 2.0);
+        assert_eq!(d.cdf(1.9), 0.0);
+        assert_eq!(d.cdf(2.0), 1.0);
+    }
+
+    #[test]
+    fn gamma_sampling_matches_mean() {
+        let mut rng = seeded_rng(2);
+        for &(shape, scale) in &[(0.5, 2.0), (2.0, 3.0), (9.0, 0.5)] {
+            let dist = Gamma::new(shape, scale).unwrap();
+            let samples: Vec<f64> = (0..30_000).map(|_| dist.sample(&mut rng)).collect();
+            let expected = shape * scale;
+            assert!(
+                (stats::mean(&samples) - expected).abs() < 0.08 * expected.max(1.0),
+                "shape {shape} scale {scale}: mean {} vs {}",
+                stats::mean(&samples),
+                expected
+            );
+            assert!(samples.iter().all(|v| *v > 0.0));
+        }
+    }
+
+    #[test]
+    fn gamma_rejects_bad_parameters() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+        assert!(Gamma::new(-1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_from_mean_std_roundtrips() {
+        let mut rng = seeded_rng(4);
+        let dist = LogNormal::from_mean_std(81.0, 35.0).unwrap();
+        assert!((dist.mean() - 81.0).abs() < 1e-9);
+        let samples: Vec<f64> = (0..40_000).map(|_| dist.sample(&mut rng)).collect();
+        assert!((stats::mean(&samples) - 81.0).abs() < 1.5);
+        assert!((stats::std_dev(&samples) - 35.0).abs() < 2.5);
+        assert!(samples.iter().all(|v| *v > 0.0));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = seeded_rng(5);
+        let dist = Uniform::new(-2.0, 7.0).unwrap();
+        for _ in 0..1000 {
+            let v = dist.sample(&mut rng);
+            assert!((-2.0..7.0).contains(&v));
+        }
+        let point = Uniform::new(3.0, 3.0).unwrap();
+        assert_eq!(point.sample(&mut rng), 3.0);
+        assert!(Uniform::new(2.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! # atlas-math
+//!
+//! Numerical building blocks for the Atlas network-slicing reproduction:
+//!
+//! * [`linalg`] — dense matrices, Cholesky factorisation and triangular
+//!   solves (used by the Gaussian-process surrogate and the Bayesian neural
+//!   network).
+//! * [`dist`] — probability distributions (Normal, Gamma, LogNormal,
+//!   Uniform) with explicit, seedable sampling.
+//! * [`stats`] — descriptive statistics, histograms, empirical CDFs and the
+//!   empirical KL-divergence used as the sim-to-real discrepancy metric
+//!   (Eq. 1 of the paper).
+//! * [`rng`] — deterministic, splittable random-number-generator helpers so
+//!   every experiment in the repository is reproducible.
+//!
+//! The crate is intentionally dependency-light (only `rand`) and contains no
+//! `unsafe` code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod linalg;
+pub mod rng;
+pub mod stats;
+
+pub use dist::{Gamma, LogNormal, Normal, Uniform};
+pub use linalg::Matrix;
+pub use rng::{derive_seed, seeded_rng, Rng64};
+pub use stats::{empirical_cdf, kl_divergence, Histogram, Summary};
+
+/// Errors produced by numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathError {
+    /// A matrix operation received operands with incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the failed operation.
+        op: &'static str,
+        /// Shape of the left operand (rows, cols).
+        lhs: (usize, usize),
+        /// Shape of the right operand (rows, cols).
+        rhs: (usize, usize),
+    },
+    /// Cholesky factorisation failed because the matrix is not positive
+    /// definite (within numerical jitter).
+    NotPositiveDefinite,
+    /// A routine received an empty sample collection.
+    EmptyInput(&'static str),
+    /// A distribution was constructed with an invalid parameter.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for MathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MathError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MathError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            MathError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            MathError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+/// Convenience result alias for fallible numerical routines.
+pub type Result<T> = std::result::Result<T, MathError>;

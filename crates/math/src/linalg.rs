@@ -1,0 +1,495 @@
+//! Dense linear algebra.
+//!
+//! The Gaussian-process surrogate needs Cholesky factorisations and
+//! triangular solves on kernel matrices of a few hundred rows; the Bayesian
+//! neural network needs batched matrix multiplication. A simple row-major
+//! `Vec<f64>` matrix is more than fast enough for those sizes and keeps the
+//! crate free of heavyweight dependencies.
+
+use crate::{MathError, Result};
+
+/// A dense, row-major matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix filled with a constant value.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a closure over `(row, col)` indices.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// Returns a [`MathError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MathError::ShapeMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Builds a column vector (n×1 matrix) from a slice.
+    pub fn column(values: &[f64]) -> Self {
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Builds a matrix whose rows are the given slices. All rows must have
+    /// the same length; panics otherwise (programming error).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have equal length"
+        );
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow one row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns a copy of column `c`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Matrix multiplication `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(MathError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let lhs_row = k * rhs.cols;
+                let out_row = i * rhs.cols;
+                for j in 0..rhs.cols {
+                    out.data[out_row + j] += a * rhs.data[lhs_row + j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// Adds `v` to every diagonal element (useful for jitter/noise terms).
+    pub fn add_diagonal(&mut self, v: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += v;
+        }
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(MathError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| f(*a, *b))
+                .collect(),
+        })
+    }
+
+    /// Cholesky factorisation of a symmetric positive-definite matrix.
+    ///
+    /// Returns the lower-triangular factor `L` such that `L * Lᵀ = self`.
+    /// A small amount of jitter may be added by the caller beforehand via
+    /// [`Matrix::add_diagonal`] if the matrix is only positive
+    /// semi-definite.
+    pub fn cholesky(&self) -> Result<Matrix> {
+        if self.rows != self.cols {
+            return Err(MathError::ShapeMismatch {
+                op: "cholesky",
+                lhs: self.shape(),
+                rhs: self.shape(),
+            });
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(MathError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `L * x = b` where `self` is lower triangular.
+    pub fn solve_lower_triangular(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.rows;
+        if self.cols != n || b.len() != n {
+            return Err(MathError::ShapeMismatch {
+                op: "solve_lower_triangular",
+                lhs: self.shape(),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self[(i, j)] * x[j];
+            }
+            x[i] = sum / self[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `Lᵀ * x = b` where `self` is lower triangular.
+    pub fn solve_upper_from_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.rows;
+        if self.cols != n || b.len() != n {
+            return Err(MathError::ShapeMismatch {
+                op: "solve_upper_from_lower",
+                lhs: self.shape(),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for j in i + 1..n {
+                sum -= self[(j, i)] * x[j];
+            }
+            x[i] = sum / self[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A * x = b` given the Cholesky factor `L` of `A` (i.e. `self`
+    /// is `L`). Performs the usual forward then backward substitution.
+    pub fn cholesky_solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.solve_lower_triangular(b)?;
+        self.solve_upper_from_lower(&y)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Returns the diagonal as a vector.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Dot product of two equally sized slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm of a slice.
+pub fn l2_norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Euclidean distance between two equally sized slices.
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// L1 norm of a slice.
+pub fn l1_norm(a: &[f64]) -> f64 {
+    a.iter().map(|v| v.abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (2, 2));
+        assert_close(c[(0, 0)], 58.0, 1e-12);
+        assert_close(c[(0, 1)], 64.0, 1e-12);
+        assert_close(c[(1, 0)], 139.0, 1e-12);
+        assert_close(c[(1, 1)], 154.0, 1e-12);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(MathError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn cholesky_recomposes() {
+        // A symmetric positive-definite matrix.
+        let a = Matrix::from_vec(3, 3, vec![4.0, 2.0, 0.6, 2.0, 3.0, 0.4, 0.6, 0.4, 2.0]).unwrap();
+        let l = a.cholesky().unwrap();
+        let recomposed = l.matmul(&l.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_close(recomposed[(i, j)], a[(i, j)], 1e-10);
+            }
+        }
+        // Upper triangle of L must stay zero.
+        assert_eq!(l[(0, 1)], 0.0);
+        assert_eq!(l[(0, 2)], 0.0);
+        assert_eq!(l[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert_eq!(a.cholesky(), Err(MathError::NotPositiveDefinite));
+    }
+
+    #[test]
+    fn cholesky_solve_matches_direct_solution() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 2.0, 0.6, 2.0, 3.0, 0.4, 0.6, 0.4, 2.0]).unwrap();
+        let x_true = [1.0, -2.0, 0.5];
+        // b = A * x_true
+        let b: Vec<f64> = (0..3).map(|i| dot(a.row(i), &x_true)).collect();
+        let l = a.cholesky().unwrap();
+        let x = l.cholesky_solve(&b).unwrap();
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            assert_close(*got, *want, 1e-10);
+        }
+    }
+
+    #[test]
+    fn triangular_solves() {
+        let l = Matrix::from_vec(2, 2, vec![2.0, 0.0, 1.0, 3.0]).unwrap();
+        let x = l.solve_lower_triangular(&[4.0, 11.0]).unwrap();
+        assert_close(x[0], 2.0, 1e-12);
+        assert_close(x[1], 3.0, 1e-12);
+        let y = l.solve_upper_from_lower(&[5.0, 3.0]).unwrap();
+        // Solves L^T y = b where L^T = [[2,1],[0,3]]
+        assert_close(y[1], 1.0, 1e-12);
+        assert_close(y[0], 2.0, 1e-12);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Matrix::filled(2, 2, 3.0);
+        let b = Matrix::identity(2);
+        let c = a.add(&b).unwrap();
+        assert_close(c[(0, 0)], 4.0, 1e-12);
+        assert_close(c[(0, 1)], 3.0, 1e-12);
+        let d = c.sub(&a).unwrap();
+        assert_eq!(d, b);
+        let e = b.scale(5.0);
+        assert_close(e[(1, 1)], 5.0, 1e-12);
+    }
+
+    #[test]
+    fn add_diagonal_only_touches_diagonal() {
+        let mut a = Matrix::zeros(3, 3);
+        a.add_diagonal(2.5);
+        assert_close(a[(0, 0)], 2.5, 1e-12);
+        assert_close(a[(2, 2)], 2.5, 1e-12);
+        assert_close(a[(0, 1)], 0.0, 1e-12);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_close(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0, 1e-12);
+        assert_close(l2_norm(&[3.0, 4.0]), 5.0, 1e-12);
+        assert_close(l2_distance(&[1.0, 1.0], &[4.0, 5.0]), 5.0, 1e-12);
+        assert_close(l1_norm(&[-1.0, 2.0, -3.0]), 6.0, 1e-12);
+    }
+
+    #[test]
+    fn from_rows_and_accessors() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(1), vec![2.0, 4.0, 6.0]);
+        assert_eq!(m.diagonal(), vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+    }
+}

@@ -1,0 +1,440 @@
+//! Descriptive statistics, histograms, empirical CDFs and the empirical
+//! KL-divergence used as the sim-to-real discrepancy metric (Eq. 1 of the
+//! paper).
+
+use crate::{MathError, Result};
+
+/// Arithmetic mean of a slice. Returns 0.0 for an empty slice.
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Population variance of a slice. Returns 0.0 for fewer than two samples.
+pub fn variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / data.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(data: &[f64]) -> f64 {
+    variance(data).sqrt()
+}
+
+/// Minimum of a slice (`NaN`-free input assumed). Returns `None` if empty.
+pub fn min(data: &[f64]) -> Option<f64> {
+    data.iter().copied().reduce(f64::min)
+}
+
+/// Maximum of a slice. Returns `None` if empty.
+pub fn max(data: &[f64]) -> Option<f64> {
+    data.iter().copied().reduce(f64::max)
+}
+
+/// Linear-interpolated quantile, `q` in `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
+    if data.is_empty() {
+        return Err(MathError::EmptyInput("quantile"));
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(MathError::InvalidParameter("quantile q must be in [0, 1]"));
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(data: &[f64]) -> Result<f64> {
+    quantile(data, 0.5)
+}
+
+/// Fraction of samples less than or equal to `threshold`.
+///
+/// This is exactly the QoE definition of the paper:
+/// `QoE = Pr(latency <= Y)`.
+pub fn fraction_below(data: &[f64], threshold: f64) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().filter(|v| **v <= threshold).count() as f64 / data.len() as f64
+}
+
+/// Five-number-plus summary of a sample collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a non-empty sample collection.
+    pub fn from_samples(data: &[f64]) -> Result<Self> {
+        if data.is_empty() {
+            return Err(MathError::EmptyInput("Summary::from_samples"));
+        }
+        Ok(Self {
+            count: data.len(),
+            mean: mean(data),
+            std_dev: std_dev(data),
+            min: min(data).unwrap(),
+            p25: quantile(data, 0.25)?,
+            median: quantile(data, 0.5)?,
+            p75: quantile(data, 0.75)?,
+            p95: quantile(data, 0.95)?,
+            max: max(data).unwrap(),
+        })
+    }
+}
+
+/// A fixed-range, equal-width histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[low, high]` with `bins` equal-width bins.
+    /// Samples outside the range are clamped into the first/last bin, which
+    /// is the behaviour we want when comparing latency distributions with
+    /// long tails.
+    pub fn new(low: f64, high: f64, bins: usize) -> Result<Self> {
+        if bins == 0 || !(low < high) {
+            return Err(MathError::InvalidParameter("Histogram requires bins > 0 and low < high"));
+        }
+        Ok(Self {
+            low,
+            high,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Builds a histogram directly from samples.
+    pub fn from_samples(low: f64, high: f64, bins: usize, samples: &[f64]) -> Result<Self> {
+        let mut h = Self::new(low, high, bins)?;
+        for &s in samples {
+            h.add(s);
+        }
+        Ok(h)
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: f64) {
+        let bins = self.counts.len();
+        let width = (self.high - self.low) / bins as f64;
+        let idx = ((value - self.low) / width).floor();
+        let idx = if idx < 0.0 {
+            0
+        } else if idx as usize >= bins {
+            bins - 1
+        } else {
+            idx as usize
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of samples added.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Normalised probabilities with additive (Laplace) smoothing `alpha`.
+    ///
+    /// Smoothing keeps the KL-divergence finite when one distribution has
+    /// empty bins where the other does not — the standard treatment when
+    /// comparing empirical latency distributions.
+    pub fn probabilities(&self, alpha: f64) -> Vec<f64> {
+        let bins = self.counts.len() as f64;
+        let denom = self.total as f64 + alpha * bins;
+        self.counts
+            .iter()
+            .map(|&c| (c as f64 + alpha) / denom)
+            .collect()
+    }
+}
+
+/// KL-divergence `KL(P || Q)` between two discrete probability vectors.
+///
+/// Both vectors must have the same length and sum to ~1. Terms with
+/// `p == 0` contribute zero.
+pub fn kl_divergence_discrete(p: &[f64], q: &[f64]) -> Result<f64> {
+    if p.len() != q.len() {
+        return Err(MathError::ShapeMismatch {
+            op: "kl_divergence_discrete",
+            lhs: (p.len(), 1),
+            rhs: (q.len(), 1),
+        });
+    }
+    if p.is_empty() {
+        return Err(MathError::EmptyInput("kl_divergence_discrete"));
+    }
+    let mut kl = 0.0;
+    for (&pi, &qi) in p.iter().zip(q.iter()) {
+        if pi > 0.0 {
+            if qi <= 0.0 {
+                return Ok(f64::INFINITY);
+            }
+            kl += pi * (pi / qi).ln();
+        }
+    }
+    Ok(kl.max(0.0))
+}
+
+/// Options controlling the empirical KL-divergence estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KlOptions {
+    /// Number of histogram bins over the shared support.
+    pub bins: usize,
+    /// Additive smoothing applied to each bin.
+    pub smoothing: f64,
+}
+
+impl Default for KlOptions {
+    fn default() -> Self {
+        Self {
+            bins: 30,
+            smoothing: 0.02,
+        }
+    }
+}
+
+/// Empirical KL-divergence `KL(P || Q)` between two sample collections.
+///
+/// This is the sim-to-real discrepancy metric of the paper (Eq. 1): `P` is
+/// the online collection from the real network, `Q` the offline collection
+/// from the simulator. Both collections are binned over their shared
+/// support with additive smoothing so the result is always finite.
+pub fn kl_divergence(p_samples: &[f64], q_samples: &[f64]) -> Result<f64> {
+    kl_divergence_with(p_samples, q_samples, KlOptions::default())
+}
+
+/// Empirical KL-divergence with explicit binning options.
+pub fn kl_divergence_with(
+    p_samples: &[f64],
+    q_samples: &[f64],
+    options: KlOptions,
+) -> Result<f64> {
+    if p_samples.is_empty() || q_samples.is_empty() {
+        return Err(MathError::EmptyInput("kl_divergence"));
+    }
+    let low = min(p_samples).unwrap().min(min(q_samples).unwrap());
+    let high = max(p_samples).unwrap().max(max(q_samples).unwrap());
+    // Degenerate case: all samples identical -> identical distributions.
+    let (low, high) = if high - low < f64::EPSILON {
+        (low - 0.5, high + 0.5)
+    } else {
+        (low, high)
+    };
+    let p_hist = Histogram::from_samples(low, high, options.bins, p_samples)?;
+    let q_hist = Histogram::from_samples(low, high, options.bins, q_samples)?;
+    kl_divergence_discrete(
+        &p_hist.probabilities(options.smoothing),
+        &q_hist.probabilities(options.smoothing),
+    )
+}
+
+/// Empirical CDF evaluated over a sorted copy of the samples.
+///
+/// Returns `(x, F(x))` pairs suitable for plotting a CDF curve (as in
+/// Figs. 2 and 9 of the paper).
+pub fn empirical_cdf(samples: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in empirical_cdf input"));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Normal;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn basic_moments() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&data) - 5.0).abs() < 1e-12);
+        assert!((variance(&data) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&data) - 2.0).abs() < 1e-12);
+        assert_eq!(min(&data), Some(2.0));
+        assert_eq!(max(&data), Some(9.0));
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(min(&[]), None);
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(Summary::from_samples(&[]).is_err());
+        assert_eq!(fraction_below(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&data, 0.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((quantile(&data, 1.0).unwrap() - 4.0).abs() < 1e-12);
+        assert!((quantile(&data, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!((median(&[5.0, 1.0, 3.0]).unwrap() - 3.0).abs() < 1e-12);
+        assert!(quantile(&data, 1.5).is_err());
+    }
+
+    #[test]
+    fn fraction_below_matches_qoe_definition() {
+        let latencies = [100.0, 200.0, 250.0, 300.0, 400.0];
+        assert!((fraction_below(&latencies, 300.0) - 0.8).abs() < 1e-12);
+        assert!((fraction_below(&latencies, 99.0) - 0.0).abs() < 1e-12);
+        assert!((fraction_below(&latencies, 1000.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let data: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let s = Summary::from_samples(&data).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!((s.median - 50.5).abs() < 1e-12);
+        assert!(s.p25 < s.median && s.median < s.p75 && s.p75 < s.p95);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for v in [-5.0, 0.5, 2.5, 9.9, 42.0] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts()[0], 2); // -5.0 clamped + 0.5
+        assert_eq!(h.counts()[1], 1); // 2.5
+        assert_eq!(h.counts()[4], 2); // 9.9 + 42.0 clamped
+        let probs = h.probabilities(0.0);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_parameters() {
+        assert!(Histogram::new(0.0, 10.0, 0).is_err());
+        assert!(Histogram::new(5.0, 5.0, 3).is_err());
+        assert!(Histogram::new(10.0, 0.0, 3).is_err());
+    }
+
+    #[test]
+    fn kl_of_identical_samples_is_near_zero() {
+        let mut rng = seeded_rng(11);
+        let d = Normal::new(100.0, 20.0).unwrap();
+        let samples: Vec<f64> = (0..5000).map(|_| d.sample(&mut rng)).collect();
+        let kl = kl_divergence(&samples, &samples).unwrap();
+        assert!(kl.abs() < 1e-9, "kl {kl}");
+    }
+
+    #[test]
+    fn kl_grows_with_distribution_shift() {
+        let mut rng = seeded_rng(12);
+        let base = Normal::new(100.0, 20.0).unwrap();
+        let near = Normal::new(110.0, 20.0).unwrap();
+        let far = Normal::new(200.0, 20.0).unwrap();
+        let p: Vec<f64> = (0..5000).map(|_| base.sample(&mut rng)).collect();
+        let q_near: Vec<f64> = (0..5000).map(|_| near.sample(&mut rng)).collect();
+        let q_far: Vec<f64> = (0..5000).map(|_| far.sample(&mut rng)).collect();
+        let kl_near = kl_divergence(&p, &q_near).unwrap();
+        let kl_far = kl_divergence(&p, &q_far).unwrap();
+        assert!(kl_near > 0.0);
+        assert!(kl_far > kl_near, "far {kl_far} should exceed near {kl_near}");
+    }
+
+    #[test]
+    fn kl_is_asymmetric_but_nonnegative() {
+        let p = [1.0, 1.0, 1.0, 5.0, 5.0, 5.0];
+        let q = [1.0, 1.0, 1.0, 1.0, 1.0, 5.0];
+        let a = kl_divergence(&p, &q).unwrap();
+        let b = kl_divergence(&q, &p).unwrap();
+        assert!(a >= 0.0 && b >= 0.0);
+        assert!((a - b).abs() > 1e-9, "empirical KL should be asymmetric here");
+    }
+
+    #[test]
+    fn kl_discrete_handles_zero_bins() {
+        assert_eq!(
+            kl_divergence_discrete(&[0.5, 0.5], &[0.5, 0.0]).unwrap(),
+            f64::INFINITY
+        );
+        let zero_p = kl_divergence_discrete(&[0.0, 1.0], &[0.5, 0.5]).unwrap();
+        assert!(zero_p.is_finite());
+        assert!(kl_divergence_discrete(&[0.5, 0.5], &[0.3, 0.3, 0.4]).is_err());
+    }
+
+    #[test]
+    fn kl_with_identical_constant_samples_is_zero() {
+        let p = [3.0; 50];
+        let q = [3.0; 50];
+        assert!(kl_divergence(&p, &q).unwrap().abs() < 1e-9);
+        // With different sample counts the smoothed estimate is close to,
+        // but not exactly, zero.
+        let r = [3.0; 70];
+        assert!(kl_divergence(&p, &r).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn empirical_cdf_is_monotone_and_ends_at_one() {
+        let samples = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let cdf = empirical_cdf(&samples);
+        assert_eq!(cdf.len(), 5);
+        assert_eq!(cdf[0].0, 1.0);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for atlas-math invariants.
+
+use atlas_math::dist::{Gamma, LogNormal, Normal};
+use atlas_math::linalg::{l2_distance, Matrix};
+use atlas_math::rng::seeded_rng;
+use atlas_math::stats;
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cholesky_recomposes_random_spd(values in prop::collection::vec(-2.0..2.0f64, 16)) {
+        // Build A = B Bᵀ + I which is always SPD.
+        let b = Matrix::from_vec(4, 4, values).unwrap();
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diagonal(1.0);
+        let l = a.cholesky().expect("SPD matrix must factor");
+        let back = l.matmul(&l.transpose()).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((back[(i, j)] - a[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_solves(values in prop::collection::vec(-2.0..2.0f64, 16),
+                             rhs in finite_vec(4)) {
+        let b = Matrix::from_vec(4, 4, values).unwrap();
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diagonal(1.0);
+        let l = a.cholesky().unwrap();
+        let x = l.cholesky_solve(&rhs).unwrap();
+        // Verify A x ≈ rhs.
+        for i in 0..4 {
+            let got: f64 = (0..4).map(|j| a[(i, j)] * x[j]).sum();
+            prop_assert!((got - rhs[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative_on_small_matrices(
+        a_vals in prop::collection::vec(-5.0..5.0f64, 6),
+        b_vals in prop::collection::vec(-5.0..5.0f64, 6),
+        c_vals in prop::collection::vec(-5.0..5.0f64, 4),
+    ) {
+        let a = Matrix::from_vec(2, 3, a_vals).unwrap();
+        let b = Matrix::from_vec(3, 2, b_vals).unwrap();
+        let c = Matrix::from_vec(2, 2, c_vals).unwrap();
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                prop_assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_preserves_frobenius_norm(values in prop::collection::vec(-10.0..10.0f64, 12)) {
+        let m = Matrix::from_vec(3, 4, values).unwrap();
+        prop_assert!((m.frobenius_norm() - m.transpose().frobenius_norm()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn l2_distance_satisfies_triangle_inequality(
+        a in finite_vec(5), b in finite_vec(5), c in finite_vec(5)
+    ) {
+        let ab = l2_distance(&a, &b);
+        let bc = l2_distance(&b, &c);
+        let ac = l2_distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+        prop_assert!(l2_distance(&a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(data in prop::collection::vec(-1e4..1e4f64, 2..200)) {
+        let q1 = stats::quantile(&data, 0.1).unwrap();
+        let q5 = stats::quantile(&data, 0.5).unwrap();
+        let q9 = stats::quantile(&data, 0.9).unwrap();
+        prop_assert!(q1 <= q5 && q5 <= q9);
+        prop_assert!(q1 >= stats::min(&data).unwrap() - 1e-9);
+        prop_assert!(q9 <= stats::max(&data).unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn fraction_below_is_monotone_in_threshold(
+        data in prop::collection::vec(0.0..1e3f64, 1..200),
+        t1 in 0.0..1e3f64,
+        t2 in 0.0..1e3f64,
+    ) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(stats::fraction_below(&data, lo) <= stats::fraction_below(&data, hi));
+    }
+
+    #[test]
+    fn kl_divergence_is_nonnegative_and_zero_on_self(
+        data in prop::collection::vec(1.0..500.0f64, 20..200)
+    ) {
+        let self_kl = stats::kl_divergence(&data, &data).unwrap();
+        prop_assert!(self_kl.abs() < 1e-9);
+        // Against a shifted copy it must be >= 0.
+        let shifted: Vec<f64> = data.iter().map(|v| v + 37.0).collect();
+        let kl = stats::kl_divergence(&data, &shifted).unwrap();
+        prop_assert!(kl >= 0.0);
+    }
+
+    #[test]
+    fn histogram_probabilities_sum_to_one(
+        data in prop::collection::vec(0.0..100.0f64, 1..300),
+        bins in 1usize..64,
+        smoothing in 0.0..2.0f64,
+    ) {
+        let h = stats::Histogram::from_samples(0.0, 100.0, bins, &data).unwrap();
+        let probs = h.probabilities(smoothing);
+        let sum: f64 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert_eq!(h.total(), data.len() as u64);
+    }
+
+    #[test]
+    fn normal_samples_are_finite(mean in -100.0..100.0f64, std in 0.0..50.0f64, seed in 0u64..1000) {
+        let d = Normal::new(mean, std).unwrap();
+        let mut rng = seeded_rng(seed);
+        for _ in 0..50 {
+            prop_assert!(d.sample(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn gamma_samples_are_positive(shape in 0.1..20.0f64, scale in 0.1..10.0f64, seed in 0u64..1000) {
+        let d = Gamma::new(shape, scale).unwrap();
+        let mut rng = seeded_rng(seed);
+        for _ in 0..50 {
+            let v = d.sample(&mut rng);
+            prop_assert!(v.is_finite() && v > 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_mean_matches_request(mean in 1.0..500.0f64, std in 0.0..100.0f64) {
+        let d = LogNormal::from_mean_std(mean, std).unwrap();
+        prop_assert!((d.mean() - mean).abs() < 1e-6 * mean.max(1.0));
+    }
+
+    #[test]
+    fn empirical_cdf_is_a_cdf(data in prop::collection::vec(-1e3..1e3f64, 1..200)) {
+        let cdf = atlas_math::stats::empirical_cdf(&data);
+        prop_assert_eq!(cdf.len(), data.len());
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

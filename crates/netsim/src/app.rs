@@ -1,0 +1,115 @@
+//! Slice application model.
+//!
+//! The paper's slice application is an Android app that continuously
+//! offloads camera frames (540p) to the edge server, which runs ORB
+//! feature extraction and returns the result. Congestion control is
+//! implemented by bounding the number of on-the-fly frames; the
+//! experiments emulate `k` users by allowing `k` outstanding frames.
+//!
+//! The traffic statistics below match the measurements reported in
+//! Sec. 7.2 of the paper (uplink transmission size 28.8 kb mean, 9.9 kb
+//! standard deviation).
+
+use atlas_math::dist::LogNormal;
+use rand::Rng;
+
+/// Mean uplink frame size in bits (28.8 kb, Sec. 7.2).
+pub const UL_FRAME_MEAN_BITS: f64 = 28_800.0;
+/// Standard deviation of the uplink frame size in bits (9.9 kb).
+pub const UL_FRAME_STD_BITS: f64 = 9_900.0;
+/// Downlink result size in bits (ORB descriptors are a few kilobytes).
+pub const DL_RESULT_MEAN_BITS: f64 = 16_000.0;
+/// Standard deviation of the downlink result size in bits.
+pub const DL_RESULT_STD_BITS: f64 = 4_000.0;
+/// Client-side frame encode/decode ("loading") time at the UE in ms.
+pub const BASE_LOADING_MEAN_MS: f64 = 12.0;
+/// Standard deviation of the loading time in ms.
+pub const BASE_LOADING_STD_MS: f64 = 4.0;
+
+/// Generates the frame-offloading workload of one slice user.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameSource {
+    /// Additional loading time at the UE in ms (simulation parameter).
+    pub extra_loading_ms: f64,
+    /// Multiplier on the uplink frame size (1.0 = paper statistics).
+    pub ul_scale: f64,
+}
+
+impl FrameSource {
+    /// Creates a frame source with the paper's traffic statistics.
+    pub fn new(extra_loading_ms: f64) -> Self {
+        Self {
+            extra_loading_ms: extra_loading_ms.max(0.0),
+            ul_scale: 1.0,
+        }
+    }
+
+    /// Samples the size of one uplink frame in bits.
+    pub fn ul_frame_bits<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let dist = LogNormal::from_mean_std(UL_FRAME_MEAN_BITS, UL_FRAME_STD_BITS)
+            .expect("frame size distribution parameters are valid");
+        (dist.sample(rng) * self.ul_scale).max(1_000.0)
+    }
+
+    /// Samples the size of one downlink result in bits.
+    pub fn dl_result_bits<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let dist = LogNormal::from_mean_std(DL_RESULT_MEAN_BITS, DL_RESULT_STD_BITS)
+            .expect("result size distribution parameters are valid");
+        dist.sample(rng).max(500.0)
+    }
+
+    /// Samples the per-frame loading (encode/decode/render) time at the UE
+    /// in ms, including the `loading_time` simulation parameter.
+    pub fn loading_ms<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let dist = LogNormal::from_mean_std(BASE_LOADING_MEAN_MS, BASE_LOADING_STD_MS)
+            .expect("loading time distribution parameters are valid");
+        dist.sample(rng) + self.extra_loading_ms
+    }
+}
+
+impl Default for FrameSource {
+    fn default() -> Self {
+        Self::new(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_math::rng::seeded_rng;
+    use atlas_math::stats;
+
+    #[test]
+    fn frame_sizes_match_paper_statistics() {
+        let mut rng = seeded_rng(1);
+        let src = FrameSource::default();
+        let sizes: Vec<f64> = (0..20_000).map(|_| src.ul_frame_bits(&mut rng)).collect();
+        assert!((stats::mean(&sizes) - UL_FRAME_MEAN_BITS).abs() < 500.0);
+        assert!((stats::std_dev(&sizes) - UL_FRAME_STD_BITS).abs() < 600.0);
+        assert!(sizes.iter().all(|s| *s >= 1_000.0));
+    }
+
+    #[test]
+    fn results_are_smaller_than_frames_on_average() {
+        let mut rng = seeded_rng(2);
+        let src = FrameSource::default();
+        let ul: Vec<f64> = (0..5000).map(|_| src.ul_frame_bits(&mut rng)).collect();
+        let dl: Vec<f64> = (0..5000).map(|_| src.dl_result_bits(&mut rng)).collect();
+        assert!(stats::mean(&dl) < stats::mean(&ul));
+    }
+
+    #[test]
+    fn extra_loading_time_is_additive() {
+        let mut rng = seeded_rng(3);
+        let base = FrameSource::new(0.0);
+        let extra = FrameSource::new(25.0);
+        let a: Vec<f64> = (0..5000).map(|_| base.loading_ms(&mut rng)).collect();
+        let b: Vec<f64> = (0..5000).map(|_| extra.loading_ms(&mut rng)).collect();
+        assert!((stats::mean(&b) - stats::mean(&a) - 25.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn negative_extra_loading_is_clamped() {
+        assert_eq!(FrameSource::new(-5.0).extra_loading_ms, 0.0);
+    }
+}

@@ -1,0 +1,467 @@
+//! Configuration and simulation-parameter spaces.
+//!
+//! * [`SliceConfig`] is the 6-dimensional *network configuration* action of
+//!   Table 2 in the paper — the knobs the Atlas policy controls (RAN PRBs,
+//!   MCS offsets, transport bandwidth, edge CPU ratio).
+//! * [`SimParams`] is the 7-dimensional *simulation parameter* vector of
+//!   Table 3 — the knobs the learning-based-simulator stage searches to
+//!   reduce the sim-to-real discrepancy.
+//!
+//! Both types convert to/from plain `Vec<f64>` so they can be optimised by
+//! the Bayesian-optimisation framework, and both know their box bounds.
+
+use atlas_math::linalg::l2_distance;
+
+/// Total number of physical resource blocks in a 10 MHz LTE carrier.
+pub const TOTAL_PRBS: f64 = 50.0;
+/// Maximum MCS offset (Table 2).
+pub const MAX_MCS_OFFSET: f64 = 10.0;
+/// Maximum configurable transport (backhaul) bandwidth in Mbps (Table 2).
+pub const MAX_BACKHAUL_MBPS: f64 = 100.0;
+
+/// The 6-dimensional network configuration of a slice (Table 2).
+///
+/// | field | meaning | range |
+/// |---|---|---|
+/// | `bandwidth_ul` | maximum uplink PRBs | [0, 50] |
+/// | `bandwidth_dl` | maximum downlink PRBs | [0, 50] |
+/// | `mcs_offset_ul` | uplink MCS offset | [0, 10] |
+/// | `mcs_offset_dl` | downlink MCS offset | [0, 10] |
+/// | `backhaul_bw` | transport bandwidth (Mbps) | [0, 100] |
+/// | `cpu_ratio` | CPU ratio of the edge container | [0, 1] |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceConfig {
+    /// Maximum uplink PRBs allocated to the slice.
+    pub bandwidth_ul: f64,
+    /// Maximum downlink PRBs allocated to the slice.
+    pub bandwidth_dl: f64,
+    /// Uplink MCS offset (robustness margin; reduces the selected MCS).
+    pub mcs_offset_ul: f64,
+    /// Downlink MCS offset.
+    pub mcs_offset_dl: f64,
+    /// Transport-network bandwidth in Mbps enforced by the SDN switch.
+    pub backhaul_bw: f64,
+    /// CPU share of the slice's edge (Docker) container, in `[0, 1]`.
+    pub cpu_ratio: f64,
+}
+
+impl SliceConfig {
+    /// Dimensionality of the configuration space.
+    pub const DIM: usize = 6;
+
+    /// Upper bound of every dimension (the `A` vector in Eq. 7).
+    pub fn max() -> [f64; Self::DIM] {
+        [
+            TOTAL_PRBS,
+            TOTAL_PRBS,
+            MAX_MCS_OFFSET,
+            MAX_MCS_OFFSET,
+            MAX_BACKHAUL_MBPS,
+            1.0,
+        ]
+    }
+
+    /// Lower bound of every dimension.
+    pub fn min() -> [f64; Self::DIM] {
+        [0.0; Self::DIM]
+    }
+
+    /// A generous default configuration (used for motivation experiments
+    /// where the slice is not resource-constrained).
+    pub fn default_generous() -> Self {
+        Self {
+            bandwidth_ul: 25.0,
+            bandwidth_dl: 25.0,
+            mcs_offset_ul: 0.0,
+            mcs_offset_dl: 0.0,
+            backhaul_bw: 50.0,
+            cpu_ratio: 0.9,
+        }
+    }
+
+    /// Converts to a plain vector in Table 2 order.
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.bandwidth_ul,
+            self.bandwidth_dl,
+            self.mcs_offset_ul,
+            self.mcs_offset_dl,
+            self.backhaul_bw,
+            self.cpu_ratio,
+        ]
+    }
+
+    /// Builds a configuration from a plain vector (Table 2 order), clamping
+    /// every value into its valid range.
+    pub fn from_vec(v: &[f64]) -> Self {
+        assert_eq!(v.len(), Self::DIM, "SliceConfig requires 6 values");
+        let max = Self::max();
+        let clamp = |i: usize| v[i].clamp(0.0, max[i]);
+        Self {
+            bandwidth_ul: clamp(0),
+            bandwidth_dl: clamp(1),
+            mcs_offset_ul: clamp(2),
+            mcs_offset_dl: clamp(3),
+            backhaul_bw: clamp(4),
+            cpu_ratio: clamp(5),
+        }
+    }
+
+    /// Builds a configuration from values normalised to the unit cube
+    /// (each dimension in `[0, 1]` scaled by its Table 2 range).
+    pub fn from_unit(v: &[f64]) -> Self {
+        assert_eq!(v.len(), Self::DIM, "SliceConfig requires 6 values");
+        let max = Self::max();
+        let scaled: Vec<f64> = v.iter().zip(max.iter()).map(|(x, m)| x.clamp(0.0, 1.0) * m).collect();
+        Self::from_vec(&scaled)
+    }
+
+    /// Normalises the configuration to the unit cube.
+    pub fn to_unit(&self) -> Vec<f64> {
+        let max = Self::max();
+        self.to_vec()
+            .iter()
+            .zip(max.iter())
+            .map(|(v, m)| if *m > 0.0 { v / m } else { 0.0 })
+            .collect()
+    }
+
+    /// Resource usage `F(a) = |a / A|_1 / dim` in `[0, 1]` (Sec. 5.1).
+    ///
+    /// This is the objective the offline and online stages minimise; it
+    /// combines heterogeneous resources by normalising each dimension by
+    /// its maximum and averaging.
+    pub fn resource_usage(&self) -> f64 {
+        let unit = self.to_unit();
+        unit.iter().sum::<f64>() / Self::DIM as f64
+    }
+
+    /// Enforces the paper's minimum connectivity allocation (6 UL PRBs and
+    /// 3 DL PRBs, Sec. 8.2) and returns the adjusted configuration.
+    pub fn with_connectivity_floor(mut self) -> Self {
+        self.bandwidth_ul = self.bandwidth_ul.max(6.0);
+        self.bandwidth_dl = self.bandwidth_dl.max(3.0);
+        self
+    }
+}
+
+/// The 7-dimensional simulation-parameter vector of the learning-based
+/// simulator (Table 3).
+///
+/// | field | meaning |
+/// |---|---|
+/// | `baseline_loss` | reference loss of the log-distance pathloss model (dB) |
+/// | `enb_noise_figure` | eNB receiver noise figure (dB) — affects uplink |
+/// | `ue_noise_figure` | UE receiver noise figure (dB) — affects downlink |
+/// | `backhaul_bw` | additional transport bandwidth (Mbps) |
+/// | `backhaul_delay` | additional transport delay (ms) |
+/// | `compute_time` | additional edge compute time (ms) |
+/// | `loading_time` | additional loading time at the UE (ms) |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimParams {
+    /// Reference loss of the log-distance pathloss model, in dB.
+    pub baseline_loss: f64,
+    /// eNB receiver noise figure in dB (uplink).
+    pub enb_noise_figure: f64,
+    /// UE receiver noise figure in dB (downlink).
+    pub ue_noise_figure: f64,
+    /// Additional transport bandwidth in Mbps.
+    pub backhaul_bw: f64,
+    /// Additional transport delay in ms.
+    pub backhaul_delay: f64,
+    /// Additional edge compute time in ms.
+    pub compute_time: f64,
+    /// Additional loading time at the UE in ms.
+    pub loading_time: f64,
+}
+
+impl SimParams {
+    /// Dimensionality of the simulation-parameter space.
+    pub const DIM: usize = 7;
+
+    /// The original (specification-derived) simulation parameters `x̂` the
+    /// paper reports for the NS-3 default configuration: reference loss
+    /// 38.57 dB, eNB noise figure 5 dB, UE noise figure 9 dB, and no
+    /// additional delays.
+    pub fn original() -> Self {
+        Self {
+            baseline_loss: 38.57,
+            enb_noise_figure: 5.0,
+            ue_noise_figure: 9.0,
+            backhaul_bw: 0.0,
+            backhaul_delay: 0.0,
+            compute_time: 0.0,
+            loading_time: 0.0,
+        }
+    }
+
+    /// Lower bounds of the search space used by stage 1.
+    pub fn lower_bounds() -> [f64; Self::DIM] {
+        [30.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+    }
+
+    /// Upper bounds of the search space used by stage 1. The additive delay
+    /// knobs are deliberately generous: the calibration must be able to
+    /// absorb the protocol/implementation overheads of a real deployment
+    /// that the idealised simulator does not model.
+    pub fn upper_bounds() -> [f64; Self::DIM] {
+        [50.0, 10.0, 15.0, 10.0, 20.0, 30.0, 30.0]
+    }
+
+    /// Converts to a plain vector in Table 3 order.
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.baseline_loss,
+            self.enb_noise_figure,
+            self.ue_noise_figure,
+            self.backhaul_bw,
+            self.backhaul_delay,
+            self.compute_time,
+            self.loading_time,
+        ]
+    }
+
+    /// Builds parameters from a plain vector (Table 3 order), clamping into
+    /// the search bounds.
+    pub fn from_vec(v: &[f64]) -> Self {
+        assert_eq!(v.len(), Self::DIM, "SimParams requires 7 values");
+        let lo = Self::lower_bounds();
+        let hi = Self::upper_bounds();
+        let clamp = |i: usize| v[i].clamp(lo[i], hi[i]);
+        Self {
+            baseline_loss: clamp(0),
+            enb_noise_figure: clamp(1),
+            ue_noise_figure: clamp(2),
+            backhaul_bw: clamp(3),
+            backhaul_delay: clamp(4),
+            compute_time: clamp(5),
+            loading_time: clamp(6),
+        }
+    }
+
+    /// The *parameter distance* `|x − x̂|₂` of Eq. 2, computed on
+    /// range-normalised values and averaged per dimension, so that a
+    /// full-range change of one parameter contributes `1/DIM`. This keeps
+    /// the distance on the same small scale the paper reports (Table 4
+    /// distances of ~0.1) and makes the `α = 7` weighting meaningful.
+    pub fn distance_from(&self, reference: &SimParams) -> f64 {
+        let lo = Self::lower_bounds();
+        let hi = Self::upper_bounds();
+        let norm = |p: &SimParams| -> Vec<f64> {
+            p.to_vec()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (v - lo[i]) / (hi[i] - lo[i]))
+                .collect()
+        };
+        l2_distance(&norm(self), &norm(reference)) / Self::DIM as f64
+    }
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        Self::original()
+    }
+}
+
+/// User mobility model for a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mobility {
+    /// Users remain at a fixed distance from the eNB.
+    Stationary,
+    /// Users random-walk between 1 m and `max_distance_m` every frame
+    /// (used for the "random" point of Fig. 10).
+    RandomWalk {
+        /// Maximum distance reached by the walk, in metres.
+        max_distance_m: f64,
+    },
+}
+
+/// A workload scenario: everything about the environment that is *not* a
+/// configuration knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// User traffic intensity — the number of concurrently outstanding
+    /// frames (the paper emulates 1–4 users by bounding on-the-fly frames).
+    pub traffic: u32,
+    /// Line-of-sight distance between the UE(s) and the eNB in metres.
+    pub user_distance_m: f64,
+    /// Mobility model.
+    pub mobility: Mobility,
+    /// Simulated duration in seconds (the paper uses 60 s per query).
+    pub duration_s: f64,
+    /// Number of extra background users attached to *other* slices
+    /// (isolation experiment, Fig. 11).
+    pub extra_background_users: u32,
+    /// RNG seed for the run.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's default measurement scenario: one user, 1 m away,
+    /// stationary, 60-second collection.
+    pub fn default_with_seed(seed: u64) -> Self {
+        Self {
+            traffic: 1,
+            user_distance_m: 1.0,
+            mobility: Mobility::Stationary,
+            duration_s: 60.0,
+            extra_background_users: 0,
+            seed,
+        }
+    }
+
+    /// Returns a copy with a different traffic intensity.
+    pub fn with_traffic(mut self, traffic: u32) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Returns a copy with a different user distance.
+    pub fn with_distance(mut self, metres: f64) -> Self {
+        self.user_distance_m = metres;
+        self
+    }
+
+    /// Returns a copy with a different duration.
+    pub fn with_duration(mut self, seconds: f64) -> Self {
+        self.duration_s = seconds;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Self::default_with_seed(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_config_roundtrips_through_vec() {
+        let c = SliceConfig {
+            bandwidth_ul: 9.0,
+            bandwidth_dl: 3.0,
+            mcs_offset_ul: 0.0,
+            mcs_offset_dl: 0.0,
+            backhaul_bw: 6.2,
+            cpu_ratio: 0.8,
+        };
+        assert_eq!(SliceConfig::from_vec(&c.to_vec()), c);
+    }
+
+    #[test]
+    fn slice_config_clamps_out_of_range_values() {
+        let c = SliceConfig::from_vec(&[100.0, -5.0, 20.0, 3.0, 500.0, 2.0]);
+        assert_eq!(c.bandwidth_ul, 50.0);
+        assert_eq!(c.bandwidth_dl, 0.0);
+        assert_eq!(c.mcs_offset_ul, 10.0);
+        assert_eq!(c.backhaul_bw, 100.0);
+        assert_eq!(c.cpu_ratio, 1.0);
+    }
+
+    #[test]
+    fn resource_usage_matches_l1_definition() {
+        // The paper's best configuration for user traffic 1 (Sec. 8.2).
+        let c = SliceConfig {
+            bandwidth_ul: 9.0,
+            bandwidth_dl: 3.0,
+            mcs_offset_ul: 0.0,
+            mcs_offset_dl: 0.0,
+            backhaul_bw: 6.2,
+            cpu_ratio: 0.8,
+        };
+        let expected = (9.0 / 50.0 + 3.0 / 50.0 + 0.0 + 0.0 + 6.2 / 100.0 + 0.8) / 6.0;
+        assert!((c.resource_usage() - expected).abs() < 1e-12);
+        // Full allocation uses 100 %.
+        let full = SliceConfig::from_vec(&SliceConfig::max());
+        assert!((full.resource_usage() - 1.0).abs() < 1e-12);
+        // Empty allocation uses 0 %.
+        let empty = SliceConfig::from_vec(&[0.0; 6]);
+        assert_eq!(empty.resource_usage(), 0.0);
+    }
+
+    #[test]
+    fn unit_cube_mapping_roundtrips() {
+        let c = SliceConfig {
+            bandwidth_ul: 25.0,
+            bandwidth_dl: 10.0,
+            mcs_offset_ul: 5.0,
+            mcs_offset_dl: 2.0,
+            backhaul_bw: 30.0,
+            cpu_ratio: 0.5,
+        };
+        let unit = c.to_unit();
+        assert!(unit.iter().all(|v| (0.0..=1.0).contains(v)));
+        let back = SliceConfig::from_unit(&unit);
+        for (a, b) in back.to_vec().iter().zip(c.to_vec().iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn connectivity_floor_is_enforced() {
+        let c = SliceConfig::from_vec(&[0.0, 0.0, 0.0, 0.0, 5.0, 0.1]).with_connectivity_floor();
+        assert_eq!(c.bandwidth_ul, 6.0);
+        assert_eq!(c.bandwidth_dl, 3.0);
+        // Does not reduce larger allocations.
+        let big = SliceConfig::default_generous().with_connectivity_floor();
+        assert_eq!(big.bandwidth_ul, 25.0);
+    }
+
+    #[test]
+    fn sim_params_original_matches_paper_defaults() {
+        let p = SimParams::original();
+        assert!((p.baseline_loss - 38.57).abs() < 1e-9);
+        assert_eq!(p.enb_noise_figure, 5.0);
+        assert_eq!(p.ue_noise_figure, 9.0);
+        assert_eq!(p.backhaul_delay, 0.0);
+        assert_eq!(p.distance_from(&SimParams::original()), 0.0);
+    }
+
+    #[test]
+    fn sim_params_roundtrip_and_clamp() {
+        let p = SimParams::from_vec(&[40.0, 2.0, 8.0, 5.0, 3.0, 2.0, 1.0]);
+        assert_eq!(SimParams::from_vec(&p.to_vec()), p);
+        let clamped = SimParams::from_vec(&[10.0, 50.0, -3.0, 100.0, 100.0, 100.0, 100.0]);
+        assert_eq!(clamped.baseline_loss, 30.0);
+        assert_eq!(clamped.enb_noise_figure, 10.0);
+        assert_eq!(clamped.ue_noise_figure, 0.0);
+        assert_eq!(clamped.backhaul_bw, 10.0);
+    }
+
+    #[test]
+    fn parameter_distance_grows_with_deviation() {
+        let orig = SimParams::original();
+        let mut near = orig;
+        near.compute_time = 1.0;
+        let mut far = orig;
+        far.compute_time = 8.0;
+        far.backhaul_delay = 8.0;
+        assert!(near.distance_from(&orig) > 0.0);
+        assert!(far.distance_from(&orig) > near.distance_from(&orig));
+    }
+
+    #[test]
+    fn scenario_builders() {
+        let s = Scenario::default_with_seed(7)
+            .with_traffic(3)
+            .with_distance(5.0)
+            .with_duration(10.0)
+            .with_seed(9);
+        assert_eq!(s.traffic, 3);
+        assert_eq!(s.user_distance_m, 5.0);
+        assert_eq!(s.duration_s, 10.0);
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.extra_background_users, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Edge-computing model.
+//!
+//! The prototype runs the slice's edge server (an ORB feature-extraction
+//! service) in a Docker container whose CPU share is controlled with
+//! `docker update`. The simulator models the server as a single FIFO
+//! compute queue whose per-frame service time is drawn from a log-normal
+//! distribution matched to the measured statistics reported in the paper
+//! (81 ms mean, 35 ms standard deviation at full CPU), scaled inversely by
+//! the configured CPU ratio, plus an additive `compute_time` simulation
+//! parameter.
+
+use atlas_math::dist::LogNormal;
+use rand::Rng;
+
+/// Mean per-frame compute time at `cpu_ratio = 1.0`, in ms (from the paper).
+pub const BASE_COMPUTE_MEAN_MS: f64 = 81.0;
+/// Standard deviation of the per-frame compute time at full CPU, in ms.
+pub const BASE_COMPUTE_STD_MS: f64 = 35.0;
+/// Smallest effective CPU ratio; Docker's scheduler never starves a
+/// container completely, and dividing by zero would be unphysical.
+pub const MIN_CPU_RATIO: f64 = 0.05;
+
+/// The slice's edge compute server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeServer {
+    /// CPU share in `[MIN_CPU_RATIO, 1.0]`.
+    pub cpu_ratio: f64,
+    /// Additive per-frame compute time in ms (simulation parameter).
+    pub extra_compute_ms: f64,
+    /// Heavy-tail multiplier: probability that a frame hits a slow path
+    /// (garbage collection, container contention) taking `tail_factor`
+    /// times longer. Zero in the idealised simulator, non-zero in the
+    /// emulated real network.
+    pub tail_probability: f64,
+    /// Slow-path multiplier.
+    pub tail_factor: f64,
+    /// Mean of the base compute-time distribution at full CPU, in ms.
+    pub base_mean_ms: f64,
+    /// Standard deviation of the base compute-time distribution, in ms.
+    pub base_std_ms: f64,
+}
+
+impl EdgeServer {
+    /// Creates an edge server with the paper's measured compute-time
+    /// distribution.
+    pub fn new(cpu_ratio: f64, extra_compute_ms: f64) -> Self {
+        Self {
+            cpu_ratio: cpu_ratio.clamp(MIN_CPU_RATIO, 1.0),
+            extra_compute_ms: extra_compute_ms.max(0.0),
+            tail_probability: 0.0,
+            tail_factor: 1.0,
+            base_mean_ms: BASE_COMPUTE_MEAN_MS,
+            base_std_ms: BASE_COMPUTE_STD_MS,
+        }
+    }
+
+    /// Returns a copy with a heavy-tail slow path enabled (used by the
+    /// emulated real network).
+    pub fn with_heavy_tail(mut self, probability: f64, factor: f64) -> Self {
+        self.tail_probability = probability.clamp(0.0, 1.0);
+        self.tail_factor = factor.max(1.0);
+        self
+    }
+
+    /// Mean service time in ms.
+    pub fn mean_service_ms(&self) -> f64 {
+        let tail_boost =
+            1.0 + self.tail_probability * (self.tail_factor - 1.0);
+        self.base_mean_ms / self.cpu_ratio * tail_boost + self.extra_compute_ms
+    }
+
+    /// Samples one frame's compute time in ms.
+    pub fn service_ms<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let dist = LogNormal::from_mean_std(self.base_mean_ms, self.base_std_ms)
+            .expect("base compute distribution parameters are valid");
+        let mut t = dist.sample(rng) / self.cpu_ratio;
+        if self.tail_probability > 0.0 && rng.random::<f64>() < self.tail_probability {
+            t *= self.tail_factor;
+        }
+        t + self.extra_compute_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_math::rng::seeded_rng;
+    use atlas_math::stats;
+
+    #[test]
+    fn cpu_ratio_is_clamped() {
+        assert_eq!(EdgeServer::new(0.0, 0.0).cpu_ratio, MIN_CPU_RATIO);
+        assert_eq!(EdgeServer::new(2.0, 0.0).cpu_ratio, 1.0);
+        assert_eq!(EdgeServer::new(0.5, -3.0).extra_compute_ms, 0.0);
+    }
+
+    #[test]
+    fn mean_service_scales_inversely_with_cpu() {
+        let full = EdgeServer::new(1.0, 0.0);
+        let half = EdgeServer::new(0.5, 0.0);
+        assert!((full.mean_service_ms() - BASE_COMPUTE_MEAN_MS).abs() < 1e-9);
+        assert!((half.mean_service_ms() - 2.0 * BASE_COMPUTE_MEAN_MS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_service_matches_configured_mean() {
+        let mut rng = seeded_rng(1);
+        let server = EdgeServer::new(0.8, 5.0);
+        let samples: Vec<f64> = (0..20_000).map(|_| server.service_ms(&mut rng)).collect();
+        let expected = BASE_COMPUTE_MEAN_MS / 0.8 + 5.0;
+        assert!((stats::mean(&samples) - expected).abs() < 2.0);
+        assert!(samples.iter().all(|v| *v > 0.0));
+    }
+
+    #[test]
+    fn extra_compute_time_shifts_the_distribution() {
+        let mut rng = seeded_rng(2);
+        let base = EdgeServer::new(1.0, 0.0);
+        let shifted = EdgeServer::new(1.0, 20.0);
+        let a: Vec<f64> = (0..5000).map(|_| base.service_ms(&mut rng)).collect();
+        let b: Vec<f64> = (0..5000).map(|_| shifted.service_ms(&mut rng)).collect();
+        assert!((stats::mean(&b) - stats::mean(&a) - 20.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn heavy_tail_increases_high_quantiles() {
+        let mut rng = seeded_rng(3);
+        let calm = EdgeServer::new(1.0, 0.0);
+        let heavy = EdgeServer::new(1.0, 0.0).with_heavy_tail(0.1, 3.0);
+        let a: Vec<f64> = (0..10_000).map(|_| calm.service_ms(&mut rng)).collect();
+        let b: Vec<f64> = (0..10_000).map(|_| heavy.service_ms(&mut rng)).collect();
+        let p99_a = stats::quantile(&a, 0.99).unwrap();
+        let p99_b = stats::quantile(&b, 0.99).unwrap();
+        assert!(p99_b > p99_a * 1.5, "p99 {p99_b} vs {p99_a}");
+        assert!(heavy.mean_service_ms() > calm.mean_service_ms());
+    }
+}

@@ -1,0 +1,230 @@
+//! Minimal discrete-event simulation engine.
+//!
+//! The end-to-end slice is a tandem of FIFO servers (uplink radio →
+//! backhaul → edge compute → downlink radio) traversed by frames from a
+//! closed population of users. A priority queue of timestamped events with
+//! deterministic FIFO tie-breaking is all the machinery required; the
+//! stations themselves are modelled by [`Station`].
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time in milliseconds.
+pub type SimTime = f64;
+
+#[derive(Debug, Clone)]
+struct QueuedEvent<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for QueuedEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for QueuedEvent<E> {}
+
+impl<E> PartialOrd for QueuedEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for QueuedEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // Ties are broken by insertion order (FIFO) for determinism.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<QueuedEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time` (clamped to the current
+    /// time if it lies in the past).
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let time = if time < self.now { self.now } else { time };
+        self.heap.push(QueuedEvent {
+            time,
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Pops the next event, advancing the simulation clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|qe| {
+            self.now = qe.time;
+            (qe.time, qe.event)
+        })
+    }
+
+    /// The current simulation time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A single-server FIFO station with work-conserving service.
+///
+/// Frames arriving while the server is busy wait in FIFO order; the station
+/// only needs to remember when the server next becomes free because events
+/// are processed in time order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Station {
+    next_free: SimTime,
+    busy_ms: f64,
+    served: u64,
+}
+
+impl Station {
+    /// Creates an idle station.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serves a job arriving at `arrival` with the given service duration;
+    /// returns `(start, finish)` times.
+    pub fn serve(&mut self, arrival: SimTime, service_ms: f64) -> (SimTime, SimTime) {
+        let start = if arrival > self.next_free {
+            arrival
+        } else {
+            self.next_free
+        };
+        let finish = start + service_ms.max(0.0);
+        self.next_free = finish;
+        self.busy_ms += service_ms.max(0.0);
+        self.served += 1;
+        (start, finish)
+    }
+
+    /// Total busy time accumulated so far, in ms.
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_ms
+    }
+
+    /// Number of jobs served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Utilisation over an observation window of `horizon_ms`.
+    pub fn utilization(&self, horizon_ms: f64) -> f64 {
+        if horizon_ms <= 0.0 {
+            0.0
+        } else {
+            (self.busy_ms / horizon_ms).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(3.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((3.0, "b")));
+        assert_eq!(q.pop(), Some((5.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(2.0, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((2.0, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_and_past_events_are_clamped() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, "late");
+        assert_eq!(q.pop(), Some((10.0, "late")));
+        assert_eq!(q.now(), 10.0);
+        // Scheduling in the past clamps to now.
+        q.schedule(5.0, "past");
+        assert_eq!(q.pop(), Some((10.0, "past")));
+    }
+
+    #[test]
+    fn queue_len_tracks_pending_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, ());
+        q.schedule(2.0, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn station_is_fifo_and_work_conserving() {
+        let mut s = Station::new();
+        // First job: starts immediately.
+        assert_eq!(s.serve(0.0, 10.0), (0.0, 10.0));
+        // Second job arrives while busy: waits.
+        assert_eq!(s.serve(2.0, 5.0), (10.0, 15.0));
+        // Third job arrives after idle period: starts on arrival.
+        assert_eq!(s.serve(100.0, 1.0), (100.0, 101.0));
+        assert_eq!(s.served(), 3);
+        assert!((s.busy_ms() - 16.0).abs() < 1e-12);
+        assert!((s.utilization(200.0) - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn station_handles_zero_and_negative_service() {
+        let mut s = Station::new();
+        assert_eq!(s.serve(1.0, 0.0), (1.0, 1.0));
+        assert_eq!(s.serve(1.0, -5.0), (1.0, 1.0));
+        assert_eq!(s.utilization(0.0), 0.0);
+    }
+}

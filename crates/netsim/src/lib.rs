@@ -1,0 +1,57 @@
+//! # atlas-netsim
+//!
+//! A from-scratch, discrete-event end-to-end network-slicing simulator: the
+//! substrate the Atlas reproduction trains and evaluates against. It stands
+//! in for both the NS-3 simulator and the hardware testbed of the paper
+//! (*Atlas: Automate Online Service Configuration in Network Slicing*,
+//! CoNEXT 2022).
+//!
+//! ## What is modelled
+//!
+//! * **RAN** — log-distance pathloss, receiver noise figures, SNR→MCS link
+//!   adaptation, a BLER waterfall with HARQ, and a per-TTI PRB quota per
+//!   slice ([`radio`]).
+//! * **Transport network** — a rate-limited backhaul link with fixed delay
+//!   and optional jitter, standing in for the OpenFlow-metered SDN switch
+//!   ([`transport`]).
+//! * **Core / edge network** — per-packet core processing plus a FIFO edge
+//!   compute server whose speed follows the configured Docker CPU ratio
+//!   ([`edge`]).
+//! * **Application** — the paper's frame-offloading app with bounded
+//!   on-the-fly frames emulating 1–4 users ([`app`]).
+//!
+//! Two facades expose the same engine:
+//!
+//! * [`Simulator`] — behaviour controlled by the public 7-dim simulation
+//!   parameters of Table 3 (this is what stage 1 calibrates and stages 2–3
+//!   query offline), and
+//! * [`RealNetwork`] — the emulated testbed with a hidden ground-truth
+//!   environment that the simulation parameters can only partially match,
+//!   reproducing the paper's sim-to-real discrepancy.
+//!
+//! ```
+//! use atlas_netsim::{RealNetwork, Scenario, Simulator, SliceConfig};
+//!
+//! let config = SliceConfig::default_generous();
+//! let scenario = Scenario::default_with_seed(7).with_duration(5.0);
+//! let sim = Simulator::with_original_params().run(&config, &scenario);
+//! let real = RealNetwork::prototype().run(&config, &scenario);
+//! // The testbed is slower than the idealised simulator.
+//! assert!(real.mean_latency_ms() > sim.mean_latency_ms());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod config;
+pub mod edge;
+pub mod engine;
+pub mod network;
+pub mod radio;
+pub mod testbed;
+pub mod transport;
+
+pub use config::{Mobility, Scenario, SimParams, SliceConfig};
+pub use network::{LatencyBreakdown, LinkEnvironment, Simulator, TraceSummary};
+pub use testbed::{RealNetwork, RealWorldProfile};

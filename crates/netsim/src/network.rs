@@ -1,0 +1,541 @@
+//! End-to-end network assembly.
+//!
+//! Combines the radio, transport, edge and application models into one
+//! closed queueing network traversed by application frames, and exposes the
+//! two facades Atlas interacts with:
+//!
+//! * [`Simulator`] — the offline simulator whose behaviour is controlled by
+//!   the 7 simulation parameters of Table 3 (the NS-3 stand-in).
+//! * `RealNetwork` (in [`crate::testbed`]) — the emulated testbed with a
+//!   hidden ground-truth environment.
+//!
+//! Both run the same engine through [`LinkEnvironment`], which captures
+//! every physical assumption in one place.
+
+use crate::app::FrameSource;
+use crate::config::{Mobility, Scenario, SimParams, SliceConfig};
+use crate::edge::EdgeServer;
+use crate::engine::{EventQueue, Station};
+use crate::radio::{LogDistancePathloss, RadioEnvironment, RadioLink};
+use crate::transport::BackhaulLink;
+use atlas_math::stats;
+use atlas_math::rng::{derive_seed, seeded_rng};
+use rand::Rng;
+
+/// Everything physical about the end-to-end path: the "world" a run takes
+/// place in. The simulator derives it from [`SimParams`]; the testbed uses
+/// a hidden ground-truth instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkEnvironment {
+    /// Uplink radio environment (UE → eNB).
+    pub ul_radio: RadioEnvironment,
+    /// Downlink radio environment (eNB → UE).
+    pub dl_radio: RadioEnvironment,
+    /// Fixed one-way backhaul delay in ms.
+    pub backhaul_delay_ms: f64,
+    /// Per-packet backhaul jitter standard deviation in ms.
+    pub backhaul_jitter_std_ms: f64,
+    /// Fraction of the configured backhaul bandwidth actually achievable.
+    pub backhaul_efficiency: f64,
+    /// Additional backhaul bandwidth in Mbps on top of the configured one.
+    pub backhaul_extra_mbps: f64,
+    /// Additional per-frame compute time in ms.
+    pub extra_compute_ms: f64,
+    /// Probability that a frame hits the edge server's slow path.
+    pub compute_tail_probability: f64,
+    /// Slow-path service-time multiplier.
+    pub compute_tail_factor: f64,
+    /// Additional per-frame loading time at the UE in ms.
+    pub extra_loading_ms: f64,
+    /// Per-packet core-network processing time in ms (SPGW-U forwarding).
+    pub core_processing_ms: f64,
+    /// Interference added per extra background user, in dB (captures the
+    /// small cross-slice coupling that remains despite isolation).
+    pub interference_per_extra_user_db: f64,
+}
+
+impl LinkEnvironment {
+    /// Builds the idealised simulator environment from simulation
+    /// parameters (Table 3 semantics).
+    pub fn from_sim_params(params: &SimParams) -> Self {
+        let pathloss = LogDistancePathloss {
+            reference_loss_db: params.baseline_loss,
+            exponent: 3.0,
+            reference_distance_m: 1.0,
+        };
+        Self {
+            ul_radio: RadioEnvironment::uplink(pathloss, params.enb_noise_figure),
+            dl_radio: RadioEnvironment::downlink(pathloss, params.ue_noise_figure),
+            backhaul_delay_ms: 0.5 + params.backhaul_delay,
+            backhaul_jitter_std_ms: 0.0,
+            backhaul_efficiency: 1.0,
+            backhaul_extra_mbps: params.backhaul_bw,
+            extra_compute_ms: params.compute_time,
+            compute_tail_probability: 0.0,
+            compute_tail_factor: 1.0,
+            extra_loading_ms: params.loading_time,
+            core_processing_ms: 2.0,
+            interference_per_extra_user_db: 0.0,
+        }
+    }
+}
+
+/// Per-stage latency breakdown averaged over completed frames (the
+/// "transmission and computing details" the paper's NS-3 tracer records).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyBreakdown {
+    /// Mean UE-side loading time (ms).
+    pub loading_ms: f64,
+    /// Mean uplink radio time including queueing (ms).
+    pub uplink_ms: f64,
+    /// Mean backhaul + core time including queueing (ms).
+    pub backhaul_ms: f64,
+    /// Mean edge compute time including queueing (ms).
+    pub compute_ms: f64,
+    /// Mean downlink radio time including queueing (ms).
+    pub downlink_ms: f64,
+}
+
+/// Result of one 60-second (by default) measurement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Per-frame end-to-end latencies in ms, in completion order.
+    pub latencies_ms: Vec<f64>,
+    /// Number of frames completed within the run.
+    pub frames_completed: usize,
+    /// Saturation uplink throughput of the full carrier in Mbps.
+    pub ul_throughput_mbps: f64,
+    /// Saturation downlink throughput of the full carrier in Mbps.
+    pub dl_throughput_mbps: f64,
+    /// Residual uplink packet error rate.
+    pub ul_per: f64,
+    /// Residual downlink packet error rate.
+    pub dl_per: f64,
+    /// Average ping (ICMP round-trip) delay in ms.
+    pub ping_delay_ms: f64,
+    /// Mean per-stage latency breakdown.
+    pub breakdown: LatencyBreakdown,
+    /// Utilisation of the edge compute server during the run.
+    pub edge_utilization: f64,
+}
+
+impl TraceSummary {
+    /// Mean end-to-end latency in ms (0 if no frame completed).
+    pub fn mean_latency_ms(&self) -> f64 {
+        stats::mean(&self.latencies_ms)
+    }
+
+    /// Quality of experience: the fraction of frames whose end-to-end
+    /// latency is at or below `threshold_ms` (the paper's unified QoE).
+    pub fn qoe(&self, threshold_ms: f64) -> f64 {
+        stats::fraction_below(&self.latencies_ms, threshold_ms)
+    }
+}
+
+/// Which stage a frame reaches next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Hop {
+    StartLoading,
+    UplinkArrival,
+    BackhaulArrival,
+    EdgeArrival,
+    DownlinkArrival,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FrameEvent {
+    user: usize,
+    hop: Hop,
+    generated_at: f64,
+    /// Accumulated per-stage durations for the breakdown tracer.
+    loading_ms: f64,
+    uplink_ms: f64,
+    backhaul_ms: f64,
+    compute_ms: f64,
+}
+
+/// Runs the closed-network frame-offloading workload in `env` under the
+/// given slice configuration and scenario. This is the core of both the
+/// simulator and the emulated testbed.
+pub fn run_end_to_end(
+    env: &LinkEnvironment,
+    config: &SliceConfig,
+    scenario: &Scenario,
+) -> TraceSummary {
+    let mut rng = seeded_rng(scenario.seed);
+
+    // Cross-slice interference from background users (kept tiny: the whole
+    // point of slicing is isolation, c.f. Fig. 11).
+    let interference = env.interference_per_extra_user_db
+        * f64::from(scenario.extra_background_users);
+    let mut ul_env = env.ul_radio;
+    ul_env.interference_margin_db += interference;
+    let mut dl_env = env.dl_radio;
+    dl_env.interference_margin_db += interference;
+
+    let ul_link = RadioLink::new(ul_env, config.bandwidth_ul, config.mcs_offset_ul);
+    let dl_link = RadioLink::new(dl_env, config.bandwidth_dl, config.mcs_offset_dl);
+    let backhaul = BackhaulLink::new(
+        config.backhaul_bw * env.backhaul_efficiency + env.backhaul_extra_mbps,
+        env.backhaul_delay_ms,
+    )
+    .with_jitter(env.backhaul_jitter_std_ms);
+    let edge = EdgeServer::new(config.cpu_ratio, env.extra_compute_ms)
+        .with_heavy_tail(env.compute_tail_probability, env.compute_tail_factor);
+    let source = FrameSource::new(env.extra_loading_ms);
+
+    let mut ul_station = Station::new();
+    let mut backhaul_station = Station::new();
+    let mut edge_station = Station::new();
+    let mut dl_station = Station::new();
+
+    let duration_ms = scenario.duration_s * 1000.0;
+    let users = scenario.traffic.max(1) as usize;
+
+    let mut queue: EventQueue<FrameEvent> = EventQueue::new();
+    for user in 0..users {
+        queue.schedule(
+            user as f64 * 7.0,
+            FrameEvent {
+                user,
+                hop: Hop::StartLoading,
+                generated_at: user as f64 * 7.0,
+                loading_ms: 0.0,
+                uplink_ms: 0.0,
+                backhaul_ms: 0.0,
+                compute_ms: 0.0,
+            },
+        );
+    }
+
+    let mut latencies = Vec::new();
+    let mut breakdown_acc = LatencyBreakdown::default();
+    let mut ul_blocks = 0u64;
+    let mut ul_errors = 0u64;
+    let mut dl_blocks = 0u64;
+    let mut dl_errors = 0u64;
+
+    while let Some((now, mut ev)) = queue.pop() {
+        if now > duration_ms {
+            break;
+        }
+        let distance = sample_distance(scenario, &mut rng);
+        match ev.hop {
+            Hop::StartLoading => {
+                let load = source.loading_ms(&mut rng);
+                ev.loading_ms = load;
+                ev.hop = Hop::UplinkArrival;
+                queue.schedule(now + load, ev);
+            }
+            Hop::UplinkArrival => {
+                let bits = source.ul_frame_bits(&mut rng);
+                let tx = ul_link.transmit(bits, distance, &mut rng);
+                ul_blocks += u64::from(tx.blocks);
+                ul_errors += u64::from(tx.first_tx_errors);
+                let (_start, finish) = ul_station.serve(now, tx.duration_ms);
+                ev.uplink_ms = finish - now;
+                ev.hop = Hop::BackhaulArrival;
+                // The backhaul carries the same frame onward.
+                let transfer = backhaul.transfer_ms(bits, &mut rng) + env.core_processing_ms;
+                let (_bstart, bfinish) = backhaul_station.serve(finish, transfer);
+                ev.backhaul_ms = bfinish - finish;
+                ev.hop = Hop::EdgeArrival;
+                queue.schedule(bfinish, ev);
+            }
+            Hop::BackhaulArrival => {
+                // Folded into UplinkArrival above; kept for completeness.
+                ev.hop = Hop::EdgeArrival;
+                queue.schedule(now, ev);
+            }
+            Hop::EdgeArrival => {
+                let service = edge.service_ms(&mut rng);
+                let (_start, finish) = edge_station.serve(now, service);
+                ev.compute_ms = finish - now;
+                ev.hop = Hop::DownlinkArrival;
+                queue.schedule(finish, ev);
+            }
+            Hop::DownlinkArrival => {
+                let bits = source.dl_result_bits(&mut rng);
+                let tx = dl_link.transmit(bits, distance, &mut rng);
+                dl_blocks += u64::from(tx.blocks);
+                dl_errors += u64::from(tx.first_tx_errors);
+                let backhaul_back = backhaul.transfer_ms(bits, &mut rng) * 0.25
+                    + env.core_processing_ms * 0.5;
+                let (_start, finish) =
+                    dl_station.serve(now + backhaul_back, tx.duration_ms);
+                let latency = finish - ev.generated_at;
+                latencies.push(latency);
+                breakdown_acc.loading_ms += ev.loading_ms;
+                breakdown_acc.uplink_ms += ev.uplink_ms;
+                breakdown_acc.backhaul_ms += ev.backhaul_ms;
+                breakdown_acc.compute_ms += ev.compute_ms;
+                breakdown_acc.downlink_ms += finish - now;
+                // Closed loop: the user immediately offloads the next frame.
+                queue.schedule(
+                    finish + 1.0,
+                    FrameEvent {
+                        user: ev.user,
+                        hop: Hop::StartLoading,
+                        generated_at: finish + 1.0,
+                        loading_ms: 0.0,
+                        uplink_ms: 0.0,
+                        backhaul_ms: 0.0,
+                        compute_ms: 0.0,
+                    },
+                );
+            }
+        }
+    }
+
+    let n = latencies.len().max(1) as f64;
+    let breakdown = LatencyBreakdown {
+        loading_ms: breakdown_acc.loading_ms / n,
+        uplink_ms: breakdown_acc.uplink_ms / n,
+        backhaul_ms: breakdown_acc.backhaul_ms / n,
+        compute_ms: breakdown_acc.compute_ms / n,
+        downlink_ms: breakdown_acc.downlink_ms / n,
+    };
+
+    // Network-level measurements (full 10 MHz carrier, as in Table 1).
+    let mut meas_rng = seeded_rng(derive_seed(scenario.seed, 0xFEED));
+    let full_ul = RadioLink::new(ul_env, 50.0, 0.0);
+    let full_dl = RadioLink::new(dl_env, 50.0, 0.0);
+    let (ul_sat, ul_sat_per) =
+        full_ul.saturation_throughput_mbps(scenario.user_distance_m, 2000, &mut meas_rng);
+    let (dl_sat, dl_sat_per) =
+        full_dl.saturation_throughput_mbps(scenario.user_distance_m, 2000, &mut meas_rng);
+    // The uplink of a handset is power limited relative to the eNB; apply
+    // the usual UL/DL asymmetry so the carrier-level numbers resemble a
+    // 10 MHz LTE deployment.
+    let ul_sat = ul_sat * 0.62;
+
+    let residual_ul_per = if ul_blocks > 0 {
+        (ul_errors as f64 / ul_blocks as f64) * 0.05 + ul_sat_per * 0.02
+    } else {
+        ul_sat_per * 0.02
+    };
+    let residual_dl_per = if dl_blocks > 0 {
+        (dl_errors as f64 / dl_blocks as f64) * 0.05 + dl_sat_per * 0.01
+    } else {
+        dl_sat_per * 0.01
+    };
+
+    let ping = 2.0 * (8.0 + env.backhaul_delay_ms + env.core_processing_ms)
+        + 1.0
+        + 0.5 * env.backhaul_jitter_std_ms;
+
+    TraceSummary {
+        frames_completed: latencies.len(),
+        ul_throughput_mbps: ul_sat,
+        dl_throughput_mbps: dl_sat,
+        ul_per: (residual_ul_per + 2e-3).min(1.0),
+        dl_per: (residual_dl_per + 1e-3).min(1.0),
+        ping_delay_ms: ping,
+        breakdown,
+        edge_utilization: edge_station.utilization(duration_ms),
+        latencies_ms: latencies,
+    }
+}
+
+fn sample_distance<R: Rng + ?Sized>(scenario: &Scenario, rng: &mut R) -> f64 {
+    match scenario.mobility {
+        Mobility::Stationary => scenario.user_distance_m,
+        Mobility::RandomWalk { max_distance_m } => {
+            1.0 + rng.random::<f64>() * (max_distance_m - 1.0).max(0.0)
+        }
+    }
+}
+
+/// The offline network simulator (the NS-3 stand-in): its behaviour is
+/// fully determined by the public 7-dimensional [`SimParams`] vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Simulator {
+    params: SimParams,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given simulation parameters.
+    pub fn new(params: SimParams) -> Self {
+        Self { params }
+    }
+
+    /// Creates a simulator with the original, specification-derived
+    /// parameters (the "Original Simulator" row of Table 4).
+    pub fn with_original_params() -> Self {
+        Self::new(SimParams::original())
+    }
+
+    /// The simulation parameters currently in use.
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// Replaces the simulation parameters (used by the learning-based
+    /// simulator stage once better parameters are found).
+    pub fn set_params(&mut self, params: SimParams) {
+        self.params = params;
+    }
+
+    /// Runs one measurement of the slice under `config` in `scenario`.
+    pub fn run(&self, config: &SliceConfig, scenario: &Scenario) -> TraceSummary {
+        let env = LinkEnvironment::from_sim_params(&self.params);
+        run_end_to_end(&env, config, scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_scenario(seed: u64) -> Scenario {
+        Scenario::default_with_seed(seed).with_duration(20.0)
+    }
+
+    fn decent_config() -> SliceConfig {
+        SliceConfig {
+            bandwidth_ul: 10.0,
+            bandwidth_dl: 5.0,
+            mcs_offset_ul: 0.0,
+            mcs_offset_dl: 0.0,
+            backhaul_bw: 10.0,
+            cpu_ratio: 0.8,
+        }
+    }
+
+    #[test]
+    fn simulator_is_deterministic_for_a_seed() {
+        let sim = Simulator::with_original_params();
+        let a = sim.run(&decent_config(), &quick_scenario(3));
+        let b = sim.run(&decent_config(), &quick_scenario(3));
+        assert_eq!(a.latencies_ms, b.latencies_ms);
+        assert_eq!(a.frames_completed, b.frames_completed);
+        let c = sim.run(&decent_config(), &quick_scenario(4));
+        assert_ne!(a.latencies_ms, c.latencies_ms);
+    }
+
+    #[test]
+    fn frames_complete_and_latencies_are_positive() {
+        let sim = Simulator::with_original_params();
+        let out = sim.run(&decent_config(), &quick_scenario(1));
+        assert!(out.frames_completed > 20, "frames {}", out.frames_completed);
+        assert!(out.latencies_ms.iter().all(|l| *l > 0.0 && l.is_finite()));
+        assert!(out.mean_latency_ms() > 50.0 && out.mean_latency_ms() < 2000.0);
+    }
+
+    #[test]
+    fn latency_increases_with_user_traffic() {
+        let sim = Simulator::with_original_params();
+        let cfg = decent_config();
+        let one = sim.run(&cfg, &quick_scenario(5).with_traffic(1));
+        let four = sim.run(&cfg, &quick_scenario(5).with_traffic(4));
+        assert!(
+            four.mean_latency_ms() > one.mean_latency_ms() * 1.5,
+            "traffic 4 latency {} should exceed traffic 1 latency {}",
+            four.mean_latency_ms(),
+            one.mean_latency_ms()
+        );
+    }
+
+    #[test]
+    fn more_cpu_reduces_latency() {
+        let sim = Simulator::with_original_params();
+        let mut starved = decent_config();
+        starved.cpu_ratio = 0.3;
+        let mut generous = decent_config();
+        generous.cpu_ratio = 1.0;
+        let slow = sim.run(&starved, &quick_scenario(6));
+        let fast = sim.run(&generous, &quick_scenario(6));
+        assert!(slow.mean_latency_ms() > fast.mean_latency_ms() * 1.5);
+    }
+
+    #[test]
+    fn more_uplink_prbs_reduce_latency_when_radio_limited() {
+        let sim = Simulator::with_original_params();
+        let mut narrow = decent_config();
+        narrow.bandwidth_ul = 2.0;
+        let mut wide = decent_config();
+        wide.bandwidth_ul = 30.0;
+        let slow = sim.run(&narrow, &quick_scenario(7));
+        let fast = sim.run(&wide, &quick_scenario(7));
+        assert!(slow.mean_latency_ms() > fast.mean_latency_ms());
+    }
+
+    #[test]
+    fn qoe_is_monotone_in_threshold_and_bounded() {
+        let sim = Simulator::with_original_params();
+        let out = sim.run(&decent_config(), &quick_scenario(8));
+        let q200 = out.qoe(200.0);
+        let q400 = out.qoe(400.0);
+        assert!((0.0..=1.0).contains(&q200));
+        assert!((0.0..=1.0).contains(&q400));
+        assert!(q400 >= q200);
+    }
+
+    #[test]
+    fn simulation_parameters_shift_latency() {
+        let base = Simulator::with_original_params();
+        let mut slowed_params = SimParams::original();
+        slowed_params.compute_time = 10.0;
+        slowed_params.backhaul_delay = 10.0;
+        slowed_params.loading_time = 10.0;
+        let slowed = Simulator::new(slowed_params);
+        let cfg = decent_config();
+        let a = base.run(&cfg, &quick_scenario(9));
+        let b = slowed.run(&cfg, &quick_scenario(9));
+        assert!(
+            b.mean_latency_ms() > a.mean_latency_ms() + 15.0,
+            "slowed {} vs base {}",
+            b.mean_latency_ms(),
+            a.mean_latency_ms()
+        );
+    }
+
+    #[test]
+    fn higher_baseline_loss_reduces_throughput() {
+        let base = Simulator::with_original_params();
+        let mut lossy_params = SimParams::original();
+        lossy_params.baseline_loss = 50.0;
+        lossy_params.enb_noise_figure = 10.0;
+        let lossy = Simulator::new(lossy_params);
+        let cfg = decent_config();
+        let scenario = quick_scenario(10).with_distance(10.0);
+        let a = base.run(&cfg, &scenario);
+        let b = lossy.run(&cfg, &scenario);
+        assert!(b.ul_throughput_mbps < a.ul_throughput_mbps);
+    }
+
+    #[test]
+    fn table1_style_metrics_are_in_plausible_ranges() {
+        let sim = Simulator::with_original_params();
+        let out = sim.run(&SliceConfig::default_generous(), &quick_scenario(11));
+        assert!(out.ul_throughput_mbps > 5.0 && out.ul_throughput_mbps < 50.0);
+        assert!(out.dl_throughput_mbps > 10.0 && out.dl_throughput_mbps < 80.0);
+        assert!(out.dl_throughput_mbps > out.ul_throughput_mbps);
+        assert!(out.ul_per > 0.0 && out.ul_per < 0.1);
+        assert!(out.dl_per > 0.0 && out.dl_per < 0.1);
+        assert!(out.ping_delay_ms > 5.0 && out.ping_delay_ms < 100.0);
+    }
+
+    #[test]
+    fn breakdown_sums_roughly_to_total_latency() {
+        let sim = Simulator::with_original_params();
+        let out = sim.run(&decent_config(), &quick_scenario(12));
+        let b = out.breakdown;
+        let sum = b.loading_ms + b.uplink_ms + b.backhaul_ms + b.compute_ms + b.downlink_ms;
+        let mean = out.mean_latency_ms();
+        assert!(
+            (sum - mean).abs() < 0.3 * mean,
+            "breakdown sum {sum} vs mean latency {mean}"
+        );
+    }
+
+    #[test]
+    fn edge_utilization_grows_with_traffic() {
+        let sim = Simulator::with_original_params();
+        let cfg = decent_config();
+        let light = sim.run(&cfg, &quick_scenario(13).with_traffic(1));
+        let heavy = sim.run(&cfg, &quick_scenario(13).with_traffic(4));
+        assert!(heavy.edge_utilization > light.edge_utilization);
+        assert!(heavy.edge_utilization <= 1.0);
+    }
+}

@@ -1,0 +1,468 @@
+//! Radio-access-network model.
+//!
+//! Models the LTE link between the UE and the eNB at the granularity Atlas
+//! needs: a log-distance pathloss model (the NS-3/LENA
+//! `LogDistancePropagationLossModel`), receiver noise figures, an SNR→MCS
+//! link-adaptation table, a BLER waterfall with HARQ retransmissions, and a
+//! per-TTI PRB-quota scheduler that converts a slice's PRB allocation and
+//! MCS offset into frame transmission times and residual packet error
+//! rates.
+
+use atlas_math::dist::standard_normal_sample;
+use rand::Rng;
+
+/// Duration of one LTE transmission time interval, in milliseconds.
+pub const TTI_MS: f64 = 1.0;
+/// Number of resource elements usable for data per PRB per TTI
+/// (12 subcarriers × 14 symbols, minus reference/control overhead).
+pub const DATA_RE_PER_PRB: f64 = 138.0;
+/// Maximum number of HARQ transmission attempts per transport block.
+pub const MAX_HARQ_ATTEMPTS: u32 = 4;
+/// Thermal noise power spectral density in dBm/Hz.
+pub const THERMAL_NOISE_DBM_HZ: f64 = -174.0;
+/// Bandwidth of one PRB in Hz (12 × 15 kHz subcarriers).
+pub const PRB_BANDWIDTH_HZ: f64 = 180_000.0;
+
+/// Log-distance pathloss model (matches NS-3's
+/// `LogDistancePropagationLossModel`):
+/// `PL(d) = reference_loss + 10 · exponent · log10(d / reference_distance)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogDistancePathloss {
+    /// Pathloss at the reference distance, in dB.
+    pub reference_loss_db: f64,
+    /// Pathloss exponent (≈2 free space, ≈3–3.5 indoor).
+    pub exponent: f64,
+    /// Reference distance in metres.
+    pub reference_distance_m: f64,
+}
+
+impl LogDistancePathloss {
+    /// The NS-3 default parameterisation (reference loss 38.57 dB at 1 m,
+    /// exponent 3.0) reported in Table 4 of the paper.
+    pub fn ns3_default() -> Self {
+        Self {
+            reference_loss_db: 38.57,
+            exponent: 3.0,
+            reference_distance_m: 1.0,
+        }
+    }
+
+    /// Pathloss in dB at distance `d` metres.
+    pub fn loss_db(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(self.reference_distance_m);
+        self.reference_loss_db + 10.0 * self.exponent * (d / self.reference_distance_m).log10()
+    }
+}
+
+/// Direction of a radio link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// UE → eNB.
+    Uplink,
+    /// eNB → UE.
+    Downlink,
+}
+
+/// Effective per-PRB uplink transmit power after implementation losses
+/// (USRP front-end without a power amplifier, cabling, antenna mismatch),
+/// in dBm. The absolute value is a model constant; what matters is that the
+/// resulting SNR places 1–10 m operation inside the link-adaptation region.
+pub const UL_TX_POWER_DBM: f64 = -51.0;
+/// Effective per-PRB downlink transmit power after implementation losses,
+/// in dBm.
+pub const DL_TX_POWER_DBM: f64 = -44.0;
+
+/// Physical-layer environment of one radio link direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioEnvironment {
+    /// Pathloss model.
+    pub pathloss: LogDistancePathloss,
+    /// Effective per-PRB transmit power in dBm (see [`UL_TX_POWER_DBM`]).
+    pub tx_power_dbm: f64,
+    /// Receiver noise figure in dB.
+    pub noise_figure_db: f64,
+    /// Log-normal shadow-fading standard deviation in dB (0 = none; the
+    /// NS-3 setup in the paper uses no fading model, the real prototype
+    /// exhibits some).
+    pub shadow_fading_std_db: f64,
+    /// Extra interference margin in dB subtracted from the SNR (models
+    /// uncontrolled interference in the real deployment).
+    pub interference_margin_db: f64,
+}
+
+impl RadioEnvironment {
+    /// Default uplink environment with the given pathloss/noise settings.
+    pub fn uplink(pathloss: LogDistancePathloss, noise_figure_db: f64) -> Self {
+        Self {
+            pathloss,
+            tx_power_dbm: UL_TX_POWER_DBM,
+            noise_figure_db,
+            shadow_fading_std_db: 0.0,
+            interference_margin_db: 0.0,
+        }
+    }
+
+    /// Default downlink environment with the given pathloss/noise settings.
+    pub fn downlink(pathloss: LogDistancePathloss, noise_figure_db: f64) -> Self {
+        Self {
+            pathloss,
+            tx_power_dbm: DL_TX_POWER_DBM,
+            noise_figure_db,
+            shadow_fading_std_db: 0.0,
+            interference_margin_db: 0.0,
+        }
+    }
+
+    /// Mean SNR in dB for a user at `distance_m`, over the bandwidth of a
+    /// single PRB (link adaptation in LTE is per-PRB to first order).
+    pub fn mean_snr_db(&self, distance_m: f64) -> f64 {
+        let noise_dbm = THERMAL_NOISE_DBM_HZ + 10.0 * PRB_BANDWIDTH_HZ.log10() + self.noise_figure_db;
+        self.tx_power_dbm - self.pathloss.loss_db(distance_m) - noise_dbm
+            - self.interference_margin_db
+    }
+
+    /// Samples an instantaneous SNR including shadow fading.
+    pub fn sample_snr_db<R: Rng + ?Sized>(&self, distance_m: f64, rng: &mut R) -> f64 {
+        let fading = if self.shadow_fading_std_db > 0.0 {
+            self.shadow_fading_std_db * standard_normal_sample(rng)
+        } else {
+            0.0
+        };
+        self.mean_snr_db(distance_m) + fading
+    }
+}
+
+/// Number of MCS indices modelled (LTE uses 0..=28).
+pub const NUM_MCS: usize = 29;
+
+/// Spectral efficiency (information bits per resource element) of each MCS
+/// index, following the LTE CQI/MCS efficiency ladder (QPSK → 64-QAM).
+pub const MCS_EFFICIENCY: [f64; NUM_MCS] = [
+    0.15, 0.19, 0.23, 0.31, 0.38, 0.49, 0.60, 0.74, 0.88, 1.03, 1.18, 1.33, 1.48, 1.70, 1.91,
+    2.16, 2.41, 2.57, 2.73, 3.03, 3.32, 3.61, 3.90, 4.21, 4.52, 4.82, 5.12, 5.33, 5.55,
+];
+
+/// SNR (dB) required to operate each MCS index at roughly 10 % BLER.
+/// Approximated as a linear ramp from −6 dB (MCS 0) to 22 dB (MCS 28),
+/// which is the usual shape of link-level LTE curves.
+pub fn required_snr_db(mcs: usize) -> f64 {
+    let mcs = mcs.min(NUM_MCS - 1) as f64;
+    -6.0 + mcs * (28.0 / (NUM_MCS as f64 - 1.0))
+}
+
+/// Selects the highest MCS whose required SNR does not exceed the measured
+/// SNR (classic inner-loop link adaptation), then applies the slice's MCS
+/// offset as a robustness back-off.
+pub fn select_mcs(snr_db: f64, mcs_offset: f64) -> usize {
+    let mut mcs = 0usize;
+    for i in 0..NUM_MCS {
+        if required_snr_db(i) <= snr_db {
+            mcs = i;
+        } else {
+            break;
+        }
+    }
+    let offset = mcs_offset.round().clamp(0.0, 28.0) as usize;
+    mcs.saturating_sub(offset)
+}
+
+/// Block error rate of one HARQ transmission attempt at the given SNR and
+/// MCS: a sigmoid "waterfall" centred slightly below the MCS's required
+/// SNR, which is the standard abstraction used by system-level simulators
+/// (c.f. the BLER-mapping abstraction the paper cites).
+pub fn bler(snr_db: f64, mcs: usize) -> f64 {
+    let threshold = required_snr_db(mcs) - 1.0;
+    let steepness = 0.8;
+    let x = (snr_db - threshold) / steepness;
+    (1.0 / (1.0 + x.exp())).clamp(1e-5, 1.0)
+}
+
+/// Transport-block capacity in bits for a given PRB count and MCS over one
+/// TTI.
+pub fn bits_per_tti(prbs: f64, mcs: usize) -> f64 {
+    let eff = MCS_EFFICIENCY[mcs.min(NUM_MCS - 1)];
+    (prbs.max(0.0) * DATA_RE_PER_PRB * eff).floor()
+}
+
+/// Outcome of transmitting one application frame over the radio link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransmissionOutcome {
+    /// Air-time spent transmitting the frame, in milliseconds (includes
+    /// HARQ retransmissions).
+    pub duration_ms: f64,
+    /// Number of transport blocks sent.
+    pub blocks: u32,
+    /// Number of transport blocks whose first transmission failed.
+    pub first_tx_errors: u32,
+    /// Number of transport blocks lost after exhausting HARQ attempts.
+    pub residual_errors: u32,
+}
+
+/// One direction of the slice's radio link with its PRB quota and MCS
+/// offset applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioLink {
+    /// Physical environment.
+    pub env: RadioEnvironment,
+    /// PRBs allocated to the slice in this direction.
+    pub prbs: f64,
+    /// MCS offset applied by the slice configuration.
+    pub mcs_offset: f64,
+}
+
+impl RadioLink {
+    /// Creates a radio link; PRBs below one are raised to one so a
+    /// configured-but-tiny allocation still provides basic connectivity
+    /// (the FlexRAN controller in the prototype does the same).
+    pub fn new(env: RadioEnvironment, prbs: f64, mcs_offset: f64) -> Self {
+        Self {
+            env,
+            prbs: prbs.max(1.0),
+            mcs_offset,
+        }
+    }
+
+    /// Transmits a frame of `frame_bits` for a user at `distance_m`,
+    /// simulating per-TTI transport blocks with HARQ.
+    pub fn transmit<R: Rng + ?Sized>(
+        &self,
+        frame_bits: f64,
+        distance_m: f64,
+        rng: &mut R,
+    ) -> TransmissionOutcome {
+        let mut remaining = frame_bits.max(0.0);
+        let mut duration_ms = 0.0;
+        let mut blocks = 0u32;
+        let mut first_tx_errors = 0u32;
+        let mut residual_errors = 0u32;
+
+        // Outer-loop link adaptation: the MCS is chosen from the long-term
+        // (mean) SNR; individual transmissions then succeed or fail based
+        // on the instantaneous SNR (mean + shadow fading), which is how
+        // fading and interference degrade a real link whose CQI reports lag
+        // behind the channel.
+        let mean_snr = self.env.mean_snr_db(distance_m);
+        let mcs = select_mcs(mean_snr, self.mcs_offset);
+        let tb_bits = bits_per_tti(self.prbs, mcs).max(1.0);
+
+        // Guard against pathological zero-capacity configurations: even at
+        // MCS 0 with one PRB the loop terminates, but cap the air time at
+        // ten seconds per frame to keep runaway configurations bounded.
+        let max_duration_ms = 10_000.0;
+
+        while remaining > 0.0 && duration_ms < max_duration_ms {
+            let snr = self.env.sample_snr_db(distance_m, rng);
+            let p_err = bler(snr, mcs);
+            blocks += 1;
+
+            // HARQ: retransmit the same transport block until it decodes or
+            // attempts are exhausted. Each attempt costs one TTI (plus the
+            // HARQ round-trip is folded into subsequent TTIs of the same
+            // frame, which is accurate enough at this abstraction level).
+            let mut attempt = 1;
+            let mut decoded = false;
+            while attempt <= MAX_HARQ_ATTEMPTS {
+                duration_ms += TTI_MS;
+                // Retransmissions combine soft information; model this as a
+                // halving of the error probability per extra attempt.
+                let p = p_err / f64::from(1u32 << (attempt - 1));
+                if rng.random::<f64>() >= p {
+                    decoded = true;
+                    break;
+                }
+                if attempt == 1 {
+                    first_tx_errors += 1;
+                }
+                attempt += 1;
+            }
+            if !decoded {
+                residual_errors += 1;
+            }
+            remaining -= tb_bits;
+        }
+
+        TransmissionOutcome {
+            duration_ms,
+            blocks,
+            first_tx_errors,
+            residual_errors,
+        }
+    }
+
+    /// Saturation throughput in Mbps (full-buffer, long-run average),
+    /// obtained by simulating `ttis` TTIs of back-to-back transmission.
+    pub fn saturation_throughput_mbps<R: Rng + ?Sized>(
+        &self,
+        distance_m: f64,
+        ttis: u32,
+        rng: &mut R,
+    ) -> (f64, f64) {
+        let mut delivered_bits = 0.0;
+        let mut errors = 0u32;
+        let mut blocks = 0u32;
+        let mean_snr = self.env.mean_snr_db(distance_m);
+        let mcs = select_mcs(mean_snr, self.mcs_offset);
+        let tb_bits = bits_per_tti(self.prbs, mcs);
+        for _ in 0..ttis {
+            let snr = self.env.sample_snr_db(distance_m, rng);
+            let p_err = bler(snr, mcs);
+            blocks += 1;
+            if rng.random::<f64>() >= p_err {
+                delivered_bits += tb_bits;
+            } else {
+                errors += 1;
+                // First retransmission usually succeeds; it consumes the
+                // next TTI implicitly by lowering the average.
+            }
+        }
+        let seconds = f64::from(ttis) * TTI_MS / 1000.0;
+        let throughput = delivered_bits / seconds / 1e6;
+        let per = f64::from(errors) / f64::from(blocks.max(1));
+        (throughput, per)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_math::rng::seeded_rng;
+
+    fn ul_env() -> RadioEnvironment {
+        RadioEnvironment::uplink(LogDistancePathloss::ns3_default(), 5.0)
+    }
+
+    #[test]
+    fn pathloss_grows_with_distance() {
+        let pl = LogDistancePathloss::ns3_default();
+        assert!((pl.loss_db(1.0) - 38.57).abs() < 1e-9);
+        assert!(pl.loss_db(10.0) > pl.loss_db(5.0));
+        assert!(pl.loss_db(5.0) > pl.loss_db(1.0));
+        // 10x distance with exponent 3 adds 30 dB.
+        assert!((pl.loss_db(10.0) - pl.loss_db(1.0) - 30.0).abs() < 1e-9);
+        // Below the reference distance the loss saturates.
+        assert_eq!(pl.loss_db(0.1), pl.loss_db(1.0));
+    }
+
+    #[test]
+    fn snr_decreases_with_distance_and_noise() {
+        let env = ul_env();
+        assert!(env.mean_snr_db(1.0) > env.mean_snr_db(10.0));
+        let mut noisy = env;
+        noisy.noise_figure_db = 12.0;
+        assert!(noisy.mean_snr_db(1.0) < env.mean_snr_db(1.0));
+        let mut interfered = env;
+        interfered.interference_margin_db = 6.0;
+        assert!((env.mean_snr_db(1.0) - interfered.mean_snr_db(1.0) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_at_one_metre_supports_the_top_mcs() {
+        // A UE one metre from the antenna should see an excellent link that
+        // selects the highest MCS.
+        let env = ul_env();
+        assert!(env.mean_snr_db(1.0) > 22.0, "snr {}", env.mean_snr_db(1.0));
+        assert_eq!(select_mcs(env.mean_snr_db(1.0), 0.0), NUM_MCS - 1);
+    }
+
+    #[test]
+    fn mcs_selection_is_monotone_in_snr() {
+        let mut prev = 0;
+        for snr in (-10..40).map(f64::from) {
+            let mcs = select_mcs(snr, 0.0);
+            assert!(mcs >= prev);
+            prev = mcs;
+        }
+        assert_eq!(select_mcs(-20.0, 0.0), 0);
+        assert_eq!(select_mcs(100.0, 0.0), NUM_MCS - 1);
+    }
+
+    #[test]
+    fn mcs_offset_reduces_selected_mcs() {
+        let high = select_mcs(20.0, 0.0);
+        let backed_off = select_mcs(20.0, 5.0);
+        assert_eq!(backed_off, high.saturating_sub(5));
+        assert_eq!(select_mcs(20.0, 100.0), 0);
+    }
+
+    #[test]
+    fn efficiency_table_is_increasing() {
+        for w in MCS_EFFICIENCY.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert_eq!(MCS_EFFICIENCY.len(), NUM_MCS);
+    }
+
+    #[test]
+    fn bler_waterfall_behaviour() {
+        // Far above threshold: tiny error rate. Far below: certain error.
+        assert!(bler(30.0, 10) < 1e-3);
+        assert!(bler(-10.0, 10) > 0.99);
+        // Higher MCS needs more SNR, so at a fixed SNR its BLER is larger.
+        assert!(bler(10.0, 20) > bler(10.0, 5));
+    }
+
+    #[test]
+    fn bits_per_tti_scales_with_prbs_and_mcs() {
+        assert!(bits_per_tti(10.0, 20) > bits_per_tti(5.0, 20));
+        assert!(bits_per_tti(10.0, 20) > bits_per_tti(10.0, 5));
+        assert_eq!(bits_per_tti(0.0, 20), 0.0);
+    }
+
+    #[test]
+    fn transmission_duration_scales_inversely_with_prbs() {
+        let mut rng = seeded_rng(1);
+        let frame_bits = 120_000.0;
+        let small = RadioLink::new(ul_env(), 5.0, 0.0).transmit(frame_bits, 1.0, &mut rng);
+        let large = RadioLink::new(ul_env(), 25.0, 0.0).transmit(frame_bits, 1.0, &mut rng);
+        assert!(small.duration_ms > large.duration_ms * 2.0);
+        assert!(large.duration_ms >= TTI_MS);
+    }
+
+    #[test]
+    fn mcs_offset_slows_down_transmission() {
+        let mut rng = seeded_rng(2);
+        let frame_bits = 120_000.0;
+        let fast = RadioLink::new(ul_env(), 10.0, 0.0).transmit(frame_bits, 1.0, &mut rng);
+        let slow = RadioLink::new(ul_env(), 10.0, 8.0).transmit(frame_bits, 1.0, &mut rng);
+        assert!(slow.duration_ms > fast.duration_ms);
+    }
+
+    #[test]
+    fn distance_slows_down_transmission() {
+        let mut rng = seeded_rng(3);
+        let frame_bits = 120_000.0;
+        let near = RadioLink::new(ul_env(), 10.0, 0.0).transmit(frame_bits, 1.0, &mut rng);
+        let far = RadioLink::new(ul_env(), 10.0, 0.0).transmit(frame_bits, 40.0, &mut rng);
+        assert!(far.duration_ms >= near.duration_ms);
+    }
+
+    #[test]
+    fn transmission_terminates_even_with_tiny_allocation() {
+        let mut rng = seeded_rng(4);
+        let out = RadioLink::new(ul_env(), 0.0, 10.0).transmit(1_000_000.0, 100.0, &mut rng);
+        assert!(out.duration_ms <= 10_000.0 + TTI_MS);
+    }
+
+    #[test]
+    fn saturation_throughput_is_reasonable_for_full_carrier() {
+        let mut rng = seeded_rng(5);
+        let link = RadioLink::new(ul_env(), 50.0, 0.0);
+        let (mbps, per) = link.saturation_throughput_mbps(1.0, 2000, &mut rng);
+        // A 10 MHz carrier at high SNR should land in the tens of Mbps.
+        assert!(mbps > 10.0 && mbps < 60.0, "throughput {mbps}");
+        assert!((0.0..0.2).contains(&per), "per {per}");
+    }
+
+    #[test]
+    fn fading_increases_error_rate() {
+        let mut rng = seeded_rng(6);
+        let calm = RadioLink::new(ul_env(), 50.0, 0.0);
+        let mut faded_env = ul_env();
+        faded_env.shadow_fading_std_db = 6.0;
+        // Operate at moderate SNR where fading pushes below the waterfall.
+        let (_, per_calm) = calm.saturation_throughput_mbps(6.0, 3000, &mut rng);
+        let faded = RadioLink::new(faded_env, 50.0, 0.0);
+        let (_, per_faded) = faded.saturation_throughput_mbps(6.0, 3000, &mut rng);
+        assert!(per_faded > per_calm, "faded {per_faded} vs calm {per_calm}");
+    }
+}

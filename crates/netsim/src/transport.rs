@@ -1,0 +1,99 @@
+//! Transport-network (backhaul) model.
+//!
+//! The prototype enforces per-slice transport bandwidth with OpenFlow
+//! meters on an SDN switch. At the abstraction level Atlas needs this is a
+//! rate-limited point-to-point link with a propagation/processing delay:
+//! serialisation time is `bits / rate`, plus a fixed per-packet delay, plus
+//! (in the emulated real network) a small per-packet jitter that the NS-3
+//! model does not capture.
+
+use atlas_math::dist::standard_normal_sample;
+use rand::Rng;
+
+/// A rate-limited backhaul link between the eNB and the core/edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackhaulLink {
+    /// Effective bandwidth available to the slice, in Mbps.
+    pub bandwidth_mbps: f64,
+    /// One-way fixed delay in milliseconds (switch + kernel + propagation).
+    pub delay_ms: f64,
+    /// Standard deviation of per-packet delay jitter in milliseconds.
+    pub jitter_std_ms: f64,
+}
+
+impl BackhaulLink {
+    /// Creates a link; bandwidth below 0.1 Mbps is clamped up so that a
+    /// zero-bandwidth configuration still drains (the OpenFlow meter in the
+    /// prototype behaves the same way for its lowest band).
+    pub fn new(bandwidth_mbps: f64, delay_ms: f64) -> Self {
+        Self {
+            bandwidth_mbps: bandwidth_mbps.max(0.1),
+            delay_ms: delay_ms.max(0.0),
+            jitter_std_ms: 0.0,
+        }
+    }
+
+    /// Returns a copy with per-packet jitter enabled.
+    pub fn with_jitter(mut self, jitter_std_ms: f64) -> Self {
+        self.jitter_std_ms = jitter_std_ms.max(0.0);
+        self
+    }
+
+    /// Serialisation time of a burst of `bits`, in milliseconds.
+    pub fn serialization_ms(&self, bits: f64) -> f64 {
+        bits.max(0.0) / (self.bandwidth_mbps * 1e6) * 1000.0
+    }
+
+    /// Total one-way transfer time of a burst of `bits`, in milliseconds
+    /// (serialisation + fixed delay + jitter).
+    pub fn transfer_ms<R: Rng + ?Sized>(&self, bits: f64, rng: &mut R) -> f64 {
+        let jitter = if self.jitter_std_ms > 0.0 {
+            (self.jitter_std_ms * standard_normal_sample(rng)).max(-self.delay_ms)
+        } else {
+            0.0
+        };
+        (self.serialization_ms(bits) + self.delay_ms + jitter).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_math::rng::seeded_rng;
+    use atlas_math::stats;
+
+    #[test]
+    fn serialization_time_scales_with_size_and_rate() {
+        let slow = BackhaulLink::new(1.0, 0.0);
+        let fast = BackhaulLink::new(10.0, 0.0);
+        assert!((slow.serialization_ms(1e6) - 1000.0).abs() < 1e-9);
+        assert!((fast.serialization_ms(1e6) - 100.0).abs() < 1e-9);
+        assert_eq!(fast.serialization_ms(0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_bandwidth_is_clamped() {
+        let link = BackhaulLink::new(0.0, 1.0);
+        assert!(link.serialization_ms(1e5).is_finite());
+        assert!(link.bandwidth_mbps >= 0.1);
+    }
+
+    #[test]
+    fn transfer_includes_fixed_delay() {
+        let mut rng = seeded_rng(1);
+        let link = BackhaulLink::new(100.0, 5.0);
+        let t = link.transfer_ms(1e5, &mut rng);
+        assert!((t - (1.0 + 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_spreads_transfer_times_but_keeps_them_nonnegative() {
+        let mut rng = seeded_rng(2);
+        let link = BackhaulLink::new(100.0, 2.0).with_jitter(1.5);
+        let times: Vec<f64> = (0..2000).map(|_| link.transfer_ms(1e4, &mut rng)).collect();
+        assert!(times.iter().all(|t| *t >= 0.0));
+        assert!(stats::std_dev(&times) > 0.5);
+        // Mean stays near serialisation + delay.
+        assert!((stats::mean(&times) - (0.1 + 2.0)).abs() < 0.2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests of the network-simulator invariants.
+
+use atlas_netsim::{RealNetwork, Scenario, SimParams, Simulator, SliceConfig};
+use proptest::prelude::*;
+
+fn arbitrary_config() -> impl Strategy<Value = SliceConfig> {
+    (
+        0.0..50.0f64,
+        0.0..50.0f64,
+        0.0..10.0f64,
+        0.0..10.0f64,
+        0.0..100.0f64,
+        0.0..1.0f64,
+    )
+        .prop_map(|(ul, dl, mu, md, bh, cpu)| {
+            SliceConfig::from_vec(&[ul, dl, mu, md, bh, cpu])
+        })
+}
+
+fn arbitrary_params() -> impl Strategy<Value = SimParams> {
+    (
+        30.0..50.0f64,
+        0.0..10.0f64,
+        0.0..15.0f64,
+        0.0..10.0f64,
+        0.0..10.0f64,
+        0.0..10.0f64,
+        0.0..10.0f64,
+    )
+        .prop_map(|(bl, enb, ue, bw, d, c, l)| SimParams::from_vec(&[bl, enb, ue, bw, d, c, l]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn config_roundtrips_and_usage_is_bounded(config in arbitrary_config()) {
+        let v = config.to_vec();
+        prop_assert_eq!(SliceConfig::from_vec(&v), config);
+        let usage = config.resource_usage();
+        prop_assert!((0.0..=1.0).contains(&usage));
+        let unit = config.to_unit();
+        prop_assert!(unit.iter().all(|u| (0.0..=1.0).contains(u)));
+        // The connectivity floor never decreases any allocation.
+        let floored = config.with_connectivity_floor();
+        prop_assert!(floored.bandwidth_ul >= config.bandwidth_ul);
+        prop_assert!(floored.bandwidth_dl >= config.bandwidth_dl);
+        prop_assert!(floored.resource_usage() + 1e-12 >= usage);
+    }
+
+    #[test]
+    fn sim_params_distance_is_a_metric_to_reference(params in arbitrary_params()) {
+        let original = SimParams::original();
+        let d = params.distance_from(&original);
+        prop_assert!(d >= 0.0 && d.is_finite());
+        prop_assert_eq!(params.distance_from(&params), 0.0);
+        // Symmetry.
+        prop_assert!((d - original.distance_from(&params)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulator_always_produces_finite_positive_latencies(
+        config in arbitrary_config(),
+        params in arbitrary_params(),
+        seed in 0u64..500,
+        traffic in 1u32..4,
+    ) {
+        let scenario = Scenario::default_with_seed(seed)
+            .with_duration(4.0)
+            .with_traffic(traffic);
+        let trace = Simulator::new(params).run(&config.with_connectivity_floor(), &scenario);
+        prop_assert!(trace.frames_completed > 0);
+        prop_assert!(trace.latencies_ms.iter().all(|l| l.is_finite() && *l > 0.0));
+        prop_assert!((0.0..=1.0).contains(&trace.qoe(300.0)));
+        prop_assert!(trace.qoe(5000.0) >= trace.qoe(100.0));
+        prop_assert!(trace.ul_per >= 0.0 && trace.ul_per <= 1.0);
+        prop_assert!(trace.dl_per >= 0.0 && trace.dl_per <= 1.0);
+        prop_assert!(trace.edge_utilization >= 0.0 && trace.edge_utilization <= 1.0);
+    }
+
+    #[test]
+    fn real_network_is_deterministic_per_seed(config in arbitrary_config(), seed in 0u64..200) {
+        let scenario = Scenario::default_with_seed(seed).with_duration(4.0);
+        let cfg = config.with_connectivity_floor();
+        let a = RealNetwork::prototype().run(&cfg, &scenario);
+        let b = RealNetwork::prototype().run(&cfg, &scenario);
+        prop_assert_eq!(a.latencies_ms, b.latencies_ms);
+        prop_assert_eq!(a.frames_completed, b.frames_completed);
+    }
+}

@@ -1,0 +1,69 @@
+//! Activation functions.
+
+/// Activation function applied element-wise after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity (no activation) — used for output layers in regression.
+    Identity,
+    /// Rectified linear unit (the paper's BNN uses ReLU throughout).
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to a pre-activation value.
+    pub fn apply(&self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative of the activation with respect to the pre-activation
+    /// value `x`.
+    pub fn derivative(&self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - x.tanh().powi(2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(1.0), 1.0);
+    }
+
+    #[test]
+    fn identity_is_transparent() {
+        assert_eq!(Activation::Identity.apply(-7.0), -7.0);
+        assert_eq!(Activation::Identity.derivative(123.0), 1.0);
+    }
+
+    #[test]
+    fn tanh_saturates_and_derivative_matches_finite_difference() {
+        let a = Activation::Tanh;
+        assert!(a.apply(10.0) < 1.0 + 1e-9);
+        assert!(a.apply(-10.0) > -1.0 - 1e-9);
+        let x = 0.37;
+        let eps = 1e-6;
+        let numeric = (a.apply(x + eps) - a.apply(x - eps)) / (2.0 * eps);
+        assert!((a.derivative(x) - numeric).abs() < 1e-6);
+    }
+}

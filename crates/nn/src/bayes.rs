@@ -1,0 +1,449 @@
+//! Bayesian neural network trained with Bayes-by-Backprop.
+//!
+//! Implements the surrogate model of the paper's stage 1 and stage 2
+//! (Sec. 4.2): every weight is a Gaussian `N(μ, σ²)` with `σ = softplus(ρ)`;
+//! training minimises the approximated ELBO loss of Eq. 4 (negative log
+//! likelihood of the data under one Monte-Carlo weight draw plus the
+//! KL-divergence of the variational posterior from the prior); and
+//! Thompson sampling is realised by drawing the weights **once** and
+//! evaluating the resulting deterministic network on many candidate points
+//! (Sec. 4.2, "Parallel Thompson Sampling").
+
+use crate::data::{mini_batches, Scaler};
+use crate::mlp::Mlp;
+use crate::optim::{Adam, Optimizer, StepLr};
+use atlas_math::dist::standard_normal_sample;
+use atlas_math::stats;
+use rand::Rng;
+
+fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn inverse_softplus(y: f64) -> f64 {
+    // ln(e^y - 1); valid for y > 0.
+    (y.exp() - 1.0).max(1e-12).ln()
+}
+
+/// Training hyper-parameters of the Bayesian network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BnnConfig {
+    /// Hidden-layer widths. The paper uses `[128, 256, 256, 128]`; the
+    /// default here is smaller so that the full experiment sweep fits a
+    /// CPU-only budget (see EXPERIMENTS.md).
+    pub hidden: [usize; 4],
+    /// Standard deviation of the Gaussian weight prior.
+    pub prior_std: f64,
+    /// Initial posterior standard deviation.
+    pub init_std: f64,
+    /// Weight of the KL term relative to the data term (effectively
+    /// 1 / number of batches in Bayes-by-Backprop).
+    pub kl_weight: f64,
+    /// Learning rate of the Adam optimiser used for the variational
+    /// parameters.
+    pub learning_rate: f64,
+    /// Mini-batch size (the paper uses 128).
+    pub batch_size: usize,
+    /// Training epochs per `fit` call.
+    pub epochs: usize,
+    /// StepLR decay factor per epoch (the paper uses 0.999).
+    pub lr_gamma: f64,
+}
+
+impl Default for BnnConfig {
+    fn default() -> Self {
+        Self {
+            hidden: [32, 64, 64, 32],
+            prior_std: 1.0,
+            init_std: 0.05,
+            kl_weight: 1e-4,
+            learning_rate: 0.01,
+            batch_size: 128,
+            epochs: 60,
+            lr_gamma: 0.999,
+        }
+    }
+}
+
+impl BnnConfig {
+    /// The paper-scale architecture (128×256×256×128, Adadelta-style slow
+    /// decay). Markedly slower to train on CPU.
+    pub fn paper_scale() -> Self {
+        Self {
+            hidden: [128, 256, 256, 128],
+            epochs: 200,
+            ..Self::default()
+        }
+    }
+}
+
+/// A Bayesian MLP with factorised Gaussian posteriors over every weight.
+#[derive(Debug, Clone)]
+pub struct Bnn {
+    layer_sizes: Vec<usize>,
+    /// Posterior means, flat layout identical to [`Mlp::flat_params`].
+    mu: Vec<f64>,
+    /// Posterior pre-standard-deviations (σ = softplus(ρ)).
+    rho: Vec<f64>,
+    config: BnnConfig,
+    optimizer: Adam,
+    scheduler: StepLr,
+    input_scaler: Option<Scaler>,
+    target_scaler: Option<Scaler>,
+}
+
+impl Bnn {
+    /// Creates an untrained Bayesian network for `input_dim`-dimensional
+    /// inputs and a scalar output.
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, config: BnnConfig, rng: &mut R) -> Self {
+        let mut layer_sizes = vec![input_dim];
+        layer_sizes.extend(config.hidden.iter().copied().filter(|h| *h > 0));
+        layer_sizes.push(1);
+        // Initialise μ with the He scheme via a throwaway MLP.
+        let proto = Mlp::new(&layer_sizes, rng);
+        let mu = proto.flat_params();
+        let rho = vec![inverse_softplus(config.init_std); mu.len()];
+        Self {
+            layer_sizes,
+            mu,
+            rho,
+            optimizer: Adam::new(config.learning_rate),
+            scheduler: StepLr::new(1, config.lr_gamma),
+            config,
+            input_scaler: None,
+            target_scaler: None,
+        }
+    }
+
+    /// Number of variational parameters (2 per weight).
+    pub fn parameter_count(&self) -> usize {
+        self.mu.len() * 2
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layer_sizes[0]
+    }
+
+    /// Draws one deterministic network from the posterior (a Thompson
+    /// sample). The returned [`Mlp`] operates on *scaled* inputs/outputs;
+    /// prefer [`Bnn::thompson_sampler`] which wraps the scaling.
+    fn sample_network<R: Rng + ?Sized>(&self, rng: &mut R) -> Mlp {
+        let params: Vec<f64> = self
+            .mu
+            .iter()
+            .zip(self.rho.iter())
+            .map(|(m, r)| m + softplus(*r) * standard_normal_sample(rng))
+            .collect();
+        Mlp::from_flat_params(&self.layer_sizes, &params)
+    }
+
+    /// Draws one posterior sample and returns a closure that evaluates it
+    /// on raw (unscaled) inputs, producing predictions in the original
+    /// target units. This is the single-inference Thompson sampling the
+    /// paper uses to rank tens of thousands of candidates cheaply.
+    pub fn thompson_sampler<R: Rng + ?Sized>(&self, rng: &mut R) -> impl Fn(&[f64]) -> f64 {
+        let net = self.sample_network(rng);
+        let input_scaler = self.input_scaler.clone();
+        let target_scaler = self.target_scaler.clone();
+        move |x: &[f64]| {
+            let scaled = match &input_scaler {
+                Some(s) => s.transform(x),
+                None => x.to_vec(),
+            };
+            let y = net.predict(&scaled);
+            match &target_scaler {
+                Some(s) => s.inverse_scalar(y),
+                None => y,
+            }
+        }
+    }
+
+    /// Posterior-mean prediction (uses μ directly, no sampling).
+    pub fn predict_mean(&self, x: &[f64]) -> f64 {
+        let net = Mlp::from_flat_params(&self.layer_sizes, &self.mu);
+        let scaled = match &self.input_scaler {
+            Some(s) => s.transform(x),
+            None => x.to_vec(),
+        };
+        let y = net.predict(&scaled);
+        match &self.target_scaler {
+            Some(s) => s.inverse_scalar(y),
+            None => y,
+        }
+    }
+
+    /// Monte-Carlo predictive mean and standard deviation from `samples`
+    /// posterior draws.
+    pub fn predict_with_uncertainty<R: Rng + ?Sized>(
+        &self,
+        x: &[f64],
+        samples: usize,
+        rng: &mut R,
+    ) -> (f64, f64) {
+        let samples = samples.max(2);
+        let preds: Vec<f64> = (0..samples)
+            .map(|_| {
+                let f = self.thompson_sampler(rng);
+                f(x)
+            })
+            .collect();
+        (stats::mean(&preds), stats::std_dev(&preds))
+    }
+
+    /// Fits the network to `(inputs, targets)` with Bayes-by-Backprop,
+    /// running `config.epochs` epochs of mini-batch updates. Inputs and
+    /// targets are z-scored internally. Returns the final epoch's mean
+    /// data loss (MSE in scaled units).
+    pub fn fit<R: Rng + ?Sized>(
+        &mut self,
+        inputs: &[Vec<f64>],
+        targets: &[f64],
+        rng: &mut R,
+    ) -> f64 {
+        self.fit_epochs(inputs, targets, self.config.epochs, rng)
+    }
+
+    /// Fits for an explicit number of epochs, warm-starting from the
+    /// current variational parameters. Used by the Atlas stages, which
+    /// retrain the surrogate a little after every batch of new transitions
+    /// instead of from scratch.
+    pub fn fit_epochs<R: Rng + ?Sized>(
+        &mut self,
+        inputs: &[Vec<f64>],
+        targets: &[f64],
+        epochs: usize,
+        rng: &mut R,
+    ) -> f64 {
+        assert_eq!(inputs.len(), targets.len());
+        assert!(!inputs.is_empty(), "Bnn::fit requires at least one sample");
+        let input_scaler = Scaler::fit(inputs);
+        let target_scaler = Scaler::fit_scalar(targets);
+        let x_scaled = input_scaler.transform_batch(inputs);
+        let y_scaled: Vec<f64> = targets.iter().map(|t| target_scaler.transform_scalar(*t)).collect();
+        self.input_scaler = Some(input_scaler);
+        self.target_scaler = Some(target_scaler);
+
+        let mut last_epoch_loss = 0.0;
+        for _ in 0..epochs {
+            let batches = mini_batches(&x_scaled, &y_scaled, self.config.batch_size, rng);
+            let mut epoch_loss = 0.0;
+            for (bx, by) in &batches {
+                epoch_loss += self.train_step(bx, by, rng);
+            }
+            last_epoch_loss = epoch_loss / batches.len() as f64;
+            self.scheduler.step(&mut self.optimizer);
+        }
+        last_epoch_loss
+    }
+
+    /// One Bayes-by-Backprop update on a mini-batch of *scaled* data;
+    /// returns the data loss.
+    fn train_step<R: Rng + ?Sized>(
+        &mut self,
+        inputs: &[Vec<f64>],
+        targets: &[f64],
+        rng: &mut R,
+    ) -> f64 {
+        // Reparameterisation: w = μ + σ·ε with one ε draw per step.
+        let eps: Vec<f64> = (0..self.mu.len()).map(|_| standard_normal_sample(rng)).collect();
+        let sigma: Vec<f64> = self.rho.iter().map(|r| softplus(*r)).collect();
+        let weights: Vec<f64> = self
+            .mu
+            .iter()
+            .zip(sigma.iter().zip(eps.iter()))
+            .map(|(m, (s, e))| m + s * e)
+            .collect();
+        let net = Mlp::from_flat_params(&self.layer_sizes, &weights);
+        let (data_loss, grad_w) = net.loss_and_flat_grads(inputs, targets);
+
+        let prior_var = self.config.prior_std * self.config.prior_std;
+        let kl_w = self.config.kl_weight;
+        let n = self.mu.len();
+        // Gradients of the ELBO with respect to μ and ρ.
+        let mut grads = vec![0.0; 2 * n];
+        for i in 0..n {
+            let dkl_dmu = self.mu[i] / prior_var;
+            let dkl_dsigma = -1.0 / sigma[i] + sigma[i] / prior_var;
+            let dsigma_drho = sigmoid(self.rho[i]);
+            grads[i] = grad_w[i] + kl_w * dkl_dmu;
+            grads[n + i] = grad_w[i] * eps[i] * dsigma_drho + kl_w * dkl_dsigma * dsigma_drho;
+        }
+        let mut params: Vec<f64> = self.mu.iter().chain(self.rho.iter()).copied().collect();
+        self.optimizer.step(&mut params, &grads);
+        self.mu.copy_from_slice(&params[..n]);
+        self.rho.copy_from_slice(&params[n..]);
+        data_loss
+    }
+
+    /// KL divergence of the current posterior from the prior, summed over
+    /// all weights (the regulariser of Eq. 3/4). Exposed for tests and
+    /// diagnostics.
+    pub fn posterior_kl(&self) -> f64 {
+        let prior_var = self.config.prior_std * self.config.prior_std;
+        self.mu
+            .iter()
+            .zip(self.rho.iter())
+            .map(|(m, r)| {
+                let s = softplus(*r);
+                (self.config.prior_std / s).ln() + (s * s + m * m) / (2.0 * prior_var) - 0.5
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_math::rng::seeded_rng;
+
+    fn toy_dataset() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let inputs: Vec<Vec<f64>> = (0..120)
+            .map(|i| {
+                let x = i as f64 / 120.0;
+                vec![x, 1.0 - x]
+            })
+            .collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| 2.0 * x[0] + 0.3 * (6.0 * x[0]).sin()).collect();
+        (inputs, targets)
+    }
+
+    #[test]
+    fn softplus_helpers_are_consistent() {
+        for y in [0.01, 0.1, 1.0, 5.0] {
+            assert!((softplus(inverse_softplus(y)) - y).abs() < 1e-9);
+        }
+        assert!(softplus(100.0) >= 100.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bnn_fits_a_simple_function() {
+        let mut rng = seeded_rng(1);
+        let (inputs, targets) = toy_dataset();
+        let mut bnn = Bnn::new(
+            2,
+            BnnConfig {
+                hidden: [16, 16, 0, 0],
+                epochs: 200,
+                ..BnnConfig::default()
+            },
+            &mut rng,
+        );
+        bnn.fit(&inputs, &targets, &mut rng);
+        let mut err = 0.0;
+        for (x, t) in inputs.iter().zip(targets.iter()) {
+            err += (bnn.predict_mean(x) - t).abs();
+        }
+        err /= inputs.len() as f64;
+        assert!(err < 0.25, "mean absolute error {err}");
+    }
+
+    #[test]
+    fn thompson_samples_differ_but_agree_near_the_data() {
+        let mut rng = seeded_rng(2);
+        let (inputs, targets) = toy_dataset();
+        let mut bnn = Bnn::new(
+            2,
+            BnnConfig {
+                hidden: [16, 16, 0, 0],
+                epochs: 150,
+                ..BnnConfig::default()
+            },
+            &mut rng,
+        );
+        bnn.fit(&inputs, &targets, &mut rng);
+        let f1 = bnn.thompson_sampler(&mut rng);
+        let f2 = bnn.thompson_sampler(&mut rng);
+        let x = &inputs[40];
+        // Different draws give different functions...
+        let disagreement: f64 = (0..20)
+            .map(|i| {
+                let x = vec![i as f64 / 20.0, 1.0 - i as f64 / 20.0];
+                (f1(&x) - f2(&x)).abs()
+            })
+            .sum();
+        assert!(disagreement > 1e-6);
+        // ...but both stay in the vicinity of the data.
+        assert!((f1(x) - targets[40]).abs() < 1.0);
+        assert!((f2(x) - targets[40]).abs() < 1.0);
+    }
+
+    #[test]
+    fn predictive_uncertainty_is_larger_away_from_the_data() {
+        let mut rng = seeded_rng(3);
+        // Train only on x in [0, 0.5].
+        let inputs: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 120.0]).collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| x[0] * 2.0).collect();
+        let mut bnn = Bnn::new(
+            1,
+            BnnConfig {
+                hidden: [16, 16, 0, 0],
+                epochs: 150,
+                ..BnnConfig::default()
+            },
+            &mut rng,
+        );
+        bnn.fit(&inputs, &targets, &mut rng);
+        let (_, std_in) = bnn.predict_with_uncertainty(&[0.25], 30, &mut rng);
+        let (_, std_out) = bnn.predict_with_uncertainty(&[3.0], 30, &mut rng);
+        assert!(
+            std_out > std_in,
+            "extrapolation std {std_out} should exceed interpolation std {std_in}"
+        );
+    }
+
+    #[test]
+    fn fitting_reduces_posterior_spread_relative_to_prior() {
+        let mut rng = seeded_rng(4);
+        let (inputs, targets) = toy_dataset();
+        let mut bnn = Bnn::new(
+            2,
+            BnnConfig {
+                hidden: [8, 8, 0, 0],
+                epochs: 100,
+                ..BnnConfig::default()
+            },
+            &mut rng,
+        );
+        let kl_before = bnn.posterior_kl();
+        bnn.fit(&inputs, &targets, &mut rng);
+        let kl_after = bnn.posterior_kl();
+        // Training moves the posterior away from the prior (KL grows) while
+        // the data loss falls — both are finite and well behaved.
+        assert!(kl_before.is_finite() && kl_after.is_finite());
+        assert!(kl_after != kl_before);
+    }
+
+    #[test]
+    fn parameter_count_and_input_dim_are_reported() {
+        let mut rng = seeded_rng(5);
+        let bnn = Bnn::new(
+            3,
+            BnnConfig {
+                hidden: [4, 0, 0, 0],
+                ..BnnConfig::default()
+            },
+            &mut rng,
+        );
+        // Layers: 3->4 (16 params), 4->1 (5 params) => 21 weights, ×2.
+        assert_eq!(bnn.parameter_count(), 42);
+        assert_eq!(bnn.input_dim(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn fit_rejects_empty_datasets() {
+        let mut rng = seeded_rng(6);
+        let mut bnn = Bnn::new(2, BnnConfig::default(), &mut rng);
+        bnn.fit(&[], &[], &mut rng);
+    }
+}

@@ -1,0 +1,160 @@
+//! Feature/target scaling and mini-batching helpers.
+
+use atlas_math::stats;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Per-dimension z-score scaler (`(x − mean) / std`).
+///
+/// Mirrors scikit-learn's `StandardScaler`; the paper normalises GP targets
+/// "by removing the mean and scaling to unit variance", and the BNN inputs
+/// benefit from the same treatment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fits a scaler to a set of feature vectors (one `Vec<f64>` per row).
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "Scaler::fit requires at least one row");
+        let dim = rows[0].len();
+        let mut means = vec![0.0; dim];
+        let mut stds = vec![1.0; dim];
+        for d in 0..dim {
+            let column: Vec<f64> = rows.iter().map(|r| r[d]).collect();
+            means[d] = stats::mean(&column);
+            let s = stats::std_dev(&column);
+            stds[d] = if s > 1e-12 { s } else { 1.0 };
+        }
+        Self { means, stds }
+    }
+
+    /// Fits a scaler to scalar targets.
+    pub fn fit_scalar(values: &[f64]) -> Self {
+        Self::fit(&values.iter().map(|v| vec![*v]).collect::<Vec<_>>())
+    }
+
+    /// Transforms one row.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.means.iter().zip(self.stds.iter()))
+            .map(|(x, (m, s))| (x - m) / s)
+            .collect()
+    }
+
+    /// Transforms many rows.
+    pub fn transform_batch(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Inverse-transforms one row.
+    pub fn inverse(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.means.iter().zip(self.stds.iter()))
+            .map(|(x, (m, s))| x * s + m)
+            .collect()
+    }
+
+    /// Transforms a scalar (first dimension).
+    pub fn transform_scalar(&self, value: f64) -> f64 {
+        (value - self.means[0]) / self.stds[0]
+    }
+
+    /// Inverse-transforms a scalar (first dimension).
+    pub fn inverse_scalar(&self, value: f64) -> f64 {
+        value * self.stds[0] + self.means[0]
+    }
+
+    /// Scale (standard deviation) of the first dimension.
+    pub fn scale(&self) -> f64 {
+        self.stds[0]
+    }
+}
+
+/// Splits `(X, y)` into shuffled mini-batches of at most `batch_size` rows.
+pub fn mini_batches<R: Rng + ?Sized>(
+    inputs: &[Vec<f64>],
+    targets: &[f64],
+    batch_size: usize,
+    rng: &mut R,
+) -> Vec<(Vec<Vec<f64>>, Vec<f64>)> {
+    assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+    let mut order: Vec<usize> = (0..inputs.len()).collect();
+    order.shuffle(rng);
+    let batch_size = batch_size.max(1);
+    order
+        .chunks(batch_size)
+        .map(|chunk| {
+            (
+                chunk.iter().map(|&i| inputs[i].clone()).collect(),
+                chunk.iter().map(|&i| targets[i]).collect(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_math::rng::seeded_rng;
+
+    #[test]
+    fn scaler_roundtrips() {
+        let rows = vec![vec![1.0, 100.0], vec![2.0, 200.0], vec![3.0, 300.0]];
+        let scaler = Scaler::fit(&rows);
+        let t = scaler.transform(&rows[0]);
+        let back = scaler.inverse(&t);
+        assert!((back[0] - 1.0).abs() < 1e-9);
+        assert!((back[1] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_features_have_zero_mean_unit_variance() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, i as f64 * 3.0 + 7.0]).collect();
+        let scaler = Scaler::fit(&rows);
+        let scaled = scaler.transform_batch(&rows);
+        for d in 0..2 {
+            let col: Vec<f64> = scaled.iter().map(|r| r[d]).collect();
+            assert!(stats::mean(&col).abs() < 1e-9);
+            assert!((stats::std_dev(&col) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_column_does_not_divide_by_zero() {
+        let rows = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let scaler = Scaler::fit(&rows);
+        let t = scaler.transform(&[5.0]);
+        assert_eq!(t[0], 0.0);
+        assert!(t[0].is_finite());
+    }
+
+    #[test]
+    fn scalar_helpers_match_vector_path() {
+        let scaler = Scaler::fit_scalar(&[10.0, 20.0, 30.0]);
+        let t = scaler.transform_scalar(20.0);
+        assert!(t.abs() < 1e-9);
+        assert!((scaler.inverse_scalar(t) - 20.0).abs() < 1e-9);
+        assert!(scaler.scale() > 0.0);
+    }
+
+    #[test]
+    fn mini_batches_cover_every_sample_exactly_once() {
+        let mut rng = seeded_rng(1);
+        let inputs: Vec<Vec<f64>> = (0..23).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..23).map(|i| i as f64).collect();
+        let batches = mini_batches(&inputs, &targets, 5, &mut rng);
+        assert_eq!(batches.len(), 5);
+        let mut seen: Vec<f64> = batches.iter().flat_map(|(_, t)| t.clone()).collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(seen, targets);
+        // Inputs and targets stay aligned.
+        for (xs, ts) in &batches {
+            for (x, t) in xs.iter().zip(ts.iter()) {
+                assert_eq!(x[0], *t);
+            }
+        }
+    }
+}

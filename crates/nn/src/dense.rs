@@ -1,0 +1,248 @@
+//! Fully-connected layer with manual forward/backward passes.
+
+use crate::activation::Activation;
+use atlas_math::dist::standard_normal_sample;
+use rand::Rng;
+
+/// A dense (fully-connected) layer `y = act(W x + b)` with row-major
+/// weights of shape `(outputs, inputs)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLayer {
+    /// Number of input features.
+    pub inputs: usize,
+    /// Number of output features.
+    pub outputs: usize,
+    /// Weights, row-major `(outputs × inputs)`.
+    pub weights: Vec<f64>,
+    /// Biases, length `outputs`.
+    pub bias: Vec<f64>,
+    /// Activation applied to the pre-activation output.
+    pub activation: Activation,
+}
+
+/// Cached values from a forward pass, needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    /// The inputs of each sample in the batch.
+    pub inputs: Vec<Vec<f64>>,
+    /// The pre-activation outputs of each sample.
+    pub pre_activations: Vec<Vec<f64>>,
+}
+
+/// Gradients of a dense layer produced by the backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseGradients {
+    /// Gradient of the loss with respect to the weights (same layout as
+    /// [`DenseLayer::weights`]).
+    pub weights: Vec<f64>,
+    /// Gradient with respect to the biases.
+    pub bias: Vec<f64>,
+    /// Gradient with respect to the layer inputs (one vector per sample),
+    /// used to continue back-propagation into the previous layer.
+    pub inputs: Vec<Vec<f64>>,
+}
+
+impl DenseLayer {
+    /// Creates a layer with He-initialised weights (appropriate for ReLU).
+    pub fn new<R: Rng + ?Sized>(
+        inputs: usize,
+        outputs: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let scale = (2.0 / inputs.max(1) as f64).sqrt();
+        let weights = (0..inputs * outputs)
+            .map(|_| standard_normal_sample(rng) * scale)
+            .collect();
+        Self {
+            inputs,
+            outputs,
+            weights,
+            bias: vec![0.0; outputs],
+            activation,
+        }
+    }
+
+    /// Creates a layer from explicit weights and biases.
+    pub fn from_parts(
+        inputs: usize,
+        outputs: usize,
+        weights: Vec<f64>,
+        bias: Vec<f64>,
+        activation: Activation,
+    ) -> Self {
+        assert_eq!(weights.len(), inputs * outputs, "weight shape mismatch");
+        assert_eq!(bias.len(), outputs, "bias shape mismatch");
+        Self {
+            inputs,
+            outputs,
+            weights,
+            bias,
+            activation,
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    /// Forward pass over a batch; returns activations and the cache needed
+    /// for the backward pass.
+    pub fn forward(&self, batch: &[Vec<f64>]) -> (Vec<Vec<f64>>, DenseCache) {
+        let mut outputs = Vec::with_capacity(batch.len());
+        let mut pre_activations = Vec::with_capacity(batch.len());
+        for x in batch {
+            debug_assert_eq!(x.len(), self.inputs);
+            let mut pre = vec![0.0; self.outputs];
+            for o in 0..self.outputs {
+                let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+                let mut acc = self.bias[o];
+                for (w, xi) in row.iter().zip(x.iter()) {
+                    acc += w * xi;
+                }
+                pre[o] = acc;
+            }
+            let out = pre.iter().map(|v| self.activation.apply(*v)).collect();
+            pre_activations.push(pre);
+            outputs.push(out);
+        }
+        (
+            outputs,
+            DenseCache {
+                inputs: batch.to_vec(),
+                pre_activations,
+            },
+        )
+    }
+
+    /// Backward pass: given `d_loss/d_output` per sample, produces the
+    /// parameter gradients (averaged over the batch) and the gradients with
+    /// respect to the inputs.
+    pub fn backward(&self, cache: &DenseCache, grad_output: &[Vec<f64>]) -> DenseGradients {
+        let batch = cache.inputs.len().max(1) as f64;
+        let mut grad_w = vec![0.0; self.weights.len()];
+        let mut grad_b = vec![0.0; self.outputs];
+        let mut grad_inputs = Vec::with_capacity(cache.inputs.len());
+
+        for (sample, go) in grad_output.iter().enumerate() {
+            let x = &cache.inputs[sample];
+            let pre = &cache.pre_activations[sample];
+            let mut gx = vec![0.0; self.inputs];
+            for o in 0..self.outputs {
+                let delta = go[o] * self.activation.derivative(pre[o]);
+                grad_b[o] += delta / batch;
+                let row = o * self.inputs;
+                for i in 0..self.inputs {
+                    grad_w[row + i] += delta * x[i] / batch;
+                    gx[i] += delta * self.weights[row + i];
+                }
+            }
+            grad_inputs.push(gx);
+        }
+
+        DenseGradients {
+            weights: grad_w,
+            bias: grad_b,
+            inputs: grad_inputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_math::rng::seeded_rng;
+
+    #[test]
+    fn forward_computes_affine_transform() {
+        let layer = DenseLayer::from_parts(
+            2,
+            2,
+            vec![1.0, 2.0, -1.0, 0.5],
+            vec![0.1, -0.2],
+            Activation::Identity,
+        );
+        let (out, _) = layer.forward(&[vec![3.0, 4.0]]);
+        assert!((out[0][0] - (1.0 * 3.0 + 2.0 * 4.0 + 0.1)).abs() < 1e-12);
+        assert!((out[0][1] - (-1.0 * 3.0 + 0.5 * 4.0 - 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_masks_negative_outputs() {
+        let layer = DenseLayer::from_parts(1, 1, vec![1.0], vec![0.0], Activation::Relu);
+        let (out, _) = layer.forward(&[vec![-5.0], vec![5.0]]);
+        assert_eq!(out[0][0], 0.0);
+        assert_eq!(out[1][0], 5.0);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = seeded_rng(1);
+        let layer = DenseLayer::new(3, 2, Activation::Tanh, &mut rng);
+        let batch = vec![vec![0.3, -0.7, 1.2], vec![-0.1, 0.4, 0.9]];
+        let targets = [vec![0.5, -0.5], vec![0.2, 0.1]];
+
+        // Loss = 0.5 * sum of squared errors averaged over batch.
+        let loss = |l: &DenseLayer| -> f64 {
+            let (out, _) = l.forward(&batch);
+            out.iter()
+                .zip(targets.iter())
+                .map(|(o, t)| {
+                    o.iter()
+                        .zip(t.iter())
+                        .map(|(a, b)| 0.5 * (a - b) * (a - b))
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+                / batch.len() as f64
+        };
+
+        let (out, cache) = layer.forward(&batch);
+        let grad_out: Vec<Vec<f64>> = out
+            .iter()
+            .zip(targets.iter())
+            .map(|(o, t)| o.iter().zip(t.iter()).map(|(a, b)| a - b).collect())
+            .collect();
+        let grads = layer.backward(&cache, &grad_out);
+
+        let eps = 1e-6;
+        for idx in [0usize, 2, 5] {
+            let mut plus = layer.clone();
+            plus.weights[idx] += eps;
+            let mut minus = layer.clone();
+            minus.weights[idx] -= eps;
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!(
+                (grads.weights[idx] - numeric).abs() < 1e-5,
+                "weight {idx}: analytic {} vs numeric {numeric}",
+                grads.weights[idx]
+            );
+        }
+        for idx in [0usize, 1] {
+            let mut plus = layer.clone();
+            plus.bias[idx] += eps;
+            let mut minus = layer.clone();
+            minus.bias[idx] -= eps;
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!((grads.bias[idx] - numeric).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn input_gradients_propagate() {
+        let layer = DenseLayer::from_parts(2, 1, vec![2.0, -3.0], vec![0.0], Activation::Identity);
+        let batch = vec![vec![1.0, 1.0]];
+        let (_, cache) = layer.forward(&batch);
+        let grads = layer.backward(&cache, &[vec![1.0]]);
+        assert!((grads.inputs[0][0] - 2.0).abs() < 1e-12);
+        assert!((grads.inputs[0][1] + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parameter_count_is_correct() {
+        let mut rng = seeded_rng(2);
+        let layer = DenseLayer::new(7, 5, Activation::Relu, &mut rng);
+        assert_eq!(layer.parameter_count(), 7 * 5 + 5);
+    }
+}

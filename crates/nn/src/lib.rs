@@ -1,0 +1,32 @@
+//! # atlas-nn
+//!
+//! A small, dependency-light neural-network library written for the Atlas
+//! reproduction:
+//!
+//! * [`mlp::Mlp`] — a deterministic feed-forward regression network with
+//!   manual back-propagation (used by the DLDA baseline and as the
+//!   materialised form of Bayesian weight draws).
+//! * [`bayes::Bnn`] — a Bayesian neural network trained with
+//!   Bayes-by-Backprop (Eq. 3–4 of the paper), supporting Monte-Carlo
+//!   predictive uncertainty and single-draw Thompson sampling.
+//! * [`optim`] — SGD, Adam and Adadelta optimisers plus a StepLR schedule
+//!   (the paper's training setup).
+//! * [`data`] — z-score feature/target scaling and mini-batching.
+//!
+//! Everything is seedable and deterministic; no BLAS or GPU is required.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod bayes;
+pub mod data;
+pub mod dense;
+pub mod mlp;
+pub mod optim;
+
+pub use activation::Activation;
+pub use bayes::{Bnn, BnnConfig};
+pub use data::Scaler;
+pub use mlp::Mlp;
+pub use optim::{Adadelta, Adam, Optimizer, Sgd, StepLr};

@@ -1,0 +1,272 @@
+//! Deterministic multi-layer perceptron for regression.
+//!
+//! Used directly by the DLDA baseline (a standard DNN) and as the
+//! materialised form of one weight draw from the Bayesian network in
+//! [`crate::bayes`]. Hidden layers use ReLU, the output layer is linear,
+//! and training minimises mean squared error.
+
+use crate::activation::Activation;
+use crate::dense::{DenseCache, DenseLayer};
+use crate::optim::Optimizer;
+use rand::Rng;
+
+/// A feed-forward network with a single scalar output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    /// Creates an MLP from a list of layer sizes, e.g. `[6, 64, 64, 1]`.
+    /// Hidden layers use ReLU; the final layer is linear.
+    pub fn new<R: Rng + ?Sized>(layer_sizes: &[usize], rng: &mut R) -> Self {
+        assert!(
+            layer_sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
+        let mut layers = Vec::with_capacity(layer_sizes.len() - 1);
+        for i in 0..layer_sizes.len() - 1 {
+            let activation = if i + 2 == layer_sizes.len() {
+                Activation::Identity
+            } else {
+                Activation::Relu
+            };
+            layers.push(DenseLayer::new(
+                layer_sizes[i],
+                layer_sizes[i + 1],
+                activation,
+                rng,
+            ));
+        }
+        Self { layers }
+    }
+
+    /// Builds an MLP with the same architecture but explicit flat
+    /// parameters (used by the Bayesian network to materialise a draw).
+    pub fn from_flat_params(layer_sizes: &[usize], params: &[f64]) -> Self {
+        let mut layers = Vec::with_capacity(layer_sizes.len() - 1);
+        let mut offset = 0;
+        for i in 0..layer_sizes.len() - 1 {
+            let inputs = layer_sizes[i];
+            let outputs = layer_sizes[i + 1];
+            let activation = if i + 2 == layer_sizes.len() {
+                Activation::Identity
+            } else {
+                Activation::Relu
+            };
+            let w_len = inputs * outputs;
+            let weights = params[offset..offset + w_len].to_vec();
+            offset += w_len;
+            let bias = params[offset..offset + outputs].to_vec();
+            offset += outputs;
+            layers.push(DenseLayer::from_parts(inputs, outputs, weights, bias, activation));
+        }
+        assert_eq!(offset, params.len(), "flat parameter length mismatch");
+        Self { layers }
+    }
+
+    /// Layer sizes of this network, including input and output.
+    pub fn layer_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![self.layers[0].inputs];
+        sizes.extend(self.layers.iter().map(|l| l.outputs));
+        sizes
+    }
+
+    /// Total number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(DenseLayer::parameter_count).sum()
+    }
+
+    /// Returns all parameters as one flat vector (layer by layer, weights
+    /// then biases).
+    pub fn flat_params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.parameter_count());
+        for l in &self.layers {
+            out.extend_from_slice(&l.weights);
+            out.extend_from_slice(&l.bias);
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector.
+    pub fn set_flat_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.parameter_count());
+        let mut offset = 0;
+        for l in &mut self.layers {
+            let w_len = l.weights.len();
+            l.weights.copy_from_slice(&params[offset..offset + w_len]);
+            offset += w_len;
+            let b_len = l.bias.len();
+            l.bias.copy_from_slice(&params[offset..offset + b_len]);
+            offset += b_len;
+        }
+    }
+
+    /// Predicts the scalar output for one input.
+    pub fn predict(&self, input: &[f64]) -> f64 {
+        self.predict_batch(std::slice::from_ref(&input.to_vec()))[0]
+    }
+
+    /// Predicts the scalar outputs for a batch of inputs.
+    pub fn predict_batch(&self, inputs: &[Vec<f64>]) -> Vec<f64> {
+        let mut activations: Vec<Vec<f64>> = inputs.to_vec();
+        for layer in &self.layers {
+            let (out, _) = layer.forward(&activations);
+            activations = out;
+        }
+        activations.into_iter().map(|o| o[0]).collect()
+    }
+
+    /// Computes the mean-squared-error loss on a batch and the gradient of
+    /// that loss with respect to every parameter, as a flat vector in the
+    /// same layout as [`Mlp::flat_params`].
+    pub fn loss_and_flat_grads(&self, inputs: &[Vec<f64>], targets: &[f64]) -> (f64, Vec<f64>) {
+        assert_eq!(inputs.len(), targets.len());
+        assert!(!inputs.is_empty(), "empty batch");
+        // Forward pass, caching every layer.
+        let mut activations: Vec<Vec<f64>> = inputs.to_vec();
+        let mut caches: Vec<DenseCache> = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (out, cache) = layer.forward(&activations);
+            caches.push(cache);
+            activations = out;
+        }
+        let n = inputs.len() as f64;
+        let loss = activations
+            .iter()
+            .zip(targets.iter())
+            .map(|(o, t)| (o[0] - t) * (o[0] - t))
+            .sum::<f64>()
+            / n;
+        // d(MSE)/d(output) = 2 (o - t) / n, but the per-layer backward
+        // already averages over the batch, so pass 2 (o - t).
+        let mut grad_output: Vec<Vec<f64>> = activations
+            .iter()
+            .zip(targets.iter())
+            .map(|(o, t)| vec![2.0 * (o[0] - t)])
+            .collect();
+        // Backward pass layer by layer.
+        let mut per_layer_grads = Vec::with_capacity(self.layers.len());
+        for (layer, cache) in self.layers.iter().zip(caches.iter()).rev() {
+            let grads = layer.backward(cache, &grad_output);
+            grad_output = grads.inputs.clone();
+            per_layer_grads.push((grads.weights, grads.bias));
+        }
+        per_layer_grads.reverse();
+        let mut flat = Vec::with_capacity(self.parameter_count());
+        for (w, b) in per_layer_grads {
+            flat.extend(w);
+            flat.extend(b);
+        }
+        (loss, flat)
+    }
+
+    /// Performs one optimisation step on a mini-batch; returns the MSE loss
+    /// before the update.
+    pub fn train_batch(
+        &mut self,
+        inputs: &[Vec<f64>],
+        targets: &[f64],
+        optimizer: &mut dyn Optimizer,
+    ) -> f64 {
+        let (loss, grads) = self.loss_and_flat_grads(inputs, targets);
+        let mut params = self.flat_params();
+        optimizer.step(&mut params, &grads);
+        self.set_flat_params(&params);
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use atlas_math::rng::seeded_rng;
+
+    #[test]
+    fn flat_params_roundtrip() {
+        let mut rng = seeded_rng(1);
+        let mlp = Mlp::new(&[3, 8, 1], &mut rng);
+        let params = mlp.flat_params();
+        assert_eq!(params.len(), mlp.parameter_count());
+        let rebuilt = Mlp::from_flat_params(&[3, 8, 1], &params);
+        assert_eq!(rebuilt.flat_params(), params);
+        assert_eq!(rebuilt.layer_sizes(), vec![3, 8, 1]);
+        // Predictions are identical.
+        let x = vec![0.2, -0.4, 1.0];
+        assert!((mlp.predict(&x) - rebuilt.predict(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(2);
+        let mlp = Mlp::new(&[2, 6, 1], &mut rng);
+        let inputs = vec![vec![0.5, -1.0], vec![1.5, 0.3], vec![-0.2, 0.8]];
+        let targets = vec![1.0, -0.5, 0.25];
+        let (_, grads) = mlp.loss_and_flat_grads(&inputs, &targets);
+        let params = mlp.flat_params();
+        let eps = 1e-6;
+        for idx in [0usize, 5, 12, params.len() - 1] {
+            let mut plus = params.clone();
+            plus[idx] += eps;
+            let mut minus = params.clone();
+            minus[idx] -= eps;
+            let mlp_plus = Mlp::from_flat_params(&[2, 6, 1], &plus);
+            let mlp_minus = Mlp::from_flat_params(&[2, 6, 1], &minus);
+            let (lp, _) = mlp_plus.loss_and_flat_grads(&inputs, &targets);
+            let (lm, _) = mlp_minus.loss_and_flat_grads(&inputs, &targets);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grads[idx] - numeric).abs() < 1e-5,
+                "param {idx}: analytic {} vs numeric {numeric}",
+                grads[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_learns_a_linear_function() {
+        let mut rng = seeded_rng(3);
+        let mut mlp = Mlp::new(&[2, 16, 1], &mut rng);
+        let mut opt = Adam::new(0.01);
+        let inputs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 20) as f64 / 20.0, (i / 20) as f64 / 10.0])
+            .collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| 3.0 * x[0] - 2.0 * x[1] + 0.5).collect();
+        let mut last_loss = f64::INFINITY;
+        for _ in 0..400 {
+            last_loss = mlp.train_batch(&inputs, &targets, &mut opt);
+        }
+        assert!(last_loss < 0.01, "loss {last_loss}");
+        let pred = mlp.predict(&[0.5, 0.5]);
+        let expected = 3.0 * 0.5 - 2.0 * 0.5 + 0.5;
+        assert!((pred - expected).abs() < 0.2, "pred {pred} vs {expected}");
+    }
+
+    #[test]
+    fn mlp_learns_a_nonlinear_function() {
+        let mut rng = seeded_rng(4);
+        let mut mlp = Mlp::new(&[1, 32, 32, 1], &mut rng);
+        let mut opt = Adam::new(0.01);
+        let inputs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0 * 2.0 - 1.0]).collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| (3.0 * x[0]).sin()).collect();
+        for _ in 0..1500 {
+            mlp.train_batch(&inputs, &targets, &mut opt);
+        }
+        let preds = mlp.predict_batch(&inputs);
+        let mse: f64 = preds
+            .iter()
+            .zip(targets.iter())
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / preds.len() as f64;
+        assert!(mse < 0.02, "mse {mse}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn single_layer_sizes_are_rejected() {
+        let mut rng = seeded_rng(5);
+        let _ = Mlp::new(&[4], &mut rng);
+    }
+}

@@ -1,0 +1,261 @@
+//! First-order optimisers and learning-rate schedules.
+//!
+//! The paper trains its BNNs with Adadelta (initial learning rate 1.0) and
+//! decays the rate with a StepLR schedule (gamma 0.999); Adam and plain SGD
+//! are provided as well because the baselines and tests use them.
+
+/// A first-order optimiser operating on a flat parameter vector.
+pub trait Optimizer {
+    /// Applies one update step given the gradient of the loss.
+    fn step(&mut self, params: &mut [f64], grads: &[f64]);
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+    /// Overrides the learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f64);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<f64>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    pub fn new(lr: f64, momentum: f64) -> Self {
+        Self {
+            lr,
+            momentum: momentum.clamp(0.0, 0.999),
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for i in 0..params.len() {
+            self.velocity[i] = self.momentum * self.velocity[i] - self.lr * grads[i];
+            params[i] += self.velocity[i];
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimiser (Kingma & Ba).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the usual defaults (β₁ = 0.9,
+    /// β₂ = 0.999, ε = 1e-8).
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// Adadelta optimiser (Zeiler) — the optimiser the paper uses with an
+/// initial learning rate of 1.0.
+#[derive(Debug, Clone)]
+pub struct Adadelta {
+    lr: f64,
+    rho: f64,
+    epsilon: f64,
+    avg_sq_grad: Vec<f64>,
+    avg_sq_update: Vec<f64>,
+}
+
+impl Adadelta {
+    /// Creates an Adadelta optimiser (ρ = 0.9, ε = 1e-6).
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            rho: 0.9,
+            epsilon: 1e-6,
+            avg_sq_grad: Vec::new(),
+            avg_sq_update: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adadelta {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        if self.avg_sq_grad.len() != params.len() {
+            self.avg_sq_grad = vec![0.0; params.len()];
+            self.avg_sq_update = vec![0.0; params.len()];
+        }
+        for i in 0..params.len() {
+            self.avg_sq_grad[i] =
+                self.rho * self.avg_sq_grad[i] + (1.0 - self.rho) * grads[i] * grads[i];
+            let update = ((self.avg_sq_update[i] + self.epsilon).sqrt()
+                / (self.avg_sq_grad[i] + self.epsilon).sqrt())
+                * grads[i];
+            self.avg_sq_update[i] =
+                self.rho * self.avg_sq_update[i] + (1.0 - self.rho) * update * update;
+            params[i] -= self.lr * update;
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// Multiplicative learning-rate decay applied every `step_size` epochs
+/// (PyTorch's `StepLR`; the paper uses gamma 0.999).
+#[derive(Debug, Clone)]
+pub struct StepLr {
+    gamma: f64,
+    step_size: u64,
+    epoch: u64,
+}
+
+impl StepLr {
+    /// Creates a StepLR schedule.
+    pub fn new(step_size: u64, gamma: f64) -> Self {
+        Self {
+            gamma,
+            step_size: step_size.max(1),
+            epoch: 0,
+        }
+    }
+
+    /// Advances one epoch and updates the optimiser's learning rate.
+    pub fn step(&mut self, optimizer: &mut dyn Optimizer) {
+        self.epoch += 1;
+        if self.epoch % self.step_size == 0 {
+            let lr = optimizer.learning_rate() * self.gamma;
+            optimizer.set_learning_rate(lr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = (x - 3)^2 with each optimiser.
+    fn minimise(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut params = vec![-5.0];
+        for _ in 0..steps {
+            let grads = vec![2.0 * (params[0] - 3.0)];
+            opt.step(&mut params, &grads);
+        }
+        params[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        assert!((minimise(&mut opt, 200) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        assert!((minimise(&mut opt, 400) - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.2);
+        assert!((minimise(&mut opt, 500) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adadelta_moves_towards_the_minimum() {
+        let mut opt = Adadelta::new(1.0);
+        let final_x = minimise(&mut opt, 2000);
+        assert!((final_x - 3.0).abs() < 1.0, "got {final_x}");
+    }
+
+    #[test]
+    fn step_lr_decays_learning_rate() {
+        let mut opt = Sgd::new(1.0, 0.0);
+        let mut sched = StepLr::new(1, 0.5);
+        sched.step(&mut opt);
+        assert!((opt.learning_rate() - 0.5).abs() < 1e-12);
+        sched.step(&mut opt);
+        assert!((opt.learning_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_lr_respects_step_size() {
+        let mut opt = Sgd::new(1.0, 0.0);
+        let mut sched = StepLr::new(3, 0.1);
+        sched.step(&mut opt);
+        sched.step(&mut opt);
+        assert_eq!(opt.learning_rate(), 1.0);
+        sched.step(&mut opt);
+        assert!((opt.learning_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimisers_resize_state_when_parameter_count_changes() {
+        let mut opt = Adam::new(0.1);
+        let mut short = vec![0.0; 2];
+        opt.step(&mut short, &[1.0, 1.0]);
+        let mut long = vec![0.0; 4];
+        opt.step(&mut long, &[1.0; 4]);
+        assert_eq!(long.len(), 4);
+    }
+}

@@ -1,0 +1,87 @@
+//! Compare Atlas online learning against the paper's baselines (GP-EI
+//! "Baseline", VirtualEdge, DLDA) on the emulated testbed and report
+//! average resource usage, average QoE and SLA violations.
+//!
+//! ```sh
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use atlas::baselines::{run_gp_ei_baseline, run_virtual_edge, BaselineConfig, Dlda};
+use atlas::env::{RealEnv, SimulatorEnv};
+use atlas::{
+    OfflineTrainer, OnlineLearner, RealNetwork, Scenario, Simulator, Sla, Stage2Config,
+    Stage3Config,
+};
+
+fn summarise(name: &str, history: &[(f64, f64)], sla: &Sla) {
+    let n = history.len() as f64;
+    let avg_usage: f64 = history.iter().map(|(u, _)| u).sum::<f64>() / n;
+    let avg_qoe: f64 = history.iter().map(|(_, q)| q).sum::<f64>() / n;
+    let violations = history.iter().filter(|(_, q)| *q < sla.qoe_target).count();
+    println!(
+        "  {name:<12} avg usage {:>5.1}%   avg QoE {:.3}   SLA violations {}/{}",
+        avg_usage * 100.0,
+        avg_qoe,
+        violations,
+        history.len()
+    );
+}
+
+fn main() {
+    let sla = Sla::paper_default();
+    let scenario = Scenario::default_with_seed(13).with_duration(10.0);
+    let real = RealEnv::new(RealNetwork::prototype());
+    let simulator = Simulator::with_original_params();
+    let sim_env = SimulatorEnv::new(simulator);
+    let iterations = 20;
+
+    let baseline_cfg = BaselineConfig {
+        iterations,
+        candidates: 800,
+        duration_s: 10.0,
+        ..BaselineConfig::default()
+    };
+
+    println!("online learning comparison over {iterations} iterations (Y = 300 ms, E = 0.9):");
+
+    // Baseline: GP-EI directly online.
+    let gp_ei = run_gp_ei_baseline(&real, &sla, &scenario, &baseline_cfg, 1);
+    summarise("Baseline", &gp_ei.iter().map(|o| (o.usage, o.qoe)).collect::<Vec<_>>(), &sla);
+
+    // VirtualEdge.
+    let ve = run_virtual_edge(&real, &sla, &scenario, &baseline_cfg, 2);
+    summarise("VirtualEdge", &ve.iter().map(|o| (o.usage, o.qoe)).collect::<Vec<_>>(), &sla);
+
+    // DLDA: offline grid training then online fine-tuning.
+    let mut dlda = Dlda::train_offline(&sim_env, &sla, &scenario, 3, 10.0, 3);
+    let dlda_hist = dlda.run_online(&real, &sla, &scenario, &baseline_cfg, 4);
+    summarise("DLDA", &dlda_hist.iter().map(|o| (o.usage, o.qoe)).collect::<Vec<_>>(), &sla);
+
+    // Atlas: stage 2 offline + stage 3 online.
+    let offline = OfflineTrainer::new(
+        Stage2Config {
+            iterations: 40,
+            warmup: 12,
+            parallel: 4,
+            candidates: 800,
+            duration_s: 10.0,
+            ..Stage2Config::default()
+        },
+        sla,
+    )
+    .run(&sim_env, &scenario, 5);
+    let atlas_online = OnlineLearner::new(
+        Stage3Config {
+            iterations,
+            offline_updates: 5,
+            candidates: 800,
+            duration_s: 10.0,
+            ..Stage3Config::default()
+        },
+        sla,
+        simulator,
+        &offline,
+    )
+    .run(&real, &scenario, 6);
+    summarise("Atlas (ours)", &atlas_online.usage_qoe_history(), &sla);
+}

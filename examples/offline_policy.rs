@@ -1,0 +1,64 @@
+//! Stage 2 in isolation: learn the cheapest SLA-satisfying slice
+//! configuration inside the simulator with the BNN + parallel Thompson
+//! sampling + adaptive Lagrangian method, and compare it against a GP-EI
+//! offline baseline.
+//!
+//! ```sh
+//! cargo run --release --example offline_policy
+//! ```
+
+use atlas::env::SimulatorEnv;
+use atlas::stage2::OfflineStrategy;
+use atlas::{Acquisition, OfflineTrainer, Scenario, Simulator, Sla, Stage2Config};
+
+fn main() {
+    let sla = Sla::paper_default();
+    let scenario = Scenario::default_with_seed(5).with_duration(10.0);
+    let env = SimulatorEnv::new(Simulator::with_original_params());
+
+    let base = Stage2Config {
+        iterations: 50,
+        warmup: 15,
+        parallel: 4,
+        candidates: 800,
+        duration_s: 10.0,
+        ..Stage2Config::default()
+    };
+
+    println!("offline training: ours (BNN + parallel Thompson + adaptive penalisation)");
+    let ours = OfflineTrainer::new(base, sla).run(&env, &scenario, 21);
+    for h in ours.history.iter().step_by(10) {
+        println!(
+            "  iter {:>3}: avg usage {:>5.1}%  avg QoE {:.3}  lambda {:.3}",
+            h.iteration,
+            h.avg_usage * 100.0,
+            h.avg_qoe,
+            h.multiplier
+        );
+    }
+    println!(
+        "  best: usage {:.1}% QoE {:.3}  config {:?}\n",
+        ours.best_usage * 100.0,
+        ours.best_qoe,
+        ours.best_config
+    );
+
+    println!("offline training: GP-EI baseline (scalarised objective)");
+    let gp_cfg = Stage2Config {
+        strategy: OfflineStrategy::GpAcquisition(Acquisition::ExpectedImprovement),
+        ..base
+    };
+    let gp = OfflineTrainer::new(gp_cfg, sla).run(&env, &scenario, 22);
+    println!(
+        "  best: usage {:.1}% QoE {:.3}",
+        gp.best_usage * 100.0,
+        gp.best_qoe
+    );
+
+    println!(
+        "\nsummary: ours uses {:.1}% of resources vs {:.1}% for GP-EI (both should meet QoE >= {}).",
+        ours.best_usage * 100.0,
+        gp.best_usage * 100.0,
+        sla.qoe_target
+    );
+}

@@ -1,0 +1,89 @@
+//! Stages 2 + 3: train an offline policy in the simulator, then learn
+//! online on the (emulated) real network with the safe, sample-efficient
+//! residual-GP learner and the conservative cRGP-UCB acquisition.
+//!
+//! ```sh
+//! cargo run --release --example online_slicing
+//! ```
+
+use atlas::baselines::oracle_reference;
+use atlas::env::{RealEnv, SimulatorEnv};
+use atlas::regret::average_regret;
+use atlas::{
+    OfflineTrainer, OnlineLearner, RealNetwork, Scenario, Simulator, Sla, Stage2Config,
+    Stage3Config,
+};
+
+fn main() {
+    let sla = Sla::paper_default();
+    let scenario = Scenario::default_with_seed(9).with_duration(10.0);
+    let simulator = Simulator::with_original_params();
+    let sim_env = SimulatorEnv::new(simulator);
+    let real = RealEnv::new(RealNetwork::prototype());
+
+    // Offline policy (stage 2).
+    let offline = OfflineTrainer::new(
+        Stage2Config {
+            iterations: 40,
+            warmup: 12,
+            parallel: 4,
+            candidates: 800,
+            duration_s: 10.0,
+            ..Stage2Config::default()
+        },
+        sla,
+    )
+    .run(&sim_env, &scenario, 31);
+    println!(
+        "offline policy: usage {:.1}% with simulator QoE {:.3}",
+        offline.best_usage * 100.0,
+        offline.best_qoe
+    );
+
+    // Online learning (stage 3).
+    let learner = OnlineLearner::new(
+        Stage3Config {
+            iterations: 25,
+            offline_updates: 5,
+            candidates: 800,
+            duration_s: 10.0,
+            ..Stage3Config::default()
+        },
+        sla,
+        simulator,
+        &offline,
+    );
+    let online = learner.run(&real, &scenario, 37);
+
+    println!("\nonline learning on the real network:");
+    for o in online.history.iter().step_by(4) {
+        println!(
+            "  iter {:>3}: usage {:>5.1}%  real QoE {:.3}  sim QoE {:.3}",
+            o.iteration,
+            o.usage * 100.0,
+            o.qoe,
+            o.simulator_qoe
+        );
+    }
+
+    // Regret against an oracle reference policy.
+    let reference = oracle_reference(&real, &sla, &scenario, 60, 10.0, 41);
+    let (usage_regret, qoe_regret) =
+        average_regret(&online.usage_qoe_history(), reference.0, reference.1);
+    println!(
+        "\nreference policy (oracle search): usage {:.1}% QoE {:.3}",
+        reference.0 * 100.0,
+        reference.1
+    );
+    println!(
+        "average regret over {} online iterations: usage {:+.2}%, QoE {:.3}",
+        online.history.len(),
+        usage_regret * 100.0,
+        qoe_regret
+    );
+    println!(
+        "best online configuration: usage {:.1}% at QoE {:.3}",
+        online.best.usage * 100.0,
+        online.best.qoe
+    );
+}

@@ -1,0 +1,80 @@
+//! Quickstart: run the full three-stage Atlas pipeline against the emulated
+//! testbed and print what each stage produced.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The iteration counts are scaled down so the example finishes in well
+//! under a minute; see `atlas-bench` for the full experiment harness.
+
+use atlas::pipeline::{run_atlas, AtlasConfig};
+use atlas::{RealNetwork, Scenario, Sla, Stage1Config, Stage2Config, Stage3Config, SurrogateKind};
+
+fn main() {
+    let real = RealNetwork::prototype();
+    let scenario = Scenario::default_with_seed(7).with_duration(10.0);
+
+    let config = AtlasConfig {
+        stage1: Stage1Config {
+            iterations: 20,
+            warmup: 6,
+            parallel: 4,
+            candidates: 500,
+            duration_s: 10.0,
+            surrogate: SurrogateKind::Bnn,
+            ..Stage1Config::default()
+        },
+        stage2: Stage2Config {
+            iterations: 30,
+            warmup: 10,
+            parallel: 4,
+            candidates: 500,
+            duration_s: 10.0,
+            ..Stage2Config::default()
+        },
+        stage3: Stage3Config {
+            iterations: 15,
+            offline_updates: 3,
+            candidates: 500,
+            duration_s: 10.0,
+            ..Stage3Config::default()
+        },
+        sla: Sla::paper_default(),
+        ..AtlasConfig::default()
+    };
+
+    println!("running Atlas (stage 1 -> stage 2 -> stage 3)...\n");
+    let outcome = run_atlas(&real, &scenario, &config, 42);
+
+    if let Some(stage1) = &outcome.stage1 {
+        println!("stage 1 (learning-based simulator):");
+        println!("  sim-to-real discrepancy : {:.3}", stage1.best_discrepancy);
+        println!("  parameter distance      : {:.3}", stage1.best_distance);
+        println!("  best parameters         : {:?}\n", stage1.best_params);
+    }
+    if let Some(stage2) = &outcome.stage2 {
+        println!("stage 2 (offline training in the augmented simulator):");
+        println!("  best configuration      : {:?}", stage2.best_config);
+        println!(
+            "  offline usage / QoE     : {:.1}% / {:.3}\n",
+            stage2.best_usage * 100.0,
+            stage2.best_qoe
+        );
+    }
+    println!("stage 3 (online learning on the real network):");
+    for outcome in outcome.stage3.history.iter().step_by(3) {
+        println!(
+            "  iter {:>3}: usage {:>5.1}%  QoE {:.3}  (simulator predicted {:.3})",
+            outcome.iteration,
+            outcome.usage * 100.0,
+            outcome.qoe,
+            outcome.simulator_qoe
+        );
+    }
+    println!(
+        "\nbest online configuration: usage {:.1}% at QoE {:.3}",
+        outcome.stage3.best.usage * 100.0,
+        outcome.stage3.best.qoe
+    );
+}

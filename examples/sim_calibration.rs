@@ -1,0 +1,58 @@
+//! Stage 1 in isolation: calibrate the simulator's parameters against a
+//! latency collection logged from the (emulated) real network, and show how
+//! much of the sim-to-real discrepancy the search removes.
+//!
+//! ```sh
+//! cargo run --release --example sim_calibration
+//! ```
+
+use atlas::env::{collect_latencies, RealEnv};
+use atlas::{
+    RealNetwork, Scenario, SimParams, SimulatorCalibration, SliceConfig, Stage1Config,
+    SurrogateKind,
+};
+
+fn main() {
+    let real = RealEnv::new(RealNetwork::prototype());
+    // The configuration currently deployed for the slice while the operator
+    // logs its performance (the "online collection" D_r of the paper).
+    let deployed = SliceConfig::from_vec(&[10.0, 5.0, 0.0, 0.0, 10.0, 0.8]);
+    let scenario = Scenario::default_with_seed(3).with_duration(12.0);
+    let real_latencies = collect_latencies(&real, &deployed, &scenario);
+    println!(
+        "collected {} latency samples from the deployed slice (mean {:.1} ms)",
+        real_latencies.len(),
+        real_latencies.iter().sum::<f64>() / real_latencies.len() as f64
+    );
+
+    let calibration = SimulatorCalibration::new(Stage1Config {
+        iterations: 40,
+        warmup: 10,
+        parallel: 4,
+        candidates: 800,
+        duration_s: 12.0,
+        surrogate: SurrogateKind::Bnn,
+        ..Stage1Config::default()
+    });
+
+    // Discrepancy of the original, specification-derived parameters.
+    let original = calibration.evaluate(&SimParams::original(), &real_latencies, &deployed, &scenario, 1);
+    println!("original simulator discrepancy : {:.3}", original.discrepancy);
+
+    let result = calibration.run(&real_latencies, &deployed, &scenario, 11);
+    println!("calibrated discrepancy         : {:.3}", result.best_discrepancy);
+    println!("parameter distance             : {:.3}", result.best_distance);
+    println!(
+        "discrepancy reduction          : {:.1}%",
+        (1.0 - result.best_discrepancy / original.discrepancy) * 100.0
+    );
+    println!("best simulation parameters     : {:?}", result.best_params);
+
+    println!("\nsearch progress (average weighted discrepancy):");
+    for h in result.history.iter().step_by(5) {
+        println!(
+            "  iter {:>3}: avg {:.3}  best-so-far {:.3}",
+            h.iteration, h.avg_weighted_discrepancy, h.best_weighted_so_far
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! End-to-end integration test of the three-stage pipeline and of the
+//! baselines/regret plumbing that the experiment harness builds on.
+//!
+//! Iteration counts are kept tiny so the suite stays fast in debug builds;
+//! the assertions therefore check structure, invariants and direction of
+//! effects rather than the headline numbers (those are exercised by the
+//! release-mode experiment harness).
+
+use atlas::baselines::{oracle_reference, run_gp_ei_baseline, run_virtual_edge, BaselineConfig, Dlda};
+use atlas::env::{RealEnv, SimulatorEnv};
+use atlas::pipeline::{run_atlas, AtlasConfig};
+use atlas::regret::average_regret;
+use atlas::{
+    OnlineModel, RealNetwork, Scenario, Simulator, Sla, Stage1Config, Stage2Config, Stage3Config,
+    SurrogateKind,
+};
+use atlas_nn::BnnConfig;
+
+fn tiny_config() -> AtlasConfig {
+    AtlasConfig {
+        stage1: Stage1Config {
+            iterations: 6,
+            warmup: 2,
+            parallel: 2,
+            candidates: 200,
+            duration_s: 8.0,
+            surrogate: SurrogateKind::Gp,
+            train_epochs_per_iter: 2,
+            ..Stage1Config::default()
+        },
+        stage2: Stage2Config {
+            iterations: 10,
+            warmup: 4,
+            parallel: 2,
+            candidates: 200,
+            duration_s: 8.0,
+            bnn: BnnConfig {
+                hidden: [12, 12, 0, 0],
+                epochs: 8,
+                ..BnnConfig::default()
+            },
+            train_epochs_per_iter: 3,
+            ..Stage2Config::default()
+        },
+        stage3: Stage3Config {
+            iterations: 5,
+            offline_updates: 2,
+            candidates: 200,
+            duration_s: 8.0,
+            ..Stage3Config::default()
+        },
+        sla: Sla::paper_default(),
+        ..AtlasConfig::default()
+    }
+}
+
+fn scenario() -> Scenario {
+    Scenario::default_with_seed(31).with_duration(8.0)
+}
+
+#[test]
+fn full_pipeline_produces_consistent_artifacts() {
+    let real = RealNetwork::prototype();
+    let outcome = run_atlas(&real, &scenario(), &tiny_config(), 101);
+
+    let stage1 = outcome.stage1.as_ref().expect("stage 1 ran");
+    let stage2 = outcome.stage2.as_ref().expect("stage 2 ran");
+
+    // Stage 1 output feeds the simulator used later.
+    assert_eq!(*outcome.simulator.params(), stage1.best_params);
+    assert!(stage1.best_discrepancy >= 0.0);
+    assert!(stage1.best_distance >= 0.0);
+
+    // Stage 2 produced a policy and its QoE model.
+    assert!(stage2.qoe_model.is_some());
+    assert!((0.0..=1.0).contains(&stage2.best_qoe));
+    assert!((0.0..=1.0).contains(&stage2.best_usage));
+    assert_eq!(stage2.history.len(), 10);
+
+    // Stage 3 history is complete, bounded and starts from the offline best.
+    assert_eq!(outcome.stage3.history.len(), 5);
+    assert_eq!(
+        outcome.stage3.history[0].config,
+        stage2.best_config.with_connectivity_floor()
+    );
+    for o in &outcome.stage3.history {
+        assert!((0.0..=1.0).contains(&o.qoe));
+        assert!((0.0..=1.0).contains(&o.usage));
+        assert!(o.config.bandwidth_ul >= 6.0);
+        assert!(o.config.bandwidth_dl >= 3.0);
+    }
+    assert!(outcome.stage3.final_multiplier >= 0.0);
+}
+
+#[test]
+fn pipeline_is_reproducible_for_a_fixed_seed() {
+    let real = RealNetwork::prototype();
+    let a = run_atlas(&real, &scenario(), &tiny_config(), 7);
+    let b = run_atlas(&real, &scenario(), &tiny_config(), 7);
+    assert_eq!(a.stage1.as_ref().unwrap().best_params, b.stage1.as_ref().unwrap().best_params);
+    let ha: Vec<_> = a.stage3.history.iter().map(|o| (o.usage, o.qoe)).collect();
+    let hb: Vec<_> = b.stage3.history.iter().map(|o| (o.usage, o.qoe)).collect();
+    assert_eq!(ha, hb);
+}
+
+#[test]
+fn online_model_ablations_and_baselines_produce_comparable_histories() {
+    let sla = Sla::paper_default();
+    let real_net = RealNetwork::prototype();
+    let real = RealEnv::new(real_net);
+    let simulator = Simulator::with_original_params();
+    let sim_env = SimulatorEnv::new(simulator);
+    let scenario = scenario();
+
+    // Offline policy shared by the Atlas variants.
+    let offline = atlas::OfflineTrainer::new(tiny_config().stage2, sla).run(&sim_env, &scenario, 3);
+
+    // Atlas with the GP-residual online model.
+    let atlas_history = atlas::OnlineLearner::new(
+        Stage3Config {
+            iterations: 4,
+            offline_updates: 1,
+            candidates: 150,
+            duration_s: 8.0,
+            online_model: OnlineModel::GpResidual,
+            ..Stage3Config::default()
+        },
+        sla,
+        simulator,
+        &offline,
+    )
+    .run(&real, &scenario, 5)
+    .usage_qoe_history();
+
+    // Baselines.
+    let baseline_cfg = BaselineConfig {
+        iterations: 4,
+        candidates: 150,
+        duration_s: 8.0,
+        warmup: 2,
+        ..BaselineConfig::default()
+    };
+    let gp_ei = run_gp_ei_baseline(&real, &sla, &scenario, &baseline_cfg, 6);
+    let ve = run_virtual_edge(&real, &sla, &scenario, &baseline_cfg, 7);
+    let mut dlda = Dlda::train_offline(&sim_env, &sla, &scenario, 2, 6.0, 8);
+    let dlda_hist = dlda.run_online(&real, &sla, &scenario, &baseline_cfg, 9);
+
+    // Same length histories, valid ranges — the property the figures and
+    // Table 5 rely on.
+    for history in [&gp_ei, &ve, &dlda_hist] {
+        assert_eq!(history.len(), 4);
+        for o in history.iter() {
+            assert!((0.0..=1.0).contains(&o.usage));
+            assert!((0.0..=1.0).contains(&o.qoe));
+        }
+    }
+    assert_eq!(atlas_history.len(), 4);
+
+    // Regret computation against an oracle reference works for all of them.
+    let reference = oracle_reference(&real, &sla, &scenario, 15, 8.0, 10);
+    for history in [
+        atlas_history.clone(),
+        gp_ei.iter().map(|o| (o.usage, o.qoe)).collect(),
+        ve.iter().map(|o| (o.usage, o.qoe)).collect(),
+        dlda_hist.iter().map(|o| (o.usage, o.qoe)).collect(),
+    ] {
+        let (usage_regret, qoe_regret) = average_regret(&history, reference.0, reference.1);
+        assert!(usage_regret.is_finite());
+        assert!(qoe_regret >= 0.0);
+    }
+}
+
+#[test]
+fn component_ablation_variants_run() {
+    let real = RealNetwork::prototype();
+    for (skip1, skip2, skip3) in [(true, false, false), (false, true, false), (false, false, true)] {
+        let config = AtlasConfig {
+            skip_stage1: skip1,
+            skip_stage2: skip2,
+            skip_stage3: skip3,
+            ..tiny_config()
+        };
+        let outcome = run_atlas(&real, &scenario(), &config, 11);
+        assert_eq!(outcome.stage1.is_none(), skip1);
+        assert_eq!(outcome.stage2.is_none(), skip2);
+        assert_eq!(outcome.stage3.history.len(), 5);
+    }
+}

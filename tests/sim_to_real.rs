@@ -1,0 +1,139 @@
+//! Cross-crate integration tests of the sim-to-real substrate: the
+//! discrepancy exists, is uneven, can be reduced by stage-1 calibration,
+//! and the QoE model behaves monotonically in the resources the policy
+//! controls.
+
+use atlas::env::{collect_latencies, Environment, RealEnv, SimulatorEnv, Sla};
+use atlas::{
+    RealNetwork, Scenario, SimParams, Simulator, SimulatorCalibration, SliceConfig, Stage1Config,
+    SurrogateKind,
+};
+use atlas_math::stats;
+
+fn deployed() -> SliceConfig {
+    SliceConfig::from_vec(&[10.0, 5.0, 0.0, 0.0, 10.0, 0.8])
+}
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::default_with_seed(seed).with_duration(10.0)
+}
+
+#[test]
+fn the_original_simulator_shows_a_nontrivial_discrepancy() {
+    let sim = SimulatorEnv::new(Simulator::with_original_params());
+    let real = RealEnv::new(RealNetwork::prototype());
+    let a = collect_latencies(&sim, &deployed(), &scenario(1));
+    let b = collect_latencies(&real, &deployed(), &scenario(2));
+    let kl = stats::kl_divergence(&b, &a).unwrap();
+    assert!(kl > 0.05, "expected a visible sim-to-real gap, got KL {kl}");
+    // The real network is slower on average, like the paper's prototype.
+    assert!(stats::mean(&b) > stats::mean(&a));
+}
+
+#[test]
+fn discrepancy_is_uneven_across_configurations() {
+    // Fig. 4: the KL divergence differs across resource configurations.
+    let sim = Simulator::with_original_params();
+    let real = RealNetwork::prototype();
+    let mut kls = Vec::new();
+    for cpu in [0.2, 0.9] {
+        let cfg = SliceConfig {
+            bandwidth_ul: 10.0,
+            bandwidth_dl: 5.0,
+            mcs_offset_ul: 0.0,
+            mcs_offset_dl: 0.0,
+            backhaul_bw: 15.0,
+            cpu_ratio: cpu,
+        };
+        let a = sim.run(&cfg, &scenario(3));
+        let b = real.run(&cfg, &scenario(4));
+        kls.push(stats::kl_divergence(&b.latencies_ms, &a.latencies_ms).unwrap());
+    }
+    assert!(
+        (kls[0] - kls[1]).abs() > 1e-3,
+        "discrepancy should vary across configurations: {kls:?}"
+    );
+}
+
+#[test]
+fn stage1_calibration_reduces_the_discrepancy_on_held_out_seeds() {
+    let real = RealEnv::new(RealNetwork::prototype());
+    let collection = collect_latencies(&real, &deployed(), &scenario(5));
+    let calibration = SimulatorCalibration::new(Stage1Config {
+        iterations: 14,
+        warmup: 4,
+        parallel: 2,
+        candidates: 300,
+        duration_s: 10.0,
+        surrogate: SurrogateKind::Gp,
+        train_epochs_per_iter: 2,
+        ..Stage1Config::default()
+    });
+    let result = calibration.run(&collection, &deployed(), &scenario(5), 17);
+
+    // Evaluate original vs calibrated on a *fresh* seed to avoid rewarding
+    // overfitting to the search seed.
+    let fresh = scenario(99);
+    let target = RealNetwork::prototype().run(&deployed(), &fresh);
+    let original = Simulator::with_original_params().run(&deployed(), &fresh);
+    let calibrated = Simulator::new(result.best_params).run(&deployed(), &fresh);
+    let kl_original = stats::kl_divergence(&target.latencies_ms, &original.latencies_ms).unwrap();
+    let kl_calibrated =
+        stats::kl_divergence(&target.latencies_ms, &calibrated.latencies_ms).unwrap();
+    assert!(
+        kl_calibrated < kl_original * 1.05,
+        "calibration should not make the simulator meaningfully worse: {kl_calibrated} vs {kl_original}"
+    );
+    // A residual gap remains: the testbed has effects (fading, heavy tails)
+    // the simulation parameters cannot express.
+    assert!(kl_calibrated > 0.0);
+}
+
+#[test]
+fn qoe_improves_with_resources_in_both_environments() {
+    let sla = Sla::paper_default();
+    let starved = SliceConfig::from_vec(&[6.0, 3.0, 0.0, 0.0, 3.0, 0.15]);
+    let generous = SliceConfig::from_vec(&[30.0, 20.0, 0.0, 0.0, 50.0, 1.0]);
+    let sim = SimulatorEnv::new(Simulator::with_original_params());
+    let real = RealEnv::new(RealNetwork::prototype());
+    for traffic in [1u32, 3] {
+        let s = scenario(7).with_traffic(traffic);
+        let sim_starved = sim.query(&starved, &s, &sla);
+        let sim_generous = sim.query(&generous, &s, &sla);
+        assert!(
+            sim_generous.qoe >= sim_starved.qoe,
+            "simulator: more resources should not reduce QoE (traffic {traffic})"
+        );
+        let real_starved = real.query(&starved, &s, &sla);
+        let real_generous = real.query(&generous, &s, &sla);
+        assert!(
+            real_generous.qoe >= real_starved.qoe,
+            "real network: more resources should not reduce QoE (traffic {traffic})"
+        );
+        // Resource usage ordering is by construction.
+        assert!(sim_generous.usage > sim_starved.usage);
+        assert!(real_generous.usage > real_starved.usage);
+    }
+}
+
+#[test]
+fn calibrated_parameters_stay_inside_the_trust_region() {
+    let real = RealEnv::new(RealNetwork::prototype());
+    let collection = collect_latencies(&real, &deployed(), &scenario(8));
+    let config = Stage1Config {
+        iterations: 8,
+        warmup: 3,
+        parallel: 2,
+        candidates: 200,
+        duration_s: 8.0,
+        max_distance: 0.3,
+        surrogate: SurrogateKind::Gp,
+        train_epochs_per_iter: 2,
+        ..Stage1Config::default()
+    };
+    let result = SimulatorCalibration::new(config).run(&collection, &deployed(), &scenario(8), 23);
+    assert!(result.best_distance <= 0.3 + 1e-6);
+    for obs in &result.observations {
+        assert!(obs.params.distance_from(&SimParams::original()) <= 0.3 + 1e-6);
+    }
+}
