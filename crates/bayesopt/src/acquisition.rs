@@ -126,7 +126,10 @@ mod tests {
         assert!(better_mean > worse_mean);
         let low_std = ei.score(1.5, 0.01, 1.0, 1, &mut rng);
         let high_std = ei.score(1.5, 1.0, 1.0, 1, &mut rng);
-        assert!(high_std > low_std, "uncertainty should add EI above the incumbent");
+        assert!(
+            high_std > low_std,
+            "uncertainty should add EI above the incumbent"
+        );
         assert!(ei.score(5.0, 1e-9, 1.0, 1, &mut rng) >= 0.0);
     }
 

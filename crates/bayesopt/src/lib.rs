@@ -13,8 +13,26 @@
 //!   and (parallel) Thompson-sampling batch proposals.
 //!
 //! Objective evaluation stays with the caller so that expensive simulator
-//! queries can be parallelised (the Atlas core uses crossbeam scoped
-//! threads for the paper's "parallel queries").
+//! queries can be parallelised (the Atlas core uses std scoped threads for
+//! the paper's "parallel queries").
+//!
+//! ## Quick start
+//!
+//! ```
+//! use atlas_bayesopt::{Acquisition, BayesOpt, GpSurrogate, SearchSpace};
+//! use atlas_math::rng::seeded_rng;
+//!
+//! let mut rng = seeded_rng(3);
+//! let space = SearchSpace::unit(2);
+//! let mut bo = BayesOpt::new(space.clone(), GpSurrogate::new()).with_initial_random(4);
+//! for _ in 0..8 {
+//!     let x = bo.suggest(Acquisition::ExpectedImprovement, &mut rng);
+//!     let y = (x[0] - 0.3).powi(2) + (x[1] - 0.7).powi(2); // minimise
+//!     bo.observe(x, y);
+//! }
+//! let best = bo.best().unwrap();
+//! assert!(best.y.is_finite() && space.contains(&best.x));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -256,8 +256,7 @@ mod tests {
         // Heavily penalise the first coordinate: proposals should move
         // towards x0 = 0 even though the objective minimum is at 0.7.
         let penalised = bo.suggest_thompson_batch(8, &mut rng, |x, v| v + 5.0 * x[0]);
-        let mean_x0: f64 =
-            penalised.iter().map(|x| x[0]).sum::<f64>() / penalised.len() as f64;
+        let mean_x0: f64 = penalised.iter().map(|x| x[0]).sum::<f64>() / penalised.len() as f64;
         let plain = bo.suggest_thompson_batch(8, &mut rng, |_, v| v);
         let plain_x0: f64 = plain.iter().map(|x| x[0]).sum::<f64>() / plain.len() as f64;
         assert!(

@@ -139,12 +139,16 @@ impl Surrogate for BnnSurrogate {
         // pure function (callers that need reproducible uncertainty use
         // `thompson_batch` with their own RNG).
         let mut rng = atlas_math::rng::seeded_rng(0xBEEF);
-        self.bnn.predict_with_uncertainty(x, Self::PREDICT_SAMPLES, &mut rng)
+        self.bnn
+            .predict_with_uncertainty(x, Self::PREDICT_SAMPLES, &mut rng)
     }
 
     fn thompson_batch(&self, candidates: &[Vec<f64>], rng: &mut Rng64) -> Vec<f64> {
         if !self.fitted {
-            return candidates.iter().map(|_| standard_normal_sample(rng)).collect();
+            return candidates
+                .iter()
+                .map(|_| standard_normal_sample(rng))
+                .collect();
         }
         let draw = self.bnn.thompson_sampler(rng);
         candidates.iter().map(|x| draw(x)).collect()

@@ -68,7 +68,10 @@ fn main() -> ExitCode {
             usage();
             return ExitCode::FAILURE;
         }
-        println!("### {id} finished in {:.1}s ###\n", started.elapsed().as_secs_f64());
+        println!(
+            "### {id} finished in {:.1}s ###\n",
+            started.elapsed().as_secs_f64()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -11,14 +11,16 @@
 //! a laptop CPU; pass `--paper-scale` to use the paper's iteration counts.
 
 use crate::output::Table;
-use atlas::baselines::{oracle_reference, run_gp_ei_baseline, run_virtual_edge, BaselineConfig, Dlda};
+use atlas::baselines::{
+    oracle_reference, run_gp_ei_baseline, run_virtual_edge, BaselineConfig, Dlda,
+};
 use atlas::env::{collect_latencies, Environment, RealEnv, SimulatorEnv};
 use atlas::regret::average_regret;
 use atlas::stage2::OfflineStrategy;
 use atlas::{
-    Acquisition, OnlineLearner, OnlineModel, OfflineTrainer, RealNetwork, Scenario,
-    SimulatorCalibration, SimParams, Simulator, SliceConfig, Sla, Stage1Config, Stage2Config,
-    Stage3Config, SurrogateKind,
+    Acquisition, OfflineTrainer, OnlineLearner, OnlineModel, RealNetwork, Scenario, SimParams,
+    Simulator, SimulatorCalibration, Sla, SliceConfig, Stage1Config, Stage2Config, Stage3Config,
+    SurrogateKind,
 };
 use atlas_math::stats;
 use atlas_nn::BnnConfig;
@@ -144,7 +146,10 @@ fn real_collection(settings: &Settings, traffic: u32) -> Vec<f64> {
     collect_latencies(
         &real,
         &deployed_config(),
-        &settings.scenario().with_traffic(traffic).with_seed(settings.seed + 77),
+        &settings
+            .scenario()
+            .with_traffic(traffic)
+            .with_seed(settings.seed + 77),
     )
 }
 
@@ -274,7 +279,13 @@ fn fig3(settings: &Settings) {
     let cfg = deployed_config();
     let mut t = Table::new(
         "Fig 3: end-to-end latency under different user traffic",
-        &["traffic", "sim_mean_ms", "sim_std_ms", "real_mean_ms", "real_std_ms"],
+        &[
+            "traffic",
+            "sim_mean_ms",
+            "sim_std_ms",
+            "real_mean_ms",
+            "real_std_ms",
+        ],
     );
     for traffic in 1..=4u32 {
         let scenario = settings.scenario().with_traffic(traffic);
@@ -355,14 +366,33 @@ fn fig5(settings: &Settings) {
     let base_cfg = settings.baseline();
 
     let bo = run_gp_ei_baseline(&real, &sla, &scenario, &base_cfg, settings.seed);
-    let mut dlda = Dlda::train_offline(&sim_env, &sla, &scenario, 3, settings.duration(), settings.seed);
+    let mut dlda = Dlda::train_offline(
+        &sim_env,
+        &sla,
+        &scenario,
+        3,
+        settings.duration(),
+        settings.seed,
+    );
     let dlda_hist = dlda.run_online(&real, &sla, &scenario, &base_cfg, settings.seed + 1);
 
     let series = vec![
-        ("BO", bo.iter().map(|o| (o.usage, o.qoe)).collect::<Vec<_>>()),
-        ("DLDA", dlda_hist.iter().map(|o| (o.usage, o.qoe)).collect::<Vec<_>>()),
+        (
+            "BO",
+            bo.iter().map(|o| (o.usage, o.qoe)).collect::<Vec<_>>(),
+        ),
+        (
+            "DLDA",
+            dlda_hist
+                .iter()
+                .map(|o| (o.usage, o.qoe))
+                .collect::<Vec<_>>(),
+        ),
     ];
-    let t = footprint_table("Fig 5: footprint of online learning methods (QoE threshold 0.9)", &series);
+    let t = footprint_table(
+        "Fig 5: footprint of online learning methods (QoE threshold 0.9)",
+        &series,
+    );
     finish(&t, "fig5");
     let violations: usize = series
         .iter()
@@ -377,7 +407,13 @@ fn fig5(settings: &Settings) {
 // Stage 1: learning-based simulator (Sec. 8.1)
 // ---------------------------------------------------------------------------
 
-fn run_stage1(settings: &Settings, surrogate: SurrogateKind, alpha: f64, parallel: usize, iterations: Option<usize>) -> atlas::Stage1Result {
+fn run_stage1(
+    settings: &Settings,
+    surrogate: SurrogateKind,
+    alpha: f64,
+    parallel: usize,
+    iterations: Option<usize>,
+) -> atlas::Stage1Result {
     let mut cfg = settings.stage1();
     cfg.surrogate = surrogate;
     cfg.alpha = alpha;
@@ -387,12 +423,29 @@ fn run_stage1(settings: &Settings, surrogate: SurrogateKind, alpha: f64, paralle
     }
     let calib = SimulatorCalibration::new(cfg);
     let real_latencies = real_collection(settings, 1);
-    calib.run(&real_latencies, &deployed_config(), &settings.scenario(), settings.seed + 11)
+    calib.run(
+        &real_latencies,
+        &deployed_config(),
+        &settings.scenario(),
+        settings.seed + 11,
+    )
 }
 
 fn fig8(settings: &Settings) {
-    let ours = run_stage1(settings, SurrogateKind::Bnn, 7.0, settings.stage1().parallel, None);
-    let gp = run_stage1(settings, SurrogateKind::Gp, 7.0, settings.stage1().parallel, None);
+    let ours = run_stage1(
+        settings,
+        SurrogateKind::Bnn,
+        7.0,
+        settings.stage1().parallel,
+        None,
+    );
+    let gp = run_stage1(
+        settings,
+        SurrogateKind::Gp,
+        7.0,
+        settings.stage1().parallel,
+        None,
+    );
     let mut t = Table::new(
         "Fig 8: stage-1 searching progress (avg weighted discrepancy per iteration)",
         &["iteration", "ours_bnn", "gp_baseline"],
@@ -421,11 +474,28 @@ fn table4(settings: &Settings) {
         &settings.scenario(),
         settings.seed,
     );
-    let gp = run_stage1(settings, SurrogateKind::Gp, 7.0, settings.stage1().parallel, None);
-    let ours = run_stage1(settings, SurrogateKind::Bnn, 7.0, settings.stage1().parallel, None);
+    let gp = run_stage1(
+        settings,
+        SurrogateKind::Gp,
+        7.0,
+        settings.stage1().parallel,
+        None,
+    );
+    let ours = run_stage1(
+        settings,
+        SurrogateKind::Bnn,
+        7.0,
+        settings.stage1().parallel,
+        None,
+    );
     let mut t = Table::new(
         "Table 4: details of the offline learning-based simulator",
-        &["method", "sim_to_real_discrepancy", "parameter_distance", "best_parameters"],
+        &[
+            "method",
+            "sim_to_real_discrepancy",
+            "parameter_distance",
+            "best_parameters",
+        ],
     );
     let fmt_params = |p: &SimParams| {
         p.to_vec()
@@ -456,8 +526,20 @@ fn table4(settings: &Settings) {
 }
 
 fn fig9(settings: &Settings) {
-    let gp = run_stage1(settings, SurrogateKind::Gp, 7.0, settings.stage1().parallel, None);
-    let ours = run_stage1(settings, SurrogateKind::Bnn, 7.0, settings.stage1().parallel, None);
+    let gp = run_stage1(
+        settings,
+        SurrogateKind::Gp,
+        7.0,
+        settings.stage1().parallel,
+        None,
+    );
+    let ours = run_stage1(
+        settings,
+        SurrogateKind::Bnn,
+        7.0,
+        settings.stage1().parallel,
+        None,
+    );
     let scenario = settings.scenario();
     let cfg = deployed_config();
     let real = RealNetwork::prototype().run(&cfg, &scenario);
@@ -474,7 +556,13 @@ fn fig9(settings: &Settings) {
 }
 
 fn fig10(settings: &Settings) {
-    let ours = run_stage1(settings, SurrogateKind::Bnn, 7.0, settings.stage1().parallel, None);
+    let ours = run_stage1(
+        settings,
+        SurrogateKind::Bnn,
+        7.0,
+        settings.stage1().parallel,
+        None,
+    );
     let sim = Simulator::new(ours.best_params);
     let real = RealNetwork::prototype();
     let cfg = deployed_config();
@@ -489,7 +577,9 @@ fn fig10(settings: &Settings) {
     cases.push((
         "random".into(),
         Scenario {
-            mobility: atlas::Mobility::RandomWalk { max_distance_m: 10.0 },
+            mobility: atlas::Mobility::RandomWalk {
+                max_distance_m: 10.0,
+            },
             ..settings.scenario()
         },
     ));
@@ -518,7 +608,10 @@ fn fig11(settings: &Settings) {
         t.add_row(vec![
             extra.to_string(),
             format!("{:.1}", trace.mean_latency_ms()),
-            format!("{:.1}", stats::quantile(&trace.latencies_ms, 0.95).unwrap_or(0.0)),
+            format!(
+                "{:.1}",
+                stats::quantile(&trace.latencies_ms, 0.95).unwrap_or(0.0)
+            ),
         ]);
     }
     finish(&t, "fig11");
@@ -571,22 +664,39 @@ fn fig13(settings: &Settings) {
 }
 
 fn fig14(settings: &Settings) {
-    let ours = run_stage1(settings, SurrogateKind::Bnn, 7.0, settings.stage1().parallel, None);
+    let ours = run_stage1(
+        settings,
+        SurrogateKind::Bnn,
+        7.0,
+        settings.stage1().parallel,
+        None,
+    );
     let original = Simulator::with_original_params();
     let calibrated = Simulator::new(ours.best_params);
     let real = RealNetwork::prototype();
     let cfg = deployed_config();
     let mut t = Table::new(
         "Fig 14: sim-to-real discrepancy under user traffic (original vs calibrated)",
-        &["traffic", "original_simulator", "calibrated_ours", "reduction_pct"],
+        &[
+            "traffic",
+            "original_simulator",
+            "calibrated_ours",
+            "reduction_pct",
+        ],
     );
     for traffic in 1..=4u32 {
         let scenario = settings.scenario().with_traffic(traffic);
         let target = real.run(&cfg, &scenario);
-        let kl_orig = stats::kl_divergence(&target.latencies_ms, &original.run(&cfg, &scenario).latencies_ms)
-            .unwrap_or(f64::NAN);
-        let kl_ours = stats::kl_divergence(&target.latencies_ms, &calibrated.run(&cfg, &scenario).latencies_ms)
-            .unwrap_or(f64::NAN);
+        let kl_orig = stats::kl_divergence(
+            &target.latencies_ms,
+            &original.run(&cfg, &scenario).latencies_ms,
+        )
+        .unwrap_or(f64::NAN);
+        let kl_ours = stats::kl_divergence(
+            &target.latencies_ms,
+            &calibrated.run(&cfg, &scenario).latencies_ms,
+        )
+        .unwrap_or(f64::NAN);
         let reduction = (1.0 - kl_ours / kl_orig) * 100.0;
         t.add_row(vec![
             traffic.to_string(),
@@ -599,7 +709,13 @@ fn fig14(settings: &Settings) {
 }
 
 fn fig15(settings: &Settings) {
-    let ours = run_stage1(settings, SurrogateKind::Bnn, 7.0, settings.stage1().parallel, None);
+    let ours = run_stage1(
+        settings,
+        SurrogateKind::Bnn,
+        7.0,
+        settings.stage1().parallel,
+        None,
+    );
     let original = Simulator::with_original_params();
     let calibrated = Simulator::new(ours.best_params);
     let real = RealNetwork::prototype();
@@ -612,12 +728,16 @@ fn fig15(settings: &Settings) {
             let cfg = grid_config(cpu, ul).with_connectivity_floor();
             let scenario = settings.scenario();
             let target = real.run(&cfg, &scenario);
-            let kl_orig =
-                stats::kl_divergence(&target.latencies_ms, &original.run(&cfg, &scenario).latencies_ms)
-                    .unwrap_or(f64::NAN);
-            let kl_ours =
-                stats::kl_divergence(&target.latencies_ms, &calibrated.run(&cfg, &scenario).latencies_ms)
-                    .unwrap_or(f64::NAN);
+            let kl_orig = stats::kl_divergence(
+                &target.latencies_ms,
+                &original.run(&cfg, &scenario).latencies_ms,
+            )
+            .unwrap_or(f64::NAN);
+            let kl_ours = stats::kl_divergence(
+                &target.latencies_ms,
+                &calibrated.run(&cfg, &scenario).latencies_ms,
+            )
+            .unwrap_or(f64::NAN);
             let reduction = 1.0 - kl_ours / kl_orig.max(1e-9);
             t.add_row(vec![
                 format!("{:.0}", cpu * 100.0),
@@ -634,7 +754,13 @@ fn fig15(settings: &Settings) {
 // ---------------------------------------------------------------------------
 
 fn augmented_simulator(settings: &Settings) -> Simulator {
-    let ours = run_stage1(settings, SurrogateKind::Bnn, 7.0, settings.stage1().parallel, None);
+    let ours = run_stage1(
+        settings,
+        SurrogateKind::Bnn,
+        7.0,
+        settings.stage1().parallel,
+        None,
+    );
     Simulator::new(ours.best_params)
 }
 
@@ -663,11 +789,17 @@ fn fig16(settings: &Settings) {
     );
 }
 
-fn offline_methods(settings: &Settings) -> Vec<(&'static str, OfflineStrategy)> {
+fn offline_methods() -> Vec<(&'static str, OfflineStrategy)> {
     vec![
         ("Ours", OfflineStrategy::ParallelThompson),
-        ("GP-EI", OfflineStrategy::GpAcquisition(Acquisition::ExpectedImprovement)),
-        ("GP-PI", OfflineStrategy::GpAcquisition(Acquisition::ProbabilityOfImprovement)),
+        (
+            "GP-EI",
+            OfflineStrategy::GpAcquisition(Acquisition::ExpectedImprovement),
+        ),
+        (
+            "GP-PI",
+            OfflineStrategy::GpAcquisition(Acquisition::ProbabilityOfImprovement),
+        ),
         (
             "GP-UCB",
             OfflineStrategy::GpAcquisition(Acquisition::GpUcb {
@@ -676,9 +808,6 @@ fn offline_methods(settings: &Settings) -> Vec<(&'static str, OfflineStrategy)> 
             }),
         ),
     ]
-    .into_iter()
-    .take(if settings.paper_scale { 4 } else { 4 })
-    .collect()
 }
 
 fn fig17(settings: &Settings) {
@@ -689,7 +818,7 @@ fn fig17(settings: &Settings) {
         "Fig 17: offline policies of different methods (E = 0.9, Y = 300 ms)",
         &["method", "resource_usage_pct", "qoe"],
     );
-    for (name, strategy) in offline_methods(settings) {
+    for (name, strategy) in offline_methods() {
         let mut cfg = settings.stage2();
         cfg.strategy = strategy;
         let trainer = OfflineTrainer::new(cfg, sla);
@@ -702,7 +831,14 @@ fn fig17(settings: &Settings) {
     }
     // DLDA offline policy: grid-trained DNN picks its cheapest predicted
     // feasible configuration, evaluated in the simulator.
-    let dlda = Dlda::train_offline(&sim_env, &sla, &settings.scenario(), 3, settings.duration(), settings.seed);
+    let dlda = Dlda::train_offline(
+        &sim_env,
+        &sla,
+        &settings.scenario(),
+        3,
+        settings.duration(),
+        settings.seed,
+    );
     let chosen = dlda.select_config(&sla, 1, 5000, settings.seed + 5);
     let sample = sim_env.query(&chosen, &settings.scenario(), &sla);
     t.add_row(vec![
@@ -718,13 +854,21 @@ fn fig18(settings: &Settings) {
     let sim_env = SimulatorEnv::new(simulator);
     let mut t = Table::new(
         "Fig 18: offline Pareto boundary under different availability E",
-        &["method", "qoe_requirement", "avg_resource_usage_pct", "achieved_qoe"],
+        &[
+            "method",
+            "qoe_requirement",
+            "avg_resource_usage_pct",
+            "achieved_qoe",
+        ],
     );
     for e in [0.7, 0.8, 0.9, 0.95] {
         let sla = Sla::new(300.0, e);
         for (name, strategy) in [
             ("Ours", OfflineStrategy::ParallelThompson),
-            ("GP-EI", OfflineStrategy::GpAcquisition(Acquisition::ExpectedImprovement)),
+            (
+                "GP-EI",
+                OfflineStrategy::GpAcquisition(Acquisition::ExpectedImprovement),
+            ),
         ] {
             let mut cfg = settings.stage2();
             cfg.strategy = strategy;
@@ -739,7 +883,14 @@ fn fig18(settings: &Settings) {
             ]);
         }
         // DLDA at this requirement.
-        let dlda = Dlda::train_offline(&sim_env, &sla, &settings.scenario(), 3, settings.duration(), settings.seed);
+        let dlda = Dlda::train_offline(
+            &sim_env,
+            &sla,
+            &settings.scenario(),
+            3,
+            settings.duration(),
+            settings.seed,
+        );
         let chosen = dlda.select_config(&sla, 1, 5000, settings.seed + 7);
         let sample = sim_env.query(&chosen, &settings.scenario(), &sla);
         t.add_row(vec![
@@ -765,7 +916,14 @@ fn fig19(settings: &Settings) {
         cfg.iterations = (cfg.iterations / 2).max(20);
         let trainer = OfflineTrainer::new(cfg, sla);
         let ours = trainer.run(&sim_env, &settings.scenario(), settings.seed + 41);
-        let dlda = Dlda::train_offline(&sim_env, &sla, &settings.scenario(), 3, settings.duration(), settings.seed);
+        let dlda = Dlda::train_offline(
+            &sim_env,
+            &sla,
+            &settings.scenario(),
+            3,
+            settings.duration(),
+            settings.seed,
+        );
         let chosen = dlda.select_config(&sla, 1, 5000, settings.seed + 9);
         let dlda_sample = sim_env.query(&chosen, &settings.scenario(), &sla);
         t.add_row(vec![
@@ -809,7 +967,14 @@ fn online_comparison(settings: &Settings, traffic: u32, threshold_ms: f64) -> On
     let base_cfg = settings.baseline();
     let baseline = run_gp_ei_baseline(&real, &sla, &scenario, &base_cfg, settings.seed + 63);
     let virtual_edge = run_virtual_edge(&real, &sla, &scenario, &base_cfg, settings.seed + 67);
-    let mut dlda = Dlda::train_offline(&sim_env, &sla, &scenario, 3, settings.duration(), settings.seed + 69);
+    let mut dlda = Dlda::train_offline(
+        &sim_env,
+        &sla,
+        &scenario,
+        3,
+        settings.duration(),
+        settings.seed + 69,
+    );
     let dlda_hist = dlda.run_online(&real, &sla, &scenario, &base_cfg, settings.seed + 71);
 
     // Oracle reference policy for the regret metrics.
@@ -874,7 +1039,12 @@ fn fig20_21_table5(settings: &Settings, which: &str) {
         _ => {
             let mut t = Table::new(
                 "Table 5: online learning under different methods",
-                &["method", "avg_usage_regret_pct", "avg_qoe_regret", "offline_queries"],
+                &[
+                    "method",
+                    "avg_usage_regret_pct",
+                    "avg_qoe_regret",
+                    "offline_queries",
+                ],
             );
             for (i, name) in cmp.names.iter().enumerate() {
                 let (u, q) = average_regret(&cmp.histories[i], cmp.reference.0, cmp.reference.1);
@@ -907,7 +1077,13 @@ fn fig22(settings: &Settings) {
     let acquisitions: Vec<(&str, Acquisition)> = vec![
         ("PI", Acquisition::ProbabilityOfImprovement),
         ("EI", Acquisition::ExpectedImprovement),
-        ("GP-UCB", Acquisition::GpUcb { delta: 0.1, dim: SliceConfig::DIM }),
+        (
+            "GP-UCB",
+            Acquisition::GpUcb {
+                delta: 0.1,
+                dim: SliceConfig::DIM,
+            },
+        ),
         ("Ours (cRGP-UCB)", Acquisition::conservative_default()),
     ];
     let mut series = Vec::new();
@@ -916,9 +1092,19 @@ fn fig22(settings: &Settings) {
         cfg.acquisition = *acq;
         let learner = OnlineLearner::new(cfg, sla, simulator, &offline);
         let result = learner.run(&real, &scenario, settings.seed + 83);
-        series.push((*name, result.history.iter().map(|o| (o.usage, o.qoe)).collect::<Vec<_>>()));
+        series.push((
+            *name,
+            result
+                .history
+                .iter()
+                .map(|o| (o.usage, o.qoe))
+                .collect::<Vec<_>>(),
+        ));
     }
-    let t = footprint_table("Fig 22: online footprint under different acquisition functions", &series);
+    let t = footprint_table(
+        "Fig 22: online footprint under different acquisition functions",
+        &series,
+    );
     finish(&t, "fig22");
 }
 
@@ -956,7 +1142,11 @@ fn fig23(settings: &Settings) {
         let learner = OnlineLearner::new(cfg, sla, simulator, &offline);
         let result = learner.run(&real, &scenario, settings.seed + 97);
         let (u, q) = average_regret(&result.usage_qoe_history(), reference.0, reference.1);
-        t.add_row(vec![name.into(), format!("{:.2}", u * 100.0), format!("{q:.3}")]);
+        t.add_row(vec![
+            name.into(),
+            format!("{:.2}", u * 100.0),
+            format!("{q:.3}"),
+        ]);
     }
     finish(&t, "fig23");
 }
@@ -975,9 +1165,27 @@ fn fig24(settings: &Settings) {
     };
     let variants: Vec<(&str, AtlasConfig)> = vec![
         ("Ours", base),
-        ("No stage 1", AtlasConfig { skip_stage1: true, ..base }),
-        ("No stage 2", AtlasConfig { skip_stage2: true, ..base }),
-        ("No stage 3", AtlasConfig { skip_stage3: true, ..base }),
+        (
+            "No stage 1",
+            AtlasConfig {
+                skip_stage1: true,
+                ..base
+            },
+        ),
+        (
+            "No stage 2",
+            AtlasConfig {
+                skip_stage2: true,
+                ..base
+            },
+        ),
+        (
+            "No stage 3",
+            AtlasConfig {
+                skip_stage3: true,
+                ..base
+            },
+        ),
     ];
     let mut series = Vec::new();
     for (name, cfg) in &variants {

@@ -97,7 +97,9 @@ pub fn run_gp_ei_baseline<E: Environment>(
             sla,
         );
         xs.push(space.normalize(&sample.config.to_vec()));
-        ys.push(sample.usage + config.scalarisation_penalty * (sla.qoe_target - sample.qoe).max(0.0));
+        ys.push(
+            sample.usage + config.scalarisation_penalty * (sla.qoe_target - sample.qoe).max(0.0),
+        );
         let _ = gp.fit(&xs, &ys);
         history.push(OnlineOutcome {
             iteration,
@@ -149,8 +151,8 @@ impl Dlda {
         for idx in 0..total {
             let mut rest = idx;
             let mut unit = vec![0.0; dim];
-            for d in 0..dim {
-                unit[d] = levels[rest % levels.len()];
+            for u in unit.iter_mut() {
+                *u = levels[rest % levels.len()];
                 rest /= levels.len();
             }
             let config = SliceConfig::from_unit(&unit);
@@ -186,13 +188,7 @@ impl Dlda {
     /// Selects the configuration with minimum resource usage among
     /// `samples` random configurations whose predicted QoE meets the SLA
     /// (falls back to the highest predicted QoE when none qualifies).
-    pub fn select_config(
-        &self,
-        sla: &Sla,
-        traffic: u32,
-        samples: usize,
-        seed: u64,
-    ) -> SliceConfig {
+    pub fn select_config(&self, sla: &Sla, traffic: u32, samples: usize, seed: u64) -> SliceConfig {
         let mut rng = seeded_rng(seed);
         let space = config_space();
         let candidates = space.sample_n(samples.max(10), &mut rng);
@@ -202,10 +198,13 @@ impl Dlda {
             let config = SliceConfig::from_vec(&c);
             let qoe = self.predict_qoe(&config, traffic, sla);
             let usage = config.resource_usage();
-            if qoe >= sla.qoe_target {
-                if best_feasible.as_ref().map(|(u, _)| usage < *u).unwrap_or(true) {
-                    best_feasible = Some((usage, config));
-                }
+            if qoe >= sla.qoe_target
+                && best_feasible
+                    .as_ref()
+                    .map(|(u, _)| usage < *u)
+                    .unwrap_or(true)
+            {
+                best_feasible = Some((usage, config));
             }
             if best_any.as_ref().map(|(q, _)| qoe > *q).unwrap_or(true) {
                 best_any = Some((qoe, config));
@@ -362,9 +361,7 @@ pub fn oracle_reference<E: Environment>(
             &run_scenario.with_seed(derive_seed(seed, i as u64)),
             sla,
         );
-        if sla.satisfied_by(sample.qoe)
-            && best.map(|(u, _)| sample.usage < u).unwrap_or(true)
-        {
+        if sla.satisfied_by(sample.qoe) && best.map(|(u, _)| sample.usage < u).unwrap_or(true) {
             best = Some((sample.usage, sample.qoe));
         }
         if sample.qoe > best_qoe.1 {

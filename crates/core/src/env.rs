@@ -131,20 +131,22 @@ pub fn query_parallel<E: Environment>(
         return Vec::new();
     }
     let mut results: Vec<Option<QoeSample>> = vec![None; configs.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(configs.len());
         for (i, config) in configs.iter().enumerate() {
             let seed = atlas_math::rng::derive_seed(base_seed, i as u64);
             let run_scenario = scenario.with_seed(seed);
-            handles.push(scope.spawn(move |_| (i, env.query(config, &run_scenario, sla))));
+            handles.push(scope.spawn(move || (i, env.query(config, &run_scenario, sla))));
         }
         for handle in handles {
             let (i, sample) = handle.join().expect("simulator query thread panicked");
             results[i] = Some(sample);
         }
-    })
-    .expect("crossbeam scope failed");
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// The feature vector the policy surrogates operate on: the unit-cube
@@ -168,7 +170,8 @@ pub fn collect_latencies<E: Environment>(
     config: &SliceConfig,
     scenario: &Scenario,
 ) -> Vec<f64> {
-    env.measure(&config.with_connectivity_floor(), scenario).latencies_ms
+    env.measure(&config.with_connectivity_floor(), scenario)
+        .latencies_ms
 }
 
 /// Mean latency convenience wrapper used by motivation experiments.

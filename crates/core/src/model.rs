@@ -31,7 +31,12 @@ pub enum PolicyModel {
 
 impl PolicyModel {
     /// Creates a model of the requested kind for `input_dim` features.
-    pub fn new(kind: SurrogateKind, input_dim: usize, bnn_config: BnnConfig, rng: &mut Rng64) -> Self {
+    pub fn new(
+        kind: SurrogateKind,
+        input_dim: usize,
+        bnn_config: BnnConfig,
+        rng: &mut Rng64,
+    ) -> Self {
         match kind {
             SurrogateKind::Bnn => PolicyModel::Bnn(Box::new(Bnn::new(input_dim, bnn_config, rng))),
             SurrogateKind::Gp => PolicyModel::Gp(Box::new(GaussianProcess::default_matern())),
@@ -103,7 +108,9 @@ mod tests {
     use atlas_math::rng::seeded_rng;
 
     fn dataset() -> (Vec<Vec<f64>>, Vec<f64>) {
-        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 30.0, 1.0 - i as f64 / 30.0]).collect();
+        let xs: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64 / 30.0, 1.0 - i as f64 / 30.0])
+            .collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0 - x[1]).collect();
         (xs, ys)
     }
@@ -157,7 +164,10 @@ mod tests {
             model.fit(&xs, &ys, 20, &mut rng);
         }
         let late = err(&model);
-        assert!(late <= early, "late error {late} should not exceed early error {early}");
+        assert!(
+            late <= early,
+            "late error {late} should not exceed early error {early}"
+        );
     }
 
     #[test]

@@ -109,7 +109,14 @@ pub fn run_atlas(
     // ---- stage 3: online learning -----------------------------------------
     let stage3 = if config.skip_stage3 {
         // Keep applying the offline best configuration without learning.
-        replay_offline_config(&real_env, &simulator, stage2.as_ref(), scenario, config, seed)
+        replay_offline_config(
+            &real_env,
+            &simulator,
+            stage2.as_ref(),
+            scenario,
+            config,
+            seed,
+        )
     } else {
         let learner = match &stage2 {
             Some(offline) => OnlineLearner::new(config.stage3, config.sla, simulator, offline),
@@ -257,7 +264,12 @@ mod tests {
             ..tiny_atlas_config()
         };
         let outcome = run_atlas(&real, &scenario, &config, 5);
-        let offline_best = outcome.stage2.as_ref().unwrap().best_config.with_connectivity_floor();
+        let offline_best = outcome
+            .stage2
+            .as_ref()
+            .unwrap()
+            .best_config
+            .with_connectivity_floor();
         for o in &outcome.stage3.history {
             assert_eq!(o.config, offline_best);
         }

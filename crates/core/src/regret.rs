@@ -87,7 +87,11 @@ impl RegretTracker {
 
 /// Computes `(avg usage regret, avg QoE regret)` for a history of
 /// `(usage, qoe)` outcomes against a reference policy.
-pub fn average_regret(history: &[(f64, f64)], reference_usage: f64, reference_qoe: f64) -> (f64, f64) {
+pub fn average_regret(
+    history: &[(f64, f64)],
+    reference_usage: f64,
+    reference_qoe: f64,
+) -> (f64, f64) {
     let mut tracker = RegretTracker::new(reference_usage, reference_qoe);
     for (usage, qoe) in history {
         tracker.update(*usage, *qoe);

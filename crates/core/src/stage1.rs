@@ -146,7 +146,9 @@ impl SimulatorCalibration {
     ) -> Stage1Observation {
         let simulator = Simulator::new(*params);
         let env = SimulatorEnv::new(simulator);
-        let run_scenario = scenario.with_seed(seed).with_duration(self.config.duration_s);
+        let run_scenario = scenario
+            .with_seed(seed)
+            .with_duration(self.config.duration_s);
         let trace = env.measure(&slice_config.with_connectivity_floor(), &run_scenario);
         let discrepancy = if trace.latencies_ms.is_empty() {
             10.0
@@ -207,7 +209,8 @@ impl SimulatorCalibration {
 
         for iteration in 0..cfg.iterations {
             // --- propose `parallel` parameter vectors -------------------
-            let mut proposals: Vec<SimParams> = if iteration < cfg.warmup || observations.is_empty() {
+            let mut proposals: Vec<SimParams> = if iteration < cfg.warmup || observations.is_empty()
+            {
                 (0..cfg.parallel)
                     .map(|_| SimParams::from_vec(&sample_in_trust_region(&mut rng)))
                     .collect()
@@ -242,14 +245,20 @@ impl SimulatorCalibration {
             // --- evaluate the proposals in parallel ----------------------
             let iteration_seed = derive_seed(seed, 1000 + iteration as u64);
             let mut results: Vec<Option<Stage1Observation>> = vec![None; proposals.len()];
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (i, params) in proposals.iter().enumerate() {
                     let query_seed = derive_seed(iteration_seed, i as u64);
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         (
                             i,
-                            self.evaluate(params, real_latencies, slice_config, scenario, query_seed),
+                            self.evaluate(
+                                params,
+                                real_latencies,
+                                slice_config,
+                                scenario,
+                                query_seed,
+                            ),
                         )
                     }));
                 }
@@ -257,10 +266,11 @@ impl SimulatorCalibration {
                     let (i, obs) = h.join().expect("stage-1 query thread panicked");
                     results[i] = Some(obs);
                 }
-            })
-            .expect("crossbeam scope failed");
-            let new_obs: Vec<Stage1Observation> =
-                results.into_iter().map(|o| o.expect("all slots filled")).collect();
+            });
+            let new_obs: Vec<Stage1Observation> = results
+                .into_iter()
+                .map(|o| o.expect("all slots filled"))
+                .collect();
 
             // --- bookkeeping --------------------------------------------
             let weighted: Vec<f64> = new_obs.iter().map(|o| o.weighted(cfg.alpha)).collect();

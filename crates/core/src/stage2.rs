@@ -11,7 +11,9 @@
 //! scalarisation of the same constrained problem with the classic
 //! acquisition functions.
 
-use crate::env::{policy_features, query_parallel, Environment, QoeSample, Sla, POLICY_FEATURE_DIM};
+use crate::env::{
+    policy_features, query_parallel, Environment, QoeSample, Sla, POLICY_FEATURE_DIM,
+};
 use crate::model::{PolicyModel, SurrogateKind};
 use atlas_bayesopt::{Acquisition, SearchSpace};
 use atlas_math::rng::{derive_seed, seeded_rng, Rng64};
@@ -142,12 +144,20 @@ impl OfflineTrainer {
         if feasible.is_empty() {
             samples
                 .iter()
-                .max_by(|a, b| a.qoe.partial_cmp(&b.qoe).unwrap_or(std::cmp::Ordering::Equal))
+                .max_by(|a, b| {
+                    a.qoe
+                        .partial_cmp(&b.qoe)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
                 .copied()
         } else {
             feasible
                 .into_iter()
-                .min_by(|a, b| a.usage.partial_cmp(&b.usage).unwrap_or(std::cmp::Ordering::Equal))
+                .min_by(|a, b| {
+                    a.usage
+                        .partial_cmp(&b.usage)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
                 .copied()
         }
     }
@@ -157,7 +167,9 @@ impl OfflineTrainer {
     pub fn run<E: Environment>(&self, env: &E, scenario: &Scenario, seed: u64) -> Stage2Result {
         match self.config.strategy {
             OfflineStrategy::ParallelThompson => self.run_parallel_thompson(env, scenario, seed),
-            OfflineStrategy::GpAcquisition(acq) => self.run_gp_acquisition(env, scenario, seed, acq),
+            OfflineStrategy::GpAcquisition(acq) => {
+                self.run_gp_acquisition(env, scenario, seed, acq)
+            }
         }
     }
 
@@ -200,7 +212,11 @@ impl OfflineTrainer {
                         let candidate_features: Vec<Vec<f64>> = candidates
                             .iter()
                             .map(|c| {
-                                policy_features(&SliceConfig::from_vec(c), run_scenario.traffic, &self.sla)
+                                policy_features(
+                                    &SliceConfig::from_vec(c),
+                                    run_scenario.traffic,
+                                    &self.sla,
+                                )
                             })
                             .collect();
                         let draw = qoe_model.thompson_sampler(&mut rng);
@@ -283,8 +299,7 @@ impl OfflineTrainer {
         let run_scenario = scenario.with_duration(cfg.duration_s);
 
         let scalarise = |sample: &QoeSample| -> f64 {
-            sample.usage
-                + cfg.scalarisation_penalty * (self.sla.qoe_target - sample.qoe).max(0.0)
+            sample.usage + cfg.scalarisation_penalty * (self.sla.qoe_target - sample.qoe).max(0.0)
         };
 
         for iteration in 0..cfg.iterations {
@@ -441,7 +456,9 @@ mod tests {
     fn gp_acquisition_strategy_also_produces_a_result() {
         let env = SimulatorEnv::new(Simulator::with_original_params());
         let trainer = OfflineTrainer::new(
-            tiny_config(OfflineStrategy::GpAcquisition(Acquisition::ExpectedImprovement)),
+            tiny_config(OfflineStrategy::GpAcquisition(
+                Acquisition::ExpectedImprovement,
+            )),
             Sla::paper_default(),
         );
         let result = trainer.run(&env, &scenario(), 7);

@@ -110,10 +110,18 @@ impl Stage3Result {
 
 /// The internal residual model.
 enum ResidualModel {
-    Gp(GaussianProcess),
-    Bnn { bnn: Bnn, xs: Vec<Vec<f64>>, ys: Vec<f64>, fitted: bool },
+    Gp(Box<GaussianProcess>),
+    Bnn {
+        bnn: Box<Bnn>,
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+        fitted: bool,
+    },
     /// BNN-Cont'd: the offline BNN itself is fine-tuned on real QoE.
-    Continued { xs: Vec<Vec<f64>>, ys: Vec<f64> },
+    Continued {
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+    },
 }
 
 /// The stage-3 online learner.
@@ -131,7 +139,12 @@ pub struct OnlineLearner {
 impl OnlineLearner {
     /// Creates an online learner from the stage-2 result and the augmented
     /// simulator.
-    pub fn new(config: Stage3Config, sla: Sla, simulator: Simulator, offline: &Stage2Result) -> Self {
+    pub fn new(
+        config: Stage3Config,
+        sla: Sla,
+        simulator: Simulator,
+        offline: &Stage2Result,
+    ) -> Self {
         Self {
             config,
             sla,
@@ -170,7 +183,12 @@ impl OnlineLearner {
     }
 
     /// Residual mean/std from the online model.
-    fn residual_estimate(&self, model: &ResidualModel, features: &[f64], rng: &mut Rng64) -> (f64, f64) {
+    fn residual_estimate(
+        &self,
+        model: &ResidualModel,
+        features: &[f64],
+        rng: &mut Rng64,
+    ) -> (f64, f64) {
         match model {
             ResidualModel::Gp(gp) => {
                 if gp.is_empty() {
@@ -222,9 +240,11 @@ impl OnlineLearner {
         let sim_env = SimulatorEnv::new(self.simulator);
 
         let mut residual_model = match cfg.online_model {
-            OnlineModel::GpResidual => ResidualModel::Gp(GaussianProcess::default_matern()),
+            OnlineModel::GpResidual => {
+                ResidualModel::Gp(Box::new(GaussianProcess::default_matern()))
+            }
             OnlineModel::BnnResidual => ResidualModel::Bnn {
-                bnn: Bnn::new(crate::env::POLICY_FEATURE_DIM, cfg.bnn, &mut rng),
+                bnn: Box::new(Bnn::new(crate::env::POLICY_FEATURE_DIM, cfg.bnn, &mut rng)),
                 xs: Vec::new(),
                 ys: Vec::new(),
                 fitted: false,
@@ -235,9 +255,10 @@ impl OnlineLearner {
             },
         };
         // The fine-tuned copy of the offline BNN for the continued variant.
-        let mut continued_bnn = self.offline_qoe.clone().or_else(|| {
-            Some(Bnn::new(crate::env::POLICY_FEATURE_DIM, cfg.bnn, &mut rng))
-        });
+        let mut continued_bnn = self
+            .offline_qoe
+            .clone()
+            .or_else(|| Some(Bnn::new(crate::env::POLICY_FEATURE_DIM, cfg.bnn, &mut rng)));
 
         let mut multiplier = self.initial_multiplier;
         let mut history: Vec<OnlineOutcome> = Vec::with_capacity(cfg.iterations);
@@ -252,8 +273,12 @@ impl OnlineLearner {
                     for c in &candidates {
                         let config = SliceConfig::from_vec(c);
                         let f = policy_features(&config, run_scenario.traffic, &self.sla);
-                        let (q, _) =
-                            self.combined_qoe(&residual_model, continued_bnn.as_ref(), &f, &mut rng);
+                        let (q, _) = self.combined_qoe(
+                            &residual_model,
+                            continued_bnn.as_ref(),
+                            &f,
+                            &mut rng,
+                        );
                         let l = config.resource_usage() - multiplier * (q - self.sla.qoe_target);
                         if l < best_l {
                             best_l = l;
@@ -319,7 +344,12 @@ impl OnlineLearner {
                 ResidualModel::Gp(gp) => {
                     let _ = gp.add_observation(features.clone(), residual);
                 }
-                ResidualModel::Bnn { bnn, xs, ys, fitted } => {
+                ResidualModel::Bnn {
+                    bnn,
+                    xs,
+                    ys,
+                    fitted,
+                } => {
                     xs.push(features.clone());
                     ys.push(residual);
                     bnn.fit_epochs(xs, ys, 10, &mut rng);
@@ -367,12 +397,20 @@ pub fn best_outcome(history: &[OnlineOutcome], sla: &Sla) -> OnlineOutcome {
     if feasible.is_empty() {
         *history
             .iter()
-            .max_by(|a, b| a.qoe.partial_cmp(&b.qoe).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| {
+                a.qoe
+                    .partial_cmp(&b.qoe)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .expect("non-empty history")
     } else {
         *feasible
             .into_iter()
-            .min_by(|a, b| a.usage.partial_cmp(&b.usage).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.usage
+                    .partial_cmp(&b.usage)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .expect("non-empty feasible set")
     }
 }

@@ -185,7 +185,9 @@ mod tests {
 
     #[test]
     fn setters_clamp_invalid_values() {
-        let k = Kernel::default_matern().with_length_scale(-1.0).with_variance(-2.0);
+        let k = Kernel::default_matern()
+            .with_length_scale(-1.0)
+            .with_variance(-2.0);
         assert!(k.length_scale() > 0.0);
         assert!(k.variance() > 0.0);
     }

@@ -5,6 +5,20 @@
 //! marginal-likelihood hyper-parameter refinement — the Rust counterpart of
 //! the scikit-learn `GaussianProcessRegressor` (Matérn ν = 2.5,
 //! `normalize_y=True`) the paper uses in its online learning stage.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use atlas_gp::GaussianProcess;
+//!
+//! let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 3.0).sin()).collect();
+//! let mut gp = GaussianProcess::default_matern();
+//! gp.fit(&xs, &ys).unwrap();
+//! let (mean, std) = gp.predict(&[0.5]);
+//! assert!((mean - (0.5f64 * 3.0).sin()).abs() < 0.2);
+//! assert!(std >= 0.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

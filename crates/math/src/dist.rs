@@ -47,7 +47,9 @@ impl Normal {
     /// finite.
     pub fn new(mean: f64, std_dev: f64) -> Result<Self> {
         if !(std_dev.is_finite() && std_dev >= 0.0 && mean.is_finite()) {
-            return Err(MathError::InvalidParameter("Normal requires finite mean and std_dev >= 0"));
+            return Err(MathError::InvalidParameter(
+                "Normal requires finite mean and std_dev >= 0",
+            ));
         }
         Ok(Self { mean, std_dev })
     }
@@ -119,7 +121,9 @@ impl Gamma {
     /// Creates a gamma distribution. Both parameters must be positive.
     pub fn new(shape: f64, scale: f64) -> Result<Self> {
         if !(shape > 0.0 && scale > 0.0 && shape.is_finite() && scale.is_finite()) {
-            return Err(MathError::InvalidParameter("Gamma requires shape > 0 and scale > 0"));
+            return Err(MathError::InvalidParameter(
+                "Gamma requires shape > 0 and scale > 0",
+            ));
         }
         Ok(Self { shape, scale })
     }
@@ -150,9 +154,7 @@ impl Gamma {
                 continue;
             }
             let u: f64 = rng.random();
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
                 return d * v * self.scale;
             }
         }
@@ -173,7 +175,9 @@ impl LogNormal {
     /// Creates a log-normal from the parameters of the underlying normal.
     pub fn new(mu: f64, sigma: f64) -> Result<Self> {
         if !(sigma.is_finite() && sigma >= 0.0 && mu.is_finite()) {
-            return Err(MathError::InvalidParameter("LogNormal requires finite mu and sigma >= 0"));
+            return Err(MathError::InvalidParameter(
+                "LogNormal requires finite mu and sigma >= 0",
+            ));
         }
         Ok(Self { mu, sigma })
     }
@@ -183,7 +187,9 @@ impl LogNormal {
     /// (e.g. "81 ms mean, 35 ms std" compute times from the paper).
     pub fn from_mean_std(mean: f64, std_dev: f64) -> Result<Self> {
         if !(mean > 0.0 && std_dev >= 0.0) {
-            return Err(MathError::InvalidParameter("LogNormal::from_mean_std requires mean > 0 and std_dev >= 0"));
+            return Err(MathError::InvalidParameter(
+                "LogNormal::from_mean_std requires mean > 0 and std_dev >= 0",
+            ));
         }
         let variance_ratio = (std_dev / mean).powi(2);
         let sigma2 = (1.0 + variance_ratio).ln();
@@ -216,7 +222,9 @@ impl Uniform {
     /// Creates a uniform distribution; requires `low <= high`.
     pub fn new(low: f64, high: f64) -> Result<Self> {
         if !(low <= high && low.is_finite() && high.is_finite()) {
-            return Err(MathError::InvalidParameter("Uniform requires finite low <= high"));
+            return Err(MathError::InvalidParameter(
+                "Uniform requires finite low <= high",
+            ));
         }
         Ok(Self { low, high })
     }

@@ -15,6 +15,26 @@
 //!
 //! The crate is intentionally dependency-light (only `rand`) and contains no
 //! `unsafe` code.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use atlas_math::{seeded_rng, Matrix, Normal};
+//! use atlas_math::stats;
+//!
+//! // Deterministic sampling from a distribution.
+//! let mut rng = seeded_rng(42);
+//! let noise = Normal::new(0.0, 1.0).unwrap();
+//! let samples: Vec<f64> = (0..1000).map(|_| noise.sample(&mut rng)).collect();
+//! assert!(stats::mean(&samples).abs() < 0.2);
+//!
+//! // Cholesky-based solve of an SPD system.
+//! let mut a = Matrix::from_vec(2, 2, vec![4.0, 1.0, 1.0, 3.0]).unwrap();
+//! a.add_diagonal(0.0);
+//! let l = a.cholesky().unwrap();
+//! let x = l.cholesky_solve(&[1.0, 2.0]).unwrap();
+//! assert!((4.0 * x[0] + 1.0 * x[1] - 1.0).abs() < 1e-9);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

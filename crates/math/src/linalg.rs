@@ -309,7 +309,9 @@ impl Matrix {
 
     /// Returns the diagonal as a vector.
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 }
 
@@ -387,10 +389,7 @@ mod tests {
     fn matmul_shape_mismatch_errors() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(
-            a.matmul(&b),
-            Err(MathError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(a.matmul(&b), Err(MathError::ShapeMismatch { .. })));
     }
 
     #[test]

@@ -52,7 +52,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = seeded_rng(1);
         let mut b = seeded_rng(2);
-        let same = (0..32).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..32)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 

@@ -131,8 +131,10 @@ impl Histogram {
     /// is the behaviour we want when comparing latency distributions with
     /// long tails.
     pub fn new(low: f64, high: f64, bins: usize) -> Result<Self> {
-        if bins == 0 || !(low < high) {
-            return Err(MathError::InvalidParameter("Histogram requires bins > 0 and low < high"));
+        if bins == 0 || low.partial_cmp(&high) != Some(std::cmp::Ordering::Less) {
+            return Err(MathError::InvalidParameter(
+                "Histogram requires bins > 0 and low < high",
+            ));
         }
         Ok(Self {
             low,
@@ -253,18 +255,14 @@ pub fn kl_divergence(p_samples: &[f64], q_samples: &[f64]) -> Result<f64> {
 }
 
 /// Empirical KL-divergence with explicit binning options.
-pub fn kl_divergence_with(
-    p_samples: &[f64],
-    q_samples: &[f64],
-    options: KlOptions,
-) -> Result<f64> {
+pub fn kl_divergence_with(p_samples: &[f64], q_samples: &[f64], options: KlOptions) -> Result<f64> {
     if p_samples.is_empty() || q_samples.is_empty() {
         return Err(MathError::EmptyInput("kl_divergence"));
     }
     let low = min(p_samples).unwrap().min(min(q_samples).unwrap());
     let high = max(p_samples).unwrap().max(max(q_samples).unwrap());
     // Degenerate case: all samples identical -> identical distributions.
-    let (low, high) = if high - low < f64::EPSILON {
+    let (low, high) = if (high - low).abs() < f64::EPSILON {
         (low - 0.5, high + 0.5)
     } else {
         (low, high)
@@ -390,7 +388,10 @@ mod tests {
         let kl_near = kl_divergence(&p, &q_near).unwrap();
         let kl_far = kl_divergence(&p, &q_far).unwrap();
         assert!(kl_near > 0.0);
-        assert!(kl_far > kl_near, "far {kl_far} should exceed near {kl_near}");
+        assert!(
+            kl_far > kl_near,
+            "far {kl_far} should exceed near {kl_near}"
+        );
     }
 
     #[test]
@@ -400,7 +401,10 @@ mod tests {
         let a = kl_divergence(&p, &q).unwrap();
         let b = kl_divergence(&q, &p).unwrap();
         assert!(a >= 0.0 && b >= 0.0);
-        assert!((a - b).abs() > 1e-9, "empirical KL should be asymmetric here");
+        assert!(
+            (a - b).abs() > 1e-9,
+            "empirical KL should be asymmetric here"
+        );
     }
 
     #[test]

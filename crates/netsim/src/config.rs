@@ -112,7 +112,11 @@ impl SliceConfig {
     pub fn from_unit(v: &[f64]) -> Self {
         assert_eq!(v.len(), Self::DIM, "SliceConfig requires 6 values");
         let max = Self::max();
-        let scaled: Vec<f64> = v.iter().zip(max.iter()).map(|(x, m)| x.clamp(0.0, 1.0) * m).collect();
+        let scaled: Vec<f64> = v
+            .iter()
+            .zip(max.iter())
+            .map(|(x, m)| x.clamp(0.0, 1.0) * m)
+            .collect();
         Self::from_vec(&scaled)
     }
 

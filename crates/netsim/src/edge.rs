@@ -64,8 +64,7 @@ impl EdgeServer {
 
     /// Mean service time in ms.
     pub fn mean_service_ms(&self) -> f64 {
-        let tail_boost =
-            1.0 + self.tail_probability * (self.tail_factor - 1.0);
+        let tail_boost = 1.0 + self.tail_probability * (self.tail_factor - 1.0);
         self.base_mean_ms / self.cpu_ratio * tail_boost + self.extra_compute_ms
     }
 

@@ -18,8 +18,8 @@ use crate::edge::EdgeServer;
 use crate::engine::{EventQueue, Station};
 use crate::radio::{LogDistancePathloss, RadioEnvironment, RadioLink};
 use crate::transport::BackhaulLink;
-use atlas_math::stats;
 use atlas_math::rng::{derive_seed, seeded_rng};
+use atlas_math::stats;
 use rand::Rng;
 
 /// Everything physical about the end-to-end path: the "world" a run takes
@@ -166,8 +166,8 @@ pub fn run_end_to_end(
 
     // Cross-slice interference from background users (kept tiny: the whole
     // point of slicing is isolation, c.f. Fig. 11).
-    let interference = env.interference_per_extra_user_db
-        * f64::from(scenario.extra_background_users);
+    let interference =
+        env.interference_per_extra_user_db * f64::from(scenario.extra_background_users);
     let mut ul_env = env.ul_radio;
     ul_env.interference_margin_db += interference;
     let mut dl_env = env.dl_radio;
@@ -259,10 +259,9 @@ pub fn run_end_to_end(
                 let tx = dl_link.transmit(bits, distance, &mut rng);
                 dl_blocks += u64::from(tx.blocks);
                 dl_errors += u64::from(tx.first_tx_errors);
-                let backhaul_back = backhaul.transfer_ms(bits, &mut rng) * 0.25
-                    + env.core_processing_ms * 0.5;
-                let (_start, finish) =
-                    dl_station.serve(now + backhaul_back, tx.duration_ms);
+                let backhaul_back =
+                    backhaul.transfer_ms(bits, &mut rng) * 0.25 + env.core_processing_ms * 0.5;
+                let (_start, finish) = dl_station.serve(now + backhaul_back, tx.duration_ms);
                 let latency = finish - ev.generated_at;
                 latencies.push(latency);
                 breakdown_acc.loading_ms += ev.loading_ms;

@@ -116,8 +116,11 @@ impl RadioEnvironment {
     /// Mean SNR in dB for a user at `distance_m`, over the bandwidth of a
     /// single PRB (link adaptation in LTE is per-PRB to first order).
     pub fn mean_snr_db(&self, distance_m: f64) -> f64 {
-        let noise_dbm = THERMAL_NOISE_DBM_HZ + 10.0 * PRB_BANDWIDTH_HZ.log10() + self.noise_figure_db;
-        self.tx_power_dbm - self.pathloss.loss_db(distance_m) - noise_dbm
+        let noise_dbm =
+            THERMAL_NOISE_DBM_HZ + 10.0 * PRB_BANDWIDTH_HZ.log10() + self.noise_figure_db;
+        self.tx_power_dbm
+            - self.pathloss.loss_db(distance_m)
+            - noise_dbm
             - self.interference_margin_db
     }
 
@@ -138,8 +141,8 @@ pub const NUM_MCS: usize = 29;
 /// Spectral efficiency (information bits per resource element) of each MCS
 /// index, following the LTE CQI/MCS efficiency ladder (QPSK → 64-QAM).
 pub const MCS_EFFICIENCY: [f64; NUM_MCS] = [
-    0.15, 0.19, 0.23, 0.31, 0.38, 0.49, 0.60, 0.74, 0.88, 1.03, 1.18, 1.33, 1.48, 1.70, 1.91,
-    2.16, 2.41, 2.57, 2.73, 3.03, 3.32, 3.61, 3.90, 4.21, 4.52, 4.82, 5.12, 5.33, 5.55,
+    0.15, 0.19, 0.23, 0.31, 0.38, 0.49, 0.60, 0.74, 0.88, 1.03, 1.18, 1.33, 1.48, 1.70, 1.91, 2.16,
+    2.41, 2.57, 2.73, 3.03, 3.32, 3.61, 3.90, 4.21, 4.52, 4.82, 5.12, 5.33, 5.55,
 ];
 
 /// SNR (dB) required to operate each MCS index at roughly 10 % BLER.
@@ -261,7 +264,10 @@ impl RadioLink {
             // frame, which is accurate enough at this abstraction level).
             let mut attempt = 1;
             let mut decoded = false;
-            while attempt <= MAX_HARQ_ATTEMPTS {
+            // The air-time cap applies within a block too: without this a
+            // block straddling the cap could overshoot by a full HARQ round
+            // (MAX_HARQ_ATTEMPTS TTIs) instead of at most one TTI.
+            while attempt <= MAX_HARQ_ATTEMPTS && duration_ms < max_duration_ms {
                 duration_ms += TTI_MS;
                 // Retransmissions combine soft information; model this as a
                 // halving of the error probability per extra attempt.

@@ -245,8 +245,8 @@ mod tests {
                 ..scenario(5)
             },
         );
-        let rel_change = (crowded.mean_latency_ms() - base.mean_latency_ms()).abs()
-            / base.mean_latency_ms();
+        let rel_change =
+            (crowded.mean_latency_ms() - base.mean_latency_ms()).abs() / base.mean_latency_ms();
         assert!(
             rel_change < 0.15,
             "latency should be stable under background load (changed {rel_change})"

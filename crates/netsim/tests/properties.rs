@@ -12,9 +12,7 @@ fn arbitrary_config() -> impl Strategy<Value = SliceConfig> {
         0.0..100.0f64,
         0.0..1.0f64,
     )
-        .prop_map(|(ul, dl, mu, md, bh, cpu)| {
-            SliceConfig::from_vec(&[ul, dl, mu, md, bh, cpu])
-        })
+        .prop_map(|(ul, dl, mu, md, bh, cpu)| SliceConfig::from_vec(&[ul, dl, mu, md, bh, cpu]))
 }
 
 fn arbitrary_params() -> impl Strategy<Value = SimParams> {

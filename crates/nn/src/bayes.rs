@@ -228,7 +228,10 @@ impl Bnn {
         let input_scaler = Scaler::fit(inputs);
         let target_scaler = Scaler::fit_scalar(targets);
         let x_scaled = input_scaler.transform_batch(inputs);
-        let y_scaled: Vec<f64> = targets.iter().map(|t| target_scaler.transform_scalar(*t)).collect();
+        let y_scaled: Vec<f64> = targets
+            .iter()
+            .map(|t| target_scaler.transform_scalar(*t))
+            .collect();
         self.input_scaler = Some(input_scaler);
         self.target_scaler = Some(target_scaler);
 
@@ -254,7 +257,9 @@ impl Bnn {
         rng: &mut R,
     ) -> f64 {
         // Reparameterisation: w = μ + σ·ε with one ε draw per step.
-        let eps: Vec<f64> = (0..self.mu.len()).map(|_| standard_normal_sample(rng)).collect();
+        let eps: Vec<f64> = (0..self.mu.len())
+            .map(|_| standard_normal_sample(rng))
+            .collect();
         let sigma: Vec<f64> = self.rho.iter().map(|r| softplus(*r)).collect();
         let weights: Vec<f64> = self
             .mu
@@ -312,7 +317,10 @@ mod tests {
                 vec![x, 1.0 - x]
             })
             .collect();
-        let targets: Vec<f64> = inputs.iter().map(|x| 2.0 * x[0] + 0.3 * (6.0 * x[0]).sin()).collect();
+        let targets: Vec<f64> = inputs
+            .iter()
+            .map(|x| 2.0 * x[0] + 0.3 * (6.0 * x[0]).sin())
+            .collect();
         (inputs, targets)
     }
 

@@ -80,7 +80,11 @@ pub fn mini_batches<R: Rng + ?Sized>(
     batch_size: usize,
     rng: &mut R,
 ) -> Vec<(Vec<Vec<f64>>, Vec<f64>)> {
-    assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+    assert_eq!(
+        inputs.len(),
+        targets.len(),
+        "inputs/targets length mismatch"
+    );
     let mut order: Vec<usize> = (0..inputs.len()).collect();
     order.shuffle(rng);
     let batch_size = batch_size.max(1);
@@ -112,7 +116,9 @@ mod tests {
 
     #[test]
     fn scaled_features_have_zero_mean_unit_variance() {
-        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, i as f64 * 3.0 + 7.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, i as f64 * 3.0 + 7.0])
+            .collect();
         let scaler = Scaler::fit(&rows);
         let scaled = scaler.transform_batch(&rows);
         for d in 0..2 {

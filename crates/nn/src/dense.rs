@@ -95,13 +95,13 @@ impl DenseLayer {
         for x in batch {
             debug_assert_eq!(x.len(), self.inputs);
             let mut pre = vec![0.0; self.outputs];
-            for o in 0..self.outputs {
+            for (o, pre_o) in pre.iter_mut().enumerate() {
                 let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
                 let mut acc = self.bias[o];
                 for (w, xi) in row.iter().zip(x.iter()) {
                     acc += w * xi;
                 }
-                pre[o] = acc;
+                *pre_o = acc;
             }
             let out = pre.iter().map(|v| self.activation.apply(*v)).collect();
             pre_activations.push(pre);
@@ -165,7 +165,7 @@ mod tests {
         );
         let (out, _) = layer.forward(&[vec![3.0, 4.0]]);
         assert!((out[0][0] - (1.0 * 3.0 + 2.0 * 4.0 + 0.1)).abs() < 1e-12);
-        assert!((out[0][1] - (-1.0 * 3.0 + 0.5 * 4.0 - 0.2)).abs() < 1e-12);
+        assert!((out[0][1] - (0.5 * 4.0 - 1.0 * 3.0 - 0.2)).abs() < 1e-12);
     }
 
     #[test]

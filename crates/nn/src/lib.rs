@@ -14,6 +14,21 @@
 //! * [`data`] — z-score feature/target scaling and mini-batching.
 //!
 //! Everything is seedable and deterministic; no BLAS or GPU is required.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use atlas_math::rng::seeded_rng;
+//! use atlas_nn::{Bnn, BnnConfig};
+//!
+//! let mut rng = seeded_rng(7);
+//! let xs: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64 / 31.0]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0]).collect();
+//! let mut bnn = Bnn::new(1, BnnConfig { hidden: [8, 8, 0, 0], ..BnnConfig::default() }, &mut rng);
+//! bnn.fit_epochs(&xs, &ys, 20, &mut rng);
+//! let mean = bnn.predict_mean(&[0.5]);
+//! assert!(mean.is_finite());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

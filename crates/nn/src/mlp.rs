@@ -59,7 +59,9 @@ impl Mlp {
             offset += w_len;
             let bias = params[offset..offset + outputs].to_vec();
             offset += outputs;
-            layers.push(DenseLayer::from_parts(inputs, outputs, weights, bias, activation));
+            layers.push(DenseLayer::from_parts(
+                inputs, outputs, weights, bias, activation,
+            ));
         }
         assert_eq!(offset, params.len(), "flat parameter length mismatch");
         Self { layers }
@@ -232,7 +234,10 @@ mod tests {
         let inputs: Vec<Vec<f64>> = (0..200)
             .map(|i| vec![(i % 20) as f64 / 20.0, (i / 20) as f64 / 10.0])
             .collect();
-        let targets: Vec<f64> = inputs.iter().map(|x| 3.0 * x[0] - 2.0 * x[1] + 0.5).collect();
+        let targets: Vec<f64> = inputs
+            .iter()
+            .map(|x| 3.0 * x[0] - 2.0 * x[1] + 0.5)
+            .collect();
         let mut last_loss = f64::INFINITY;
         for _ in 0..400 {
             last_loss = mlp.train_batch(&inputs, &targets, &mut opt);
@@ -248,7 +253,9 @@ mod tests {
         let mut rng = seeded_rng(4);
         let mut mlp = Mlp::new(&[1, 32, 32, 1], &mut rng);
         let mut opt = Adam::new(0.01);
-        let inputs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0 * 2.0 - 1.0]).collect();
+        let inputs: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64 / 100.0 * 2.0 - 1.0])
+            .collect();
         let targets: Vec<f64> = inputs.iter().map(|x| (3.0 * x[0]).sin()).collect();
         for _ in 0..1500 {
             mlp.train_batch(&inputs, &targets, &mut opt);

@@ -182,7 +182,7 @@ impl StepLr {
     /// Advances one epoch and updates the optimiser's learning rate.
     pub fn step(&mut self, optimizer: &mut dyn Optimizer) {
         self.epoch += 1;
-        if self.epoch % self.step_size == 0 {
+        if self.epoch.is_multiple_of(self.step_size) {
             let lr = optimizer.learning_rate() * self.gamma;
             optimizer.set_learning_rate(lr);
         }

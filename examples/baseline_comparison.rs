@@ -46,16 +46,31 @@ fn main() {
 
     // Baseline: GP-EI directly online.
     let gp_ei = run_gp_ei_baseline(&real, &sla, &scenario, &baseline_cfg, 1);
-    summarise("Baseline", &gp_ei.iter().map(|o| (o.usage, o.qoe)).collect::<Vec<_>>(), &sla);
+    summarise(
+        "Baseline",
+        &gp_ei.iter().map(|o| (o.usage, o.qoe)).collect::<Vec<_>>(),
+        &sla,
+    );
 
     // VirtualEdge.
     let ve = run_virtual_edge(&real, &sla, &scenario, &baseline_cfg, 2);
-    summarise("VirtualEdge", &ve.iter().map(|o| (o.usage, o.qoe)).collect::<Vec<_>>(), &sla);
+    summarise(
+        "VirtualEdge",
+        &ve.iter().map(|o| (o.usage, o.qoe)).collect::<Vec<_>>(),
+        &sla,
+    );
 
     // DLDA: offline grid training then online fine-tuning.
     let mut dlda = Dlda::train_offline(&sim_env, &sla, &scenario, 3, 10.0, 3);
     let dlda_hist = dlda.run_online(&real, &sla, &scenario, &baseline_cfg, 4);
-    summarise("DLDA", &dlda_hist.iter().map(|o| (o.usage, o.qoe)).collect::<Vec<_>>(), &sla);
+    summarise(
+        "DLDA",
+        &dlda_hist
+            .iter()
+            .map(|o| (o.usage, o.qoe))
+            .collect::<Vec<_>>(),
+        &sla,
+    );
 
     // Atlas: stage 2 offline + stage 3 online.
     let offline = OfflineTrainer::new(

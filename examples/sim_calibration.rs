@@ -36,12 +36,27 @@ fn main() {
     });
 
     // Discrepancy of the original, specification-derived parameters.
-    let original = calibration.evaluate(&SimParams::original(), &real_latencies, &deployed, &scenario, 1);
-    println!("original simulator discrepancy : {:.3}", original.discrepancy);
+    let original = calibration.evaluate(
+        &SimParams::original(),
+        &real_latencies,
+        &deployed,
+        &scenario,
+        1,
+    );
+    println!(
+        "original simulator discrepancy : {:.3}",
+        original.discrepancy
+    );
 
     let result = calibration.run(&real_latencies, &deployed, &scenario, 11);
-    println!("calibrated discrepancy         : {:.3}", result.best_discrepancy);
-    println!("parameter distance             : {:.3}", result.best_distance);
+    println!(
+        "calibrated discrepancy         : {:.3}",
+        result.best_discrepancy
+    );
+    println!(
+        "parameter distance             : {:.3}",
+        result.best_distance
+    );
     println!(
         "discrepancy reduction          : {:.1}%",
         (1.0 - result.best_discrepancy / original.discrepancy) * 100.0

@@ -6,7 +6,9 @@
 //! effects rather than the headline numbers (those are exercised by the
 //! release-mode experiment harness).
 
-use atlas::baselines::{oracle_reference, run_gp_ei_baseline, run_virtual_edge, BaselineConfig, Dlda};
+use atlas::baselines::{
+    oracle_reference, run_gp_ei_baseline, run_virtual_edge, BaselineConfig, Dlda,
+};
 use atlas::env::{RealEnv, SimulatorEnv};
 use atlas::pipeline::{run_atlas, AtlasConfig};
 use atlas::regret::average_regret;
@@ -97,7 +99,10 @@ fn pipeline_is_reproducible_for_a_fixed_seed() {
     let real = RealNetwork::prototype();
     let a = run_atlas(&real, &scenario(), &tiny_config(), 7);
     let b = run_atlas(&real, &scenario(), &tiny_config(), 7);
-    assert_eq!(a.stage1.as_ref().unwrap().best_params, b.stage1.as_ref().unwrap().best_params);
+    assert_eq!(
+        a.stage1.as_ref().unwrap().best_params,
+        b.stage1.as_ref().unwrap().best_params
+    );
     let ha: Vec<_> = a.stage3.history.iter().map(|o| (o.usage, o.qoe)).collect();
     let hb: Vec<_> = b.stage3.history.iter().map(|o| (o.usage, o.qoe)).collect();
     assert_eq!(ha, hb);
@@ -173,7 +178,11 @@ fn online_model_ablations_and_baselines_produce_comparable_histories() {
 #[test]
 fn component_ablation_variants_run() {
     let real = RealNetwork::prototype();
-    for (skip1, skip2, skip3) in [(true, false, false), (false, true, false), (false, false, true)] {
+    for (skip1, skip2, skip3) in [
+        (true, false, false),
+        (false, true, false),
+        (false, false, true),
+    ] {
         let config = AtlasConfig {
             skip_stage1: skip1,
             skip_stage2: skip2,

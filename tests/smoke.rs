@@ -1,0 +1,106 @@
+//! Fast deterministic end-to-end smoke test: drives the full three-stage
+//! `run_atlas` pipeline with tiny budgets and checks that the regret
+//! arithmetic is finite and the SLA bookkeeping is internally consistent.
+//! Designed to stay cheap in debug builds so it can gate every commit.
+
+use atlas::pipeline::{run_atlas, AtlasConfig};
+use atlas::regret::{average_regret, RegretTracker};
+use atlas::stage3::best_outcome;
+use atlas::{RealNetwork, Scenario, Sla, Stage1Config, Stage2Config, Stage3Config, SurrogateKind};
+use atlas_nn::BnnConfig;
+
+fn smoke_config() -> AtlasConfig {
+    AtlasConfig {
+        stage1: Stage1Config {
+            iterations: 3,
+            warmup: 2,
+            parallel: 2,
+            candidates: 80,
+            duration_s: 4.0,
+            surrogate: SurrogateKind::Gp,
+            train_epochs_per_iter: 1,
+            ..Stage1Config::default()
+        },
+        stage2: Stage2Config {
+            iterations: 4,
+            warmup: 2,
+            parallel: 2,
+            candidates: 80,
+            duration_s: 4.0,
+            bnn: BnnConfig {
+                hidden: [8, 8, 0, 0],
+                epochs: 4,
+                ..BnnConfig::default()
+            },
+            train_epochs_per_iter: 1,
+            ..Stage2Config::default()
+        },
+        stage3: Stage3Config {
+            iterations: 3,
+            offline_updates: 1,
+            candidates: 80,
+            duration_s: 4.0,
+            ..Stage3Config::default()
+        },
+        sla: Sla::paper_default(),
+        ..AtlasConfig::default()
+    }
+}
+
+#[test]
+fn end_to_end_smoke_regret_finite_and_sla_bookkeeping_consistent() {
+    let real = RealNetwork::prototype();
+    let scenario = Scenario::default_with_seed(1234).with_duration(4.0);
+    let sla = Sla::paper_default();
+    let outcome = run_atlas(&real, &scenario, &smoke_config(), 2024);
+
+    // All three stages ran and produced the configured number of steps.
+    assert!(outcome.stage1.is_some());
+    assert!(outcome.stage2.is_some());
+    let history = &outcome.stage3.history;
+    assert_eq!(history.len(), 3);
+
+    // Every online observation is finite, in range, and its SLA verdict
+    // matches the recorded QoE (the bookkeeping the figures rely on).
+    for o in history {
+        assert!(o.usage.is_finite() && (0.0..=1.0).contains(&o.usage));
+        assert!(o.qoe.is_finite() && (0.0..=1.0).contains(&o.qoe));
+        assert!(o.simulator_qoe.is_finite());
+        assert_eq!(sla.satisfied_by(o.qoe), o.qoe >= sla.qoe_target);
+    }
+
+    // The reported best outcome is exactly what best_outcome computes from
+    // the history, and the Lagrangian multiplier stayed sane.
+    let recomputed = best_outcome(history, &sla);
+    assert_eq!(outcome.stage3.best.config, recomputed.config);
+    assert!(outcome.stage3.final_multiplier.is_finite());
+    assert!(outcome.stage3.final_multiplier >= 0.0);
+
+    // Regret against an arbitrary finite reference is finite, and the
+    // incremental tracker agrees with the batch computation.
+    let pairs = outcome.stage3.usage_qoe_history();
+    let (usage_regret, qoe_regret) = average_regret(&pairs, 0.25, sla.qoe_target);
+    assert!(usage_regret.is_finite());
+    assert!(qoe_regret.is_finite() && qoe_regret >= 0.0);
+
+    let mut tracker = RegretTracker::new(0.25, sla.qoe_target);
+    for (usage, qoe) in &pairs {
+        tracker.update(*usage, *qoe);
+    }
+    assert_eq!(tracker.iterations(), pairs.len());
+    assert!((tracker.avg_usage_regret() - usage_regret).abs() < 1e-12);
+    assert!((tracker.avg_qoe_regret() - qoe_regret).abs() < 1e-12);
+}
+
+#[test]
+fn end_to_end_smoke_is_deterministic() {
+    let real = RealNetwork::prototype();
+    let scenario = Scenario::default_with_seed(1234).with_duration(4.0);
+    let a = run_atlas(&real, &scenario, &smoke_config(), 99);
+    let b = run_atlas(&real, &scenario, &smoke_config(), 99);
+    assert_eq!(
+        a.stage3.usage_qoe_history(),
+        b.stage3.usage_qoe_history(),
+        "same seed must reproduce the same online trajectory"
+    );
+}
