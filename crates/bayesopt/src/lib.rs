@@ -16,6 +16,15 @@
 //! queries can be parallelised (the Atlas core uses std scoped threads for
 //! the paper's "parallel queries").
 //!
+//! The observe→fit→suggest loop is incremental and batched:
+//! [`optimizer::BayesOpt::observe_and_update`] feeds an observation
+//! straight into the surrogate via [`surrogate::Surrogate::observe_one`]
+//! (O(n²) for the GP; surrogates without an incremental path fall back to
+//! a full refit on the next `fit`), and suggestion scores candidates with
+//! batched predictions fanned over scoped threads, merged
+//! deterministically — results are byte-for-byte identical for every
+//! thread count.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -28,7 +37,8 @@
 //! for _ in 0..8 {
 //!     let x = bo.suggest(Acquisition::ExpectedImprovement, &mut rng);
 //!     let y = (x[0] - 0.3).powi(2) + (x[1] - 0.7).powi(2); // minimise
-//!     bo.observe(x, y);
+//!     // Records the observation and updates the GP incrementally.
+//!     bo.observe_and_update(x, y, &mut rng);
 //! }
 //! let best = bo.best().unwrap();
 //! assert!(best.y.is_finite() && space.contains(&best.x));

@@ -26,9 +26,16 @@ pub struct BayesOpt<S: Surrogate> {
     space: SearchSpace,
     surrogate: S,
     observations: Vec<Observation>,
+    /// Clamped inputs/targets mirroring `observations`, kept as flat reusable
+    /// buffers so refits borrow slices instead of re-cloning every vector.
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    /// Whether the surrogate has missed observations and needs a full refit.
+    surrogate_stale: bool,
     candidates_per_suggest: usize,
     initial_random: usize,
     iteration: usize,
+    scoring_threads: Option<usize>,
 }
 
 impl<S: Surrogate> BayesOpt<S> {
@@ -38,9 +45,13 @@ impl<S: Surrogate> BayesOpt<S> {
             space,
             surrogate,
             observations: Vec::new(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+            surrogate_stale: false,
             candidates_per_suggest: 2000,
             initial_random: 10,
             iteration: 0,
+            scoring_threads: None,
         }
     }
 
@@ -56,6 +67,15 @@ impl<S: Surrogate> BayesOpt<S> {
     /// surrogate is trusted (the paper uses 100 exploration iterations).
     pub fn with_initial_random(mut self, n: usize) -> Self {
         self.initial_random = n;
+        self
+    }
+
+    /// Pins the number of scoped threads used for candidate scoring
+    /// (default: the machine's available parallelism, capped at 8). Results
+    /// are identical for every thread count — chunks are merged in
+    /// candidate order — so this is a performance knob, not a semantic one.
+    pub fn with_scoring_threads(mut self, n: usize) -> Self {
+        self.scoring_threads = Some(n.max(1));
         self
     }
 
@@ -91,17 +111,41 @@ impl<S: Surrogate> BayesOpt<S> {
             .min_by(|a, b| a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
     }
 
-    /// Records an evaluated observation (clamped into the space).
+    /// Records an evaluated observation (clamped into the space). The
+    /// surrogate is *not* updated; the next [`BayesOpt::fit`] refits it.
     pub fn observe(&mut self, x: Vec<f64>, y: f64) {
         let x = self.space.clamp(&x);
-        self.observations.push(Observation { x, y });
+        self.observations.push(Observation { x: x.clone(), y });
+        self.xs.push(x);
+        self.ys.push(y);
+        self.surrogate_stale = true;
     }
 
-    /// Refits the surrogate on all observations.
+    /// Records an evaluated observation and feeds it straight into the
+    /// surrogate via [`Surrogate::observe_one`] — O(n²) for the GP instead
+    /// of a full refit. If the surrogate has no incremental path (or has
+    /// already missed observations), it is marked stale and the next
+    /// [`BayesOpt::fit`] — or the next suggestion, which repairs staleness
+    /// automatically — performs the usual full refit.
+    pub fn observe_and_update(&mut self, x: Vec<f64>, y: f64, rng: &mut Rng64) {
+        let x = self.space.clamp(&x);
+        self.observations.push(Observation { x: x.clone(), y });
+        self.ys.push(y);
+        if !self.surrogate_stale && !self.surrogate.observe_one(&x, y, rng) {
+            self.surrogate_stale = true;
+        }
+        self.xs.push(x);
+    }
+
+    /// Refits the surrogate on all observations. A no-op when every
+    /// observation has already been absorbed incrementally via
+    /// [`BayesOpt::observe_and_update`].
     pub fn fit(&mut self, rng: &mut Rng64) {
-        let xs: Vec<Vec<f64>> = self.observations.iter().map(|o| o.x.clone()).collect();
-        let ys: Vec<f64> = self.observations.iter().map(|o| o.y).collect();
-        self.surrogate.fit(&xs, &ys, rng);
+        if !self.surrogate_stale {
+            return;
+        }
+        self.surrogate.fit(&self.xs, &self.ys, rng);
+        self.surrogate_stale = false;
     }
 
     /// Whether the optimiser is still in its random warm-up phase.
@@ -110,27 +154,50 @@ impl<S: Surrogate> BayesOpt<S> {
     }
 
     /// Proposes the next query point by maximising `acquisition` over a
-    /// fresh random candidate set (random during warm-up). Does **not**
-    /// refit the surrogate; call [`BayesOpt::fit`] when new observations
-    /// have arrived.
+    /// fresh random candidate set (random during warm-up). If observations
+    /// arrived that the surrogate has not absorbed (via [`BayesOpt::fit`]
+    /// or an incremental [`BayesOpt::observe_and_update`]), the surrogate
+    /// is refitted first.
+    ///
+    /// Candidate prediction fans out over scoped threads (deterministically
+    /// merged in candidate order); any acquisition randomness is drawn
+    /// serially afterwards, in candidate order, so the whole selection is
+    /// byte-for-byte reproducible for a given RNG state regardless of the
+    /// thread count.
     pub fn suggest(&mut self, acquisition: Acquisition, rng: &mut Rng64) -> Vec<f64> {
         self.iteration += 1;
         if self.in_warmup() {
             return self.space.sample(rng);
         }
+        // A stale surrogate (observations recorded without an incremental
+        // update — e.g. plain `observe`, or a surrogate whose `observe_one`
+        // declined) is refitted here, so a fit-less
+        // suggest→observe_and_update loop can never score candidates with
+        // a model that silently stopped learning.
+        self.fit(rng);
         let best = self.best().map(|o| o.y).unwrap_or(0.0);
-        let candidates = self.space.sample_n(self.candidates_per_suggest, rng);
-        let mut best_candidate = candidates[0].clone();
+        let mut candidates = self.space.sample_n(self.candidates_per_suggest, rng);
+        let preds = self.predict_candidates(&candidates);
+        let mut best_idx = 0;
         let mut best_score = f64::NEG_INFINITY;
-        for c in candidates {
-            let (mean, std) = self.surrogate.predict(&c);
+        for (i, (mean, std)) in preds.into_iter().enumerate() {
             let score = acquisition.score(mean, std, best, self.iteration, rng);
             if score > best_score {
                 best_score = score;
-                best_candidate = c;
+                best_idx = i;
             }
         }
-        best_candidate
+        candidates.swap_remove(best_idx)
+    }
+
+    /// Predicts a candidate set, splitting it into contiguous chunks over
+    /// scoped worker threads when large enough. [`Surrogate::predict_batch`]
+    /// is point-wise by contract, so chunking never changes a result and
+    /// the merged output is identical for every thread count.
+    fn predict_candidates(&self, candidates: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        atlas_math::parallel::par_chunks_map(candidates, 64, self.scoring_threads, |_, chunk| {
+            self.surrogate.predict_batch(chunk)
+        })
     }
 
     /// Proposes `q` query points by parallel Thompson sampling: each point
@@ -146,26 +213,21 @@ impl<S: Surrogate> BayesOpt<S> {
         score: F,
     ) -> Vec<Vec<f64>>
     where
-        F: Fn(&[f64], f64) -> f64,
+        F: Fn(&[f64], f64) -> f64 + Sync,
     {
         self.iteration += 1;
         let q = q.max(1);
         if self.in_warmup() {
             return self.space.sample_n(q, rng);
         }
+        // See `suggest`: never propose from a surrogate that missed
+        // observations.
+        self.fit(rng);
         let mut proposals = Vec::with_capacity(q);
         for _ in 0..q {
             let candidates = self.space.sample_n(self.candidates_per_suggest, rng);
             let draws = self.surrogate.thompson_batch(&candidates, rng);
-            let mut best_idx = 0;
-            let mut best_val = f64::INFINITY;
-            for (i, (c, d)) in candidates.iter().zip(draws.iter()).enumerate() {
-                let v = score(c, *d);
-                if v < best_val {
-                    best_val = v;
-                    best_idx = i;
-                }
-            }
+            let best_idx = argmin_parallel(&candidates, &draws, &score, self.scoring_threads);
             proposals.push(candidates[best_idx].clone());
         }
         proposals
@@ -175,6 +237,47 @@ impl<S: Surrogate> BayesOpt<S> {
     pub fn iteration(&self) -> usize {
         self.iteration
     }
+}
+
+/// Index of the candidate with the lowest `score(candidate, draw)`, split
+/// over scoped threads when the set is large. The serial loop keeps the
+/// *first* strict minimum; chunk winners are merged in chunk order with the
+/// same strict comparison, so the result is identical for every thread
+/// count.
+fn argmin_parallel<F>(
+    candidates: &[Vec<f64>],
+    draws: &[f64],
+    score: &F,
+    scoring_threads: Option<usize>,
+) -> usize
+where
+    F: Fn(&[f64], f64) -> f64 + Sync,
+{
+    // Each chunk reports its first strict minimum as (value, global index);
+    // merging those in chunk order with the same strict comparison yields
+    // the global first strict minimum.
+    let chunk_minima =
+        atlas_math::parallel::par_chunks_map(candidates, 256, scoring_threads, |offset, chunk| {
+            let mut best_val = f64::INFINITY;
+            let mut best_idx = offset;
+            for (i, c) in chunk.iter().enumerate() {
+                let v = score(c, draws[offset + i]);
+                if v < best_val {
+                    best_val = v;
+                    best_idx = offset + i;
+                }
+            }
+            vec![(best_val, best_idx)]
+        });
+    let mut best_val = f64::INFINITY;
+    let mut best_idx = 0;
+    for (val, idx) in chunk_minima {
+        if val < best_val {
+            best_val = val;
+            best_idx = idx;
+        }
+    }
+    best_idx
 }
 
 #[cfg(test)]

@@ -14,11 +14,33 @@ use atlas_math::rng::Rng64;
 use atlas_nn::{Bnn, BnnConfig};
 
 /// A probabilistic regression model usable inside the BO loop.
-pub trait Surrogate {
+///
+/// `Send + Sync` is required so the optimiser can score candidate sets from
+/// scoped worker threads; every implementation here is plain data.
+pub trait Surrogate: Send + Sync {
     /// Fits (or refits) the model to all observations.
     fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64], rng: &mut Rng64);
     /// Predictive mean and standard deviation at one point.
     fn predict(&self, x: &[f64]) -> (f64, f64);
+    /// Predicts a whole candidate set.
+    ///
+    /// Implementations must keep this **point-wise** — element `i` must be
+    /// exactly what `predict(&xs[i])` returns — so the optimiser may split
+    /// a batch across threads without changing any result. The default
+    /// simply maps `predict`; the GP overrides it with a single
+    /// multi-right-hand-side triangular solve.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+    /// Incrementally absorbs one observation, returning `true` if the model
+    /// updated itself (so no full refit is needed for it).
+    ///
+    /// The default returns `false`, which makes [`crate::BayesOpt`] fall
+    /// back to a full [`Surrogate::fit`] on the next refit — surrogates
+    /// without an incremental path (the BNN) need no changes.
+    fn observe_one(&mut self, _x: &[f64], _y: f64, _rng: &mut Rng64) -> bool {
+        false
+    }
     /// Evaluates **one** coherent draw from the posterior over functions at
     /// every candidate (Thompson sampling). Candidates are scored by the
     /// drawn values directly.
@@ -75,17 +97,27 @@ impl Surrogate for GpSurrogate {
         self.gp.predict(x)
     }
 
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        self.gp.predict_batch(xs)
+    }
+
+    fn observe_one(&mut self, x: &[f64], y: f64, _rng: &mut Rng64) -> bool {
+        // The GP absorbs a point in O(n²); a degenerate extension reports
+        // `false` so the optimiser schedules a full refit instead.
+        self.gp.observe(x.to_vec(), y).is_ok()
+    }
+
     fn thompson_batch(&self, candidates: &[Vec<f64>], rng: &mut Rng64) -> Vec<f64> {
         // Marginal Thompson sampling: each candidate's value is drawn from
         // its marginal posterior. This ignores cross-covariances (a
         // standard, cheap approximation that avoids an O(m³) joint draw
-        // over tens of thousands of candidates).
-        candidates
-            .iter()
-            .map(|x| {
-                let (mean, std) = self.gp.predict(x);
-                mean + std * standard_normal_sample(rng)
-            })
+        // over tens of thousands of candidates). The posterior is resolved
+        // with one batched solve; the noise draws consume the RNG in
+        // candidate order, exactly as per-point prediction would.
+        self.gp
+            .predict_batch_par(candidates)
+            .into_iter()
+            .map(|(mean, std)| mean + std * standard_normal_sample(rng))
             .collect()
     }
 

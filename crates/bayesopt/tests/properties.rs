@@ -1,8 +1,137 @@
 //! Property-based tests of the Bayesian-optimisation building blocks.
 
-use atlas_bayesopt::{Acquisition, BayesOpt, GpSurrogate, SearchSpace};
-use atlas_math::rng::seeded_rng;
+use atlas_bayesopt::{Acquisition, BayesOpt, GpSurrogate, SearchSpace, Surrogate};
+use atlas_math::rng::{seeded_rng, Rng64};
 use proptest::prelude::*;
+
+/// A 2-D bowl used by the determinism suites below.
+fn bowl(x: &[f64]) -> f64 {
+    (x[0] - 0.7).powi(2) + (x[1] - 0.2).powi(2)
+}
+
+/// Runs a whole suggest→observe→fit loop with a pinned scoring thread count
+/// and returns every suggested point.
+fn run_loop(threads: usize, incremental: bool, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = seeded_rng(seed);
+    let mut bo = BayesOpt::new(SearchSpace::unit(2), GpSurrogate::new())
+        .with_candidates(400)
+        .with_initial_random(6)
+        .with_scoring_threads(threads);
+    let mut suggested = Vec::new();
+    for _ in 0..18 {
+        let x = bo.suggest(Acquisition::conservative_default(), &mut rng);
+        let y = bowl(&x);
+        suggested.push(x.clone());
+        if incremental {
+            bo.observe_and_update(x, y, &mut rng);
+        } else {
+            bo.observe(x, y);
+            bo.fit(&mut rng);
+        }
+    }
+    suggested
+}
+
+/// Same, for the Thompson-sampling batch proposer.
+fn run_thompson_loop(threads: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = seeded_rng(seed);
+    let mut bo = BayesOpt::new(SearchSpace::unit(2), GpSurrogate::new())
+        .with_candidates(600)
+        .with_initial_random(4)
+        .with_scoring_threads(threads);
+    let mut suggested = Vec::new();
+    for _ in 0..6 {
+        let batch = bo.suggest_thompson_batch(3, &mut rng, |x, v| v + 0.1 * x[0]);
+        for x in batch {
+            let y = bowl(&x);
+            suggested.push(x.clone());
+            bo.observe_and_update(x, y, &mut rng);
+        }
+    }
+    suggested
+}
+
+#[test]
+fn parallel_candidate_scoring_is_deterministic_across_runs_and_thread_counts() {
+    // Byte-for-byte: every suggested point must be identical between a
+    // repeat run (same seed) and runs pinned to 1, 3, and 8 scoring
+    // threads — the chunked scoring merges in candidate order.
+    let reference = run_loop(1, true, 42);
+    assert_eq!(run_loop(1, true, 42), reference, "repeat run differs");
+    for threads in [3, 8] {
+        assert_eq!(run_loop(threads, true, 42), reference, "{threads} threads");
+    }
+    let thompson_reference = run_thompson_loop(1, 7);
+    assert_eq!(run_thompson_loop(1, 7), thompson_reference);
+    for threads in [3, 8] {
+        assert_eq!(run_thompson_loop(threads, 7), thompson_reference);
+    }
+}
+
+#[test]
+fn incremental_observe_matches_full_refit_loop_exactly() {
+    // The GP absorbs observations in O(n²) via observe_one; the resulting
+    // suggestions must be bit-for-bit those of the observe-then-full-refit
+    // loop (the factor extension is exact and neither path consumes extra
+    // RNG draws).
+    assert_eq!(run_loop(1, true, 9), run_loop(1, false, 9));
+    assert_eq!(run_loop(2, true, 11), run_loop(2, false, 11));
+}
+
+#[test]
+fn surrogate_without_incremental_path_falls_back_to_full_fit() {
+    /// A surrogate that keeps the trait's default `observe_one` (like the
+    /// BNN) and counts full refits.
+    struct Counting {
+        fits: usize,
+    }
+    impl Surrogate for Counting {
+        fn fit(&mut self, _inputs: &[Vec<f64>], _targets: &[f64], _rng: &mut Rng64) {
+            self.fits += 1;
+        }
+        fn predict(&self, _x: &[f64]) -> (f64, f64) {
+            (0.0, 1.0)
+        }
+        fn thompson_batch(&self, candidates: &[Vec<f64>], _rng: &mut Rng64) -> Vec<f64> {
+            vec![0.0; candidates.len()]
+        }
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+    }
+    let mut rng = seeded_rng(1);
+    let mut bo = BayesOpt::new(SearchSpace::unit(2), Counting { fits: 0 });
+    bo.observe_and_update(vec![0.1, 0.2], 1.0, &mut rng);
+    assert_eq!(bo.surrogate().fits, 0, "default observe_one declines");
+    bo.fit(&mut rng);
+    assert_eq!(bo.surrogate().fits, 1, "stale surrogate is fully refitted");
+    bo.fit(&mut rng);
+    assert_eq!(bo.surrogate().fits, 1, "fit without new data is a no-op");
+    bo.observe(vec![0.3, 0.4], 2.0);
+    bo.fit(&mut rng);
+    assert_eq!(bo.surrogate().fits, 2);
+}
+
+#[test]
+fn fit_less_loop_repairs_a_stale_surrogate_before_suggesting() {
+    // A plain observe (no fit) must not freeze the surrogate forever: the
+    // subsequent observe_and_update calls leave it stale, and the next
+    // suggestion refits it before scoring candidates.
+    let mut rng = seeded_rng(3);
+    let mut bo = BayesOpt::new(SearchSpace::unit(2), GpSurrogate::new())
+        .with_candidates(200)
+        .with_initial_random(0);
+    bo.observe(vec![0.2, 0.2], bowl(&[0.2, 0.2]));
+    for _ in 0..4 {
+        let x = bo.suggest(Acquisition::ExpectedImprovement, &mut rng);
+        let y = bowl(&x);
+        bo.observe_and_update(x, y, &mut rng);
+    }
+    // All five observations made it into the GP (the suggest-time repair
+    // refitted it, after which incremental updates resumed).
+    assert_eq!(bo.surrogate().gp().len(), bo.len());
+    assert_eq!(bo.len(), 5);
+}
 
 fn bounds() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
     prop::collection::vec((-100.0..100.0f64, 0.01..200.0f64), 1..6).prop_map(|pairs| {

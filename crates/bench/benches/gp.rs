@@ -1,0 +1,84 @@
+//! Criterion benchmarks of the incremental GP hot path.
+//!
+//! Atlas's online loop (stage 3) and the GP-EI/VirtualEdge baselines feed
+//! the GP one observation per step. The seed implementation refit from
+//! scratch — 35 × O(n³) per step with the hyper-parameter grid — while the
+//! incremental `observe` extends every grid factor by one bordering row in
+//! O(n²). These benches quantify that gap and the per-point vs batched
+//! prediction cost; `src/bin/gp_bench.rs` emits the same comparison as
+//! `BENCH_gp.json` for the performance trajectory.
+
+use atlas_bayesopt::SearchSpace;
+use atlas_gp::GaussianProcess;
+use atlas_math::rng::seeded_rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn dataset(n: usize, dim: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = seeded_rng(7);
+    let space = SearchSpace::unit(dim);
+    let xs = space.sample_n(n, &mut rng);
+    let ys = xs
+        .iter()
+        .map(|x| x.iter().sum::<f64>() / dim as f64)
+        .collect();
+    (xs, ys)
+}
+
+fn add_observation_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_add_observation");
+    for n in [50usize, 100, 200] {
+        let (xs, ys) = dataset(n, 6);
+        // The seed path: absorbing the nth observation meant a full refit
+        // of all n points (hyper-parameter grid included).
+        group.bench_with_input(BenchmarkId::new("full_refit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut gp = GaussianProcess::default_matern();
+                gp.fit(&xs, &ys).unwrap();
+                black_box(gp.len())
+            })
+        });
+        // The incremental path: extend a GP already holding n−1 points.
+        // The per-iteration clone is an O(n²) memcpy billed against the
+        // incremental side, so the reported ratio is conservative.
+        let mut warm = GaussianProcess::default_matern();
+        warm.fit(&xs[..n - 1], &ys[..n - 1]).unwrap();
+        group.bench_with_input(BenchmarkId::new("incremental_observe", n), &n, |b, _| {
+            b.iter(|| {
+                let mut gp = warm.clone();
+                gp.observe(xs[n - 1].clone(), ys[n - 1]).unwrap();
+                black_box(gp.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn predict_batch(c: &mut Criterion) {
+    let (xs, ys) = dataset(200, 6);
+    let mut gp = GaussianProcess::default_matern();
+    gp.fit(&xs, &ys).unwrap();
+    let mut rng = seeded_rng(9);
+    let candidates = SearchSpace::unit(6).sample_n(2000, &mut rng);
+    let mut group = c.benchmark_group("gp_predict_2000_candidates");
+    group.bench_function("per_point", |b| {
+        b.iter(|| {
+            let sum: f64 = candidates.iter().map(|x| gp.predict(x).0).sum();
+            black_box(sum)
+        })
+    });
+    group.bench_function("batched_multi_rhs", |b| {
+        b.iter(|| black_box(gp.predict_batch(&candidates).len()))
+    });
+    group.bench_function("batched_parallel", |b| {
+        b.iter(|| black_box(gp.predict_batch_par(&candidates).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = add_observation_scaling, predict_batch
+);
+criterion_main!(benches);

@@ -1,0 +1,199 @@
+//! GP hot-path benchmark emitting `BENCH_gp.json`.
+//!
+//! Measures the cost of absorbing one online observation into the GP at
+//! several training-set sizes, comparing the seed's full-refit path
+//! (`GaussianProcess::fit` on all n points, hyper-parameter grid included)
+//! against the incremental `GaussianProcess::observe`, plus the per-point
+//! vs batched prediction cost over a stage-sized candidate set. Results go
+//! to `BENCH_gp.json` (override with `--out <path>`) as one point on the
+//! repository's performance trajectory; CI runs it with `--quick`.
+//!
+//! ```text
+//! cargo run --release -p atlas-bench --bin gp_bench -- [--quick] [--out BENCH_gp.json]
+//! ```
+
+use atlas_bayesopt::SearchSpace;
+use atlas_gp::GaussianProcess;
+use atlas_math::rng::seeded_rng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const DIM: usize = 6;
+
+fn dataset(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = seeded_rng(7);
+    let space = SearchSpace::unit(DIM);
+    let xs = space.sample_n(n, &mut rng);
+    let ys = xs
+        .iter()
+        .map(|x| x.iter().sum::<f64>() / DIM as f64)
+        .collect();
+    (xs, ys)
+}
+
+/// Median of a set of timing samples (milliseconds).
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Median wall-clock milliseconds of `reps` runs of `f`.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    median(
+        (0..reps.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    )
+}
+
+struct SizePoint {
+    n: usize,
+    full_refit_ms: f64,
+    incremental_ms: f64,
+}
+
+impl SizePoint {
+    fn speedup(&self) -> f64 {
+        self.full_refit_ms / self.incremental_ms
+    }
+}
+
+/// Least-squares slope of `ln t` against `ln n` — the measured scaling
+/// exponent (≈3 for the cubic full refit, ≈2 for the incremental path).
+fn scaling_exponent(points: &[SizePoint], t: impl Fn(&SizePoint) -> f64) -> f64 {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| ((p.n as f64).ln(), t(p).ln()))
+        .collect();
+    let mean_x = logs.iter().map(|(x, _)| x).sum::<f64>() / logs.len() as f64;
+    let mean_y = logs.iter().map(|(_, y)| y).sum::<f64>() / logs.len() as f64;
+    let cov: f64 = logs.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let var: f64 = logs.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    cov / var
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_gp.json")
+        .to_string();
+    let reps = if quick { 3 } else { 9 };
+    let sizes: &[usize] = if quick {
+        &[50, 100, 200]
+    } else {
+        &[50, 100, 200, 400]
+    };
+
+    let mut points = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let (xs, ys) = dataset(n);
+        let full_refit_ms = median_ms(reps, || {
+            let mut gp = GaussianProcess::default_matern();
+            gp.fit(&xs, &ys).unwrap();
+        });
+        let mut warm = GaussianProcess::default_matern();
+        warm.fit(&xs[..n - 1], &ys[..n - 1]).unwrap();
+        // Time only the observe call; the clone restoring the warm state
+        // happens outside the timed region.
+        let incremental_ms = median(
+            (0..reps)
+                .map(|_| {
+                    let mut gp = warm.clone();
+                    let input = xs[n - 1].clone();
+                    let start = Instant::now();
+                    gp.observe(input, ys[n - 1]).unwrap();
+                    start.elapsed().as_secs_f64() * 1e3
+                })
+                .collect(),
+        );
+        let point = SizePoint {
+            n,
+            full_refit_ms,
+            incremental_ms,
+        };
+        println!(
+            "n = {:>4}: full refit {:>9.3} ms, incremental observe {:>8.3} ms, speedup {:>6.1}x",
+            n,
+            point.full_refit_ms,
+            point.incremental_ms,
+            point.speedup()
+        );
+        points.push(point);
+    }
+
+    // Batched prediction at the largest measured size.
+    let n = *sizes.last().expect("at least one size");
+    let (xs, ys) = dataset(n);
+    let mut gp = GaussianProcess::default_matern();
+    gp.fit(&xs, &ys).unwrap();
+    let mut rng = seeded_rng(9);
+    let candidates = SearchSpace::unit(DIM).sample_n(2000, &mut rng);
+    let per_point_ms = median_ms(reps, || {
+        let _: f64 = candidates.iter().map(|x| gp.predict(x).0).sum();
+    });
+    let batched_ms = median_ms(reps, || {
+        let _ = gp.predict_batch_par(&candidates);
+    });
+    println!(
+        "predict 2000 candidates @ n = {n}: per-point {per_point_ms:.3} ms, batched {batched_ms:.3} ms"
+    );
+
+    let speedup_largest = points.last().expect("non-empty").speedup();
+    let full_exp = scaling_exponent(&points, |p| p.full_refit_ms);
+    let inc_exp = scaling_exponent(&points, |p| p.incremental_ms);
+    println!(
+        "scaling exponents: full refit ~n^{full_exp:.2}, incremental ~n^{inc_exp:.2}; \
+         speedup at n = {n}: {speedup_largest:.1}x"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"gp_observe_hot_path\",\n");
+    let _ = writeln!(
+        json,
+        "  \"command\": \"cargo run --release -p atlas-bench --bin gp_bench{}\",",
+        if quick { " -- --quick" } else { "" }
+    );
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"dim\": {DIM},");
+    let _ = writeln!(json, "  \"reps_per_point\": {reps},");
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"full_refit_ms\": {:.4}, \"incremental_observe_ms\": {:.4}, \"speedup\": {:.2}}}{}",
+            p.n,
+            p.full_refit_ms,
+            p.incremental_ms,
+            p.speedup(),
+            comma
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"predict_2000_candidates\": {{\"n\": {n}, \"per_point_ms\": {per_point_ms:.4}, \"batched_ms\": {batched_ms:.4}}},"
+    );
+    let _ = writeln!(json, "  \"speedup_at_largest_n\": {speedup_largest:.2},");
+    let _ = writeln!(json, "  \"full_refit_scaling_exponent\": {full_exp:.3},");
+    let _ = writeln!(json, "  \"incremental_scaling_exponent\": {inc_exp:.3}");
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+
+    assert!(
+        speedup_largest >= 10.0,
+        "incremental observe must be >= 10x faster than the full refit at \
+         n = {n} (measured {speedup_largest:.1}x)"
+    );
+}

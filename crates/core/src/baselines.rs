@@ -67,22 +67,23 @@ pub fn run_gp_ei_baseline<E: Environment>(
     let space = config_space();
     let run_scenario = scenario.with_duration(config.duration_s);
     let mut gp = GaussianProcess::default_matern();
-    let mut xs: Vec<Vec<f64>> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
     let mut history = Vec::with_capacity(config.iterations);
     let acquisition = Acquisition::ExpectedImprovement;
 
     for iteration in 0..config.iterations {
-        let chosen = if iteration < config.warmup || xs.is_empty() {
+        let chosen = if iteration < config.warmup || gp.is_empty() {
             SliceConfig::from_vec(&space.sample(&mut rng))
         } else {
             let best_y = ys.iter().copied().fold(f64::INFINITY, f64::min);
             let candidates = space.sample_n(config.candidates, &mut rng);
+            // One batched posterior resolve over the candidate set (EI
+            // consumes no RNG, so scoring order is immaterial here).
+            let units: Vec<Vec<f64>> = candidates.iter().map(|c| space.normalize(c)).collect();
+            let preds = gp.predict_batch_par(&units);
             let mut best_cfg = SliceConfig::from_vec(&candidates[0]);
             let mut best_score = f64::NEG_INFINITY;
-            for c in &candidates {
-                let unit = space.normalize(c);
-                let (mean, std) = gp.predict(&unit);
+            for (c, (mean, std)) in candidates.iter().zip(preds) {
                 let score = acquisition.score(mean, std, best_y, iteration + 1, &mut rng);
                 if score > best_score {
                     best_score = score;
@@ -96,11 +97,11 @@ pub fn run_gp_ei_baseline<E: Environment>(
             &run_scenario.with_seed(derive_seed(seed, iteration as u64)),
             sla,
         );
-        xs.push(space.normalize(&sample.config.to_vec()));
-        ys.push(
-            sample.usage + config.scalarisation_penalty * (sla.qoe_target - sample.qoe).max(0.0),
-        );
-        let _ = gp.fit(&xs, &ys);
+        let scalarised =
+            sample.usage + config.scalarisation_penalty * (sla.qoe_target - sample.qoe).max(0.0);
+        ys.push(scalarised);
+        // O(n²) incremental absorption instead of the old full refit.
+        let _ = gp.observe(space.normalize(&sample.config.to_vec()), scalarised);
         history.push(OnlineOutcome {
             iteration,
             config: sample.config,
@@ -276,27 +277,27 @@ pub fn run_virtual_edge<E: Environment>(
     let space = config_space();
     let run_scenario = scenario.with_duration(config.duration_s);
     let mut gp = GaussianProcess::default_matern();
-    let mut xs: Vec<Vec<f64>> = Vec::new();
-    let mut ys: Vec<f64> = Vec::new();
     let mut history = Vec::with_capacity(config.iterations);
     // Start from a mid-scale allocation.
     let mut current = SliceConfig::from_unit(&[0.5; SliceConfig::DIM]);
 
     for iteration in 0..config.iterations {
-        let chosen = if iteration < config.warmup || xs.is_empty() {
+        let chosen = if iteration < config.warmup || gp.is_empty() {
             // Initial exploration around the starting point.
             SliceConfig::from_vec(&space.sample_near(&current.to_vec(), 0.4, &mut rng))
         } else {
             // Predictive gradient/local step: evaluate a trust region around
             // the current configuration and move to the cheapest point the
-            // GP predicts to be feasible; grow resources if none is.
+            // GP predicts to be feasible; grow resources if none is. The
+            // whole trust region is resolved with one batched solve.
             let candidates: Vec<Vec<f64>> = (0..config.candidates)
                 .map(|_| space.sample_near(&current.to_vec(), 0.25, &mut rng))
                 .collect();
+            let units: Vec<Vec<f64>> = candidates.iter().map(|c| space.normalize(c)).collect();
+            let preds = gp.predict_batch_par(&units);
             let mut best: Option<(f64, SliceConfig)> = None;
-            for c in &candidates {
+            for (c, (mean, std)) in candidates.iter().zip(preds) {
                 let cfg = SliceConfig::from_vec(c);
-                let (mean, std) = gp.predict(&space.normalize(c));
                 let optimistic = mean + 0.3 * std;
                 if optimistic >= sla.qoe_target {
                     let usage = cfg.resource_usage();
@@ -324,9 +325,8 @@ pub fn run_virtual_edge<E: Environment>(
             sla,
         );
         current = sample.config;
-        xs.push(space.normalize(&sample.config.to_vec()));
-        ys.push(sample.qoe);
-        let _ = gp.fit(&xs, &ys);
+        // O(n²) incremental absorption instead of the old full refit.
+        let _ = gp.observe(space.normalize(&sample.config.to_vec()), sample.qoe);
         history.push(OnlineOutcome {
             iteration,
             config: sample.config,

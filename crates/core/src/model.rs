@@ -67,6 +67,33 @@ impl PolicyModel {
         }
     }
 
+    /// Incrementally absorbs one observation, returning `true` if the model
+    /// updated itself. The GP extends its factorisation in O(n²) — exactly
+    /// equivalent to a full refit on the extended data; the BNN declines
+    /// (it warm-starts from the whole dataset), so callers fall back to
+    /// [`PolicyModel::fit`].
+    pub fn observe(&mut self, x: &[f64], y: f64) -> bool {
+        match self {
+            PolicyModel::Bnn(_) => false,
+            PolicyModel::Gp(gp) => gp.observe(x.to_vec(), y).is_ok(),
+        }
+    }
+
+    /// Predictive mean and standard deviation for a whole candidate set.
+    /// Element `i` equals `predict(&xs[i], rng)` (the GP resolves the batch
+    /// with one multi-right-hand-side solve; the BNN consumes its
+    /// Monte-Carlo draws in candidate order, exactly as a per-point loop
+    /// would).
+    pub fn predict_batch(&self, xs: &[Vec<f64>], rng: &mut Rng64) -> Vec<(f64, f64)> {
+        match self {
+            PolicyModel::Bnn(bnn) => xs
+                .iter()
+                .map(|x| bnn.predict_with_uncertainty(x, 12, rng))
+                .collect(),
+            PolicyModel::Gp(gp) => gp.predict_batch_par(xs),
+        }
+    }
+
     /// Predictive mean at one point (posterior mean for the BNN, exact
     /// predictive mean for the GP).
     pub fn predict_mean(&self, x: &[f64]) -> f64 {
@@ -91,12 +118,12 @@ impl PolicyModel {
                 let f = bnn.thompson_sampler(rng);
                 candidates.iter().map(|c| f(c)).collect()
             }
-            PolicyModel::Gp(gp) => candidates
-                .iter()
-                .map(|c| {
-                    let (mean, std) = gp.predict(c);
-                    mean + std * atlas_math::dist::standard_normal_sample(rng)
-                })
+            // One batched posterior resolve, then noise draws in candidate
+            // order (the same RNG stream as a per-point loop).
+            PolicyModel::Gp(gp) => gp
+                .predict_batch_par(candidates)
+                .into_iter()
+                .map(|(mean, std)| mean + std * atlas_math::dist::standard_normal_sample(rng))
                 .collect(),
         }
     }
@@ -181,6 +208,27 @@ mod tests {
         assert_eq!(draws.len(), candidates.len());
         let (mean, std) = model.predict(&candidates[3], &mut rng);
         assert!(mean.is_finite() && std >= 0.0);
+    }
+
+    #[test]
+    fn gp_observe_matches_full_fit_and_batch_matches_per_point() {
+        let mut rng = seeded_rng(5);
+        let (xs, ys) = dataset();
+        let mut inc = PolicyModel::new(SurrogateKind::Gp, 2, BnnConfig::default(), &mut rng);
+        let mut full = PolicyModel::new(SurrogateKind::Gp, 2, BnnConfig::default(), &mut rng);
+        for k in 0..xs.len() {
+            assert!(inc.observe(&xs[k], ys[k]));
+            full.fit(&xs[..=k], &ys[..=k], 1, &mut rng);
+        }
+        let probes: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0, 0.3]).collect();
+        let batch = inc.predict_batch(&probes, &mut rng);
+        for (p, b) in probes.iter().zip(batch.iter()) {
+            assert_eq!(inc.predict(p, &mut rng), *b);
+            assert_eq!(full.predict(p, &mut rng), *b);
+        }
+        // The BNN declines incremental updates (callers refit instead).
+        let mut bnn = PolicyModel::new(SurrogateKind::Bnn, 2, BnnConfig::default(), &mut rng);
+        assert!(!bnn.observe(&xs[0], ys[0]));
     }
 
     #[test]

@@ -284,12 +284,21 @@ impl SimulatorCalibration {
                 avg_weighted_discrepancy: stats::mean(&weighted),
                 best_weighted_so_far: best_weighted,
             });
+            let new_from = observations.len();
             observations.extend(new_obs);
 
             // --- retrain the surrogate on the discrepancy only ----------
-            let xs: Vec<Vec<f64>> = observations.iter().map(|o| o.params.to_vec()).collect();
-            let ys: Vec<f64> = observations.iter().map(|o| o.discrepancy).collect();
-            model.fit(&xs, &ys, cfg.train_epochs_per_iter, &mut rng);
+            // The GP absorbs the iteration's new points incrementally
+            // (O(n²) each, equivalent to a full refit on all data); the BNN
+            // declines and warm-starts from the whole history as before.
+            let absorbed = observations[new_from..]
+                .iter()
+                .all(|o| model.observe(&o.params.to_vec(), o.discrepancy));
+            if !absorbed {
+                let xs: Vec<Vec<f64>> = observations.iter().map(|o| o.params.to_vec()).collect();
+                let ys: Vec<f64> = observations.iter().map(|o| o.discrepancy).collect();
+                model.fit(&xs, &ys, cfg.train_epochs_per_iter, &mut rng);
+            }
         }
 
         let best = observations

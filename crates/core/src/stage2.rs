@@ -312,11 +312,15 @@ impl OfflineTrainer {
                 (0..cfg.parallel)
                     .map(|_| {
                         let candidates = space.sample_n(cfg.candidates, &mut rng);
+                        // One batched posterior resolve for the whole
+                        // candidate set, then acquisition randomness drawn
+                        // serially in candidate order.
+                        let units: Vec<Vec<f64>> =
+                            candidates.iter().map(|c| space.normalize(c)).collect();
+                        let preds = model.predict_batch(&units, &mut rng);
                         let mut best_idx = 0;
                         let mut best_score = f64::NEG_INFINITY;
-                        for (i, c) in candidates.iter().enumerate() {
-                            let unit = space.normalize(c);
-                            let (mean, std) = model.predict(&unit, &mut rng);
+                        for (i, (mean, std)) in preds.into_iter().enumerate() {
                             let score =
                                 acquisition.score(mean, std, best_y, iteration + 1, &mut rng);
                             if score > best_score {
@@ -340,12 +344,18 @@ impl OfflineTrainer {
                 avg_qoe: stats::mean(&qoes),
                 multiplier: 0.0,
             });
+            let new_from = xs.len();
             for s in &samples {
                 xs.push(space.normalize(&s.config.to_vec()));
                 ys.push(scalarise(s));
             }
             observations.extend(samples);
-            model.fit(&xs, &ys, 1, &mut rng);
+            // The GP absorbs the new points incrementally; a degenerate
+            // extension falls back to the full refit.
+            let absorbed = (new_from..xs.len()).all(|i| model.observe(&xs[i], ys[i]));
+            if !absorbed {
+                model.fit(&xs, &ys, 1, &mut rng);
+            }
         }
 
         let best = self

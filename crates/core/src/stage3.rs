@@ -231,6 +231,102 @@ impl OnlineLearner {
         }
     }
 
+    /// Batched combined-QoE estimate (Eq. 12) for the GP-residual model:
+    /// the offline BNN mean per candidate plus the GP residual resolved
+    /// with one batched (multi-right-hand-side, thread-parallel) solve.
+    /// Element `i` is exactly what `combined_qoe` returns for
+    /// `features[i]` — the GP path consumes no RNG, so the batched form is
+    /// a drop-in for the per-candidate loop.
+    fn combined_qoe_batch_gp(
+        &self,
+        gp: &GaussianProcess,
+        features: &[Vec<f64>],
+    ) -> Vec<(f64, f64)> {
+        let residuals: Vec<(f64, f64)> = if gp.is_empty() {
+            vec![(0.0, 0.3); features.len()]
+        } else {
+            gp.predict_batch_par(features)
+        };
+        features
+            .iter()
+            .zip(residuals)
+            .map(|(f, (rm, rs))| {
+                let base = self.offline_qoe_estimate(f);
+                ((base + rm).clamp(0.0, 1.0), rs)
+            })
+            .collect()
+    }
+
+    /// Minimum-Lagrangian candidate under the GP-residual model, scored in
+    /// batch. `beta` enables the optimistic (UCB) QoE of Eq. 13; `None`
+    /// scores by the posterior mean (the offline-acceleration loop).
+    fn select_min_lagrangian_gp(
+        &self,
+        gp: &GaussianProcess,
+        candidates: &[Vec<f64>],
+        traffic: u32,
+        multiplier: f64,
+        beta: Option<f64>,
+    ) -> SliceConfig {
+        let configs: Vec<SliceConfig> = candidates
+            .iter()
+            .map(|c| SliceConfig::from_vec(c))
+            .collect();
+        let features: Vec<Vec<f64>> = configs
+            .iter()
+            .map(|c| policy_features(c, traffic, &self.sla))
+            .collect();
+        let estimates = self.combined_qoe_batch_gp(gp, &features);
+        let mut best_cfg = configs[0];
+        let mut best_l = f64::INFINITY;
+        for (config, (mean_q, std_q)) in configs.iter().zip(estimates) {
+            let q = match beta {
+                Some(b) => (mean_q + b.sqrt() * std_q).clamp(0.0, 1.0),
+                None => mean_q,
+            };
+            let l = config.resource_usage() - multiplier * (q - self.sla.qoe_target);
+            if l < best_l {
+                best_l = l;
+                best_cfg = *config;
+            }
+        }
+        best_cfg
+    }
+
+    /// Sequential counterpart of [`OnlineLearner::select_min_lagrangian_gp`]
+    /// for the BNN residual-model variants, whose QoE estimates consume the
+    /// RNG per candidate and therefore cannot be batched without changing
+    /// the stream.
+    #[allow(clippy::too_many_arguments)]
+    fn select_min_lagrangian_seq(
+        &self,
+        model: &ResidualModel,
+        continued_bnn: Option<&Bnn>,
+        candidates: &[Vec<f64>],
+        traffic: u32,
+        multiplier: f64,
+        beta: Option<f64>,
+        rng: &mut Rng64,
+    ) -> SliceConfig {
+        let mut best_cfg = SliceConfig::from_vec(&candidates[0]);
+        let mut best_l = f64::INFINITY;
+        for c in candidates {
+            let config = SliceConfig::from_vec(c);
+            let f = policy_features(&config, traffic, &self.sla);
+            let (mean_q, std_q) = self.combined_qoe(model, continued_bnn, &f, rng);
+            let q = match beta {
+                Some(b) => (mean_q + b.sqrt() * std_q).clamp(0.0, 1.0),
+                None => mean_q,
+            };
+            let l = config.resource_usage() - multiplier * (q - self.sla.qoe_target);
+            if l < best_l {
+                best_l = l;
+                best_cfg = config;
+            }
+        }
+        best_cfg
+    }
+
     /// Runs Algorithm 3 against the real environment.
     pub fn run<E: Environment>(&self, real: &E, scenario: &Scenario, seed: u64) -> Stage3Result {
         let cfg = &self.config;
@@ -268,23 +364,27 @@ impl OnlineLearner {
             if cfg.offline_acceleration && cfg.offline_updates > 0 {
                 for n in 0..cfg.offline_updates {
                     let candidates = space.sample_n(cfg.candidates.min(400), &mut rng);
-                    let mut best_cfg = SliceConfig::from_vec(&candidates[0]);
-                    let mut best_l = f64::INFINITY;
-                    for c in &candidates {
-                        let config = SliceConfig::from_vec(c);
-                        let f = policy_features(&config, run_scenario.traffic, &self.sla);
-                        let (q, _) = self.combined_qoe(
+                    let best_cfg = match &residual_model {
+                        // GP residual: batched scoring (no RNG in this path).
+                        ResidualModel::Gp(gp) => self.select_min_lagrangian_gp(
+                            gp,
+                            &candidates,
+                            run_scenario.traffic,
+                            multiplier,
+                            None,
+                        ),
+                        // BNN variants consume the RNG per candidate; keep
+                        // the sequential loop.
+                        _ => self.select_min_lagrangian_seq(
                             &residual_model,
                             continued_bnn.as_ref(),
-                            &f,
+                            &candidates,
+                            run_scenario.traffic,
+                            multiplier,
+                            None,
                             &mut rng,
-                        );
-                        let l = config.resource_usage() - multiplier * (q - self.sla.qoe_target);
-                        if l < best_l {
-                            best_l = l;
-                            best_cfg = config;
-                        }
-                    }
+                        ),
+                    };
                     // Query the augmented simulator for Q_s and estimate G.
                     let sim_seed = derive_seed(seed, (iteration * 1000 + n) as u64);
                     let qs = sim_env
@@ -307,24 +407,28 @@ impl OnlineLearner {
             } else {
                 let candidates = space.sample_n(cfg.candidates, &mut rng);
                 let beta = cfg.acquisition.beta(iteration, &mut rng);
-                let mut best_cfg = SliceConfig::from_vec(&candidates[0]);
-                let mut best_l = f64::INFINITY;
-                for c in &candidates {
-                    let config = SliceConfig::from_vec(c);
-                    let f = policy_features(&config, run_scenario.traffic, &self.sla);
-                    let (mean_q, std_q) =
-                        self.combined_qoe(&residual_model, continued_bnn.as_ref(), &f, &mut rng);
+                match &residual_model {
+                    // GP residual: batched scoring with the optimistic
+                    // (UCB) QoE of Eq. 13 inside the Lagrangian.
+                    ResidualModel::Gp(gp) => self.select_min_lagrangian_gp(
+                        gp,
+                        &candidates,
+                        run_scenario.traffic,
+                        multiplier,
+                        Some(beta),
+                    ),
                     // Optimistic (UCB) QoE inside the Lagrangian; β is the
                     // clipped randomised exploration weight.
-                    let optimistic_q = (mean_q + beta.sqrt() * std_q).clamp(0.0, 1.0);
-                    let l =
-                        config.resource_usage() - multiplier * (optimistic_q - self.sla.qoe_target);
-                    if l < best_l {
-                        best_l = l;
-                        best_cfg = config;
-                    }
+                    _ => self.select_min_lagrangian_seq(
+                        &residual_model,
+                        continued_bnn.as_ref(),
+                        &candidates,
+                        run_scenario.traffic,
+                        multiplier,
+                        Some(beta),
+                        &mut rng,
+                    ),
                 }
-                best_cfg
             };
 
             // ---------- apply to the real network --------------------------
@@ -342,7 +446,9 @@ impl OnlineLearner {
             // ---------- update the online model ----------------------------
             match &mut residual_model {
                 ResidualModel::Gp(gp) => {
-                    let _ = gp.add_observation(features.clone(), residual);
+                    // O(n²) incremental update — exactly equivalent to the
+                    // old full refit on the extended data.
+                    let _ = gp.observe(features.clone(), residual);
                 }
                 ResidualModel::Bnn {
                     bnn,

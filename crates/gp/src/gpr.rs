@@ -4,10 +4,42 @@
 //! paper relies on: a Matérn-ν2.5 kernel, a white-noise term, target
 //! normalisation (`normalize_y=True`) and maximum-marginal-likelihood
 //! hyper-parameter refinement over a small length-scale/variance grid.
+//!
+//! ## Incremental hot path
+//!
+//! Atlas's online stage feeds the GP one observation at a time, so the
+//! regressor is built around an O(n²) [`GaussianProcess::observe`] instead
+//! of refitting from scratch (35 × O(n³) per step with the hyper-parameter
+//! grid enabled):
+//!
+//! * pairwise training distances are cached once ([`DistanceCache`]), so
+//!   every hyper-parameter candidate evaluates its kernel from the cached
+//!   distances instead of re-measuring n² point pairs;
+//! * **every** grid candidate keeps a live Cholesky factor that is extended
+//!   by one bordering row per observation
+//!   ([`atlas_math::linalg::Matrix::cholesky_append_row`]), so the
+//!   marginal-likelihood selection over the grid stays *bit-for-bit*
+//!   identical to a full refit while costing O(n²) per candidate;
+//! * [`GaussianProcess::predict_batch`] resolves a whole candidate set with
+//!   one multi-right-hand-side triangular solve (and
+//!   [`GaussianProcess::predict_batch_par`] spreads large sets over scoped
+//!   threads, deterministically).
+//!
+//! Raw targets are stored alongside the normalised ones, so renormalising
+//! after each observation never round-trips through the de-normalised
+//! values. A periodic full rebuild (every [`GpConfig::refit_every`]
+//! observations) re-derives everything from scratch as a numerical
+//! backstop and revives any grid candidate whose factor update failed.
 
 use crate::kernel::Kernel;
-use atlas_math::linalg::Matrix;
+use atlas_math::linalg::{Matrix, PackedCholesky};
 use atlas_math::{MathError, Result};
+
+/// Length-scale multipliers of the hyper-parameter refinement grid (applied
+/// to the configured kernel's length scale).
+const LS_MULTIPLIERS: [f64; 7] = [0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+/// Signal-variance levels of the hyper-parameter refinement grid.
+const VARIANCES: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
 
 /// Configuration of the GP regressor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,6 +55,11 @@ pub struct GpConfig {
     /// Whether to refine the kernel hyper-parameters by maximising the log
     /// marginal likelihood over a small grid around the current values.
     pub optimize_hyperparameters: bool,
+    /// How many incremental [`GaussianProcess::observe`] calls may elapse
+    /// before the factors are rebuilt from scratch. The bordering update is
+    /// exact, so this is a numerical backstop (and revives grid candidates
+    /// whose update failed), not a correctness requirement.
+    pub refit_every: usize,
 }
 
 impl Default for GpConfig {
@@ -32,8 +69,64 @@ impl Default for GpConfig {
             noise_variance: 1e-4,
             normalize_y: true,
             optimize_hyperparameters: true,
+            refit_every: 64,
         }
     }
+}
+
+/// Cached pairwise Euclidean distances between training inputs, stored as a
+/// packed lower triangle (row `i` holds `d(i, 0..=i)`), so appending one
+/// point is O(n·d) and never repacks existing entries.
+#[derive(Debug, Clone, Default)]
+struct DistanceCache {
+    packed: Vec<f64>,
+    n: usize,
+}
+
+impl DistanceCache {
+    fn clear(&mut self) {
+        self.packed.clear();
+        self.n = 0;
+    }
+
+    /// Appends the distances from `x_new` to every point in `xs` (the
+    /// current training set, *before* `x_new` is pushed into it).
+    fn append(&mut self, xs: &[Vec<f64>], x_new: &[f64]) {
+        debug_assert_eq!(xs.len(), self.n);
+        self.packed.reserve(self.n + 1);
+        for x in xs {
+            self.packed.push(atlas_math::linalg::l2_distance(x_new, x));
+        }
+        self.packed.push(0.0);
+        self.n += 1;
+    }
+
+    /// Distance between training points `i` and `j`.
+    fn get(&self, i: usize, j: usize) -> f64 {
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        self.packed[hi * (hi + 1) / 2 + lo]
+    }
+}
+
+/// Thread-count override for a sweep over the hyper-parameter grid:
+/// `Some(1)` (serial) unless there are enough candidates and enough data
+/// per candidate for the fan-out to pay for thread spawns, `None` (use the
+/// machine default) otherwise.
+fn grid_pin(grid_len: usize, n: usize) -> Option<usize> {
+    if grid_len < 8 || n < 128 {
+        Some(1)
+    } else {
+        None
+    }
+}
+
+/// One hyper-parameter candidate with its live Cholesky factor of
+/// `K + (σ² + jitter)·I` (or `None` after a failed factorisation, until the
+/// next full rebuild).
+#[derive(Debug, Clone)]
+struct GridPoint {
+    kernel: Kernel,
+    chol: Option<PackedCholesky>,
 }
 
 /// A fitted (or empty) exact Gaussian-process regressor.
@@ -42,14 +135,23 @@ pub struct GaussianProcess {
     config: GpConfig,
     kernel: Kernel,
     train_x: Vec<Vec<f64>>,
-    /// Normalised training targets.
+    /// Raw (un-normalised) training targets — the source of truth.
+    train_y_raw: Vec<f64>,
+    /// Normalised training targets, re-derived from the raw ones.
     train_y: Vec<f64>,
     y_mean: f64,
     y_std: f64,
-    /// Cholesky factor of `K + σ²I`.
-    chol: Option<Matrix>,
-    /// `(K + σ²I)⁻¹ y` (in normalised target space).
+    dist: DistanceCache,
+    /// Hyper-parameter candidates with live factors (a single entry when
+    /// refinement is disabled).
+    grid: Vec<GridPoint>,
+    /// Index into `grid` of the currently selected kernel.
+    best_idx: usize,
+    /// `(K + σ²I)⁻¹ y` (in normalised target space) under the selected
+    /// kernel.
     alpha: Vec<f64>,
+    /// Incremental observations since the last full rebuild.
+    since_rebuild: usize,
 }
 
 impl GaussianProcess {
@@ -57,19 +159,45 @@ impl GaussianProcess {
     pub fn new(config: GpConfig) -> Self {
         Self {
             kernel: config.kernel,
+            grid: Self::build_grid(&config),
             config,
             train_x: Vec::new(),
+            train_y_raw: Vec::new(),
             train_y: Vec::new(),
             y_mean: 0.0,
             y_std: 1.0,
-            chol: None,
+            dist: DistanceCache::default(),
+            best_idx: 0,
             alpha: Vec::new(),
+            since_rebuild: 0,
         }
     }
 
     /// Creates a GP with the paper's default configuration.
     pub fn default_matern() -> Self {
         Self::new(GpConfig::default())
+    }
+
+    fn build_grid(config: &GpConfig) -> Vec<GridPoint> {
+        let base = config.kernel;
+        if !config.optimize_hyperparameters {
+            return vec![GridPoint {
+                kernel: base,
+                chol: None,
+            }];
+        }
+        let mut grid = Vec::with_capacity(LS_MULTIPLIERS.len() * VARIANCES.len());
+        for ls_mult in LS_MULTIPLIERS {
+            for var in VARIANCES {
+                grid.push(GridPoint {
+                    kernel: base
+                        .with_length_scale(base.length_scale() * ls_mult)
+                        .with_variance(var),
+                    chol: None,
+                });
+            }
+        }
+        grid
     }
 
     /// Number of training observations.
@@ -87,6 +215,11 @@ impl GaussianProcess {
         &self.kernel
     }
 
+    /// The raw (un-normalised) training targets.
+    pub fn raw_targets(&self) -> &[f64] {
+        &self.train_y_raw
+    }
+
     /// Fits the GP to the given observations, replacing previous data.
     pub fn fit(&mut self, inputs: &[Vec<f64>], targets: &[f64]) -> Result<()> {
         if inputs.len() != targets.len() {
@@ -100,98 +233,184 @@ impl GaussianProcess {
             return Err(MathError::EmptyInput("GaussianProcess::fit"));
         }
         self.train_x = inputs.to_vec();
+        self.train_y_raw = targets.to_vec();
+        self.rebuild()
+    }
+
+    /// Absorbs one observation in O(n²) per hyper-parameter candidate.
+    ///
+    /// The cached pairwise distances gain one row, every live grid factor
+    /// is extended by one bordering row (bit-for-bit identical to a full
+    /// refactorisation), the targets are renormalised from the raw values,
+    /// and the marginal-likelihood selection re-runs over the grid — so the
+    /// resulting posterior and selected hyper-parameters are exactly those
+    /// a full [`GaussianProcess::fit`] on the extended data would produce,
+    /// at a fraction of the cost.
+    pub fn observe(&mut self, input: Vec<f64>, target: f64) -> Result<()> {
+        if self.train_x.is_empty() {
+            self.train_x.push(input);
+            self.train_y_raw.push(target);
+            return self.rebuild();
+        }
+        self.since_rebuild += 1;
+        if self.since_rebuild >= self.config.refit_every.max(1) {
+            self.train_x.push(input);
+            self.train_y_raw.push(target);
+            return self.rebuild();
+        }
+        self.dist.append(&self.train_x, &input);
+        self.train_x.push(input);
+        self.train_y_raw.push(target);
+        self.update_normalisation();
+        let n = self.train_x.len();
+        let noise = self.config.noise_variance + 1e-8;
+        let dist = &self.dist;
+        let extend_point = |point: &mut GridPoint| {
+            let Some(chol) = point.chol.as_mut() else {
+                return;
+            };
+            let mut row = Vec::with_capacity(n);
+            for j in 0..n - 1 {
+                row.push(point.kernel.eval_dist(dist.get(n - 1, j)));
+            }
+            row.push(point.kernel.eval_dist(0.0) + noise);
+            if chol.append_row(&row).is_err() {
+                // Degenerate extension for this candidate: retire its factor
+                // until the next full rebuild.
+                point.chol = None;
+            }
+        };
+        // The candidates are independent, so large updates fan the grid out
+        // over scoped threads; each candidate's arithmetic is unchanged, so
+        // the result does not depend on the thread count.
+        let pin = grid_pin(self.grid.len(), n);
+        atlas_math::parallel::par_for_each_mut(&mut self.grid, 1, pin, extend_point);
+        self.select_best()
+    }
+
+    /// Adds one observation and refits.
+    #[deprecated(
+        note = "use `GaussianProcess::observe`, which updates the factorisation \
+                incrementally in O(n²) and keeps raw targets exact"
+    )]
+    pub fn add_observation(&mut self, input: Vec<f64>, target: f64) -> Result<()> {
+        self.observe(input, target)
+    }
+
+    /// Recomputes the target normalisation from the raw targets.
+    fn update_normalisation(&mut self) {
         let (y_mean, y_std) = if self.config.normalize_y {
-            let mean = atlas_math::stats::mean(targets);
-            let std = atlas_math::stats::std_dev(targets).max(1e-9);
+            let mean = atlas_math::stats::mean(&self.train_y_raw);
+            let std = atlas_math::stats::std_dev(&self.train_y_raw).max(1e-9);
             (mean, std)
         } else {
             (0.0, 1.0)
         };
         self.y_mean = y_mean;
         self.y_std = y_std;
-        self.train_y = targets.iter().map(|y| (y - y_mean) / y_std).collect();
-
-        if self.config.optimize_hyperparameters {
-            self.kernel = self.select_hyperparameters()?;
-        } else {
-            self.kernel = self.config.kernel;
-        }
-        let (chol, alpha) = self.factorise(&self.kernel)?;
-        self.chol = Some(chol);
-        self.alpha = alpha;
-        Ok(())
+        self.train_y.clear();
+        self.train_y
+            .extend(self.train_y_raw.iter().map(|y| (y - y_mean) / y_std));
     }
 
-    /// Adds one observation and refits (convenient for the online loop
-    /// where observations arrive one at a time).
-    pub fn add_observation(&mut self, input: Vec<f64>, target: f64) -> Result<()> {
-        let mut xs = self.train_x.clone();
-        let mut ys: Vec<f64> = self
-            .train_y
-            .iter()
-            .map(|y| y * self.y_std + self.y_mean)
-            .collect();
-        xs.push(input);
-        ys.push(target);
-        self.fit(&xs, &ys)
-    }
-
-    fn factorise(&self, kernel: &Kernel) -> Result<(Matrix, Vec<f64>)> {
+    /// Rebuilds the distance cache and every grid factor from scratch, then
+    /// reselects the kernel.
+    fn rebuild(&mut self) -> Result<()> {
+        self.update_normalisation();
         let n = self.train_x.len();
-        let mut k = Matrix::from_fn(n, n, |i, j| kernel.eval(&self.train_x[i], &self.train_x[j]));
-        k.add_diagonal(self.config.noise_variance + 1e-8);
-        let chol = k.cholesky()?;
-        let alpha = chol.cholesky_solve(&self.train_y)?;
-        Ok((chol, alpha))
+        self.dist.clear();
+        for i in 0..n {
+            // Reuses the append path so packing stays in one place; the
+            // borrow split keeps `train_x[..i]` readable while appending.
+            let (existing, rest) = self.train_x.split_at(i);
+            self.dist.append(existing, &rest[0]);
+        }
+        let noise = self.config.noise_variance + 1e-8;
+        for point in &mut self.grid {
+            let mut k = Matrix::from_fn(n, n, |i, j| point.kernel.eval_dist(self.dist.get(i, j)));
+            k.add_diagonal(noise);
+            point.chol = PackedCholesky::cholesky(&k).ok();
+        }
+        self.since_rebuild = 0;
+        self.select_best()
     }
 
-    /// Log marginal likelihood of the (normalised) training data under the
-    /// given kernel.
-    fn log_marginal_likelihood(&self, kernel: &Kernel) -> Result<f64> {
-        let (chol, alpha) = self.factorise(kernel)?;
+    /// Log marginal likelihood of the (normalised) training data given a
+    /// candidate's factor and forward-solve vector `z = L⁻¹y` (so the
+    /// data-fit term `yᵀK⁻¹y = |z|²` needs no backward substitution — that
+    /// is only run for the selected candidate).
+    fn log_marginal_likelihood(&self, chol: &PackedCholesky, z: &[f64]) -> f64 {
         let n = self.train_y.len() as f64;
-        let data_fit: f64 = self
-            .train_y
-            .iter()
-            .zip(alpha.iter())
-            .map(|(y, a)| y * a)
-            .sum();
-        let log_det: f64 = chol.diagonal().iter().map(|d| d.ln()).sum::<f64>() * 2.0;
-        Ok(-0.5 * data_fit - 0.5 * log_det - 0.5 * n * (2.0 * std::f64::consts::PI).ln())
+        let data_fit: f64 = z.iter().map(|v| v * v).sum();
+        -0.5 * data_fit - 0.5 * chol.log_det() - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
     }
 
-    /// Grid refinement of length scale and variance by maximising the log
-    /// marginal likelihood (a lightweight stand-in for scikit-learn's
-    /// L-BFGS restarts, adequate at the data sizes Atlas uses online).
-    fn select_hyperparameters(&self) -> Result<Kernel> {
-        let base = self.config.kernel;
-        let mut best = base;
-        let mut best_lml = f64::NEG_INFINITY;
-        for &ls_mult in &[0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
-            for &var in &[0.25, 0.5, 1.0, 2.0, 4.0] {
-                let candidate = base
-                    .with_length_scale(base.length_scale() * ls_mult)
-                    .with_variance(var);
-                match self.log_marginal_likelihood(&candidate) {
-                    Ok(lml) if lml > best_lml => {
-                        best_lml = lml;
-                        best = candidate;
-                    }
-                    _ => {}
-                }
+    /// Reselects the kernel by maximising the log marginal likelihood over
+    /// the live grid candidates (a lightweight stand-in for scikit-learn's
+    /// L-BFGS restarts, adequate at the data sizes Atlas uses online) and
+    /// refreshes `alpha` for the winner.
+    fn select_best(&mut self) -> Result<()> {
+        if !self.config.optimize_hyperparameters {
+            let point = &self.grid[0];
+            let chol = point.chol.as_ref().ok_or(MathError::NotPositiveDefinite)?;
+            let z = chol.solve_lower(&self.train_y)?;
+            self.alpha = chol.solve_upper(&z)?;
+            self.best_idx = 0;
+            self.kernel = point.kernel;
+            return Ok(());
+        }
+        // Evaluate every live candidate (in parallel when worthwhile), then
+        // pick the winner serially in grid order so ties resolve the same
+        // way regardless of the thread count.
+        let eval_point = |point: &GridPoint| -> Option<(f64, Vec<f64>)> {
+            let chol = point.chol.as_ref()?;
+            let z = chol.solve_lower(&self.train_y).ok()?;
+            Some((self.log_marginal_likelihood(chol, &z), z))
+        };
+        let pin = grid_pin(self.grid.len(), self.train_y.len());
+        let evals: Vec<Option<(f64, Vec<f64>)>> =
+            atlas_math::parallel::par_chunks_map(&self.grid, 1, pin, |_, points| {
+                points.iter().map(eval_point).collect()
+            });
+        let mut best: Option<(usize, f64, Vec<f64>)> = None;
+        for (i, eval) in evals.into_iter().enumerate() {
+            let Some((lml, z)) = eval else {
+                continue;
+            };
+            if best.as_ref().is_none_or(|(_, b, _)| lml > *b) {
+                best = Some((i, lml, z));
             }
         }
-        Ok(best)
+        match best {
+            Some((i, _, z)) => {
+                self.best_idx = i;
+                self.kernel = self.grid[i].kernel;
+                self.alpha = self.grid[i]
+                    .chol
+                    .as_ref()
+                    .expect("selected candidate has a live factor")
+                    .solve_upper(&z)?;
+                Ok(())
+            }
+            None => Err(MathError::NotPositiveDefinite),
+        }
+    }
+
+    /// The Cholesky factor backing predictions, if the GP is usable.
+    fn active_chol(&self) -> Option<&PackedCholesky> {
+        if self.train_x.is_empty() {
+            return None;
+        }
+        self.grid.get(self.best_idx).and_then(|p| p.chol.as_ref())
     }
 
     /// Predictive mean and standard deviation at `x` (in original target
     /// units). An unfitted GP returns the prior `(0, √variance)` scaled by
     /// the (identity) normalisation.
     pub fn predict(&self, x: &[f64]) -> (f64, f64) {
-        if self.train_x.is_empty() || self.chol.is_none() {
+        let Some(chol) = self.active_chol() else {
             return (self.y_mean, self.kernel.variance().sqrt() * self.y_std);
-        }
-        let chol = self.chol.as_ref().expect("fitted GP has a Cholesky factor");
+        };
         let k_star: Vec<f64> = self
             .train_x
             .iter()
@@ -204,7 +423,7 @@ impl GaussianProcess {
             .sum();
         // v = L⁻¹ k*, var = k(x,x) − vᵀv.
         let v = chol
-            .solve_lower_triangular(&k_star)
+            .solve_lower(&k_star)
             .expect("triangular solve on fitted GP");
         let prior_var = self.kernel.eval(x, x) + self.config.noise_variance;
         let var_norm = (prior_var - v.iter().map(|vi| vi * vi).sum::<f64>()).max(1e-12);
@@ -214,9 +433,49 @@ impl GaussianProcess {
         )
     }
 
-    /// Predicts a batch of points.
+    /// Predicts a batch of points with one multi-right-hand-side triangular
+    /// solve. Results are bit-for-bit identical to calling
+    /// [`GaussianProcess::predict`] per point.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let Some(chol) = self.active_chol() else {
+            return xs.iter().map(|x| self.predict(x)).collect();
+        };
+        let n = self.train_x.len();
+        let m = xs.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        // Column j of `b` is k* for candidate j.
+        let mut b = Matrix::zeros(n, m);
+        for (j, x) in xs.iter().enumerate() {
+            for (i, xi) in self.train_x.iter().enumerate() {
+                b[(i, j)] = self.kernel.eval(x, xi);
+            }
+        }
+        let Ok(v) = chol.solve_lower_multi(&b) else {
+            return xs.iter().map(|x| self.predict(x)).collect();
+        };
+        xs.iter()
+            .enumerate()
+            .map(|(j, x)| {
+                let mean_norm: f64 = (0..n).map(|i| b[(i, j)] * self.alpha[i]).sum();
+                let prior_var = self.kernel.eval(x, x) + self.config.noise_variance;
+                let var_norm =
+                    (prior_var - (0..n).map(|i| v[(i, j)] * v[(i, j)]).sum::<f64>()).max(1e-12);
+                (
+                    mean_norm * self.y_std + self.y_mean,
+                    var_norm.sqrt() * self.y_std,
+                )
+            })
+            .collect()
+    }
+
+    /// Like [`GaussianProcess::predict_batch`], but spreads large candidate
+    /// sets over scoped threads. Each point's result is computed exactly as
+    /// in `predict_batch`, so the output is deterministic and independent
+    /// of the thread count.
+    pub fn predict_batch_par(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        atlas_math::parallel::par_chunks_map(xs, 64, None, |_, chunk| self.predict_batch(chunk))
     }
 }
 
@@ -272,14 +531,79 @@ mod tests {
     }
 
     #[test]
-    fn add_observation_refits_incrementally() {
+    fn observe_refits_incrementally() {
+        let mut gp = GaussianProcess::default_matern();
+        gp.observe(vec![0.0], 1.0).unwrap();
+        gp.observe(vec![1.0], 3.0).unwrap();
+        gp.observe(vec![2.0], 5.0).unwrap();
+        assert_eq!(gp.len(), 3);
+        assert_eq!(gp.raw_targets(), &[1.0, 3.0, 5.0]);
+        let (mean, _) = gp.predict(&[1.0]);
+        assert!((mean - 3.0).abs() < 0.5);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_add_observation_still_works() {
         let mut gp = GaussianProcess::default_matern();
         gp.add_observation(vec![0.0], 1.0).unwrap();
         gp.add_observation(vec![1.0], 3.0).unwrap();
-        gp.add_observation(vec![2.0], 5.0).unwrap();
-        assert_eq!(gp.len(), 3);
-        let (mean, _) = gp.predict(&[1.0]);
-        assert!((mean - 3.0).abs() < 0.5);
+        assert_eq!(gp.len(), 2);
+        let (mean, _) = gp.predict(&[0.0]);
+        assert!((mean - 1.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn observe_matches_full_refit_exactly() {
+        // The incremental path must reproduce fit-from-scratch bit for bit:
+        // same distances, same bordered factors, same grid selection.
+        let (xs, ys) = train_sine(30);
+        let mut incremental = GaussianProcess::default_matern();
+        let mut full = GaussianProcess::default_matern();
+        let probes: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 * 0.61]).collect();
+        for k in 0..xs.len() {
+            incremental.observe(xs[k].clone(), ys[k]).unwrap();
+            full.fit(&xs[..=k], &ys[..=k]).unwrap();
+            assert_eq!(incremental.kernel(), full.kernel(), "step {k}");
+            for p in &probes {
+                assert_eq!(incremental.predict(p), full.predict(p), "step {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn observe_crossing_the_rebuild_boundary_stays_consistent() {
+        let (xs, ys) = train_sine(12);
+        let mut gp = GaussianProcess::new(GpConfig {
+            refit_every: 3,
+            ..GpConfig::default()
+        });
+        let mut full = GaussianProcess::default_matern();
+        for k in 0..xs.len() {
+            gp.observe(xs[k].clone(), ys[k]).unwrap();
+            full.fit(&xs[..=k], &ys[..=k]).unwrap();
+            assert_eq!(gp.predict(&[2.3]), full.predict(&[2.3]), "step {k}");
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_per_point_predict_exactly() {
+        let (xs, ys) = train_sine(25);
+        let mut gp = GaussianProcess::default_matern();
+        gp.fit(&xs, &ys).unwrap();
+        let probes: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 * 0.037]).collect();
+        let batch = gp.predict_batch(&probes);
+        let single: Vec<(f64, f64)> = probes.iter().map(|p| gp.predict(p)).collect();
+        assert_eq!(batch, single);
+        assert_eq!(gp.predict_batch_par(&probes), single);
+        assert!(gp.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn predict_batch_on_unfitted_gp_returns_priors() {
+        let gp = GaussianProcess::default_matern();
+        let out = gp.predict_batch(&[vec![0.0], vec![1.0]]);
+        assert_eq!(out, vec![gp.predict(&[0.0]), gp.predict(&[1.0])]);
     }
 
     #[test]
@@ -292,6 +616,18 @@ mod tests {
         gp.fit(&xs, &ys).unwrap();
         let (mean, _) = gp.predict(&[4.5]);
         assert!((mean - 1004.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn raw_targets_survive_observation_exactly() {
+        // The old add_observation de-normalised and re-normalised targets;
+        // observe must keep the raw values bit-for-bit.
+        let mut gp = GaussianProcess::default_matern();
+        let targets = [1e9 + 0.125, 1e9 + 0.25, 1e9 + 0.375, 1e9 + 0.5];
+        for (i, t) in targets.iter().enumerate() {
+            gp.observe(vec![i as f64], *t).unwrap();
+        }
+        assert_eq!(gp.raw_targets(), &targets);
     }
 
     #[test]
@@ -332,5 +668,23 @@ mod tests {
         let err_fixed = (fixed.predict(&x).0 - truth).abs();
         let err_tuned = (tuned.predict(&x).0 - truth).abs();
         assert!(err_tuned <= err_fixed + 1e-9);
+    }
+
+    #[test]
+    fn observe_works_without_hyperparameter_refinement() {
+        let mut gp = GaussianProcess::new(GpConfig {
+            optimize_hyperparameters: false,
+            ..GpConfig::default()
+        });
+        let mut full = GaussianProcess::new(GpConfig {
+            optimize_hyperparameters: false,
+            ..GpConfig::default()
+        });
+        let (xs, ys) = train_sine(15);
+        for k in 0..xs.len() {
+            gp.observe(xs[k].clone(), ys[k]).unwrap();
+            full.fit(&xs[..=k], &ys[..=k]).unwrap();
+            assert_eq!(gp.predict(&[1.7]), full.predict(&[1.7]), "step {k}");
+        }
     }
 }

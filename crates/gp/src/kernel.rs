@@ -44,7 +44,18 @@ impl Kernel {
 
     /// Evaluates the kernel between two points.
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        let r = l2_distance(a, b);
+        self.eval_dist(l2_distance(a, b))
+    }
+
+    /// Evaluates the kernel as a function of the Euclidean distance `r`
+    /// between two points.
+    ///
+    /// All kernels here are stationary and isotropic, so this is the whole
+    /// covariance computation once distances are known. The GP regressor
+    /// caches pairwise training distances and calls this for each
+    /// hyper-parameter candidate instead of re-measuring distances n² times
+    /// per candidate.
+    pub fn eval_dist(&self, r: f64) -> f64 {
         match *self {
             Kernel::Rbf {
                 length_scale,
@@ -162,6 +173,17 @@ mod tests {
             assert!(k.eval(&a, &near) > k.eval(&a, &far));
             assert!(k.eval(&a, &far) > 0.0);
             assert!(k.eval(&a, &far) < 2.0);
+        }
+    }
+
+    #[test]
+    fn eval_dist_agrees_with_eval() {
+        for k in kernels() {
+            let a = [0.1, 0.9, -2.0];
+            let b = [1.4, -0.3, 0.2];
+            let r = atlas_math::linalg::l2_distance(&a, &b);
+            assert_eq!(k.eval(&a, &b), k.eval_dist(r));
+            assert_eq!(k.eval_dist(0.0), k.variance());
         }
     }
 

@@ -6,6 +6,13 @@
 //! the scikit-learn `GaussianProcessRegressor` (Matérn ν = 2.5,
 //! `normalize_y=True`) the paper uses in its online learning stage.
 //!
+//! The online hot path is incremental: [`GaussianProcess::observe`] absorbs
+//! one observation in O(n²) per hyper-parameter candidate by extending live
+//! Cholesky factors (exactly equivalent to a full refit, at a fraction of
+//! the cost), and [`GaussianProcess::predict_batch`] resolves whole
+//! candidate sets with one multi-right-hand-side solve — see the
+//! [`gpr`] module docs for the mechanics.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -15,9 +22,14 @@
 //! let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 3.0).sin()).collect();
 //! let mut gp = GaussianProcess::default_matern();
 //! gp.fit(&xs, &ys).unwrap();
+//! // Online: absorb fresh observations incrementally (O(n²), not O(n³)).
+//! gp.observe(vec![1.5], (1.5f64 * 3.0).sin()).unwrap();
 //! let (mean, std) = gp.predict(&[0.5]);
 //! assert!((mean - (0.5f64 * 3.0).sin()).abs() < 0.2);
 //! assert!(std >= 0.0);
+//! // Batched prediction matches per-point prediction bit for bit.
+//! let batch = gp.predict_batch(&[vec![0.25], vec![0.5]]);
+//! assert_eq!(batch[1], gp.predict(&[0.5]));
 //! ```
 
 #![forbid(unsafe_code)]

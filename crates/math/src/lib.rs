@@ -41,6 +41,7 @@
 
 pub mod dist;
 pub mod linalg;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 

@@ -235,20 +235,23 @@ impl Matrix {
         let n = self.rows;
         let mut l = Matrix::zeros(n, n);
         for i in 0..n {
-            for j in 0..=i {
-                let mut sum = self[(i, j)];
-                for k in 0..j {
-                    sum -= l[(i, k)] * l[(j, k)];
+            for j in 0..i {
+                let mut sum = self.data[i * n + j];
+                let (head, tail) = l.data.split_at(i * n);
+                let row_j = &head[j * n..j * n + j];
+                for (lik, ljk) in tail[..j].iter().zip(row_j.iter()) {
+                    sum -= lik * ljk;
                 }
-                if i == j {
-                    if sum <= 0.0 {
-                        return Err(MathError::NotPositiveDefinite);
-                    }
-                    l[(i, j)] = sum.sqrt();
-                } else {
-                    l[(i, j)] = sum / l[(j, j)];
-                }
+                l.data[i * n + j] = sum / l.data[j * n + j];
             }
+            let mut sum = self.data[i * n + i];
+            for v in &l.data[i * n..i * n + i] {
+                sum -= v * v;
+            }
+            if sum <= 0.0 {
+                return Err(MathError::NotPositiveDefinite);
+            }
+            l.data[i * n + i] = sum.sqrt();
         }
         Ok(l)
     }
@@ -265,11 +268,12 @@ impl Matrix {
         }
         let mut x = vec![0.0; n];
         for i in 0..n {
+            let row = &self.data[i * n..i * n + i];
             let mut sum = b[i];
-            for j in 0..i {
-                sum -= self[(i, j)] * x[j];
+            for (lij, xj) in row.iter().zip(x.iter()) {
+                sum -= lij * xj;
             }
-            x[i] = sum / self[(i, i)];
+            x[i] = sum / self.data[i * n + i];
         }
         Ok(x)
     }
@@ -287,10 +291,10 @@ impl Matrix {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = b[i];
-            for j in i + 1..n {
-                sum -= self[(j, i)] * x[j];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.data[j * n + i] * xj;
             }
-            x[i] = sum / self[(i, i)];
+            x[i] = sum / self.data[i * n + i];
         }
         Ok(x)
     }
@@ -300,6 +304,131 @@ impl Matrix {
     pub fn cholesky_solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let y = self.solve_lower_triangular(b)?;
         self.solve_upper_from_lower(&y)
+    }
+
+    /// Extends a lower-triangular Cholesky factor by one row in place.
+    ///
+    /// If `self` is the factor `L` of an `n`×`n` SPD matrix `A`, and `row`
+    /// holds the bordering `[a₁₂..., a₂₂]` (the `n` cross-covariances
+    /// followed by the new diagonal element), the matrix becomes the
+    /// `(n+1)`×`(n+1)` factor of `[[A, a₁₂], [a₁₂ᵀ, a₂₂]]` in O(n²) —
+    /// bit-for-bit identical to refactorising the extended matrix from
+    /// scratch, because the new row performs exactly the operations (in the
+    /// same order) that [`Matrix::cholesky`] would.
+    ///
+    /// Returns [`MathError::NotPositiveDefinite`] (leaving `self` untouched)
+    /// if the extended matrix is not positive definite.
+    pub fn cholesky_append_row(&mut self, row: &[f64]) -> Result<()> {
+        let n = self.rows;
+        if self.cols != n || row.len() != n + 1 {
+            return Err(MathError::ShapeMismatch {
+                op: "cholesky_append_row",
+                lhs: self.shape(),
+                rhs: (row.len(), 1),
+            });
+        }
+        // l₁₂ solves L·l₁₂ = a₁₂; the new diagonal is √(a₂₂ − |l₁₂|²).
+        let l12 = self.solve_lower_triangular(&row[..n])?;
+        let mut diag = row[n];
+        for v in &l12 {
+            diag -= v * v;
+        }
+        if diag <= 0.0 {
+            return Err(MathError::NotPositiveDefinite);
+        }
+        // Grow the storage in place: shift row i from offset i·n to
+        // i·(n+1), top row down so sources are never clobbered, then zero
+        // the new trailing column and write the appended row.
+        self.data.resize((n + 1) * (n + 1), 0.0);
+        for i in (1..n).rev() {
+            self.data.copy_within(i * n..(i + 1) * n, i * (n + 1));
+        }
+        for i in 0..n {
+            self.data[i * (n + 1) + n] = 0.0;
+        }
+        let base = n * (n + 1);
+        self.data[base..base + n].copy_from_slice(&l12);
+        self.data[base + n] = diag.sqrt();
+        self.rows = n + 1;
+        self.cols = n + 1;
+        Ok(())
+    }
+
+    /// Solves `L * X = B` for a whole right-hand-side matrix, where `self`
+    /// is lower triangular and `B` is `n`×`m`. Column `j` of the result is
+    /// bit-for-bit identical to `solve_lower_triangular` applied to column
+    /// `j` of `B`, but the row-major sweep touches each factor row once for
+    /// all right-hand sides.
+    pub fn solve_lower_triangular_multi(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.rows;
+        if self.cols != n || b.rows != n {
+            return Err(MathError::ShapeMismatch {
+                op: "solve_lower_triangular_multi",
+                lhs: self.shape(),
+                rhs: b.shape(),
+            });
+        }
+        let m = b.cols;
+        if m == 0 {
+            return Ok(b.clone());
+        }
+        let mut x = b.clone();
+        for i in 0..n {
+            let (solved, rest) = x.data.split_at_mut(i * m);
+            let row_i = &mut rest[..m];
+            for (j, xj) in solved.chunks_exact(m).enumerate() {
+                let lij = self.data[i * n + j];
+                for (xi, xv) in row_i.iter_mut().zip(xj) {
+                    *xi -= lij * *xv;
+                }
+            }
+            let d = self.data[i * n + i];
+            for xi in row_i {
+                *xi /= d;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Solves `Lᵀ * X = B` for a whole right-hand-side matrix, where `self`
+    /// is lower triangular and `B` is `n`×`m` (the multi-RHS counterpart of
+    /// [`Matrix::solve_upper_from_lower`]).
+    pub fn solve_upper_from_lower_multi(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.rows;
+        if self.cols != n || b.rows != n {
+            return Err(MathError::ShapeMismatch {
+                op: "solve_upper_from_lower_multi",
+                lhs: self.shape(),
+                rhs: b.shape(),
+            });
+        }
+        let m = b.cols;
+        if m == 0 {
+            return Ok(b.clone());
+        }
+        let mut x = b.clone();
+        for i in (0..n).rev() {
+            let (head, solved) = x.data.split_at_mut((i + 1) * m);
+            let row_i = &mut head[i * m..];
+            for (k, xj) in solved.chunks_exact(m).enumerate() {
+                let lji = self.data[(i + 1 + k) * n + i];
+                for (xi, xv) in row_i.iter_mut().zip(xj) {
+                    *xi -= lji * *xv;
+                }
+            }
+            let d = self.data[i * n + i];
+            for xi in row_i {
+                *xi /= d;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Solves `A * X = B` for a whole right-hand-side matrix given the
+    /// Cholesky factor `L` of `A` (i.e. `self` is `L`).
+    pub fn cholesky_solve_multi(&self, b: &Matrix) -> Result<Matrix> {
+        let y = self.solve_lower_triangular_multi(b)?;
+        self.solve_upper_from_lower_multi(&y)
     }
 
     /// Frobenius norm.
@@ -312,6 +441,191 @@ impl Matrix {
         (0..self.rows.min(self.cols))
             .map(|i| self[(i, i)])
             .collect()
+    }
+}
+
+/// A lower-triangular Cholesky factor in packed row-major storage: row `i`
+/// holds exactly its `i + 1` non-zeros, so the factor of an `n`×`n` matrix
+/// uses `n(n+1)/2` doubles and — crucially for the incremental GP hot path —
+/// appending a bordering row ([`PackedCholesky::append_row`]) is a pure
+/// `Vec` append with no repacking of existing rows.
+///
+/// All solves perform exactly the operations (in the same order) as their
+/// dense [`Matrix`] counterparts, so results are bit-for-bit identical.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PackedCholesky {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl PackedCholesky {
+    /// An empty (0×0) factor, ready to grow via
+    /// [`PackedCholesky::append_row`].
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Factorises a symmetric positive-definite matrix into packed form
+    /// (the packed counterpart of [`Matrix::cholesky`]).
+    pub fn cholesky(a: &Matrix) -> Result<Self> {
+        if a.rows != a.cols {
+            return Err(MathError::ShapeMismatch {
+                op: "PackedCholesky::cholesky",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let n = a.rows;
+        let mut l = Self {
+            n: 0,
+            data: Vec::with_capacity(n * (n + 1) / 2),
+        };
+        let mut row = Vec::with_capacity(n);
+        for i in 0..n {
+            row.clear();
+            row.extend_from_slice(&a.data[i * n..i * n + i + 1]);
+            l.append_row(&row)?;
+        }
+        Ok(l)
+    }
+
+    /// Order (number of rows/columns) of the factor.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Row `i` of the factor (its `i + 1` non-zeros).
+    fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * (i + 1) / 2..i * (i + 1) / 2 + i + 1]
+    }
+
+    /// `2·Σ ln Lᵢᵢ` — the log determinant of the factored matrix.
+    pub fn log_det(&self) -> f64 {
+        (0..self.n)
+            .map(|i| self.data[i * (i + 1) / 2 + i].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+
+    /// Extends the factor by one bordering row `[a₁₂..., a₂₂]` in O(n²)
+    /// flops and O(n) fresh storage. Bit-for-bit identical to
+    /// refactorising the extended matrix; returns
+    /// [`MathError::NotPositiveDefinite`] (leaving the factor untouched) if
+    /// the extension is not positive definite.
+    pub fn append_row(&mut self, row: &[f64]) -> Result<()> {
+        let n = self.n;
+        if row.len() != n + 1 {
+            return Err(MathError::ShapeMismatch {
+                op: "PackedCholesky::append_row",
+                lhs: (n, n),
+                rhs: (row.len(), 1),
+            });
+        }
+        let l12 = self.solve_lower(&row[..n])?;
+        let mut diag = row[n];
+        for v in &l12 {
+            diag -= v * v;
+        }
+        if diag <= 0.0 {
+            return Err(MathError::NotPositiveDefinite);
+        }
+        self.data.extend_from_slice(&l12);
+        self.data.push(diag.sqrt());
+        self.n = n + 1;
+        Ok(())
+    }
+
+    /// Solves `L * x = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(MathError::ShapeMismatch {
+                op: "PackedCholesky::solve_lower",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let row = self.row(i);
+            let mut sum = b[i];
+            for (lij, xj) in row[..i].iter().zip(x.iter()) {
+                sum -= lij * xj;
+            }
+            x[i] = sum / row[i];
+        }
+        Ok(x)
+    }
+
+    /// Solves `Lᵀ * x = b` (backward substitution).
+    pub fn solve_upper(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(MathError::ShapeMismatch {
+                op: "PackedCholesky::solve_upper",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.data[j * (j + 1) / 2 + i] * xj;
+            }
+            x[i] = sum / self.data[i * (i + 1) / 2 + i];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A * x = b` given that `self` factors `A`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.solve_lower(b)?;
+        self.solve_upper(&y)
+    }
+
+    /// Solves `L * X = B` for a whole right-hand-side matrix (`B` is
+    /// `n`×`m`); column `j` of the result is bit-for-bit identical to
+    /// [`PackedCholesky::solve_lower`] on column `j` of `B`.
+    pub fn solve_lower_multi(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.n;
+        if b.rows != n {
+            return Err(MathError::ShapeMismatch {
+                op: "PackedCholesky::solve_lower_multi",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let m = b.cols;
+        if m == 0 {
+            return Ok(b.clone());
+        }
+        let mut x = b.clone();
+        for i in 0..n {
+            let row = self.row(i);
+            let (solved, rest) = x.data.split_at_mut(i * m);
+            let row_i = &mut rest[..m];
+            for (lij, xj) in row[..i].iter().zip(solved.chunks_exact(m)) {
+                for (xi, xv) in row_i.iter_mut().zip(xj) {
+                    *xi -= lij * *xv;
+                }
+            }
+            let d = row[i];
+            for xi in row_i {
+                *xi /= d;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Expands the packed factor into a dense lower-triangular [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n, self.n);
+        for i in 0..self.n {
+            let row = self.row(i);
+            m.data[i * self.n..i * self.n + i + 1].copy_from_slice(row);
+        }
+        m
     }
 }
 
@@ -446,6 +760,156 @@ mod tests {
         // Solves L^T y = b where L^T = [[2,1],[0,3]]
         assert_close(y[1], 1.0, 1e-12);
         assert_close(y[0], 2.0, 1e-12);
+    }
+
+    #[test]
+    fn cholesky_append_row_matches_full_refactorisation() {
+        // A 4×4 SPD matrix; factor the leading 3×3 block, append the last
+        // bordering row and compare with factorising the whole matrix.
+        let a = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                4.0, 2.0, 0.6, 0.4, 2.0, 3.0, 0.4, 0.2, 0.6, 0.4, 2.0, 0.1, 0.4, 0.2, 0.1, 1.5,
+            ],
+        )
+        .unwrap();
+        let full = a.cholesky().unwrap();
+        let mut inc = Matrix::from_fn(3, 3, |i, j| a[(i, j)]).cholesky().unwrap();
+        inc.cholesky_append_row(&[a[(3, 0)], a[(3, 1)], a[(3, 2)], a[(3, 3)]])
+            .unwrap();
+        assert_eq!(inc.shape(), (4, 4));
+        // The append performs exactly the operations a full refactorisation
+        // would, so the factors agree bit-for-bit.
+        assert_eq!(inc, full);
+    }
+
+    #[test]
+    fn cholesky_append_row_from_empty_factor() {
+        let mut l = Matrix::zeros(0, 0);
+        l.cholesky_append_row(&[9.0]).unwrap();
+        assert_eq!(l.shape(), (1, 1));
+        assert_close(l[(0, 0)], 3.0, 1e-12);
+        l.cholesky_append_row(&[3.0, 5.0]).unwrap();
+        // Same as factorising [[9, 3], [3, 5]].
+        let full = Matrix::from_vec(2, 2, vec![9.0, 3.0, 3.0, 5.0])
+            .unwrap()
+            .cholesky()
+            .unwrap();
+        assert_eq!(l, full);
+    }
+
+    #[test]
+    fn cholesky_append_row_rejects_indefinite_border_and_bad_shapes() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 1.0, 1.0, 2.0]).unwrap();
+        let l = a.cholesky().unwrap();
+        // A bordering row making the extension indefinite must be rejected
+        // and leave the factor untouched.
+        let mut attempt = l.clone();
+        assert_eq!(
+            attempt.cholesky_append_row(&[5.0, 5.0, 1.0]),
+            Err(MathError::NotPositiveDefinite)
+        );
+        assert_eq!(attempt, l);
+        assert!(matches!(
+            attempt.cholesky_append_row(&[1.0, 2.0]),
+            Err(MathError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_rhs_solves_match_single_rhs_exactly() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 2.0, 0.6, 2.0, 3.0, 0.4, 0.6, 0.4, 2.0]).unwrap();
+        let l = a.cholesky().unwrap();
+        let b = Matrix::from_vec(3, 2, vec![1.0, -3.0, 0.5, 2.0, -1.5, 4.0]).unwrap();
+        let fwd = l.solve_lower_triangular_multi(&b).unwrap();
+        let bwd = l.solve_upper_from_lower_multi(&b).unwrap();
+        let full = l.cholesky_solve_multi(&b).unwrap();
+        for c in 0..2 {
+            let col = b.col(c);
+            assert_eq!(fwd.col(c), l.solve_lower_triangular(&col).unwrap());
+            assert_eq!(bwd.col(c), l.solve_upper_from_lower(&col).unwrap());
+            assert_eq!(full.col(c), l.cholesky_solve(&col).unwrap());
+        }
+    }
+
+    #[test]
+    fn packed_cholesky_matches_dense_factorisation_and_solves() {
+        let a = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                4.0, 2.0, 0.6, 0.4, 2.0, 3.0, 0.4, 0.2, 0.6, 0.4, 2.0, 0.1, 0.4, 0.2, 0.1, 1.5,
+            ],
+        )
+        .unwrap();
+        let dense = a.cholesky().unwrap();
+        let packed = PackedCholesky::cholesky(&a).unwrap();
+        assert_eq!(packed.order(), 4);
+        assert_eq!(packed.to_matrix(), dense);
+        let b = [1.0, -2.0, 0.5, 3.0];
+        assert_eq!(
+            packed.solve_lower(&b).unwrap(),
+            dense.solve_lower_triangular(&b).unwrap()
+        );
+        assert_eq!(
+            packed.solve_upper(&b).unwrap(),
+            dense.solve_upper_from_lower(&b).unwrap()
+        );
+        assert_eq!(packed.solve(&b).unwrap(), dense.cholesky_solve(&b).unwrap());
+        let log_det_dense: f64 = dense.diagonal().iter().map(|d| d.ln()).sum::<f64>() * 2.0;
+        assert_close(packed.log_det(), log_det_dense, 1e-12);
+    }
+
+    #[test]
+    fn packed_cholesky_append_grows_without_repacking() {
+        let a = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                4.0, 2.0, 0.6, 0.4, 2.0, 3.0, 0.4, 0.2, 0.6, 0.4, 2.0, 0.1, 0.4, 0.2, 0.1, 1.5,
+            ],
+        )
+        .unwrap();
+        let mut inc = PackedCholesky::empty();
+        for i in 0..4 {
+            let border: Vec<f64> = (0..=i).map(|j| a[(i, j)]).collect();
+            inc.append_row(&border).unwrap();
+        }
+        assert_eq!(inc, PackedCholesky::cholesky(&a).unwrap());
+        // Indefinite extensions are rejected and leave the factor intact.
+        let snapshot = inc.clone();
+        assert_eq!(
+            inc.append_row(&[10.0, 10.0, 10.0, 10.0, 1.0]),
+            Err(MathError::NotPositiveDefinite)
+        );
+        assert_eq!(inc, snapshot);
+        assert!(matches!(
+            inc.append_row(&[1.0]),
+            Err(MathError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn packed_multi_rhs_solve_matches_per_column() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 2.0, 0.6, 2.0, 3.0, 0.4, 0.6, 0.4, 2.0]).unwrap();
+        let packed = PackedCholesky::cholesky(&a).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![1.0, -3.0, 0.5, 2.0, -1.5, 4.0]).unwrap();
+        let x = packed.solve_lower_multi(&b).unwrap();
+        for c in 0..2 {
+            assert_eq!(x.col(c), packed.solve_lower(&b.col(c)).unwrap());
+        }
+        assert!(packed.solve_lower_multi(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn multi_rhs_solve_shape_checks() {
+        let l = Matrix::identity(3);
+        let bad = Matrix::zeros(2, 2);
+        assert!(l.solve_lower_triangular_multi(&bad).is_err());
+        assert!(l.solve_upper_from_lower_multi(&bad).is_err());
+        let empty = Matrix::zeros(3, 0);
+        assert_eq!(l.cholesky_solve_multi(&empty).unwrap().shape(), (3, 0));
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Deterministic scoped-thread fan-out helpers.
+//!
+//! The GP grid sweep, batched prediction and candidate scoring all share
+//! the same shape: split a slice into contiguous chunks, process each chunk
+//! on its own scoped thread, and reassemble results **in chunk order** so
+//! the outcome is bit-for-bit identical for every thread count. These
+//! helpers centralise that pattern — and its thresholds, which otherwise
+//! drift apart across call sites.
+
+/// How many worker threads to use for `items` work items when each chunk
+/// should hold at least `min_chunk` of them. `pinned` overrides the
+/// machine-derived default (available parallelism, capped at 8); the result
+/// is always at least 1 and never exceeds the number of chunks.
+pub fn effective_threads(items: usize, min_chunk: usize, pinned: Option<usize>) -> usize {
+    pinned
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        })
+        .max(1)
+        .min(items.div_ceil(min_chunk.max(1)).max(1))
+}
+
+/// Maps contiguous chunks of `items` over scoped threads and concatenates
+/// the per-chunk results in chunk order. `f` receives the chunk's starting
+/// index in `items` (for global bookkeeping, e.g. argmin) and the chunk
+/// itself, and must be **point-wise deterministic**: the concatenated
+/// output must not depend on how `items` was split.
+pub fn par_chunks_map<T, R, F>(items: &[T], min_chunk: usize, pinned: Option<usize>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    let threads = effective_threads(items.len(), min_chunk, pinned);
+    if threads <= 1 {
+        return f(0, items);
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(k, c)| scope.spawn(move || f(k * chunk, c)))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// Runs `f` on every item, fanning contiguous chunks over scoped threads.
+/// Items are processed independently, so the result is identical for every
+/// thread count.
+pub fn par_for_each_mut<T, F>(items: &mut [T], min_chunk: usize, pinned: Option<usize>, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let threads = effective_threads(items.len(), min_chunk, pinned);
+    if threads <= 1 {
+        items.iter_mut().for_each(f);
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for c in items.chunks_mut(chunk) {
+            scope.spawn(move || c.iter_mut().for_each(f));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_respects_pin_chunking_and_floor() {
+        assert_eq!(effective_threads(1000, 1, Some(4)), 4);
+        assert_eq!(effective_threads(1000, 1, Some(0)), 1);
+        // Never more threads than chunks of min_chunk items.
+        assert_eq!(effective_threads(100, 64, Some(8)), 2);
+        assert_eq!(effective_threads(10, 64, Some(8)), 1);
+        assert_eq!(effective_threads(0, 64, Some(8)), 1);
+        assert!(effective_threads(1 << 20, 1, None) >= 1);
+    }
+
+    #[test]
+    fn par_chunks_map_preserves_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let reference: Vec<u64> = items.iter().map(|v| v * 3).collect();
+        for pinned in [1, 2, 3, 8, 17] {
+            let got = par_chunks_map(&items, 1, Some(pinned), |offset, chunk| {
+                // The offset must line up with the chunk's position.
+                assert_eq!(chunk[0], offset as u64);
+                chunk.iter().map(|v| v * 3).collect()
+            });
+            assert_eq!(got, reference, "pinned = {pinned}");
+        }
+        assert!(par_chunks_map(&[] as &[u64], 1, Some(4), |_, c| c.to_vec()).is_empty());
+    }
+
+    #[test]
+    fn par_for_each_mut_touches_every_item_once() {
+        for pinned in [1, 3, 8] {
+            let mut items: Vec<u64> = (0..100).collect();
+            par_for_each_mut(&mut items, 1, Some(pinned), |v| *v += 1);
+            assert!(items.iter().enumerate().all(|(i, v)| *v == i as u64 + 1));
+        }
+    }
+}

@@ -62,6 +62,71 @@ proptest! {
     }
 
     #[test]
+    fn cholesky_append_row_equals_full_refactorisation(
+        values in prop::collection::vec(-2.0..2.0f64, 25)
+    ) {
+        // Build a random 5×5 SPD matrix; every leading principal block of an
+        // SPD matrix is SPD, so both the 4×4 prefix factorisation and the
+        // bordered extension must succeed.
+        let b = Matrix::from_vec(5, 5, values).unwrap();
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diagonal(1.0);
+        let full = a.cholesky().expect("SPD matrix must factor");
+        let mut inc = Matrix::from_fn(4, 4, |i, j| a[(i, j)])
+            .cholesky()
+            .expect("leading block must factor");
+        let border: Vec<f64> = (0..5).map(|j| a[(4, j)]).collect();
+        inc.cholesky_append_row(&border).expect("bordered extension is SPD");
+        for i in 0..5 {
+            for j in 0..5 {
+                prop_assert!((inc[(i, j)] - full[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_cholesky_chain_tracks_full_factorisation(
+        values in prop::collection::vec(-2.0..2.0f64, 36)
+    ) {
+        // Grow a factor one bordering row at a time from 1×1 to 6×6 and
+        // compare against factorising each leading block from scratch.
+        let b = Matrix::from_vec(6, 6, values).unwrap();
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diagonal(1.0);
+        let mut inc = Matrix::zeros(0, 0);
+        for n in 0..6 {
+            let border: Vec<f64> = (0..=n).map(|j| a[(n, j)]).collect();
+            inc.cholesky_append_row(&border).expect("leading blocks are SPD");
+            let full = Matrix::from_fn(n + 1, n + 1, |i, j| a[(i, j)])
+                .cholesky()
+                .unwrap();
+            for i in 0..=n {
+                for j in 0..=n {
+                    prop_assert!((inc[(i, j)] - full[(i, j)]).abs() < 1e-8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rhs_triangular_solves_match_per_column_solves(
+        values in prop::collection::vec(-2.0..2.0f64, 16),
+        rhs in prop::collection::vec(-5.0..5.0f64, 12),
+    ) {
+        let m = Matrix::from_vec(4, 4, values).unwrap();
+        let mut a = m.matmul(&m.transpose()).unwrap();
+        a.add_diagonal(1.0);
+        let l = a.cholesky().unwrap();
+        let b = Matrix::from_vec(4, 3, rhs).unwrap();
+        let x = l.cholesky_solve_multi(&b).unwrap();
+        for c in 0..3 {
+            // Bit-for-bit: the multi-RHS sweep performs the same operations
+            // in the same order as the single-RHS solves.
+            prop_assert_eq!(x.col(c), l.cholesky_solve(&b.col(c)).unwrap());
+        }
+    }
+
+    #[test]
     fn transpose_preserves_frobenius_norm(values in prop::collection::vec(-10.0..10.0f64, 12)) {
         let m = Matrix::from_vec(3, 4, values).unwrap();
         prop_assert!((m.frobenius_norm() - m.transpose().frobenius_norm()).abs() < 1e-10);
