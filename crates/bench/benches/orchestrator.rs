@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the multi-slice orchestrator.
+//!
+//! Compares N sequential single-slice `OnlineLearner::run` calls against
+//! the orchestrated run over a shared testbed (which is bit-identical by
+//! construction — see `orchestrator_bench` for the asserted comparison and
+//! the committed `BENCH_orchestrator.json` trajectory point).
+
+use atlas::env::{RealEnv, Sla};
+use atlas::{OnlineLearner, Scenario, Simulator, Stage3Config};
+use atlas_netsim::{RealNetwork, SharedTestbed};
+use atlas_orchestrator::{Orchestrator, SliceSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn fleet(n: u64) -> Vec<SliceSpec> {
+    (0..n)
+        .map(|i| {
+            let config = Stage3Config {
+                iterations: 2,
+                offline_updates: 1,
+                candidates: 60,
+                duration_s: 2.0,
+                ..Stage3Config::default()
+            };
+            let learner = OnlineLearner::without_offline(
+                config,
+                Sla::paper_default(),
+                Simulator::with_original_params(),
+            );
+            let scenario = Scenario::default_with_seed(i).with_duration(2.0);
+            SliceSpec::new(format!("slice-{i}"), learner, scenario, 4000 + 17 * i)
+        })
+        .collect()
+}
+
+fn multi_slice(c: &mut Criterion) {
+    let network = RealNetwork::prototype();
+    let mut group = c.benchmark_group("multi_slice_online_loops");
+    for n in [2u64, 4] {
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            let real = RealEnv::new(network);
+            b.iter(|| {
+                let total: usize = fleet(n)
+                    .iter()
+                    .map(|s| s.learner.run(&real, &s.scenario, s.seed).history.len())
+                    .sum();
+                black_box(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("orchestrated", n), &n, |b, &n| {
+            let orchestrator = Orchestrator::new(SharedTestbed::new(network)).with_threads(2);
+            b.iter(|| black_box(orchestrator.run(fleet(n)).total_queries))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = multi_slice
+);
+criterion_main!(benches);

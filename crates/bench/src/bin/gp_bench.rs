@@ -13,7 +13,8 @@
 //! ```
 
 use atlas_bayesopt::SearchSpace;
-use atlas_gp::GaussianProcess;
+use atlas_gp::{GaussianProcess, GRID_PAR_MIN_CANDIDATES, GRID_PAR_MIN_N, PREDICT_PAR_MIN_CHUNK};
+use atlas_math::linalg::{l2_distance, Matrix, PackedCholesky, DEFAULT_COL_TILE};
 use atlas_math::rng::seeded_rng;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -147,6 +148,56 @@ fn main() {
         "predict 2000 candidates @ n = {n}: per-point {per_point_ms:.3} ms, batched {batched_ms:.3} ms"
     );
 
+    // ---- column-tile calibration (cache-resident multi-RHS solve) -------
+    // An n×n kernel-shaped SPD system with a stage-sized RHS block: the
+    // exact memory shape of `predict_batch`'s forward solve. Every tile
+    // width gives bit-identical results, so the sweep is purely a
+    // performance calibration of `DEFAULT_COL_TILE`.
+    let mut k = Matrix::from_fn(n, n, |i, j| (-l2_distance(&xs[i], &xs[j])).exp());
+    k.add_diagonal(1e-3);
+    let packed = PackedCholesky::cholesky(&k).expect("SPD kernel system");
+    let rhs = Matrix::from_fn(n, candidates.len(), |i, j| {
+        (-l2_distance(&xs[i], &candidates[j])).exp()
+    });
+    let tile_points: Vec<(usize, f64)> = [8, 16, 32, 64, 128, 256, candidates.len()]
+        .into_iter()
+        .map(|tile| {
+            let ms = median_ms(reps, || {
+                let _ = packed.solve_lower_multi_tiled(&rhs, tile).unwrap();
+            });
+            println!(
+                "multi-RHS solve n = {n}, m = {}: tile {tile:>5} -> {ms:.3} ms",
+                candidates.len()
+            );
+            (tile, ms)
+        })
+        .collect();
+
+    // ---- thread-threshold calibration -----------------------------------
+    // `predict_batch_par` with pinned worker counts (its internal shape,
+    // reproduced so the thread count can be swept); the merged output is
+    // identical for every count, so only the timing varies.
+    let available = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let thread_points: Vec<(usize, f64)> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|threads| {
+            let ms = median_ms(reps, || {
+                let _ = atlas_math::parallel::par_chunks_map(
+                    &candidates,
+                    PREDICT_PAR_MIN_CHUNK,
+                    Some(threads),
+                    |_, chunk| gp.predict_batch(chunk),
+                );
+            });
+            println!(
+                "predict_batch_par 2000 candidates @ n = {n}: {threads} threads -> {ms:.3} ms"
+            );
+            (threads, ms)
+        })
+        .collect();
+
     let speedup_largest = points.last().expect("non-empty").speedup();
     let full_exp = scaling_exponent(&points, |p| p.full_refit_ms);
     let inc_exp = scaling_exponent(&points, |p| p.incremental_ms);
@@ -184,6 +235,38 @@ fn main() {
         json,
         "  \"predict_2000_candidates\": {{\"n\": {n}, \"per_point_ms\": {per_point_ms:.4}, \"batched_ms\": {batched_ms:.4}}},"
     );
+    // Column-tile calibration of the multi-RHS triangular solve.
+    json.push_str("  \"col_tile_calibration\": {\n");
+    let _ = writeln!(json, "    \"n\": {n}, \"rhs_cols\": {},", candidates.len());
+    json.push_str("    \"points\": [\n");
+    for (i, (tile, ms)) in tile_points.iter().enumerate() {
+        let comma = if i + 1 < tile_points.len() { "," } else { "" };
+        let _ = writeln!(json, "      {{\"tile\": {tile}, \"ms\": {ms:.4}}}{comma}");
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(json, "    \"chosen_default_col_tile\": {DEFAULT_COL_TILE}");
+    json.push_str("  },\n");
+    // Thread-parallel threshold calibration.
+    json.push_str("  \"thread_calibration\": {\n");
+    let _ = writeln!(json, "    \"available_parallelism\": {available},");
+    let _ = writeln!(
+        json,
+        "    \"predict_batch_par\": {{\"n\": {n}, \"candidates\": {}, \"min_chunk\": {PREDICT_PAR_MIN_CHUNK}, \"points\": [",
+        candidates.len()
+    );
+    for (i, (threads, ms)) in thread_points.iter().enumerate() {
+        let comma = if i + 1 < thread_points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"threads\": {threads}, \"ms\": {ms:.4}}}{comma}"
+        );
+    }
+    json.push_str("    ]},\n");
+    let _ = writeln!(
+        json,
+        "    \"chosen\": {{\"predict_par_min_chunk\": {PREDICT_PAR_MIN_CHUNK}, \"grid_par_min_candidates\": {GRID_PAR_MIN_CANDIDATES}, \"grid_par_min_n\": {GRID_PAR_MIN_N}}}"
+    );
+    json.push_str("  },\n");
     let _ = writeln!(json, "  \"speedup_at_largest_n\": {speedup_largest:.2},");
     let _ = writeln!(json, "  \"full_refit_scaling_exponent\": {full_exp:.3},");
     let _ = writeln!(json, "  \"incremental_scaling_exponent\": {inc_exp:.3}");

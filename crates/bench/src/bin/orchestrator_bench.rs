@@ -1,0 +1,178 @@
+//! Multi-slice orchestrator throughput benchmark emitting
+//! `BENCH_orchestrator.json`.
+//!
+//! Runs a fleet of concurrent stage-3 slice sessions against one shared
+//! emulated testbed and compares the wall-clock cost of (a) the sequential
+//! baseline — one `OnlineLearner::run` per slice — with (b) the
+//! orchestrated run at several scheduler thread counts. Before any timing
+//! is reported, the orchestrated fleet is checked **bit-for-bit** against
+//! the sequential results (the acceptance property of the orchestrator:
+//! co-scheduling must be a pure performance transform).
+//!
+//! ```text
+//! cargo run --release -p atlas-bench --bin orchestrator_bench -- [--quick] [--out BENCH_orchestrator.json]
+//! ```
+
+use atlas::env::{RealEnv, Sla};
+use atlas::{OnlineLearner, Scenario, Simulator, Stage3Config, Stage3Result};
+use atlas_netsim::{RealNetwork, SharedTestbed};
+use atlas_orchestrator::{Orchestrator, SliceSpec};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A heterogeneous fleet of `n` slices: traffic, distance, SLA and seeds
+/// differ per slice, as they would across an operator's tenants.
+fn fleet(n: u64, iterations: usize, duration_s: f64) -> Vec<SliceSpec> {
+    (0..n)
+        .map(|i| {
+            let sla = Sla::new(250.0 + 25.0 * (i % 3) as f64, 0.85 + 0.02 * (i % 2) as f64);
+            let config = Stage3Config {
+                iterations,
+                offline_updates: 2,
+                candidates: 200,
+                duration_s,
+                ..Stage3Config::default()
+            };
+            let learner =
+                OnlineLearner::without_offline(config, sla, Simulator::with_original_params());
+            let scenario = Scenario::default_with_seed(i)
+                .with_duration(duration_s)
+                .with_traffic(1 + (i as u32) % 3)
+                .with_distance(1.0 + 2.0 * (i % 5) as f64);
+            SliceSpec::new(format!("slice-{i}"), learner, scenario, 4000 + 17 * i)
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_orchestrator.json")
+        .to_string();
+    let fleet_sizes: &[u64] = if quick { &[8] } else { &[2, 4, 8, 16] };
+    let iterations = if quick { 2 } else { 5 };
+    let duration_s = if quick { 2.0 } else { 30.0 };
+    let thread_counts = [1usize, 2, 4, 8];
+    let network = RealNetwork::prototype();
+
+    struct FleetPoint {
+        slices: u64,
+        total_queries: usize,
+        sequential_ms: f64,
+        sequential_qps: f64,
+        orchestrated: Vec<(usize, f64, f64)>,
+    }
+
+    let mut fleet_points = Vec::with_capacity(fleet_sizes.len());
+    for &slices in fleet_sizes {
+        // ---- sequential baseline: N independent single-slice runs -------
+        let specs = fleet(slices, iterations, duration_s);
+        let real = RealEnv::new(network);
+        let start = Instant::now();
+        let sequential: Vec<Stage3Result> = specs
+            .iter()
+            .map(|s| s.learner.run(&real, &s.scenario, s.seed))
+            .collect();
+        let sequential_ms = start.elapsed().as_secs_f64() * 1e3;
+        let total_queries: usize = sequential.iter().map(|r| r.history.len()).sum();
+        let sequential_qps = total_queries as f64 / (sequential_ms / 1e3);
+        println!(
+            "sequential: {slices} slices x {iterations} iters = {total_queries} queries in \
+             {sequential_ms:.0} ms ({sequential_qps:.2} queries/s)"
+        );
+
+        // ---- orchestrated runs at several scheduler thread counts --------
+        let mut orchestrated = Vec::with_capacity(thread_counts.len());
+        for threads in thread_counts {
+            let orchestrator = Orchestrator::new(SharedTestbed::new(network)).with_threads(threads);
+            let start = Instant::now();
+            let report = orchestrator.run(fleet(slices, iterations, duration_s));
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            // Hard acceptance check: orchestration must be bit-identical
+            // to the sequential single-slice runs on the same seeds.
+            assert_eq!(report.slices.len(), slices as usize);
+            for (slice, expected) in report.slices.iter().zip(&sequential) {
+                assert_eq!(
+                    &slice.result, expected,
+                    "orchestrated slice {} diverged from its sequential run (threads = {threads})",
+                    slice.name
+                );
+            }
+            let qps = report.total_queries as f64 / (ms / 1e3);
+            println!(
+                "orchestrated ({slices} slices, {threads} threads): {} queries in {ms:.0} ms \
+                 ({qps:.2} queries/s), fleet SLA-viol {:.1}%, usage {:.1}%",
+                report.total_queries,
+                report.sla_violation_rate * 100.0,
+                report.mean_usage * 100.0,
+            );
+            orchestrated.push((threads, ms, qps));
+        }
+        fleet_points.push(FleetPoint {
+            slices,
+            total_queries,
+            sequential_ms,
+            sequential_qps,
+            orchestrated,
+        });
+    }
+
+    let best_qps = fleet_points
+        .iter()
+        .flat_map(|f| f.orchestrated.iter().map(|p| p.2))
+        .fold(f64::MIN, f64::max);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"multi_slice_orchestrator\",\n");
+    let _ = writeln!(
+        json,
+        "  \"command\": \"cargo run --release -p atlas-bench --bin orchestrator_bench{}\",",
+        if quick { " -- --quick" } else { "" }
+    );
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"available_parallelism\": {},",
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+    );
+    let _ = writeln!(json, "  \"iterations_per_slice\": {iterations},");
+    let _ = writeln!(json, "  \"query_duration_s\": {duration_s},");
+    json.push_str("  \"fleets\": [\n");
+    for (fi, f) in fleet_points.iter().enumerate() {
+        let _ = writeln!(json, "    {{\"slices\": {},", f.slices);
+        let _ = writeln!(json, "     \"total_queries\": {},", f.total_queries);
+        let _ = writeln!(
+            json,
+            "     \"sequential\": {{\"ms\": {:.1}, \"queries_per_s\": {:.3}}},",
+            f.sequential_ms, f.sequential_qps
+        );
+        json.push_str("     \"orchestrated\": [\n");
+        for (i, (threads, ms, qps)) in f.orchestrated.iter().enumerate() {
+            let comma = if i + 1 < f.orchestrated.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                json,
+                "       {{\"threads\": {threads}, \"ms\": {ms:.1}, \"queries_per_s\": {qps:.3}}}{comma}"
+            );
+        }
+        let comma = if fi + 1 < fleet_points.len() { "," } else { "" };
+        let _ = writeln!(json, "     ]}}{comma}");
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"bit_identical_to_sequential\": true,\n");
+    let _ = writeln!(json, "  \"best_queries_per_s\": {best_qps:.3}");
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

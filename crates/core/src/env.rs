@@ -6,7 +6,7 @@
 //! three stages are written once and run against either.
 
 use atlas_math::stats;
-use atlas_netsim::{RealNetwork, Scenario, Simulator, SliceConfig, TraceSummary};
+use atlas_netsim::{RealNetwork, Scenario, SharedTestbed, Simulator, SliceConfig, TraceSummary};
 
 /// The service-level agreement of a slice: the latency threshold `Y` and
 /// the required probability `E` of meeting it (Eq. 6).
@@ -113,6 +113,16 @@ impl RealEnv {
 impl Environment for RealEnv {
     fn measure(&self, config: &SliceConfig, scenario: &Scenario) -> TraceSummary {
         self.network.run(config, scenario)
+    }
+}
+
+/// A [`SharedTestbed`] is an environment too: a single measurement is just
+/// a run on the wrapped network, identical to [`RealEnv`] over the same
+/// [`RealNetwork`]. (Batch fan-out stays the scheduler's job; this impl is
+/// what lets orchestrated and sequential runs share one environment value.)
+impl Environment for SharedTestbed {
+    fn measure(&self, config: &SliceConfig, scenario: &Scenario) -> TraceSummary {
+        self.network().run(config, scenario)
     }
 }
 
@@ -235,6 +245,19 @@ mod tests {
         let b = real.query(&cfg, &scenario(), &sla);
         assert!(b.qoe <= a.qoe + 0.05, "real qoe {} vs sim {}", b.qoe, a.qoe);
         assert!(b.mean_latency_ms > a.mean_latency_ms);
+    }
+
+    #[test]
+    fn shared_testbed_env_matches_real_env() {
+        let network = RealNetwork::prototype();
+        let shared = SharedTestbed::new(network);
+        let real = RealEnv::new(network);
+        let sla = Sla::paper_default();
+        let cfg = SliceConfig::from_vec(&[8.0, 4.0, 0.0, 0.0, 8.0, 0.55]);
+        assert_eq!(
+            shared.query(&cfg, &scenario(), &sla),
+            real.query(&cfg, &scenario(), &sla)
+        );
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub use pipeline::{run_atlas, AtlasConfig, AtlasOutcome};
 pub use regret::RegretTracker;
 pub use stage1::{SimulatorCalibration, Stage1Config, Stage1Result};
 pub use stage2::{OfflineStrategy, OfflineTrainer, Stage2Config, Stage2Result};
-pub use stage3::{OnlineLearner, OnlineModel, OnlineOutcome, Stage3Config, Stage3Result};
+pub use stage3::{
+    OnlineLearner, OnlineModel, OnlineOutcome, SliceQuery, SliceSession, Stage3Config, Stage3Result,
+};
 
 // Re-export the substrate types users need to drive the library.
 pub use atlas_bayesopt::Acquisition;

@@ -1,0 +1,362 @@
+//! Stage 3 — safe online learning in the real network
+//! (Sec. 6, Algorithm 3).
+//!
+//! Starting from the offline policy of stage 2, the online learner refines
+//! the configuration against the real network. A Gaussian process models
+//! only the sim-to-real QoE residual `G(ψ) = Q(a) − Q_s(a)` (Eq. 12); the
+//! next configuration is selected with the conservative clipped randomised
+//! GP-UCB acquisition (Eq. 13) on the combined QoE estimate inside the
+//! Lagrangian; and the multiplier is updated many times per online step by
+//! querying the augmented simulator ("offline acceleration", Eq. 15).
+//!
+//! ## Steppable sessions
+//!
+//! The stage is organised as a state machine rather than a monolithic
+//! loop: [`OnlineLearner::begin`] yields a [`SliceSession`] whose
+//! [`SliceSession::suggest`] / [`SliceSession::observe`] transitions
+//! expose the points where the real network must be measured. The
+//! [`OnlineLearner::run`] convenience drives one session to completion
+//! against a single environment; a multi-slice orchestrator (the
+//! `atlas-orchestrator` crate) instead collects each round's suggestions
+//! across many sessions and fans the measurements out over a shared
+//! testbed. Both drivers produce byte-identical results for the same
+//! seeds: the session consumes randomness and simulator queries in
+//! exactly the order of the former monolithic loop, and the real-network
+//! measurement never touches the session RNG. The selection math itself
+//! lives in [`policy`].
+
+pub mod policy;
+pub mod session;
+
+pub use session::{SliceQuery, SliceSession};
+
+use crate::env::{Environment, SimulatorEnv, Sla};
+use crate::stage2::Stage2Result;
+use atlas_bayesopt::Acquisition;
+use atlas_netsim::{Scenario, Simulator, SliceConfig};
+use atlas_nn::{Bnn, BnnConfig};
+
+/// Which model learns the online information (Fig. 23 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnlineModel {
+    /// A Gaussian process learns only the sim-to-real residual (ours).
+    GpResidual,
+    /// A (small) Bayesian neural network learns the residual.
+    BnnResidual,
+    /// The offline BNN keeps training directly on real observations
+    /// ("BNN-Cont'd" in the paper); no residual model is used.
+    BnnContinued,
+}
+
+/// Configuration of the online learning stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stage3Config {
+    /// Online iterations (paper: 100).
+    pub iterations: usize,
+    /// Offline multiplier updates per online action (paper: N = 20).
+    pub offline_updates: usize,
+    /// Random candidates scored per selection.
+    pub candidates: usize,
+    /// Acquisition function (paper: cRGP-UCB with ρ = 0.1, B = 10).
+    pub acquisition: Acquisition,
+    /// Dual step size ε (paper: 0.1).
+    pub epsilon: f64,
+    /// Online model variant.
+    pub online_model: OnlineModel,
+    /// Whether the offline-acceleration multiplier loop is enabled
+    /// ("No Offline Acc." in Fig. 23 disables it).
+    pub offline_acceleration: bool,
+    /// Simulated/measured seconds per query.
+    pub duration_s: f64,
+    /// BNN hyper-parameters for the BNN-based online model variants.
+    pub bnn: BnnConfig,
+}
+
+impl Default for Stage3Config {
+    fn default() -> Self {
+        Self {
+            iterations: 100,
+            offline_updates: 20,
+            candidates: 1500,
+            acquisition: Acquisition::conservative_default(),
+            epsilon: 0.1,
+            online_model: OnlineModel::GpResidual,
+            offline_acceleration: true,
+            duration_s: 15.0,
+            bnn: BnnConfig {
+                hidden: [16, 16, 0, 0],
+                epochs: 30,
+                ..BnnConfig::default()
+            },
+        }
+    }
+}
+
+/// One online iteration's outcome on the real network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineOutcome {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// The applied configuration.
+    pub config: SliceConfig,
+    /// Resource usage of the applied configuration.
+    pub usage: f64,
+    /// Measured QoE in the real network.
+    pub qoe: f64,
+    /// The QoE the augmented simulator predicted for the same action
+    /// (used to compute the residual).
+    pub simulator_qoe: f64,
+}
+
+/// Result of the online learning stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage3Result {
+    /// Per-iteration outcomes.
+    pub history: Vec<OnlineOutcome>,
+    /// Final Lagrangian multiplier.
+    pub final_multiplier: f64,
+    /// Best (lowest-usage SLA-satisfying) online outcome, if any satisfied
+    /// the SLA; otherwise the highest-QoE one.
+    pub best: OnlineOutcome,
+}
+
+impl Stage3Result {
+    /// Convenience: `(usage, qoe)` pairs for regret computation.
+    pub fn usage_qoe_history(&self) -> Vec<(f64, f64)> {
+        self.history.iter().map(|o| (o.usage, o.qoe)).collect()
+    }
+}
+
+/// The stage-3 online learner: configuration plus warm-start artefacts.
+///
+/// The learner itself is immutable; all mutable online state lives in the
+/// [`SliceSession`]s it creates, so one learner can seed many concurrent
+/// sessions (one per slice).
+#[derive(Clone)]
+pub struct OnlineLearner {
+    config: Stage3Config,
+    sla: Sla,
+    /// The augmented simulator (offline environment for acceleration).
+    simulator: Simulator,
+    /// The offline QoE model and warm-start artefacts from stage 2.
+    offline_qoe: Option<Bnn>,
+    initial_config: Option<SliceConfig>,
+    initial_multiplier: f64,
+}
+
+impl OnlineLearner {
+    /// Creates an online learner from the stage-2 result and the augmented
+    /// simulator.
+    pub fn new(
+        config: Stage3Config,
+        sla: Sla,
+        simulator: Simulator,
+        offline: &Stage2Result,
+    ) -> Self {
+        Self {
+            config,
+            sla,
+            simulator,
+            offline_qoe: offline.qoe_model.clone(),
+            initial_config: Some(offline.best_config),
+            initial_multiplier: offline.multiplier,
+        }
+    }
+
+    /// Creates an online learner with no offline stage at all ("No stage 2"
+    /// ablation): the policy is learned online from scratch.
+    pub fn without_offline(config: Stage3Config, sla: Sla, simulator: Simulator) -> Self {
+        Self {
+            config,
+            sla,
+            simulator,
+            offline_qoe: None,
+            initial_config: None,
+            initial_multiplier: 0.0,
+        }
+    }
+
+    /// The stage configuration.
+    pub fn config(&self) -> &Stage3Config {
+        &self.config
+    }
+
+    /// The SLA the learner optimises under.
+    pub fn sla(&self) -> &Sla {
+        &self.sla
+    }
+
+    /// Starts a steppable online-learning session for one slice. The
+    /// session owns all mutable state (RNG, residual model, multiplier,
+    /// history), so many sessions from one learner can run concurrently.
+    pub fn begin(&self, scenario: &Scenario, seed: u64) -> SliceSession {
+        SliceSession::new(
+            self.config,
+            self.sla,
+            SimulatorEnv::new(self.simulator),
+            self.offline_qoe.clone(),
+            self.initial_config,
+            self.initial_multiplier,
+            scenario,
+            seed,
+        )
+    }
+
+    /// Runs Algorithm 3 against the real environment: a thin wrapper that
+    /// drives one [`SliceSession`] to completion. Byte-identical to the
+    /// former monolithic loop.
+    pub fn run<E: Environment>(&self, real: &E, scenario: &Scenario, seed: u64) -> Stage3Result {
+        let mut session = self.begin(scenario, seed);
+        while session.step(real).is_some() {}
+        session.finish()
+    }
+}
+
+/// Best online outcome: cheapest SLA-satisfying action, or the highest-QoE
+/// action if none satisfied the SLA.
+pub fn best_outcome(history: &[OnlineOutcome], sla: &Sla) -> OnlineOutcome {
+    let feasible: Vec<&OnlineOutcome> =
+        history.iter().filter(|o| sla.satisfied_by(o.qoe)).collect();
+    if feasible.is_empty() {
+        *history
+            .iter()
+            .max_by(|a, b| {
+                a.qoe
+                    .partial_cmp(&b.qoe)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty history")
+    } else {
+        *feasible
+            .into_iter()
+            .min_by(|a, b| {
+                a.usage
+                    .partial_cmp(&b.usage)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty feasible set")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::RealEnv;
+    use crate::stage2::{OfflineTrainer, Stage2Config};
+    use atlas_netsim::RealNetwork;
+
+    fn tiny_stage2_result(seed: u64) -> (Stage2Result, Simulator) {
+        let sim = Simulator::with_original_params();
+        let env = SimulatorEnv::new(sim);
+        let trainer = OfflineTrainer::new(
+            Stage2Config {
+                iterations: 10,
+                warmup: 4,
+                parallel: 2,
+                candidates: 200,
+                duration_s: 8.0,
+                bnn: BnnConfig {
+                    hidden: [12, 12, 0, 0],
+                    epochs: 8,
+                    ..BnnConfig::default()
+                },
+                train_epochs_per_iter: 3,
+                ..Stage2Config::default()
+            },
+            Sla::paper_default(),
+        );
+        let scenario = Scenario::default_with_seed(seed).with_duration(8.0);
+        (trainer.run(&env, &scenario, seed), sim)
+    }
+
+    fn tiny_stage3() -> Stage3Config {
+        Stage3Config {
+            iterations: 6,
+            offline_updates: 2,
+            candidates: 200,
+            duration_s: 8.0,
+            ..Stage3Config::default()
+        }
+    }
+
+    #[test]
+    fn online_learning_produces_a_full_history_and_first_action_is_offline_best() {
+        let (offline, sim) = tiny_stage2_result(1);
+        let learner = OnlineLearner::new(tiny_stage3(), Sla::paper_default(), sim, &offline);
+        let real = RealEnv::new(RealNetwork::prototype());
+        let scenario = Scenario::default_with_seed(1).with_duration(8.0);
+        let result = learner.run(&real, &scenario, 42);
+        assert_eq!(result.history.len(), 6);
+        // The first action is the offline best configuration (after the
+        // connectivity floor).
+        assert_eq!(
+            result.history[0].config,
+            offline.best_config.with_connectivity_floor()
+        );
+        for o in &result.history {
+            assert!((0.0..=1.0).contains(&o.qoe));
+            assert!((0.0..=1.0).contains(&o.usage));
+            assert!((0.0..=1.0).contains(&o.simulator_qoe));
+        }
+        assert!(result.final_multiplier >= 0.0);
+        assert_eq!(result.usage_qoe_history().len(), 6);
+    }
+
+    #[test]
+    fn all_online_model_variants_run() {
+        let (offline, sim) = tiny_stage2_result(2);
+        let real = RealEnv::new(RealNetwork::prototype());
+        let scenario = Scenario::default_with_seed(2).with_duration(8.0);
+        for model in [
+            OnlineModel::GpResidual,
+            OnlineModel::BnnResidual,
+            OnlineModel::BnnContinued,
+        ] {
+            let learner = OnlineLearner::new(
+                Stage3Config {
+                    online_model: model,
+                    iterations: 3,
+                    ..tiny_stage3()
+                },
+                Sla::paper_default(),
+                sim,
+                &offline,
+            );
+            let result = learner.run(&real, &scenario, 7);
+            assert_eq!(result.history.len(), 3, "variant {model:?}");
+        }
+    }
+
+    #[test]
+    fn learner_without_offline_stage_still_runs() {
+        let sim = Simulator::with_original_params();
+        let learner = OnlineLearner::without_offline(
+            Stage3Config {
+                iterations: 4,
+                ..tiny_stage3()
+            },
+            Sla::paper_default(),
+            sim,
+        );
+        let real = RealEnv::new(RealNetwork::prototype());
+        let scenario = Scenario::default_with_seed(3).with_duration(8.0);
+        let result = learner.run(&real, &scenario, 11);
+        assert_eq!(result.history.len(), 4);
+    }
+
+    #[test]
+    fn best_outcome_selection_rules() {
+        let sla = Sla::paper_default();
+        let mk = |usage: f64, qoe: f64| OnlineOutcome {
+            iteration: 0,
+            config: SliceConfig::default_generous(),
+            usage,
+            qoe,
+            simulator_qoe: qoe,
+        };
+        let history = vec![mk(0.4, 0.95), mk(0.2, 0.91), mk(0.1, 0.3)];
+        assert_eq!(best_outcome(&history, &sla).usage, 0.2);
+        let infeasible = vec![mk(0.4, 0.5), mk(0.2, 0.8)];
+        assert_eq!(best_outcome(&infeasible, &sla).qoe, 0.8);
+    }
+}

@@ -1,0 +1,196 @@
+//! The online configuration policy: residual models and Lagrangian
+//! candidate selection (Eqs. 12–13).
+//!
+//! [`OnlinePolicy`] bundles everything the selection math needs — the SLA
+//! and the (optional) offline QoE model — so the steppable
+//! [`super::session::SliceSession`] owns its policy outright and can be
+//! driven by an external control loop (the single-slice
+//! [`super::OnlineLearner::run`] wrapper or a multi-slice orchestrator)
+//! without borrowing the learner.
+
+use crate::env::{policy_features, Sla};
+use atlas_gp::GaussianProcess;
+use atlas_math::rng::Rng64;
+use atlas_netsim::SliceConfig;
+use atlas_nn::Bnn;
+
+/// The internal residual model (one per slice session).
+pub(crate) enum ResidualModel {
+    Gp(Box<GaussianProcess>),
+    Bnn {
+        bnn: Box<Bnn>,
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+        fitted: bool,
+    },
+    /// BNN-Cont'd: the offline BNN itself is fine-tuned on real QoE.
+    Continued {
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+    },
+}
+
+/// The stateless part of the online policy: the SLA plus the offline QoE
+/// model, with all candidate-scoring math.
+pub(crate) struct OnlinePolicy {
+    pub(crate) sla: Sla,
+    /// The offline QoE model from stage 2 (`None` for the "No stage 2"
+    /// ablation).
+    pub(crate) offline_qoe: Option<Bnn>,
+}
+
+impl OnlinePolicy {
+    /// Offline QoE estimate `Q_s(a)` from the stage-2 BNN (0.5 when no
+    /// offline model exists — maximum ignorance).
+    pub(crate) fn offline_qoe_estimate(&self, features: &[f64]) -> f64 {
+        match &self.offline_qoe {
+            Some(bnn) => bnn.predict_mean(features).clamp(0.0, 1.0),
+            None => 0.5,
+        }
+    }
+
+    /// Residual mean/std from the online model.
+    pub(crate) fn residual_estimate(
+        &self,
+        model: &ResidualModel,
+        features: &[f64],
+        rng: &mut Rng64,
+    ) -> (f64, f64) {
+        match model {
+            ResidualModel::Gp(gp) => {
+                if gp.is_empty() {
+                    (0.0, 0.3)
+                } else {
+                    gp.predict(features)
+                }
+            }
+            ResidualModel::Bnn { bnn, fitted, .. } => {
+                if *fitted {
+                    bnn.predict_with_uncertainty(features, 8, rng)
+                } else {
+                    (0.0, 0.3)
+                }
+            }
+            ResidualModel::Continued { .. } => (0.0, 0.05),
+        }
+    }
+
+    /// Combined QoE estimate of Eq. 12; for the "continued" variant the
+    /// fine-tuned BNN is the whole estimate.
+    pub(crate) fn combined_qoe(
+        &self,
+        model: &ResidualModel,
+        continued_bnn: Option<&Bnn>,
+        features: &[f64],
+        rng: &mut Rng64,
+    ) -> (f64, f64) {
+        match model {
+            ResidualModel::Continued { .. } => {
+                let bnn = continued_bnn.expect("continued variant keeps a BNN");
+                let (m, s) = bnn.predict_with_uncertainty(features, 8, rng);
+                (m.clamp(0.0, 1.0), s)
+            }
+            _ => {
+                let base = self.offline_qoe_estimate(features);
+                let (rm, rs) = self.residual_estimate(model, features, rng);
+                ((base + rm).clamp(0.0, 1.0), rs)
+            }
+        }
+    }
+
+    /// Batched combined-QoE estimate (Eq. 12) for the GP-residual model:
+    /// the offline BNN mean per candidate plus the GP residual resolved
+    /// with one batched (multi-right-hand-side, thread-parallel) solve.
+    /// Element `i` is exactly what `combined_qoe` returns for
+    /// `features[i]` — the GP path consumes no RNG, so the batched form is
+    /// a drop-in for the per-candidate loop.
+    fn combined_qoe_batch_gp(
+        &self,
+        gp: &GaussianProcess,
+        features: &[Vec<f64>],
+    ) -> Vec<(f64, f64)> {
+        let residuals: Vec<(f64, f64)> = if gp.is_empty() {
+            vec![(0.0, 0.3); features.len()]
+        } else {
+            gp.predict_batch_par(features)
+        };
+        features
+            .iter()
+            .zip(residuals)
+            .map(|(f, (rm, rs))| {
+                let base = self.offline_qoe_estimate(f);
+                ((base + rm).clamp(0.0, 1.0), rs)
+            })
+            .collect()
+    }
+
+    /// Minimum-Lagrangian candidate under the GP-residual model, scored in
+    /// batch. `beta` enables the optimistic (UCB) QoE of Eq. 13; `None`
+    /// scores by the posterior mean (the offline-acceleration loop).
+    pub(crate) fn select_min_lagrangian_gp(
+        &self,
+        gp: &GaussianProcess,
+        candidates: &[Vec<f64>],
+        traffic: u32,
+        multiplier: f64,
+        beta: Option<f64>,
+    ) -> SliceConfig {
+        let configs: Vec<SliceConfig> = candidates
+            .iter()
+            .map(|c| SliceConfig::from_vec(c))
+            .collect();
+        let features: Vec<Vec<f64>> = configs
+            .iter()
+            .map(|c| policy_features(c, traffic, &self.sla))
+            .collect();
+        let estimates = self.combined_qoe_batch_gp(gp, &features);
+        let mut best_cfg = configs[0];
+        let mut best_l = f64::INFINITY;
+        for (config, (mean_q, std_q)) in configs.iter().zip(estimates) {
+            let q = match beta {
+                Some(b) => (mean_q + b.sqrt() * std_q).clamp(0.0, 1.0),
+                None => mean_q,
+            };
+            let l = config.resource_usage() - multiplier * (q - self.sla.qoe_target);
+            if l < best_l {
+                best_l = l;
+                best_cfg = *config;
+            }
+        }
+        best_cfg
+    }
+
+    /// Sequential counterpart of [`OnlinePolicy::select_min_lagrangian_gp`]
+    /// for the BNN residual-model variants, whose QoE estimates consume the
+    /// RNG per candidate and therefore cannot be batched without changing
+    /// the stream.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn select_min_lagrangian_seq(
+        &self,
+        model: &ResidualModel,
+        continued_bnn: Option<&Bnn>,
+        candidates: &[Vec<f64>],
+        traffic: u32,
+        multiplier: f64,
+        beta: Option<f64>,
+        rng: &mut Rng64,
+    ) -> SliceConfig {
+        let mut best_cfg = SliceConfig::from_vec(&candidates[0]);
+        let mut best_l = f64::INFINITY;
+        for c in candidates {
+            let config = SliceConfig::from_vec(c);
+            let f = policy_features(&config, traffic, &self.sla);
+            let (mean_q, std_q) = self.combined_qoe(model, continued_bnn, &f, rng);
+            let q = match beta {
+                Some(b) => (mean_q + b.sqrt() * std_q).clamp(0.0, 1.0),
+                None => mean_q,
+            };
+            let l = config.resource_usage() - multiplier * (q - self.sla.qoe_target);
+            if l < best_l {
+                best_l = l;
+                best_cfg = config;
+            }
+        }
+        best_cfg
+    }
+}

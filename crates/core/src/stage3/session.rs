@@ -1,0 +1,508 @@
+//! The steppable online-learning state machine.
+//!
+//! [`SliceSession`] externalises the control flow of Algorithm 3: instead
+//! of one monolithic loop that owns the real-network queries, a session
+//! exposes explicit [`SliceSession::suggest`] / [`SliceSession::observe`]
+//! transitions. Whoever drives the session — the single-slice
+//! [`super::OnlineLearner::run`] wrapper, or a multi-slice orchestrator
+//! batching queries across many sessions — performs the (expensive)
+//! environment measurement between the two calls.
+//!
+//! The split is exact: every random draw, simulator query and model update
+//! happens in the same order as the former monolithic loop, so driving a
+//! session step by step produces byte-identical results. Crucially, the
+//! real-network measurement itself never touches the session RNG (its seed
+//! is derived from the session seed), so *where* the measurement runs — a
+//! worker thread, another process — cannot perturb the learner state.
+
+use super::policy::{OnlinePolicy, ResidualModel};
+use super::{best_outcome, OnlineModel, OnlineOutcome, Stage3Config, Stage3Result};
+use crate::env::{policy_features, Environment, QoeSample, SimulatorEnv, Sla};
+use atlas_bayesopt::SearchSpace;
+use atlas_gp::GaussianProcess;
+use atlas_math::rng::{derive_seed, seeded_rng, Rng64};
+use atlas_netsim::{Scenario, SliceConfig};
+use atlas_nn::Bnn;
+
+/// Base of the offline-acceleration seed stream. The three per-iteration
+/// query kinds derive their simulator/testbed seeds from disjoint ranges —
+/// acceleration at `ACCEL_STREAM_BASE + iteration·1000 + n`, real
+/// measurements at `70_000 + iteration`, observe-side simulator queries at
+/// `80_000 + iteration` — so the streams stay disjoint for any run
+/// shorter than 920 000 online iterations (previously the acceleration
+/// stream `iteration·1000 + n` collided with both measurement streams
+/// from iteration 70 on, replaying channel-trace RNG sequences).
+const ACCEL_STREAM_BASE: u64 = 1_000_000;
+
+/// One pending real-network query suggested by a [`SliceSession`].
+///
+/// Everything an evaluator needs is embedded: the configuration to apply,
+/// the scenario (with the per-query derived seed already set) and the SLA
+/// to score the trace under — so a batch of queries from many sessions can
+/// be fanned out without consulting the sessions again.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceQuery {
+    /// The configuration to apply to the real network.
+    pub config: SliceConfig,
+    /// The scenario to measure under (duration and seed already applied).
+    pub scenario: Scenario,
+    /// The SLA the measurement is scored under.
+    pub sla: Sla,
+    /// Online iteration this query belongs to (0-based).
+    pub iteration: usize,
+}
+
+/// A steppable stage-3 online-learning session for one slice.
+///
+/// Created by [`super::OnlineLearner::begin`]; alternate
+/// [`SliceSession::suggest`] and [`SliceSession::observe`] until `suggest`
+/// returns `None`, then call [`SliceSession::finish`].
+pub struct SliceSession {
+    config: Stage3Config,
+    policy: OnlinePolicy,
+    sim_env: SimulatorEnv,
+    space: SearchSpace,
+    run_scenario: Scenario,
+    seed: u64,
+    rng: Rng64,
+    residual_model: ResidualModel,
+    continued_bnn: Option<Bnn>,
+    multiplier: f64,
+    initial_config: Option<SliceConfig>,
+    history: Vec<OnlineOutcome>,
+    /// The suggestion awaiting its measurement, if any.
+    pending: Option<SliceQuery>,
+}
+
+impl SliceSession {
+    /// Builds a session. Internal — use [`super::OnlineLearner::begin`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        config: Stage3Config,
+        sla: Sla,
+        sim_env: SimulatorEnv,
+        offline_qoe: Option<Bnn>,
+        initial_config: Option<SliceConfig>,
+        initial_multiplier: f64,
+        scenario: &Scenario,
+        seed: u64,
+    ) -> Self {
+        let mut rng = seeded_rng(seed);
+        let space = SearchSpace::new(SliceConfig::min().to_vec(), SliceConfig::max().to_vec());
+        let run_scenario = scenario.with_duration(config.duration_s);
+        let residual_model = match config.online_model {
+            OnlineModel::GpResidual => {
+                ResidualModel::Gp(Box::new(GaussianProcess::default_matern()))
+            }
+            OnlineModel::BnnResidual => ResidualModel::Bnn {
+                bnn: Box::new(Bnn::new(
+                    crate::env::POLICY_FEATURE_DIM,
+                    config.bnn,
+                    &mut rng,
+                )),
+                xs: Vec::new(),
+                ys: Vec::new(),
+                fitted: false,
+            },
+            OnlineModel::BnnContinued => ResidualModel::Continued {
+                xs: Vec::new(),
+                ys: Vec::new(),
+            },
+        };
+        // The fine-tuned copy of the offline BNN for the continued variant.
+        let continued_bnn = offline_qoe.clone().or_else(|| {
+            Some(Bnn::new(
+                crate::env::POLICY_FEATURE_DIM,
+                config.bnn,
+                &mut rng,
+            ))
+        });
+        let capacity = config.iterations;
+        Self {
+            policy: OnlinePolicy { sla, offline_qoe },
+            config,
+            sim_env,
+            space,
+            run_scenario,
+            seed,
+            rng,
+            residual_model,
+            continued_bnn,
+            multiplier: initial_multiplier,
+            initial_config,
+            history: Vec::with_capacity(capacity),
+            pending: None,
+        }
+    }
+
+    /// The next online iteration to run (0-based); equals the number of
+    /// completed observations.
+    pub fn iteration(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Whether every configured online iteration has been observed.
+    pub fn is_done(&self) -> bool {
+        self.history.len() >= self.config.iterations
+    }
+
+    /// The outcomes observed so far.
+    pub fn history(&self) -> &[OnlineOutcome] {
+        &self.history
+    }
+
+    /// The current Lagrangian multiplier.
+    pub fn multiplier(&self) -> f64 {
+        self.multiplier
+    }
+
+    /// The SLA this session learns under.
+    pub fn sla(&self) -> &Sla {
+        &self.policy.sla
+    }
+
+    /// The scenario queries run under (duration already applied).
+    pub fn scenario(&self) -> &Scenario {
+        &self.run_scenario
+    }
+
+    /// The stage configuration.
+    pub fn config(&self) -> &Stage3Config {
+        &self.config
+    }
+
+    /// Runs the offline-acceleration multiplier loop and selects the next
+    /// online action (Algorithm 3 up to the real-network query). Returns
+    /// `None` once all configured iterations have been observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous suggestion has not been fed back through
+    /// [`SliceSession::observe`] — the session is a strict
+    /// suggest → observe alternation.
+    pub fn suggest(&mut self) -> Option<SliceQuery> {
+        assert!(
+            self.pending.is_none(),
+            "SliceSession::suggest called with an observation outstanding; \
+             feed the previous SliceQuery's measurement to observe() first"
+        );
+        if self.is_done() {
+            return None;
+        }
+        let iteration = self.history.len();
+        let cfg = &self.config;
+
+        // ---------- offline acceleration: update λ in the simulator ----
+        if cfg.offline_acceleration && cfg.offline_updates > 0 {
+            for n in 0..cfg.offline_updates {
+                let candidates = self.space.sample_n(cfg.candidates.min(400), &mut self.rng);
+                let best_cfg = match &self.residual_model {
+                    // GP residual: batched scoring (no RNG in this path).
+                    ResidualModel::Gp(gp) => self.policy.select_min_lagrangian_gp(
+                        gp,
+                        &candidates,
+                        self.run_scenario.traffic,
+                        self.multiplier,
+                        None,
+                    ),
+                    // BNN variants consume the RNG per candidate; keep
+                    // the sequential loop.
+                    _ => self.policy.select_min_lagrangian_seq(
+                        &self.residual_model,
+                        self.continued_bnn.as_ref(),
+                        &candidates,
+                        self.run_scenario.traffic,
+                        self.multiplier,
+                        None,
+                        &mut self.rng,
+                    ),
+                };
+                // Query the augmented simulator for Q_s and estimate G.
+                // The acceleration stream lives in [ACCEL_STREAM_BASE, …),
+                // disjoint from the real-measurement (70 000 + i) and
+                // observe-side simulator (80 000 + i) streams, so no
+                // channel-trace RNG sequence is ever replayed across the
+                // three query kinds within a run.
+                let sim_seed =
+                    derive_seed(self.seed, ACCEL_STREAM_BASE + (iteration * 1000 + n) as u64);
+                let qs = self
+                    .sim_env
+                    .query(
+                        &best_cfg,
+                        &self.run_scenario.with_seed(sim_seed),
+                        &self.policy.sla,
+                    )
+                    .qoe;
+                let f = policy_features(&best_cfg, self.run_scenario.traffic, &self.policy.sla);
+                let (g, _) = self
+                    .policy
+                    .residual_estimate(&self.residual_model, &f, &mut self.rng);
+                // Eq. 15.
+                self.multiplier = (self.multiplier
+                    - cfg.epsilon * (qs + g - self.policy.sla.qoe_target))
+                    .max(0.0);
+            }
+        }
+
+        // ---------- select the online action ---------------------------
+        let chosen = if iteration == 0 {
+            // The very first online action is the offline optimum when
+            // available (Sec. 8.3).
+            self.initial_config
+                .unwrap_or_else(|| SliceConfig::from_vec(&self.space.sample(&mut self.rng)))
+        } else {
+            let candidates = self.space.sample_n(cfg.candidates, &mut self.rng);
+            let beta = cfg.acquisition.beta(iteration, &mut self.rng);
+            match &self.residual_model {
+                // GP residual: batched scoring with the optimistic
+                // (UCB) QoE of Eq. 13 inside the Lagrangian.
+                ResidualModel::Gp(gp) => self.policy.select_min_lagrangian_gp(
+                    gp,
+                    &candidates,
+                    self.run_scenario.traffic,
+                    self.multiplier,
+                    Some(beta),
+                ),
+                // Optimistic (UCB) QoE inside the Lagrangian; β is the
+                // clipped randomised exploration weight.
+                _ => self.policy.select_min_lagrangian_seq(
+                    &self.residual_model,
+                    self.continued_bnn.as_ref(),
+                    &candidates,
+                    self.run_scenario.traffic,
+                    self.multiplier,
+                    Some(beta),
+                    &mut self.rng,
+                ),
+            }
+        };
+
+        let real_seed = derive_seed(self.seed, 70_000 + iteration as u64);
+        let query = SliceQuery {
+            config: chosen,
+            scenario: self.run_scenario.with_seed(real_seed),
+            sla: self.policy.sla,
+            iteration,
+        };
+        self.pending = Some(query);
+        Some(query)
+    }
+
+    /// Absorbs the real-network measurement of the outstanding suggestion:
+    /// queries the augmented simulator for the matching prediction, updates
+    /// the residual model and (without offline acceleration) the
+    /// multiplier, and appends the outcome to the history.
+    ///
+    /// `sample` must be the result of `Environment::query` for the pending
+    /// [`SliceQuery`]'s config/scenario/SLA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no suggestion is outstanding.
+    pub fn observe(&mut self, sample: QoeSample) -> OnlineOutcome {
+        let pending = self
+            .pending
+            .take()
+            .expect("SliceSession::observe called without an outstanding suggestion");
+        let iteration = pending.iteration;
+        let cfg = &self.config;
+        let sim_sample = self.sim_env.query(
+            &pending.config,
+            &self
+                .run_scenario
+                .with_seed(derive_seed(self.seed, 80_000 + iteration as u64)),
+            &self.policy.sla,
+        );
+        let residual = sample.qoe - sim_sample.qoe;
+        let features = policy_features(&sample.config, self.run_scenario.traffic, &self.policy.sla);
+
+        // ---------- update the online model ----------------------------
+        match &mut self.residual_model {
+            ResidualModel::Gp(gp) => {
+                // O(n²) incremental update — exactly equivalent to the
+                // old full refit on the extended data.
+                let _ = gp.observe(features.clone(), residual);
+            }
+            ResidualModel::Bnn {
+                bnn,
+                xs,
+                ys,
+                fitted,
+            } => {
+                xs.push(features.clone());
+                ys.push(residual);
+                bnn.fit_epochs(xs, ys, 10, &mut self.rng);
+                *fitted = true;
+            }
+            ResidualModel::Continued { xs, ys } => {
+                xs.push(features.clone());
+                ys.push(sample.qoe);
+                if let Some(bnn) = self.continued_bnn.as_mut() {
+                    bnn.fit_epochs(xs, ys, 10, &mut self.rng);
+                }
+            }
+        }
+
+        // Without offline acceleration the multiplier is only updated
+        // from the single online observation (Eq. 9 with the real QoE).
+        if !cfg.offline_acceleration {
+            self.multiplier = (self.multiplier
+                - cfg.epsilon * (sample.qoe - self.policy.sla.qoe_target))
+                .max(0.0);
+        }
+
+        let outcome = OnlineOutcome {
+            iteration,
+            config: sample.config,
+            usage: sample.usage,
+            qoe: sample.qoe,
+            simulator_qoe: sim_sample.qoe,
+        };
+        self.history.push(outcome);
+        outcome
+    }
+
+    /// Convenience transition: suggest, measure against `real`, observe.
+    /// Returns `None` when the session is done.
+    pub fn step<E: Environment>(&mut self, real: &E) -> Option<OnlineOutcome> {
+        let query = self.suggest()?;
+        let sample = real.query(&query.config, &query.scenario, &query.sla);
+        Some(self.observe(sample))
+    }
+
+    /// Finalises the session into a [`Stage3Result`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no iteration was observed (an empty history has no best
+    /// outcome), matching the monolithic loop's behaviour.
+    pub fn finish(self) -> Stage3Result {
+        let best = best_outcome(&self.history, &self.policy.sla);
+        Stage3Result {
+            history: self.history,
+            final_multiplier: self.multiplier,
+            best,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::env::{Environment, RealEnv};
+    use crate::stage2::{OfflineTrainer, Stage2Config};
+    use crate::stage3::{OnlineLearner, Stage3Config};
+    use crate::{SimulatorEnv, Sla};
+    use atlas_netsim::{RealNetwork, Scenario, Simulator};
+    use atlas_nn::BnnConfig;
+
+    fn tiny_learner(seed: u64) -> OnlineLearner {
+        let sim = Simulator::with_original_params();
+        let env = SimulatorEnv::new(sim);
+        let trainer = OfflineTrainer::new(
+            Stage2Config {
+                iterations: 8,
+                warmup: 4,
+                parallel: 2,
+                candidates: 150,
+                duration_s: 6.0,
+                bnn: BnnConfig {
+                    hidden: [10, 10, 0, 0],
+                    epochs: 6,
+                    ..BnnConfig::default()
+                },
+                train_epochs_per_iter: 2,
+                ..Stage2Config::default()
+            },
+            Sla::paper_default(),
+        );
+        let scenario = Scenario::default_with_seed(seed).with_duration(6.0);
+        let offline = trainer.run(&env, &scenario, seed);
+        OnlineLearner::new(
+            Stage3Config {
+                iterations: 4,
+                offline_updates: 2,
+                candidates: 150,
+                duration_s: 6.0,
+                ..Stage3Config::default()
+            },
+            Sla::paper_default(),
+            sim,
+            &offline,
+        )
+    }
+
+    #[test]
+    fn stepped_session_matches_monolithic_run_exactly() {
+        let learner = tiny_learner(5);
+        let real = RealEnv::new(RealNetwork::prototype());
+        let scenario = Scenario::default_with_seed(5).with_duration(6.0);
+        let via_run = learner.run(&real, &scenario, 21);
+
+        let mut session = learner.begin(&scenario, 21);
+        assert_eq!(session.iteration(), 0);
+        while let Some(query) = session.suggest() {
+            assert_eq!(query.sla, Sla::paper_default());
+            let sample = real.query(&query.config, &query.scenario, &query.sla);
+            let outcome = session.observe(sample);
+            assert_eq!(outcome.iteration + 1, session.iteration());
+        }
+        assert!(session.is_done());
+        assert_eq!(session.history(), via_run.history.as_slice());
+        let via_session = session.finish();
+        assert_eq!(via_session, via_run);
+    }
+
+    #[test]
+    fn step_convenience_matches_suggest_observe() {
+        let learner = tiny_learner(6);
+        let real = RealEnv::new(RealNetwork::prototype());
+        let scenario = Scenario::default_with_seed(6).with_duration(6.0);
+        let mut manual = learner.begin(&scenario, 9);
+        while let Some(q) = manual.suggest() {
+            let sample = real.query(&q.config, &q.scenario, &q.sla);
+            manual.observe(sample);
+        }
+        let mut stepped = learner.begin(&scenario, 9);
+        while stepped.step(&real).is_some() {}
+        assert_eq!(manual.finish(), stepped.finish());
+    }
+
+    #[test]
+    #[should_panic(expected = "observation outstanding")]
+    fn double_suggest_panics() {
+        let learner = tiny_learner(7);
+        let scenario = Scenario::default_with_seed(7).with_duration(6.0);
+        let mut session = learner.begin(&scenario, 3);
+        let _ = session.suggest();
+        let _ = session.suggest();
+    }
+
+    #[test]
+    #[should_panic(expected = "without an outstanding suggestion")]
+    fn observe_without_suggest_panics() {
+        let learner = tiny_learner(8);
+        let real = RealEnv::new(RealNetwork::prototype());
+        let scenario = Scenario::default_with_seed(8).with_duration(6.0);
+        let mut session = learner.begin(&scenario, 3);
+        let query = session.suggest().expect("first suggestion");
+        let sample = real.query(&query.config, &query.scenario, &query.sla);
+        session.observe(sample);
+        session.observe(sample);
+    }
+
+    #[test]
+    fn suggest_returns_none_after_the_last_iteration() {
+        let learner = tiny_learner(9);
+        let real = RealEnv::new(RealNetwork::prototype());
+        let scenario = Scenario::default_with_seed(9).with_duration(6.0);
+        let mut session = learner.begin(&scenario, 4);
+        let mut steps = 0;
+        while session.step(&real).is_some() {
+            steps += 1;
+        }
+        assert_eq!(steps, session.config().iterations);
+        assert!(session.suggest().is_none());
+        assert!(session.multiplier() >= 0.0);
+        assert_eq!(session.scenario().duration_s, 6.0);
+    }
+}

@@ -108,12 +108,29 @@ impl DistanceCache {
     }
 }
 
+/// Thread-parallel thresholds of the GP hot paths. Calibrated with the
+/// `gp_bench` sweep (`thread_calibration` in `BENCH_gp.json`): below these
+/// sizes the per-spawn cost of scoped threads exceeds the arithmetic they
+/// absorb, so the code stays serial and byte-identical either way.
+///
+/// Minimum candidates per worker chunk in
+/// [`GaussianProcess::predict_batch_par`]: each chunk performs a full
+/// multi-RHS triangular solve, so chunks need enough columns to amortise
+/// the spawn (and to keep whole column tiles per worker).
+pub const PREDICT_PAR_MIN_CHUNK: usize = 64;
+/// Minimum hyper-parameter grid size for the per-candidate factor sweep to
+/// fan out over threads.
+pub const GRID_PAR_MIN_CANDIDATES: usize = 8;
+/// Minimum training-set size for the grid sweep fan-out: each candidate's
+/// bordering update is O(n²), so small n makes the sweep spawn-bound.
+pub const GRID_PAR_MIN_N: usize = 128;
+
 /// Thread-count override for a sweep over the hyper-parameter grid:
 /// `Some(1)` (serial) unless there are enough candidates and enough data
 /// per candidate for the fan-out to pay for thread spawns, `None` (use the
 /// machine default) otherwise.
 fn grid_pin(grid_len: usize, n: usize) -> Option<usize> {
-    if grid_len < 8 || n < 128 {
+    if grid_len < GRID_PAR_MIN_CANDIDATES || n < GRID_PAR_MIN_N {
         Some(1)
     } else {
         None
@@ -475,7 +492,9 @@ impl GaussianProcess {
     /// in `predict_batch`, so the output is deterministic and independent
     /// of the thread count.
     pub fn predict_batch_par(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
-        atlas_math::parallel::par_chunks_map(xs, 64, None, |_, chunk| self.predict_batch(chunk))
+        atlas_math::parallel::par_chunks_map(xs, PREDICT_PAR_MIN_CHUNK, None, |_, chunk| {
+            self.predict_batch(chunk)
+        })
     }
 }
 
@@ -543,11 +562,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_add_observation_still_works() {
+    fn observe_absorbs_points_one_at_a_time() {
+        // Formerly exercised the deprecated `add_observation` shim; all
+        // callers now go through `observe` directly.
         let mut gp = GaussianProcess::default_matern();
-        gp.add_observation(vec![0.0], 1.0).unwrap();
-        gp.add_observation(vec![1.0], 3.0).unwrap();
+        gp.observe(vec![0.0], 1.0).unwrap();
+        gp.observe(vec![1.0], 3.0).unwrap();
         assert_eq!(gp.len(), 2);
         let (mean, _) = gp.predict(&[0.0]);
         assert!((mean - 1.0).abs() < 0.5);

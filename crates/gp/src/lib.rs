@@ -38,5 +38,7 @@
 pub mod gpr;
 pub mod kernel;
 
-pub use gpr::{GaussianProcess, GpConfig};
+pub use gpr::{
+    GaussianProcess, GpConfig, GRID_PAR_MIN_CANDIDATES, GRID_PAR_MIN_N, PREDICT_PAR_MIN_CHUNK,
+};
 pub use kernel::Kernel;

@@ -8,6 +8,19 @@
 
 use crate::{MathError, Result};
 
+/// Column-tile width of the multi-right-hand-side triangular solves.
+///
+/// A multi-RHS sweep touches every factor row once per right-hand-side
+/// block; with thousands of columns the block no longer fits in cache and
+/// each factor row streams the whole RHS matrix from memory. Solving the
+/// columns in tiles of this width keeps the active window (`n × tile`
+/// doubles) cache-resident while leaving the per-column arithmetic — and
+/// therefore the results, bit for bit — unchanged. 64 columns = 512 B per
+/// row segment, so a 512-row factor's active window is ≤ 256 KiB
+/// (L2-resident); the calibration sweep in `BENCH_gp.json` picks this
+/// value on the benchmark hardware.
+pub const DEFAULT_COL_TILE: usize = 64;
+
 /// A dense, row-major matrix of `f64` values.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
@@ -357,9 +370,17 @@ impl Matrix {
     /// Solves `L * X = B` for a whole right-hand-side matrix, where `self`
     /// is lower triangular and `B` is `n`×`m`. Column `j` of the result is
     /// bit-for-bit identical to `solve_lower_triangular` applied to column
-    /// `j` of `B`, but the row-major sweep touches each factor row once for
-    /// all right-hand sides.
+    /// `j` of `B`, but the row-major sweep touches each factor row once per
+    /// column tile (see [`DEFAULT_COL_TILE`]) so the active RHS window
+    /// stays cache-resident.
     pub fn solve_lower_triangular_multi(&self, b: &Matrix) -> Result<Matrix> {
+        self.solve_lower_triangular_multi_tiled(b, DEFAULT_COL_TILE)
+    }
+
+    /// [`Matrix::solve_lower_triangular_multi`] with an explicit column-tile
+    /// width (a performance knob only: every width produces bit-identical
+    /// results; `tile >= m` reproduces the untiled single sweep).
+    pub fn solve_lower_triangular_multi_tiled(&self, b: &Matrix, tile: usize) -> Result<Matrix> {
         let n = self.rows;
         if self.cols != n || b.rows != n {
             return Err(MathError::ShapeMismatch {
@@ -372,28 +393,41 @@ impl Matrix {
         if m == 0 {
             return Ok(b.clone());
         }
+        let tile = tile.max(1);
         let mut x = b.clone();
-        for i in 0..n {
-            let (solved, rest) = x.data.split_at_mut(i * m);
-            let row_i = &mut rest[..m];
-            for (j, xj) in solved.chunks_exact(m).enumerate() {
-                let lij = self.data[i * n + j];
-                for (xi, xv) in row_i.iter_mut().zip(xj) {
-                    *xi -= lij * *xv;
+        let mut c0 = 0;
+        while c0 < m {
+            let c1 = (c0 + tile).min(m);
+            for i in 0..n {
+                let (solved, rest) = x.data.split_at_mut(i * m);
+                let row_i = &mut rest[c0..c1];
+                for (j, xj) in solved.chunks_exact(m).enumerate() {
+                    let lij = self.data[i * n + j];
+                    for (xi, xv) in row_i.iter_mut().zip(&xj[c0..c1]) {
+                        *xi -= lij * *xv;
+                    }
+                }
+                let d = self.data[i * n + i];
+                for xi in row_i {
+                    *xi /= d;
                 }
             }
-            let d = self.data[i * n + i];
-            for xi in row_i {
-                *xi /= d;
-            }
+            c0 = c1;
         }
         Ok(x)
     }
 
     /// Solves `Lᵀ * X = B` for a whole right-hand-side matrix, where `self`
     /// is lower triangular and `B` is `n`×`m` (the multi-RHS counterpart of
-    /// [`Matrix::solve_upper_from_lower`]).
+    /// [`Matrix::solve_upper_from_lower`]), column-tiled like
+    /// [`Matrix::solve_lower_triangular_multi`].
     pub fn solve_upper_from_lower_multi(&self, b: &Matrix) -> Result<Matrix> {
+        self.solve_upper_from_lower_multi_tiled(b, DEFAULT_COL_TILE)
+    }
+
+    /// [`Matrix::solve_upper_from_lower_multi`] with an explicit column-tile
+    /// width (bit-identical results for every width).
+    pub fn solve_upper_from_lower_multi_tiled(&self, b: &Matrix, tile: usize) -> Result<Matrix> {
         let n = self.rows;
         if self.cols != n || b.rows != n {
             return Err(MathError::ShapeMismatch {
@@ -406,20 +440,26 @@ impl Matrix {
         if m == 0 {
             return Ok(b.clone());
         }
+        let tile = tile.max(1);
         let mut x = b.clone();
-        for i in (0..n).rev() {
-            let (head, solved) = x.data.split_at_mut((i + 1) * m);
-            let row_i = &mut head[i * m..];
-            for (k, xj) in solved.chunks_exact(m).enumerate() {
-                let lji = self.data[(i + 1 + k) * n + i];
-                for (xi, xv) in row_i.iter_mut().zip(xj) {
-                    *xi -= lji * *xv;
+        let mut c0 = 0;
+        while c0 < m {
+            let c1 = (c0 + tile).min(m);
+            for i in (0..n).rev() {
+                let (head, solved) = x.data.split_at_mut((i + 1) * m);
+                let row_i = &mut head[i * m + c0..i * m + c1];
+                for (k, xj) in solved.chunks_exact(m).enumerate() {
+                    let lji = self.data[(i + 1 + k) * n + i];
+                    for (xi, xv) in row_i.iter_mut().zip(&xj[c0..c1]) {
+                        *xi -= lji * *xv;
+                    }
+                }
+                let d = self.data[i * n + i];
+                for xi in row_i {
+                    *xi /= d;
                 }
             }
-            let d = self.data[i * n + i];
-            for xi in row_i {
-                *xi /= d;
-            }
+            c0 = c1;
         }
         Ok(x)
     }
@@ -586,8 +626,17 @@ impl PackedCholesky {
 
     /// Solves `L * X = B` for a whole right-hand-side matrix (`B` is
     /// `n`×`m`); column `j` of the result is bit-for-bit identical to
-    /// [`PackedCholesky::solve_lower`] on column `j` of `B`.
+    /// [`PackedCholesky::solve_lower`] on column `j` of `B`. The sweep is
+    /// blocked over column tiles ([`DEFAULT_COL_TILE`]) so the active RHS
+    /// window stays cache-resident at stage-sized candidate counts.
     pub fn solve_lower_multi(&self, b: &Matrix) -> Result<Matrix> {
+        self.solve_lower_multi_tiled(b, DEFAULT_COL_TILE)
+    }
+
+    /// [`PackedCholesky::solve_lower_multi`] with an explicit column-tile
+    /// width (a performance knob only: every width produces bit-identical
+    /// results; `tile >= m` reproduces the untiled single sweep).
+    pub fn solve_lower_multi_tiled(&self, b: &Matrix, tile: usize) -> Result<Matrix> {
         let n = self.n;
         if b.rows != n {
             return Err(MathError::ShapeMismatch {
@@ -600,20 +649,26 @@ impl PackedCholesky {
         if m == 0 {
             return Ok(b.clone());
         }
+        let tile = tile.max(1);
         let mut x = b.clone();
-        for i in 0..n {
-            let row = self.row(i);
-            let (solved, rest) = x.data.split_at_mut(i * m);
-            let row_i = &mut rest[..m];
-            for (lij, xj) in row[..i].iter().zip(solved.chunks_exact(m)) {
-                for (xi, xv) in row_i.iter_mut().zip(xj) {
-                    *xi -= lij * *xv;
+        let mut c0 = 0;
+        while c0 < m {
+            let c1 = (c0 + tile).min(m);
+            for i in 0..n {
+                let row = self.row(i);
+                let (solved, rest) = x.data.split_at_mut(i * m);
+                let row_i = &mut rest[c0..c1];
+                for (lij, xj) in row[..i].iter().zip(solved.chunks_exact(m)) {
+                    for (xi, xv) in row_i.iter_mut().zip(&xj[c0..c1]) {
+                        *xi -= lij * *xv;
+                    }
+                }
+                let d = row[i];
+                for xi in row_i {
+                    *xi /= d;
                 }
             }
-            let d = row[i];
-            for xi in row_i {
-                *xi /= d;
-            }
+            c0 = c1;
         }
         Ok(x)
     }
@@ -900,6 +955,51 @@ mod tests {
             assert_eq!(x.col(c), packed.solve_lower(&b.col(c)).unwrap());
         }
         assert!(packed.solve_lower_multi(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn column_tiled_solves_match_untiled_for_every_tile_width() {
+        // A larger SPD system with a wide RHS so several tiles are
+        // exercised, including ragged final tiles.
+        let n = 12;
+        let m = 37;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let d = (i as f64 - j as f64).abs();
+            (-d / 3.0).exp() + if i == j { 0.5 } else { 0.0 }
+        });
+        let b = Matrix::from_fn(n, m, |i, j| ((i * 31 + j * 17) % 23) as f64 / 7.0 - 1.5);
+        let l = a.cholesky().unwrap();
+        let packed = PackedCholesky::cholesky(&a).unwrap();
+        // The reference: per-column single-RHS solves (the tiled sweeps
+        // must agree bit for bit).
+        for tile in [1, 3, 16, 37, 64, 1000] {
+            let fwd = l.solve_lower_triangular_multi_tiled(&b, tile).unwrap();
+            let bwd = l.solve_upper_from_lower_multi_tiled(&b, tile).unwrap();
+            let pfw = packed.solve_lower_multi_tiled(&b, tile).unwrap();
+            for c in 0..m {
+                let col = b.col(c);
+                assert_eq!(
+                    fwd.col(c),
+                    l.solve_lower_triangular(&col).unwrap(),
+                    "fwd tile {tile} col {c}"
+                );
+                assert_eq!(
+                    bwd.col(c),
+                    l.solve_upper_from_lower(&col).unwrap(),
+                    "bwd tile {tile} col {c}"
+                );
+                assert_eq!(
+                    pfw.col(c),
+                    packed.solve_lower(&col).unwrap(),
+                    "packed tile {tile} col {c}"
+                );
+            }
+        }
+        // Tile width 0 is clamped to 1, not an infinite loop.
+        assert_eq!(
+            l.solve_lower_triangular_multi_tiled(&b, 0).unwrap(),
+            l.solve_lower_triangular_multi(&b).unwrap()
+        );
     }
 
     #[test]

@@ -54,4 +54,4 @@ pub mod transport;
 
 pub use config::{Mobility, Scenario, SimParams, SliceConfig};
 pub use network::{LatencyBreakdown, LinkEnvironment, Simulator, TraceSummary};
-pub use testbed::{RealNetwork, RealWorldProfile};
+pub use testbed::{RealNetwork, RealWorldProfile, SharedTestbed};

@@ -156,6 +156,86 @@ impl Default for RealNetwork {
     }
 }
 
+/// A testbed shared by many concurrent slices: the batch-evaluation entry
+/// point a multi-slice orchestrator fans its per-round queries through.
+///
+/// Two batch layers exist by design: [`SharedTestbed::run_batch`] is the
+/// netsim-level entry — raw `(config, scenario) → TraceSummary` jobs,
+/// usable without the Atlas crates — while the orchestrator's
+/// `QueryScheduler` batches SLA-scored QoE queries over any `Environment`
+/// (of which a `SharedTestbed` is one). Both fan out over the same
+/// deterministic thread pool.
+///
+/// The underlying [`RealNetwork`] is stateless per measurement — each run
+/// derives everything from `(config, scenario)`, with the RNG stream seeded
+/// from the scenario — so evaluating N slices' queries concurrently is
+/// byte-identical to running them one after another. [`SharedTestbed::run_batch`]
+/// exploits that: jobs are split into contiguous chunks over scoped threads
+/// (via `atlas-math::parallel`) and reassembled in job order, so the result
+/// vector is bit-for-bit independent of the thread count. Per-slice
+/// reproducibility therefore reduces to per-slice seed discipline, which the
+/// callers provide by embedding a derived seed in every job's [`Scenario`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedTestbed {
+    network: RealNetwork,
+    /// Pinned worker-thread count (`None`: machine default, capped at 8).
+    threads: Option<usize>,
+}
+
+impl SharedTestbed {
+    /// Wraps a testbed for shared multi-slice evaluation.
+    pub fn new(network: RealNetwork) -> Self {
+        Self {
+            network,
+            threads: None,
+        }
+    }
+
+    /// Pins the number of evaluation worker threads (a performance knob
+    /// only: results are identical for every value). Applies to
+    /// [`SharedTestbed::run_batch`]; the orchestrator's query scheduler
+    /// adopts it when constructed via `Orchestrator::over_testbed`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The shared underlying testbed.
+    pub fn network(&self) -> &RealNetwork {
+        &self.network
+    }
+
+    /// The pinned thread count, if any.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// Runs one measurement (identical to [`RealNetwork::run`]).
+    pub fn run(&self, config: &SliceConfig, scenario: &Scenario) -> TraceSummary {
+        self.network.run(config, scenario)
+    }
+
+    /// Evaluates a batch of `(config, scenario)` jobs — typically one per
+    /// slice and round — over scoped worker threads. Element `i` of the
+    /// result is bit-for-bit identical to `self.run(&jobs[i].0, &jobs[i].1)`,
+    /// for every thread count; each job's RNG stream comes from its own
+    /// scenario seed.
+    pub fn run_batch(&self, jobs: &[(SliceConfig, Scenario)]) -> Vec<TraceSummary> {
+        atlas_math::parallel::par_chunks_map(jobs, 1, self.threads, |_, chunk| {
+            chunk
+                .iter()
+                .map(|(config, scenario)| self.network.run(config, scenario))
+                .collect()
+        })
+    }
+}
+
+impl From<RealNetwork> for SharedTestbed {
+    fn from(network: RealNetwork) -> Self {
+        Self::new(network)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +353,41 @@ mod tests {
             kls[1],
             kls[0]
         );
+    }
+
+    #[test]
+    fn shared_testbed_batch_matches_sequential_runs_for_every_thread_count() {
+        let network = RealNetwork::prototype();
+        // Distinct configs, scenarios and seeds per job — the per-slice
+        // streams must not bleed into each other.
+        let jobs: Vec<(SliceConfig, Scenario)> = (0..6)
+            .map(|i| {
+                let mut c = cfg();
+                c.bandwidth_ul = 8.0 + i as f64;
+                c.cpu_ratio = 0.5 + 0.05 * i as f64;
+                (c, scenario(100 + i as u64).with_traffic(1 + (i as u32) % 3))
+            })
+            .collect();
+        let sequential: Vec<_> = jobs.iter().map(|(c, s)| network.run(c, s)).collect();
+        for threads in [1, 2, 3, 8] {
+            let batch = SharedTestbed::new(network)
+                .with_threads(threads)
+                .run_batch(&jobs);
+            assert_eq!(batch, sequential, "threads = {threads}");
+        }
+        // Machine-default thread count too.
+        assert_eq!(SharedTestbed::new(network).run_batch(&jobs), sequential);
+        assert!(SharedTestbed::new(network).run_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn shared_testbed_exposes_the_wrapped_network() {
+        let shared = SharedTestbed::from(RealNetwork::prototype()).with_threads(4);
+        assert_eq!(shared.network(), &RealNetwork::prototype());
+        assert_eq!(shared.threads(), Some(4));
+        let a = shared.run(&cfg(), &scenario(1));
+        let b = RealNetwork::prototype().run(&cfg(), &scenario(1));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! The orchestrator proper: round-based co-scheduling of many slice
+//! sessions over one shared environment.
+
+use crate::report::{FleetReport, SliceReport};
+use crate::scheduler::QueryScheduler;
+use atlas::env::Environment;
+use atlas::{OnlineLearner, Scenario, SliceQuery};
+
+/// One slice to orchestrate: a configured learner plus the slice's
+/// workload scenario and seed.
+#[derive(Clone)]
+pub struct SliceSpec {
+    /// Display/lookup name of the slice.
+    pub name: String,
+    /// The stage-3 learner (immutable warm-start state; the orchestrator
+    /// creates the mutable session).
+    pub learner: OnlineLearner,
+    /// The slice's workload scenario.
+    pub scenario: Scenario,
+    /// The slice's online-learning seed. Per-query testbed seeds are
+    /// derived from it, so two slices never share an RNG stream.
+    pub seed: u64,
+    /// Optional `(usage, qoe)` reference policy for regret reporting;
+    /// defaults to the slice's own best online outcome.
+    pub reference: Option<(f64, f64)>,
+}
+
+impl SliceSpec {
+    /// Creates a slice spec.
+    pub fn new(
+        name: impl Into<String>,
+        learner: OnlineLearner,
+        scenario: Scenario,
+        seed: u64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            learner,
+            scenario,
+            seed,
+            reference: None,
+        }
+    }
+
+    /// Pins the regret reference policy (e.g. an oracle search result).
+    pub fn with_reference(mut self, usage: f64, qoe: f64) -> Self {
+        self.reference = Some((usage, qoe));
+        self
+    }
+}
+
+/// Runs N slices' online loops concurrently against a shared environment.
+///
+/// Each round, every unfinished session contributes its suggested
+/// configuration; the batch is evaluated by the [`QueryScheduler`] over
+/// scoped worker threads; and the measurements are fed back in submission
+/// order. Slices may have different iteration budgets — finished sessions
+/// simply stop contributing. Results are bit-for-bit identical to running
+/// every slice sequentially with `OnlineLearner::run` on the same seeds,
+/// for every scheduler thread count.
+pub struct Orchestrator<E: Environment> {
+    env: E,
+    scheduler: QueryScheduler,
+}
+
+impl Orchestrator<atlas_netsim::SharedTestbed> {
+    /// Creates an orchestrator over a [`atlas_netsim::SharedTestbed`],
+    /// adopting the testbed's pinned evaluation thread count (if any) for
+    /// the query scheduler — so
+    /// `Orchestrator::over_testbed(SharedTestbed::new(net).with_threads(8))`
+    /// actually evaluates with 8 workers.
+    pub fn over_testbed(testbed: atlas_netsim::SharedTestbed) -> Self {
+        let threads = testbed.threads();
+        let orchestrator = Self::new(testbed);
+        match threads {
+            Some(t) => orchestrator.with_threads(t),
+            None => orchestrator,
+        }
+    }
+}
+
+impl<E: Environment> Orchestrator<E> {
+    /// Creates an orchestrator over a shared environment (typically an
+    /// `atlas_netsim::SharedTestbed` — see [`Orchestrator::over_testbed`],
+    /// which also adopts the testbed's thread pin).
+    pub fn new(env: E) -> Self {
+        Self {
+            env,
+            scheduler: QueryScheduler::new(),
+        }
+    }
+
+    /// Pins the scheduler's worker-thread count (performance knob only).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.scheduler = self.scheduler.with_threads(threads);
+        self
+    }
+
+    /// The shared query scheduler.
+    pub fn scheduler(&self) -> &QueryScheduler {
+        &self.scheduler
+    }
+
+    /// The shared environment.
+    pub fn env(&self) -> &E {
+        &self.env
+    }
+
+    /// Drives every slice's online loop to completion and reduces the
+    /// outcomes to a [`FleetReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics up front if any slice is configured with zero online
+    /// iterations: such a session would never suggest anything and has no
+    /// best outcome to report (the same configuration makes the
+    /// single-slice `OnlineLearner::run` panic, just deeper in).
+    pub fn run(&self, slices: Vec<SliceSpec>) -> FleetReport {
+        for spec in &slices {
+            assert!(
+                spec.learner.config().iterations > 0,
+                "slice {:?} is configured with zero online iterations; \
+                 orchestrated slices must run at least one",
+                spec.name
+            );
+        }
+        let mut sessions: Vec<_> = slices
+            .iter()
+            .map(|spec| spec.learner.begin(&spec.scenario, spec.seed))
+            .collect();
+        let mut rounds = 0;
+        loop {
+            // Collect this round's suggestions from the unfinished slices.
+            // `suggest` runs the slice's offline-acceleration loop and
+            // candidate scoring, so this is the learning half of the round.
+            let round: Vec<(usize, SliceQuery)> = sessions
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(i, session)| session.suggest().map(|q| (i, q)))
+                .collect();
+            if round.is_empty() {
+                break;
+            }
+            rounds += 1;
+            // Fan the independent measurements out over the shared
+            // scheduler, then feed them back in submission order.
+            let queries: Vec<SliceQuery> = round.iter().map(|(_, q)| *q).collect();
+            let samples = self.scheduler.evaluate(&self.env, &queries);
+            for ((i, _), sample) in round.iter().zip(samples) {
+                sessions[*i].observe(sample);
+            }
+        }
+        let reports: Vec<SliceReport> = slices
+            .into_iter()
+            .zip(sessions)
+            .map(|(spec, session)| {
+                let sla = *session.sla();
+                SliceReport::build(spec.name, &sla, session.finish(), spec.reference)
+            })
+            .collect();
+        FleetReport::build(reports, rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas::env::Sla;
+    use atlas::{Scenario, Simulator, Stage3Config};
+    use atlas_netsim::{RealNetwork, SharedTestbed};
+
+    fn quick_config(iterations: usize) -> Stage3Config {
+        Stage3Config {
+            iterations,
+            offline_updates: 1,
+            candidates: 40,
+            duration_s: 2.0,
+            ..Stage3Config::default()
+        }
+    }
+
+    fn spec(i: u64, iterations: usize) -> SliceSpec {
+        let learner = OnlineLearner::without_offline(
+            quick_config(iterations),
+            Sla::paper_default(),
+            Simulator::with_original_params(),
+        );
+        SliceSpec::new(
+            format!("slice-{i}"),
+            learner,
+            Scenario::default_with_seed(i).with_duration(2.0),
+            500 + i,
+        )
+    }
+
+    #[test]
+    fn mixed_iteration_budgets_drain_cleanly() {
+        let testbed = SharedTestbed::new(RealNetwork::prototype());
+        let report = Orchestrator::new(testbed).with_threads(2).run(vec![
+            spec(0, 1),
+            spec(1, 3),
+            spec(2, 2),
+        ]);
+        assert_eq!(report.rounds, 3, "rounds follow the longest slice");
+        assert_eq!(report.total_queries, 6);
+        let iters: Vec<usize> = report.slices.iter().map(SliceReport::iterations).collect();
+        assert_eq!(iters, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn reference_pinning_flows_into_the_report() {
+        let testbed = SharedTestbed::new(RealNetwork::prototype());
+        let report = Orchestrator::new(testbed).run(vec![spec(3, 1).with_reference(0.25, 0.9)]);
+        assert_eq!(report.slices[0].reference, (0.25, 0.9));
+        assert!(report.slice("slice-3").is_some());
+    }
+
+    #[test]
+    fn over_testbed_adopts_the_testbed_thread_pin() {
+        let pinned = SharedTestbed::new(RealNetwork::prototype()).with_threads(3);
+        let orchestrator = Orchestrator::over_testbed(pinned);
+        assert_eq!(orchestrator.scheduler().threads(), Some(3));
+        // And the results are the usual bit-identical ones.
+        let report = orchestrator.run(vec![spec(4, 2)]);
+        let unpinned = Orchestrator::over_testbed(SharedTestbed::new(RealNetwork::prototype()));
+        assert_eq!(unpinned.scheduler().threads(), None);
+        assert_eq!(unpinned.run(vec![spec(4, 2)]), report);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero online iterations")]
+    fn zero_iteration_slice_is_rejected_up_front() {
+        let testbed = SharedTestbed::new(RealNetwork::prototype());
+        let _ = Orchestrator::new(testbed).run(vec![spec(5, 0)]);
+    }
+
+    #[test]
+    fn empty_fleet_is_a_clean_noop() {
+        let testbed = SharedTestbed::new(RealNetwork::prototype());
+        let report = Orchestrator::new(testbed).run(Vec::new());
+        assert_eq!(report.rounds, 0);
+        assert_eq!(report.total_queries, 0);
+        assert!(report.slices.is_empty());
+        assert_eq!(report.sla_violation_rate, 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! # atlas-orchestrator
+//!
+//! Multi-slice orchestration for the Atlas reproduction: run the stage-3
+//! online loops of **many network slices concurrently** against one shared
+//! (emulated) testbed, the way an operator's slice-management plane runs
+//! fleets of slices against shared infrastructure.
+//!
+//! The crate builds on the steppable session API of `atlas::stage3`:
+//!
+//! * every slice is a [`SliceSpec`] — an `OnlineLearner` plus its scenario
+//!   and seed — whose `SliceSession` owns all mutable learner state (GP
+//!   residual model, Lagrangian multiplier, history);
+//! * each round, the [`Orchestrator`] collects every active session's
+//!   suggested configuration and hands the batch to the shared
+//!   [`QueryScheduler`], which fans the testbed measurements out over the
+//!   deterministic thread pool of `atlas-math::parallel`;
+//! * the measurements are fed back through the sessions' `observe`
+//!   transitions, and the run is reduced to a [`FleetReport`] with
+//!   per-slice and fleet-wide SLA-violation rate, resource usage and
+//!   regret.
+//!
+//! Because the sessions consume randomness in exactly the order of the
+//! single-slice loop and every testbed measurement derives its RNG stream
+//! from the owning slice's seed, an N-slice orchestrated run is
+//! **bit-for-bit identical** to N sequential `OnlineLearner::run` calls on
+//! the same seeds — for every scheduler thread count.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use atlas::{OnlineLearner, Scenario, Simulator, Sla, Stage3Config};
+//! use atlas_netsim::{RealNetwork, SharedTestbed};
+//! use atlas_orchestrator::{Orchestrator, SliceSpec};
+//!
+//! // Two (tiny) slices sharing one emulated testbed.
+//! let simulator = Simulator::with_original_params();
+//! let quick = Stage3Config {
+//!     iterations: 2,
+//!     offline_updates: 1,
+//!     candidates: 40,
+//!     duration_s: 2.0,
+//!     ..Stage3Config::default()
+//! };
+//! let slices: Vec<SliceSpec> = (0..2u64)
+//!     .map(|i| {
+//!         let learner = OnlineLearner::without_offline(quick, Sla::paper_default(), simulator);
+//!         let scenario = Scenario::default_with_seed(i).with_duration(2.0);
+//!         SliceSpec::new(format!("slice-{i}"), learner, scenario, 100 + i)
+//!     })
+//!     .collect();
+//!
+//! let testbed = SharedTestbed::new(RealNetwork::prototype());
+//! let report = Orchestrator::new(testbed).with_threads(2).run(slices);
+//! assert_eq!(report.slices.len(), 2);
+//! assert_eq!(report.total_queries, 4); // 2 slices × 2 online iterations
+//! assert!(report.sla_violation_rate >= 0.0 && report.sla_violation_rate <= 1.0);
+//! println!("{}", report.summary());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod report;
+pub mod scheduler;
+
+pub use fleet::{Orchestrator, SliceSpec};
+pub use report::{FleetReport, SliceReport};
+pub use scheduler::QueryScheduler;

@@ -1,0 +1,213 @@
+//! Aggregate SLA/usage/regret reporting for a fleet of slices.
+
+use atlas::env::Sla;
+use atlas::regret::average_regret;
+use atlas::Stage3Result;
+use std::fmt::Write as _;
+
+/// Per-slice outcome of an orchestrated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceReport {
+    /// The slice's name (from its [`crate::SliceSpec`]).
+    pub name: String,
+    /// The full stage-3 result — bit-for-bit what a sequential
+    /// `OnlineLearner::run` with the same seed produces.
+    pub result: Stage3Result,
+    /// Fraction of online iterations whose measured QoE violated the SLA.
+    pub sla_violation_rate: f64,
+    /// Mean resource usage over the online iterations.
+    pub mean_usage: f64,
+    /// Mean measured QoE over the online iterations.
+    pub mean_qoe: f64,
+    /// The reference `(usage, qoe)` the regret is computed against.
+    pub reference: (f64, f64),
+    /// Average usage regret against the reference (Eq. 10 / iterations).
+    pub avg_usage_regret: f64,
+    /// Average QoE regret against the reference (Eq. 11 / iterations).
+    pub avg_qoe_regret: f64,
+}
+
+impl SliceReport {
+    /// Builds the report for one finished slice. `reference` defaults to
+    /// the slice's own best outcome when the spec did not pin one.
+    pub(crate) fn build(
+        name: String,
+        sla: &Sla,
+        result: Stage3Result,
+        reference: Option<(f64, f64)>,
+    ) -> Self {
+        let n = result.history.len().max(1) as f64;
+        let violations = result
+            .history
+            .iter()
+            .filter(|o| !sla.satisfied_by(o.qoe))
+            .count() as f64;
+        let mean_usage = result.history.iter().map(|o| o.usage).sum::<f64>() / n;
+        let mean_qoe = result.history.iter().map(|o| o.qoe).sum::<f64>() / n;
+        let reference = reference.unwrap_or((result.best.usage, result.best.qoe));
+        let (avg_usage_regret, avg_qoe_regret) =
+            average_regret(&result.usage_qoe_history(), reference.0, reference.1);
+        Self {
+            name,
+            sla_violation_rate: violations / n,
+            mean_usage,
+            mean_qoe,
+            reference,
+            avg_usage_regret,
+            avg_qoe_regret,
+            result,
+        }
+    }
+
+    /// Number of online iterations the slice completed.
+    pub fn iterations(&self) -> usize {
+        self.result.history.len()
+    }
+}
+
+/// Fleet-wide outcome of an orchestrated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Per-slice reports, in the order the slices were submitted.
+    pub slices: Vec<SliceReport>,
+    /// Number of scheduling rounds (the longest slice's iteration count).
+    pub rounds: usize,
+    /// Total real-network queries issued across all slices.
+    pub total_queries: usize,
+    /// Fraction of all slice-iterations that violated their slice's SLA.
+    pub sla_violation_rate: f64,
+    /// Mean resource usage across all slice-iterations.
+    pub mean_usage: f64,
+    /// Mean measured QoE across all slice-iterations.
+    pub mean_qoe: f64,
+}
+
+impl FleetReport {
+    /// Reduces per-slice reports to the fleet aggregates. Slice-iterations
+    /// are weighted equally, so slices with more iterations weigh more —
+    /// the fleet rate is "violations per query", not "per slice".
+    pub(crate) fn build(slices: Vec<SliceReport>, rounds: usize) -> Self {
+        let total_queries: usize = slices.iter().map(SliceReport::iterations).sum();
+        let n = total_queries.max(1) as f64;
+        let weighted = |f: &dyn Fn(&SliceReport) -> f64| -> f64 {
+            slices
+                .iter()
+                .map(|s| f(s) * s.iterations() as f64)
+                .sum::<f64>()
+                / n
+        };
+        Self {
+            sla_violation_rate: weighted(&|s| s.sla_violation_rate),
+            mean_usage: weighted(&|s| s.mean_usage),
+            mean_qoe: weighted(&|s| s.mean_qoe),
+            slices,
+            rounds,
+            total_queries,
+        }
+    }
+
+    /// Looks a slice report up by name.
+    pub fn slice(&self, name: &str) -> Option<&SliceReport> {
+        self.slices.iter().find(|s| s.name == name)
+    }
+
+    /// A human-readable multi-line summary (one line per slice plus the
+    /// fleet totals).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for s in &self.slices {
+            let _ = writeln!(
+                out,
+                "{:<12} iters {:>3}  SLA-viol {:>5.1}%  usage {:>5.1}%  QoE {:.3}  \
+                 regret (usage {:+.3}, qoe {:.3})  best usage {:>5.1}% @ QoE {:.3}",
+                s.name,
+                s.iterations(),
+                s.sla_violation_rate * 100.0,
+                s.mean_usage * 100.0,
+                s.mean_qoe,
+                s.avg_usage_regret,
+                s.avg_qoe_regret,
+                s.result.best.usage * 100.0,
+                s.result.best.qoe,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "fleet: {} slices, {} rounds, {} queries  SLA-viol {:.1}%  usage {:.1}%  QoE {:.3}",
+            self.slices.len(),
+            self.rounds,
+            self.total_queries,
+            self.sla_violation_rate * 100.0,
+            self.mean_usage * 100.0,
+            self.mean_qoe,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas::stage3::OnlineOutcome;
+    use atlas_netsim::SliceConfig;
+
+    fn outcome(iteration: usize, usage: f64, qoe: f64) -> OnlineOutcome {
+        OnlineOutcome {
+            iteration,
+            config: SliceConfig::default_generous(),
+            usage,
+            qoe,
+            simulator_qoe: qoe,
+        }
+    }
+
+    fn result(samples: &[(f64, f64)]) -> Stage3Result {
+        let history: Vec<OnlineOutcome> = samples
+            .iter()
+            .enumerate()
+            .map(|(i, (u, q))| outcome(i, *u, *q))
+            .collect();
+        let best = atlas::stage3::best_outcome(&history, &Sla::paper_default());
+        Stage3Result {
+            history,
+            final_multiplier: 0.0,
+            best,
+        }
+    }
+
+    #[test]
+    fn slice_report_statistics() {
+        let sla = Sla::paper_default();
+        let r = result(&[(0.4, 0.95), (0.2, 0.92), (0.3, 0.5)]);
+        let report = SliceReport::build("s".into(), &sla, r, None);
+        assert!((report.sla_violation_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert!((report.mean_usage - 0.3).abs() < 1e-12);
+        assert!((report.mean_qoe - (0.95 + 0.92 + 0.5) / 3.0).abs() < 1e-12);
+        // Default reference: the best (cheapest feasible) outcome.
+        assert_eq!(report.reference, (0.2, 0.92));
+        assert_eq!(report.iterations(), 3);
+        // Pinned reference is respected.
+        let r2 = result(&[(0.4, 0.95)]);
+        let pinned = SliceReport::build("p".into(), &sla, r2, Some((0.1, 0.9)));
+        assert_eq!(pinned.reference, (0.1, 0.9));
+        assert!((pinned.avg_usage_regret - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleet_report_weights_by_iterations_and_finds_slices() {
+        let sla = Sla::paper_default();
+        let a = SliceReport::build("a".into(), &sla, result(&[(0.2, 0.95), (0.4, 0.5)]), None);
+        let b = SliceReport::build("b".into(), &sla, result(&[(0.6, 0.95)]), None);
+        let fleet = FleetReport::build(vec![a, b], 2);
+        assert_eq!(fleet.total_queries, 3);
+        assert_eq!(fleet.rounds, 2);
+        // 1 violation of 3 slice-iterations.
+        assert!((fleet.sla_violation_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert!((fleet.mean_usage - (0.2 + 0.4 + 0.6) / 3.0).abs() < 1e-12);
+        assert!(fleet.slice("b").is_some());
+        assert!(fleet.slice("missing").is_none());
+        let text = fleet.summary();
+        assert!(text.contains("fleet: 2 slices"));
+        assert!(text.contains('a') && text.contains('b'));
+    }
+}

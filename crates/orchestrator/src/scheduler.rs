@@ -1,0 +1,101 @@
+//! The shared query scheduler.
+//!
+//! One round of orchestration produces a batch of [`SliceQuery`]s — one
+//! per active slice — that are independent by construction: each embeds
+//! its own configuration, scenario (with a seed derived from the owning
+//! slice's stream) and SLA. The scheduler fans such a batch out over the
+//! deterministic scoped-thread pool of `atlas-math::parallel` and returns
+//! the measurements in query order, so the outcome is bit-for-bit
+//! identical for every thread count — including one.
+
+use atlas::env::{Environment, QoeSample};
+use atlas::SliceQuery;
+
+/// Fans batches of independent slice queries out over worker threads.
+///
+/// A performance knob only: element `i` of every result equals
+/// `env.query(&queries[i].config, &queries[i].scenario, &queries[i].sla)`
+/// regardless of the configured thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryScheduler {
+    threads: Option<usize>,
+}
+
+impl QueryScheduler {
+    /// A scheduler using the machine-default worker count (available
+    /// parallelism, capped at 8).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the worker-thread count (at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The pinned thread count, if any.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// Evaluates a batch of queries against the shared environment,
+    /// returning samples in query order.
+    pub fn evaluate<E: Environment>(&self, env: &E, queries: &[SliceQuery]) -> Vec<QoeSample> {
+        atlas_math::parallel::par_chunks_map(queries, 1, self.threads, |_, chunk| {
+            chunk
+                .iter()
+                .map(|q| env.query(&q.config, &q.scenario, &q.sla))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas::env::{RealEnv, Sla};
+    use atlas::{OnlineLearner, Scenario, Simulator, Stage3Config};
+    use atlas_netsim::RealNetwork;
+
+    /// Queries harvested from real sessions, so they carry per-slice seeds.
+    fn sample_queries(n: u64) -> Vec<SliceQuery> {
+        let quick = Stage3Config {
+            iterations: 1,
+            offline_updates: 0,
+            candidates: 30,
+            duration_s: 2.0,
+            ..Stage3Config::default()
+        };
+        (0..n)
+            .map(|i| {
+                let learner = OnlineLearner::without_offline(
+                    quick,
+                    Sla::paper_default(),
+                    Simulator::with_original_params(),
+                );
+                let scenario = Scenario::default_with_seed(i).with_duration(2.0);
+                let mut session = learner.begin(&scenario, 1000 + i);
+                session.suggest().expect("fresh session suggests")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn evaluate_matches_sequential_queries_for_every_thread_count() {
+        let env = RealEnv::new(RealNetwork::prototype());
+        let queries = sample_queries(5);
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|q| env.query(&q.config, &q.scenario, &q.sla))
+            .collect();
+        for threads in [1, 2, 3, 8] {
+            let scheduler = QueryScheduler::new().with_threads(threads);
+            assert_eq!(scheduler.evaluate(&env, &queries), sequential);
+        }
+        assert_eq!(QueryScheduler::new().evaluate(&env, &queries), sequential);
+        assert_eq!(QueryScheduler::new().threads(), None);
+        assert_eq!(QueryScheduler::new().with_threads(0).threads(), Some(1));
+        assert!(QueryScheduler::new().evaluate(&env, &[]).is_empty());
+    }
+}

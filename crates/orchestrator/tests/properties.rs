@@ -1,0 +1,115 @@
+//! Fleet-level determinism properties: an orchestrated N-slice run must be
+//! indistinguishable from N sequential single-slice runs — bit for bit —
+//! and independent of the scheduler's thread count.
+
+use atlas::env::{RealEnv, Sla};
+use atlas::{OnlineLearner, OnlineModel, Scenario, Simulator, Stage3Config};
+use atlas_netsim::{RealNetwork, SharedTestbed};
+use atlas_nn::BnnConfig;
+use atlas_orchestrator::{Orchestrator, SliceSpec};
+use proptest::prelude::*;
+
+/// A heterogeneous fleet: slices differ in scenario (traffic, distance),
+/// SLA, iteration budget, online model and seed — nothing is shared but
+/// the testbed.
+fn fleet(n: u64) -> Vec<SliceSpec> {
+    (0..n)
+        .map(|i| {
+            let sla = Sla::new(250.0 + 25.0 * (i % 3) as f64, 0.85 + 0.02 * (i % 2) as f64);
+            let model = if i % 4 == 3 {
+                OnlineModel::BnnResidual
+            } else {
+                OnlineModel::GpResidual
+            };
+            let config = Stage3Config {
+                iterations: 2 + (i as usize % 2),
+                offline_updates: 1,
+                candidates: 40,
+                duration_s: 2.0,
+                online_model: model,
+                bnn: BnnConfig {
+                    hidden: [8, 8, 0, 0],
+                    epochs: 4,
+                    ..BnnConfig::default()
+                },
+                ..Stage3Config::default()
+            };
+            let learner =
+                OnlineLearner::without_offline(config, sla, Simulator::with_original_params());
+            let scenario = Scenario::default_with_seed(i)
+                .with_duration(2.0)
+                .with_traffic(1 + (i as u32) % 3)
+                .with_distance(1.0 + 3.0 * (i % 4) as f64);
+            SliceSpec::new(format!("slice-{i}"), learner, scenario, 9000 + 13 * i)
+        })
+        .collect()
+}
+
+#[test]
+fn eight_slice_orchestration_equals_sequential_runs_bit_for_bit() {
+    let network = RealNetwork::prototype();
+    let slices = fleet(8);
+    // Sequential ground truth: one OnlineLearner::run per slice against a
+    // plain single-slice environment.
+    let real = RealEnv::new(network);
+    let sequential: Vec<_> = slices
+        .iter()
+        .map(|s| s.learner.run(&real, &s.scenario, s.seed))
+        .collect();
+
+    let report = Orchestrator::new(SharedTestbed::new(network))
+        .with_threads(4)
+        .run(slices);
+    assert_eq!(report.slices.len(), 8);
+    assert_eq!(
+        report.total_queries,
+        sequential.iter().map(|r| r.history.len()).sum::<usize>()
+    );
+    for (slice, expected) in report.slices.iter().zip(&sequential) {
+        assert_eq!(
+            &slice.result, expected,
+            "slice {} diverged from its sequential run",
+            slice.name
+        );
+    }
+}
+
+#[test]
+fn orchestrated_fleet_is_identical_across_thread_counts() {
+    let network = RealNetwork::prototype();
+    let reference = Orchestrator::new(SharedTestbed::new(network))
+        .with_threads(1)
+        .run(fleet(8));
+    for threads in [2, 3, 4, 8] {
+        let report = Orchestrator::new(SharedTestbed::new(network))
+            .with_threads(threads)
+            .run(fleet(8));
+        assert_eq!(report, reference, "threads = {threads}");
+    }
+    // Machine-default thread count as well.
+    let default_threads = Orchestrator::new(SharedTestbed::new(network)).run(fleet(8));
+    assert_eq!(default_threads, reference);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    // Randomised fleet sizes and thread counts: the orchestrator must
+    // track the sequential ground truth for any N, not just 8.
+    #[test]
+    fn any_fleet_size_equals_sequential(n in 1u64..5, threads in 1usize..5) {
+        let network = RealNetwork::prototype();
+        let slices = fleet(n);
+        let real = RealEnv::new(network);
+        let sequential: Vec<_> = slices
+            .iter()
+            .map(|s| s.learner.run(&real, &s.scenario, s.seed))
+            .collect();
+        let report = Orchestrator::new(SharedTestbed::new(network))
+            .with_threads(threads)
+            .run(slices);
+        for (slice, expected) in report.slices.iter().zip(&sequential) {
+            prop_assert_eq!(&slice.result, expected);
+        }
+    }
+}

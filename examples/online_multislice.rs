@@ -1,0 +1,118 @@
+//! Multi-slice orchestration: run many slices' stage-3 online loops
+//! concurrently against one shared (emulated) testbed, with a shared query
+//! scheduler fanning each round's measurements out over worker threads and
+//! an aggregate report of fleet-wide SLA compliance, usage and regret.
+//!
+//! In full mode the fleet is warm-started the way the paper runs Atlas:
+//! one stage-2 offline policy is trained per traffic class in the
+//! simulator, and every slice's online learner starts from its class's
+//! policy. Quick mode (`--quick`, used by CI) skips the offline stage and
+//! runs a cold-start smoke fleet instead.
+//!
+//! The orchestrated run is bit-for-bit identical to running every slice
+//! sequentially with `OnlineLearner::run` on the same seeds — this example
+//! checks that property on the first slice before printing the report.
+//!
+//! ```sh
+//! cargo run --release --example online_multislice            # full fleet
+//! cargo run --release --example online_multislice -- --quick # CI smoke
+//! ```
+
+use atlas::env::{RealEnv, SimulatorEnv, Sla};
+use atlas::{
+    OfflineTrainer, OnlineLearner, Scenario, Simulator, Stage2Config, Stage2Result, Stage3Config,
+};
+use atlas_netsim::{RealNetwork, SharedTestbed};
+use atlas_orchestrator::{Orchestrator, SliceSpec};
+
+/// One stage-2 offline policy per traffic class (trained in the shared
+/// augmented simulator — the per-slice warm start of Sec. 8.3).
+fn offline_policies(sla: Sla, classes: u32, duration_s: f64) -> Vec<Stage2Result> {
+    let simulator = Simulator::with_original_params();
+    let sim_env = SimulatorEnv::new(simulator);
+    (1..=classes)
+        .map(|traffic| {
+            let trainer = OfflineTrainer::new(
+                Stage2Config {
+                    iterations: 25,
+                    warmup: 8,
+                    parallel: 4,
+                    candidates: 400,
+                    duration_s,
+                    ..Stage2Config::default()
+                },
+                sla,
+            );
+            let scenario = Scenario::default_with_seed(u64::from(traffic))
+                .with_duration(duration_s)
+                .with_traffic(traffic);
+            trainer.run(&sim_env, &scenario, 300 + u64::from(traffic))
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let slices = 8u64;
+    let (iterations, duration_s) = if quick { (2, 2.0) } else { (12, 6.0) };
+    let sla = Sla::paper_default();
+
+    // Warm starts: one offline policy per traffic class (full mode only).
+    let policies = if quick {
+        Vec::new()
+    } else {
+        println!("training offline policies for 3 traffic classes ...");
+        offline_policies(sla, 3, duration_s)
+    };
+
+    // A heterogeneous fleet sharing one testbed: per-slice traffic and
+    // distance, as across an operator's tenants. Each slice gets its own
+    // seed, so per-slice RNG streams never interleave no matter how the
+    // scheduler runs them.
+    let specs: Vec<SliceSpec> = (0..slices)
+        .map(|i| {
+            let traffic = 1 + (i as u32) % 3;
+            let config = Stage3Config {
+                iterations,
+                offline_updates: 2,
+                candidates: 300,
+                duration_s,
+                ..Stage3Config::default()
+            };
+            let simulator = Simulator::with_original_params();
+            let learner = match policies.get((traffic - 1) as usize) {
+                Some(offline) => OnlineLearner::new(config, sla, simulator, offline),
+                None => OnlineLearner::without_offline(config, sla, simulator),
+            };
+            let scenario = Scenario::default_with_seed(i)
+                .with_duration(duration_s)
+                .with_traffic(traffic)
+                .with_distance(1.0 + 2.0 * (i % 3) as f64);
+            SliceSpec::new(format!("slice-{i}"), learner, scenario, 7000 + 11 * i)
+        })
+        .collect();
+
+    // Determinism spot check: slice 0 run sequentially must match its
+    // orchestrated twin exactly.
+    let network = RealNetwork::prototype();
+    let solo = specs[0]
+        .learner
+        .run(&RealEnv::new(network), &specs[0].scenario, specs[0].seed);
+
+    let orchestrator = Orchestrator::over_testbed(SharedTestbed::new(network).with_threads(4));
+    let report = orchestrator.run(specs);
+
+    assert_eq!(
+        report.slices[0].result, solo,
+        "orchestrated slice-0 must be bit-identical to its sequential run"
+    );
+
+    println!(
+        "orchestrated {} slices over a shared testbed ({} rounds, {} queries):\n",
+        report.slices.len(),
+        report.rounds,
+        report.total_queries
+    );
+    print!("{}", report.summary());
+    println!("\n(slice-0 verified bit-identical to its sequential single-slice run)");
+}
