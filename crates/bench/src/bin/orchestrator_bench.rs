@@ -1,13 +1,24 @@
 //! Multi-slice orchestrator throughput benchmark emitting
 //! `BENCH_orchestrator.json`.
 //!
-//! Runs a fleet of concurrent stage-3 slice sessions against one shared
-//! emulated testbed and compares the wall-clock cost of (a) the sequential
-//! baseline — one `OnlineLearner::run` per slice — with (b) the
-//! orchestrated run at several scheduler thread counts. Before any timing
-//! is reported, the orchestrated fleet is checked **bit-for-bit** against
-//! the sequential results (the acceptance property of the orchestrator:
-//! co-scheduling must be a pure performance transform).
+//! Three sections:
+//!
+//! 1. **fleets** — a fixed fleet of concurrent stage-3 slice sessions
+//!    against one shared emulated testbed: wall-clock of (a) the
+//!    sequential baseline — one `OnlineLearner::run` per slice — vs (b)
+//!    the orchestrated run at several scheduler thread counts. Before any
+//!    timing is reported, the orchestrated fleet is checked **bit-for-bit**
+//!    against the sequential results (co-scheduling must be a pure
+//!    performance transform).
+//! 2. **sim_batching** — the offline-acceleration *simulator* queries
+//!    (they outnumber testbed queries `offline_updates`-to-1 per round)
+//!    routed through the shared `QueryScheduler` batch path vs evaluated
+//!    inline per session; both modes are asserted bit-identical first.
+//! 3. **churn** — elastic fleets (deterministic Poisson-ish
+//!    arrivals/departures through `FleetRun::admit`/`retire`) at three
+//!    budget tightness levels, asserted deterministic across scheduler
+//!    thread counts, reporting rejected admissions and the
+//!    granted-vs-requested usage gap.
 //!
 //! ```text
 //! cargo run --release -p atlas-bench --bin orchestrator_bench -- [--quick] [--out BENCH_orchestrator.json]
@@ -15,8 +26,11 @@
 
 use atlas::env::{RealEnv, Sla};
 use atlas::{OnlineLearner, Scenario, Simulator, Stage3Config, Stage3Result};
-use atlas_netsim::{RealNetwork, SharedTestbed};
-use atlas_orchestrator::{Orchestrator, SliceSpec};
+use atlas_netsim::{RealNetwork, ResourceBudget, SharedTestbed};
+use atlas_orchestrator::{
+    AcceptAll, AdmissionPolicy, ChurnConfig, ChurnWorkload, HeadroomThreshold, Orchestrator,
+    SliceSpec,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -127,6 +141,121 @@ fn main() {
         .flat_map(|f| f.orchestrated.iter().map(|p| p.2))
         .fold(f64::MIN, f64::max);
 
+    // ---- sim-query batching: inline (per-session) vs batched across the
+    // fleet over the shared scheduler. Bit-identity asserted first.
+    let sim_slices: u64 = 8;
+    let sim_threads = 4;
+    println!();
+    let sim_fleet = fleet(sim_slices, iterations, duration_s);
+    // Each round also runs `offline_updates` simulator queries per slice;
+    // read the factor off the fleet's own config so the reported
+    // queries/s can never drift from what `fleet()` actually runs.
+    let offline_updates = sim_fleet[0].learner.config().offline_updates;
+    let inline_orch = Orchestrator::new(SharedTestbed::new(network))
+        .with_threads(sim_threads)
+        .with_sim_batching(false);
+    let start = Instant::now();
+    let inline_report = inline_orch.run(sim_fleet);
+    let inline_ms = start.elapsed().as_secs_f64() * 1e3;
+    let batched_orch = Orchestrator::new(SharedTestbed::new(network))
+        .with_threads(sim_threads)
+        .with_sim_batching(true);
+    let start = Instant::now();
+    let batched_report = batched_orch.run(fleet(sim_slices, iterations, duration_s));
+    let batched_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        batched_report, inline_report,
+        "sim-query batching must be a pure performance transform"
+    );
+    // Simulator + real-network queries together.
+    let round_queries = inline_report.total_queries * (1 + offline_updates);
+    let inline_qps = round_queries as f64 / (inline_ms / 1e3);
+    let batched_qps = round_queries as f64 / (batched_ms / 1e3);
+    println!(
+        "sim batching ({sim_slices} slices, {sim_threads} threads): inline {inline_ms:.0} ms \
+         ({inline_qps:.2} q/s) -> batched {batched_ms:.0} ms ({batched_qps:.2} q/s), bit-identical"
+    );
+
+    // ---- churn: elastic fleets x budget tightness, determinism asserted
+    // across scheduler thread counts.
+    let churn_caps: &[usize] = if quick { &[8] } else { &[4, 8, 16] };
+    let tightness: &[(&str, f64)] = &[("unlimited", f64::INFINITY), ("1.0x", 1.0), ("0.5x", 0.5)];
+    struct ChurnPoint {
+        cap: usize,
+        tightness: &'static str,
+        slices_reported: usize,
+        rounds: usize,
+        total_queries: usize,
+        rejected: usize,
+        grant_gap: f64,
+        ms: f64,
+        qps: f64,
+    }
+    let mut churn_points: Vec<ChurnPoint> = Vec::new();
+    for &cap in churn_caps {
+        let config = if quick {
+            ChurnConfig::quick(42)
+        } else {
+            ChurnConfig::bench(42, cap)
+        };
+        let workload = ChurnWorkload::generate(&config);
+        // Record the cap the workload actually enforces (quick mode uses
+        // ChurnConfig::quick's own cap regardless of the sweep value).
+        let cap = workload.max_concurrent;
+        for (label, factor) in tightness {
+            let budget = if factor.is_finite() {
+                Some(ResourceBudget::carrier_default().scaled(*factor))
+            } else {
+                None
+            };
+            let run_at = |threads: usize| {
+                let testbed = match budget {
+                    Some(b) => SharedTestbed::new(network).with_budget(b),
+                    None => SharedTestbed::new(network),
+                };
+                let orchestrator = Orchestrator::new(testbed).with_threads(threads);
+                let policy: Box<dyn AdmissionPolicy> = match budget {
+                    Some(_) => Box::new(HeadroomThreshold { max_occupancy: 1.5 }),
+                    None => Box::new(AcceptAll),
+                };
+                workload.drive(&orchestrator, policy)
+            };
+            let start = Instant::now();
+            let (report, rounds) = run_at(4);
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            // Churned, contended fleets must stay deterministic across
+            // scheduler thread counts.
+            let (single, single_rounds) = run_at(1);
+            assert_eq!(single, report, "churn diverged across thread counts");
+            assert_eq!(single_rounds, rounds);
+            if budget.is_none() {
+                assert_eq!(report.mean_grant_gap, 0.0);
+                assert_eq!(report.rejected_admissions, 0);
+            }
+            let qps = report.total_queries as f64 / (ms / 1e3);
+            println!(
+                "churn (cap {cap}, budget {label}): {} slices, {} rounds, {} queries in \
+                 {ms:.0} ms ({qps:.2} q/s), rejected {}, grant gap {:.2}%",
+                report.slices.len(),
+                report.rounds,
+                report.total_queries,
+                report.rejected_admissions,
+                report.mean_grant_gap * 100.0,
+            );
+            churn_points.push(ChurnPoint {
+                cap,
+                tightness: label,
+                slices_reported: report.slices.len(),
+                rounds: report.rounds,
+                total_queries: report.total_queries,
+                rejected: report.rejected_admissions,
+                grant_gap: report.mean_grant_gap,
+                ms,
+                qps,
+            });
+        }
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"multi_slice_orchestrator\",\n");
@@ -170,6 +299,45 @@ fn main() {
         let _ = writeln!(json, "     ]}}{comma}");
     }
     json.push_str("  ],\n");
+    json.push_str("  \"sim_batching\": {\n");
+    let _ = writeln!(json, "    \"slices\": {sim_slices},");
+    let _ = writeln!(json, "    \"threads\": {sim_threads},");
+    let _ = writeln!(
+        json,
+        "    \"offline_updates_per_iteration\": {offline_updates},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"inline\": {{\"ms\": {inline_ms:.1}, \"queries_per_s\": {inline_qps:.3}}},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"batched\": {{\"ms\": {batched_ms:.1}, \"queries_per_s\": {batched_qps:.3}}},"
+    );
+    json.push_str("    \"bit_identical\": true\n");
+    json.push_str("  },\n");
+    json.push_str("  \"churn\": [\n");
+    for (i, p) in churn_points.iter().enumerate() {
+        let comma = if i + 1 < churn_points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"max_concurrent\": {}, \"budget_tightness\": \"{}\", \
+             \"slices_reported\": {}, \"rounds\": {}, \"total_queries\": {}, \
+             \"rejected_admissions\": {}, \"mean_grant_gap\": {:.4}, \"ms\": {:.1}, \
+             \"queries_per_s\": {:.3}}}{comma}",
+            p.cap,
+            p.tightness,
+            p.slices_reported,
+            p.rounds,
+            p.total_queries,
+            p.rejected,
+            p.grant_gap,
+            p.ms,
+            p.qps,
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"deterministic_across_thread_counts\": true,\n");
     json.push_str("  \"bit_identical_to_sequential\": true,\n");
     let _ = writeln!(json, "  \"best_queries_per_s\": {best_qps:.3}");
     json.push_str("}\n");

@@ -6,7 +6,10 @@
 //! three stages are written once and run against either.
 
 use atlas_math::stats;
-use atlas_netsim::{RealNetwork, Scenario, SharedTestbed, Simulator, SliceConfig, TraceSummary};
+use atlas_netsim::{
+    ContentionPolicy, RealNetwork, ResourceBudget, Scenario, SharedTestbed, Simulator, SliceConfig,
+    TraceSummary,
+};
 
 /// The service-level agreement of a slice: the latency threshold `Y` and
 /// the required probability `E` of meeting it (Eq. 6).
@@ -60,6 +63,28 @@ pub struct QoeSample {
 pub trait Environment: Sync {
     /// Measures the slice under `config` in `scenario`.
     fn measure(&self, config: &SliceConfig, scenario: &Scenario) -> TraceSummary;
+
+    /// Jointly grants one round of *concurrent* configuration requests:
+    /// environments with a finite substrate (a budgeted
+    /// [`SharedTestbed`]) scale over-subscribed demands down before any
+    /// measurement runs, so co-scheduled sessions observe the resources
+    /// they were actually *granted*, not the ones they asked for. Element
+    /// `i` of the result answers `requested[i]`.
+    ///
+    /// The default is the uncontended identity grant, which keeps every
+    /// single-slice path — and any testbed with
+    /// [`ResourceBudget::unlimited`] — bit-for-bit what it was before
+    /// budgets existed.
+    fn grant_round(&self, requested: &[SliceConfig]) -> Vec<SliceConfig> {
+        requested.to_vec()
+    }
+
+    /// The finite resource budget concurrent queries contend for, if the
+    /// environment has one (admission policies read occupancy from it).
+    /// `None` means the environment is uncontended.
+    fn resource_budget(&self) -> Option<ResourceBudget> {
+        None
+    }
 
     /// Convenience: measure and reduce to a [`QoeSample`]. The paper's
     /// minimum connectivity allocation (6 UL / 3 DL PRBs) is enforced
@@ -120,9 +145,20 @@ impl Environment for RealEnv {
 /// a run on the wrapped network, identical to [`RealEnv`] over the same
 /// [`RealNetwork`]. (Batch fan-out stays the scheduler's job; this impl is
 /// what lets orchestrated and sequential runs share one environment value.)
-impl Environment for SharedTestbed {
+/// Its [`Environment::grant_round`] applies the testbed's budget and
+/// contention policy, and [`Environment::resource_budget`] exposes the
+/// budget to admission policies.
+impl<P: ContentionPolicy> Environment for SharedTestbed<P> {
     fn measure(&self, config: &SliceConfig, scenario: &Scenario) -> TraceSummary {
         self.network().run(config, scenario)
+    }
+
+    fn grant_round(&self, requested: &[SliceConfig]) -> Vec<SliceConfig> {
+        self.grant(requested)
+    }
+
+    fn resource_budget(&self) -> Option<ResourceBudget> {
+        Some(*self.budget())
     }
 }
 
@@ -258,6 +294,28 @@ mod tests {
             shared.query(&cfg, &scenario(), &sla),
             real.query(&cfg, &scenario(), &sla)
         );
+    }
+
+    #[test]
+    fn budgeted_testbed_grants_through_the_environment_trait() {
+        let network = RealNetwork::prototype();
+        // Uncontended environments grant requests verbatim and expose no
+        // budget.
+        let real = RealEnv::new(network);
+        let requested = vec![SliceConfig::default_generous(); 3];
+        assert_eq!(real.grant_round(&requested), requested);
+        assert!(real.resource_budget().is_none());
+        let unlimited = SharedTestbed::new(network);
+        assert_eq!(unlimited.grant_round(&requested), requested);
+        assert!(unlimited
+            .resource_budget()
+            .is_some_and(|b| b.is_unlimited()));
+        // A finite budget scales over-subscribed rounds.
+        let tight = SharedTestbed::new(network)
+            .with_budget(atlas_netsim::ResourceBudget::carrier_default().scaled(0.5));
+        let granted = tight.grant_round(&requested);
+        assert!(granted[0].bandwidth_ul < requested[0].bandwidth_ul);
+        assert!(tight.resource_budget().is_some_and(|b| !b.is_unlimited()));
     }
 
     #[test]

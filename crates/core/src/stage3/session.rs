@@ -72,6 +72,11 @@ pub struct SliceSession {
     history: Vec<OnlineOutcome>,
     /// The suggestion awaiting its measurement, if any.
     pending: Option<SliceQuery>,
+    /// Offline-acceleration updates already applied for the upcoming
+    /// iteration (reset each time a real suggestion is issued).
+    accel_done: usize,
+    /// Features of the outstanding acceleration query, if any.
+    accel_pending: Option<Vec<f64>>,
 }
 
 impl SliceSession {
@@ -132,6 +137,8 @@ impl SliceSession {
             initial_config,
             history: Vec::with_capacity(capacity),
             pending: None,
+            accel_done: 0,
+            accel_pending: None,
         }
     }
 
@@ -171,78 +178,167 @@ impl SliceSession {
         &self.config
     }
 
+    /// The session's augmented-simulator environment: what the queries
+    /// returned by [`SliceSession::accel_suggest`] must be evaluated
+    /// against (each session may carry its own calibrated simulator).
+    pub fn sim_env(&self) -> &SimulatorEnv {
+        &self.sim_env
+    }
+
+    /// Offline-acceleration simulator updates still owed before the next
+    /// real suggestion (0 when acceleration is disabled, the iteration's
+    /// updates are exhausted, or the session is done).
+    pub fn accel_remaining(&self) -> usize {
+        if !self.config.offline_acceleration || self.is_done() || self.pending.is_some() {
+            return 0;
+        }
+        self.config.offline_updates.saturating_sub(self.accel_done)
+    }
+
+    /// Selects the candidate for the next offline-acceleration multiplier
+    /// update (Eq. 15) and returns the **simulator** query that must be
+    /// evaluated — against this session's own [`SliceSession::sim_env`] —
+    /// before [`SliceSession::accel_observe`] can apply the update.
+    /// Returns `None` when no acceleration updates remain; callers then
+    /// move on to [`SliceSession::suggest`], which also drains any
+    /// remaining updates itself, so single-slice drivers never need this
+    /// API. A multi-slice orchestrator uses it to batch the per-round
+    /// simulator queries of many sessions (they outnumber real-network
+    /// queries `offline_updates`-to-1) over worker threads; the split is
+    /// exact because the simulator query consumes no session RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an acceleration query or a real suggestion is already
+    /// outstanding.
+    pub fn accel_suggest(&mut self) -> Option<SliceQuery> {
+        assert!(
+            self.accel_pending.is_none(),
+            "SliceSession::accel_suggest called with an acceleration \
+             observation outstanding; feed the simulator QoE to \
+             accel_observe() first"
+        );
+        assert!(
+            self.pending.is_none(),
+            "SliceSession::accel_suggest called with a real observation \
+             outstanding; feed the previous SliceQuery's measurement to \
+             observe() first"
+        );
+        if self.accel_remaining() == 0 {
+            return None;
+        }
+        let iteration = self.history.len();
+        let cfg = &self.config;
+        let candidates = self.space.sample_n(cfg.candidates.min(400), &mut self.rng);
+        let best_cfg = match &self.residual_model {
+            // GP residual: batched scoring (no RNG in this path).
+            ResidualModel::Gp(gp) => self.policy.select_min_lagrangian_gp(
+                gp,
+                &candidates,
+                self.run_scenario.traffic,
+                self.multiplier,
+                None,
+            ),
+            // BNN variants consume the RNG per candidate; keep
+            // the sequential loop.
+            _ => self.policy.select_min_lagrangian_seq(
+                &self.residual_model,
+                self.continued_bnn.as_ref(),
+                &candidates,
+                self.run_scenario.traffic,
+                self.multiplier,
+                None,
+                &mut self.rng,
+            ),
+        };
+        // The acceleration stream lives in [ACCEL_STREAM_BASE, …),
+        // disjoint from the real-measurement (70 000 + i) and
+        // observe-side simulator (80 000 + i) streams, so no
+        // channel-trace RNG sequence is ever replayed across the
+        // three query kinds within a run.
+        let sim_seed = derive_seed(
+            self.seed,
+            ACCEL_STREAM_BASE + (iteration * 1000 + self.accel_done) as u64,
+        );
+        self.accel_pending = Some(policy_features(
+            &best_cfg,
+            self.run_scenario.traffic,
+            &self.policy.sla,
+        ));
+        Some(SliceQuery {
+            config: best_cfg,
+            scenario: self.run_scenario.with_seed(sim_seed),
+            sla: self.policy.sla,
+            iteration,
+        })
+    }
+
+    /// Applies the multiplier update (Eq. 15) for the outstanding
+    /// acceleration query. `sim_qoe` must be the QoE of
+    /// `sim_env().query(...)` for the query returned by
+    /// [`SliceSession::accel_suggest`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no acceleration query is outstanding.
+    pub fn accel_observe(&mut self, sim_qoe: f64) {
+        let features = self
+            .accel_pending
+            .take()
+            .expect("SliceSession::accel_observe called without an outstanding acceleration query");
+        let (g, _) = self
+            .policy
+            .residual_estimate(&self.residual_model, &features, &mut self.rng);
+        // Eq. 15.
+        self.multiplier = (self.multiplier
+            - self.config.epsilon * (sim_qoe + g - self.policy.sla.qoe_target))
+            .max(0.0);
+        self.accel_done += 1;
+    }
+
     /// Runs the offline-acceleration multiplier loop and selects the next
     /// online action (Algorithm 3 up to the real-network query). Returns
     /// `None` once all configured iterations have been observed.
+    ///
+    /// Acceleration updates already applied through the
+    /// [`SliceSession::accel_suggest`] / [`SliceSession::accel_observe`]
+    /// split are not repeated: this method only drains whatever updates
+    /// remain, so both driving styles produce byte-identical sessions.
     ///
     /// # Panics
     ///
     /// Panics if a previous suggestion has not been fed back through
     /// [`SliceSession::observe`] — the session is a strict
-    /// suggest → observe alternation.
+    /// suggest → observe alternation — or if an acceleration query is
+    /// awaiting its [`SliceSession::accel_observe`].
     pub fn suggest(&mut self) -> Option<SliceQuery> {
         assert!(
             self.pending.is_none(),
             "SliceSession::suggest called with an observation outstanding; \
              feed the previous SliceQuery's measurement to observe() first"
         );
+        assert!(
+            self.accel_pending.is_none(),
+            "SliceSession::suggest called with an acceleration observation \
+             outstanding; feed the simulator QoE to accel_observe() first"
+        );
         if self.is_done() {
             return None;
         }
         let iteration = self.history.len();
-        let cfg = &self.config;
 
         // ---------- offline acceleration: update λ in the simulator ----
-        if cfg.offline_acceleration && cfg.offline_updates > 0 {
-            for n in 0..cfg.offline_updates {
-                let candidates = self.space.sample_n(cfg.candidates.min(400), &mut self.rng);
-                let best_cfg = match &self.residual_model {
-                    // GP residual: batched scoring (no RNG in this path).
-                    ResidualModel::Gp(gp) => self.policy.select_min_lagrangian_gp(
-                        gp,
-                        &candidates,
-                        self.run_scenario.traffic,
-                        self.multiplier,
-                        None,
-                    ),
-                    // BNN variants consume the RNG per candidate; keep
-                    // the sequential loop.
-                    _ => self.policy.select_min_lagrangian_seq(
-                        &self.residual_model,
-                        self.continued_bnn.as_ref(),
-                        &candidates,
-                        self.run_scenario.traffic,
-                        self.multiplier,
-                        None,
-                        &mut self.rng,
-                    ),
-                };
-                // Query the augmented simulator for Q_s and estimate G.
-                // The acceleration stream lives in [ACCEL_STREAM_BASE, …),
-                // disjoint from the real-measurement (70 000 + i) and
-                // observe-side simulator (80 000 + i) streams, so no
-                // channel-trace RNG sequence is ever replayed across the
-                // three query kinds within a run.
-                let sim_seed =
-                    derive_seed(self.seed, ACCEL_STREAM_BASE + (iteration * 1000 + n) as u64);
-                let qs = self
-                    .sim_env
-                    .query(
-                        &best_cfg,
-                        &self.run_scenario.with_seed(sim_seed),
-                        &self.policy.sla,
-                    )
-                    .qoe;
-                let f = policy_features(&best_cfg, self.run_scenario.traffic, &self.policy.sla);
-                let (g, _) = self
-                    .policy
-                    .residual_estimate(&self.residual_model, &f, &mut self.rng);
-                // Eq. 15.
-                self.multiplier = (self.multiplier
-                    - cfg.epsilon * (qs + g - self.policy.sla.qoe_target))
-                    .max(0.0);
-            }
+        // (Drains whatever updates an external driver has not already
+        // applied through the accel_suggest/accel_observe split.)
+        while let Some(query) = self.accel_suggest() {
+            let qs = self
+                .sim_env
+                .query(&query.config, &query.scenario, &query.sla)
+                .qoe;
+            self.accel_observe(qs);
         }
+        self.accel_done = 0;
+        let cfg = &self.config;
 
         // ---------- select the online action ---------------------------
         let chosen = if iteration == 0 {
@@ -450,6 +546,60 @@ mod tests {
         assert_eq!(session.history(), via_run.history.as_slice());
         let via_session = session.finish();
         assert_eq!(via_session, via_run);
+    }
+
+    #[test]
+    fn externally_driven_acceleration_matches_monolithic_suggest_exactly() {
+        let learner = tiny_learner(5);
+        let real = RealEnv::new(RealNetwork::prototype());
+        let scenario = Scenario::default_with_seed(5).with_duration(6.0);
+        let monolithic = learner.run(&real, &scenario, 37);
+
+        // Drive the acceleration loop externally, evaluating each simulator
+        // query ourselves — the way the orchestrator batches them across
+        // slices — and the session must not notice the difference.
+        let mut session = learner.begin(&scenario, 37);
+        let updates = session.config().offline_updates;
+        loop {
+            assert_eq!(session.accel_remaining(), updates.min(1) * updates);
+            let mut drained = 0;
+            while let Some(q) = session.accel_suggest() {
+                let qs = session.sim_env().query(&q.config, &q.scenario, &q.sla).qoe;
+                session.accel_observe(qs);
+                drained += 1;
+            }
+            assert_eq!(drained, updates);
+            assert_eq!(session.accel_remaining(), 0);
+            let Some(query) = session.suggest() else {
+                unreachable!("drained sessions still owe a real suggestion")
+            };
+            let sample = real.query(&query.config, &query.scenario, &query.sla);
+            session.observe(sample);
+            if session.is_done() {
+                break;
+            }
+        }
+        assert!(session.suggest().is_none());
+        assert_eq!(session.finish(), monolithic);
+    }
+
+    #[test]
+    #[should_panic(expected = "without an outstanding acceleration query")]
+    fn accel_observe_without_accel_suggest_panics() {
+        let learner = tiny_learner(6);
+        let scenario = Scenario::default_with_seed(6).with_duration(6.0);
+        let mut session = learner.begin(&scenario, 3);
+        session.accel_observe(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "acceleration observation outstanding")]
+    fn suggest_with_accel_outstanding_panics() {
+        let learner = tiny_learner(7);
+        let scenario = Scenario::default_with_seed(7).with_duration(6.0);
+        let mut session = learner.begin(&scenario, 3);
+        let _ = session.accel_suggest().expect("acceleration is on");
+        let _ = session.suggest();
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! Finite resource budgets and cross-slice contention.
+//!
+//! PR 3's [`crate::SharedTestbed`] granted every concurrent slice its
+//! configured resources unconditionally — slices shared the evaluation
+//! engine but never the substrate. Real slices share *finite*
+//! infrastructure: one carrier's PRBs, one metered backhaul, one edge
+//! server's CPU shares (cf. ONAP-style 5G slice deployment,
+//! arXiv:1907.02278). This module models that substrate:
+//!
+//! * [`ResourceBudget`] — the testbed's per-dimension capacity (UL/DL
+//!   PRBs, backhaul Mbps, edge CPU shares). [`ResourceBudget::unlimited`]
+//!   reproduces the uncontended PR 3 behaviour bit-for-bit.
+//! * [`ContentionPolicy`] — how an over-subscribed dimension's capacity is
+//!   split among the concurrent demands. [`ProportionalFair`] (the
+//!   default) scales every demand by the same factor; [`MaxMinFair`]
+//!   water-fills so small demands are served in full first.
+//! * [`grant_round`] — applies the policy per dimension to one round of
+//!   concurrent configuration requests; deterministic and independent of
+//!   any evaluation threading.
+//! * [`GrantFractions`] — the granted-vs-requested gap of one measurement,
+//!   surfaced through `TraceSummary`.
+//!
+//! MCS offsets are robustness knobs, not substrate resources; they pass
+//! through granting untouched.
+
+use crate::config::SliceConfig;
+
+/// Number of contended resource dimensions (UL PRBs, DL PRBs, backhaul
+/// Mbps, CPU shares).
+pub const RESOURCE_DIMS: usize = 4;
+
+/// The finite per-dimension capacity of a shared testbed.
+///
+/// An infinite capacity means that dimension never contends. Slices'
+/// demands are taken from their [`SliceConfig`]s: `bandwidth_ul`,
+/// `bandwidth_dl`, `backhaul_bw` and `cpu_ratio` in that order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceBudget {
+    /// Total uplink PRBs available across all concurrent slices.
+    pub ul_prbs: f64,
+    /// Total downlink PRBs available across all concurrent slices.
+    pub dl_prbs: f64,
+    /// Total backhaul bandwidth in Mbps across all concurrent slices.
+    pub backhaul_mbps: f64,
+    /// Total edge CPU shares across all concurrent slices (each slice's
+    /// `cpu_ratio` claims up to 1.0 of a share).
+    pub cpu_shares: f64,
+}
+
+impl ResourceBudget {
+    /// An infinite budget: no dimension ever contends. A testbed with this
+    /// budget behaves bit-for-bit like the pre-budget `SharedTestbed`.
+    pub fn unlimited() -> Self {
+        Self {
+            ul_prbs: f64::INFINITY,
+            dl_prbs: f64::INFINITY,
+            backhaul_mbps: f64::INFINITY,
+            cpu_shares: f64::INFINITY,
+        }
+    }
+
+    /// The default physical substrate of the reproduction's testbed: one
+    /// 10 MHz LTE carrier (50 PRBs each way), a 100 Mbps metered backhaul
+    /// and a 4-core edge server.
+    pub fn carrier_default() -> Self {
+        Self {
+            ul_prbs: crate::config::TOTAL_PRBS,
+            dl_prbs: crate::config::TOTAL_PRBS,
+            backhaul_mbps: crate::config::MAX_BACKHAUL_MBPS,
+            cpu_shares: 4.0,
+        }
+    }
+
+    /// Scales every finite dimension by `factor` (tightness knob for
+    /// contention studies; infinite dimensions stay infinite).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        for c in [
+            &mut self.ul_prbs,
+            &mut self.dl_prbs,
+            &mut self.backhaul_mbps,
+            &mut self.cpu_shares,
+        ] {
+            if c.is_finite() {
+                *c *= factor;
+            }
+        }
+        self
+    }
+
+    /// Whether every dimension is infinite (no contention possible).
+    pub fn is_unlimited(&self) -> bool {
+        self.capacities().iter().all(|c| c.is_infinite())
+    }
+
+    /// Per-dimension capacities in demand order (UL PRBs, DL PRBs,
+    /// backhaul Mbps, CPU shares).
+    pub fn capacities(&self) -> [f64; RESOURCE_DIMS] {
+        [
+            self.ul_prbs,
+            self.dl_prbs,
+            self.backhaul_mbps,
+            self.cpu_shares,
+        ]
+    }
+
+    /// The per-dimension demand a configuration places on the budget.
+    pub fn demand_of(config: &SliceConfig) -> [f64; RESOURCE_DIMS] {
+        [
+            config.bandwidth_ul,
+            config.bandwidth_dl,
+            config.backhaul_bw,
+            config.cpu_ratio,
+        ]
+    }
+
+    /// Per-dimension occupancy of a set of concurrent demands: summed
+    /// demand over capacity (0 for infinite dimensions). Values above 1
+    /// mean the dimension is over-subscribed and grants will be scaled.
+    pub fn occupancy(&self, demands: &[SliceConfig]) -> [f64; RESOURCE_DIMS] {
+        let capacities = self.capacities();
+        let mut occ = [0.0; RESOURCE_DIMS];
+        for config in demands {
+            let d = Self::demand_of(config);
+            for (o, (demand, capacity)) in occ.iter_mut().zip(d.iter().zip(capacities.iter())) {
+                if capacity.is_finite() && *capacity > 0.0 {
+                    *o += demand / capacity;
+                }
+            }
+        }
+        occ
+    }
+
+    /// The most-occupied dimension's occupancy (the admission-relevant
+    /// scalar).
+    pub fn max_occupancy(&self, demands: &[SliceConfig]) -> f64 {
+        self.occupancy(demands).into_iter().fold(0.0f64, f64::max)
+    }
+}
+
+impl Default for ResourceBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// How one over-subscribed resource dimension's capacity is split among
+/// concurrent demands.
+///
+/// Implementations must be **deterministic** (grants are computed once per
+/// round, before any evaluation fan-out, so results are identical for every
+/// thread count) and must never grant more than requested or more than the
+/// capacity in total when the dimension is over-subscribed.
+pub trait ContentionPolicy: Sync {
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Splits `capacity` among `requested` demands, returning one grant per
+    /// demand. Called only when `sum(requested) > capacity` and `capacity`
+    /// is finite; the uncontended case is short-circuited by
+    /// [`grant_round`].
+    fn split(&self, requested: &[f64], capacity: f64) -> Vec<f64>;
+}
+
+/// Proportional-fair contention: every demand is scaled by the same factor
+/// `capacity / total_demand`, so each slice keeps the same *share* of its
+/// request. The default policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProportionalFair;
+
+impl ContentionPolicy for ProportionalFair {
+    fn name(&self) -> &'static str {
+        "proportional-fair"
+    }
+
+    fn split(&self, requested: &[f64], capacity: f64) -> Vec<f64> {
+        let total: f64 = requested.iter().sum();
+        if total <= capacity || total <= 0.0 {
+            return requested.to_vec();
+        }
+        let scale = capacity / total;
+        requested.iter().map(|r| r * scale).collect()
+    }
+}
+
+/// Max-min fair (water-filling) contention: the capacity is split evenly,
+/// demands below their even share are served in full, and the slack is
+/// redistributed among the still-unsatisfied demands until none remains.
+/// Small slices are insulated from large ones at the price of deeper cuts
+/// to the largest demands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaxMinFair;
+
+impl ContentionPolicy for MaxMinFair {
+    fn name(&self) -> &'static str {
+        "max-min-fair"
+    }
+
+    fn split(&self, requested: &[f64], capacity: f64) -> Vec<f64> {
+        let total: f64 = requested.iter().sum();
+        if total <= capacity || total <= 0.0 {
+            return requested.to_vec();
+        }
+        let mut grants = vec![0.0; requested.len()];
+        let mut unsatisfied: Vec<usize> = (0..requested.len()).collect();
+        let mut remaining = capacity;
+        // Each pass serves every demand at or below the fair share in full
+        // and removes it; at most `n` passes before only demands above the
+        // share remain, which then split the rest evenly.
+        loop {
+            let share = remaining / unsatisfied.len() as f64;
+            let (below, above): (Vec<usize>, Vec<usize>) = unsatisfied
+                .iter()
+                .partition(|&&i| requested[i] <= share + 1e-12);
+            if below.is_empty() {
+                for &i in &above {
+                    grants[i] = share;
+                }
+                break;
+            }
+            for &i in &below {
+                grants[i] = requested[i];
+                remaining -= requested[i];
+            }
+            if above.is_empty() {
+                break;
+            }
+            unsatisfied = above;
+        }
+        grants
+    }
+}
+
+/// Grants one round of concurrent configuration requests against a budget:
+/// per resource dimension, demands that fit are granted verbatim and
+/// over-subscribed dimensions are split by `policy`. MCS offsets pass
+/// through untouched. Uncontended rounds return the requests bit-for-bit.
+pub fn grant_round<P: ContentionPolicy>(
+    budget: &ResourceBudget,
+    policy: &P,
+    requested: &[SliceConfig],
+) -> Vec<SliceConfig> {
+    let mut granted = requested.to_vec();
+    if requested.is_empty() || budget.is_unlimited() {
+        return granted;
+    }
+    for (dim, capacity) in budget.capacities().into_iter().enumerate() {
+        if !capacity.is_finite() {
+            continue;
+        }
+        let demands: Vec<f64> = requested
+            .iter()
+            .map(|c| ResourceBudget::demand_of(c)[dim])
+            .collect();
+        if demands.iter().sum::<f64>() <= capacity {
+            continue;
+        }
+        let grants = policy.split(&demands, capacity);
+        assert_eq!(
+            grants.len(),
+            demands.len(),
+            "contention policy {:?} returned {} grants for {} demands",
+            policy.name(),
+            grants.len(),
+            demands.len()
+        );
+        for (config, grant) in granted.iter_mut().zip(grants) {
+            match dim {
+                0 => config.bandwidth_ul = grant,
+                1 => config.bandwidth_dl = grant,
+                2 => config.backhaul_bw = grant,
+                _ => config.cpu_ratio = grant,
+            }
+        }
+    }
+    granted
+}
+
+/// Granted-over-requested fraction per resource dimension for one
+/// measurement (all 1.0 for uncontended runs). Surfaced through
+/// `TraceSummary::grant` by budget-aware batch entry points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrantFractions {
+    /// Fraction of the requested uplink PRBs granted.
+    pub ul_prbs: f64,
+    /// Fraction of the requested downlink PRBs granted.
+    pub dl_prbs: f64,
+    /// Fraction of the requested backhaul bandwidth granted.
+    pub backhaul_mbps: f64,
+    /// Fraction of the requested CPU share granted.
+    pub cpu_shares: f64,
+}
+
+impl GrantFractions {
+    /// Computes the fractions between a requested and a granted
+    /// configuration (1.0 where nothing was requested).
+    pub fn of(requested: &SliceConfig, granted: &SliceConfig) -> Self {
+        let req = ResourceBudget::demand_of(requested);
+        let got = ResourceBudget::demand_of(granted);
+        let frac = |i: usize| if req[i] > 0.0 { got[i] / req[i] } else { 1.0 };
+        Self {
+            ul_prbs: frac(0),
+            dl_prbs: frac(1),
+            backhaul_mbps: frac(2),
+            cpu_shares: frac(3),
+        }
+    }
+
+    /// The worst (smallest) per-dimension fraction.
+    pub fn min(&self) -> f64 {
+        self.ul_prbs
+            .min(self.dl_prbs)
+            .min(self.backhaul_mbps)
+            .min(self.cpu_shares)
+    }
+
+    /// Whether the full request was granted in every dimension.
+    pub fn is_full(&self) -> bool {
+        self.min() >= 1.0 - 1e-12
+    }
+}
+
+impl Default for GrantFractions {
+    fn default() -> Self {
+        Self {
+            ul_prbs: 1.0,
+            dl_prbs: 1.0,
+            backhaul_mbps: 1.0,
+            cpu_shares: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(ul: f64, dl: f64, bh: f64, cpu: f64) -> SliceConfig {
+        SliceConfig {
+            bandwidth_ul: ul,
+            bandwidth_dl: dl,
+            mcs_offset_ul: 1.0,
+            mcs_offset_dl: 2.0,
+            backhaul_bw: bh,
+            cpu_ratio: cpu,
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_grants_requests_verbatim() {
+        let budget = ResourceBudget::unlimited();
+        assert!(budget.is_unlimited());
+        let requested = vec![cfg(40.0, 45.0, 90.0, 1.0); 8];
+        let granted = grant_round(&budget, &ProportionalFair, &requested);
+        assert_eq!(granted, requested);
+        assert_eq!(budget.max_occupancy(&requested), 0.0);
+    }
+
+    #[test]
+    fn proportional_fair_scales_oversubscribed_dimensions_only() {
+        let budget = ResourceBudget::carrier_default();
+        // UL over-subscribed 2x; DL, backhaul and CPU fit.
+        let requested = vec![cfg(40.0, 10.0, 20.0, 0.5), cfg(60.0, 10.0, 20.0, 0.5)];
+        let granted = grant_round(&budget, &ProportionalFair, &requested);
+        assert!((granted[0].bandwidth_ul - 20.0).abs() < 1e-9);
+        assert!((granted[1].bandwidth_ul - 30.0).abs() < 1e-9);
+        // Untouched dimensions (including MCS offsets) pass through.
+        assert_eq!(granted[0].bandwidth_dl, 10.0);
+        assert_eq!(granted[0].backhaul_bw, 20.0);
+        assert_eq!(granted[0].cpu_ratio, 0.5);
+        assert_eq!(granted[0].mcs_offset_ul, 1.0);
+        assert_eq!(granted[1].mcs_offset_dl, 2.0);
+    }
+
+    #[test]
+    fn max_min_fair_waterfills() {
+        let grants = MaxMinFair.split(&[2.0, 10.0, 10.0], 12.0);
+        // The small demand is served in full; the two big ones split the rest.
+        assert!((grants[0] - 2.0).abs() < 1e-9);
+        assert!((grants[1] - 5.0).abs() < 1e-9);
+        assert!((grants[2] - 5.0).abs() < 1e-9);
+        // Uncontended: verbatim.
+        assert_eq!(MaxMinFair.split(&[1.0, 2.0], 12.0), vec![1.0, 2.0]);
+        assert_eq!(MaxMinFair.name(), "max-min-fair");
+        assert_eq!(ProportionalFair.name(), "proportional-fair");
+    }
+
+    #[test]
+    fn occupancy_sums_demands_per_dimension() {
+        let budget = ResourceBudget::carrier_default();
+        let demands = vec![cfg(25.0, 25.0, 50.0, 1.0), cfg(25.0, 25.0, 50.0, 1.0)];
+        let occ = budget.occupancy(&demands);
+        assert!((occ[0] - 1.0).abs() < 1e-12);
+        assert!((occ[1] - 1.0).abs() < 1e-12);
+        assert!((occ[2] - 1.0).abs() < 1e-12);
+        assert!((occ[3] - 0.5).abs() < 1e-12);
+        assert!((budget.max_occupancy(&demands) - 1.0).abs() < 1e-12);
+        // Tightening the budget doubles occupancy.
+        let tight = budget.scaled(0.5);
+        assert!((tight.max_occupancy(&demands) - 2.0).abs() < 1e-12);
+        // Scaling an unlimited budget keeps it unlimited.
+        assert!(ResourceBudget::unlimited().scaled(0.5).is_unlimited());
+    }
+
+    #[test]
+    fn grant_fractions_report_the_gap() {
+        let requested = cfg(40.0, 10.0, 20.0, 0.8);
+        let mut granted = requested;
+        granted.bandwidth_ul = 20.0;
+        granted.cpu_ratio = 0.4;
+        let g = GrantFractions::of(&requested, &granted);
+        assert!((g.ul_prbs - 0.5).abs() < 1e-12);
+        assert_eq!(g.dl_prbs, 1.0);
+        assert!((g.cpu_shares - 0.5).abs() < 1e-12);
+        assert!((g.min() - 0.5).abs() < 1e-12);
+        assert!(!g.is_full());
+        assert!(GrantFractions::default().is_full());
+        // Zero requests count as fully granted.
+        let zero = cfg(0.0, 0.0, 0.0, 0.0);
+        assert!(GrantFractions::of(&zero, &zero).is_full());
+    }
+}

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod budget;
 pub mod config;
 pub mod edge;
 pub mod engine;
@@ -52,6 +53,9 @@ pub mod radio;
 pub mod testbed;
 pub mod transport;
 
+pub use budget::{
+    ContentionPolicy, GrantFractions, MaxMinFair, ProportionalFair, ResourceBudget, RESOURCE_DIMS,
+};
 pub use config::{Mobility, Scenario, SimParams, SliceConfig};
 pub use network::{LatencyBreakdown, LinkEnvironment, Simulator, TraceSummary};
 pub use testbed::{RealNetwork, RealWorldProfile, SharedTestbed};

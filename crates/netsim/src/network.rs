@@ -13,6 +13,7 @@
 //! every physical assumption in one place.
 
 use crate::app::FrameSource;
+use crate::budget::GrantFractions;
 use crate::config::{Mobility, Scenario, SimParams, SliceConfig};
 use crate::edge::EdgeServer;
 use crate::engine::{EventQueue, Station};
@@ -117,6 +118,12 @@ pub struct TraceSummary {
     pub breakdown: LatencyBreakdown,
     /// Utilisation of the edge compute server during the run.
     pub edge_utilization: f64,
+    /// Granted-over-requested resource fractions for this measurement.
+    /// `run_end_to_end` itself always reports a full grant; budget-aware
+    /// batch entry points (`SharedTestbed::run_batch` under a finite
+    /// [`crate::budget::ResourceBudget`]) overwrite it with the contention
+    /// outcome, so the granted-vs-requested gap travels with the trace.
+    pub grant: GrantFractions,
 }
 
 impl TraceSummary {
@@ -332,6 +339,7 @@ pub fn run_end_to_end(
         ping_delay_ms: ping,
         breakdown,
         edge_utilization: edge_station.utilization(duration_ms),
+        grant: GrantFractions::default(),
         latencies_ms: latencies,
     }
 }

@@ -23,6 +23,9 @@
 //! used by the Atlas algorithms; it is only accessible to tests via
 //! [`RealWorldProfile`] so invariants can be checked.
 
+use crate::budget::{
+    grant_round, ContentionPolicy, GrantFractions, ProportionalFair, ResourceBudget,
+};
 use crate::config::{Scenario, SliceConfig};
 use crate::network::{run_end_to_end, LinkEnvironment, TraceSummary};
 use crate::radio::{LogDistancePathloss, RadioEnvironment};
@@ -166,31 +169,52 @@ impl Default for RealNetwork {
 /// (of which a `SharedTestbed` is one). Both fan out over the same
 /// deterministic thread pool.
 ///
+/// ## Finite substrate
+///
+/// The testbed owns a [`ResourceBudget`]: the finite PRB / backhaul / CPU
+/// capacity every concurrent slice draws from. When one round of batch
+/// jobs over-subscribes a dimension, the grants are scaled down by the
+/// testbed's [`ContentionPolicy`] ([`ProportionalFair`] by default) before
+/// any measurement runs, and each trace's [`TraceSummary::grant`] records
+/// the granted-vs-requested gap. Granting is computed sequentially from
+/// the whole batch, so contended results are still bit-for-bit identical
+/// for every thread count. The default budget is
+/// [`ResourceBudget::unlimited`], which reproduces the uncontended
+/// behaviour exactly.
+///
 /// The underlying [`RealNetwork`] is stateless per measurement — each run
 /// derives everything from `(config, scenario)`, with the RNG stream seeded
-/// from the scenario — so evaluating N slices' queries concurrently is
-/// byte-identical to running them one after another. [`SharedTestbed::run_batch`]
-/// exploits that: jobs are split into contiguous chunks over scoped threads
-/// (via `atlas-math::parallel`) and reassembled in job order, so the result
-/// vector is bit-for-bit independent of the thread count. Per-slice
-/// reproducibility therefore reduces to per-slice seed discipline, which the
-/// callers provide by embedding a derived seed in every job's [`Scenario`].
+/// from the scenario — so evaluating N slices' (granted) queries
+/// concurrently is byte-identical to running them one after another.
+/// [`SharedTestbed::run_batch`] exploits that: jobs are split into
+/// contiguous chunks over scoped threads (via `atlas-math::parallel`) and
+/// reassembled in job order, so the result vector is bit-for-bit
+/// independent of the thread count. Per-slice reproducibility therefore
+/// reduces to per-slice seed discipline, which the callers provide by
+/// embedding a derived seed in every job's [`Scenario`].
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SharedTestbed {
+pub struct SharedTestbed<P: ContentionPolicy = ProportionalFair> {
     network: RealNetwork,
     /// Pinned worker-thread count (`None`: machine default, capped at 8).
     threads: Option<usize>,
+    budget: ResourceBudget,
+    policy: P,
 }
 
-impl SharedTestbed {
-    /// Wraps a testbed for shared multi-slice evaluation.
+impl SharedTestbed<ProportionalFair> {
+    /// Wraps a testbed for shared multi-slice evaluation with an unlimited
+    /// resource budget and the proportional-fair contention policy.
     pub fn new(network: RealNetwork) -> Self {
         Self {
             network,
             threads: None,
+            budget: ResourceBudget::unlimited(),
+            policy: ProportionalFair,
         }
     }
+}
 
+impl<P: ContentionPolicy> SharedTestbed<P> {
     /// Pins the number of evaluation worker threads (a performance knob
     /// only: results are identical for every value). Applies to
     /// [`SharedTestbed::run_batch`]; the orchestrator's query scheduler
@@ -198,6 +222,23 @@ impl SharedTestbed {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
+    }
+
+    /// Sets the finite resource budget concurrent batch jobs contend for.
+    pub fn with_budget(mut self, budget: ResourceBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the contention policy deciding how over-subscribed
+    /// dimensions are split.
+    pub fn with_policy<Q: ContentionPolicy>(self, policy: Q) -> SharedTestbed<Q> {
+        SharedTestbed {
+            network: self.network,
+            threads: self.threads,
+            budget: self.budget,
+            policy,
+        }
     }
 
     /// The shared underlying testbed.
@@ -210,27 +251,61 @@ impl SharedTestbed {
         self.threads
     }
 
-    /// Runs one measurement (identical to [`RealNetwork::run`]).
+    /// The testbed's resource budget.
+    pub fn budget(&self) -> &ResourceBudget {
+        &self.budget
+    }
+
+    /// The testbed's contention policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Runs one measurement (identical to [`RealNetwork::run`]). Single
+    /// measurements never contend — contention is a property of a *batch*
+    /// of concurrent jobs.
     pub fn run(&self, config: &SliceConfig, scenario: &Scenario) -> TraceSummary {
         self.network.run(config, scenario)
     }
 
+    /// Grants one round of concurrent configuration requests against the
+    /// testbed's budget (element `i` answers `requested[i]`); uncontended
+    /// rounds are returned bit-for-bit.
+    pub fn grant(&self, requested: &[SliceConfig]) -> Vec<SliceConfig> {
+        grant_round(&self.budget, &self.policy, requested)
+    }
+
     /// Evaluates a batch of `(config, scenario)` jobs — typically one per
-    /// slice and round — over scoped worker threads. Element `i` of the
-    /// result is bit-for-bit identical to `self.run(&jobs[i].0, &jobs[i].1)`,
-    /// for every thread count; each job's RNG stream comes from its own
-    /// scenario seed.
+    /// slice and round — over scoped worker threads. The whole batch is
+    /// first granted against the testbed's [`ResourceBudget`]; element `i`
+    /// of the result is then bit-for-bit identical to
+    /// `self.run(&granted[i], &jobs[i].1)` with its
+    /// [`TraceSummary::grant`] fractions filled in, for every thread
+    /// count. With the default unlimited budget this reduces exactly to
+    /// the uncontended per-job runs. Each job's RNG stream comes from its
+    /// own scenario seed.
     pub fn run_batch(&self, jobs: &[(SliceConfig, Scenario)]) -> Vec<TraceSummary> {
-        atlas_math::parallel::par_chunks_map(jobs, 1, self.threads, |_, chunk| {
+        let requested: Vec<SliceConfig> = jobs.iter().map(|(config, _)| *config).collect();
+        let granted = self.grant(&requested);
+        let granted_jobs: Vec<(SliceConfig, SliceConfig, Scenario)> = granted
+            .into_iter()
+            .zip(jobs)
+            .map(|(g, (r, scenario))| (g, *r, *scenario))
+            .collect();
+        atlas_math::parallel::par_chunks_map(&granted_jobs, 1, self.threads, |_, chunk| {
             chunk
                 .iter()
-                .map(|(config, scenario)| self.network.run(config, scenario))
+                .map(|(granted, requested, scenario)| {
+                    let mut trace = self.network.run(granted, scenario);
+                    trace.grant = GrantFractions::of(requested, granted);
+                    trace
+                })
                 .collect()
         })
     }
 }
 
-impl From<RealNetwork> for SharedTestbed {
+impl From<RealNetwork> for SharedTestbed<ProportionalFair> {
     fn from(network: RealNetwork) -> Self {
         Self::new(network)
     }
@@ -388,6 +463,72 @@ mod tests {
         let a = shared.run(&cfg(), &scenario(1));
         let b = RealNetwork::prototype().run(&cfg(), &scenario(1));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn contended_batch_scales_grants_and_reports_the_gap() {
+        let network = RealNetwork::prototype();
+        // Two slices each requesting 40 UL PRBs against a 50-PRB carrier:
+        // 1.6x over-subscribed in UL, everything else fits.
+        let mut big = cfg();
+        big.bandwidth_ul = 40.0;
+        let jobs = vec![(big, scenario(21)), (big, scenario(22))];
+        let contended = SharedTestbed::new(network)
+            .with_budget(crate::budget::ResourceBudget::carrier_default())
+            .run_batch(&jobs);
+        for trace in &contended {
+            assert!((trace.grant.ul_prbs - 50.0 / 80.0).abs() < 1e-12);
+            assert_eq!(trace.grant.dl_prbs, 1.0);
+            assert!(!trace.grant.is_full());
+        }
+        // Element i equals a direct run of the *granted* configuration.
+        let mut granted_cfg = big;
+        granted_cfg.bandwidth_ul = 40.0 * 50.0 / 80.0;
+        let direct = network.run(&granted_cfg, &scenario(21));
+        assert_eq!(contended[0].latencies_ms, direct.latencies_ms);
+        // Determinism across thread counts holds under contention too.
+        for threads in [1, 2, 4] {
+            let again = SharedTestbed::new(network)
+                .with_budget(crate::budget::ResourceBudget::carrier_default())
+                .with_threads(threads)
+                .run_batch(&jobs);
+            assert_eq!(again, contended, "threads = {threads}");
+        }
+        // An unlimited budget reproduces the uncontended traces exactly.
+        let uncontended = SharedTestbed::new(network).run_batch(&jobs);
+        assert!(uncontended.iter().all(|t| t.grant.is_full()));
+        assert_ne!(uncontended, contended);
+    }
+
+    #[test]
+    fn contention_policy_is_pluggable() {
+        let network = RealNetwork::prototype();
+        let mut small = cfg();
+        small.bandwidth_ul = 10.0;
+        let mut big = cfg();
+        big.bandwidth_ul = 90.0;
+        let jobs = vec![(small, scenario(31)), (big, scenario(32))];
+        let budget = crate::budget::ResourceBudget::carrier_default();
+        let pf = SharedTestbed::new(network)
+            .with_budget(budget)
+            .run_batch(&jobs);
+        let mmf = SharedTestbed::new(network)
+            .with_budget(budget)
+            .with_policy(crate::budget::MaxMinFair)
+            .run_batch(&jobs);
+        // Max-min fair serves the small demand in full; proportional fair
+        // scales both by the same factor.
+        assert!((pf[0].grant.ul_prbs - 0.5).abs() < 1e-12);
+        assert!((pf[1].grant.ul_prbs - 0.5).abs() < 1e-12);
+        assert_eq!(mmf[0].grant.ul_prbs, 1.0);
+        assert!((mmf[1].grant.ul_prbs - 40.0 / 90.0).abs() < 1e-12);
+        assert_eq!(
+            SharedTestbed::new(network)
+                .with_policy(crate::budget::MaxMinFair)
+                .policy()
+                .name(),
+            "max-min-fair"
+        );
     }
 
     #[test]

@@ -86,3 +86,55 @@ proptest! {
         prop_assert_eq!(a.frames_completed, b.frames_completed);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Contention-policy invariants: grants never exceed the request, never
+    // exceed the capacity in total when over-subscribed, and an unlimited
+    // budget is a bit-for-bit no-op.
+    #[test]
+    fn contention_grants_are_feasible(
+        configs in proptest::collection::vec(arbitrary_config(), 1..10),
+        tightness in 0.2..2.0f64,
+    ) {
+        let budget = atlas_netsim::ResourceBudget::carrier_default().scaled(tightness);
+        for granted in [
+            atlas_netsim::budget::grant_round(&budget, &atlas_netsim::ProportionalFair, &configs),
+            atlas_netsim::budget::grant_round(&budget, &atlas_netsim::MaxMinFair, &configs),
+        ] {
+            prop_assert_eq!(granted.len(), configs.len());
+            let capacities = budget.capacities();
+            let mut totals = [0.0f64; atlas_netsim::RESOURCE_DIMS];
+            for (g, r) in granted.iter().zip(&configs) {
+                let gd = atlas_netsim::ResourceBudget::demand_of(g);
+                let rd = atlas_netsim::ResourceBudget::demand_of(r);
+                for dim in 0..atlas_netsim::RESOURCE_DIMS {
+                    prop_assert!(gd[dim] <= rd[dim] + 1e-9, "grant exceeds request");
+                    prop_assert!(gd[dim] >= 0.0);
+                    totals[dim] += gd[dim];
+                }
+                // MCS offsets pass through untouched.
+                prop_assert_eq!(g.mcs_offset_ul, r.mcs_offset_ul);
+                prop_assert_eq!(g.mcs_offset_dl, r.mcs_offset_dl);
+            }
+            for dim in 0..atlas_netsim::RESOURCE_DIMS {
+                let requested_total: f64 = configs
+                    .iter()
+                    .map(|c| atlas_netsim::ResourceBudget::demand_of(c)[dim])
+                    .sum();
+                prop_assert!(
+                    totals[dim] <= capacities[dim].min(requested_total) + 1e-6,
+                    "dim {} total {} over capacity {}", dim, totals[dim], capacities[dim]
+                );
+            }
+        }
+        // Unlimited budget: bit-for-bit identity.
+        let free = atlas_netsim::budget::grant_round(
+            &atlas_netsim::ResourceBudget::unlimited(),
+            &atlas_netsim::ProportionalFair,
+            &configs,
+        );
+        prop_assert_eq!(free, configs);
+    }
+}

@@ -1,0 +1,269 @@
+//! Slice admission: spec validation and admission-control policies.
+//!
+//! Real slice management is an order → admit → operate pipeline
+//! (arXiv:1804.09642): an operator does not run a fixed fleet to
+//! completion, it decides — against the substrate's current occupancy —
+//! whether each arriving slice order can be honoured. This module is that
+//! decision point for [`crate::FleetRun`]:
+//!
+//! * [`validate_spec`] rejects malformed orders (duplicate slice ids,
+//!   zero-iteration learners, zero/NaN resource demands) with a typed
+//!   [`AdmissionError`] instead of letting them misbehave mid-run;
+//! * [`AdmissionPolicy`] decides whether a *valid* order fits, given the
+//!   post-admission [`Occupancy`] of the environment's resource budget —
+//!   [`AcceptAll`] (the default, and the uncontended PR 3 behaviour) and
+//!   [`HeadroomThreshold`] (admit while every budget dimension stays under
+//!   a configured occupancy) ship in-tree.
+
+use crate::fleet::SliceSpec;
+use atlas_netsim::{ResourceBudget, RESOURCE_DIMS};
+use std::fmt;
+
+/// Budget-occupancy snapshot an admission decision is made against: the
+/// fraction of each resource dimension (UL PRBs, DL PRBs, backhaul Mbps,
+/// CPU shares) demanded by the already-admitted slices *plus the
+/// candidate*. All zeros when the environment has no finite budget.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Occupancy {
+    /// Per-dimension demand-over-capacity fractions, in
+    /// [`ResourceBudget::capacities`] order.
+    pub dims: [f64; RESOURCE_DIMS],
+}
+
+impl Occupancy {
+    /// The most-occupied dimension's fraction (values above 1 mean the
+    /// dimension would be over-subscribed after admission).
+    pub fn max(&self) -> f64 {
+        self.dims.into_iter().fold(0.0f64, f64::max)
+    }
+}
+
+/// Why a [`crate::FleetRun::admit`] call did not admit the slice.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// A slice with this name was already admitted to the run (slice ids
+    /// must be unique for the whole lifetime of a fleet run).
+    DuplicateName(String),
+    /// The spec's learner is configured with zero online iterations, so
+    /// its session could never suggest anything.
+    ZeroIterations(String),
+    /// The spec's nominal resource demand is unusable: a NaN/negative
+    /// field, or no resources demanded at all.
+    InvalidDemand {
+        /// The offending slice's name.
+        name: String,
+        /// Human-readable description of the defect.
+        reason: &'static str,
+    },
+    /// The admission policy declined the (valid) slice.
+    Rejected {
+        /// The declined slice's name.
+        name: String,
+        /// The post-admission max-dimension occupancy the decision saw.
+        occupancy: f64,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateName(name) => {
+                write!(f, "slice {name:?} was already admitted to this fleet run")
+            }
+            Self::ZeroIterations(name) => write!(
+                f,
+                "slice {name:?} is configured with zero online iterations"
+            ),
+            Self::InvalidDemand { name, reason } => {
+                write!(f, "slice {name:?} has an invalid resource demand: {reason}")
+            }
+            Self::Rejected { name, occupancy } => write!(
+                f,
+                "slice {name:?} was rejected by the admission policy \
+                 (post-admission occupancy {occupancy:.2})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Why a [`crate::FleetRun::retire`] call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetireError {
+    /// No active slice has this name (never admitted, already retired, or
+    /// already completed).
+    UnknownSlice(String),
+}
+
+impl fmt::Display for RetireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownSlice(name) => {
+                write!(f, "no active slice named {name:?} to retire")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RetireError {}
+
+/// Validates a slice order before any admission decision: zero-iteration
+/// learners and zero/NaN/negative resource demands are structural defects
+/// that would otherwise surface as silent misbehaviour mid-run.
+pub(crate) fn validate_spec(spec: &SliceSpec) -> Result<(), AdmissionError> {
+    if spec.learner.config().iterations == 0 {
+        return Err(AdmissionError::ZeroIterations(spec.name.clone()));
+    }
+    let demand = ResourceBudget::demand_of(&spec.demand);
+    if demand.iter().any(|d| d.is_nan()) {
+        return Err(AdmissionError::InvalidDemand {
+            name: spec.name.clone(),
+            reason: "a resource dimension is NaN",
+        });
+    }
+    if demand.iter().any(|d| *d < 0.0) {
+        return Err(AdmissionError::InvalidDemand {
+            name: spec.name.clone(),
+            reason: "a resource dimension is negative",
+        });
+    }
+    if demand.iter().sum::<f64>() <= 0.0 {
+        return Err(AdmissionError::InvalidDemand {
+            name: spec.name.clone(),
+            reason: "no resources demanded at all",
+        });
+    }
+    Ok(())
+}
+
+/// Decides whether a validated slice order is admitted, given the budget
+/// occupancy the fleet would have *after* admitting it.
+///
+/// Policies must be deterministic: the same candidate against the same
+/// occupancy must always produce the same decision, so fleet runs stay
+/// reproducible across scheduler thread counts.
+pub trait AdmissionPolicy {
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether to admit `candidate` at `occupancy` (which already includes
+    /// the candidate's own demand).
+    fn admit(&self, candidate: &SliceSpec, occupancy: &Occupancy) -> bool;
+}
+
+/// Admits every valid slice regardless of occupancy — the uncontended
+/// PR 3 behaviour, and the default of [`crate::Orchestrator::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AcceptAll;
+
+impl AdmissionPolicy for AcceptAll {
+    fn name(&self) -> &'static str {
+        "accept-all"
+    }
+
+    fn admit(&self, _candidate: &SliceSpec, _occupancy: &Occupancy) -> bool {
+        true
+    }
+}
+
+/// Admits while every budget dimension's post-admission occupancy stays at
+/// or below `max_occupancy` (1.0 = never over-subscribe; values above 1
+/// tolerate bounded over-subscription, trusting the testbed's contention
+/// policy to scale grants). Environments without a finite budget report
+/// zero occupancy, so this policy degenerates to [`AcceptAll`] there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeadroomThreshold {
+    /// Highest tolerated post-admission occupancy in any dimension.
+    pub max_occupancy: f64,
+}
+
+impl HeadroomThreshold {
+    /// A policy that never over-subscribes any budget dimension.
+    pub fn no_oversubscription() -> Self {
+        Self { max_occupancy: 1.0 }
+    }
+}
+
+impl AdmissionPolicy for HeadroomThreshold {
+    fn name(&self) -> &'static str {
+        "budget-headroom"
+    }
+
+    fn admit(&self, _candidate: &SliceSpec, occupancy: &Occupancy) -> bool {
+        occupancy.max() <= self.max_occupancy + 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas::env::Sla;
+    use atlas::{OnlineLearner, Scenario, Simulator, SliceConfig, Stage3Config};
+
+    fn spec(name: &str, iterations: usize) -> SliceSpec {
+        let learner = OnlineLearner::without_offline(
+            Stage3Config {
+                iterations,
+                ..Stage3Config::default()
+            },
+            Sla::paper_default(),
+            Simulator::with_original_params(),
+        );
+        SliceSpec::new(name, learner, Scenario::default_with_seed(1), 1)
+    }
+
+    #[test]
+    fn validation_catches_structural_defects() {
+        assert_eq!(validate_spec(&spec("ok", 3)), Ok(()));
+        assert_eq!(
+            validate_spec(&spec("none", 0)),
+            Err(AdmissionError::ZeroIterations("none".into()))
+        );
+        let mut nan = spec("nan", 3);
+        nan.demand.cpu_ratio = f64::NAN;
+        assert!(matches!(
+            validate_spec(&nan),
+            Err(AdmissionError::InvalidDemand { reason, .. }) if reason.contains("NaN")
+        ));
+        let mut neg = spec("neg", 3);
+        neg.demand.backhaul_bw = -1.0;
+        assert!(matches!(
+            validate_spec(&neg),
+            Err(AdmissionError::InvalidDemand { reason, .. }) if reason.contains("negative")
+        ));
+        let mut zero = spec("zero", 3);
+        zero.demand = SliceConfig::from_vec(&[0.0; 6]);
+        assert!(matches!(
+            validate_spec(&zero),
+            Err(AdmissionError::InvalidDemand { reason, .. }) if reason.contains("no resources")
+        ));
+    }
+
+    #[test]
+    fn headroom_threshold_reads_the_occupancy() {
+        let policy = HeadroomThreshold::no_oversubscription();
+        let candidate = spec("c", 3);
+        let fits = Occupancy {
+            dims: [0.9, 0.5, 0.2, 1.0],
+        };
+        let over = Occupancy {
+            dims: [0.9, 1.2, 0.2, 0.4],
+        };
+        assert!(policy.admit(&candidate, &fits));
+        assert!(!policy.admit(&candidate, &over));
+        assert!((over.max() - 1.2).abs() < 1e-12);
+        assert!(AcceptAll.admit(&candidate, &over));
+        assert_eq!(AcceptAll.name(), "accept-all");
+        assert_eq!(policy.name(), "budget-headroom");
+        // Errors render usefully.
+        let err = AdmissionError::Rejected {
+            name: "c".into(),
+            occupancy: 1.2,
+        };
+        assert!(err.to_string().contains("rejected"));
+        assert!(RetireError::UnknownSlice("c".into())
+            .to_string()
+            .contains("retire"));
+    }
+}

@@ -1,16 +1,31 @@
-//! The orchestrator proper: round-based co-scheduling of many slice
-//! sessions over one shared environment.
+//! The orchestrator proper: a round-driven fleet event loop over a
+//! contended testbed.
+//!
+//! PR 3's orchestrator ran a fixed `Vec<SliceSpec>` to completion. This
+//! module replaces that batch job with a steppable [`FleetRun`]: slices
+//! are **admitted** (subject to validation and an
+//! [`crate::AdmissionPolicy`]) and **retired** between rounds, every round
+//! emits an incremental [`RoundReport`], and the whole run folds into the
+//! same [`FleetReport`] as before — with lifecycle spans and
+//! rejected-admission counts on top. [`Orchestrator::run`] survives as a
+//! thin wrapper (admit everything up front, step until drained) that is
+//! bit-for-bit identical to the PR 3 behaviour on an uncontended testbed.
 
-use crate::report::{FleetReport, SliceReport};
+use crate::admission::{
+    validate_spec, AcceptAll, AdmissionError, AdmissionPolicy, Occupancy, RetireError,
+};
+use crate::report::{FleetReport, LifecycleSpan, RoundReport, SliceReport};
 use crate::scheduler::QueryScheduler;
 use atlas::env::Environment;
-use atlas::{OnlineLearner, Scenario, SliceQuery};
+use atlas::{OnlineLearner, Scenario, SliceConfig, SliceQuery, SliceSession};
+use atlas_netsim::ContentionPolicy;
 
 /// One slice to orchestrate: a configured learner plus the slice's
-/// workload scenario and seed.
+/// workload scenario, seed and nominal resource demand.
 #[derive(Clone)]
 pub struct SliceSpec {
-    /// Display/lookup name of the slice.
+    /// Display/lookup name of the slice. Unique per fleet run — admission
+    /// rejects duplicates.
     pub name: String,
     /// The stage-3 learner (immutable warm-start state; the orchestrator
     /// creates the mutable session).
@@ -23,6 +38,10 @@ pub struct SliceSpec {
     /// Optional `(usage, qoe)` reference policy for regret reporting;
     /// defaults to the slice's own best online outcome.
     pub reference: Option<(f64, f64)>,
+    /// The slice's nominal resource demand: what admission policies count
+    /// against the testbed budget while the slice is active. Defaults to
+    /// [`SliceConfig::default_generous`] (a conservative peak estimate).
+    pub demand: SliceConfig,
 }
 
 impl SliceSpec {
@@ -39,6 +58,7 @@ impl SliceSpec {
             scenario,
             seed,
             reference: None,
+            demand: SliceConfig::default_generous(),
         }
     }
 
@@ -47,29 +67,40 @@ impl SliceSpec {
         self.reference = Some((usage, qoe));
         self
     }
+
+    /// Sets the nominal resource demand admission policies account for.
+    pub fn with_demand(mut self, demand: SliceConfig) -> Self {
+        self.demand = demand;
+        self
+    }
 }
 
 /// Runs N slices' online loops concurrently against a shared environment.
 ///
 /// Each round, every unfinished session contributes its suggested
-/// configuration; the batch is evaluated by the [`QueryScheduler`] over
-/// scoped worker threads; and the measurements are fed back in submission
-/// order. Slices may have different iteration budgets — finished sessions
-/// simply stop contributing. Results are bit-for-bit identical to running
+/// configuration; the batch is granted against the environment's resource
+/// budget and evaluated by the [`QueryScheduler`] over scoped worker
+/// threads; and the measurements are fed back in admission order. Results
+/// on an uncontended environment are bit-for-bit identical to running
 /// every slice sequentially with `OnlineLearner::run` on the same seeds,
 /// for every scheduler thread count.
+///
+/// [`Orchestrator::run`] drives a fixed fleet to completion;
+/// [`Orchestrator::begin`] opens a steppable [`FleetRun`] that supports
+/// admission and retirement between rounds.
 pub struct Orchestrator<E: Environment> {
     env: E,
     scheduler: QueryScheduler,
+    batch_sim: bool,
 }
 
-impl Orchestrator<atlas_netsim::SharedTestbed> {
+impl<P: ContentionPolicy> Orchestrator<atlas_netsim::SharedTestbed<P>> {
     /// Creates an orchestrator over a [`atlas_netsim::SharedTestbed`],
     /// adopting the testbed's pinned evaluation thread count (if any) for
     /// the query scheduler — so
     /// `Orchestrator::over_testbed(SharedTestbed::new(net).with_threads(8))`
     /// actually evaluates with 8 workers.
-    pub fn over_testbed(testbed: atlas_netsim::SharedTestbed) -> Self {
+    pub fn over_testbed(testbed: atlas_netsim::SharedTestbed<P>) -> Self {
         let threads = testbed.threads();
         let orchestrator = Self::new(testbed);
         match threads {
@@ -87,12 +118,23 @@ impl<E: Environment> Orchestrator<E> {
         Self {
             env,
             scheduler: QueryScheduler::new(),
+            batch_sim: true,
         }
     }
 
     /// Pins the scheduler's worker-thread count (performance knob only).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.scheduler = self.scheduler.with_threads(threads);
+        self
+    }
+
+    /// Enables or disables cross-slice batching of the offline-acceleration
+    /// simulator queries (on by default). A performance knob only: both
+    /// settings produce bit-identical fleets — the batched path drives each
+    /// session's `accel_suggest`/`accel_observe` split, which consumes the
+    /// per-session RNG in exactly the monolithic order.
+    pub fn with_sim_batching(mut self, enabled: bool) -> Self {
+        self.batch_sim = enabled;
         self
     }
 
@@ -106,59 +148,343 @@ impl<E: Environment> Orchestrator<E> {
         &self.env
     }
 
+    /// Opens a steppable fleet run with the [`AcceptAll`] admission policy
+    /// (use [`FleetRun::with_admission`] to install another).
+    pub fn begin(&self) -> FleetRun<'_, E> {
+        FleetRun {
+            env: &self.env,
+            scheduler: &self.scheduler,
+            batch_sim: self.batch_sim,
+            admission: Box::new(AcceptAll),
+            active: Vec::new(),
+            finished: Vec::new(),
+            seen_names: Vec::new(),
+            admitted_total: 0,
+            rounds: 0,
+            rejected_admissions: 0,
+            requested_usage_sum: 0.0,
+            granted_usage_sum: 0.0,
+            total_queries: 0,
+            events: RoundEvents::default(),
+        }
+    }
+
     /// Drives every slice's online loop to completion and reduces the
-    /// outcomes to a [`FleetReport`].
+    /// outcomes to a [`FleetReport`] — sugar for admitting the whole fleet
+    /// into a [`FleetRun`] and stepping until drained.
     ///
     /// # Panics
     ///
-    /// Panics up front if any slice is configured with zero online
-    /// iterations: such a session would never suggest anything and has no
-    /// best outcome to report (the same configuration makes the
-    /// single-slice `OnlineLearner::run` panic, just deeper in).
+    /// Panics if admission validation rejects a spec — zero online
+    /// iterations (such a session would never suggest anything),
+    /// duplicate name, zero/NaN resource demand. Use
+    /// [`Orchestrator::begin`] and [`FleetRun::admit`] to handle
+    /// [`AdmissionError`]s gracefully.
     pub fn run(&self, slices: Vec<SliceSpec>) -> FleetReport {
-        for spec in &slices {
-            assert!(
-                spec.learner.config().iterations > 0,
-                "slice {:?} is configured with zero online iterations; \
-                 orchestrated slices must run at least one",
-                spec.name
-            );
+        let mut fleet = self.begin();
+        for spec in slices {
+            let name = spec.name.clone();
+            if let Err(e) = fleet.admit(spec) {
+                panic!("slice {name:?} was not admitted: {e}");
+            }
         }
-        let mut sessions: Vec<_> = slices
+        while fleet.step().is_some() {}
+        fleet.finish()
+    }
+}
+
+/// One admitted, still-running slice.
+struct ActiveSlice {
+    /// Admission order (fixes the final report order).
+    index: usize,
+    name: String,
+    demand: SliceConfig,
+    reference: Option<(f64, f64)>,
+    session: SliceSession,
+    admitted_round: usize,
+}
+
+/// Names buffered between rounds for the next [`RoundReport`].
+#[derive(Default)]
+struct RoundEvents {
+    admitted: Vec<String>,
+    rejected: Vec<String>,
+    retired: Vec<String>,
+}
+
+/// A steppable fleet run: the round-driven event loop behind
+/// [`Orchestrator::run`], opened with [`Orchestrator::begin`].
+///
+/// Between rounds, slices can be [`FleetRun::admit`]ted (validated, then
+/// decided by the installed [`AdmissionPolicy`] against the budget
+/// occupancy) and [`FleetRun::retire`]d (finalising whatever history they
+/// accumulated). [`FleetRun::step`] executes one round — the batched
+/// offline-acceleration waves, the granted real-network queries, the
+/// observe transitions — and returns an incremental [`RoundReport`];
+/// [`FleetRun::finish`] folds everything into the final [`FleetReport`].
+///
+/// Every mutation is deterministic and happens outside the evaluation
+/// fan-out, so a fleet run — churn, contention and all — is bit-for-bit
+/// identical for every scheduler thread count.
+pub struct FleetRun<'a, E: Environment> {
+    env: &'a E,
+    scheduler: &'a QueryScheduler,
+    batch_sim: bool,
+    admission: Box<dyn AdmissionPolicy + 'a>,
+    active: Vec<ActiveSlice>,
+    finished: Vec<(usize, SliceReport)>,
+    /// Every name ever admitted (drives duplicate rejection).
+    seen_names: Vec<String>,
+    admitted_total: usize,
+    rounds: usize,
+    rejected_admissions: usize,
+    requested_usage_sum: f64,
+    granted_usage_sum: f64,
+    total_queries: usize,
+    events: RoundEvents,
+}
+
+impl<'a, E: Environment> FleetRun<'a, E> {
+    /// Installs an admission policy (replacing [`AcceptAll`]). Call before
+    /// the first [`FleetRun::admit`].
+    pub fn with_admission(mut self, policy: Box<dyn AdmissionPolicy + 'a>) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Admits a slice into the fleet: the spec is validated (unique name,
+    /// nonzero iterations, usable resource demand), then the admission
+    /// policy decides against the post-admission budget occupancy. On
+    /// success the slice's session starts contributing from the next
+    /// [`FleetRun::step`]. Policy rejections are counted into the final
+    /// report's `rejected_admissions`.
+    pub fn admit(&mut self, spec: SliceSpec) -> Result<(), AdmissionError> {
+        validate_spec(&spec)?;
+        if self.seen_names.contains(&spec.name) {
+            return Err(AdmissionError::DuplicateName(spec.name));
+        }
+        let occupancy = self.occupancy_with(Some(&spec.demand));
+        if !self.admission.admit(&spec, &occupancy) {
+            self.rejected_admissions += 1;
+            self.events.rejected.push(spec.name.clone());
+            return Err(AdmissionError::Rejected {
+                name: spec.name,
+                occupancy: occupancy.max(),
+            });
+        }
+        let session = spec.learner.begin(&spec.scenario, spec.seed);
+        self.seen_names.push(spec.name.clone());
+        self.events.admitted.push(spec.name.clone());
+        self.active.push(ActiveSlice {
+            index: self.admitted_total,
+            name: spec.name,
+            demand: spec.demand,
+            reference: spec.reference,
+            session,
+            admitted_round: self.rounds,
+        });
+        self.admitted_total += 1;
+        Ok(())
+    }
+
+    /// Retires an active slice between rounds, finalising whatever online
+    /// history it accumulated into a [`SliceReport`] (with
+    /// `span.retired_early = true`). Returns `None` when the slice never
+    /// observed a round — such a slice leaves no report (an empty history
+    /// has no best outcome). Slices that already completed their iteration
+    /// budget are no longer active and cannot be retired.
+    pub fn retire(&mut self, name: &str) -> Result<Option<SliceReport>, RetireError> {
+        let position = self
+            .active
             .iter()
-            .map(|spec| spec.learner.begin(&spec.scenario, spec.seed))
-            .collect();
-        let mut rounds = 0;
-        loop {
-            // Collect this round's suggestions from the unfinished slices.
-            // `suggest` runs the slice's offline-acceleration loop and
-            // candidate scoring, so this is the learning half of the round.
-            let round: Vec<(usize, SliceQuery)> = sessions
-                .iter_mut()
-                .enumerate()
-                .filter_map(|(i, session)| session.suggest().map(|q| (i, q)))
-                .collect();
-            if round.is_empty() {
-                break;
-            }
-            rounds += 1;
-            // Fan the independent measurements out over the shared
-            // scheduler, then feed them back in submission order.
-            let queries: Vec<SliceQuery> = round.iter().map(|(_, q)| *q).collect();
-            let samples = self.scheduler.evaluate(&self.env, &queries);
-            for ((i, _), sample) in round.iter().zip(samples) {
-                sessions[*i].observe(sample);
+            .position(|s| s.name == name)
+            .ok_or_else(|| RetireError::UnknownSlice(name.to_string()))?;
+        let slice = self.active.remove(position);
+        self.events.retired.push(slice.name.clone());
+        Ok(self.finalize(slice, true))
+    }
+
+    /// Executes one fleet round: drains the active sessions' batched
+    /// offline-acceleration simulator queries, grants and evaluates their
+    /// real-network queries, feeds the measurements back, finalises
+    /// naturally completed sessions, and returns the round's incremental
+    /// report. Returns `None` without executing anything when no slice is
+    /// active (more slices can still be admitted afterwards).
+    pub fn step(&mut self) -> Option<RoundReport> {
+        if self.active.is_empty() {
+            return None;
+        }
+
+        // ---- offline acceleration: batch the simulator queries of all
+        // sessions, wave by wave, over the shared scheduler. Sessions with
+        // fewer remaining updates simply drop out of later waves.
+        if self.batch_sim {
+            loop {
+                let mut slots = Vec::new();
+                let mut jobs = Vec::new();
+                for (i, slice) in self.active.iter_mut().enumerate() {
+                    if let Some(query) = slice.session.accel_suggest() {
+                        slots.push(i);
+                        jobs.push((*slice.session.sim_env(), query));
+                    }
+                }
+                if jobs.is_empty() {
+                    break;
+                }
+                let samples = self.scheduler.evaluate_each(&jobs);
+                for (i, sample) in slots.into_iter().zip(samples) {
+                    self.active[i].session.accel_observe(sample.qoe);
+                }
             }
         }
-        let reports: Vec<SliceReport> = slices
-            .into_iter()
-            .zip(sessions)
-            .map(|(spec, session)| {
-                let sla = *session.sla();
-                SliceReport::build(spec.name, &sla, session.finish(), spec.reference)
-            })
+
+        // ---- real-network queries: collect, grant, evaluate, observe.
+        // (Without sim batching, `suggest` runs each session's remaining
+        // acceleration loop inline — the monolithic PR 3 path.)
+        let round: Vec<(usize, SliceQuery)> = self
+            .active
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, slice)| slice.session.suggest().map(|q| (i, q)))
             .collect();
-        FleetReport::build(reports, rounds)
+        debug_assert_eq!(
+            round.len(),
+            self.active.len(),
+            "active sessions always suggest"
+        );
+        self.rounds += 1;
+        let queries: Vec<SliceQuery> = round.iter().map(|(_, q)| *q).collect();
+        let samples = self.scheduler.evaluate(self.env, &queries);
+        let mut requested_usage = 0.0;
+        let mut granted_usage = 0.0;
+        let mut sla_violations = 0;
+        for ((i, query), sample) in round.iter().zip(&samples) {
+            requested_usage += query.config.with_connectivity_floor().resource_usage();
+            granted_usage += sample.usage;
+            let slice = &mut self.active[*i];
+            if !slice.session.sla().satisfied_by(sample.qoe) {
+                sla_violations += 1;
+            }
+            slice.session.observe(*sample);
+        }
+        let queries_run = round.len();
+        self.total_queries += queries_run;
+        self.requested_usage_sum += requested_usage;
+        self.granted_usage_sum += granted_usage;
+
+        // ---- finalise sessions that just completed their budget.
+        let mut completed = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].session.is_done() {
+                let slice = self.active.remove(i);
+                completed.push(slice.name.clone());
+                self.finalize(slice, false);
+            } else {
+                i += 1;
+            }
+        }
+
+        let events = std::mem::take(&mut self.events);
+        Some(RoundReport {
+            round: self.rounds,
+            queries: queries_run,
+            admitted: events.admitted,
+            rejected: events.rejected,
+            retired: events.retired,
+            completed,
+            mean_requested_usage: requested_usage / queries_run as f64,
+            mean_granted_usage: granted_usage / queries_run as f64,
+            sla_violations,
+            occupancy: self.occupancy().max(),
+        })
+    }
+
+    /// Finalises the run: still-active slices are folded in with
+    /// `retired_early = true` (those that never observed a round leave no
+    /// report), and everything reduces to the [`FleetReport`].
+    pub fn finish(mut self) -> FleetReport {
+        let leftovers = std::mem::take(&mut self.active);
+        for slice in leftovers {
+            self.finalize(slice, true);
+        }
+        self.finished.sort_by_key(|(index, _)| *index);
+        let slices: Vec<SliceReport> = self.finished.drain(..).map(|(_, report)| report).collect();
+        let mean_grant_gap = if self.total_queries > 0 {
+            (self.requested_usage_sum - self.granted_usage_sum) / self.total_queries as f64
+        } else {
+            0.0
+        };
+        FleetReport::build(
+            slices,
+            self.rounds,
+            self.rejected_admissions,
+            mean_grant_gap,
+        )
+    }
+
+    /// Number of rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Number of currently active (admitted, unfinished) slices.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Names of the currently active slices, in admission order.
+    pub fn active_names(&self) -> Vec<&str> {
+        self.active.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Admission attempts the policy has declined so far.
+    pub fn rejected_admissions(&self) -> usize {
+        self.rejected_admissions
+    }
+
+    /// Current budget occupancy of the active fleet (all zeros for
+    /// environments without a finite budget).
+    pub fn occupancy(&self) -> Occupancy {
+        self.occupancy_with(None)
+    }
+
+    fn occupancy_with(&self, candidate: Option<&SliceConfig>) -> Occupancy {
+        match self.env.resource_budget() {
+            None => Occupancy::default(),
+            Some(budget) => {
+                let mut demands: Vec<SliceConfig> = self.active.iter().map(|s| s.demand).collect();
+                if let Some(demand) = candidate {
+                    demands.push(*demand);
+                }
+                Occupancy {
+                    dims: budget.occupancy(&demands),
+                }
+            }
+        }
+    }
+
+    /// Reduces a departing slice to its report (if it ever observed a
+    /// round) and records it under its admission index.
+    fn finalize(&mut self, slice: ActiveSlice, retired_early: bool) -> Option<SliceReport> {
+        if slice.session.history().is_empty() {
+            return None;
+        }
+        let sla = *slice.session.sla();
+        let span = LifecycleSpan {
+            admitted_round: slice.admitted_round,
+            final_round: self.rounds,
+            retired_early,
+        };
+        let report = SliceReport::build(
+            slice.name,
+            &sla,
+            slice.session.finish(),
+            slice.reference,
+            span,
+        );
+        self.finished.push((slice.index, report.clone()));
+        Some(report)
     }
 }
 
@@ -167,7 +493,7 @@ mod tests {
     use super::*;
     use atlas::env::Sla;
     use atlas::{Scenario, Simulator, Stage3Config};
-    use atlas_netsim::{RealNetwork, SharedTestbed};
+    use atlas_netsim::{RealNetwork, ResourceBudget, SharedTestbed};
 
     fn quick_config(iterations: usize) -> Stage3Config {
         Stage3Config {
@@ -205,6 +531,12 @@ mod tests {
         assert_eq!(report.total_queries, 6);
         let iters: Vec<usize> = report.slices.iter().map(SliceReport::iterations).collect();
         assert_eq!(iters, vec![1, 3, 2]);
+        // Lifecycle spans record natural completion.
+        assert!(report.slices.iter().all(|s| !s.span.retired_early));
+        assert_eq!(report.slices[1].span.final_round, 3);
+        assert_eq!(report.slices[0].span.final_round, 1);
+        assert_eq!(report.rejected_admissions, 0);
+        assert_eq!(report.mean_grant_gap, 0.0);
     }
 
     #[test]
@@ -235,6 +567,13 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "already admitted")]
+    fn duplicate_slice_names_panic_in_run() {
+        let testbed = SharedTestbed::new(RealNetwork::prototype());
+        let _ = Orchestrator::new(testbed).run(vec![spec(6, 1), spec(6, 1)]);
+    }
+
+    #[test]
     fn empty_fleet_is_a_clean_noop() {
         let testbed = SharedTestbed::new(RealNetwork::prototype());
         let report = Orchestrator::new(testbed).run(Vec::new());
@@ -242,5 +581,101 @@ mod tests {
         assert_eq!(report.total_queries, 0);
         assert!(report.slices.is_empty());
         assert_eq!(report.sla_violation_rate, 0.0);
+    }
+
+    #[test]
+    fn admission_validation_returns_typed_errors() {
+        let testbed = SharedTestbed::new(RealNetwork::prototype());
+        let orchestrator = Orchestrator::new(testbed);
+        let mut fleet = orchestrator.begin();
+        fleet.admit(spec(7, 1)).expect("valid slice admits");
+        // Duplicate id.
+        assert_eq!(
+            fleet.admit(spec(7, 1)),
+            Err(AdmissionError::DuplicateName("slice-7".into()))
+        );
+        // Zero iterations.
+        assert_eq!(
+            fleet.admit(spec(8, 0)),
+            Err(AdmissionError::ZeroIterations("slice-8".into()))
+        );
+        // NaN demand.
+        let mut nan = spec(9, 1);
+        nan.demand.bandwidth_ul = f64::NAN;
+        assert!(matches!(
+            fleet.admit(nan),
+            Err(AdmissionError::InvalidDemand { .. })
+        ));
+        // Rejections by *validation* do not count as policy rejections.
+        assert_eq!(fleet.rejected_admissions(), 0);
+        assert_eq!(fleet.active_count(), 1);
+        assert_eq!(fleet.active_names(), vec!["slice-7"]);
+    }
+
+    #[test]
+    fn retire_mid_flight_yields_a_partial_report() {
+        let testbed = SharedTestbed::new(RealNetwork::prototype());
+        let orchestrator = Orchestrator::new(testbed);
+        let mut fleet = orchestrator.begin();
+        fleet.admit(spec(10, 5)).unwrap();
+        fleet.admit(spec(11, 5)).unwrap();
+        // Retiring before any round leaves no report.
+        fleet.admit(spec(12, 5)).unwrap();
+        assert_eq!(fleet.retire("slice-12"), Ok(None));
+        assert_eq!(
+            fleet.retire("slice-12"),
+            Err(RetireError::UnknownSlice("slice-12".into()))
+        );
+        // Two rounds, then retire one slice mid-flight.
+        let r1 = fleet.step().expect("round 1 runs");
+        assert_eq!(r1.round, 1);
+        assert_eq!(r1.queries, 2);
+        assert_eq!(r1.admitted.len(), 3);
+        assert_eq!(r1.retired, vec!["slice-12".to_string()]);
+        let _r2 = fleet.step().expect("round 2 runs");
+        let partial = fleet
+            .retire("slice-10")
+            .expect("active slice retires")
+            .expect("two rounds of history");
+        assert_eq!(partial.iterations(), 2);
+        assert!(partial.span.retired_early);
+        assert_eq!(partial.span.final_round, 2);
+        assert_eq!(fleet.active_count(), 1);
+        // The survivor drains naturally; the report holds both lifecycles.
+        while fleet.step().is_some() {}
+        let report = fleet.finish();
+        assert_eq!(report.slices.len(), 2);
+        assert_eq!(report.rounds, 5);
+        assert_eq!(report.slice("slice-10").unwrap().iterations(), 2);
+        assert_eq!(report.slice("slice-11").unwrap().iterations(), 5);
+        assert!(!report.slice("slice-11").unwrap().span.retired_early);
+        assert!(report.slice("slice-12").is_none());
+        assert_eq!(report.total_queries, 7);
+    }
+
+    #[test]
+    fn headroom_admission_rejects_over_budget_slices() {
+        use crate::admission::HeadroomThreshold;
+        let testbed = SharedTestbed::new(RealNetwork::prototype())
+            .with_budget(ResourceBudget::carrier_default());
+        let orchestrator = Orchestrator::new(testbed);
+        let mut fleet = orchestrator
+            .begin()
+            .with_admission(Box::new(HeadroomThreshold::no_oversubscription()));
+        // default_generous demands 25/25 UL/DL PRBs: two fit a 50-PRB
+        // carrier, the third does not.
+        fleet.admit(spec(20, 1)).unwrap();
+        fleet.admit(spec(21, 1)).unwrap();
+        let rejected = fleet.admit(spec(22, 1));
+        assert!(matches!(
+            rejected,
+            Err(AdmissionError::Rejected { occupancy, .. }) if occupancy > 1.0
+        ));
+        assert_eq!(fleet.rejected_admissions(), 1);
+        assert!((fleet.occupancy().max() - 1.0).abs() < 1e-12);
+        while fleet.step().is_some() {}
+        let report = fleet.finish();
+        assert_eq!(report.slices.len(), 2);
+        assert_eq!(report.rejected_admissions, 1);
     }
 }

@@ -3,29 +3,43 @@
 //! Multi-slice orchestration for the Atlas reproduction: run the stage-3
 //! online loops of **many network slices concurrently** against one shared
 //! (emulated) testbed, the way an operator's slice-management plane runs
-//! fleets of slices against shared infrastructure.
+//! elastic fleets of slices against shared, *finite* infrastructure.
 //!
 //! The crate builds on the steppable session API of `atlas::stage3`:
 //!
-//! * every slice is a [`SliceSpec`] — an `OnlineLearner` plus its scenario
-//!   and seed — whose `SliceSession` owns all mutable learner state (GP
-//!   residual model, Lagrangian multiplier, history);
-//! * each round, the [`Orchestrator`] collects every active session's
-//!   suggested configuration and hands the batch to the shared
-//!   [`QueryScheduler`], which fans the testbed measurements out over the
-//!   deterministic thread pool of `atlas-math::parallel`;
-//! * the measurements are fed back through the sessions' `observe`
-//!   transitions, and the run is reduced to a [`FleetReport`] with
-//!   per-slice and fleet-wide SLA-violation rate, resource usage and
-//!   regret.
+//! * every slice is a [`SliceSpec`] — an `OnlineLearner` plus its scenario,
+//!   seed and nominal resource demand — whose `SliceSession` owns all
+//!   mutable learner state (GP residual model, Lagrangian multiplier,
+//!   history);
+//! * a [`FleetRun`] (opened with [`Orchestrator::begin`]) is a round-driven
+//!   event loop: slices are [`FleetRun::admit`]ted — validated, then decided
+//!   by an [`AdmissionPolicy`] against the testbed budget's [`Occupancy`] —
+//!   and [`FleetRun::retire`]d between rounds, and every
+//!   [`FleetRun::step`] emits an incremental [`RoundReport`];
+//! * each round, the fleet's offline-acceleration **simulator** queries are
+//!   batched across sessions (they outnumber testbed queries
+//!   `offline_updates`-to-1) and the real-network queries are **granted**
+//!   against the testbed's `ResourceBudget` — over-subscribed rounds are
+//!   scaled by its contention policy, so sessions learn from the resources
+//!   they actually received — before the [`QueryScheduler`] fans the
+//!   measurements out over the deterministic thread pool of
+//!   `atlas-math::parallel`;
+//! * [`FleetRun::finish`] folds everything into a [`FleetReport`] with
+//!   per-slice lifecycle spans, rejected-admission counts and the fleet's
+//!   granted-vs-requested usage gap. [`churn::ChurnWorkload`] generates
+//!   deterministic Poisson-ish arrival/departure schedules for elastic
+//!   fleet experiments.
 //!
 //! Because the sessions consume randomness in exactly the order of the
 //! single-slice loop and every testbed measurement derives its RNG stream
-//! from the owning slice's seed, an N-slice orchestrated run is
-//! **bit-for-bit identical** to N sequential `OnlineLearner::run` calls on
-//! the same seeds — for every scheduler thread count.
+//! from the owning slice's seed, an N-slice orchestrated run over an
+//! **uncontended** testbed is bit-for-bit identical to N sequential
+//! `OnlineLearner::run` calls on the same seeds — for every scheduler
+//! thread count. Contended and churned runs are equally deterministic:
+//! granting and admission happen sequentially between rounds, never inside
+//! the evaluation fan-out.
 //!
-//! ## Quick start
+//! ## Quick start: a fixed fleet
 //!
 //! ```
 //! use atlas::{OnlineLearner, Scenario, Simulator, Sla, Stage3Config};
@@ -56,14 +70,69 @@
 //! assert!(report.sla_violation_rate >= 0.0 && report.sla_violation_rate <= 1.0);
 //! println!("{}", report.summary());
 //! ```
+//!
+//! ## Elastic fleets over a contended testbed
+//!
+//! ```
+//! use atlas::{OnlineLearner, Scenario, Simulator, Sla, Stage3Config};
+//! use atlas_netsim::{RealNetwork, ResourceBudget, SharedTestbed};
+//! use atlas_orchestrator::{HeadroomThreshold, Orchestrator, SliceSpec};
+//!
+//! let spec = |i: u64| {
+//!     let quick = Stage3Config {
+//!         iterations: 2,
+//!         offline_updates: 1,
+//!         candidates: 40,
+//!         duration_s: 2.0,
+//!         ..Stage3Config::default()
+//!     };
+//!     let learner = OnlineLearner::without_offline(
+//!         quick,
+//!         Sla::paper_default(),
+//!         Simulator::with_original_params(),
+//!     );
+//!     let scenario = Scenario::default_with_seed(i).with_duration(2.0);
+//!     SliceSpec::new(format!("slice-{i}"), learner, scenario, 100 + i)
+//! };
+//!
+//! // A finite substrate: one 10 MHz carrier, 100 Mbps backhaul, 4 CPUs.
+//! let testbed = SharedTestbed::new(RealNetwork::prototype())
+//!     .with_budget(ResourceBudget::carrier_default());
+//! let orchestrator = Orchestrator::new(testbed).with_threads(2);
+//!
+//! // Admit while no budget dimension is over-subscribed: the default
+//! // demand asks for half the carrier, so the third slice is rejected.
+//! let mut fleet = orchestrator
+//!     .begin()
+//!     .with_admission(Box::new(HeadroomThreshold::no_oversubscription()));
+//! assert!(fleet.admit(spec(0)).is_ok());
+//! assert!(fleet.admit(spec(1)).is_ok());
+//! assert!(fleet.admit(spec(2)).is_err());
+//!
+//! // Round-driven: step, retire, admit more, step again.
+//! let round = fleet.step().expect("two active slices");
+//! assert_eq!(round.queries, 2);
+//! let _partial = fleet.retire("slice-0").expect("slice-0 is active");
+//! while fleet.step().is_some() {}
+//! let report = fleet.finish();
+//! assert_eq!(report.rejected_admissions, 1);
+//! assert_eq!(report.slices.len(), 2);
+//! assert!(report.slice("slice-0").unwrap().span.retired_early);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod churn;
 pub mod fleet;
 pub mod report;
 pub mod scheduler;
 
-pub use fleet::{Orchestrator, SliceSpec};
-pub use report::{FleetReport, SliceReport};
+pub use admission::{
+    AcceptAll, AdmissionError, AdmissionPolicy, HeadroomThreshold, Occupancy, RetireError,
+};
+pub use churn::{ChurnConfig, ChurnWorkload};
+pub use fleet::{FleetRun, Orchestrator, SliceSpec};
+pub use report::{FleetReport, LifecycleSpan, RoundReport, SliceReport};
 pub use scheduler::QueryScheduler;

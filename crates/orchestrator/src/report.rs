@@ -5,11 +5,63 @@ use atlas::regret::average_regret;
 use atlas::Stage3Result;
 use std::fmt::Write as _;
 
+/// When a slice entered and left the fleet, in fleet-round coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LifecycleSpan {
+    /// Fleet round count at admission (the slice first queries in round
+    /// `admitted_round + 1`).
+    pub admitted_round: usize,
+    /// Fleet round in which the slice observed its last outcome.
+    pub final_round: usize,
+    /// Whether the slice left before completing its configured iteration
+    /// budget (explicit [`crate::FleetRun::retire`], or the run was
+    /// finished while the slice was still active).
+    pub retired_early: bool,
+}
+
+/// One fleet round's incremental outcome, emitted by
+/// [`crate::FleetRun::step`] and folded into the final [`FleetReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundReport {
+    /// 1-based round index.
+    pub round: usize,
+    /// Real-network queries issued this round (one per active slice).
+    pub queries: usize,
+    /// Slices admitted since the previous round.
+    pub admitted: Vec<String>,
+    /// Slices the admission policy rejected since the previous round.
+    pub rejected: Vec<String>,
+    /// Slices explicitly retired since the previous round.
+    pub retired: Vec<String>,
+    /// Slices that completed their iteration budget in this round.
+    pub completed: Vec<String>,
+    /// Mean resource usage the slices *requested* this round (after the
+    /// connectivity floor).
+    pub mean_requested_usage: f64,
+    /// Mean resource usage the testbed actually *granted* this round
+    /// (equals `mean_requested_usage` when uncontended).
+    pub mean_granted_usage: f64,
+    /// How many of this round's measurements violated their slice's SLA.
+    pub sla_violations: usize,
+    /// Max-dimension budget occupancy of the still-active fleet after the
+    /// round (0 for environments without a finite budget).
+    pub occupancy: f64,
+}
+
+impl RoundReport {
+    /// The round's granted-vs-requested usage gap (0 when uncontended).
+    pub fn grant_gap(&self) -> f64 {
+        self.mean_requested_usage - self.mean_granted_usage
+    }
+}
+
 /// Per-slice outcome of an orchestrated run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SliceReport {
     /// The slice's name (from its [`crate::SliceSpec`]).
     pub name: String,
+    /// When the slice entered and left the fleet.
+    pub span: LifecycleSpan,
     /// The full stage-3 result — bit-for-bit what a sequential
     /// `OnlineLearner::run` with the same seed produces.
     pub result: Stage3Result,
@@ -35,6 +87,7 @@ impl SliceReport {
         sla: &Sla,
         result: Stage3Result,
         reference: Option<(f64, f64)>,
+        span: LifecycleSpan,
     ) -> Self {
         let n = result.history.len().max(1) as f64;
         let violations = result
@@ -49,6 +102,7 @@ impl SliceReport {
             average_regret(&result.usage_qoe_history(), reference.0, reference.1);
         Self {
             name,
+            span,
             sla_violation_rate: violations / n,
             mean_usage,
             mean_qoe,
@@ -68,25 +122,36 @@ impl SliceReport {
 /// Fleet-wide outcome of an orchestrated run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
-    /// Per-slice reports, in the order the slices were submitted.
+    /// Per-slice reports, in admission order.
     pub slices: Vec<SliceReport>,
-    /// Number of scheduling rounds (the longest slice's iteration count).
+    /// Number of scheduling rounds the fleet executed.
     pub rounds: usize,
     /// Total real-network queries issued across all slices.
     pub total_queries: usize,
     /// Fraction of all slice-iterations that violated their slice's SLA.
     pub sla_violation_rate: f64,
-    /// Mean resource usage across all slice-iterations.
+    /// Mean resource usage across all slice-iterations (granted usage —
+    /// what the slices actually observed).
     pub mean_usage: f64,
     /// Mean measured QoE across all slice-iterations.
     pub mean_qoe: f64,
+    /// Admission attempts the admission policy declined over the run.
+    pub rejected_admissions: usize,
+    /// Mean requested-minus-granted usage gap per query (0 when the run
+    /// was uncontended; positive when a finite budget scaled grants down).
+    pub mean_grant_gap: f64,
 }
 
 impl FleetReport {
     /// Reduces per-slice reports to the fleet aggregates. Slice-iterations
     /// are weighted equally, so slices with more iterations weigh more —
     /// the fleet rate is "violations per query", not "per slice".
-    pub(crate) fn build(slices: Vec<SliceReport>, rounds: usize) -> Self {
+    pub(crate) fn build(
+        slices: Vec<SliceReport>,
+        rounds: usize,
+        rejected_admissions: usize,
+        mean_grant_gap: f64,
+    ) -> Self {
         let total_queries: usize = slices.iter().map(SliceReport::iterations).sum();
         let n = total_queries.max(1) as f64;
         let weighted = |f: &dyn Fn(&SliceReport) -> f64| -> f64 {
@@ -103,6 +168,8 @@ impl FleetReport {
             slices,
             rounds,
             total_queries,
+            rejected_admissions,
+            mean_grant_gap,
         }
     }
 
@@ -133,13 +200,16 @@ impl FleetReport {
         }
         let _ = writeln!(
             out,
-            "fleet: {} slices, {} rounds, {} queries  SLA-viol {:.1}%  usage {:.1}%  QoE {:.3}",
+            "fleet: {} slices, {} rounds, {} queries  SLA-viol {:.1}%  usage {:.1}%  QoE {:.3}  \
+             rejected {}  grant gap {:.2}%",
             self.slices.len(),
             self.rounds,
             self.total_queries,
             self.sla_violation_rate * 100.0,
             self.mean_usage * 100.0,
             self.mean_qoe,
+            self.rejected_admissions,
+            self.mean_grant_gap * 100.0,
         );
         out
     }
@@ -179,28 +249,43 @@ mod tests {
     fn slice_report_statistics() {
         let sla = Sla::paper_default();
         let r = result(&[(0.4, 0.95), (0.2, 0.92), (0.3, 0.5)]);
-        let report = SliceReport::build("s".into(), &sla, r, None);
+        let report = SliceReport::build("s".into(), &sla, r, None, LifecycleSpan::default());
         assert!((report.sla_violation_rate - 1.0 / 3.0).abs() < 1e-12);
         assert!((report.mean_usage - 0.3).abs() < 1e-12);
         assert!((report.mean_qoe - (0.95 + 0.92 + 0.5) / 3.0).abs() < 1e-12);
         // Default reference: the best (cheapest feasible) outcome.
         assert_eq!(report.reference, (0.2, 0.92));
         assert_eq!(report.iterations(), 3);
-        // Pinned reference is respected.
+        // Pinned reference is respected, and the lifecycle span rides along.
         let r2 = result(&[(0.4, 0.95)]);
-        let pinned = SliceReport::build("p".into(), &sla, r2, Some((0.1, 0.9)));
+        let span = LifecycleSpan {
+            admitted_round: 2,
+            final_round: 3,
+            retired_early: true,
+        };
+        let pinned = SliceReport::build("p".into(), &sla, r2, Some((0.1, 0.9)), span);
         assert_eq!(pinned.reference, (0.1, 0.9));
         assert!((pinned.avg_usage_regret - 0.3).abs() < 1e-12);
+        assert_eq!(pinned.span, span);
     }
 
     #[test]
     fn fleet_report_weights_by_iterations_and_finds_slices() {
         let sla = Sla::paper_default();
-        let a = SliceReport::build("a".into(), &sla, result(&[(0.2, 0.95), (0.4, 0.5)]), None);
-        let b = SliceReport::build("b".into(), &sla, result(&[(0.6, 0.95)]), None);
-        let fleet = FleetReport::build(vec![a, b], 2);
+        let span = LifecycleSpan::default();
+        let a = SliceReport::build(
+            "a".into(),
+            &sla,
+            result(&[(0.2, 0.95), (0.4, 0.5)]),
+            None,
+            span,
+        );
+        let b = SliceReport::build("b".into(), &sla, result(&[(0.6, 0.95)]), None, span);
+        let fleet = FleetReport::build(vec![a, b], 2, 1, 0.05);
         assert_eq!(fleet.total_queries, 3);
         assert_eq!(fleet.rounds, 2);
+        assert_eq!(fleet.rejected_admissions, 1);
+        assert!((fleet.mean_grant_gap - 0.05).abs() < 1e-12);
         // 1 violation of 3 slice-iterations.
         assert!((fleet.sla_violation_rate - 1.0 / 3.0).abs() < 1e-12);
         assert!((fleet.mean_usage - (0.2 + 0.4 + 0.6) / 3.0).abs() < 1e-12);
@@ -208,6 +293,24 @@ mod tests {
         assert!(fleet.slice("missing").is_none());
         let text = fleet.summary();
         assert!(text.contains("fleet: 2 slices"));
+        assert!(text.contains("rejected 1"));
         assert!(text.contains('a') && text.contains('b'));
+    }
+
+    #[test]
+    fn round_report_grant_gap() {
+        let round = RoundReport {
+            round: 3,
+            queries: 4,
+            admitted: vec!["x".into()],
+            rejected: Vec::new(),
+            retired: Vec::new(),
+            completed: vec!["y".into()],
+            mean_requested_usage: 0.5,
+            mean_granted_usage: 0.4,
+            sla_violations: 1,
+            occupancy: 1.3,
+        };
+        assert!((round.grant_gap() - 0.1).abs() < 1e-12);
     }
 }

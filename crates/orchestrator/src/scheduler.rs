@@ -3,19 +3,27 @@
 //! One round of orchestration produces a batch of [`SliceQuery`]s — one
 //! per active slice — that are independent by construction: each embeds
 //! its own configuration, scenario (with a seed derived from the owning
-//! slice's stream) and SLA. The scheduler fans such a batch out over the
-//! deterministic scoped-thread pool of `atlas-math::parallel` and returns
-//! the measurements in query order, so the outcome is bit-for-bit
-//! identical for every thread count — including one.
+//! slice's stream) and SLA. The scheduler first grants the whole batch
+//! against the environment's resource budget (a sequential, thread-count
+//! independent step; uncontended environments grant verbatim), then fans
+//! the granted measurements out over the deterministic scoped-thread pool
+//! of `atlas-math::parallel` and returns them in query order, so the
+//! outcome is bit-for-bit identical for every thread count — including
+//! one.
 
 use atlas::env::{Environment, QoeSample};
-use atlas::SliceQuery;
+use atlas::{SliceConfig, SliceQuery};
 
 /// Fans batches of independent slice queries out over worker threads.
 ///
-/// A performance knob only: element `i` of every result equals
+/// A performance knob only: for an uncontended environment, element `i` of
+/// every result equals
 /// `env.query(&queries[i].config, &queries[i].scenario, &queries[i].sla)`
-/// regardless of the configured thread count.
+/// regardless of the configured thread count. Under a finite budget the
+/// batch is first granted jointly (see [`Environment::grant_round`]), and
+/// element `i` equals the query of the *granted* configuration — still
+/// identical for every thread count, because granting happens once,
+/// sequentially, before any fan-out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct QueryScheduler {
     threads: Option<usize>,
@@ -39,13 +47,43 @@ impl QueryScheduler {
         self.threads
     }
 
-    /// Evaluates a batch of queries against the shared environment,
-    /// returning samples in query order.
+    /// Evaluates a batch of concurrent queries against the shared
+    /// environment, returning samples in query order.
+    ///
+    /// The batch's (connectivity-floored) configurations are granted
+    /// jointly against the environment's budget before evaluation, so
+    /// sessions observe the resources they were actually granted. The
+    /// connectivity floor itself is never scaled away: `Environment::query`
+    /// re-applies it to the granted configuration, so a pathologically
+    /// tight budget can be overshot by the floors (by design — a slice
+    /// below the floor has no connectivity at all).
     pub fn evaluate<E: Environment>(&self, env: &E, queries: &[SliceQuery]) -> Vec<QoeSample> {
-        atlas_math::parallel::par_chunks_map(queries, 1, self.threads, |_, chunk| {
+        let requested: Vec<SliceConfig> = queries
+            .iter()
+            .map(|q| q.config.with_connectivity_floor())
+            .collect();
+        let granted = env.grant_round(&requested);
+        let jobs: Vec<(SliceConfig, SliceQuery)> =
+            granted.into_iter().zip(queries.iter().copied()).collect();
+        atlas_math::parallel::par_chunks_map(&jobs, 1, self.threads, |_, chunk| {
             chunk
                 .iter()
-                .map(|q| env.query(&q.config, &q.scenario, &q.sla))
+                .map(|(config, q)| env.query(config, &q.scenario, &q.sla))
+                .collect()
+        })
+    }
+
+    /// Evaluates each query against its *own* environment — the batch path
+    /// for the offline-acceleration simulator queries, where every session
+    /// owns its (possibly individually calibrated) augmented simulator.
+    /// No granting is applied: simulator queries model the offline world
+    /// and never contend for the testbed substrate. Element `i` equals
+    /// `jobs[i].0.query(&jobs[i].1.config, ...)` for every thread count.
+    pub fn evaluate_each<E: Environment>(&self, jobs: &[(E, SliceQuery)]) -> Vec<QoeSample> {
+        atlas_math::parallel::par_chunks_map(jobs, 1, self.threads, |_, chunk| {
+            chunk
+                .iter()
+                .map(|(env, q)| env.query(&q.config, &q.scenario, &q.sla))
                 .collect()
         })
     }
@@ -97,5 +135,60 @@ mod tests {
         assert_eq!(QueryScheduler::new().threads(), None);
         assert_eq!(QueryScheduler::new().with_threads(0).threads(), Some(1));
         assert!(QueryScheduler::new().evaluate(&env, &[]).is_empty());
+    }
+
+    #[test]
+    fn evaluate_each_matches_per_environment_queries() {
+        use atlas::env::SimulatorEnv;
+        use atlas::{SimParams, Simulator};
+        // Each job carries its own (differently calibrated) simulator, the
+        // way each slice session owns its augmented simulator.
+        let jobs: Vec<(SimulatorEnv, SliceQuery)> = sample_queries(4)
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let mut params = SimParams::original();
+                params.compute_time = 2.0 * i as f64;
+                (SimulatorEnv::new(Simulator::new(params)), q)
+            })
+            .collect();
+        let sequential: Vec<_> = jobs
+            .iter()
+            .map(|(env, q)| env.query(&q.config, &q.scenario, &q.sla))
+            .collect();
+        for threads in [1, 2, 3, 8] {
+            let scheduler = QueryScheduler::new().with_threads(threads);
+            assert_eq!(scheduler.evaluate_each(&jobs), sequential);
+        }
+        assert!(QueryScheduler::new()
+            .evaluate_each(&[] as &[(SimulatorEnv, SliceQuery)])
+            .is_empty());
+    }
+
+    #[test]
+    fn evaluate_grants_contended_batches_before_measuring() {
+        use atlas_netsim::{ResourceBudget, SharedTestbed};
+        let queries = sample_queries(6);
+        let tight = SharedTestbed::new(RealNetwork::prototype())
+            .with_budget(ResourceBudget::carrier_default().scaled(0.25));
+        let samples = QueryScheduler::new().evaluate(&tight, &queries);
+        // The granted usage must be below the requested usage for at least
+        // one query (6 floored slices cannot all fit a quarter carrier).
+        let requested: f64 = queries
+            .iter()
+            .map(|q| q.config.with_connectivity_floor().resource_usage())
+            .sum();
+        let granted: f64 = samples.iter().map(|s| s.usage).sum();
+        assert!(
+            granted < requested - 1e-9,
+            "granted {granted} should be scaled below requested {requested}"
+        );
+        // Contended evaluation stays thread-count independent.
+        for threads in [1, 2, 4, 8] {
+            let again = QueryScheduler::new()
+                .with_threads(threads)
+                .evaluate(&tight, &queries);
+            assert_eq!(again, samples, "threads = {threads}");
+        }
     }
 }

@@ -113,3 +113,100 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn unlimited_budget_fleet_run_matches_run_and_sequential_bit_for_bit() {
+    // Satellite property: with `ResourceBudget::unlimited()` and no churn,
+    // an 8-slice fleet driven through the steppable FleetRun API is
+    // bit-for-bit identical to `Orchestrator::run` (the PR 3 surface), to
+    // 8 sequential single-slice runs, and to itself across scheduler
+    // thread counts and sim-batching modes.
+    let network = RealNetwork::prototype();
+    let real = RealEnv::new(network);
+    let sequential: Vec<_> = fleet(8)
+        .iter()
+        .map(|s| s.learner.run(&real, &s.scenario, s.seed))
+        .collect();
+
+    // Reference: the wrapper, unlimited budget (the default), 1 thread.
+    let testbed =
+        SharedTestbed::new(network).with_budget(atlas_netsim::ResourceBudget::unlimited());
+    let reference = Orchestrator::new(testbed).with_threads(1).run(fleet(8));
+    for (slice, expected) in reference.slices.iter().zip(&sequential) {
+        assert_eq!(&slice.result, expected, "run() diverged from sequential");
+    }
+    assert_eq!(reference.mean_grant_gap, 0.0);
+    assert_eq!(reference.rejected_admissions, 0);
+
+    for threads in [1, 2, 4, 8] {
+        for batch_sim in [true, false] {
+            let orchestrator = Orchestrator::new(SharedTestbed::new(network))
+                .with_threads(threads)
+                .with_sim_batching(batch_sim);
+            // Manual FleetRun driving: admit everything, step until drained.
+            let mut run = orchestrator.begin();
+            for spec in fleet(8) {
+                run.admit(spec).expect("accept-all admits valid slices");
+            }
+            let mut rounds = 0;
+            while let Some(round) = run.step() {
+                rounds += 1;
+                assert_eq!(round.round, rounds);
+                assert_eq!(round.grant_gap(), 0.0, "uncontended rounds have no gap");
+            }
+            let stepped = run.finish();
+            assert_eq!(
+                stepped, reference,
+                "threads = {threads}, batch_sim = {batch_sim}"
+            );
+            // And the wrapper agrees with itself at this configuration.
+            let wrapped = orchestrator.run(fleet(8));
+            assert_eq!(wrapped, reference, "run() at threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn oversubscribed_fleet_scales_grants_and_rejects_admissions() {
+    // Acceptance criterion: with a finite budget, an over-subscribed
+    // 8-slice fleet shows scaled grants and nonzero rejected admissions.
+    use atlas_orchestrator::HeadroomThreshold;
+    let network = RealNetwork::prototype();
+    let budget = atlas_netsim::ResourceBudget::carrier_default().scaled(0.5);
+    let run_at = |threads: usize| {
+        let testbed = SharedTestbed::new(network).with_budget(budget);
+        let orchestrator = Orchestrator::new(testbed).with_threads(threads);
+        let mut run = orchestrator
+            .begin()
+            .with_admission(Box::new(HeadroomThreshold { max_occupancy: 2.0 }));
+        for spec in fleet(8) {
+            let _ = run.admit(spec); // rejections are counted by the run
+        }
+        let mut round_reports = Vec::new();
+        while let Some(round) = run.step() {
+            round_reports.push(round);
+        }
+        (run.finish(), round_reports)
+    };
+    let (report, rounds) = run_at(1);
+    assert!(
+        report.rejected_admissions > 0,
+        "a half carrier cannot hold all 8 generous demands under a 2.0 occupancy cap"
+    );
+    assert!(!report.slices.is_empty());
+    assert!(
+        report.mean_grant_gap > 0.0,
+        "concurrent demands over a half carrier must be scaled"
+    );
+    assert!(rounds
+        .iter()
+        .any(|r| r.mean_granted_usage < r.mean_requested_usage - 1e-12));
+    assert!(rounds.iter().all(|r| r.occupancy >= 0.0));
+    // Contended, admission-limited fleets stay deterministic across
+    // scheduler thread counts.
+    for threads in [2, 4] {
+        let (again, rounds_again) = run_at(threads);
+        assert_eq!(again, report, "threads = {threads}");
+        assert_eq!(rounds_again, rounds, "threads = {threads}");
+    }
+}
