@@ -56,3 +56,7 @@ pub use acquisition::Acquisition;
 pub use optimizer::{BayesOpt, Observation};
 pub use space::SearchSpace;
 pub use surrogate::{BnnSurrogate, GpSurrogate, Surrogate};
+
+// Long-horizon loops bound the surrogate's training window; re-exported so
+// optimiser users configure it without a direct atlas-gp dependency.
+pub use atlas_gp::WindowPolicy;

@@ -32,6 +32,12 @@ pub struct BayesOpt<S: Surrogate> {
     ys: Vec<f64>,
     /// Whether the surrogate has missed observations and needs a full refit.
     surrogate_stale: bool,
+    /// Retained-observation cap for long-horizon loops (`None` keeps all).
+    window: Option<usize>,
+    /// Observations ever recorded (never decremented by window eviction —
+    /// drives the warm-up phase, which would otherwise re-enter forever
+    /// when the window capacity is below `initial_random`).
+    observed_total: usize,
     candidates_per_suggest: usize,
     initial_random: usize,
     iteration: usize,
@@ -48,6 +54,8 @@ impl<S: Surrogate> BayesOpt<S> {
             xs: Vec::new(),
             ys: Vec::new(),
             surrogate_stale: false,
+            window: None,
+            observed_total: 0,
             candidates_per_suggest: 2000,
             initial_random: 10,
             iteration: 0,
@@ -67,6 +75,32 @@ impl<S: Surrogate> BayesOpt<S> {
     /// surrogate is trusted (the paper uses 100 exploration iterations).
     pub fn with_initial_random(mut self, n: usize) -> Self {
         self.initial_random = n;
+        self
+    }
+
+    /// Bounds the loop for long horizons: the policy is forwarded to the
+    /// surrogate ([`Surrogate::set_window`], so the two can never
+    /// disagree) and, for bounded policies, the observation history and
+    /// flat refit buffers evict their oldest entry once the capacity is
+    /// reached. Eviction moves the retained entries' `Vec` headers in
+    /// place — the point buffers themselves are reused, never re-cloned —
+    /// so the loop's memory plateaus at the capacity, and the incremental
+    /// and full-refit paths keep learning from the same retained window.
+    /// The incumbent [`BayesOpt::best`] becomes the best *retained*
+    /// observation; the random warm-up still ends after `initial_random`
+    /// total observations even when the capacity is smaller.
+    pub fn with_window(mut self, window: crate::WindowPolicy) -> Self {
+        self.window = window.capacity();
+        let handled = self.surrogate.set_window(window);
+        self.evict_beyond_window();
+        // Installing a window mid-run (observations already recorded) may
+        // have evicted history the surrogate was fitted on; unless the
+        // surrogate re-established its own state, schedule a full refit on
+        // the retained window. The usual pre-observation builder path (and
+        // a window-capable surrogate) keeps the incremental route.
+        if !handled && !self.observations.is_empty() {
+            self.surrogate_stale = true;
+        }
         self
     }
 
@@ -118,7 +152,23 @@ impl<S: Surrogate> BayesOpt<S> {
         self.observations.push(Observation { x: x.clone(), y });
         self.xs.push(x);
         self.ys.push(y);
+        self.observed_total += 1;
         self.surrogate_stale = true;
+        self.evict_beyond_window();
+    }
+
+    /// Drops the oldest retained observations past the configured window.
+    fn evict_beyond_window(&mut self) {
+        let Some(cap) = self.window else {
+            return;
+        };
+        while self.observations.len() > cap {
+            // `Vec::remove(0)` shifts the retained headers down without
+            // touching (or re-cloning) the heap buffers they own.
+            self.observations.remove(0);
+            self.xs.remove(0);
+            self.ys.remove(0);
+        }
     }
 
     /// Records an evaluated observation and feeds it straight into the
@@ -135,6 +185,8 @@ impl<S: Surrogate> BayesOpt<S> {
             self.surrogate_stale = true;
         }
         self.xs.push(x);
+        self.observed_total += 1;
+        self.evict_beyond_window();
     }
 
     /// Refits the surrogate on all observations. A no-op when every
@@ -148,9 +200,11 @@ impl<S: Surrogate> BayesOpt<S> {
         self.surrogate_stale = false;
     }
 
-    /// Whether the optimiser is still in its random warm-up phase.
+    /// Whether the optimiser is still in its random warm-up phase. Counts
+    /// every observation ever recorded, not just the retained ones, so a
+    /// window capacity below `initial_random` cannot re-enter warm-up.
     pub fn in_warmup(&self) -> bool {
-        self.observations.len() < self.initial_random
+        self.observed_total < self.initial_random
     }
 
     /// Proposes the next query point by maximising `acquisition` over a
@@ -366,6 +420,134 @@ mod tests {
             mean_x0 < plain_x0,
             "penalised mean x0 {mean_x0} should be below plain {plain_x0}"
         );
+    }
+
+    #[test]
+    fn windowed_history_plateaus_and_still_converges() {
+        use crate::surrogate::Surrogate;
+        use atlas_gp::WindowPolicy;
+        let cap = 30;
+        let mut rng = seeded_rng(6);
+        // `with_window` forwards the policy into the surrogate itself, so
+        // a plain GpSurrogate needs no separate windowed construction.
+        let mut bo = BayesOpt::new(SearchSpace::unit(2), GpSurrogate::new())
+            .with_candidates(400)
+            .with_initial_random(8)
+            .with_window(WindowPolicy::SlidingWindow { capacity: cap });
+        for _ in 0..60 {
+            let x = bo.suggest(Acquisition::ExpectedImprovement, &mut rng);
+            let y = objective(&x);
+            bo.observe_and_update(x, y, &mut rng);
+            // Both the optimiser history and the surrogate plateau at cap.
+            assert!(bo.len() <= cap);
+            assert!(bo.surrogate().gp().len() <= cap);
+        }
+        assert_eq!(bo.len(), cap);
+        assert_eq!(bo.surrogate().gp().len(), cap);
+        assert!(
+            bo.best().unwrap().y < 0.05,
+            "windowed BO still converges: best {}",
+            bo.best().unwrap().y
+        );
+        // A full refit sees exactly the retained window: a fresh windowed
+        // surrogate fitted on the retained history agrees with the
+        // incrementally maintained one (to downdate rounding error).
+        let mut fresh = GpSurrogate::windowed(WindowPolicy::SlidingWindow { capacity: cap });
+        let xs: Vec<Vec<f64>> = bo.observations().iter().map(|o| o.x.clone()).collect();
+        let ys: Vec<f64> = bo.observations().iter().map(|o| o.y).collect();
+        fresh.fit(&xs, &ys, &mut rng);
+        let (im, is) = bo.surrogate().predict(&[0.5, 0.5]);
+        let (fm, fs) = fresh.predict(&[0.5, 0.5]);
+        assert!(
+            (im - fm).abs() < 1e-7 && (is - fs).abs() < 1e-7,
+            "incremental windowed surrogate ({im}, {is}) must match a full \
+             refit on the retained window ({fm}, {fs})"
+        );
+    }
+
+    #[test]
+    fn installing_a_window_mid_run_forces_a_refit_on_windowless_surrogates() {
+        use atlas_gp::WindowPolicy;
+        // A surrogate with the default no-op `set_window` keeps whatever it
+        // was fitted on; evicting the optimiser history out from under it
+        // must therefore schedule a full refit on the retained window.
+        struct CountingSurrogate {
+            fits: usize,
+            last_fit_len: usize,
+        }
+        impl Surrogate for CountingSurrogate {
+            fn fit(&mut self, inputs: &[Vec<f64>], _targets: &[f64], _rng: &mut Rng64) {
+                self.fits += 1;
+                self.last_fit_len = inputs.len();
+            }
+            fn predict(&self, _x: &[f64]) -> (f64, f64) {
+                (0.0, 1.0)
+            }
+            fn thompson_batch(&self, candidates: &[Vec<f64>], _rng: &mut Rng64) -> Vec<f64> {
+                vec![0.0; candidates.len()]
+            }
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+        }
+        let mut rng = seeded_rng(11);
+        let mut bo = BayesOpt::new(
+            SearchSpace::unit(2),
+            CountingSurrogate {
+                fits: 0,
+                last_fit_len: 0,
+            },
+        );
+        for i in 0..6 {
+            bo.observe(vec![i as f64 / 6.0, 0.5], i as f64);
+        }
+        bo.fit(&mut rng);
+        assert_eq!(bo.surrogate().fits, 1);
+        assert_eq!(bo.surrogate().last_fit_len, 6);
+        // Shrink the window mid-run: the surrogate is now stale and the
+        // next fit re-trains it on exactly the retained 3 points.
+        bo = bo.with_window(WindowPolicy::SlidingWindow { capacity: 3 });
+        assert_eq!(bo.len(), 3);
+        bo.fit(&mut rng);
+        assert_eq!(bo.surrogate().fits, 2);
+        assert_eq!(bo.surrogate().last_fit_len, 3);
+    }
+
+    #[test]
+    fn small_window_does_not_relock_the_warmup_phase() {
+        use atlas_gp::WindowPolicy;
+        // A capacity below initial_random must not leave suggest() doing
+        // random search forever: warm-up counts total observations ever
+        // recorded, not the retained window.
+        let mut rng = seeded_rng(9);
+        let mut bo = make_optimizer()
+            .with_initial_random(10)
+            .with_window(WindowPolicy::SlidingWindow { capacity: 5 });
+        for _ in 0..12 {
+            let x = bo.suggest(Acquisition::ExpectedImprovement, &mut rng);
+            let y = objective(&x);
+            bo.observe_and_update(x, y, &mut rng);
+        }
+        assert!(
+            !bo.in_warmup(),
+            "warm-up must end after initial_random total observations"
+        );
+        assert_eq!(bo.len(), 5);
+        assert_eq!(bo.surrogate().gp().len(), 5);
+    }
+
+    #[test]
+    fn window_evicts_oldest_observations_first() {
+        let mut bo =
+            make_optimizer().with_window(atlas_gp::WindowPolicy::SlidingWindow { capacity: 2 });
+        bo.observe(vec![0.1, 0.1], 5.0);
+        bo.observe(vec![0.2, 0.2], 2.0);
+        bo.observe(vec![0.3, 0.3], 7.0);
+        assert_eq!(bo.len(), 2);
+        // The y = 5.0 observation was evicted; best() is over the window.
+        assert_eq!(bo.best().unwrap().y, 2.0);
+        assert_eq!(bo.observations()[0].y, 2.0);
+        assert_eq!(bo.observations()[1].y, 7.0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! number of observations) and a Bayesian neural network (scalable to the
 //! thousands of offline queries of stages 1–2).
 
-use atlas_gp::{GaussianProcess, GpConfig};
+use atlas_gp::{GaussianProcess, GpConfig, WindowPolicy};
 use atlas_math::dist::standard_normal_sample;
 use atlas_math::rng::Rng64;
 use atlas_nn::{Bnn, BnnConfig};
@@ -41,6 +41,22 @@ pub trait Surrogate: Send + Sync {
     fn observe_one(&mut self, _x: &[f64], _y: f64, _rng: &mut Rng64) -> bool {
         false
     }
+    /// Bounds the surrogate's *internal* training window, if it keeps one,
+    /// returning `true` when the surrogate fully re-established its own
+    /// state under the new policy. Called by
+    /// [`crate::BayesOpt::with_window`] so the optimiser's history
+    /// eviction and the surrogate's retained state can never disagree.
+    ///
+    /// The default returns `false`: a surrogate without internal
+    /// incremental history (the BNN) relies on the optimiser to refit it
+    /// from the — already windowed — history buffers. Those buffers only
+    /// enforce the *capacity*, though: policy extras such as
+    /// [`WindowPolicy::Decayed`]'s age weighting need surrogate support
+    /// and otherwise degrade to plain sliding-window semantics. The GP
+    /// overrides this to evict, downdate and re-weight in place.
+    fn set_window(&mut self, _window: WindowPolicy) -> bool {
+        false
+    }
     /// Evaluates **one** coherent draw from the posterior over functions at
     /// every candidate (Thompson sampling). Candidates are scored by the
     /// drawn values directly.
@@ -69,6 +85,21 @@ impl GpSurrogate {
         Self {
             gp: GaussianProcess::new(config),
         }
+    }
+
+    /// Creates a GP surrogate whose training set is bounded by `window` —
+    /// the long-horizon configuration: per-observation cost and resident
+    /// factor memory plateau at the window capacity instead of growing
+    /// with the loop's age. Both the incremental
+    /// ([`Surrogate::observe_one`]) and full-refit ([`Surrogate::fit`])
+    /// paths honour the window, so pairing it with
+    /// [`crate::BayesOpt::with_window`] at the same capacity keeps the two
+    /// refit routes equivalent.
+    pub fn windowed(window: WindowPolicy) -> Self {
+        Self::with_config(GpConfig {
+            window,
+            ..GpConfig::default()
+        })
     }
 
     /// Access to the underlying Gaussian process.
@@ -105,6 +136,12 @@ impl Surrogate for GpSurrogate {
         // The GP absorbs a point in O(n²); a degenerate extension reports
         // `false` so the optimiser schedules a full refit instead.
         self.gp.observe(x.to_vec(), y).is_ok()
+    }
+
+    fn set_window(&mut self, window: WindowPolicy) -> bool {
+        // A degenerate re-selection (every factor retired) reports false
+        // so the optimiser schedules a full refit instead.
+        self.gp.set_window(window).is_ok()
     }
 
     fn thompson_batch(&self, candidates: &[Vec<f64>], rng: &mut Rng64) -> Vec<f64> {

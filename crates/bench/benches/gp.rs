@@ -54,6 +54,39 @@ fn add_observation_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn windowed_observe(c: &mut Criterion) {
+    use atlas_gp::{GpConfig, WindowPolicy};
+    // The long-horizon steady state: a full sliding window, where every
+    // observe is an in-place evict (Cholesky row-deletion downdate) plus
+    // the usual bordering append across all 35 grid factors — constant in
+    // the slice's age, unlike the unbounded path at the same history size.
+    let cap = 128usize;
+    let (xs, ys) = dataset(cap + 1, 6);
+    let mut warm = GaussianProcess::new(GpConfig {
+        window: WindowPolicy::SlidingWindow { capacity: cap },
+        ..GpConfig::default()
+    });
+    warm.fit(&xs[..cap], &ys[..cap]).unwrap();
+    let mut unbounded = GaussianProcess::default_matern();
+    unbounded.fit(&xs[..cap], &ys[..cap]).unwrap();
+    let mut group = c.benchmark_group("gp_windowed_observe");
+    group.bench_function(BenchmarkId::new("shift_at_capacity", cap), |b| {
+        b.iter(|| {
+            let mut gp = warm.clone();
+            gp.observe(xs[cap].clone(), ys[cap]).unwrap();
+            black_box(gp.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("unbounded_append", cap), |b| {
+        b.iter(|| {
+            let mut gp = unbounded.clone();
+            gp.observe(xs[cap].clone(), ys[cap]).unwrap();
+            black_box(gp.len())
+        })
+    });
+    group.finish();
+}
+
 fn predict_batch(c: &mut Criterion) {
     let (xs, ys) = dataset(200, 6);
     let mut gp = GaussianProcess::default_matern();
@@ -79,6 +112,6 @@ fn predict_batch(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = add_observation_scaling, predict_batch
+    targets = add_observation_scaling, windowed_observe, predict_batch
 );
 criterion_main!(benches);

@@ -13,7 +13,10 @@
 //! ```
 
 use atlas_bayesopt::SearchSpace;
-use atlas_gp::{GaussianProcess, GRID_PAR_MIN_CANDIDATES, GRID_PAR_MIN_N, PREDICT_PAR_MIN_CHUNK};
+use atlas_gp::{
+    GaussianProcess, GpConfig, WindowPolicy, GRID_PAR_MIN_CANDIDATES, GRID_PAR_MIN_N,
+    PREDICT_PAR_MIN_CHUNK,
+};
 use atlas_math::linalg::{l2_distance, Matrix, PackedCholesky, DEFAULT_COL_TILE};
 use atlas_math::rng::seeded_rng;
 use std::fmt::Write as _;
@@ -172,6 +175,16 @@ fn main() {
             (tile, ms)
         })
         .collect();
+    // The tile this sweep actually favoured, recorded next to the chosen
+    // default so the committed JSON never silently contradicts the
+    // constant it exists to calibrate (on the 1-CPU benchmark container
+    // the 64-256 band wanders by ~10% run to run; see the ROADMAP
+    // re-calibration item before moving `DEFAULT_COL_TILE`).
+    let measured_best_tile = tile_points
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite timings"))
+        .expect("non-empty sweep")
+        .0;
 
     // ---- thread-threshold calibration -----------------------------------
     // `predict_batch_par` with pinned worker counts (its internal shape,
@@ -197,6 +210,81 @@ fn main() {
             (threads, ms)
         })
         .collect();
+
+    // ---- long-horizon window calibration --------------------------------
+    // Per-observe latency and resident factor bytes, windowed vs unbounded,
+    // at slice ages far beyond anything the n² sections above touch. A
+    // single-candidate GP (hyper-parameter refinement off) keeps the
+    // unbounded warm-up fit at n = 5000 tractable; the 35-candidate grid
+    // multiplies both arms' cost and bytes uniformly, so the windowed vs
+    // unbounded *shape* — flat vs quadratic — is unchanged.
+    let (lh_sizes, lh_cap): (&[usize], usize) = if quick {
+        (&[256, 512, 1024], 128)
+    } else {
+        (&[1000, 2000, 5000], 512)
+    };
+    let lh_config = |window| GpConfig {
+        optimize_hyperparameters: false,
+        window,
+        ..GpConfig::default()
+    };
+    let n_max = *lh_sizes.last().expect("at least one size");
+    let (lh_xs, lh_ys) = dataset(n_max);
+    // Windowed arm: stream every observation through one sliding-window GP
+    // and take the median per-observe time over the 31 observations before
+    // each checkpoint (the window includes the amortised periodic rebuilds,
+    // which are also capacity-bounded).
+    let mut windowed =
+        GaussianProcess::new(lh_config(WindowPolicy::SlidingWindow { capacity: lh_cap }));
+    let mut observe_ms = Vec::with_capacity(n_max);
+    for (x, y) in lh_xs.iter().zip(&lh_ys) {
+        let input = x.clone();
+        let start = Instant::now();
+        windowed.observe(input, *y).unwrap();
+        observe_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    assert_eq!(windowed.len(), lh_cap, "window must plateau at capacity");
+    let windowed_bytes = windowed.factor_bytes();
+    let windowed_at = |n: usize| median(observe_ms[n - 31..n].to_vec());
+    // Unbounded arm: warm-fit at n−1 (cheap with one candidate), then time
+    // the n-th observe on a clone, exactly like the n² section above.
+    let lh_points: Vec<(usize, f64, usize, f64, usize)> = lh_sizes
+        .iter()
+        .map(|&n| {
+            let mut warm = GaussianProcess::new(lh_config(WindowPolicy::Unbounded));
+            warm.fit(&lh_xs[..n - 1], &lh_ys[..n - 1]).unwrap();
+            let unbounded_ms = median(
+                (0..reps)
+                    .map(|_| {
+                        let mut gp = warm.clone();
+                        let input = lh_xs[n - 1].clone();
+                        let start = Instant::now();
+                        gp.observe(input, lh_ys[n - 1]).unwrap();
+                        start.elapsed().as_secs_f64() * 1e3
+                    })
+                    .collect(),
+            );
+            let unbounded_bytes = {
+                let mut gp = warm.clone();
+                gp.observe(lh_xs[n - 1].clone(), lh_ys[n - 1]).unwrap();
+                gp.factor_bytes()
+            };
+            let w_ms = windowed_at(n);
+            println!(
+                "long horizon n = {n:>5} (cap {lh_cap}): windowed observe {w_ms:>7.3} ms \
+                 ({windowed_bytes} factor bytes), unbounded observe {unbounded_ms:>8.3} ms \
+                 ({unbounded_bytes} factor bytes)"
+            );
+            (n, w_ms, windowed_bytes, unbounded_ms, unbounded_bytes)
+        })
+        .collect();
+    let flatness = lh_points.last().unwrap().1 / lh_points.first().unwrap().1;
+    println!(
+        "windowed per-observe flatness across n = {}..{}: {flatness:.2}x \
+         (1.0 = perfectly flat)",
+        lh_sizes.first().unwrap(),
+        n_max
+    );
 
     let speedup_largest = points.last().expect("non-empty").speedup();
     let full_exp = scaling_exponent(&points, |p| p.full_refit_ms);
@@ -244,6 +332,7 @@ fn main() {
         let _ = writeln!(json, "      {{\"tile\": {tile}, \"ms\": {ms:.4}}}{comma}");
     }
     json.push_str("    ],\n");
+    let _ = writeln!(json, "    \"measured_best_tile\": {measured_best_tile},");
     let _ = writeln!(json, "    \"chosen_default_col_tile\": {DEFAULT_COL_TILE}");
     json.push_str("  },\n");
     // Thread-parallel threshold calibration.
@@ -267,6 +356,28 @@ fn main() {
         "    \"chosen\": {{\"predict_par_min_chunk\": {PREDICT_PAR_MIN_CHUNK}, \"grid_par_min_candidates\": {GRID_PAR_MIN_CANDIDATES}, \"grid_par_min_n\": {GRID_PAR_MIN_N}}}"
     );
     json.push_str("  },\n");
+    // Long-horizon sliding-window calibration: per-observe latency must be
+    // flat in the total number of observations, and factor memory must
+    // plateau at O(cap²/2) per candidate.
+    json.push_str("  \"long_horizon\": {\n");
+    let _ = writeln!(json, "    \"window_capacity\": {lh_cap},");
+    json.push_str(
+        "    \"note\": \"single hyper-parameter candidate; the default 35-candidate grid \
+         scales both arms' cost and bytes uniformly\",\n",
+    );
+    json.push_str("    \"points\": [\n");
+    for (i, (n, w_ms, w_bytes, u_ms, u_bytes)) in lh_points.iter().enumerate() {
+        let comma = if i + 1 < lh_points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"n\": {n}, \"windowed_observe_ms\": {w_ms:.4}, \
+             \"windowed_factor_bytes\": {w_bytes}, \"unbounded_observe_ms\": {u_ms:.4}, \
+             \"unbounded_factor_bytes\": {u_bytes}}}{comma}"
+        );
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(json, "    \"windowed_flatness\": {flatness:.3}");
+    json.push_str("  },\n");
     let _ = writeln!(json, "  \"speedup_at_largest_n\": {speedup_largest:.2},");
     let _ = writeln!(json, "  \"full_refit_scaling_exponent\": {full_exp:.3},");
     let _ = writeln!(json, "  \"incremental_scaling_exponent\": {inc_exp:.3}");
@@ -278,5 +389,11 @@ fn main() {
         speedup_largest >= 10.0,
         "incremental observe must be >= 10x faster than the full refit at \
          n = {n} (measured {speedup_largest:.1}x)"
+    );
+    assert!(
+        flatness <= 2.5,
+        "windowed per-observe time must be flat in the total observation \
+         count (measured {flatness:.2}x across n = {}..{n_max})",
+        lh_sizes.first().unwrap()
     );
 }

@@ -33,6 +33,7 @@ pub use session::{SliceQuery, SliceSession};
 use crate::env::{Environment, SimulatorEnv, Sla};
 use crate::stage2::Stage2Result;
 use atlas_bayesopt::Acquisition;
+use atlas_gp::WindowPolicy;
 use atlas_netsim::{Scenario, Simulator, SliceConfig};
 use atlas_nn::{Bnn, BnnConfig};
 
@@ -70,6 +71,13 @@ pub struct Stage3Config {
     pub duration_s: f64,
     /// BNN hyper-parameters for the BNN-based online model variants.
     pub bnn: BnnConfig,
+    /// How the GP residual model bounds its training window. The default
+    /// ([`WindowPolicy::Unbounded`]) keeps every observation — bit-for-bit
+    /// the historical behaviour — but long-horizon slices (sessions that
+    /// run for the lifetime of a slice rather than a fixed budget) should
+    /// use a bounded window so per-round model cost and memory plateau at
+    /// the capacity instead of growing with slice age.
+    pub gp_window: WindowPolicy,
 }
 
 impl Default for Stage3Config {
@@ -88,6 +96,7 @@ impl Default for Stage3Config {
                 epochs: 30,
                 ..BnnConfig::default()
             },
+            gp_window: WindowPolicy::Unbounded,
         }
     }
 }
@@ -179,6 +188,16 @@ impl OnlineLearner {
     /// The stage configuration.
     pub fn config(&self) -> &Stage3Config {
         &self.config
+    }
+
+    /// Returns the learner with its GP residual window policy replaced —
+    /// the long-horizon knob: sessions begun afterwards bound their
+    /// residual model's memory and per-round cost at the window capacity.
+    /// [`WindowPolicy::Unbounded`] restores the historical behaviour bit
+    /// for bit. Only sessions created after the call are affected.
+    pub fn with_gp_window(mut self, window: WindowPolicy) -> Self {
+        self.config.gp_window = window;
+        self
     }
 
     /// The SLA the learner optimises under.

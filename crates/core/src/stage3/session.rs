@@ -19,7 +19,7 @@ use super::policy::{OnlinePolicy, ResidualModel};
 use super::{best_outcome, OnlineModel, OnlineOutcome, Stage3Config, Stage3Result};
 use crate::env::{policy_features, Environment, QoeSample, SimulatorEnv, Sla};
 use atlas_bayesopt::SearchSpace;
-use atlas_gp::GaussianProcess;
+use atlas_gp::{GaussianProcess, GpConfig};
 use atlas_math::rng::{derive_seed, seeded_rng, Rng64};
 use atlas_netsim::{Scenario, SliceConfig};
 use atlas_nn::Bnn;
@@ -96,8 +96,15 @@ impl SliceSession {
         let space = SearchSpace::new(SliceConfig::min().to_vec(), SliceConfig::max().to_vec());
         let run_scenario = scenario.with_duration(config.duration_s);
         let residual_model = match config.online_model {
+            // The configured window policy bounds the residual GP for
+            // long-horizon sessions (`Unbounded` — the default — makes
+            // this construction identical to
+            // `GaussianProcess::default_matern()`).
             OnlineModel::GpResidual => {
-                ResidualModel::Gp(Box::new(GaussianProcess::default_matern()))
+                ResidualModel::Gp(Box::new(GaussianProcess::new(GpConfig {
+                    window: config.gp_window,
+                    ..GpConfig::default()
+                })))
             }
             OnlineModel::BnnResidual => ResidualModel::Bnn {
                 bnn: Box::new(Bnn::new(
@@ -176,6 +183,18 @@ impl SliceSession {
     /// The stage configuration.
     pub fn config(&self) -> &Stage3Config {
         &self.config
+    }
+
+    /// Observations currently retained by the online residual model. Under
+    /// [`Stage3Config::gp_window`]'s bounded policies this plateaus at the
+    /// window capacity however long the session runs — the signal a
+    /// long-horizon driver watches to confirm the model's footprint (and
+    /// per-round cost) stopped growing.
+    pub fn residual_observations(&self) -> usize {
+        match &self.residual_model {
+            ResidualModel::Gp(gp) => gp.len(),
+            ResidualModel::Bnn { xs, .. } | ResidualModel::Continued { xs, .. } => xs.len(),
+        }
     }
 
     /// The session's augmented-simulator environment: what the queries
@@ -600,6 +619,50 @@ mod tests {
         let mut session = learner.begin(&scenario, 3);
         let _ = session.accel_suggest().expect("acceleration is on");
         let _ = session.suggest();
+    }
+
+    #[test]
+    fn windowed_session_plateaus_and_unbounded_stays_bit_identical() {
+        use atlas_gp::WindowPolicy;
+        let real = RealEnv::new(RealNetwork::prototype());
+        let scenario = Scenario::default_with_seed(11).with_duration(2.0);
+        let config = Stage3Config {
+            iterations: 12,
+            offline_updates: 1,
+            candidates: 40,
+            duration_s: 2.0,
+            ..Stage3Config::default()
+        };
+        let learner = |window| {
+            crate::stage3::OnlineLearner::without_offline(
+                config,
+                Sla::paper_default(),
+                Simulator::with_original_params(),
+            )
+            .with_gp_window(window)
+        };
+        // An explicit Unbounded learner reproduces the default bit for bit.
+        let baseline = learner(WindowPolicy::Unbounded).run(&real, &scenario, 77);
+        let default = crate::stage3::OnlineLearner::without_offline(
+            config,
+            Sla::paper_default(),
+            Simulator::with_original_params(),
+        )
+        .run(&real, &scenario, 77);
+        assert_eq!(baseline, default);
+
+        // A bounded window plateaus the residual model while the history
+        // keeps growing round by round.
+        let bounded = learner(WindowPolicy::SlidingWindow { capacity: 4 });
+        let mut session = bounded.begin(&scenario, 77);
+        let mut peak = 0;
+        while let Some(query) = session.suggest() {
+            let sample = real.query(&query.config, &query.scenario, &query.sla);
+            session.observe(sample);
+            peak = peak.max(session.residual_observations());
+        }
+        assert_eq!(peak, 4, "residual GP must plateau at the window");
+        assert_eq!(session.history().len(), 12);
     }
 
     #[test]

@@ -30,6 +30,21 @@
 //! values. A periodic full rebuild (every [`GpConfig::refit_every`]
 //! observations) re-derives everything from scratch as a numerical
 //! backstop and revives any grid candidate whose factor update failed.
+//!
+//! ## Bounded windows for long horizons
+//!
+//! Unbounded, the incremental path still grows with slice age: O(n²) per
+//! observe and O(grid·n²/2) resident factor memory. A bounded
+//! [`WindowPolicy`] caps the retained window — once full, each observe
+//! evicts the oldest observation by downdating the distance cache and
+//! every live grid factor **in place**
+//! ([`atlas_math::linalg::PackedCholesky::shift_window`]: a Givens-style
+//! row-deletion downdate plus the usual bordering append), so the
+//! per-observe cost and footprint plateau at the capacity while the
+//! marginal-likelihood selection keeps matching a full refit on the same
+//! retained window. An evict+append is two factor mutations and advances
+//! the [`GpConfig::refit_every`] counter twice, so the periodic rebuild
+//! also bounds the downdates' numerical drift.
 
 use crate::kernel::Kernel;
 use atlas_math::linalg::{Matrix, PackedCholesky};
@@ -40,6 +55,56 @@ use atlas_math::{MathError, Result};
 const LS_MULTIPLIERS: [f64; 7] = [0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
 /// Signal-variance levels of the hyper-parameter refinement grid.
 const VARIANCES: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// How the regressor bounds its training window over a long horizon.
+///
+/// Atlas's online stage runs for the lifetime of a slice, and an unbounded
+/// GP costs O(n²) per observation and O(grid·n²/2) resident factor memory —
+/// both growing with slice age. A window policy caps the retained
+/// observation set so the per-observation cost and footprint plateau at the
+/// capacity, independent of how many observations ever flowed through:
+/// eviction *downdates* the cached distances and every live grid factor in
+/// place ([`atlas_math::linalg::PackedCholesky::shift_window`]) instead of
+/// refitting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowPolicy {
+    /// Keep every observation (the historical behaviour, bit-for-bit).
+    Unbounded,
+    /// Keep only the newest `capacity` observations; the oldest one is
+    /// evicted on each observe once the window is full. Selection and
+    /// prediction match a full GP fit on the same retained window (to
+    /// rounding error between periodic rebuilds — see
+    /// [`GpConfig::refit_every`], which windowed eviction honours at twice
+    /// the rate since an evict+append is two factor mutations).
+    SlidingWindow {
+        /// Maximum retained observations (values below 1 are treated as 1).
+        capacity: usize,
+    },
+    /// Like [`WindowPolicy::SlidingWindow`], but targets are additionally
+    /// down-weighted by age *before* eviction: the normalised target of an
+    /// observation `age` steps old is scaled by `0.5^(age / half_life)`,
+    /// shrinking stale residuals towards the prior mean so the posterior
+    /// forgets gradually instead of at the eviction cliff. (The predictive
+    /// variance is unweighted — uncertainty does not shrink with age.)
+    Decayed {
+        /// Maximum retained observations (values below 1 are treated as 1).
+        capacity: usize,
+        /// Age, in observations, at which a target's weight halves.
+        half_life: f64,
+    },
+}
+
+impl WindowPolicy {
+    /// The retained-observation cap, if the policy bounds the window.
+    pub fn capacity(&self) -> Option<usize> {
+        match *self {
+            WindowPolicy::Unbounded => None,
+            WindowPolicy::SlidingWindow { capacity } | WindowPolicy::Decayed { capacity, .. } => {
+                Some(capacity.max(1))
+            }
+        }
+    }
+}
 
 /// Configuration of the GP regressor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,8 +123,15 @@ pub struct GpConfig {
     /// How many incremental [`GaussianProcess::observe`] calls may elapse
     /// before the factors are rebuilt from scratch. The bordering update is
     /// exact, so this is a numerical backstop (and revives grid candidates
-    /// whose update failed), not a correctness requirement.
+    /// whose update failed), not a correctness requirement. Under a
+    /// bounded [`GpConfig::window`] it also bounds the drift of the
+    /// eviction downdates — an evict+append counts as **two** factor
+    /// mutations towards this threshold.
     pub refit_every: usize,
+    /// How the training window is bounded over a long horizon
+    /// ([`WindowPolicy::Unbounded`] — the default — reproduces the
+    /// historical unbounded behaviour bit for bit).
+    pub window: WindowPolicy,
 }
 
 impl Default for GpConfig {
@@ -70,6 +142,7 @@ impl Default for GpConfig {
             normalize_y: true,
             optimize_hyperparameters: true,
             refit_every: 64,
+            window: WindowPolicy::Unbounded,
         }
     }
 }
@@ -99,6 +172,24 @@ impl DistanceCache {
         }
         self.packed.push(0.0);
         self.n += 1;
+    }
+
+    /// Removes training point 0, shifting every remaining index down by
+    /// one. Row `i` of the packed triangle holds `d(i, 0..=i)`, so the
+    /// compaction just drops each row's leading entry — O(n²) moves, no
+    /// fresh allocation, and the freed tail capacity is reused by the next
+    /// [`DistanceCache::append`].
+    fn remove_oldest(&mut self) {
+        let n = self.n;
+        debug_assert!(n > 0, "remove_oldest on an empty cache");
+        let mut w = 0;
+        for i in 1..n {
+            let start = i * (i + 1) / 2;
+            self.packed.copy_within(start + 1..start + i + 1, w);
+            w += i;
+        }
+        self.packed.truncate(w);
+        self.n = n - 1;
     }
 
     /// Distance between training points `i` and `j`.
@@ -232,9 +323,51 @@ impl GaussianProcess {
         &self.kernel
     }
 
-    /// The raw (un-normalised) training targets.
+    /// The raw (un-normalised) training targets (the retained window under
+    /// a bounded [`WindowPolicy`]).
     pub fn raw_targets(&self) -> &[f64] {
         &self.train_y_raw
+    }
+
+    /// The window policy bounding the training set.
+    pub fn window(&self) -> WindowPolicy {
+        self.config.window
+    }
+
+    /// Replaces the window policy in place. Shrinking the window below the
+    /// currently retained count evicts the oldest observations immediately
+    /// (through a full rebuild on the retained tail); otherwise the fitted
+    /// state is re-derived under the new policy (the age weighting of
+    /// [`WindowPolicy::Decayed`] lives in the normalised targets) and
+    /// future observes enforce the new bound.
+    pub fn set_window(&mut self, window: WindowPolicy) -> Result<()> {
+        self.config.window = window;
+        let n = self.train_x.len();
+        match window.capacity() {
+            Some(cap) if n > cap => {
+                self.train_x.drain(..n - cap);
+                self.train_y_raw.drain(..n - cap);
+                self.rebuild()
+            }
+            _ if n > 0 => {
+                self.update_normalisation();
+                self.select_best()
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Bytes of Cholesky-factor storage resident across every live
+    /// hyper-parameter grid candidate. Under a bounded [`WindowPolicy`]
+    /// this plateaus at O(grid · capacity²/2) doubles regardless of how
+    /// many observations ever flowed through; unbounded it grows as
+    /// O(grid · n²/2).
+    pub fn factor_bytes(&self) -> usize {
+        self.grid
+            .iter()
+            .filter_map(|p| p.chol.as_ref())
+            .map(PackedCholesky::resident_bytes)
+            .sum()
     }
 
     /// Fits the GP to the given observations, replacing previous data.
@@ -249,8 +382,14 @@ impl GaussianProcess {
         if inputs.is_empty() {
             return Err(MathError::EmptyInput("GaussianProcess::fit"));
         }
-        self.train_x = inputs.to_vec();
-        self.train_y_raw = targets.to_vec();
+        // A bounded window retains only the newest `capacity` observations,
+        // exactly as if the older ones had been evicted one by one.
+        let keep = match self.config.window.capacity() {
+            Some(cap) if inputs.len() > cap => inputs.len() - cap,
+            _ => 0,
+        };
+        self.train_x = inputs[keep..].to_vec();
+        self.train_y_raw = targets[keep..].to_vec();
         self.rebuild()
     }
 
@@ -269,11 +408,33 @@ impl GaussianProcess {
             self.train_y_raw.push(target);
             return self.rebuild();
         }
-        self.since_rebuild += 1;
+        // A full window evicts its oldest observation before absorbing the
+        // new one. An evict+append is **two** factor mutations (a deletion
+        // downdate plus a bordering append), so it advances the
+        // periodic-rebuild counter twice — keeping the numerical backstop
+        // honest about how much incremental drift has accumulated.
+        let evicting = self
+            .config
+            .window
+            .capacity()
+            .is_some_and(|cap| self.train_x.len() >= cap);
+        self.since_rebuild += if evicting { 2 } else { 1 };
         if self.since_rebuild >= self.config.refit_every.max(1) {
+            if evicting {
+                self.train_x.remove(0);
+                self.train_y_raw.remove(0);
+            }
             self.train_x.push(input);
             self.train_y_raw.push(target);
             return self.rebuild();
+        }
+        if evicting {
+            // Buffer-reusing eviction: the point vectors and the packed
+            // distance rows are compacted in place, so the retained-window
+            // footprint plateaus instead of growing with slice age.
+            self.train_x.remove(0);
+            self.train_y_raw.remove(0);
+            self.dist.remove_oldest();
         }
         self.dist.append(&self.train_x, &input);
         self.train_x.push(input);
@@ -291,7 +452,12 @@ impl GaussianProcess {
                 row.push(point.kernel.eval_dist(dist.get(n - 1, j)));
             }
             row.push(point.kernel.eval_dist(0.0) + noise);
-            if chol.append_row(&row).is_err() {
+            let updated = if evicting {
+                chol.shift_window(&row)
+            } else {
+                chol.append_row(&row)
+            };
+            if updated.is_err() {
                 // Degenerate extension for this candidate: retire its factor
                 // until the next full rebuild.
                 point.chol = None;
@@ -305,16 +471,8 @@ impl GaussianProcess {
         self.select_best()
     }
 
-    /// Adds one observation and refits.
-    #[deprecated(
-        note = "use `GaussianProcess::observe`, which updates the factorisation \
-                incrementally in O(n²) and keeps raw targets exact"
-    )]
-    pub fn add_observation(&mut self, input: Vec<f64>, target: f64) -> Result<()> {
-        self.observe(input, target)
-    }
-
-    /// Recomputes the target normalisation from the raw targets.
+    /// Recomputes the target normalisation from the raw targets, applying
+    /// the [`WindowPolicy::Decayed`] age weighting when configured.
     fn update_normalisation(&mut self) {
         let (y_mean, y_std) = if self.config.normalize_y {
             let mean = atlas_math::stats::mean(&self.train_y_raw);
@@ -328,6 +486,16 @@ impl GaussianProcess {
         self.train_y.clear();
         self.train_y
             .extend(self.train_y_raw.iter().map(|y| (y - y_mean) / y_std));
+        if let WindowPolicy::Decayed { half_life, .. } = self.config.window {
+            // Newest observation has age 0; a target's weight halves every
+            // `half_life` observations. Non-positive half-lives collapse to
+            // "only the newest target matters".
+            let rate = 1.0 / half_life.max(1e-9);
+            let n = self.train_y.len();
+            for (i, y) in self.train_y.iter_mut().enumerate() {
+                *y *= 0.5f64.powf((n - 1 - i) as f64 * rate);
+            }
+        }
     }
 
     /// Rebuilds the distance cache and every grid factor from scratch, then
@@ -562,18 +730,6 @@ mod tests {
     }
 
     #[test]
-    fn observe_absorbs_points_one_at_a_time() {
-        // Formerly exercised the deprecated `add_observation` shim; all
-        // callers now go through `observe` directly.
-        let mut gp = GaussianProcess::default_matern();
-        gp.observe(vec![0.0], 1.0).unwrap();
-        gp.observe(vec![1.0], 3.0).unwrap();
-        assert_eq!(gp.len(), 2);
-        let (mean, _) = gp.predict(&[0.0]);
-        assert!((mean - 1.0).abs() < 0.5);
-    }
-
-    #[test]
     fn observe_matches_full_refit_exactly() {
         // The incremental path must reproduce fit-from-scratch bit for bit:
         // same distances, same bordered factors, same grid selection.
@@ -604,6 +760,204 @@ mod tests {
             full.fit(&xs[..=k], &ys[..=k]).unwrap();
             assert_eq!(gp.predict(&[2.3]), full.predict(&[2.3]), "step {k}");
         }
+    }
+
+    #[test]
+    fn unbounded_window_is_bit_identical_to_the_default() {
+        // `WindowPolicy::Unbounded` (the default) must not perturb a single
+        // bit of the historical observe path.
+        let (xs, ys) = train_sine(20);
+        let mut explicit = GaussianProcess::new(GpConfig {
+            window: WindowPolicy::Unbounded,
+            ..GpConfig::default()
+        });
+        let mut default = GaussianProcess::default_matern();
+        for (x, y) in xs.iter().zip(&ys) {
+            explicit.observe(x.clone(), *y).unwrap();
+            default.observe(x.clone(), *y).unwrap();
+        }
+        assert_eq!(explicit.kernel(), default.kernel());
+        for p in &xs {
+            assert_eq!(explicit.predict(p), default.predict(p));
+        }
+        assert_eq!(explicit.factor_bytes(), default.factor_bytes());
+    }
+
+    #[test]
+    fn sliding_window_evicts_and_tracks_a_full_fit_on_the_window() {
+        let cap = 8;
+        let (xs, ys) = train_sine(30);
+        // A large refit_every so every eviction exercises the downdate
+        // path rather than hiding behind the periodic rebuild.
+        let mut windowed = GaussianProcess::new(GpConfig {
+            window: WindowPolicy::SlidingWindow { capacity: cap },
+            refit_every: 10_000,
+            ..GpConfig::default()
+        });
+        for k in 0..xs.len() {
+            windowed.observe(xs[k].clone(), ys[k]).unwrap();
+            assert!(windowed.len() <= cap, "window must plateau at {cap}");
+            let lo = (k + 1).saturating_sub(cap);
+            assert_eq!(windowed.raw_targets(), &ys[lo..=k], "step {k}");
+            if k + 1 >= cap {
+                let mut full = GaussianProcess::new(GpConfig {
+                    window: WindowPolicy::SlidingWindow { capacity: cap },
+                    ..GpConfig::default()
+                });
+                full.fit(&xs[lo..=k], &ys[lo..=k]).unwrap();
+                // Selection over the 35-candidate grid must agree with the
+                // full refit on the same retained window...
+                assert_eq!(windowed.kernel(), full.kernel(), "step {k}");
+                // ...and predictions agree to downdate rounding error.
+                for p in &xs[..5] {
+                    let (wm, ws) = windowed.predict(p);
+                    let (fm, fs) = full.predict(p);
+                    assert!((wm - fm).abs() < 1e-7, "step {k}: mean {wm} vs {fm}");
+                    assert!((ws - fs).abs() < 1e-7, "step {k}: std {ws} vs {fs}");
+                }
+            }
+        }
+        // Memory plateaus: every live factor holds exactly cap rows.
+        assert!(windowed.factor_bytes() <= 35 * cap * (cap + 1) / 2 * 8);
+    }
+
+    #[test]
+    fn windowed_eviction_advances_the_rebuild_counter_twice() {
+        // refit_every = 4 with a capacity-2 window: observe #1 rebuilds
+        // (bootstrap, counter 0), #2 adds +1 (no eviction yet), and every
+        // later observe evicts, adding +2 — so rebuilds fire at observes
+        // #4 and #6 (counter 1 → 3 → 5 ≥ 4, then 2 → 4 ≥ 4). A rebuild is
+        // a from-scratch refactorisation and therefore **bit-identical**
+        // to a fresh fit on the retained window, while downdate steps
+        // agree only to rounding error — which makes the +2 counting
+        // directly observable: were an eviction counted once, the rebuild
+        // would land on #5 instead and #4 would (almost surely) differ in
+        // the low bits.
+        let mut gp = GaussianProcess::new(GpConfig {
+            window: WindowPolicy::SlidingWindow { capacity: 2 },
+            refit_every: 4,
+            ..GpConfig::default()
+        });
+        let xs: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64 * 0.7]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 1.3).sin() * 2.0 + 1.0).collect();
+        let mut full = GaussianProcess::new(GpConfig {
+            window: WindowPolicy::SlidingWindow { capacity: 2 },
+            ..GpConfig::default()
+        });
+        let probes = [vec![0.4], vec![1.1], vec![2.9]];
+        for k in 0..xs.len() {
+            gp.observe(xs[k].clone(), ys[k]).unwrap();
+            let lo = (k + 1).saturating_sub(2);
+            full.fit(&xs[lo..=k], &ys[lo..=k]).unwrap();
+            assert_eq!(gp.raw_targets(), full.raw_targets(), "step {k}");
+            for p in &probes {
+                let (gm, gs) = gp.predict(p);
+                let (fm, fs) = full.predict(p);
+                if k == 3 || k == 5 {
+                    // Post-rebuild steps: exactly the fresh fit.
+                    assert_eq!((gm, gs), (fm, fs), "rebuild step {k}");
+                } else {
+                    assert!((gm - fm).abs() < 1e-7, "step {k}: {gm} vs {fm}");
+                    assert!((gs - fs).abs() < 1e-7, "step {k}: {gs} vs {fs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decayed_window_downweights_old_targets() {
+        // First half of the stream sits at +5, the newer half at −5: a
+        // decayed GP's prediction must lean towards the recent level, a
+        // plain sliding window (same capacity, no decay) sits in between.
+        let xs: Vec<Vec<f64>> = (0..16).map(|i| vec![(i % 4) as f64]).collect();
+        let ys: Vec<f64> = (0..16).map(|i| if i < 8 { 5.0 } else { -5.0 }).collect();
+        let run = |window: WindowPolicy| {
+            let mut gp = GaussianProcess::new(GpConfig {
+                window,
+                ..GpConfig::default()
+            });
+            for (x, y) in xs.iter().zip(&ys) {
+                gp.observe(x.clone(), *y).unwrap();
+            }
+            gp.predict(&[1.0]).0
+        };
+        let plain = run(WindowPolicy::SlidingWindow { capacity: 12 });
+        let decayed = run(WindowPolicy::Decayed {
+            capacity: 12,
+            half_life: 2.0,
+        });
+        assert!(
+            decayed < plain - 0.5,
+            "decayed {decayed} must lean towards the recent −5 level vs plain {plain}"
+        );
+        // And the incremental path still matches a full refit on the same
+        // retained window (positions = ages in both).
+        let mut inc = GaussianProcess::new(GpConfig {
+            window: WindowPolicy::Decayed {
+                capacity: 12,
+                half_life: 2.0,
+            },
+            refit_every: 10_000,
+            ..GpConfig::default()
+        });
+        let mut full = GaussianProcess::new(GpConfig {
+            window: WindowPolicy::Decayed {
+                capacity: 12,
+                half_life: 2.0,
+            },
+            ..GpConfig::default()
+        });
+        for (x, y) in xs.iter().zip(&ys) {
+            inc.observe(x.clone(), *y).unwrap();
+        }
+        full.fit(&xs, &ys).unwrap();
+        assert_eq!(inc.kernel(), full.kernel());
+        let (im, is) = inc.predict(&[2.0]);
+        let (fm, fs) = full.predict(&[2.0]);
+        assert!((im - fm).abs() < 1e-7 && (is - fs).abs() < 1e-7);
+    }
+
+    #[test]
+    fn set_window_shrinks_in_place_and_matches_a_fresh_fit() {
+        let (xs, ys) = train_sine(12);
+        let mut gp = GaussianProcess::default_matern();
+        gp.fit(&xs, &ys).unwrap();
+        gp.set_window(WindowPolicy::SlidingWindow { capacity: 4 })
+            .unwrap();
+        assert_eq!(gp.len(), 4);
+        assert_eq!(gp.raw_targets(), &ys[8..]);
+        // Shrinking rebuilds on the retained tail, so the state is exactly
+        // a fresh windowed fit on the same data.
+        let mut fresh = GaussianProcess::new(GpConfig {
+            window: WindowPolicy::SlidingWindow { capacity: 4 },
+            ..GpConfig::default()
+        });
+        fresh.fit(&xs[8..], &ys[8..]).unwrap();
+        assert_eq!(gp.kernel(), fresh.kernel());
+        assert_eq!(gp.predict(&[1.2]), fresh.predict(&[1.2]));
+        // Growing (or unbounding) keeps the fitted state usable.
+        gp.set_window(WindowPolicy::Unbounded).unwrap();
+        assert_eq!(gp.len(), 4);
+        gp.observe(vec![9.0], 0.5).unwrap();
+        assert_eq!(gp.len(), 5, "unbounded again: no more eviction");
+    }
+
+    #[test]
+    fn window_capacity_is_clamped_to_at_least_one() {
+        let mut gp = GaussianProcess::new(GpConfig {
+            window: WindowPolicy::SlidingWindow { capacity: 0 },
+            ..GpConfig::default()
+        });
+        for i in 0..4 {
+            gp.observe(vec![i as f64], i as f64).unwrap();
+            assert_eq!(gp.len(), 1);
+        }
+        assert_eq!(gp.raw_targets(), &[3.0]);
+        assert_eq!(
+            WindowPolicy::SlidingWindow { capacity: 0 }.capacity(),
+            Some(1)
+        );
+        assert_eq!(WindowPolicy::Unbounded.capacity(), None);
     }
 
     #[test]

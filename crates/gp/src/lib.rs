@@ -31,6 +31,35 @@
 //! let batch = gp.predict_batch(&[vec![0.25], vec![0.5]]);
 //! assert_eq!(batch[1], gp.predict(&[0.5]));
 //! ```
+//!
+//! ## Long horizons: bounded-memory sliding windows
+//!
+//! Unbounded, the GP costs O(n²) per observation and O(grid·n²/2) resident
+//! factor memory — both growing with the age of the slice it serves. A
+//! [`WindowPolicy`] caps the retained window: once full, each observation
+//! evicts the oldest one by *downdating* the cached distances and every
+//! live grid factor in place (Givens-style Cholesky row deletion + the
+//! usual bordering append), so per-observation cost and memory plateau at
+//! the capacity while selection keeps matching a full refit on the same
+//! retained window.
+//!
+//! ```
+//! use atlas_gp::{GaussianProcess, GpConfig, WindowPolicy};
+//!
+//! let mut gp = GaussianProcess::new(GpConfig {
+//!     window: WindowPolicy::SlidingWindow { capacity: 64 },
+//!     ..GpConfig::default()
+//! });
+//! for i in 0..500 {
+//!     let x = (i % 40) as f64 / 40.0;
+//!     gp.observe(vec![x], (x * 6.0).sin()).unwrap();
+//! }
+//! // The window — observations, distances, factors — has plateaued.
+//! assert_eq!(gp.len(), 64);
+//! assert!(gp.factor_bytes() <= 35 * (64 * 65 / 2) * 8);
+//! let (mean, _) = gp.predict(&[0.5]);
+//! assert!((mean - (0.5f64 * 6.0).sin()).abs() < 0.2);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +68,7 @@ pub mod gpr;
 pub mod kernel;
 
 pub use gpr::{
-    GaussianProcess, GpConfig, GRID_PAR_MIN_CANDIDATES, GRID_PAR_MIN_N, PREDICT_PAR_MIN_CHUNK,
+    GaussianProcess, GpConfig, WindowPolicy, GRID_PAR_MIN_CANDIDATES, GRID_PAR_MIN_N,
+    PREDICT_PAR_MIN_CHUNK,
 };
 pub use kernel::Kernel;

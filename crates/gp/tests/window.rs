@@ -1,0 +1,113 @@
+//! Property tests of the sliding-window GP: for any seed, stream length
+//! and window configuration, the incremental evict+append path must keep
+//! the retained window exact and agree with a full GP fit on the same
+//! window — same hyper-parameter selection over the whole 35-candidate
+//! grid, predictions to downdate rounding error.
+
+use atlas_gp::{GaussianProcess, GpConfig, WindowPolicy};
+use atlas_math::rng::seeded_rng;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A deterministic pseudo-random stream of 2-D observations.
+fn stream(seed: u64, len: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = seeded_rng(seed);
+    let xs: Vec<Vec<f64>> = (0..len)
+        .map(|_| vec![rng.random::<f64>() * 4.0, rng.random::<f64>() * 4.0])
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| (x[0] - 1.7).sin() * 3.0 + (x[1] * 0.8).cos() + 10.0)
+        .collect();
+    (xs, ys)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sliding_window_selection_equals_full_fit_on_the_window(
+        seed in 0u64..1000,
+        cap in 4usize..10,
+        extra in 1usize..12,
+    ) {
+        let len = cap + extra;
+        let (xs, ys) = stream(seed, len);
+        // refit_every large enough that every eviction exercises the
+        // downdate path (the periodic rebuild is tested separately).
+        let mut windowed = GaussianProcess::new(GpConfig {
+            window: WindowPolicy::SlidingWindow { capacity: cap },
+            refit_every: 10_000,
+            ..GpConfig::default()
+        });
+        for (x, y) in xs.iter().zip(&ys) {
+            windowed.observe(x.clone(), *y).unwrap();
+        }
+        prop_assert_eq!(windowed.len(), cap);
+        prop_assert_eq!(windowed.raw_targets(), &ys[len - cap..]);
+
+        let mut full = GaussianProcess::default_matern();
+        full.fit(&xs[len - cap..], &ys[len - cap..]).unwrap();
+        // Marginal-likelihood selection over the grid agrees exactly...
+        prop_assert_eq!(windowed.kernel(), full.kernel());
+        // ...and the posteriors agree to downdate rounding error.
+        let probes = [vec![0.5, 0.5], vec![2.0, 1.0], vec![3.5, 3.5]];
+        for p in &probes {
+            let (wm, ws) = windowed.predict(p);
+            let (fm, fs) = full.predict(p);
+            prop_assert!((wm - fm).abs() < 1e-7, "mean {} vs {}", wm, fm);
+            prop_assert!((ws - fs).abs() < 1e-7, "std {} vs {}", ws, fs);
+        }
+    }
+
+    #[test]
+    fn windowed_memory_and_window_are_independent_of_stream_length(
+        seed in 0u64..1000,
+        extra in 0usize..30,
+    ) {
+        // Two streams of very different lengths: identical suffixes must
+        // leave identical windows and an identical memory plateau.
+        let cap = 6;
+        let config = GpConfig {
+            window: WindowPolicy::SlidingWindow { capacity: cap },
+            ..GpConfig::default()
+        };
+        let (xs, ys) = stream(seed, cap + extra + 20);
+        let mut long = GaussianProcess::new(config);
+        for (x, y) in xs.iter().zip(&ys) {
+            long.observe(x.clone(), *y).unwrap();
+        }
+        let mut short = GaussianProcess::new(config);
+        let tail = xs.len() - cap;
+        for (x, y) in xs[tail..].iter().zip(&ys[tail..]) {
+            short.observe(x.clone(), *y).unwrap();
+        }
+        prop_assert_eq!(long.len(), short.len());
+        prop_assert_eq!(long.raw_targets(), short.raw_targets());
+        // The plateau: factor bytes bounded by the capacity, not the
+        // stream length.
+        prop_assert!(long.factor_bytes() <= 35 * cap * (cap + 1) / 2 * 8);
+        prop_assert_eq!(long.factor_bytes(), short.factor_bytes());
+    }
+
+    #[test]
+    fn unbounded_window_stays_bit_identical_for_any_stream(
+        seed in 0u64..1000,
+        len in 2usize..20,
+    ) {
+        let (xs, ys) = stream(seed, len);
+        let mut explicit = GaussianProcess::new(GpConfig {
+            window: WindowPolicy::Unbounded,
+            ..GpConfig::default()
+        });
+        let mut default = GaussianProcess::default_matern();
+        for (x, y) in xs.iter().zip(&ys) {
+            explicit.observe(x.clone(), *y).unwrap();
+            default.observe(x.clone(), *y).unwrap();
+        }
+        prop_assert_eq!(explicit.kernel(), default.kernel());
+        for p in &xs {
+            prop_assert_eq!(explicit.predict(p), default.predict(p));
+        }
+    }
+}

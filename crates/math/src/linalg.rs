@@ -367,6 +367,81 @@ impl Matrix {
         Ok(())
     }
 
+    /// Removes row/column `i` from a lower-triangular Cholesky factor in
+    /// place, in O(n²).
+    ///
+    /// If `self` is the factor `L` of an `n`×`n` SPD matrix `A`, the matrix
+    /// becomes the `(n−1)`×`(n−1)` factor of `A` with row `i` and column
+    /// `i` deleted. Rows above `i` are untouched; the trailing block is
+    /// restored to triangular form by the Givens-style rank-1 *update*
+    /// `L₃₃' L₃₃'ᵀ = L₃₃ L₃₃ᵀ + l₃₂ l₃₂ᵀ` (a positive update of an SPD
+    /// block, so — unlike a downdate — it can never fail). Deleting the
+    /// *last* row is a pure truncation and therefore bit-for-bit exact;
+    /// interior deletions agree with a from-scratch factorisation of the
+    /// reduced matrix to rounding error (property-tested), not bit level —
+    /// callers that need exactness long-term pair this with a periodic
+    /// full rebuild.
+    pub fn cholesky_delete_row(&mut self, i: usize) -> Result<()> {
+        let n = self.rows;
+        if self.cols != n || i >= n {
+            return Err(MathError::ShapeMismatch {
+                op: "cholesky_delete_row",
+                lhs: self.shape(),
+                rhs: (i, 1),
+            });
+        }
+        // The deleted column's sub-diagonal entries drive the rank-1
+        // restoration of the trailing block.
+        let v: Vec<f64> = ((i + 1)..n).map(|j| self.data[j * n + i]).collect();
+        // Compact rows > i and columns > i in place. Read offsets never
+        // precede write offsets (old indices ≥ new indices), so a single
+        // forward sweep is safe.
+        let m = n - 1;
+        let mut w = 0;
+        for r in 0..n {
+            if r == i {
+                continue;
+            }
+            for c in 0..n {
+                if c == i {
+                    continue;
+                }
+                self.data[w] = self.data[r * n + c];
+                w += 1;
+            }
+        }
+        self.data.truncate(m * m);
+        self.rows = m;
+        self.cols = m;
+        cholesky_rank_one_update(&mut self.data, m, |r, c| r * m + c, i, v);
+        Ok(())
+    }
+
+    /// Slides a Cholesky factor one observation forward: drops row/column 0
+    /// ([`Matrix::cholesky_delete_row`]) and appends the bordering `row`
+    /// ([`Matrix::cholesky_append_row`]) in one O(n²) call — the per-step
+    /// cost of a sliding-window Gram/kernel matrix, with no intermediate
+    /// reallocation (the append reuses the storage the delete freed).
+    ///
+    /// `row` borders the *reduced* matrix, so it has length `n` (the `n−1`
+    /// retained cross terms plus the new diagonal element). The shape is
+    /// validated before the delete, so a [`MathError::ShapeMismatch`]
+    /// leaves the factor untouched; a [`MathError::NotPositiveDefinite`]
+    /// from the append leaves the factor with the oldest row already
+    /// dropped (callers treat a failed shift as a retired factor).
+    pub fn cholesky_shift_window(&mut self, row: &[f64]) -> Result<()> {
+        let n = self.rows;
+        if self.cols != n || n == 0 || row.len() != n {
+            return Err(MathError::ShapeMismatch {
+                op: "cholesky_shift_window",
+                lhs: self.shape(),
+                rhs: (row.len(), 1),
+            });
+        }
+        self.cholesky_delete_row(0)?;
+        self.cholesky_append_row(row)
+    }
+
     /// Solves `L * X = B` for a whole right-hand-side matrix, where `self`
     /// is lower triangular and `B` is `n`×`m`. Column `j` of the result is
     /// bit-for-bit identical to `solve_lower_triangular` applied to column
@@ -484,6 +559,36 @@ impl Matrix {
     }
 }
 
+/// Rank-1 *update* of a lower-triangular Cholesky factor held in `data`
+/// (layout described by `idx(row, col)`): after the call the factor
+/// corresponds to `L Lᵀ + v vᵀ`, where `v` is zero before `start` and
+/// `v[k - start]` aligns with factor row `k`. The classic LINPACK Givens
+/// sweep — O((n − start)²), and always succeeds because adding `v vᵀ` to
+/// an SPD matrix keeps it SPD (every plane-rotation radius is strictly
+/// positive).
+fn cholesky_rank_one_update(
+    data: &mut [f64],
+    n: usize,
+    idx: impl Fn(usize, usize) -> usize,
+    start: usize,
+    mut v: Vec<f64>,
+) {
+    for k in start..n {
+        let dk = data[idx(k, k)];
+        let vk = v[k - start];
+        let r = (dk * dk + vk * vk).sqrt();
+        let c = r / dk;
+        let s = vk / dk;
+        data[idx(k, k)] = r;
+        for j in (k + 1)..n {
+            let p = idx(j, k);
+            let ljk = (data[p] + s * v[j - start]) / c;
+            v[j - start] = c * v[j - start] - s * ljk;
+            data[p] = ljk;
+        }
+    }
+}
+
 /// A lower-triangular Cholesky factor in packed row-major storage: row `i`
 /// holds exactly its `i + 1` non-zeros, so the factor of an `n`×`n` matrix
 /// uses `n(n+1)/2` doubles and — crucially for the incremental GP hot path —
@@ -573,6 +678,78 @@ impl PackedCholesky {
         self.data.push(diag.sqrt());
         self.n = n + 1;
         Ok(())
+    }
+
+    /// Removes row/column `i` from the packed factor in O(n²) — the packed
+    /// counterpart of [`Matrix::cholesky_delete_row`], and the dual of
+    /// [`PackedCholesky::append_row`] the sliding-window GP hot path needs.
+    ///
+    /// Rows above `i` are untouched; the trailing block is restored by a
+    /// Givens-style rank-1 update (a positive update, so the downdate can
+    /// never fail numerically). Deleting the last row is a bit-exact
+    /// truncation; interior deletions agree with refactorising the reduced
+    /// matrix to rounding error (property-tested).
+    pub fn delete_row(&mut self, i: usize) -> Result<()> {
+        let n = self.n;
+        if i >= n {
+            return Err(MathError::ShapeMismatch {
+                op: "PackedCholesky::delete_row",
+                lhs: (n, n),
+                rhs: (i, 1),
+            });
+        }
+        let v: Vec<f64> = ((i + 1)..n)
+            .map(|j| self.data[j * (j + 1) / 2 + i])
+            .collect();
+        // Compact the packed storage: rows < i keep their offsets, rows > i
+        // shift down one slot and lose their column-i entry. Reads never
+        // precede writes, so the sweep is in place.
+        let mut w = i * (i + 1) / 2;
+        for j in (i + 1)..n {
+            let start = j * (j + 1) / 2;
+            for c in 0..=j {
+                if c != i {
+                    self.data[w] = self.data[start + c];
+                    w += 1;
+                }
+            }
+        }
+        self.data.truncate(w);
+        self.n = n - 1;
+        cholesky_rank_one_update(&mut self.data, self.n, |r, c| r * (r + 1) / 2 + c, i, v);
+        Ok(())
+    }
+
+    /// Slides the factor one observation forward: drop row/column 0
+    /// ([`PackedCholesky::delete_row`]) and append the bordering `row`
+    /// ([`PackedCholesky::append_row`]) in one O(n²) call with no
+    /// intermediate reallocation — the steady-state cost of a
+    /// sliding-window kernel matrix, independent of how many observations
+    /// ever flowed through.
+    ///
+    /// `row` borders the reduced matrix, so it has length `n` (the `n−1`
+    /// retained cross terms plus the new diagonal). Shape errors leave the
+    /// factor untouched; a [`MathError::NotPositiveDefinite`] from the
+    /// append leaves the oldest row already dropped (callers treat a failed
+    /// shift as a retired factor).
+    pub fn shift_window(&mut self, row: &[f64]) -> Result<()> {
+        let n = self.n;
+        if n == 0 || row.len() != n {
+            return Err(MathError::ShapeMismatch {
+                op: "PackedCholesky::shift_window",
+                lhs: (n, n),
+                rhs: (row.len(), 1),
+            });
+        }
+        self.delete_row(0)?;
+        self.append_row(row)
+    }
+
+    /// Bytes of factor storage currently resident (the packed triangle
+    /// only, excluding spare `Vec` capacity) — what a windowed GP reports
+    /// as its per-candidate memory plateau.
+    pub fn resident_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
     }
 
     /// Solves `L * x = b` (forward substitution).
@@ -870,6 +1047,130 @@ mod tests {
             attempt.cholesky_append_row(&[1.0, 2.0]),
             Err(MathError::ShapeMismatch { .. })
         ));
+    }
+
+    /// A well-conditioned SPD test matrix with off-diagonal structure.
+    fn spd(n: usize) -> Matrix {
+        let mut a = Matrix::from_fn(n, n, |i, j| {
+            let d = (i as f64 - j as f64).abs();
+            (-d / 2.0).exp() + 0.1 * ((i * 7 + j * 3) % 5) as f64 * f64::from(i == j)
+        });
+        // Symmetrise and lift the diagonal.
+        for i in 0..n {
+            for j in 0..i {
+                let m = 0.5 * (a[(i, j)] + a[(j, i)]);
+                a[(i, j)] = m;
+                a[(j, i)] = m;
+            }
+        }
+        a.add_diagonal(1.0);
+        a
+    }
+
+    fn assert_factors_close(got: &Matrix, want: &Matrix, tol: f64) {
+        assert_eq!(got.shape(), want.shape());
+        for i in 0..got.rows() {
+            for j in 0..got.cols() {
+                assert_close(got[(i, j)], want[(i, j)], tol);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_delete_row_matches_reduced_refactorisation() {
+        let n = 6;
+        let a = spd(n);
+        for del in 0..n {
+            let mut inc = a.cholesky().unwrap();
+            inc.cholesky_delete_row(del).unwrap();
+            let reduced = Matrix::from_fn(n - 1, n - 1, |i, j| {
+                a[(i + usize::from(i >= del), j + usize::from(j >= del))]
+            });
+            let full = reduced.cholesky().unwrap();
+            assert_factors_close(&inc, &full, 1e-10);
+            // Deleting the last row is a pure truncation: bit-exact.
+            if del == n - 1 {
+                assert_eq!(inc, full);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_delete_row_rejects_bad_indices() {
+        let mut l = spd(3).cholesky().unwrap();
+        assert!(matches!(
+            l.cholesky_delete_row(3),
+            Err(MathError::ShapeMismatch { .. })
+        ));
+        let mut rect = Matrix::zeros(2, 3);
+        assert!(rect.cholesky_delete_row(0).is_err());
+    }
+
+    #[test]
+    fn cholesky_shift_window_equals_delete_then_append() {
+        let n = 5;
+        let a = spd(n + 1);
+        let head = Matrix::from_fn(n, n, |i, j| a[(i, j)]);
+        let border: Vec<f64> = (1..=n).map(|j| a[(n, j)]).collect();
+        let mut shifted = head.cholesky().unwrap();
+        shifted.cholesky_shift_window(&border).unwrap();
+        let mut manual = head.cholesky().unwrap();
+        manual.cholesky_delete_row(0).unwrap();
+        manual.cholesky_append_row(&border).unwrap();
+        assert_eq!(shifted, manual);
+        // And both track the from-scratch factor of the shifted window.
+        let window = Matrix::from_fn(n, n, |i, j| a[(i + 1, j + 1)]);
+        assert_factors_close(&shifted, &window.cholesky().unwrap(), 1e-10);
+        // Shape errors leave the factor untouched.
+        let snapshot = shifted.clone();
+        assert!(shifted.cholesky_shift_window(&border[..n - 1]).is_err());
+        assert_eq!(shifted, snapshot);
+    }
+
+    #[test]
+    fn packed_delete_row_matches_dense_delete() {
+        let n = 6;
+        let a = spd(n);
+        for del in 0..n {
+            let mut packed = PackedCholesky::cholesky(&a).unwrap();
+            packed.delete_row(del).unwrap();
+            let mut dense = a.cholesky().unwrap();
+            dense.cholesky_delete_row(del).unwrap();
+            // Same arithmetic on both layouts: identical results.
+            assert_eq!(packed.to_matrix(), dense, "delete {del}");
+            assert_eq!(packed.order(), n - 1);
+        }
+        let mut packed = PackedCholesky::cholesky(&a).unwrap();
+        assert!(packed.delete_row(n).is_err());
+        assert_eq!(packed.order(), n);
+    }
+
+    #[test]
+    fn packed_shift_window_slides_a_kernel_stream() {
+        // Stream a long series of points through a capacity-4 window and
+        // check the factor keeps tracking the from-scratch factorisation of
+        // the retained window.
+        let cap = 4;
+        let point = |t: usize| (t as f64 * 0.37).sin() * 2.0;
+        let kernel = |a: f64, b: f64| (-(a - b).abs()).exp() + f64::from(a == b) * 0.5;
+        let mut window: Vec<f64> = (0..cap).map(point).collect();
+        let gram = |w: &[f64]| Matrix::from_fn(w.len(), w.len(), |i, j| kernel(w[i], w[j]));
+        let mut factor = PackedCholesky::cholesky(&gram(&window)).unwrap();
+        for t in cap..20 {
+            let x = point(t);
+            window.remove(0);
+            window.push(x);
+            let border: Vec<f64> = window.iter().map(|w| kernel(*w, x)).collect();
+            factor.shift_window(&border).unwrap();
+            let full = PackedCholesky::cholesky(&gram(&window)).unwrap();
+            assert_eq!(factor.order(), cap);
+            assert_factors_close(&factor.to_matrix(), &full.to_matrix(), 1e-9);
+            assert_eq!(factor.resident_bytes(), cap * (cap + 1) / 2 * 8);
+        }
+        // Border of the wrong length is rejected before anything mutates.
+        let snapshot = factor.clone();
+        assert!(factor.shift_window(&[1.0]).is_err());
+        assert_eq!(factor, snapshot);
     }
 
     #[test]

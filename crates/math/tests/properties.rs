@@ -109,6 +109,67 @@ proptest! {
     }
 
     #[test]
+    fn cholesky_delete_row_equals_reduced_refactorisation(
+        values in prop::collection::vec(-2.0..2.0f64, 36),
+        del in 0usize..6,
+    ) {
+        // Build a random 6×6 SPD matrix, factor it, delete one row/column
+        // of the factor and compare with factorising the reduced matrix
+        // from scratch — for every deletion index, dense and packed alike.
+        let b = Matrix::from_vec(6, 6, values).unwrap();
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diagonal(1.0);
+        let mut dense = a.cholesky().expect("SPD matrix must factor");
+        dense.cholesky_delete_row(del).expect("valid index");
+        let mut packed = atlas_math::linalg::PackedCholesky::cholesky(&a).unwrap();
+        packed.delete_row(del).expect("valid index");
+        let reduced = Matrix::from_fn(5, 5, |i, j| {
+            a[(i + usize::from(i >= del), j + usize::from(j >= del))]
+        });
+        let full = reduced.cholesky().expect("reduced SPD matrix must factor");
+        for i in 0..5 {
+            for j in 0..5 {
+                prop_assert!((dense[(i, j)] - full[(i, j)]).abs() < 1e-8,
+                    "dense ({i},{j}) {} vs {}", dense[(i, j)], full[(i, j)]);
+            }
+        }
+        // The packed layout performs the same arithmetic as the dense one.
+        prop_assert_eq!(packed.to_matrix(), dense);
+    }
+
+    #[test]
+    fn cholesky_shift_window_tracks_the_sliding_gram_matrix(
+        values in prop::collection::vec(-2.0..2.0f64, 49),
+        border in prop::collection::vec(-0.4..0.4f64, 6),
+    ) {
+        // Factor the leading 6×6 block of a random 7×7 SPD matrix, then
+        // shift the window by one (drop oldest, append the last bordering
+        // row) and compare with factorising the trailing 6×6 block.
+        let b = Matrix::from_vec(7, 7, values).unwrap();
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diagonal(1.0);
+        // Overwrite the last border with bounded values so the shifted
+        // window stays comfortably positive definite.
+        for (j, v) in border.iter().enumerate() {
+            a[(6, j + 1)] = *v;
+            a[(j + 1, 6)] = *v;
+        }
+        a[(6, 6)] = 2.0;
+        let head = Matrix::from_fn(6, 6, |i, j| a[(i, j)]);
+        let mut shifted = atlas_math::linalg::PackedCholesky::cholesky(&head).unwrap();
+        let row: Vec<f64> = (1..=6).map(|j| a[(6, j)]).collect();
+        shifted.shift_window(&row).expect("shifted window stays SPD");
+        let tail = Matrix::from_fn(6, 6, |i, j| a[(i + 1, j + 1)]);
+        let full = atlas_math::linalg::PackedCholesky::cholesky(&tail).unwrap();
+        let (got, want) = (shifted.to_matrix(), full.to_matrix());
+        for i in 0..6 {
+            for j in 0..6 {
+                prop_assert!((got[(i, j)] - want[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
     fn multi_rhs_triangular_solves_match_per_column_solves(
         values in prop::collection::vec(-2.0..2.0f64, 16),
         rhs in prop::collection::vec(-5.0..5.0f64, 12),

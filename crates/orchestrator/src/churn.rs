@@ -14,7 +14,7 @@ use crate::admission::AdmissionPolicy;
 use crate::fleet::{Orchestrator, SliceSpec};
 use crate::report::{FleetReport, RoundReport};
 use atlas::env::{Environment, Sla};
-use atlas::{OnlineLearner, Scenario, Simulator, SliceConfig, Stage3Config};
+use atlas::{OnlineLearner, Scenario, Simulator, SliceConfig, Stage3Config, WindowPolicy};
 use atlas_math::rng::seeded_rng;
 use rand::Rng;
 
@@ -46,6 +46,12 @@ pub struct ChurnConfig {
     pub candidates: usize,
     /// Measured seconds per query.
     pub duration_s: f64,
+    /// GP-residual window policy applied to every generated slice
+    /// ([`WindowPolicy::Unbounded`] reproduces the historical workloads
+    /// bit for bit). Mixed fleets — churners unbounded, a long-horizon
+    /// slice windowed — admit the long-horizon [`SliceSpec`]s alongside
+    /// the driven workload via [`SliceSpec::with_gp_window`].
+    pub gp_window: WindowPolicy,
 }
 
 impl ChurnConfig {
@@ -63,6 +69,7 @@ impl ChurnConfig {
             offline_updates: 1,
             candidates: 40,
             duration_s: 2.0,
+            gp_window: WindowPolicy::Unbounded,
         }
     }
 
@@ -81,6 +88,7 @@ impl ChurnConfig {
             offline_updates: 2,
             candidates: 200,
             duration_s: 5.0,
+            gp_window: WindowPolicy::Unbounded,
         }
     }
 }
@@ -200,6 +208,7 @@ fn churn_spec(config: &ChurnConfig, k: u64) -> SliceSpec {
         offline_updates: config.offline_updates,
         candidates: config.candidates,
         duration_s: config.duration_s,
+        gp_window: config.gp_window,
         ..Stage3Config::default()
     };
     let learner = OnlineLearner::without_offline(

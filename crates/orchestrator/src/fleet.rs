@@ -17,7 +17,7 @@ use crate::admission::{
 use crate::report::{FleetReport, LifecycleSpan, RoundReport, SliceReport};
 use crate::scheduler::QueryScheduler;
 use atlas::env::Environment;
-use atlas::{OnlineLearner, Scenario, SliceConfig, SliceQuery, SliceSession};
+use atlas::{OnlineLearner, Scenario, SliceConfig, SliceQuery, SliceSession, WindowPolicy};
 use atlas_netsim::ContentionPolicy;
 
 /// One slice to orchestrate: a configured learner plus the slice's
@@ -71,6 +71,16 @@ impl SliceSpec {
     /// Sets the nominal resource demand admission policies account for.
     pub fn with_demand(mut self, demand: SliceConfig) -> Self {
         self.demand = demand;
+        self
+    }
+
+    /// Bounds this slice's GP residual model with a [`WindowPolicy`] —
+    /// the per-slice long-horizon knob. Windows are per slice, so one
+    /// fleet can mix churning short-lived slices (unbounded: they never
+    /// live long enough to care) with effectively-infinite-horizon slices
+    /// whose per-round model cost and memory must plateau.
+    pub fn with_gp_window(mut self, window: WindowPolicy) -> Self {
+        self.learner = self.learner.with_gp_window(window);
         self
     }
 }
@@ -441,6 +451,17 @@ impl<'a, E: Environment> FleetRun<'a, E> {
     /// Admission attempts the policy has declined so far.
     pub fn rejected_admissions(&self) -> usize {
         self.rejected_admissions
+    }
+
+    /// Observations currently retained by an active slice's online
+    /// residual model (`None` for unknown or no-longer-active slices).
+    /// Long-horizon drivers poll this between rounds to confirm a
+    /// window-bounded slice's model footprint plateaued at its capacity.
+    pub fn residual_observations(&self, name: &str) -> Option<usize> {
+        self.active
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.session.residual_observations())
     }
 
     /// Current budget occupancy of the active fleet (all zeros for

@@ -3,7 +3,7 @@
 //! and independent of the scheduler's thread count.
 
 use atlas::env::{RealEnv, Sla};
-use atlas::{OnlineLearner, OnlineModel, Scenario, Simulator, Stage3Config};
+use atlas::{OnlineLearner, OnlineModel, Scenario, Simulator, Stage3Config, WindowPolicy};
 use atlas_netsim::{RealNetwork, SharedTestbed};
 use atlas_nn::BnnConfig;
 use atlas_orchestrator::{Orchestrator, SliceSpec};
@@ -163,6 +163,87 @@ fn unlimited_budget_fleet_run_matches_run_and_sequential_bit_for_bit() {
             let wrapped = orchestrator.run(fleet(8));
             assert_eq!(wrapped, reference, "run() at threads = {threads}");
         }
+    }
+}
+
+#[test]
+fn explicit_unbounded_windows_reproduce_the_default_fleet_bit_for_bit() {
+    // Satellite property: `WindowPolicy::Unbounded` threaded through every
+    // layer (GpConfig → Stage3Config → SliceSpec) must be bit-for-bit
+    // identical to the historical default on the 8-slice suite, across
+    // thread counts.
+    let network = RealNetwork::prototype();
+    let reference = Orchestrator::new(SharedTestbed::new(network))
+        .with_threads(1)
+        .run(fleet(8));
+    for threads in [1, 4] {
+        let windowed_fleet: Vec<SliceSpec> = fleet(8)
+            .into_iter()
+            .map(|s| s.with_gp_window(WindowPolicy::Unbounded))
+            .collect();
+        let report = Orchestrator::new(SharedTestbed::new(network))
+            .with_threads(threads)
+            .run(windowed_fleet);
+        assert_eq!(report, reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn mixed_window_fleets_are_deterministic_and_plateau_the_windowed_slice() {
+    // A fleet mixing unbounded churn-style slices with one long-horizon
+    // sliding-window slice: the windowed slice's residual model plateaus
+    // at its capacity while the run stays bit-identical across scheduler
+    // thread counts.
+    let network = RealNetwork::prototype();
+    let cap = 5;
+    let run_at = |threads: usize| {
+        let orchestrator = Orchestrator::new(SharedTestbed::new(network)).with_threads(threads);
+        let mut run = orchestrator.begin();
+        for spec in fleet(4) {
+            run.admit(spec).unwrap();
+        }
+        let long = SliceSpec::new(
+            "long-horizon",
+            OnlineLearner::without_offline(
+                Stage3Config {
+                    iterations: 16,
+                    offline_updates: 1,
+                    candidates: 40,
+                    duration_s: 2.0,
+                    ..Stage3Config::default()
+                },
+                Sla::paper_default(),
+                Simulator::with_original_params(),
+            ),
+            Scenario::default_with_seed(99).with_duration(2.0),
+            4242,
+        )
+        .with_gp_window(WindowPolicy::SlidingWindow { capacity: cap });
+        run.admit(long).unwrap();
+        let mut peak = 0;
+        while run.step().is_some() {
+            if let Some(n) = run.residual_observations("long-horizon") {
+                peak = peak.max(n);
+            }
+        }
+        (run.finish(), peak)
+    };
+    let (report, peak) = run_at(1);
+    assert_eq!(
+        peak, cap,
+        "the windowed slice's residual model must plateau at its capacity"
+    );
+    assert_eq!(
+        report.slice("long-horizon").unwrap().iterations(),
+        16,
+        "the plateau must not cost the slice any iterations"
+    );
+    for threads in [2, 4] {
+        assert_eq!(
+            run_at(threads),
+            (report.clone(), peak),
+            "threads = {threads}"
+        );
     }
 }
 

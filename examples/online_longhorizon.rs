@@ -1,0 +1,170 @@
+//! Bounded-memory long-horizon learning: one effectively-infinite-horizon
+//! slice (5 000 online iterations under `WindowPolicy::SlidingWindow`,
+//! capacity 512) sharing a testbed with a churn of short-lived slices.
+//!
+//! The point of the window: a slice that lives for the lifetime of its
+//! tenancy — days, not a few hundred decision rounds — must not pay
+//! O(n²) per observation and O(35·n²/2) resident factor memory forever.
+//! With a sliding window the residual GP's retained observation count
+//! (asserted below via `FleetRun::residual_observations`) and therefore
+//! its per-round cost and footprint **plateau at the capacity**, while
+//! the churning slices run exactly as before. The whole mixed fleet is
+//! bit-for-bit identical across scheduler thread counts.
+//!
+//! ```sh
+//! cargo run --release --example online_longhorizon            # 5k iterations
+//! cargo run --release --example online_longhorizon -- --quick # CI smoke
+//! ```
+
+use atlas::env::Sla;
+use atlas::{OnlineLearner, Scenario, Simulator, Stage3Config, WindowPolicy};
+use atlas_netsim::{RealNetwork, SharedTestbed};
+use atlas_orchestrator::{FleetReport, Orchestrator, SliceSpec};
+
+const LONG_SLICE: &str = "long-horizon";
+
+struct Sizes {
+    long_iterations: usize,
+    window_capacity: usize,
+    churn_every_rounds: usize,
+    churn_iterations: usize,
+}
+
+fn long_slice_spec(sizes: &Sizes) -> SliceSpec {
+    let learner = OnlineLearner::without_offline(
+        Stage3Config {
+            iterations: sizes.long_iterations,
+            offline_updates: 1,
+            candidates: 60,
+            duration_s: 2.0,
+            ..Stage3Config::default()
+        },
+        Sla::paper_default(),
+        Simulator::with_original_params(),
+    );
+    SliceSpec::new(
+        LONG_SLICE,
+        learner,
+        Scenario::default_with_seed(7).with_duration(2.0),
+        4242,
+    )
+    .with_gp_window(WindowPolicy::SlidingWindow {
+        capacity: sizes.window_capacity,
+    })
+}
+
+fn churn_spec(k: u64, sizes: &Sizes) -> SliceSpec {
+    let learner = OnlineLearner::without_offline(
+        Stage3Config {
+            iterations: sizes.churn_iterations,
+            offline_updates: 1,
+            candidates: 40,
+            duration_s: 2.0,
+            ..Stage3Config::default()
+        },
+        Sla::new(250.0 + 25.0 * (k % 3) as f64, 0.85 + 0.02 * (k % 2) as f64),
+        Simulator::with_original_params(),
+    );
+    SliceSpec::new(
+        format!("churn-{k}"),
+        learner,
+        Scenario::default_with_seed(k)
+            .with_duration(2.0)
+            .with_traffic(1 + (k as u32) % 3),
+        9000 + 13 * k,
+    )
+}
+
+/// Runs the mixed fleet: the windowed long-horizon slice for its whole
+/// budget, plus a fresh short-lived slice admitted every
+/// `churn_every_rounds` rounds. Returns the folded report and the peak
+/// retained-observation count of the long slice's residual model.
+fn run_fleet(sizes: &Sizes, threads: usize) -> (FleetReport, usize) {
+    let testbed = SharedTestbed::new(RealNetwork::prototype());
+    let orchestrator = Orchestrator::new(testbed).with_threads(threads);
+    let mut fleet = orchestrator.begin();
+    fleet
+        .admit(long_slice_spec(sizes))
+        .expect("long slice admits");
+    let mut next_churner = 0u64;
+    let mut peak = 0usize;
+    while fleet.residual_observations(LONG_SLICE).is_some() {
+        if fleet.rounds() % sizes.churn_every_rounds == 0 {
+            fleet
+                .admit(churn_spec(next_churner, sizes))
+                .expect("churn slice admits");
+            next_churner += 1;
+        }
+        fleet.step().expect("active slices step");
+        if let Some(retained) = fleet.residual_observations(LONG_SLICE) {
+            peak = peak.max(retained);
+        }
+        if fleet.rounds() % 500 == 0 {
+            println!(
+                "  round {:>5}: long-horizon retains {:>4} observations, {} active slices",
+                fleet.rounds(),
+                fleet.residual_observations(LONG_SLICE).unwrap_or(0),
+                fleet.active_count(),
+            );
+        }
+    }
+    // Drain whatever churners outlive the long slice.
+    while fleet.step().is_some() {}
+    (fleet.finish(), peak)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes = if quick {
+        Sizes {
+            long_iterations: 250,
+            window_capacity: 48,
+            churn_every_rounds: 25,
+            churn_iterations: 3,
+        }
+    } else {
+        Sizes {
+            long_iterations: 5000,
+            window_capacity: 512,
+            churn_every_rounds: 250,
+            churn_iterations: 5,
+        }
+    };
+    println!(
+        "long-horizon slice: {} iterations under SlidingWindow {{ capacity: {} }}, \
+         churner every {} rounds\n",
+        sizes.long_iterations, sizes.window_capacity, sizes.churn_every_rounds
+    );
+
+    let (report, peak) = run_fleet(&sizes, 2);
+    let long = report.slice(LONG_SLICE).expect("long slice reported");
+    println!(
+        "\nlong-horizon slice: {} iterations observed, peak retained observations {} \
+         (window capacity {}), SLA violations {:.1}%",
+        long.iterations(),
+        peak,
+        sizes.window_capacity,
+        long.sla_violation_rate * 100.0,
+    );
+    println!(
+        "fleet: {} slices reported over {} rounds, {} queries total",
+        report.slices.len(),
+        report.rounds,
+        report.total_queries
+    );
+
+    // The whole point: the residual model plateaued at the window capacity
+    // even though the slice observed an order of magnitude more rounds.
+    assert_eq!(long.iterations(), sizes.long_iterations);
+    assert_eq!(
+        peak, sizes.window_capacity,
+        "peak retained observations must equal the window capacity"
+    );
+
+    // And the mixed fleet stays bit-for-bit identical across scheduler
+    // thread counts, peak plateau included.
+    let (again, peak_again) = run_fleet(&sizes, 1);
+    assert_eq!(again, report, "fleet must be thread-count independent");
+    assert_eq!(peak_again, peak);
+    println!("\nverified: plateau at capacity, bit-identical across thread counts");
+}
