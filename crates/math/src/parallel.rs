@@ -54,6 +54,40 @@ where
     out
 }
 
+/// Runs one closure per (owned) task on its own scoped thread and returns
+/// the results in task order — the shard pool: each worker owns its task's
+/// state outright (e.g. one fleet shard's slice sessions), so no
+/// synchronisation exists beyond the final join. With `parallel = false`
+/// or at most one task everything runs inline on the caller's thread,
+/// which must be bit-for-bit indistinguishable because `f` is required to
+/// be deterministic per task.
+pub fn par_map_tasks<T, R, F>(tasks: Vec<T>, parallel: bool, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    if !parallel || tasks.len() <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| scope.spawn(move || f(i, t)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
 /// Runs `f` on every item, fanning contiguous chunks over scoped threads.
 /// Items are processed independently, so the result is identical for every
 /// thread count.
@@ -104,6 +138,29 @@ mod tests {
             assert_eq!(got, reference, "pinned = {pinned}");
         }
         assert!(par_chunks_map(&[] as &[u64], 1, Some(4), |_, c| c.to_vec()).is_empty());
+    }
+
+    #[test]
+    fn par_map_tasks_is_order_preserving_and_inline_equivalent() {
+        let tasks: Vec<Vec<u64>> = (0..5)
+            .map(|k| (0..10).map(|v| k * 10 + v).collect())
+            .collect();
+        let sum_with_index = |i: usize, t: Vec<u64>| i as u64 * 1000 + t.iter().sum::<u64>();
+        let inline = par_map_tasks(tasks.clone(), false, sum_with_index);
+        let threaded = par_map_tasks(tasks.clone(), true, sum_with_index);
+        assert_eq!(inline, threaded);
+        assert_eq!(inline.len(), 5);
+        assert_eq!(inline[0], (0..10).sum::<u64>());
+        // Single tasks and empty task lists stay inline and well-formed.
+        assert_eq!(par_map_tasks(vec![7u64], true, |_, t| t * 2), vec![14]);
+        assert!(par_map_tasks(Vec::<u64>::new(), true, |_, t| t).is_empty());
+        // Owned mutable state is handed to exactly one worker each.
+        let buffers: Vec<Vec<u64>> = (0..4).map(|_| Vec::new()).collect();
+        let filled = par_map_tasks(buffers, true, |i, mut b| {
+            b.extend((0..3).map(|v| i as u64 * 3 + v));
+            b
+        });
+        assert_eq!(filled.concat(), (0..12).collect::<Vec<u64>>());
     }
 
     #[test]

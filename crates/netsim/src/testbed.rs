@@ -197,6 +197,10 @@ pub struct SharedTestbed<P: ContentionPolicy = ProportionalFair> {
     network: RealNetwork,
     /// Pinned worker-thread count (`None`: machine default, capped at 8).
     threads: Option<usize>,
+    /// Pinned fleet shard count (`None`: unsharded). Purely advisory at
+    /// this layer — the orchestrator adopts it, the testbed itself never
+    /// shards.
+    shards: Option<usize>,
     budget: ResourceBudget,
     policy: P,
 }
@@ -208,6 +212,7 @@ impl SharedTestbed<ProportionalFair> {
         Self {
             network,
             threads: None,
+            shards: None,
             budget: ResourceBudget::unlimited(),
             policy: ProportionalFair,
         }
@@ -224,6 +229,18 @@ impl<P: ContentionPolicy> SharedTestbed<P> {
         self
     }
 
+    /// Pins the number of fleet worker *shards* the substrate recommends
+    /// (a performance knob only: sharded results are bit-for-bit identical
+    /// for every value). Like the thread pin, this keeps the substrate's
+    /// parallel capacity in one place: an orchestrator built via
+    /// `Orchestrator::over_testbed` adopts both pins, so the operator
+    /// configures the testbed once and every fleet run over it shards the
+    /// same way.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
     /// Sets the finite resource budget concurrent batch jobs contend for.
     pub fn with_budget(mut self, budget: ResourceBudget) -> Self {
         self.budget = budget;
@@ -236,6 +253,7 @@ impl<P: ContentionPolicy> SharedTestbed<P> {
         SharedTestbed {
             network: self.network,
             threads: self.threads,
+            shards: self.shards,
             budget: self.budget,
             policy,
         }
@@ -249,6 +267,11 @@ impl<P: ContentionPolicy> SharedTestbed<P> {
     /// The pinned thread count, if any.
     pub fn threads(&self) -> Option<usize> {
         self.threads
+    }
+
+    /// The pinned fleet shard count, if any.
+    pub fn shards(&self) -> Option<usize> {
+        self.shards
     }
 
     /// The testbed's resource budget.
@@ -457,10 +480,25 @@ mod tests {
 
     #[test]
     fn shared_testbed_exposes_the_wrapped_network() {
-        let shared = SharedTestbed::from(RealNetwork::prototype()).with_threads(4);
+        let shared = SharedTestbed::from(RealNetwork::prototype())
+            .with_threads(4)
+            .with_shards(2);
         assert_eq!(shared.network(), &RealNetwork::prototype());
         assert_eq!(shared.threads(), Some(4));
-        let a = shared.run(&cfg(), &scenario(1));
+        assert_eq!(shared.shards(), Some(2));
+        // Both pins are clamped to at least 1, default to None, and
+        // survive a policy swap.
+        assert_eq!(SharedTestbed::new(RealNetwork::prototype()).shards(), None);
+        assert_eq!(
+            SharedTestbed::new(RealNetwork::prototype())
+                .with_shards(0)
+                .shards(),
+            Some(1)
+        );
+        let swapped = shared.with_policy(crate::budget::MaxMinFair);
+        assert_eq!(swapped.threads(), Some(4));
+        assert_eq!(swapped.shards(), Some(2));
+        let a = swapped.run(&cfg(), &scenario(1));
         let b = RealNetwork::prototype().run(&cfg(), &scenario(1));
         assert_eq!(a, b);
     }

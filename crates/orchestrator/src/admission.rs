@@ -91,9 +91,14 @@ impl std::error::Error for AdmissionError {}
 /// Why a [`crate::FleetRun::retire`] call failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RetireError {
-    /// No active slice has this name (never admitted, already retired, or
-    /// already completed).
+    /// No active slice has this name (never admitted, or already retired
+    /// before it observed a round).
     UnknownSlice(String),
+    /// The slice already completed its iteration budget and was finalised
+    /// naturally — a benign race for churn drivers (the tenancy expired in
+    /// the same round the session drained), distinct from the operator
+    /// error of retiring a name that was never admitted.
+    AlreadyCompleted(String),
 }
 
 impl fmt::Display for RetireError {
@@ -102,6 +107,11 @@ impl fmt::Display for RetireError {
             Self::UnknownSlice(name) => {
                 write!(f, "no active slice named {name:?} to retire")
             }
+            Self::AlreadyCompleted(name) => write!(
+                f,
+                "slice {name:?} already completed its iteration budget and \
+                 cannot be retired"
+            ),
         }
     }
 }

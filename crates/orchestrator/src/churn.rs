@@ -174,7 +174,14 @@ impl ChurnWorkload {
                 .collect();
             expiries.retain(|(expiry, _)| *expiry > round);
             for name in due {
-                let _ = fleet.retire(&name);
+                // A tenancy expiring in the round its session drained is a
+                // benign race; anything else here is a driver bug.
+                if let Err(e) = fleet.retire(&name) {
+                    debug_assert!(
+                        matches!(e, crate::admission::RetireError::AlreadyCompleted(_)),
+                        "churn retire of {name:?} failed unexpectedly: {e}"
+                    );
+                }
             }
             // This round's arrivals, subject to the concurrency cap and
             // the admission policy.

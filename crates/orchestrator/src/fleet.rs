@@ -14,10 +14,12 @@
 use crate::admission::{
     validate_spec, AcceptAll, AdmissionError, AdmissionPolicy, Occupancy, RetireError,
 };
-use crate::report::{FleetReport, LifecycleSpan, RoundReport, SliceReport};
-use crate::scheduler::QueryScheduler;
-use atlas::env::Environment;
+use crate::report::{mean_per_query, FleetReport, LifecycleSpan, RoundReport, SliceReport};
+use crate::scheduler::{QueryScheduler, EVAL_PAR_MIN_CHUNK};
+use crate::shard::ShardPlan;
+use atlas::env::{Environment, QoeSample};
 use atlas::{OnlineLearner, Scenario, SliceConfig, SliceQuery, SliceSession, WindowPolicy};
+use atlas_math::parallel::par_map_tasks;
 use atlas_netsim::ContentionPolicy;
 
 /// One slice to orchestrate: a configured learner plus the slice's
@@ -102,21 +104,26 @@ pub struct Orchestrator<E: Environment> {
     env: E,
     scheduler: QueryScheduler,
     batch_sim: bool,
+    shards: usize,
 }
 
 impl<P: ContentionPolicy> Orchestrator<atlas_netsim::SharedTestbed<P>> {
     /// Creates an orchestrator over a [`atlas_netsim::SharedTestbed`],
-    /// adopting the testbed's pinned evaluation thread count (if any) for
-    /// the query scheduler — so
-    /// `Orchestrator::over_testbed(SharedTestbed::new(net).with_threads(8))`
-    /// actually evaluates with 8 workers.
+    /// adopting the testbed's pinned evaluation thread count and fleet
+    /// shard count (if any) — so
+    /// `Orchestrator::over_testbed(SharedTestbed::new(net).with_threads(8).with_shards(4))`
+    /// actually evaluates with 8 workers over 4 session shards.
     pub fn over_testbed(testbed: atlas_netsim::SharedTestbed<P>) -> Self {
         let threads = testbed.threads();
-        let orchestrator = Self::new(testbed);
-        match threads {
-            Some(t) => orchestrator.with_threads(t),
-            None => orchestrator,
+        let shards = testbed.shards();
+        let mut orchestrator = Self::new(testbed);
+        if let Some(t) = threads {
+            orchestrator = orchestrator.with_threads(t);
         }
+        if let Some(s) = shards {
+            orchestrator = orchestrator.with_shards(s);
+        }
+        orchestrator
     }
 }
 
@@ -129,6 +136,7 @@ impl<E: Environment> Orchestrator<E> {
             env,
             scheduler: QueryScheduler::new(),
             batch_sim: true,
+            shards: 1,
         }
     }
 
@@ -138,14 +146,41 @@ impl<E: Environment> Orchestrator<E> {
         self
     }
 
+    /// Partitions fleet sessions across `shards` fixed worker shards (at
+    /// least 1; 1 — the default — is the unsharded round loop). Each shard
+    /// runs its sessions' model updates, offline-acceleration waves and
+    /// `suggest()` on its own scoped thread, and evaluates/observes its
+    /// own granted queries pipeline-parallel with the other shards. A
+    /// performance knob only: fixed hash-free assignment at admission and
+    /// the ordered merge of per-shard batches (see [`ShardPlan`]) keep
+    /// every run bit-for-bit identical across shard counts.
+    ///
+    /// When sharded, the cross-slice simulator batching of
+    /// [`Orchestrator::with_sim_batching`] is superseded: each shard
+    /// drains its sessions' acceleration loops locally (inline in
+    /// `suggest`), which consumes the per-session RNG in exactly the same
+    /// order — batching waves across shards would serialise the very work
+    /// sharding distributes.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Enables or disables cross-slice batching of the offline-acceleration
-    /// simulator queries (on by default). A performance knob only: both
-    /// settings produce bit-identical fleets — the batched path drives each
-    /// session's `accel_suggest`/`accel_observe` split, which consumes the
+    /// simulator queries (on by default; superseded when
+    /// [`Orchestrator::with_shards`] installs more than one shard). A
+    /// performance knob only: both settings produce bit-identical fleets —
+    /// the batched path drives each session's
+    /// `accel_suggest`/`accel_observe` split, which consumes the
     /// per-session RNG in exactly the monolithic order.
     pub fn with_sim_batching(mut self, enabled: bool) -> Self {
         self.batch_sim = enabled;
         self
+    }
+
+    /// The configured fleet shard count (1 = unsharded).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The shared query scheduler.
@@ -165,10 +200,12 @@ impl<E: Environment> Orchestrator<E> {
             env: &self.env,
             scheduler: &self.scheduler,
             batch_sim: self.batch_sim,
+            plan: ShardPlan::new(self.shards),
             admission: Box::new(AcceptAll),
             active: Vec::new(),
             finished: Vec::new(),
             seen_names: Vec::new(),
+            completed_names: Vec::new(),
             admitted_total: 0,
             rounds: 0,
             rejected_admissions: 0,
@@ -212,6 +249,10 @@ struct ActiveSlice {
     reference: Option<(f64, f64)>,
     session: SliceSession,
     admitted_round: usize,
+    /// The worker shard owning this slice's session, fixed at admission
+    /// ([`ShardPlan::assign`] on the admission index) for the slice's
+    /// whole lifetime.
+    shard: usize,
 }
 
 /// Names buffered between rounds for the next [`RoundReport`].
@@ -240,11 +281,15 @@ pub struct FleetRun<'a, E: Environment> {
     env: &'a E,
     scheduler: &'a QueryScheduler,
     batch_sim: bool,
+    plan: ShardPlan,
     admission: Box<dyn AdmissionPolicy + 'a>,
     active: Vec<ActiveSlice>,
     finished: Vec<(usize, SliceReport)>,
     /// Every name ever admitted (drives duplicate rejection).
     seen_names: Vec<String>,
+    /// Names that completed their iteration budget naturally (drives the
+    /// [`RetireError::AlreadyCompleted`] distinction in [`FleetRun::retire`]).
+    completed_names: Vec<String>,
     admitted_total: usize,
     rounds: usize,
     rejected_admissions: usize,
@@ -292,6 +337,7 @@ impl<'a, E: Environment> FleetRun<'a, E> {
             reference: spec.reference,
             session,
             admitted_round: self.rounds,
+            shard: self.plan.assign(self.admitted_total),
         });
         self.admitted_total += 1;
         Ok(())
@@ -302,29 +348,103 @@ impl<'a, E: Environment> FleetRun<'a, E> {
     /// `span.retired_early = true`). Returns `None` when the slice never
     /// observed a round — such a slice leaves no report (an empty history
     /// has no best outcome). Slices that already completed their iteration
-    /// budget are no longer active and cannot be retired.
+    /// budget are no longer active and cannot be retired: they yield
+    /// [`RetireError::AlreadyCompleted`] (a benign race for churn drivers
+    /// whose tenancy expired in the round the session drained), distinct
+    /// from [`RetireError::UnknownSlice`] for names that were never
+    /// admitted or already retired early.
     pub fn retire(&mut self, name: &str) -> Result<Option<SliceReport>, RetireError> {
-        let position = self
-            .active
-            .iter()
-            .position(|s| s.name == name)
-            .ok_or_else(|| RetireError::UnknownSlice(name.to_string()))?;
+        let Some(position) = self.active.iter().position(|s| s.name == name) else {
+            return Err(if self.completed_names.iter().any(|n| n == name) {
+                RetireError::AlreadyCompleted(name.to_string())
+            } else {
+                RetireError::UnknownSlice(name.to_string())
+            });
+        };
         let slice = self.active.remove(position);
         self.events.retired.push(slice.name.clone());
         Ok(self.finalize(slice, true))
     }
 
-    /// Executes one fleet round: drains the active sessions' batched
+    /// Executes one fleet round: drains the active sessions'
     /// offline-acceleration simulator queries, grants and evaluates their
     /// real-network queries, feeds the measurements back, finalises
     /// naturally completed sessions, and returns the round's incremental
     /// report. Returns `None` without executing anything when no slice is
     /// active (more slices can still be admitted afterwards).
+    ///
+    /// With more than one shard installed
+    /// ([`Orchestrator::with_shards`]), the per-session work fans out over
+    /// the fixed shard partition; the result is bit-for-bit identical to
+    /// the unsharded round for every shard and thread count.
     pub fn step(&mut self) -> Option<RoundReport> {
         if self.active.is_empty() {
             return None;
         }
+        let outcomes = if self.plan.is_sharded() {
+            self.sharded_round()
+        } else {
+            self.unsharded_round()
+        };
+        self.rounds += 1;
 
+        // ---- fold the round's statistics on this thread, in global slot
+        // order: f64 accumulation order must not depend on the shard or
+        // thread count.
+        let queries_run = outcomes.len();
+        let mut requested_usage = 0.0;
+        let mut granted_usage = 0.0;
+        let mut sla_violations = 0;
+        for (_, query, sample) in &outcomes {
+            requested_usage += query.config.with_connectivity_floor().resource_usage();
+            granted_usage += sample.usage;
+            if !query.sla.satisfied_by(sample.qoe) {
+                sla_violations += 1;
+            }
+        }
+        self.total_queries += queries_run;
+        self.requested_usage_sum += requested_usage;
+        self.granted_usage_sum += granted_usage;
+
+        // ---- finalise sessions that just completed their budget.
+        let mut completed = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].session.is_done() {
+                let slice = self.active.remove(i);
+                completed.push(slice.name.clone());
+                self.completed_names.push(slice.name.clone());
+                self.finalize(slice, false);
+            } else {
+                i += 1;
+            }
+        }
+
+        let events = std::mem::take(&mut self.events);
+        Some(RoundReport {
+            round: self.rounds,
+            queries: queries_run,
+            admitted: events.admitted,
+            rejected: events.rejected,
+            retired: events.retired,
+            completed,
+            // A round where every session declines to suggest must report
+            // finite (zero) means, not NaN — this is a real guard, not a
+            // debug assert: NaN here would silently poison the fold into
+            // `FleetReport`.
+            mean_requested_usage: mean_per_query(requested_usage, queries_run),
+            mean_granted_usage: mean_per_query(granted_usage, queries_run),
+            sla_violations,
+            occupancy: self.occupancy().max(),
+        })
+    }
+
+    /// The single-threaded round path: batch the fleet's
+    /// offline-acceleration waves over the shared scheduler, collect every
+    /// session's suggestion, evaluate the granted batch over the
+    /// scheduler's thread pool and feed the measurements back in slot
+    /// order.
+    fn unsharded_round(&mut self) -> Vec<(usize, SliceQuery, QoeSample)> {
         // ---- offline acceleration: batch the simulator queries of all
         // sessions, wave by wave, over the shared scheduler. Sessions with
         // fewer remaining updates simply drop out of later waves.
@@ -357,57 +477,98 @@ impl<'a, E: Environment> FleetRun<'a, E> {
             .enumerate()
             .filter_map(|(i, slice)| slice.session.suggest().map(|q| (i, q)))
             .collect();
-        debug_assert_eq!(
-            round.len(),
-            self.active.len(),
-            "active sessions always suggest"
-        );
-        self.rounds += 1;
         let queries: Vec<SliceQuery> = round.iter().map(|(_, q)| *q).collect();
         let samples = self.scheduler.evaluate(self.env, &queries);
-        let mut requested_usage = 0.0;
-        let mut granted_usage = 0.0;
-        let mut sla_violations = 0;
-        for ((i, query), sample) in round.iter().zip(&samples) {
-            requested_usage += query.config.with_connectivity_floor().resource_usage();
-            granted_usage += sample.usage;
-            let slice = &mut self.active[*i];
-            if !slice.session.sla().satisfied_by(sample.qoe) {
-                sla_violations += 1;
-            }
-            slice.session.observe(*sample);
-        }
-        let queries_run = round.len();
-        self.total_queries += queries_run;
-        self.requested_usage_sum += requested_usage;
-        self.granted_usage_sum += granted_usage;
+        round
+            .into_iter()
+            .zip(samples)
+            .map(|((slot, query), sample)| {
+                self.active[slot].session.observe(sample);
+                (slot, query, sample)
+            })
+            .collect()
+    }
 
-        // ---- finalise sessions that just completed their budget.
-        let mut completed = Vec::new();
-        let mut i = 0;
-        while i < self.active.len() {
-            if self.active[i].session.is_done() {
-                let slice = self.active.remove(i);
-                completed.push(slice.name.clone());
-                self.finalize(slice, false);
-            } else {
-                i += 1;
-            }
-        }
+    /// The sharded round path: each shard drains its own sessions'
+    /// acceleration loops and suggestions on its own scoped thread, the
+    /// per-shard batches are merged back into global slot order for the
+    /// single shared grant, and each shard then evaluates **and observes**
+    /// its own granted queries pipeline-parallel — shard *k* observes/fits
+    /// while shard *k+1* still evaluates, with no barrier between a
+    /// query's evaluation and its model fit. Bit-identical to
+    /// [`FleetRun::unsharded_round`]: see [`ShardPlan`] for the
+    /// determinism contract.
+    fn sharded_round(&mut self) -> Vec<(usize, SliceQuery, QoeSample)> {
+        // Fan out only when every shard can hold a worthwhile chunk of
+        // sessions; tiny fleets run the same code inline.
+        let parallel = self.active.len() >= self.plan.shards() * EVAL_PAR_MIN_CHUNK;
 
-        let events = std::mem::take(&mut self.events);
-        Some(RoundReport {
-            round: self.rounds,
-            queries: queries_run,
-            admitted: events.admitted,
-            rejected: events.rejected,
-            retired: events.retired,
-            completed,
-            mean_requested_usage: requested_usage / queries_run as f64,
-            mean_granted_usage: granted_usage / queries_run as f64,
-            sla_violations,
-            occupancy: self.occupancy().max(),
-        })
+        // ---- fan-out 1: per-shard acceleration waves + suggestions.
+        // `suggest` drains each session's remaining acceleration loop
+        // inline, shard-locally — cross-shard sim batching would serialise
+        // exactly the work sharding distributes (see
+        // `Orchestrator::with_shards`).
+        let suggested = par_map_tasks(self.shard_buckets(), parallel, |_, bucket| {
+            bucket
+                .into_iter()
+                .filter_map(|(slot, slice): (usize, &mut ActiveSlice)| {
+                    slice.session.suggest().map(|q| (slot, q))
+                })
+                .collect::<Vec<_>>()
+        });
+        let round = ShardPlan::merge_round(suggested);
+
+        // ---- the single shared grant, sequential on this thread: the
+        // merged batch is in the exact order the unsharded path produces,
+        // so every contention policy grants identically.
+        let requested: Vec<SliceConfig> = round
+            .iter()
+            .map(|(_, q)| q.config.with_connectivity_floor())
+            .collect();
+        let granted = self.env.grant_round(&requested);
+
+        // ---- fan-out 2: route each granted query back to its owning
+        // shard and let the shard evaluate + observe it, interleaved per
+        // query.
+        let mut jobs: Vec<Vec<(usize, SliceQuery, SliceConfig)>> =
+            (0..self.plan.shards()).map(|_| Vec::new()).collect();
+        let slot_shard: Vec<usize> = self.active.iter().map(|s| s.shard).collect();
+        for ((slot, query), config) in round.into_iter().zip(granted) {
+            jobs[slot_shard[slot]].push((slot, query, config));
+        }
+        let env = self.env;
+        let tasks: Vec<_> = jobs.into_iter().zip(self.shard_buckets()).collect();
+        let outcomes = par_map_tasks(tasks, parallel, |_, (jobs, mut bucket)| {
+            let mut out = Vec::with_capacity(jobs.len());
+            // Jobs and the bucket are both in slot order, so a cursor
+            // suffices to line each job up with its session.
+            let mut cursor = 0;
+            for (slot, query, config) in jobs {
+                while bucket[cursor].0 != slot {
+                    cursor += 1;
+                }
+                let sample = env.query(&config, &query.scenario, &query.sla);
+                bucket[cursor].1.session.observe(sample);
+                out.push((slot, (query, sample)));
+            }
+            out
+        });
+        ShardPlan::merge_round(outcomes)
+            .into_iter()
+            .map(|(slot, (query, sample))| (slot, query, sample))
+            .collect()
+    }
+
+    /// Partitions the active slices into per-shard buckets of
+    /// `(slot, session)` pairs; slots stay in ascending order within each
+    /// bucket.
+    fn shard_buckets(&mut self) -> Vec<Vec<(usize, &mut ActiveSlice)>> {
+        let mut buckets: Vec<Vec<(usize, &mut ActiveSlice)>> =
+            (0..self.plan.shards()).map(|_| Vec::new()).collect();
+        for (slot, slice) in self.active.iter_mut().enumerate() {
+            buckets[slice.shard].push((slot, slice));
+        }
+        buckets
     }
 
     /// Finalises the run: still-active slices are folded in with
@@ -451,6 +612,19 @@ impl<'a, E: Environment> FleetRun<'a, E> {
     /// Admission attempts the policy has declined so far.
     pub fn rejected_admissions(&self) -> usize {
         self.rejected_admissions
+    }
+
+    /// The fleet's fixed worker-shard count (1 = unsharded).
+    pub fn shards(&self) -> usize {
+        self.plan.shards()
+    }
+
+    /// The worker shard owning an **active** slice's session (`None` for
+    /// unknown or no-longer-active slices). Fixed at admission —
+    /// [`ShardPlan::assign`] on the slice's admission index — so it never
+    /// changes while the slice lives.
+    pub fn shard_of(&self, name: &str) -> Option<usize> {
+        self.active.iter().find(|s| s.name == name).map(|s| s.shard)
     }
 
     /// Observations currently retained by an active slice's online
@@ -672,6 +846,84 @@ mod tests {
         assert!(!report.slice("slice-11").unwrap().span.retired_early);
         assert!(report.slice("slice-12").is_none());
         assert_eq!(report.total_queries, 7);
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_unsharded() {
+        let slices = |n: u64| (0..n).map(|i| spec(i, 2)).collect::<Vec<_>>();
+        let reference =
+            Orchestrator::new(SharedTestbed::new(RealNetwork::prototype())).run(slices(6));
+        // More shards than slices, non-dividing counts — all bit-identical.
+        for shards in [2, 3, 8] {
+            let testbed = SharedTestbed::new(RealNetwork::prototype());
+            let report = Orchestrator::new(testbed)
+                .with_shards(shards)
+                .run(slices(6));
+            assert_eq!(report, reference, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn over_testbed_adopts_the_testbed_shard_pin() {
+        let pinned = SharedTestbed::new(RealNetwork::prototype())
+            .with_threads(2)
+            .with_shards(4);
+        assert_eq!(pinned.shards(), Some(4));
+        let orchestrator = Orchestrator::over_testbed(pinned);
+        assert_eq!(orchestrator.shards(), 4);
+        assert_eq!(orchestrator.scheduler().threads(), Some(2));
+        // Unpinned testbeds leave the default; with_shards clamps to >= 1.
+        let unpinned = Orchestrator::over_testbed(SharedTestbed::new(RealNetwork::prototype()));
+        assert_eq!(unpinned.shards(), 1);
+        assert_eq!(unpinned.with_shards(0).shards(), 1);
+    }
+
+    #[test]
+    fn shard_assignment_is_fixed_at_admission() {
+        let testbed = SharedTestbed::new(RealNetwork::prototype());
+        let orchestrator = Orchestrator::new(testbed).with_shards(3);
+        let mut fleet = orchestrator.begin();
+        assert_eq!(fleet.shards(), 3);
+        for i in 0..5 {
+            fleet.admit(spec(30 + i, 2)).unwrap();
+        }
+        // Round-robin on the admission index.
+        assert_eq!(fleet.shard_of("slice-30"), Some(0));
+        assert_eq!(fleet.shard_of("slice-31"), Some(1));
+        assert_eq!(fleet.shard_of("slice-32"), Some(2));
+        assert_eq!(fleet.shard_of("slice-33"), Some(0));
+        assert_eq!(fleet.shard_of("slice-34"), Some(1));
+        assert_eq!(fleet.shard_of("never-admitted"), None);
+        // Survivors never migrate when a neighbour retires, and a later
+        // admission takes the next admission index, not the freed slot.
+        fleet.retire("slice-31").unwrap();
+        assert_eq!(fleet.shard_of("slice-34"), Some(1));
+        fleet.admit(spec(35, 2)).unwrap();
+        assert_eq!(fleet.shard_of("slice-35"), Some(2));
+        while fleet.step().is_some() {}
+        assert_eq!(fleet.shard_of("slice-35"), None, "completed slices left");
+    }
+
+    #[test]
+    fn retire_after_natural_completion_is_distinguished() {
+        let testbed = SharedTestbed::new(RealNetwork::prototype());
+        let orchestrator = Orchestrator::new(testbed);
+        let mut fleet = orchestrator.begin();
+        fleet.admit(spec(40, 1)).unwrap();
+        let round = fleet.step().expect("one round");
+        assert_eq!(round.completed, vec!["slice-40".to_string()]);
+        // The doc'd contract: completed ≠ unknown.
+        assert_eq!(
+            fleet.retire("slice-40"),
+            Err(RetireError::AlreadyCompleted("slice-40".into()))
+        );
+        assert_eq!(
+            fleet.retire("ghost"),
+            Err(RetireError::UnknownSlice("ghost".into()))
+        );
+        let report = fleet.finish();
+        assert_eq!(report.slices.len(), 1);
+        assert!(!report.slices[0].span.retired_early);
     }
 
     #[test]

@@ -119,6 +119,54 @@
 //! assert_eq!(report.slices.len(), 2);
 //! assert!(report.slice("slice-0").unwrap().span.retired_early);
 //! ```
+//!
+//! ## Sharded fleets
+//!
+//! At operator scale (hundreds-to-thousands of slices) the per-round
+//! bottleneck is the per-session work — model fits, acceleration waves,
+//! candidate scoring — not the shared grant. [`Orchestrator::with_shards`]
+//! partitions the sessions across fixed worker shards: each slice is
+//! pinned to `admission_index % shards` when admitted
+//! ([`shard::ShardPlan::assign`] — fixed and hash-free), each shard runs
+//! its sessions on its own scoped thread, and the per-shard batches are
+//! merged back into admission order before the single shared grant, so
+//! **every shard count produces the bit-identical run**:
+//!
+//! ```
+//! use atlas::{OnlineLearner, Scenario, Simulator, Sla, Stage3Config};
+//! use atlas_netsim::{RealNetwork, SharedTestbed};
+//! use atlas_orchestrator::{Orchestrator, SliceSpec};
+//!
+//! let slices = |n: u64| -> Vec<SliceSpec> {
+//!     (0..n)
+//!         .map(|i| {
+//!             let quick = Stage3Config {
+//!                 iterations: 2,
+//!                 offline_updates: 1,
+//!                 candidates: 40,
+//!                 duration_s: 2.0,
+//!                 ..Stage3Config::default()
+//!             };
+//!             let learner = OnlineLearner::without_offline(
+//!                 quick,
+//!                 Sla::paper_default(),
+//!                 Simulator::with_original_params(),
+//!             );
+//!             let scenario = Scenario::default_with_seed(i).with_duration(2.0);
+//!             SliceSpec::new(format!("slice-{i}"), learner, scenario, 100 + i)
+//!         })
+//!         .collect()
+//! };
+//!
+//! // 4 shards; `over_testbed` also adopts a testbed-pinned shard count.
+//! let testbed = SharedTestbed::new(RealNetwork::prototype()).with_shards(4);
+//! let sharded = Orchestrator::over_testbed(testbed).run(slices(8));
+//!
+//! // The determinism contract: sharded ≡ unsharded, bit for bit.
+//! let unsharded =
+//!     Orchestrator::new(SharedTestbed::new(RealNetwork::prototype())).run(slices(8));
+//! assert_eq!(sharded, unsharded);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -128,6 +176,7 @@ pub mod churn;
 pub mod fleet;
 pub mod report;
 pub mod scheduler;
+pub mod shard;
 
 pub use admission::{
     AcceptAll, AdmissionError, AdmissionPolicy, HeadroomThreshold, Occupancy, RetireError,
@@ -135,4 +184,5 @@ pub use admission::{
 pub use churn::{ChurnConfig, ChurnWorkload};
 pub use fleet::{FleetRun, Orchestrator, SliceSpec};
 pub use report::{FleetReport, LifecycleSpan, RoundReport, SliceReport};
-pub use scheduler::QueryScheduler;
+pub use scheduler::{QueryScheduler, EVAL_PAR_MIN_CHUNK};
+pub use shard::ShardPlan;

@@ -55,6 +55,18 @@ impl RoundReport {
     }
 }
 
+/// Per-query mean that stays finite when a round ran zero queries. This is
+/// a real release-build guard, not a debug assert: a round where every
+/// session declines to suggest must report 0.0 means — a NaN here would
+/// silently poison every downstream fold of the [`FleetReport`].
+pub(crate) fn mean_per_query(sum: f64, queries: usize) -> f64 {
+    if queries == 0 {
+        0.0
+    } else {
+        sum / queries as f64
+    }
+}
+
 /// Per-slice outcome of an orchestrated run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SliceReport {
@@ -295,6 +307,36 @@ mod tests {
         assert!(text.contains("fleet: 2 slices"));
         assert!(text.contains("rejected 1"));
         assert!(text.contains('a') && text.contains('b'));
+    }
+
+    #[test]
+    fn zero_query_rounds_keep_every_statistic_finite() {
+        // The release-build guard behind RoundReport's means: a round that
+        // ran zero queries must fold to 0.0, never NaN.
+        assert_eq!(mean_per_query(0.0, 0), 0.0);
+        assert_eq!(mean_per_query(123.4, 0), 0.0);
+        assert!((mean_per_query(1.5, 3) - 0.5).abs() < 1e-12);
+        let empty_round = RoundReport {
+            round: 1,
+            queries: 0,
+            admitted: Vec::new(),
+            rejected: Vec::new(),
+            retired: Vec::new(),
+            completed: Vec::new(),
+            mean_requested_usage: mean_per_query(0.0, 0),
+            mean_granted_usage: mean_per_query(0.0, 0),
+            sla_violations: 0,
+            occupancy: 0.0,
+        };
+        assert!(empty_round.mean_requested_usage.is_finite());
+        assert!(empty_round.mean_granted_usage.is_finite());
+        assert!(empty_round.grant_gap().is_finite());
+        // And an empty fleet folds to finite aggregates as well.
+        let fleet = FleetReport::build(Vec::new(), 0, 0, 0.0);
+        assert!(fleet.sla_violation_rate.is_finite());
+        assert!(fleet.mean_usage.is_finite());
+        assert!(fleet.mean_qoe.is_finite());
+        assert!(fleet.mean_grant_gap.is_finite());
     }
 
     #[test]

@@ -14,6 +14,17 @@
 use atlas::env::{Environment, QoeSample};
 use atlas::{SliceConfig, SliceQuery};
 
+/// Minimum queries per worker chunk when fanning an evaluation batch over
+/// scoped threads — the scheduler's analogue of the bench-calibrated
+/// fan-out thresholds in `atlas-math`/`atlas-gp`. The sharded fleet loop
+/// reuses it as the per-shard activation floor (a shard fan-out only pays
+/// when every shard has at least this many sessions). Calibrated by the
+/// `sharding.min_chunk_sweep` section of `BENCH_orchestrator.json`: real
+/// testbed queries are millisecond-scale, so even a single query per
+/// worker amortises the spawn cost — 1 is optimal on the reference
+/// container and re-sweeping on wider machines is a bench re-run away.
+pub const EVAL_PAR_MIN_CHUNK: usize = 1;
+
 /// Fans batches of independent slice queries out over worker threads.
 ///
 /// A performance knob only: for an uncontended environment, element `i` of
@@ -65,7 +76,7 @@ impl QueryScheduler {
         let granted = env.grant_round(&requested);
         let jobs: Vec<(SliceConfig, SliceQuery)> =
             granted.into_iter().zip(queries.iter().copied()).collect();
-        atlas_math::parallel::par_chunks_map(&jobs, 1, self.threads, |_, chunk| {
+        atlas_math::parallel::par_chunks_map(&jobs, EVAL_PAR_MIN_CHUNK, self.threads, |_, chunk| {
             chunk
                 .iter()
                 .map(|(config, q)| env.query(config, &q.scenario, &q.sla))
@@ -80,7 +91,7 @@ impl QueryScheduler {
     /// and never contend for the testbed substrate. Element `i` equals
     /// `jobs[i].0.query(&jobs[i].1.config, ...)` for every thread count.
     pub fn evaluate_each<E: Environment>(&self, jobs: &[(E, SliceQuery)]) -> Vec<QoeSample> {
-        atlas_math::parallel::par_chunks_map(jobs, 1, self.threads, |_, chunk| {
+        atlas_math::parallel::par_chunks_map(jobs, EVAL_PAR_MIN_CHUNK, self.threads, |_, chunk| {
             chunk
                 .iter()
                 .map(|(env, q)| env.query(&q.config, &q.scenario, &q.sla))

@@ -1,0 +1,123 @@
+//! Fleet sharding: fixed, hash-free partitioning of slice sessions across
+//! worker shards.
+//!
+//! At operator scale (hundreds-to-thousands of concurrent slices) the
+//! dominant per-round cost is no longer the shared grant step but the
+//! per-session work around it: model fits, offline-acceleration waves and
+//! candidate scoring inside `suggest()`. A [`ShardPlan`] splits that work
+//! into fixed shards — each slice is pinned to `admission_index % shards`
+//! at admission and never migrates — so every shard can run its sessions
+//! on its own scoped thread with zero synchronisation until the join.
+//!
+//! Determinism contract (enforced by the property tests in
+//! `tests/properties.rs`):
+//!
+//! 1. **Fixed, hash-free assignment.** The shard of a slice depends only
+//!    on its admission index and the shard count — never on hashes,
+//!    thread ids or timing — so the same admission sequence always yields
+//!    the same partition.
+//! 2. **Ordered merge.** Per-shard round batches are merged
+//!    shard-then-index via [`ShardPlan::merge_round`], which restores the
+//!    global admission (slot) order before the single shared
+//!    `grant_round`. Every contention policy therefore sees the batch it
+//!    would have seen unsharded, bit for bit.
+//! 3. **Mutation outside the fan-out.** Shared state (budgets, round
+//!    statistics, lifecycle events) is only touched on the driving thread,
+//!    in slot order; shard threads own their sessions outright.
+
+/// A fixed partition of fleet slots across `shards` worker shards.
+///
+/// The plan is pure arithmetic — it holds no session state — so it can be
+/// copied freely and consulted from any thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: usize,
+}
+
+impl ShardPlan {
+    /// A plan over `shards` worker shards (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards in the plan.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Whether the plan actually partitions work (more than one shard).
+    pub fn is_sharded(&self) -> bool {
+        self.shards > 1
+    }
+
+    /// The shard owning the slice admitted at `admission_index`: a plain
+    /// round-robin `admission_index % shards`. Hash-free and stable for
+    /// the lifetime of the run, so a slice never migrates between shards.
+    pub fn assign(&self, admission_index: usize) -> usize {
+        admission_index % self.shards
+    }
+
+    /// Merges per-shard round batches back into global slot order: the
+    /// shard-then-index k-way merge. Each entry is `(slot, payload)` where
+    /// `slot` is the item's position in the fleet's active list; slots are
+    /// unique within a round, so the sort is a deterministic permutation
+    /// that restores exactly the order an unsharded round would have
+    /// produced — which is what makes the downstream `grant_round` (and
+    /// every f64 accumulation after it) bit-identical across shard counts.
+    pub fn merge_round<T>(batches: Vec<Vec<(usize, T)>>) -> Vec<(usize, T)> {
+        let mut merged: Vec<(usize, T)> = batches.into_iter().flatten().collect();
+        merged.sort_unstable_by_key(|(slot, _)| *slot);
+        merged
+    }
+}
+
+impl Default for ShardPlan {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_clamp_assign_and_report_sharding() {
+        let single = ShardPlan::new(0);
+        assert_eq!(single.shards(), 1);
+        assert!(!single.is_sharded());
+        assert_eq!(ShardPlan::default(), ShardPlan::new(1));
+        let plan = ShardPlan::new(4);
+        assert!(plan.is_sharded());
+        assert_eq!(plan.shards(), 4);
+        // Fixed round-robin, stable under repetition.
+        let assigned: Vec<usize> = (0..10).map(|i| plan.assign(i)).collect();
+        assert_eq!(assigned, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1]);
+        assert_eq!(
+            assigned,
+            (0..10).map(|i| plan.assign(i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn merge_round_restores_global_slot_order() {
+        // Simulate 3 shards' batches for slots 0..=7 assigned round-robin.
+        let plan = ShardPlan::new(3);
+        let mut batches: Vec<Vec<(usize, char)>> = vec![Vec::new(); 3];
+        let payload = ['a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'];
+        for (slot, p) in payload.iter().enumerate() {
+            batches[plan.assign(slot)].push((slot, *p));
+        }
+        let merged = ShardPlan::merge_round(batches);
+        let slots: Vec<usize> = merged.iter().map(|(s, _)| *s).collect();
+        assert_eq!(slots, (0..8).collect::<Vec<_>>());
+        let chars: Vec<char> = merged.iter().map(|(_, p)| *p).collect();
+        assert_eq!(chars, payload);
+        // Gaps (sessions that declined to suggest) are preserved in order.
+        let sparse = ShardPlan::merge_round(vec![vec![(5, 'x')], vec![(1, 'y')], Vec::new()]);
+        assert_eq!(sparse, vec![(1, 'y'), (5, 'x')]);
+        assert!(ShardPlan::merge_round(Vec::<Vec<(usize, u8)>>::new()).is_empty());
+    }
+}

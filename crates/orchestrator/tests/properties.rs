@@ -248,6 +248,168 @@ fn mixed_window_fleets_are_deterministic_and_plateau_the_windowed_slice() {
 }
 
 #[test]
+fn sharded_fleet_matches_unsharded_and_sequential_bit_for_bit() {
+    // Tentpole property, fixed fleet: a sharded FleetRun must equal the
+    // unsharded run AND the PR 3 sequential ground truth, bit for bit,
+    // over the full shards × threads grid.
+    let network = RealNetwork::prototype();
+    let real = RealEnv::new(network);
+    let sequential: Vec<_> = fleet(8)
+        .iter()
+        .map(|s| s.learner.run(&real, &s.scenario, s.seed))
+        .collect();
+    let reference = Orchestrator::new(SharedTestbed::new(network))
+        .with_threads(1)
+        .run(fleet(8));
+    for (slice, expected) in reference.slices.iter().zip(&sequential) {
+        assert_eq!(
+            &slice.result, expected,
+            "unsharded reference diverged from sequential"
+        );
+    }
+    for shards in [1, 2, 4, 8] {
+        for threads in [1, 2, 4, 8] {
+            let report = Orchestrator::new(SharedTestbed::new(network))
+                .with_shards(shards)
+                .with_threads(threads)
+                .run(fleet(8));
+            assert_eq!(report, reference, "shards = {shards}, threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn sharded_churn_is_bit_identical_across_the_full_grid() {
+    // Tentpole property, elastic fleet: churn (admissions, retirements,
+    // tenancy expiries) over unlimited and half-carrier budgets must be
+    // bit-identical across every shard count × thread count combination.
+    use atlas_netsim::ResourceBudget;
+    use atlas_orchestrator::{
+        AcceptAll, AdmissionPolicy, ChurnConfig, ChurnWorkload, HeadroomThreshold,
+    };
+    let network = RealNetwork::prototype();
+    let workload = ChurnWorkload::generate(&ChurnConfig::quick(21));
+    let budgets: [Option<ResourceBudget>; 2] =
+        [None, Some(ResourceBudget::carrier_default().scaled(0.5))];
+    for budget in budgets {
+        let run = |shards: usize, threads: usize| {
+            let testbed = match budget {
+                Some(b) => SharedTestbed::new(network).with_budget(b),
+                None => SharedTestbed::new(network),
+            };
+            let orchestrator = Orchestrator::new(testbed)
+                .with_shards(shards)
+                .with_threads(threads);
+            let policy: Box<dyn AdmissionPolicy> = match budget {
+                Some(_) => Box::new(HeadroomThreshold {
+                    max_occupancy: 1.25,
+                }),
+                None => Box::new(AcceptAll),
+            };
+            workload.drive(&orchestrator, policy)
+        };
+        let tight = budget.is_some();
+        let (reference, reference_rounds) = run(1, 1);
+        if tight {
+            assert!(
+                reference.mean_grant_gap > 0.0,
+                "the half-carrier level must actually contend"
+            );
+        }
+        for shards in [1, 2, 4, 8] {
+            for threads in [1, 2, 4, 8] {
+                let (report, rounds) = run(shards, threads);
+                assert_eq!(
+                    report, reference,
+                    "shards = {shards}, threads = {threads}, tight = {tight}"
+                );
+                assert_eq!(
+                    rounds, reference_rounds,
+                    "shards = {shards}, threads = {threads}, tight = {tight}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_pipeline_churn_lands_on_fixed_shards() {
+    // Satellite coverage: admitting and retiring slices between sharded
+    // rounds keeps shard assignments fixed (admission-index round-robin,
+    // survivors never migrate) and the lifecycle events land in the same
+    // rounds as the unsharded replay.
+    let network = RealNetwork::prototype();
+    let all = fleet(7);
+    let drive = |shards: usize| {
+        let orchestrator = Orchestrator::new(SharedTestbed::new(network))
+            .with_shards(shards)
+            .with_threads(2);
+        let mut run = orchestrator.begin();
+        for spec in all[..5].iter().cloned() {
+            run.admit(spec).unwrap();
+        }
+        if shards == 4 {
+            // Round-robin over the admission index.
+            assert_eq!(run.shard_of("slice-0"), Some(0));
+            assert_eq!(run.shard_of("slice-3"), Some(3));
+            assert_eq!(run.shard_of("slice-4"), Some(0));
+        }
+        let mut rounds = vec![run.step().expect("round 1 runs")];
+        // Mid-pipeline churn: one arrival, one retirement, between rounds.
+        run.admit(all[5].clone()).unwrap();
+        run.retire("slice-2").unwrap();
+        if shards == 4 {
+            assert_eq!(run.shard_of("slice-5"), Some(1), "5 % 4");
+            assert_eq!(run.shard_of("slice-2"), None, "retired slices left");
+            assert_eq!(run.shard_of("slice-4"), Some(0), "survivors never migrate");
+        }
+        rounds.push(run.step().expect("round 2 runs"));
+        run.admit(all[6].clone()).unwrap();
+        if shards == 4 {
+            assert_eq!(run.shard_of("slice-6"), Some(2), "6 % 4");
+        }
+        while let Some(round) = run.step() {
+            rounds.push(round);
+        }
+        (run.finish(), rounds)
+    };
+    let (reference, reference_rounds) = drive(1);
+    assert_eq!(reference_rounds[1].admitted, vec!["slice-5".to_string()]);
+    assert_eq!(reference_rounds[1].retired, vec!["slice-2".to_string()]);
+    assert_eq!(reference_rounds[2].admitted, vec!["slice-6".to_string()]);
+    for shards in [2, 4, 8] {
+        assert_eq!(
+            drive(shards),
+            (reference.clone(), reference_rounds.clone()),
+            "shards = {shards}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    // Randomised shard/thread/fleet-size combinations beyond the fixed
+    // grid: sharding must stay invisible for any N.
+    #[test]
+    fn any_sharding_equals_the_unsharded_run(
+        n in 1u64..6,
+        shards in 1usize..6,
+        threads in 1usize..5,
+    ) {
+        let network = RealNetwork::prototype();
+        let reference = Orchestrator::new(SharedTestbed::new(network))
+            .with_threads(1)
+            .run(fleet(n));
+        let report = Orchestrator::new(SharedTestbed::new(network))
+            .with_shards(shards)
+            .with_threads(threads)
+            .run(fleet(n));
+        prop_assert_eq!(report, reference);
+    }
+}
+
+#[test]
 fn oversubscribed_fleet_scales_grants_and_rejects_admissions() {
     // Acceptance criterion: with a finite budget, an over-subscribed
     // 8-slice fleet shows scaled grants and nonzero rejected admissions.

@@ -1,0 +1,130 @@
+//! Sharded fleets at operator scale: partition a large fleet's slice
+//! sessions across fixed worker shards (`Orchestrator::with_shards`) and
+//! show that sharding is a pure performance transform — every shard count
+//! produces the bit-identical run, because slices are pinned to
+//! `admission_index % shards` at admission and the per-shard round batches
+//! are merged back into admission order before the single shared grant.
+//!
+//! The example (a) sweeps shard counts over a fixed fleet, printing
+//! per-round wall-clock and asserting bit-identity against the unsharded
+//! reference, and (b) drives mid-run admissions/retirements through a
+//! sharded `FleetRun`, showing lifecycle events land on their fixed
+//! shards.
+//!
+//! ```sh
+//! cargo run --release --example online_sharded            # bench-sized fleet
+//! cargo run --release --example online_sharded -- --quick # CI smoke
+//! ```
+
+use atlas::env::Sla;
+use atlas::{OnlineLearner, Scenario, Simulator, Stage3Config};
+use atlas_netsim::{RealNetwork, SharedTestbed};
+use atlas_orchestrator::{Orchestrator, SliceSpec};
+use std::time::Instant;
+
+/// A heterogeneous fleet of `n` short slices.
+fn fleet(n: u64) -> Vec<SliceSpec> {
+    (0..n)
+        .map(|i| {
+            let sla = Sla::new(250.0 + 25.0 * (i % 3) as f64, 0.85 + 0.02 * (i % 2) as f64);
+            let config = Stage3Config {
+                iterations: 2,
+                offline_updates: 1,
+                candidates: 60,
+                duration_s: 2.0,
+                ..Stage3Config::default()
+            };
+            let learner =
+                OnlineLearner::without_offline(config, sla, Simulator::with_original_params());
+            let scenario = Scenario::default_with_seed(i)
+                .with_duration(2.0)
+                .with_traffic(1 + (i as u32) % 3)
+                .with_distance(1.0 + 2.0 * (i % 5) as f64);
+            SliceSpec::new(format!("slice-{i}"), learner, scenario, 7000 + 11 * i)
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let slices: u64 = if quick { 48 } else { 1000 };
+    let network = RealNetwork::prototype();
+
+    // ---- shard-count sweep over a fixed fleet --------------------------
+    println!("fleet: {slices} slices x 2 online iterations\n");
+    let mut reference = None;
+    for shards in [1usize, 2, 4, 8] {
+        let orchestrator = Orchestrator::new(SharedTestbed::new(network))
+            .with_threads(4)
+            .with_shards(shards);
+        let start = Instant::now();
+        let report = orchestrator.run(fleet(slices));
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let per_round_ms = ms / report.rounds.max(1) as f64;
+        println!(
+            "[{shards} shard{}] {} queries over {} rounds in {ms:.0} ms \
+             ({per_round_ms:.1} ms/round)  SLA-viol {:.1}%  usage {:.1}%",
+            if shards == 1 { " " } else { "s" },
+            report.total_queries,
+            report.rounds,
+            report.sla_violation_rate * 100.0,
+            report.mean_usage * 100.0,
+        );
+        match &reference {
+            None => reference = Some(report),
+            Some(reference) => {
+                assert_eq!(
+                    &report, reference,
+                    "sharding must be a pure performance transform"
+                );
+                println!("           bit-identical to the unsharded run");
+            }
+        }
+    }
+
+    // ---- mid-run churn over a sharded fleet ----------------------------
+    // Admissions take the next admission index (round-robin over shards),
+    // retirements leave the survivors' shards untouched.
+    println!("\nmid-run churn over 4 shards:");
+    let orchestrator = Orchestrator::new(SharedTestbed::new(network))
+        .with_threads(4)
+        .with_shards(4);
+    let mut run = orchestrator.begin();
+    let churn_fleet = fleet(8);
+    let (initial, late) = churn_fleet.split_at(6);
+    for spec in initial.iter().cloned() {
+        run.admit(spec).unwrap();
+    }
+    for name in ["slice-0", "slice-3", "slice-5"] {
+        println!(
+            "  {name} admitted on shard {}",
+            run.shard_of(name).expect("active slice has a shard")
+        );
+    }
+    let round = run.step().expect("six active slices");
+    assert_eq!(round.queries, 6);
+    // Between rounds: two arrivals, one retirement.
+    for spec in late.iter().cloned() {
+        run.admit(spec).unwrap();
+    }
+    run.retire("slice-1").expect("slice-1 is active");
+    assert_eq!(run.shard_of("slice-6"), Some(2), "admission index 6 % 4");
+    assert_eq!(run.shard_of("slice-7"), Some(3), "admission index 7 % 4");
+    assert_eq!(run.shard_of("slice-5"), Some(1), "survivors never migrate");
+    println!(
+        "  slice-1 retired; slice-6 -> shard {}, slice-7 -> shard {}, slice-5 stays on shard {}",
+        run.shard_of("slice-6").unwrap(),
+        run.shard_of("slice-7").unwrap(),
+        run.shard_of("slice-5").unwrap(),
+    );
+    while run.step().is_some() {}
+    let report = run.finish();
+    assert_eq!(report.slices.len(), 8, "all eight slices leave a report");
+    assert!(report.slice("slice-1").unwrap().span.retired_early);
+    println!(
+        "  drained: {} slices reported over {} rounds, {} queries",
+        report.slices.len(),
+        report.rounds,
+        report.total_queries,
+    );
+}
