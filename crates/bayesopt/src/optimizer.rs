@@ -189,6 +189,32 @@ impl<S: Surrogate> BayesOpt<S> {
         self.evict_beyond_window();
     }
 
+    /// Records a whole round of evaluated observations and feeds them into
+    /// the surrogate in one [`Surrogate::observe_many`] call — the GP
+    /// amortises the bordering updates across the round (bit-identical to
+    /// per-point [`BayesOpt::observe_and_update`] calls). A surrogate that
+    /// could not absorb the round incrementally is marked stale and fully
+    /// refitted on the next [`BayesOpt::fit`] or suggestion.
+    pub fn observe_and_update_batch(&mut self, batch: Vec<(Vec<f64>, f64)>, rng: &mut Rng64) {
+        let batch: Vec<(Vec<f64>, f64)> = batch
+            .into_iter()
+            .map(|(x, y)| (self.space.clamp(&x), y))
+            .collect();
+        for (x, y) in &batch {
+            self.observations.push(Observation {
+                x: x.clone(),
+                y: *y,
+            });
+            self.xs.push(x.clone());
+            self.ys.push(*y);
+            self.observed_total += 1;
+        }
+        if !self.surrogate_stale && !self.surrogate.observe_many(batch, rng) {
+            self.surrogate_stale = true;
+        }
+        self.evict_beyond_window();
+    }
+
     /// Refits the surrogate on all observations. A no-op when every
     /// observation has already been absorbed incrementally via
     /// [`BayesOpt::observe_and_update`].
@@ -244,11 +270,18 @@ impl<S: Surrogate> BayesOpt<S> {
         candidates.swap_remove(best_idx)
     }
 
-    /// Predicts a candidate set, splitting it into contiguous chunks over
-    /// scoped worker threads when large enough. [`Surrogate::predict_batch`]
-    /// is point-wise by contract, so chunking never changes a result and
-    /// the merged output is identical for every thread count.
+    /// Predicts a candidate set for acquisition ranking. A surrogate with
+    /// its own whole-batch ranking path ([`Surrogate::fast_ranking`], e.g.
+    /// the GP with mixed-precision scoring) is handed the entire set in one
+    /// call — it threads the batch itself, and its drift guard counts whole
+    /// suggestions. Otherwise the set is split into contiguous chunks over
+    /// scoped worker threads; [`Surrogate::predict_batch`] is point-wise by
+    /// contract, so chunking never changes a result and the merged output
+    /// is identical for every thread count.
     fn predict_candidates(&self, candidates: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        if self.surrogate.fast_ranking() {
+            return self.surrogate.predict_batch_ranking(candidates);
+        }
         atlas_math::parallel::par_chunks_map(candidates, 64, self.scoring_threads, |_, chunk| {
             self.surrogate.predict_batch(chunk)
         })
@@ -548,6 +581,37 @@ mod tests {
         assert_eq!(bo.best().unwrap().y, 2.0);
         assert_eq!(bo.observations()[0].y, 2.0);
         assert_eq!(bo.observations()[1].y, 7.0);
+    }
+
+    #[test]
+    fn batched_observe_and_update_matches_per_point() {
+        // observe_and_update_batch must leave the optimiser and the GP in
+        // exactly the state the per-point chain produces.
+        let mut rng_a = seeded_rng(21);
+        let mut rng_b = seeded_rng(21);
+        let mut a = make_optimizer();
+        let mut b = make_optimizer();
+        let pts: Vec<(Vec<f64>, f64)> = (0..12)
+            .map(|i| {
+                let x = vec![i as f64 / 12.0, (i % 4) as f64 / 4.0];
+                let y = objective(&x);
+                (x, y)
+            })
+            .collect();
+        for chunk in pts.chunks(4) {
+            a.observe_and_update_batch(chunk.to_vec(), &mut rng_a);
+        }
+        for (x, y) in pts {
+            b.observe_and_update(x, y, &mut rng_b);
+        }
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.observations(), b.observations());
+        assert!(!a.in_warmup());
+        assert_eq!(
+            a.surrogate().predict(&[0.5, 0.5]),
+            b.surrogate().predict(&[0.5, 0.5])
+        );
+        assert_eq!(a.surrogate().gp().kernel(), b.surrogate().gp().kernel());
     }
 
     #[test]

@@ -32,6 +32,25 @@ pub trait Surrogate: Send + Sync {
     fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
         xs.iter().map(|x| self.predict(x)).collect()
     }
+    /// Scores a candidate set for acquisition *ranking* — the caller takes
+    /// an argmax over the results, so only the induced ordering matters.
+    ///
+    /// The default is [`Surrogate::predict_batch`] (exact values). The GP
+    /// overrides it to route through its opt-in mixed-precision scoring
+    /// path (`GpConfig::scoring_precision`), which is bit-identical to
+    /// `predict_batch` under the default exact precision.
+    fn predict_batch_ranking(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        self.predict_batch(xs)
+    }
+    /// Whether [`Surrogate::predict_batch_ranking`] should be handed the
+    /// *whole* candidate set in one call (the surrogate does its own
+    /// batching/threading) instead of being chunked across the optimiser's
+    /// scoring threads. Chunking a guarded ranking path from many threads
+    /// would multiply its drift-recheck cadence per suggestion, so
+    /// fast-ranking surrogates manage the batch themselves.
+    fn fast_ranking(&self) -> bool {
+        false
+    }
     /// Incrementally absorbs one observation, returning `true` if the model
     /// updated itself (so no full refit is needed for it).
     ///
@@ -40,6 +59,21 @@ pub trait Surrogate: Send + Sync {
     /// without an incremental path (the BNN) need no changes.
     fn observe_one(&mut self, _x: &[f64], _y: f64, _rng: &mut Rng64) -> bool {
         false
+    }
+    /// Incrementally absorbs a whole round of observations, returning
+    /// `true` if the model updated itself for **every** one of them.
+    ///
+    /// The default feeds [`Surrogate::observe_one`] per observation without
+    /// short-circuiting (every point must reach the model even after one
+    /// declines, or the later ones would be silently lost). The GP
+    /// overrides it with a batched bordering update that amortises the
+    /// triangular solves across the round.
+    fn observe_many(&mut self, batch: Vec<(Vec<f64>, f64)>, rng: &mut Rng64) -> bool {
+        let mut all_updated = true;
+        for (x, y) in batch {
+            all_updated &= self.observe_one(&x, y, rng);
+        }
+        all_updated
     }
     /// Bounds the surrogate's *internal* training window, if it keeps one,
     /// returning `true` when the surrogate fully re-established its own
@@ -132,10 +166,26 @@ impl Surrogate for GpSurrogate {
         self.gp.predict_batch(xs)
     }
 
+    fn predict_batch_ranking(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        self.gp.predict_batch_ranking(xs)
+    }
+
+    fn fast_ranking(&self) -> bool {
+        // The GP threads its own batches (and its mixed-precision drift
+        // guard counts whole ranking calls), so hand it the full set.
+        true
+    }
+
     fn observe_one(&mut self, x: &[f64], y: f64, _rng: &mut Rng64) -> bool {
         // The GP absorbs a point in O(n²); a degenerate extension reports
         // `false` so the optimiser schedules a full refit instead.
         self.gp.observe(x.to_vec(), y).is_ok()
+    }
+
+    fn observe_many(&mut self, batch: Vec<(Vec<f64>, f64)>, _rng: &mut Rng64) -> bool {
+        // One batched bordering update per grid factor — bit-identical to
+        // the sequential observes, with the triangular solves amortised.
+        self.gp.observe_batch(batch).is_ok()
     }
 
     fn set_window(&mut self, window: WindowPolicy) -> bool {

@@ -9,7 +9,10 @@
 //! `BENCH_gp.json` for the performance trajectory.
 
 use atlas_bayesopt::SearchSpace;
-use atlas_gp::GaussianProcess;
+use atlas_gp::{GaussianProcess, GpConfig, ScoringPrecision};
+use atlas_math::linalg::{
+    l2_distance, Matrix, PackedCholesky, DEFAULT_CHOL_BLOCK, DEFAULT_COL_TILE, DEFAULT_ROW_BLOCK,
+};
 use atlas_math::rng::seeded_rng;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -109,9 +112,136 @@ fn predict_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Kernel-shaped SPD system over a seeded unit-cube dataset — the matrix
+/// structure every GP hot loop factors and solves against.
+fn kernel_system(n: usize) -> (Vec<Vec<f64>>, Matrix) {
+    let (xs, _) = dataset(n, 6);
+    let mut k = Matrix::from_fn(n, n, |i, j| (-l2_distance(&xs[i], &xs[j])).exp());
+    k.add_diagonal(1e-3);
+    (xs, k)
+}
+
+fn blocked_cholesky(c: &mut Criterion) {
+    // The tentpole factorisation kernels: right-looking blocked Cholesky
+    // vs the scalar kernel it replaced, bit-identical by construction
+    // (the blocking is pure scheduling — see the linalg property tests).
+    let n = 400usize;
+    let (_, k) = kernel_system(n);
+    let mut group = c.benchmark_group("blocked_cholesky");
+    group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+        b.iter(|| black_box(k.cholesky_scalar().unwrap().rows()))
+    });
+    group.bench_with_input(
+        BenchmarkId::new(format!("blocked_b{DEFAULT_CHOL_BLOCK}"), n),
+        &n,
+        |b, _| b.iter(|| black_box(k.cholesky_blocked(DEFAULT_CHOL_BLOCK).unwrap().rows())),
+    );
+    group.bench_with_input(BenchmarkId::new("packed_blocked", n), &n, |b, _| {
+        b.iter(|| black_box(PackedCholesky::cholesky(&k).unwrap().order()))
+    });
+    group.finish();
+}
+
+fn blocked_forward_solve(c: &mut Criterion) {
+    // The stage-sized multi-RHS forward solve (400 × 2000 — the
+    // acquisition scorer's shape) through the row-blocked kernel at the
+    // calibrated defaults, against the column-tiled-only sweep.
+    let n = 400usize;
+    let m = 2000usize;
+    let (xs, k) = kernel_system(n);
+    let l = k.cholesky().unwrap();
+    let mut rng = seeded_rng(9);
+    let candidates = SearchSpace::unit(6).sample_n(m, &mut rng);
+    let rhs = Matrix::from_fn(n, m, |i, j| (-l2_distance(&xs[i], &candidates[j])).exp());
+    let mut group = c.benchmark_group("blocked_forward_solve");
+    group.bench_function(
+        BenchmarkId::new("col_tiled_only", format!("{n}x{m}")),
+        |b| {
+            b.iter(|| {
+                black_box(
+                    l.solve_lower_triangular_multi_tiled(&rhs, DEFAULT_COL_TILE)
+                        .unwrap()
+                        .rows(),
+                )
+            })
+        },
+    );
+    group.bench_function(BenchmarkId::new("row_blocked", format!("{n}x{m}")), |b| {
+        b.iter(|| {
+            black_box(
+                l.solve_lower_triangular_multi_blocked(&rhs, DEFAULT_COL_TILE, DEFAULT_ROW_BLOCK)
+                    .unwrap()
+                    .rows(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn batched_append_rows(c: &mut Criterion) {
+    // Batched bordering appends: one `append_rows` call amortising the
+    // shared prefix solve across 16 rows vs 16 sequential `append_row`
+    // calls (bit-identical factors either way).
+    let n = 400usize;
+    let k = 16usize;
+    let base_n = n - k;
+    let (_, full) = kernel_system(n);
+    let base = {
+        let sub = Matrix::from_fn(base_n, base_n, |i, j| full[(i, j)]);
+        PackedCholesky::cholesky(&sub).unwrap()
+    };
+    let rows: Vec<Vec<f64>> = (base_n..n)
+        .map(|r| (0..=r).map(|j| full[(r, j)]).collect())
+        .collect();
+    let mut group = c.benchmark_group("batched_append_rows");
+    group.bench_function(BenchmarkId::new("sequential", k), |b| {
+        b.iter(|| {
+            let mut f = base.clone();
+            for row in &rows {
+                f.append_row(row).unwrap();
+            }
+            black_box(f.order())
+        })
+    });
+    group.bench_function(BenchmarkId::new("batched", k), |b| {
+        b.iter(|| {
+            let mut f = base.clone();
+            f.append_rows(&rows).unwrap();
+            black_box(f.order())
+        })
+    });
+    group.finish();
+}
+
+fn mixed_precision_ranking(c: &mut Criterion) {
+    // Opt-in f32 scoring shadow vs the exact f64 batched predictor on the
+    // acquisition-ranking path. `recheck_every` is set beyond the
+    // iteration count so the timed loop never pays the f64 drift recheck.
+    let (xs, ys) = dataset(200, 6);
+    let mut gp = GaussianProcess::new(GpConfig {
+        scoring_precision: ScoringPrecision::MixedF32 {
+            recheck_every: usize::MAX,
+            top_k: 10,
+        },
+        ..GpConfig::default()
+    });
+    gp.fit(&xs, &ys).unwrap();
+    let mut rng = seeded_rng(9);
+    let candidates = SearchSpace::unit(6).sample_n(2000, &mut rng);
+    let mut group = c.benchmark_group("gp_ranking_2000_candidates");
+    group.bench_function("exact_f64", |b| {
+        b.iter(|| black_box(gp.predict_batch_par(&candidates).len()))
+    });
+    group.bench_function("mixed_f32", |b| {
+        b.iter(|| black_box(gp.predict_batch_ranking(&candidates).len()))
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = add_observation_scaling, windowed_observe, predict_batch
+    targets = add_observation_scaling, windowed_observe, predict_batch, blocked_cholesky,
+        blocked_forward_solve, batched_append_rows, mixed_precision_ranking
 );
 criterion_main!(benches);

@@ -14,10 +14,12 @@
 
 use atlas_bayesopt::SearchSpace;
 use atlas_gp::{
-    GaussianProcess, GpConfig, WindowPolicy, GRID_PAR_MIN_CANDIDATES, GRID_PAR_MIN_N,
-    PREDICT_PAR_MIN_CHUNK,
+    GaussianProcess, GpConfig, ScoringPrecision, WindowPolicy, GRID_PAR_MIN_CANDIDATES,
+    GRID_PAR_MIN_N, PREDICT_PAR_MIN_CHUNK,
 };
-use atlas_math::linalg::{l2_distance, Matrix, PackedCholesky, DEFAULT_COL_TILE};
+use atlas_math::linalg::{
+    l2_distance, Matrix, PackedCholesky, DEFAULT_CHOL_BLOCK, DEFAULT_COL_TILE, DEFAULT_ROW_BLOCK,
+};
 use atlas_math::rng::seeded_rng;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -78,6 +80,67 @@ fn scaling_exponent(points: &[SizePoint], t: impl Fn(&SizePoint) -> f64) -> f64 
     let cov: f64 = logs.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
     let var: f64 = logs.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
     cov / var
+}
+
+/// The pre-blocking multi-RHS forward sweep, frozen verbatim from the
+/// column-tiled implementation this repository shipped before the
+/// row-blocked kernels landed. It lives in the bench binary so the
+/// `blocked_kernels` section always measures against the code the
+/// blocking actually replaced — benchmarking the new helper at
+/// `row_block = 1` instead would overstate the speedup, because the
+/// jammed inner loops degenerate badly at that width.
+fn pre_blocking_solve_lower_multi_tiled(l: &Matrix, b: &Matrix, tile: usize) -> Matrix {
+    let n = l.rows();
+    let m = b.cols();
+    let tile = tile.max(1);
+    let mut x = b.clone();
+    let ldata = l.as_slice();
+    let mut c0 = 0;
+    while c0 < m {
+        let c1 = (c0 + tile).min(m);
+        for i in 0..n {
+            let (solved, rest) = x.as_mut_slice().split_at_mut(i * m);
+            let row_i = &mut rest[c0..c1];
+            for (j, xj) in solved.chunks_exact(m).enumerate() {
+                let lij = ldata[i * n + j];
+                for (xi, xv) in row_i.iter_mut().zip(&xj[c0..c1]) {
+                    *xi -= lij * *xv;
+                }
+            }
+            let d = ldata[i * n + i];
+            for xi in row_i.iter_mut() {
+                *xi /= d;
+            }
+        }
+        c0 = c1;
+    }
+    x
+}
+
+/// Kernel-shaped SPD system over a seeded unit-cube dataset: the exact
+/// matrix structure every GP hot loop factors and solves against.
+fn kernel_system(n: usize) -> (Vec<Vec<f64>>, Matrix) {
+    let (xs, _) = dataset(n);
+    let mut k = Matrix::from_fn(n, n, |i, j| (-l2_distance(&xs[i], &xs[j])).exp());
+    k.add_diagonal(1e-3);
+    (xs, k)
+}
+
+/// Indices of the `k` largest predictive means, returned sorted so two
+/// rankings can be compared as membership sets (ties may legitimately
+/// swap order between precisions).
+fn top_k_indices(preds: &[(f64, f64)], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..preds.len()).collect();
+    idx.sort_by(|&a, &b| {
+        preds[b]
+            .0
+            .partial_cmp(&preds[a].0)
+            .expect("finite predictions")
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
 }
 
 fn main() {
@@ -185,6 +248,181 @@ fn main() {
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite timings"))
         .expect("non-empty sweep")
         .0;
+
+    // ---- blocked dense-kernel calibration -------------------------------
+    // Right-looking blocked Cholesky vs the scalar kernel it replaced, on
+    // kernel-shaped SPD systems. Every block width factors bit-identically
+    // to `cholesky_scalar` (the blocking is pure scheduling), so the sweep
+    // is a performance calibration of `DEFAULT_CHOL_BLOCK`; the scalar
+    // kernel stays in-tree precisely so this speedup keeps an honest
+    // baseline. n = 400 is always swept — CI's quick mode asserts the
+    // blocked kernel is no slower than scalar there.
+    let chol_sizes: &[usize] = if quick { &[400] } else { &[200, 400, 800] };
+    let chol_blocks: [usize; 6] = [8, 16, 24, 32, 48, 64];
+    struct CholPoint {
+        n: usize,
+        scalar_ms: f64,
+        blocked: Vec<(usize, f64)>,
+    }
+    let chol_points: Vec<CholPoint> = chol_sizes
+        .iter()
+        .map(|&cn| {
+            let (_, ck) = kernel_system(cn);
+            let scalar_ms = median_ms(reps, || {
+                let _ = ck.cholesky_scalar().unwrap();
+            });
+            let blocked: Vec<(usize, f64)> = chol_blocks
+                .iter()
+                .map(|&block| {
+                    let ms = median_ms(reps, || {
+                        let _ = ck.cholesky_blocked(block).unwrap();
+                    });
+                    println!(
+                        "cholesky n = {cn}: block {block:>2} -> {ms:>8.3} ms \
+                         (scalar {scalar_ms:.3} ms, {:.2}x)",
+                        scalar_ms / ms
+                    );
+                    (block, ms)
+                })
+                .collect();
+            CholPoint {
+                n: cn,
+                scalar_ms,
+                blocked,
+            }
+        })
+        .collect();
+    let default_block_ms = |p: &CholPoint| {
+        p.blocked
+            .iter()
+            .find(|(b, _)| *b == DEFAULT_CHOL_BLOCK)
+            .expect("default block is in the sweep")
+            .1
+    };
+    let chol_400 = chol_points
+        .iter()
+        .find(|p| p.n == 400)
+        .expect("n = 400 is always swept");
+    let chol_speedup_400 = chol_400.scalar_ms / default_block_ms(chol_400);
+    let chol_best_block_400 = chol_400
+        .blocked
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite timings"))
+        .expect("non-empty sweep")
+        .0;
+
+    // Row-blocked multi-RHS forward solve vs the pre-blocking column-tiled
+    // sweep (frozen verbatim above) at its shipped tile of 64, on the
+    // stage-sized 400 × 2000 shape the acquisition scorer solves.
+    let solve_n = 400usize;
+    let (sxs, sk) = kernel_system(solve_n);
+    let sl = sk.cholesky().expect("SPD kernel system");
+    let srhs = Matrix::from_fn(solve_n, candidates.len(), |i, j| {
+        (-l2_distance(&sxs[i], &candidates[j])).exp()
+    });
+    let pre_blocking_ms = median_ms(reps, || {
+        let _ = pre_blocking_solve_lower_multi_tiled(&sl, &srhs, 64);
+    });
+    println!(
+        "forward solve {solve_n} x {}: pre-blocking tile 64 -> {pre_blocking_ms:.3} ms",
+        candidates.len()
+    );
+    let solve_points: Vec<(usize, usize, f64)> = [64usize, 128, 256]
+        .into_iter()
+        .flat_map(|col_tile| {
+            [8usize, 16, 32, 64]
+                .into_iter()
+                .map(move |row_block| (col_tile, row_block))
+        })
+        .map(|(col_tile, row_block)| {
+            let ms = median_ms(reps, || {
+                let _ = sl
+                    .solve_lower_triangular_multi_blocked(&srhs, col_tile, row_block)
+                    .unwrap();
+            });
+            println!(
+                "forward solve {solve_n} x {}: tile {col_tile:>3}, row block {row_block:>2} \
+                 -> {ms:>7.3} ms ({:.2}x vs pre-blocking)",
+                candidates.len(),
+                pre_blocking_ms / ms
+            );
+            (col_tile, row_block, ms)
+        })
+        .collect();
+    let chosen_solve_ms = solve_points
+        .iter()
+        .find(|(t, r, _)| *t == DEFAULT_COL_TILE && *r == DEFAULT_ROW_BLOCK)
+        .expect("chosen defaults are in the sweep")
+        .2;
+    let solve_speedup = pre_blocking_ms / chosen_solve_ms;
+    let solve_best = solve_points
+        .iter()
+        .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite timings"))
+        .expect("non-empty sweep");
+
+    // Batched bordering appends: one `append_rows` call amortising the
+    // shared n-prefix solve across k rows vs the k sequential
+    // `append_row` calls it replaces (bit-identical factors either way).
+    let append_k = 16usize;
+    let append_base = solve_n - append_k;
+    let base_packed = {
+        let sub = Matrix::from_fn(append_base, append_base, |i, j| sk[(i, j)]);
+        PackedCholesky::cholesky(&sub).expect("SPD principal submatrix")
+    };
+    let border_rows: Vec<Vec<f64>> = (append_base..solve_n)
+        .map(|r| (0..=r).map(|j| sk[(r, j)]).collect())
+        .collect();
+    let append_seq_ms = median_ms(reps, || {
+        let mut f = base_packed.clone();
+        for row in &border_rows {
+            f.append_row(row).unwrap();
+        }
+    });
+    let append_batched_ms = median_ms(reps, || {
+        let mut f = base_packed.clone();
+        f.append_rows(&border_rows).unwrap();
+    });
+    println!(
+        "append {append_k} rows @ n = {append_base}: sequential {append_seq_ms:.3} ms, \
+         batched {append_batched_ms:.3} ms ({:.2}x)",
+        append_seq_ms / append_batched_ms
+    );
+
+    // ---- mixed-precision scoring ----------------------------------------
+    // `predict_batch_ranking` under `ScoringPrecision::MixedF32` (the f32
+    // shadow factor) vs the exact f64 batched path on the same model.
+    // `recheck_every` is set beyond the rep count so the timed loop never
+    // pays the f64 drift recheck; agreement is measured directly instead
+    // by comparing the top-k membership of the two rankings.
+    let scoring_top_k = 10usize;
+    let mut gp_mixed = GaussianProcess::new(GpConfig {
+        scoring_precision: ScoringPrecision::MixedF32 {
+            recheck_every: 1_000_000,
+            top_k: scoring_top_k,
+        },
+        ..GpConfig::default()
+    });
+    gp_mixed.fit(&xs, &ys).unwrap();
+    let fast_preds = gp_mixed.predict_batch_ranking(&candidates);
+    let exact_preds = gp_mixed.predict_batch_par(&candidates);
+    let exact_top = top_k_indices(&exact_preds, scoring_top_k);
+    let top_k_agreement = top_k_indices(&fast_preds, scoring_top_k)
+        .iter()
+        .filter(|i| exact_top.contains(i))
+        .count();
+    let mixed_f32_ms = median_ms(reps, || {
+        let _ = gp_mixed.predict_batch_ranking(&candidates);
+    });
+    let exact_f64_ms = median_ms(reps, || {
+        let _ = gp_mixed.predict_batch_par(&candidates);
+    });
+    let scoring_speedup = exact_f64_ms / mixed_f32_ms;
+    println!(
+        "scoring 2000 candidates @ n = {n}: exact f64 {exact_f64_ms:.3} ms, mixed f32 \
+         {mixed_f32_ms:.3} ms ({scoring_speedup:.2}x), top-{scoring_top_k} agreement \
+         {top_k_agreement}/{scoring_top_k}, demoted {}",
+        gp_mixed.scoring_demoted()
+    );
 
     // ---- thread-threshold calibration -----------------------------------
     // `predict_batch_par` with pinned worker counts (its internal shape,
@@ -335,6 +573,102 @@ fn main() {
     let _ = writeln!(json, "    \"measured_best_tile\": {measured_best_tile},");
     let _ = writeln!(json, "    \"chosen_default_col_tile\": {DEFAULT_COL_TILE}");
     json.push_str("  },\n");
+    // Blocked dense-kernel calibration: the tentpole speedups, each against
+    // the exact pre-blocking code path (scalar Cholesky; the frozen
+    // column-tiled forward sweep), plus the batched-append amortisation.
+    json.push_str("  \"blocked_kernels\": {\n");
+    json.push_str(
+        "    \"note\": \"1-CPU benchmark container; timings wander ~10-15% run to run — \
+         re-run the sweeps on a multi-core box before moving the defaults\",\n",
+    );
+    json.push_str("    \"cholesky\": {\n");
+    json.push_str("      \"points\": [\n");
+    for (i, p) in chol_points.iter().enumerate() {
+        let comma = if i + 1 < chol_points.len() { "," } else { "" };
+        let _ = write!(
+            json,
+            "        {{\"n\": {}, \"scalar_ms\": {:.4}, \"blocked\": [",
+            p.n, p.scalar_ms
+        );
+        for (j, (block, ms)) in p.blocked.iter().enumerate() {
+            let bcomma = if j + 1 < p.blocked.len() { ", " } else { "" };
+            let _ = write!(json, "{{\"block\": {block}, \"ms\": {ms:.4}}}{bcomma}");
+        }
+        let _ = writeln!(
+            json,
+            "], \"speedup_at_default_block\": {:.2}}}{comma}",
+            p.scalar_ms / default_block_ms(p)
+        );
+    }
+    json.push_str("      ],\n");
+    let _ = writeln!(
+        json,
+        "      \"measured_best_block_at_n400\": {chol_best_block_400},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"chosen_default_chol_block\": {DEFAULT_CHOL_BLOCK},"
+    );
+    let _ = writeln!(json, "      \"speedup_at_n400\": {chol_speedup_400:.2}");
+    json.push_str("    },\n");
+    json.push_str("    \"multi_rhs_forward_solve\": {\n");
+    let _ = writeln!(
+        json,
+        "      \"n\": {solve_n}, \"rhs_cols\": {},",
+        candidates.len()
+    );
+    let _ = writeln!(
+        json,
+        "      \"pre_blocking_tile64_ms\": {pre_blocking_ms:.4},"
+    );
+    json.push_str("      \"points\": [\n");
+    for (i, (col_tile, row_block, ms)) in solve_points.iter().enumerate() {
+        let comma = if i + 1 < solve_points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "        {{\"col_tile\": {col_tile}, \"row_block\": {row_block}, \"ms\": {ms:.4}}}{comma}"
+        );
+    }
+    json.push_str("      ],\n");
+    let _ = writeln!(
+        json,
+        "      \"measured_best\": {{\"col_tile\": {}, \"row_block\": {}}},",
+        solve_best.0, solve_best.1
+    );
+    let _ = writeln!(
+        json,
+        "      \"chosen\": {{\"col_tile\": {DEFAULT_COL_TILE}, \"row_block\": {DEFAULT_ROW_BLOCK}}},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"speedup_vs_pre_blocking\": {solve_speedup:.2}"
+    );
+    json.push_str("    },\n");
+    let _ = writeln!(
+        json,
+        "    \"append_rows\": {{\"base_n\": {append_base}, \"k\": {append_k}, \
+         \"sequential_ms\": {append_seq_ms:.4}, \"batched_ms\": {append_batched_ms:.4}, \
+         \"speedup\": {:.2}}}",
+        append_seq_ms / append_batched_ms
+    );
+    json.push_str("  },\n");
+    // Mixed-precision scoring: opt-in f32 ranking shadow vs the exact f64
+    // batched predictor, with its measured top-k ranking agreement.
+    json.push_str("  \"scoring_precision\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"n\": {n}, \"candidates\": {}, \"top_k\": {scoring_top_k},",
+        candidates.len()
+    );
+    let _ = writeln!(json, "    \"exact_f64_ms\": {exact_f64_ms:.4},");
+    let _ = writeln!(json, "    \"mixed_f32_ms\": {mixed_f32_ms:.4},");
+    let _ = writeln!(json, "    \"speedup\": {scoring_speedup:.2},");
+    let _ = writeln!(
+        json,
+        "    \"top_k_agreement\": {top_k_agreement}, \"demoted\": {}",
+        gp_mixed.scoring_demoted()
+    );
+    json.push_str("  },\n");
     // Thread-parallel threshold calibration.
     json.push_str("  \"thread_calibration\": {\n");
     let _ = writeln!(json, "    \"available_parallelism\": {available},");
@@ -385,15 +719,31 @@ fn main() {
     std::fs::write(&out_path, json).expect("write benchmark JSON");
     println!("wrote {out_path}");
 
+    // The blocked Cholesky accelerated the full-refit *baseline* of this
+    // ratio (every grid candidate's factorisation), so the incremental
+    // advantage is structurally smaller than it was against the scalar
+    // kernel — especially at quick mode's n = 200, where the refit's
+    // cubic term has less room to dominate.
+    let min_observe_speedup = if quick { 6.0 } else { 10.0 };
     assert!(
-        speedup_largest >= 10.0,
-        "incremental observe must be >= 10x faster than the full refit at \
-         n = {n} (measured {speedup_largest:.1}x)"
+        speedup_largest >= min_observe_speedup,
+        "incremental observe must be >= {min_observe_speedup}x faster than the full refit \
+         at n = {n} (measured {speedup_largest:.1}x)"
     );
     assert!(
         flatness <= 2.5,
         "windowed per-observe time must be flat in the total observation \
          count (measured {flatness:.2}x across n = {}..{n_max})",
         lh_sizes.first().unwrap()
+    );
+    // CI smoke for the blocked kernels: the measured headroom is ~2x, so
+    // even on a noisy shared runner the blocked factorisation must never
+    // lose to the scalar kernel it replaced.
+    assert!(
+        default_block_ms(chol_400) <= chol_400.scalar_ms,
+        "blocked Cholesky (block = {DEFAULT_CHOL_BLOCK}) must be no slower than the \
+         scalar kernel at n = 400 (blocked {:.3} ms vs scalar {:.3} ms)",
+        default_block_ms(chol_400),
+        chol_400.scalar_ms
     );
 }

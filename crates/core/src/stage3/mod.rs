@@ -33,7 +33,7 @@ pub use session::{SliceQuery, SliceSession};
 use crate::env::{Environment, SimulatorEnv, Sla};
 use crate::stage2::Stage2Result;
 use atlas_bayesopt::Acquisition;
-use atlas_gp::WindowPolicy;
+use atlas_gp::{ScoringPrecision, WindowPolicy};
 use atlas_netsim::{Scenario, Simulator, SliceConfig};
 use atlas_nn::{Bnn, BnnConfig};
 
@@ -78,6 +78,15 @@ pub struct Stage3Config {
     /// use a bounded window so per-round model cost and memory plateau at
     /// the capacity instead of growing with slice age.
     pub gp_window: WindowPolicy,
+    /// Numeric precision of the GP residual model's candidate scoring. The
+    /// default ([`ScoringPrecision::Exact`]) keeps every prediction in f64
+    /// — bit-for-bit the historical behaviour.
+    /// [`ScoringPrecision::MixedF32`] scores the per-round candidate sets
+    /// through an f32 shadow of the factor (the f64 factors remain the
+    /// source of truth for every observe/refit) with a periodic f64
+    /// drift recheck — a throughput knob for large fleets where candidate
+    /// scoring dominates the round.
+    pub gp_scoring: ScoringPrecision,
 }
 
 impl Default for Stage3Config {
@@ -97,6 +106,7 @@ impl Default for Stage3Config {
                 ..BnnConfig::default()
             },
             gp_window: WindowPolicy::Unbounded,
+            gp_scoring: ScoringPrecision::Exact,
         }
     }
 }
@@ -197,6 +207,17 @@ impl OnlineLearner {
     /// for bit. Only sessions created after the call are affected.
     pub fn with_gp_window(mut self, window: WindowPolicy) -> Self {
         self.config.gp_window = window;
+        self
+    }
+
+    /// Returns the learner with its GP residual scoring precision replaced
+    /// — the candidate-scoring throughput knob.
+    /// [`ScoringPrecision::Exact`] (the default) keeps the historical f64
+    /// path bit for bit; [`ScoringPrecision::MixedF32`] ranks candidates
+    /// through an f32 shadow with a periodic f64 drift recheck. Only
+    /// sessions created after the call are affected.
+    pub fn with_gp_scoring(mut self, scoring: ScoringPrecision) -> Self {
+        self.config.gp_scoring = scoring;
         self
     }
 

@@ -101,9 +101,12 @@ impl OnlinePolicy {
     /// Batched combined-QoE estimate (Eq. 12) for the GP-residual model:
     /// the offline BNN mean per candidate plus the GP residual resolved
     /// with one batched (multi-right-hand-side, thread-parallel) solve.
-    /// Element `i` is exactly what `combined_qoe` returns for
-    /// `features[i]` — the GP path consumes no RNG, so the batched form is
-    /// a drop-in for the per-candidate loop.
+    /// Under the default exact scoring precision, element `i` is exactly
+    /// what `combined_qoe` returns for `features[i]` — the GP path
+    /// consumes no RNG, so the batched form is a drop-in for the
+    /// per-candidate loop. Under `ScoringPrecision::MixedF32` the
+    /// residuals come from the GP's f32 ranking shadow — appropriate here
+    /// because the caller only takes an argmin over the scored candidates.
     fn combined_qoe_batch_gp(
         &self,
         gp: &GaussianProcess,
@@ -112,7 +115,7 @@ impl OnlinePolicy {
         let residuals: Vec<(f64, f64)> = if gp.is_empty() {
             vec![(0.0, 0.3); features.len()]
         } else {
-            gp.predict_batch_par(features)
+            gp.predict_batch_ranking(features)
         };
         features
             .iter()

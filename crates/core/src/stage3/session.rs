@@ -97,12 +97,14 @@ impl SliceSession {
         let run_scenario = scenario.with_duration(config.duration_s);
         let residual_model = match config.online_model {
             // The configured window policy bounds the residual GP for
-            // long-horizon sessions (`Unbounded` — the default — makes
-            // this construction identical to
+            // long-horizon sessions, and the scoring precision selects the
+            // candidate-ranking path (`Unbounded` + `Exact` — the defaults
+            // — make this construction identical to
             // `GaussianProcess::default_matern()`).
             OnlineModel::GpResidual => {
                 ResidualModel::Gp(Box::new(GaussianProcess::new(GpConfig {
                     window: config.gp_window,
+                    scoring_precision: config.gp_scoring,
                     ..GpConfig::default()
                 })))
             }
@@ -663,6 +665,49 @@ mod tests {
         }
         assert_eq!(peak, 4, "residual GP must plateau at the window");
         assert_eq!(session.history().len(), 12);
+    }
+
+    #[test]
+    fn scoring_precision_defaults_to_exact_and_mixed_runs_end_to_end() {
+        use atlas_gp::ScoringPrecision;
+        let real = RealEnv::new(RealNetwork::prototype());
+        let scenario = Scenario::default_with_seed(13).with_duration(2.0);
+        let config = Stage3Config {
+            iterations: 10,
+            offline_updates: 1,
+            candidates: 40,
+            duration_s: 2.0,
+            ..Stage3Config::default()
+        };
+        let learner = |scoring| {
+            crate::stage3::OnlineLearner::without_offline(
+                config,
+                Sla::paper_default(),
+                Simulator::with_original_params(),
+            )
+            .with_gp_scoring(scoring)
+        };
+        // Explicit Exact scoring reproduces the default bit for bit.
+        let baseline = learner(ScoringPrecision::Exact).run(&real, &scenario, 31);
+        let default = crate::stage3::OnlineLearner::without_offline(
+            config,
+            Sla::paper_default(),
+            Simulator::with_original_params(),
+        )
+        .run(&real, &scenario, 31);
+        assert_eq!(baseline, default);
+        // Mixed-precision scoring completes the same horizon with sane
+        // outcomes (observes/refits stay f64; only ranking is approximate).
+        let mixed = learner(ScoringPrecision::MixedF32 {
+            recheck_every: 4,
+            top_k: 5,
+        })
+        .run(&real, &scenario, 31);
+        assert_eq!(mixed.history.len(), baseline.history.len());
+        for o in &mixed.history {
+            assert!(o.qoe.is_finite() && (0.0..=1.0).contains(&o.qoe));
+            assert!(o.usage.is_finite());
+        }
     }
 
     #[test]

@@ -47,8 +47,9 @@
 //! also bounds the downdates' numerical drift.
 
 use crate::kernel::Kernel;
-use atlas_math::linalg::{Matrix, PackedCholesky};
+use atlas_math::linalg::{Matrix, MatrixF32, PackedCholesky, PackedCholeskyF32};
 use atlas_math::{MathError, Result};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Length-scale multipliers of the hyper-parameter refinement grid (applied
 /// to the configured kernel's length scale).
@@ -106,6 +107,34 @@ impl WindowPolicy {
     }
 }
 
+/// Numeric precision of acquisition *scoring*
+/// ([`GaussianProcess::predict_batch_ranking`]).
+///
+/// Training — observes, factor updates, hyper-parameter selection — is
+/// always double precision; this knob only affects how candidate batches
+/// are scored when the caller cares about the induced *ordering* rather
+/// than the absolute values (acquisition maximisation picks an argmax).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScoringPrecision {
+    /// Score in f64 (the default): `predict_batch_ranking` is bit-for-bit
+    /// [`GaussianProcess::predict_batch_par`].
+    Exact,
+    /// Score through an f32 shadow of the selected factor — half the
+    /// memory traffic and twice the SIMD lanes per load. Guarded against
+    /// drift: every `recheck_every`-th ranking call is *also* scored in
+    /// f64 (and returns the f64 values); if the top-`top_k` candidate sets
+    /// (by predictive mean) disagree, the shadow is demoted and scoring
+    /// falls back to f64 until the next full rebuild re-arms it.
+    MixedF32 {
+        /// Score every n-th ranking call in f64 as a drift check (values
+        /// below 1 are treated as 1 — every call is checked).
+        recheck_every: usize,
+        /// Size of the head-of-ranking set that must agree for the f32
+        /// path to stay trusted.
+        top_k: usize,
+    },
+}
+
 /// Configuration of the GP regressor.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpConfig {
@@ -132,6 +161,10 @@ pub struct GpConfig {
     /// ([`WindowPolicy::Unbounded`] — the default — reproduces the
     /// historical unbounded behaviour bit for bit).
     pub window: WindowPolicy,
+    /// Numeric precision of acquisition scoring
+    /// ([`ScoringPrecision::Exact`] — the default — keeps every prediction
+    /// path in f64, bit for bit).
+    pub scoring_precision: ScoringPrecision,
 }
 
 impl Default for GpConfig {
@@ -143,6 +176,7 @@ impl Default for GpConfig {
             optimize_hyperparameters: true,
             refit_every: 64,
             window: WindowPolicy::Unbounded,
+            scoring_precision: ScoringPrecision::Exact,
         }
     }
 }
@@ -237,6 +271,42 @@ struct GridPoint {
     chol: Option<PackedCholesky>,
 }
 
+/// The f32 shadow of the *selected* candidate's factor, refreshed after
+/// every kernel selection ([`GaussianProcess::select_best`]) when
+/// [`ScoringPrecision::MixedF32`] is enabled. Scoring-only state: the f64
+/// factor remains the source of truth for every observe and refit.
+#[derive(Debug, Clone)]
+struct ScoringShadow {
+    chol: PackedCholeskyF32,
+    alpha: Vec<f32>,
+    /// Training inputs, flattened row-major (`n × dim`) and cast to f32,
+    /// so the kernel column build streams contiguous memory.
+    train_flat: Vec<f32>,
+    dim: usize,
+}
+
+/// Drift guard of the f32 scoring path. Interior mutability because
+/// ranking calls take `&self`; relaxed ordering suffices — the counter and
+/// the demotion flag are monotone hints, not synchronisation points.
+#[derive(Debug, Default)]
+struct ScoringGuard {
+    /// Ranking calls since the last full rebuild (drives the periodic f64
+    /// recheck cadence).
+    calls: AtomicUsize,
+    /// Set when a recheck caught a top-k ranking disagreement: scoring
+    /// stays in f64 until the next full rebuild re-arms the shadow.
+    demoted: AtomicBool,
+}
+
+impl Clone for ScoringGuard {
+    fn clone(&self) -> Self {
+        Self {
+            calls: AtomicUsize::new(self.calls.load(Ordering::Relaxed)),
+            demoted: AtomicBool::new(self.demoted.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 /// A fitted (or empty) exact Gaussian-process regressor.
 #[derive(Debug, Clone)]
 pub struct GaussianProcess {
@@ -260,6 +330,10 @@ pub struct GaussianProcess {
     alpha: Vec<f64>,
     /// Incremental observations since the last full rebuild.
     since_rebuild: usize,
+    /// f32 shadow of the selected factor (mixed-precision scoring only).
+    shadow: Option<ScoringShadow>,
+    /// Drift guard of the f32 scoring path.
+    guard: ScoringGuard,
 }
 
 impl GaussianProcess {
@@ -278,6 +352,8 @@ impl GaussianProcess {
             best_idx: 0,
             alpha: Vec::new(),
             since_rebuild: 0,
+            shadow: None,
+            guard: ScoringGuard::default(),
         }
     }
 
@@ -471,6 +547,73 @@ impl GaussianProcess {
         self.select_best()
     }
 
+    /// Absorbs a whole round of observations at once.
+    ///
+    /// When nothing forces per-observation work — the factor is live, no
+    /// eviction is due within the batch, and the batch does not cross the
+    /// periodic-rebuild boundary — every grid factor is extended with **one**
+    /// batched bordering update
+    /// ([`atlas_math::linalg::PackedCholesky::append_rows`]): the shared
+    /// n-row prefix of the bordering rows is resolved by a single multi-RHS
+    /// triangular solve instead of `k` single-RHS solves, and the target
+    /// renormalisation plus grid selection run once instead of `k` times.
+    /// The arithmetic per factor element is unchanged, so the resulting
+    /// state is **bit-for-bit** identical to calling
+    /// [`GaussianProcess::observe`] per observation. Otherwise (bootstrap,
+    /// eviction, rebuild boundary) it falls back to exactly that sequential
+    /// chain.
+    pub fn observe_batch(&mut self, batch: Vec<(Vec<f64>, f64)>) -> Result<()> {
+        let k = batch.len();
+        if k <= 1 {
+            for (x, y) in batch {
+                self.observe(x, y)?;
+            }
+            return Ok(());
+        }
+        let n = self.train_x.len();
+        let no_evict = self.config.window.capacity().is_none_or(|cap| n + k <= cap);
+        let crosses_rebuild = self.since_rebuild + k >= self.config.refit_every.max(1);
+        if n == 0 || !no_evict || crosses_rebuild {
+            for (x, y) in batch {
+                self.observe(x, y)?;
+            }
+            return Ok(());
+        }
+        self.since_rebuild += k;
+        for (x, y) in batch {
+            self.dist.append(&self.train_x, &x);
+            self.train_x.push(x);
+            self.train_y_raw.push(y);
+        }
+        self.update_normalisation();
+        let noise = self.config.noise_variance + 1e-8;
+        let dist = &self.dist;
+        let extend_point = |point: &mut GridPoint| {
+            let Some(chol) = point.chol.as_mut() else {
+                return;
+            };
+            let rows: Vec<Vec<f64>> = (n..n + k)
+                .map(|r| {
+                    let mut row = Vec::with_capacity(r + 1);
+                    for j in 0..r {
+                        row.push(point.kernel.eval_dist(dist.get(r, j)));
+                    }
+                    row.push(point.kernel.eval_dist(0.0) + noise);
+                    row
+                })
+                .collect();
+            if chol.append_rows(&rows).is_err() {
+                // Same retirement semantics as the sequential chain: a
+                // degenerate extension benches this candidate until the
+                // next full rebuild.
+                point.chol = None;
+            }
+        };
+        let pin = grid_pin(self.grid.len(), n + k);
+        atlas_math::parallel::par_for_each_mut(&mut self.grid, 1, pin, extend_point);
+        self.select_best()
+    }
+
     /// Recomputes the target normalisation from the raw targets, applying
     /// the [`WindowPolicy::Decayed`] age weighting when configured.
     fn update_normalisation(&mut self) {
@@ -517,6 +660,10 @@ impl GaussianProcess {
             point.chol = PackedCholesky::cholesky(&k).ok();
         }
         self.since_rebuild = 0;
+        // A from-scratch factorisation resets whatever drift demoted the
+        // f32 scoring shadow: re-arm it.
+        self.guard.calls.store(0, Ordering::Relaxed);
+        self.guard.demoted.store(false, Ordering::Relaxed);
         self.select_best()
     }
 
@@ -532,9 +679,44 @@ impl GaussianProcess {
 
     /// Reselects the kernel by maximising the log marginal likelihood over
     /// the live grid candidates (a lightweight stand-in for scikit-learn's
-    /// L-BFGS restarts, adequate at the data sizes Atlas uses online) and
-    /// refreshes `alpha` for the winner.
+    /// L-BFGS restarts, adequate at the data sizes Atlas uses online),
+    /// refreshes `alpha` for the winner and re-derives the f32 scoring
+    /// shadow from the selected factor.
     fn select_best(&mut self) -> Result<()> {
+        let res = self.select_best_inner();
+        self.refresh_shadow(res.is_ok());
+        res
+    }
+
+    /// Rebuilds the f32 scoring shadow from the selected factor (or drops
+    /// it when scoring is exact / the selection failed).
+    fn refresh_shadow(&mut self, selected: bool) {
+        self.shadow = None;
+        if !selected
+            || !matches!(
+                self.config.scoring_precision,
+                ScoringPrecision::MixedF32 { .. }
+            )
+        {
+            return;
+        }
+        let Some(chol) = self.active_chol() else {
+            return;
+        };
+        let shadow = ScoringShadow {
+            chol: PackedCholeskyF32::from_f64(chol),
+            alpha: self.alpha.iter().map(|a| *a as f32).collect(),
+            train_flat: self
+                .train_x
+                .iter()
+                .flat_map(|x| x.iter().map(|v| *v as f32))
+                .collect(),
+            dim: self.train_x.first().map_or(0, Vec::len),
+        };
+        self.shadow = Some(shadow);
+    }
+
+    fn select_best_inner(&mut self) -> Result<()> {
         if !self.config.optimize_hyperparameters {
             let point = &self.grid[0];
             let chol = point.chol.as_ref().ok_or(MathError::NotPositiveDefinite)?;
@@ -664,6 +846,111 @@ impl GaussianProcess {
             self.predict_batch(chunk)
         })
     }
+
+    /// Scores a candidate batch for acquisition *ranking*.
+    ///
+    /// Under [`ScoringPrecision::Exact`] (the default) this is bit-for-bit
+    /// [`GaussianProcess::predict_batch_par`]. Under
+    /// [`ScoringPrecision::MixedF32`] the batch is scored through the f32
+    /// shadow of the selected factor — appropriate when only the induced
+    /// ordering matters (the caller takes an argmax), not the absolute
+    /// values. Every `recheck_every`-th call is also scored in f64 and
+    /// returns those exact values; a top-k disagreement demotes the shadow
+    /// until the next full rebuild.
+    pub fn predict_batch_ranking(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        let ScoringPrecision::MixedF32 {
+            recheck_every,
+            top_k,
+        } = self.config.scoring_precision
+        else {
+            return self.predict_batch_par(xs);
+        };
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        if self.guard.demoted.load(Ordering::Relaxed) {
+            return self.predict_batch_par(xs);
+        }
+        let Some(shadow) = self.shadow.as_ref() else {
+            return self.predict_batch_par(xs);
+        };
+        if xs.iter().any(|x| x.len() != shadow.dim) {
+            return self.predict_batch_par(xs);
+        }
+        let fast =
+            atlas_math::parallel::par_chunks_map(xs, PREDICT_PAR_MIN_CHUNK, None, |_, chunk| {
+                self.predict_chunk_f32(shadow, chunk)
+            });
+        let calls = self.guard.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if !calls.is_multiple_of(recheck_every.max(1)) {
+            return fast;
+        }
+        // Drift check: score the same batch in f64; trust the shadow only
+        // while the head of the ranking agrees.
+        let exact = self.predict_batch_par(xs);
+        if top_k_by_mean(&fast, top_k) != top_k_by_mean(&exact, top_k) {
+            self.guard.demoted.store(true, Ordering::Relaxed);
+        }
+        exact
+    }
+
+    /// Whether the f32 scoring shadow has been demoted by the drift guard
+    /// (always `false` under [`ScoringPrecision::Exact`]; re-armed by the
+    /// next full rebuild).
+    pub fn scoring_demoted(&self) -> bool {
+        self.guard.demoted.load(Ordering::Relaxed)
+    }
+
+    /// Scores one candidate chunk through the f32 shadow (the single-
+    /// precision mirror of [`GaussianProcess::predict_batch`]).
+    fn predict_chunk_f32(&self, shadow: &ScoringShadow, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        let n = shadow.chol.order();
+        let m = xs.len();
+        let d = shadow.dim;
+        let xs32: Vec<f32> = xs
+            .iter()
+            .flat_map(|x| x.iter().map(|v| *v as f32))
+            .collect();
+        let b = MatrixF32::from_fn(n, m, |i, j| {
+            let ti = &shadow.train_flat[i * d..(i + 1) * d];
+            let cj = &xs32[j * d..(j + 1) * d];
+            let r2: f32 = ti.iter().zip(cj).map(|(a, b)| (a - b) * (a - b)).sum();
+            self.kernel.eval_dist_f32(r2.sqrt())
+        });
+        let v = shadow
+            .chol
+            .solve_lower_multi(&b)
+            .expect("shadow solve: shapes are constructed to match");
+        let prior_var = self.kernel.eval_dist_f32(0.0) + self.config.noise_variance as f32;
+        (0..m)
+            .map(|j| {
+                let mean_norm: f32 = (0..n).map(|i| b.get(i, j) * shadow.alpha[i]).sum();
+                let var_norm =
+                    (prior_var - (0..n).map(|i| v.get(i, j) * v.get(i, j)).sum::<f32>()).max(1e-12);
+                (
+                    f64::from(mean_norm) * self.y_std + self.y_mean,
+                    f64::from(var_norm.sqrt()) * self.y_std,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Indices of the `k` highest predictive means, as a set (sorted by index):
+/// the drift guard compares *membership* of the ranking head, not the order
+/// within it — ties between near-equal candidates may legitimately swap.
+fn top_k_by_mean(preds: &[(f64, f64)], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..preds.len()).collect();
+    idx.sort_by(|&a, &b| {
+        preds[b]
+            .0
+            .partial_cmp(&preds[a].0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k.min(preds.len()));
+    idx.sort_unstable();
+    idx
 }
 
 #[cfg(test)]
@@ -1042,6 +1329,157 @@ mod tests {
         let err_fixed = (fixed.predict(&x).0 - truth).abs();
         let err_tuned = (tuned.predict(&x).0 - truth).abs();
         assert!(err_tuned <= err_fixed + 1e-9);
+    }
+
+    #[test]
+    fn observe_batch_matches_sequential_observes_exactly() {
+        // The batched bordering update is pure scheduling: kernel selection
+        // and every prediction must be bit-identical to the sequential
+        // observe chain, for every split of the stream into batches.
+        let (xs, ys) = train_sine(24);
+        let probes: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.71]).collect();
+        for chunk in [2, 3, 7, 24] {
+            let mut batched = GaussianProcess::default_matern();
+            let mut seq = GaussianProcess::default_matern();
+            for group in xs.chunks(chunk).zip(ys.chunks(chunk)) {
+                let batch: Vec<(Vec<f64>, f64)> = group
+                    .0
+                    .iter()
+                    .cloned()
+                    .zip(group.1.iter().copied())
+                    .collect();
+                batched.observe_batch(batch).unwrap();
+            }
+            for (x, y) in xs.iter().zip(&ys) {
+                seq.observe(x.clone(), *y).unwrap();
+            }
+            assert_eq!(batched.kernel(), seq.kernel(), "chunk {chunk}");
+            assert_eq!(batched.len(), seq.len());
+            for p in &probes {
+                assert_eq!(batched.predict(p), seq.predict(p), "chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn observe_batch_falls_back_across_evictions_and_rebuilds() {
+        // Batches that straddle an eviction or the periodic-rebuild
+        // boundary take the sequential path — the result must still be the
+        // sequential chain's, bit for bit.
+        let (xs, ys) = train_sine(20);
+        let config = GpConfig {
+            window: WindowPolicy::SlidingWindow { capacity: 6 },
+            refit_every: 5,
+            ..GpConfig::default()
+        };
+        let mut batched = GaussianProcess::new(config);
+        let mut seq = GaussianProcess::new(config);
+        for group in xs.chunks(4).zip(ys.chunks(4)) {
+            let batch: Vec<(Vec<f64>, f64)> = group
+                .0
+                .iter()
+                .cloned()
+                .zip(group.1.iter().copied())
+                .collect();
+            batched.observe_batch(batch).unwrap();
+        }
+        for (x, y) in xs.iter().zip(&ys) {
+            seq.observe(x.clone(), *y).unwrap();
+        }
+        assert_eq!(batched.kernel(), seq.kernel());
+        assert_eq!(batched.raw_targets(), seq.raw_targets());
+        for p in xs.iter().take(6) {
+            assert_eq!(batched.predict(p), seq.predict(p));
+        }
+        // Empty and singleton batches degenerate to the plain paths.
+        let snapshot = batched.clone();
+        batched.observe_batch(Vec::new()).unwrap();
+        assert_eq!(batched.kernel(), snapshot.kernel());
+        assert_eq!(batched.len(), snapshot.len());
+    }
+
+    #[test]
+    fn exact_scoring_is_the_default_and_matches_predict_batch() {
+        let (xs, ys) = train_sine(25);
+        let mut gp = GaussianProcess::default_matern();
+        gp.fit(&xs, &ys).unwrap();
+        assert_eq!(
+            gp.window(),
+            WindowPolicy::Unbounded,
+            "sanity: default config"
+        );
+        let probes: Vec<Vec<f64>> = (0..150).map(|i| vec![i as f64 * 0.041]).collect();
+        // Exact scoring: bit-for-bit the plain batch path, no shadow built.
+        assert_eq!(gp.predict_batch_ranking(&probes), gp.predict_batch(&probes));
+        assert!(gp.shadow.is_none());
+        assert!(!gp.scoring_demoted());
+    }
+
+    #[test]
+    fn mixed_precision_ranking_agrees_on_the_top_k() {
+        let (xs, ys) = train_sine(30);
+        let mut gp = GaussianProcess::new(GpConfig {
+            scoring_precision: ScoringPrecision::MixedF32 {
+                recheck_every: 1_000_000,
+                top_k: 5,
+            },
+            ..GpConfig::default()
+        });
+        gp.fit(&xs, &ys).unwrap();
+        assert!(gp.shadow.is_some(), "MixedF32 must build a shadow");
+        let probes: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64 * 0.021]).collect();
+        let fast = gp.predict_batch_ranking(&probes);
+        let exact = gp.predict_batch(&probes);
+        assert_eq!(fast.len(), exact.len());
+        // The f32 path is approximate in value…
+        for ((fm, fs), (em, es)) in fast.iter().zip(&exact) {
+            assert!((fm - em).abs() <= 1e-3 * (1.0 + em.abs()), "{fm} vs {em}");
+            assert!((fs - es).abs() <= 1e-2 * (1.0 + es.abs()), "{fs} vs {es}");
+        }
+        // …but agrees on the head of the ranking, which is all acquisition
+        // maximisation consumes.
+        assert_eq!(top_k_by_mean(&fast, 5), top_k_by_mean(&exact, 5));
+        // Observing keeps the shadow fresh.
+        gp.observe(vec![7.0], 51.0).unwrap();
+        assert!(gp.shadow.is_some());
+        assert!(gp.predict_batch_ranking(&probes).len() == probes.len());
+    }
+
+    #[test]
+    fn drift_guard_rechecks_in_f64_and_demotes_on_disagreement() {
+        let (xs, ys) = train_sine(20);
+        let mut gp = GaussianProcess::new(GpConfig {
+            scoring_precision: ScoringPrecision::MixedF32 {
+                recheck_every: 1,
+                top_k: 3,
+            },
+            ..GpConfig::default()
+        });
+        gp.fit(&xs, &ys).unwrap();
+        let probes: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 * 0.093]).collect();
+        // recheck_every = 1: every ranking call returns the exact f64
+        // values (the recheck's output), and a healthy shadow stays armed.
+        assert_eq!(gp.predict_batch_ranking(&probes), gp.predict_batch(&probes));
+        assert!(!gp.scoring_demoted());
+        // Corrupt the shadow so its ranking disagrees: the guard must
+        // demote it, keep returning exact values, and a full rebuild
+        // (fit) must re-arm the fast path.
+        for a in &mut gp.shadow.as_mut().unwrap().alpha {
+            *a = -*a;
+        }
+        assert_eq!(gp.predict_batch_ranking(&probes), gp.predict_batch(&probes));
+        assert!(gp.scoring_demoted(), "flipped ranking must demote");
+        assert_eq!(gp.predict_batch_ranking(&probes), gp.predict_batch(&probes));
+        gp.fit(&xs, &ys).unwrap();
+        assert!(!gp.scoring_demoted(), "rebuild re-arms the shadow");
+    }
+
+    #[test]
+    fn top_k_by_mean_is_order_insensitive_membership() {
+        let a = [(3.0, 0.1), (1.0, 0.1), (2.0, 0.1), (5.0, 0.1)];
+        assert_eq!(top_k_by_mean(&a, 2), vec![0, 3]);
+        assert_eq!(top_k_by_mean(&a, 10), vec![0, 1, 2, 3]);
+        assert!(top_k_by_mean(&a, 0).is_empty());
     }
 
     #[test]

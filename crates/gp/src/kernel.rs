@@ -78,6 +78,36 @@ impl Kernel {
         }
     }
 
+    /// Single-precision twin of [`Kernel::eval_dist`], for the opt-in
+    /// mixed-precision scoring path: same formulas, every operation in
+    /// `f32`. Only acquisition *ranking* consumes these values — training
+    /// and refits stay in f64.
+    pub fn eval_dist_f32(&self, r: f32) -> f32 {
+        match *self {
+            Kernel::Rbf {
+                length_scale,
+                variance,
+            } => {
+                let (ls, v) = (length_scale as f32, variance as f32);
+                v * (-0.5 * (r / ls).powi(2)).exp()
+            }
+            Kernel::Matern32 {
+                length_scale,
+                variance,
+            } => {
+                let s = 3f32.sqrt() * r / length_scale as f32;
+                variance as f32 * (1.0 + s) * (-s).exp()
+            }
+            Kernel::Matern52 {
+                length_scale,
+                variance,
+            } => {
+                let s = 5f32.sqrt() * r / length_scale as f32;
+                variance as f32 * (1.0 + s + s * s / 3.0) * (-s).exp()
+            }
+        }
+    }
+
     /// Returns a copy with a different length scale.
     pub fn with_length_scale(&self, length_scale: f64) -> Self {
         let length_scale = length_scale.max(1e-6);
@@ -184,6 +214,20 @@ mod tests {
             let r = atlas_math::linalg::l2_distance(&a, &b);
             assert_eq!(k.eval(&a, &b), k.eval_dist(r));
             assert_eq!(k.eval_dist(0.0), k.variance());
+        }
+    }
+
+    #[test]
+    fn f32_eval_tracks_f64_within_rounding() {
+        for k in kernels() {
+            for r in [0.0, 0.05, 0.3, 1.7, 6.0, 25.0] {
+                let got = f64::from(k.eval_dist_f32(r as f32));
+                let want = k.eval_dist(r);
+                assert!(
+                    (got - want).abs() <= 1e-5 * (1.0 + want.abs()),
+                    "{k:?} at r {r}: f32 {got} vs f64 {want}"
+                );
+            }
         }
     }
 

@@ -68,7 +68,7 @@ pub mod gpr;
 pub mod kernel;
 
 pub use gpr::{
-    GaussianProcess, GpConfig, WindowPolicy, GRID_PAR_MIN_CANDIDATES, GRID_PAR_MIN_N,
-    PREDICT_PAR_MIN_CHUNK,
+    GaussianProcess, GpConfig, ScoringPrecision, WindowPolicy, GRID_PAR_MIN_CANDIDATES,
+    GRID_PAR_MIN_N, PREDICT_PAR_MIN_CHUNK,
 };
 pub use kernel::Kernel;

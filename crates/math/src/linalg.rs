@@ -15,11 +15,44 @@ use crate::{MathError, Result};
 /// each factor row streams the whole RHS matrix from memory. Solving the
 /// columns in tiles of this width keeps the active window (`n × tile`
 /// doubles) cache-resident while leaving the per-column arithmetic — and
-/// therefore the results, bit for bit — unchanged. 64 columns = 512 B per
-/// row segment, so a 512-row factor's active window is ≤ 256 KiB
-/// (L2-resident); the calibration sweep in `BENCH_gp.json` picks this
-/// value on the benchmark hardware.
-pub const DEFAULT_COL_TILE: usize = 64;
+/// therefore the results, bit for bit — unchanged. Re-swept under the
+/// row-blocked forward sweep (the `col_tile_calibration` section of
+/// `BENCH_gp.json`): wider tiles amortise the per-tile row-block setup and
+/// 256 wins consistently once the update phase is register-blocked, so the
+/// earlier conservative 64 moved to 256. Re-run the sweep when the
+/// reference hardware changes (see README "Performance").
+pub const DEFAULT_COL_TILE: usize = 256;
+
+/// Panel width of the blocked right-looking Cholesky factorisation.
+///
+/// [`Matrix::cholesky`] / [`PackedCholesky::cholesky`] factor a panel of
+/// this many columns with the scalar kernel, then retire the panel's
+/// contribution to the whole trailing matrix in one pass whose inner axpy
+/// reads both sides from contiguous slices (the panel is transposed into
+/// scratch first), so LLVM auto-vectorises it. Blocking is pure
+/// scheduling: every element still receives its subtractions in the same
+/// increasing-`k` order as the scalar kernel, so the factor is bit-for-bit
+/// identical for every width (property-tested). The width is calibrated by
+/// the `chol_block` sweep in `BENCH_gp.json`: narrow panels win because the
+/// scalar panel factorisation is the non-vectorised fraction of the work,
+/// and 16 columns keeps it under a few percent while still giving the
+/// trailing update enough depth to amortise the strided panel transpose.
+pub const DEFAULT_CHOL_BLOCK: usize = 16;
+
+/// Row-block height of the forward multi-RHS triangular solves.
+///
+/// The forward sweep solves this many rows as a group per column tile:
+/// every already-solved row's RHS tile is loaded once per *block* (then
+/// applied to all rows in the block from cache) instead of once per row.
+/// Element `(i, c)` still accumulates its subtractions for `j = 0..i` in
+/// increasing order — already-solved rows `j < r0` in the hoisted update
+/// phase, in-block rows `r0 ≤ j < i` in the small triangular solve that
+/// follows — so results are bit-identical to the unblocked sweep for every
+/// height (property-tested). The backward sweep is *not* row-blocked:
+/// hoisting far rows there would subtract them before nearer ones and
+/// break the increasing-`j` summation contract. Calibrated by the
+/// `row_block` sweep in `BENCH_gp.json`.
+pub const DEFAULT_ROW_BLOCK: usize = 32;
 
 /// A dense, row-major matrix of `f64` values.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,7 +178,20 @@ impl Matrix {
 
     /// Returns a copy of column `c`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        (0..self.rows).map(|r| self[(r, c)]).collect()
+        let mut out = vec![0.0; self.rows];
+        self.copy_col_into(c, &mut out);
+        out
+    }
+
+    /// Copies column `c` into `out` without allocating — the hot-path
+    /// counterpart of [`Matrix::col`] for callers that extract columns in a
+    /// loop and can reuse one buffer. Panics if `out.len() != rows`
+    /// (programming error, like [`Matrix::row`]).
+    pub fn copy_col_into(&self, c: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.rows, "copy_col_into: length != rows");
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.data[r * self.cols + c];
+        }
     }
 
     /// Returns the transpose.
@@ -237,7 +283,41 @@ impl Matrix {
     /// A small amount of jitter may be added by the caller beforehand via
     /// [`Matrix::add_diagonal`] if the matrix is only positive
     /// semi-definite.
+    ///
+    /// Uses the blocked right-looking kernel with the calibrated
+    /// [`DEFAULT_CHOL_BLOCK`] panel width; bit-for-bit identical to
+    /// [`Matrix::cholesky_scalar`] (and therefore to the incremental
+    /// [`Matrix::cholesky_append_row`] chain) for every width.
     pub fn cholesky(&self) -> Result<Matrix> {
+        self.cholesky_blocked(DEFAULT_CHOL_BLOCK)
+    }
+
+    /// [`Matrix::cholesky`] with an explicit panel width (a performance
+    /// knob only: every width produces bit-identical factors; `block >= n`
+    /// degenerates to the scalar kernel).
+    pub fn cholesky_blocked(&self, block: usize) -> Result<Matrix> {
+        if self.rows != self.cols {
+            return Err(MathError::ShapeMismatch {
+                op: "cholesky",
+                lhs: self.shape(),
+                rhs: self.shape(),
+            });
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            l.data[i * n..i * n + i + 1].copy_from_slice(&self.data[i * n..i * n + i + 1]);
+        }
+        blocked_cholesky_in_place(&mut l.data, n, block, |i| i * n)?;
+        Ok(l)
+    }
+
+    /// The reference element-at-a-time Cholesky kernel.
+    ///
+    /// Kept (unoptimised, single loop nest) as the ground truth the blocked
+    /// kernel is property-tested bit-identical against, and as the baseline
+    /// the `blocked_kernels` bench section measures speedups from.
+    pub fn cholesky_scalar(&self) -> Result<Matrix> {
         if self.rows != self.cols {
             return Err(MathError::ShapeMismatch {
                 op: "cholesky",
@@ -367,6 +447,65 @@ impl Matrix {
         Ok(())
     }
 
+    /// Extends a lower-triangular Cholesky factor by a whole batch of
+    /// bordering rows in one call — the batched counterpart of
+    /// [`Matrix::cholesky_append_row`] that amortises the forward solves:
+    /// row `r` (length `n + r + 1`) borders the matrix after the first `r`
+    /// rows have been appended, and the shared `n`-prefix of every border
+    /// is solved in a single multi-RHS sweep instead of `k` separate ones.
+    ///
+    /// On success the factor is bit-for-bit identical to the equivalent
+    /// sequence of single-row appends (forward substitution is
+    /// prefix-stable, and the tail/diagonal arithmetic runs in the same
+    /// order). Unlike that sequence, a failure leaves the factor entirely
+    /// untouched (all-or-nothing).
+    pub fn cholesky_append_rows(&mut self, rows: &[Vec<f64>]) -> Result<()> {
+        let n = self.rows;
+        if self.cols != n {
+            return Err(MathError::ShapeMismatch {
+                op: "cholesky_append_rows",
+                lhs: self.shape(),
+                rhs: self.shape(),
+            });
+        }
+        for (r, row) in rows.iter().enumerate() {
+            if row.len() != n + r + 1 {
+                return Err(MathError::ShapeMismatch {
+                    op: "cholesky_append_rows",
+                    lhs: self.shape(),
+                    rhs: (row.len(), 1),
+                });
+            }
+        }
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let k = rows.len();
+        let b = Matrix::from_fn(n, k, |i, r| rows[r][i]);
+        let z = self.solve_lower_triangular_multi(&b)?;
+        let finished = finish_bordering_rows(&z, rows, n)?;
+        // Grow the storage once: shift row i from offset i·n to i·(n+k),
+        // bottom row first so sources are never clobbered, zero the new
+        // trailing columns, then write the appended rows.
+        let nk = n + k;
+        self.data.resize(nk * nk, 0.0);
+        for i in (1..n).rev() {
+            self.data.copy_within(i * n..(i + 1) * n, i * nk);
+        }
+        for i in 0..n {
+            for v in &mut self.data[i * nk + n..(i + 1) * nk] {
+                *v = 0.0;
+            }
+        }
+        for (r, x) in finished.iter().enumerate() {
+            let base = (n + r) * nk;
+            self.data[base..base + x.len()].copy_from_slice(x);
+        }
+        self.rows = nk;
+        self.cols = nk;
+        Ok(())
+    }
+
     /// Removes row/column `i` from a lower-triangular Cholesky factor in
     /// place, in O(n²).
     ///
@@ -454,8 +593,22 @@ impl Matrix {
 
     /// [`Matrix::solve_lower_triangular_multi`] with an explicit column-tile
     /// width (a performance knob only: every width produces bit-identical
-    /// results; `tile >= m` reproduces the untiled single sweep).
+    /// results; `tile >= m` reproduces the untiled single sweep). Rows are
+    /// blocked at the calibrated [`DEFAULT_ROW_BLOCK`] height.
     pub fn solve_lower_triangular_multi_tiled(&self, b: &Matrix, tile: usize) -> Result<Matrix> {
+        self.solve_lower_triangular_multi_blocked(b, tile, DEFAULT_ROW_BLOCK)
+    }
+
+    /// [`Matrix::solve_lower_triangular_multi`] with explicit column-tile
+    /// and row-block sizes — the sweep the calibration benches exercise.
+    /// Both are performance knobs only; `row_block = 1` reproduces the
+    /// plain column-tiled sweep.
+    pub fn solve_lower_triangular_multi_blocked(
+        &self,
+        b: &Matrix,
+        col_tile: usize,
+        row_block: usize,
+    ) -> Result<Matrix> {
         let n = self.rows;
         if self.cols != n || b.rows != n {
             return Err(MathError::ShapeMismatch {
@@ -464,32 +617,15 @@ impl Matrix {
                 rhs: b.shape(),
             });
         }
-        let m = b.cols;
-        if m == 0 {
-            return Ok(b.clone());
-        }
-        let tile = tile.max(1);
-        let mut x = b.clone();
-        let mut c0 = 0;
-        while c0 < m {
-            let c1 = (c0 + tile).min(m);
-            for i in 0..n {
-                let (solved, rest) = x.data.split_at_mut(i * m);
-                let row_i = &mut rest[c0..c1];
-                for (j, xj) in solved.chunks_exact(m).enumerate() {
-                    let lij = self.data[i * n + j];
-                    for (xi, xv) in row_i.iter_mut().zip(&xj[c0..c1]) {
-                        *xi -= lij * *xv;
-                    }
-                }
-                let d = self.data[i * n + i];
-                for xi in row_i {
-                    *xi /= d;
-                }
-            }
-            c0 = c1;
-        }
-        Ok(x)
+        Ok(solve_triangular_multi_blocked(
+            &self.data,
+            |i| i * n,
+            n,
+            b,
+            col_tile,
+            row_block,
+            SweepDir::Forward,
+        ))
     }
 
     /// Solves `Lᵀ * X = B` for a whole right-hand-side matrix, where `self`
@@ -501,7 +637,8 @@ impl Matrix {
     }
 
     /// [`Matrix::solve_upper_from_lower_multi`] with an explicit column-tile
-    /// width (bit-identical results for every width).
+    /// width (bit-identical results for every width). The backward sweep is
+    /// not row-blocked — see [`DEFAULT_ROW_BLOCK`] for why.
     pub fn solve_upper_from_lower_multi_tiled(&self, b: &Matrix, tile: usize) -> Result<Matrix> {
         let n = self.rows;
         if self.cols != n || b.rows != n {
@@ -511,32 +648,15 @@ impl Matrix {
                 rhs: b.shape(),
             });
         }
-        let m = b.cols;
-        if m == 0 {
-            return Ok(b.clone());
-        }
-        let tile = tile.max(1);
-        let mut x = b.clone();
-        let mut c0 = 0;
-        while c0 < m {
-            let c1 = (c0 + tile).min(m);
-            for i in (0..n).rev() {
-                let (head, solved) = x.data.split_at_mut((i + 1) * m);
-                let row_i = &mut head[i * m + c0..i * m + c1];
-                for (k, xj) in solved.chunks_exact(m).enumerate() {
-                    let lji = self.data[(i + 1 + k) * n + i];
-                    for (xi, xv) in row_i.iter_mut().zip(&xj[c0..c1]) {
-                        *xi -= lji * *xv;
-                    }
-                }
-                let d = self.data[i * n + i];
-                for xi in row_i {
-                    *xi /= d;
-                }
-            }
-            c0 = c1;
-        }
-        Ok(x)
+        Ok(solve_triangular_multi_blocked(
+            &self.data,
+            |i| i * n,
+            n,
+            b,
+            tile,
+            1,
+            SweepDir::Backward,
+        ))
     }
 
     /// Solves `A * X = B` for a whole right-hand-side matrix given the
@@ -589,6 +709,348 @@ fn cholesky_rank_one_update(
     }
 }
 
+/// Blocked right-looking Cholesky factorisation over triangular storage.
+///
+/// `data` holds the lower triangle of the input (dense rows at `i·n`,
+/// packed rows at `i(i+1)/2` — `row_start` maps a row index to its offset;
+/// in both layouts row `i`'s entries `0..=i` are contiguous) and is
+/// factored in place. The panel `[c0, c1)` is factored with the scalar
+/// kernel, then its contribution is retired from the whole trailing matrix
+/// in one pass per panel column `k` (increasing), with the panel
+/// transposed into scratch first so the update's inner axpy reads both
+/// sides from contiguous slices and auto-vectorises.
+///
+/// Blocking is pure scheduling: element `(i, j)` still receives its
+/// subtractions `l[i][k]·l[j][k]` for `k = 0..j` in increasing order —
+/// `k < c0` from earlier panels' trailing updates, `k ≥ c0` from the panel
+/// factorisation — followed by the same divide/sqrt, so the factor is
+/// bit-for-bit identical to the scalar kernel for every block width, and
+/// therefore to the [`Matrix::cholesky_append_row`] bordering chain.
+///
+/// On [`MathError::NotPositiveDefinite`] the failing diagonal is the same
+/// row the scalar kernel would reject; `data` is left partially factored
+/// (callers build into scratch and discard on error).
+fn blocked_cholesky_in_place(
+    data: &mut [f64],
+    n: usize,
+    block: usize,
+    row_start: impl Fn(usize) -> usize,
+) -> Result<()> {
+    if n == 0 {
+        return Ok(());
+    }
+    let block = block.max(1);
+    let mut panelt = vec![0.0; block.min(n) * n];
+    let mut c0 = 0;
+    while c0 < n {
+        let c1 = (c0 + block).min(n);
+        // Factor the panel: rows c0.., columns c0..min(i, c1), scalar
+        // arithmetic (subtract k = c0..j in order, then divide / sqrt).
+        for i in c0..n {
+            let ri = row_start(i);
+            for j in c0..c1.min(i) {
+                let rj = row_start(j);
+                let (head, tail) = data.split_at_mut(ri);
+                let row_j = &head[rj..rj + j + 1];
+                let mut sum = tail[j];
+                for (lik, ljk) in tail[c0..j].iter().zip(&row_j[c0..j]) {
+                    sum -= lik * ljk;
+                }
+                tail[j] = sum / row_j[j];
+            }
+            if i < c1 {
+                let row_i = &mut data[ri..ri + i + 1];
+                let mut sum = row_i[i];
+                for v in &row_i[c0..i] {
+                    sum -= v * v;
+                }
+                if sum <= 0.0 {
+                    return Err(MathError::NotPositiveDefinite);
+                }
+                row_i[i] = sum.sqrt();
+            }
+        }
+        if c1 < n {
+            let bw = c1 - c0;
+            // Transpose the panel: scratch row k holds column c0+k of the
+            // factored panel (l[j][c0+k] for j = c1..n, contiguous over j).
+            for k in 0..bw {
+                for j in c1..n {
+                    panelt[k * n + j] = data[row_start(j) + c0 + k];
+                }
+            }
+            // Trailing update: row i's entries [c1..=i] lose the panel's
+            // contributions in increasing-k order; contiguous axpys,
+            // unrolled four panel columns per pass so each row tile is
+            // read/written once per four columns. The four subtractions
+            // per element are separate sequential statements (k
+            // increasing), never a reassociated sum — bits unchanged.
+            for i in c1..n {
+                let ri = row_start(i);
+                let mut k = 0;
+                while k + 4 <= bw {
+                    let l0 = data[ri + c0 + k];
+                    let l1 = data[ri + c0 + k + 1];
+                    let l2 = data[ri + c0 + k + 2];
+                    let l3 = data[ri + c0 + k + 3];
+                    let s0 = &panelt[k * n + c1..k * n + i + 1];
+                    let s1 = &panelt[(k + 1) * n + c1..(k + 1) * n + i + 1];
+                    let s2 = &panelt[(k + 2) * n + c1..(k + 2) * n + i + 1];
+                    let s3 = &panelt[(k + 3) * n + c1..(k + 3) * n + i + 1];
+                    let dst = &mut data[ri + c1..ri + i + 1];
+                    for ((((d, a), b), c), e) in dst.iter_mut().zip(s0).zip(s1).zip(s2).zip(s3) {
+                        *d -= l0 * *a;
+                        *d -= l1 * *b;
+                        *d -= l2 * *c;
+                        *d -= l3 * *e;
+                    }
+                    k += 4;
+                }
+                while k < bw {
+                    let lik = data[ri + c0 + k];
+                    let src = &panelt[k * n + c1..k * n + i + 1];
+                    let dst = &mut data[ri + c1..ri + i + 1];
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d -= lik * *s;
+                    }
+                    k += 1;
+                }
+            }
+        }
+        c0 = c1;
+    }
+    Ok(())
+}
+
+/// Direction of a blocked multi-RHS triangular sweep.
+#[derive(Clone, Copy)]
+enum SweepDir {
+    /// `L · X = B`: rows solved top-down; element `(i, c)` accumulates its
+    /// subtractions for `j = 0..i` in increasing order.
+    Forward,
+    /// `Lᵀ · X = B`: rows solved bottom-up; element `(i, c)` accumulates
+    /// its subtractions for `j = i+1..n` in increasing order.
+    Backward,
+}
+
+/// One engine for every multi-RHS triangular solve (dense and packed,
+/// forward and backward). Shapes are validated by the public wrappers.
+///
+/// Columns are processed in `col_tile`-wide tiles so the active RHS window
+/// stays cache-resident. The forward sweep additionally solves rows in
+/// `row_block`-tall groups: each already-solved row's RHS tile is loaded
+/// once per block (via a transposed coefficient panel, so the per-`j`
+/// coefficients read contiguously) and applied to every row of the block
+/// from cache. Element `(i, c)`'s subtraction order — solved rows
+/// `j < r0` first (increasing), then in-block rows `r0 ≤ j < i` — equals
+/// the unblocked `j = 0..i` order, so every `(col_tile, row_block)` pair
+/// is bit-identical to the per-column single-RHS solve. The backward sweep
+/// keeps the per-row stream (hoisting far rows would reorder the sum) and
+/// uses only the column tiling.
+fn solve_triangular_multi_blocked(
+    ldata: &[f64],
+    row_start: impl Fn(usize) -> usize,
+    n: usize,
+    b: &Matrix,
+    col_tile: usize,
+    row_block: usize,
+    dir: SweepDir,
+) -> Matrix {
+    let m = b.cols;
+    let mut x = b.clone();
+    if m == 0 || n == 0 {
+        return x;
+    }
+    let tile = col_tile.max(1);
+    match dir {
+        SweepDir::Forward => {
+            let rb = row_block.max(1).min(n);
+            // Transposed coefficient panel for the current row block:
+            // entry j·bw + (i − r0) holds l[i][j], so the update phase
+            // reads the block's coefficients for a fixed j contiguously.
+            let mut panelt = vec![0.0; rb * n];
+            let mut r0 = 0;
+            while r0 < n {
+                let r1 = (r0 + rb).min(n);
+                let bw = r1 - r0;
+                for (bi, i) in (r0..r1).enumerate() {
+                    let ri = row_start(i);
+                    for j in 0..r0 {
+                        panelt[j * bw + bi] = ldata[ri + j];
+                    }
+                }
+                let mut c0 = 0;
+                while c0 < m {
+                    let c1 = (c0 + tile).min(m);
+                    let (solved, rest) = x.data.split_at_mut(r0 * m);
+                    // The block rows' RHS tiles as disjoint mutable slices.
+                    let mut tiles: Vec<&mut [f64]> = rest[..bw * m]
+                        .chunks_exact_mut(m)
+                        .map(|row| &mut row[c0..c1])
+                        .collect();
+                    // Update phase, unrolled-and-jammed four rows deep:
+                    // each solved row's RHS tile is loaded once per four
+                    // block rows (four FMAs per load) and the accumulator
+                    // tiles stay L1-resident. Element (i, c) still sees
+                    // its j = 0..r0 subtractions in increasing order.
+                    let mut base = 0;
+                    for group in tiles.chunks_mut(4) {
+                        let glen = group.len();
+                        if let [t0, t1, t2, t3] = group {
+                            // Four solved rows per pass: quarters the
+                            // accumulator-tile L1 read/write traffic. The
+                            // four subtractions per element are separate
+                            // sequential statements (j increasing), never
+                            // a reassociated sum, so bits are unchanged.
+                            let mut j = 0;
+                            while j + 4 <= r0 {
+                                let xa = &solved[j * m + c0..j * m + c1];
+                                let xb = &solved[(j + 1) * m + c0..(j + 1) * m + c1];
+                                let xc = &solved[(j + 2) * m + c0..(j + 2) * m + c1];
+                                let xd = &solved[(j + 3) * m + c0..(j + 3) * m + c1];
+                                let la = &panelt[j * bw + base..j * bw + base + 4];
+                                let lb = &panelt[(j + 1) * bw + base..(j + 1) * bw + base + 4];
+                                let lc = &panelt[(j + 2) * bw + base..(j + 2) * bw + base + 4];
+                                let ld = &panelt[(j + 3) * bw + base..(j + 3) * bw + base + 4];
+                                let it = t0
+                                    .iter_mut()
+                                    .zip(t1.iter_mut())
+                                    .zip(t2.iter_mut())
+                                    .zip(t3.iter_mut())
+                                    .zip(xa)
+                                    .zip(xb)
+                                    .zip(xc)
+                                    .zip(xd);
+                                for (((((((x0, x1), x2), x3), va), vb), vc), vd) in it {
+                                    *x0 -= la[0] * *va;
+                                    *x0 -= lb[0] * *vb;
+                                    *x0 -= lc[0] * *vc;
+                                    *x0 -= ld[0] * *vd;
+                                    *x1 -= la[1] * *va;
+                                    *x1 -= lb[1] * *vb;
+                                    *x1 -= lc[1] * *vc;
+                                    *x1 -= ld[1] * *vd;
+                                    *x2 -= la[2] * *va;
+                                    *x2 -= lb[2] * *vb;
+                                    *x2 -= lc[2] * *vc;
+                                    *x2 -= ld[2] * *vd;
+                                    *x3 -= la[3] * *va;
+                                    *x3 -= lb[3] * *vb;
+                                    *x3 -= lc[3] * *vc;
+                                    *x3 -= ld[3] * *vd;
+                                }
+                                j += 4;
+                            }
+                            while j < r0 {
+                                let xj = &solved[j * m + c0..j * m + c1];
+                                let lj = &panelt[j * bw + base..j * bw + base + 4];
+                                let (l0, l1, l2, l3) = (lj[0], lj[1], lj[2], lj[3]);
+                                for ((((x0, x1), x2), x3), xv) in t0
+                                    .iter_mut()
+                                    .zip(t1.iter_mut())
+                                    .zip(t2.iter_mut())
+                                    .zip(t3.iter_mut())
+                                    .zip(xj)
+                                {
+                                    *x0 -= l0 * *xv;
+                                    *x1 -= l1 * *xv;
+                                    *x2 -= l2 * *xv;
+                                    *x3 -= l3 * *xv;
+                                }
+                                j += 1;
+                            }
+                        } else {
+                            for (bi, t) in group.iter_mut().enumerate() {
+                                for j in 0..r0 {
+                                    let xj = &solved[j * m + c0..j * m + c1];
+                                    let lij = panelt[j * bw + base + bi];
+                                    for (xi, xv) in t.iter_mut().zip(xj) {
+                                        *xi -= lij * *xv;
+                                    }
+                                }
+                            }
+                        }
+                        base += glen;
+                    }
+                    // In-block triangular solve (j = r0..i, increasing).
+                    for i in r0..r1 {
+                        let bi = i - r0;
+                        let ri = row_start(i);
+                        let (prev, cur) = tiles.split_at_mut(bi);
+                        let row_i = &mut *cur[0];
+                        for (j, xj) in prev.iter().enumerate() {
+                            let lij = ldata[ri + r0 + j];
+                            for (xi, xv) in row_i.iter_mut().zip(xj.iter()) {
+                                *xi -= lij * *xv;
+                            }
+                        }
+                        let d = ldata[ri + i];
+                        for xi in row_i.iter_mut() {
+                            *xi /= d;
+                        }
+                    }
+                    c0 = c1;
+                }
+                r0 = r1;
+            }
+        }
+        SweepDir::Backward => {
+            let mut c0 = 0;
+            while c0 < m {
+                let c1 = (c0 + tile).min(m);
+                for i in (0..n).rev() {
+                    let (head, solved) = x.data.split_at_mut((i + 1) * m);
+                    let row_i = &mut head[i * m + c0..i * m + c1];
+                    for (k, xj) in solved.chunks_exact(m).enumerate() {
+                        let lji = ldata[row_start(i + 1 + k) + i];
+                        for (xi, xv) in row_i.iter_mut().zip(&xj[c0..c1]) {
+                            *xi -= lji * *xv;
+                        }
+                    }
+                    let d = ldata[row_start(i) + i];
+                    for xi in row_i {
+                        *xi /= d;
+                    }
+                }
+                c0 = c1;
+            }
+        }
+    }
+    x
+}
+
+/// Completes a batch of Cholesky bordering rows given `z`, the multi-RHS
+/// forward solve of their shared `n`-prefixes against the existing factor.
+/// Returns the finished factor rows (row `r` has length `n + r + 1`,
+/// diagonal already square-rooted); the tail components and the diagonal
+/// run the same sequential arithmetic as a single-row append, so the batch
+/// is bit-identical to appending the rows one at a time.
+fn finish_bordering_rows(z: &Matrix, rows: &[Vec<f64>], n: usize) -> Result<Vec<Vec<f64>>> {
+    let mut out: Vec<Vec<f64>> = Vec::with_capacity(rows.len());
+    for (r, row) in rows.iter().enumerate() {
+        let mut x = vec![0.0; n + r + 1];
+        z.copy_col_into(r, &mut x[..n]);
+        for t in n..n + r {
+            let lrow = &out[t - n];
+            let mut sum = row[t];
+            for (ltj, xj) in lrow[..t].iter().zip(x.iter()) {
+                sum -= ltj * xj;
+            }
+            x[t] = sum / lrow[t];
+        }
+        let mut diag = row[n + r];
+        for v in &x[..n + r] {
+            diag -= v * v;
+        }
+        if diag <= 0.0 {
+            return Err(MathError::NotPositiveDefinite);
+        }
+        x[n + r] = diag.sqrt();
+        out.push(x);
+    }
+    Ok(out)
+}
+
 /// A lower-triangular Cholesky factor in packed row-major storage: row `i`
 /// holds exactly its `i + 1` non-zeros, so the factor of an `n`×`n` matrix
 /// uses `n(n+1)/2` doubles and — crucially for the incremental GP hot path —
@@ -611,8 +1073,18 @@ impl PackedCholesky {
     }
 
     /// Factorises a symmetric positive-definite matrix into packed form
-    /// (the packed counterpart of [`Matrix::cholesky`]).
+    /// (the packed counterpart of [`Matrix::cholesky`]), using the blocked
+    /// right-looking kernel at [`DEFAULT_CHOL_BLOCK`] — bit-for-bit
+    /// identical to growing the factor row by row via
+    /// [`PackedCholesky::append_row`], but with the trailing update
+    /// vectorised (this is the grid-rebuild hot path in the GP).
     pub fn cholesky(a: &Matrix) -> Result<Self> {
+        Self::cholesky_blocked(a, DEFAULT_CHOL_BLOCK)
+    }
+
+    /// [`PackedCholesky::cholesky`] with an explicit panel width (a
+    /// performance knob only: bit-identical factors for every width).
+    pub fn cholesky_blocked(a: &Matrix, block: usize) -> Result<Self> {
         if a.rows != a.cols {
             return Err(MathError::ShapeMismatch {
                 op: "PackedCholesky::cholesky",
@@ -621,17 +1093,12 @@ impl PackedCholesky {
             });
         }
         let n = a.rows;
-        let mut l = Self {
-            n: 0,
-            data: Vec::with_capacity(n * (n + 1) / 2),
-        };
-        let mut row = Vec::with_capacity(n);
+        let mut data = Vec::with_capacity(n * (n + 1) / 2);
         for i in 0..n {
-            row.clear();
-            row.extend_from_slice(&a.data[i * n..i * n + i + 1]);
-            l.append_row(&row)?;
+            data.extend_from_slice(&a.data[i * n..i * n + i + 1]);
         }
-        Ok(l)
+        blocked_cholesky_in_place(&mut data, n, block, |i| i * (i + 1) / 2)?;
+        Ok(Self { n, data })
     }
 
     /// Order (number of rows/columns) of the factor.
@@ -677,6 +1144,41 @@ impl PackedCholesky {
         self.data.extend_from_slice(&l12);
         self.data.push(diag.sqrt());
         self.n = n + 1;
+        Ok(())
+    }
+
+    /// Extends the factor by a whole batch of bordering rows in one call —
+    /// the packed counterpart of [`Matrix::cholesky_append_rows`], and the
+    /// kernel that amortises a round's worth of GP observations: row `r`
+    /// (length `n + r + 1`) borders the matrix after the first `r` rows,
+    /// and the shared `n`-prefixes are solved in a single multi-RHS sweep
+    /// instead of `rows.len()` separate forward substitutions.
+    ///
+    /// On success the factor is bit-for-bit identical to the equivalent
+    /// sequence of [`PackedCholesky::append_row`] calls; unlike that
+    /// sequence, a failure leaves the factor entirely untouched
+    /// (all-or-nothing).
+    pub fn append_rows(&mut self, rows: &[Vec<f64>]) -> Result<()> {
+        let n = self.n;
+        for (r, row) in rows.iter().enumerate() {
+            if row.len() != n + r + 1 {
+                return Err(MathError::ShapeMismatch {
+                    op: "PackedCholesky::append_rows",
+                    lhs: (n, n),
+                    rhs: (row.len(), 1),
+                });
+            }
+        }
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let b = Matrix::from_fn(n, rows.len(), |i, r| rows[r][i]);
+        let z = self.solve_lower_multi(&b)?;
+        let finished = finish_bordering_rows(&z, rows, n)?;
+        for x in &finished {
+            self.data.extend_from_slice(x);
+        }
+        self.n = n + rows.len();
         Ok(())
     }
 
@@ -812,14 +1314,137 @@ impl PackedCholesky {
 
     /// [`PackedCholesky::solve_lower_multi`] with an explicit column-tile
     /// width (a performance knob only: every width produces bit-identical
-    /// results; `tile >= m` reproduces the untiled single sweep).
+    /// results; `tile >= m` reproduces the untiled single sweep). Rows are
+    /// blocked at the calibrated [`DEFAULT_ROW_BLOCK`] height.
     pub fn solve_lower_multi_tiled(&self, b: &Matrix, tile: usize) -> Result<Matrix> {
+        self.solve_lower_multi_blocked(b, tile, DEFAULT_ROW_BLOCK)
+    }
+
+    /// [`PackedCholesky::solve_lower_multi`] with explicit column-tile and
+    /// row-block sizes — the sweep the calibration benches exercise. Both
+    /// are performance knobs only; `row_block = 1` reproduces the plain
+    /// column-tiled sweep.
+    pub fn solve_lower_multi_blocked(
+        &self,
+        b: &Matrix,
+        col_tile: usize,
+        row_block: usize,
+    ) -> Result<Matrix> {
         let n = self.n;
         if b.rows != n {
             return Err(MathError::ShapeMismatch {
                 op: "PackedCholesky::solve_lower_multi",
                 lhs: (n, n),
                 rhs: b.shape(),
+            });
+        }
+        Ok(solve_triangular_multi_blocked(
+            &self.data,
+            |i| i * (i + 1) / 2,
+            n,
+            b,
+            col_tile,
+            row_block,
+            SweepDir::Forward,
+        ))
+    }
+
+    /// Expands the packed factor into a dense lower-triangular [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n, self.n);
+        for i in 0..self.n {
+            let row = self.row(i);
+            m.data[i * self.n..i * self.n + i + 1].copy_from_slice(row);
+        }
+        m
+    }
+}
+
+/// A dense, row-major `f32` matrix — the right-hand-side storage for the
+/// opt-in mixed-precision scoring path. Deliberately minimal: only the
+/// operations that path needs; all training-time math stays in [`Matrix`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixF32 {
+    /// Builds a matrix from a closure over `(row, col)` indices.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Borrow the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+/// An `f32` shadow of [`PackedCholesky`] for acquisition *ranking* only:
+/// the f64 factor remains the source of truth for every observe / refit,
+/// and a single-precision copy (half the memory traffic, twice the SIMD
+/// lanes) scores candidate batches where only the induced ordering
+/// matters. Consumers guard against drift by periodically re-scoring in
+/// f64 — see `GpConfig::scoring_precision` in `atlas-gp`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedCholeskyF32 {
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl PackedCholeskyF32 {
+    /// Casts an f64 factor down to its f32 shadow (O(n²/2), no failure
+    /// mode: every finite factor entry is representable, with rounding).
+    pub fn from_f64(src: &PackedCholesky) -> Self {
+        Self {
+            n: src.n,
+            data: src.data.iter().map(|v| *v as f32).collect(),
+        }
+    }
+
+    /// Order (number of rows/columns) of the factor.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `L · X = B` for a whole f32 right-hand-side matrix, column-
+    /// tiled like the f64 sweep ([`DEFAULT_COL_TILE`]).
+    pub fn solve_lower_multi(&self, b: &MatrixF32) -> Result<MatrixF32> {
+        self.solve_lower_multi_tiled(b, DEFAULT_COL_TILE)
+    }
+
+    /// [`PackedCholeskyF32::solve_lower_multi`] with an explicit column-
+    /// tile width.
+    pub fn solve_lower_multi_tiled(&self, b: &MatrixF32, tile: usize) -> Result<MatrixF32> {
+        let n = self.n;
+        if b.rows != n {
+            return Err(MathError::ShapeMismatch {
+                op: "PackedCholeskyF32::solve_lower_multi",
+                lhs: (n, n),
+                rhs: (b.rows, b.cols),
             });
         }
         let m = b.cols;
@@ -832,7 +1457,7 @@ impl PackedCholesky {
         while c0 < m {
             let c1 = (c0 + tile).min(m);
             for i in 0..n {
-                let row = self.row(i);
+                let row = &self.data[i * (i + 1) / 2..i * (i + 1) / 2 + i + 1];
                 let (solved, rest) = x.data.split_at_mut(i * m);
                 let row_i = &mut rest[c0..c1];
                 for (lij, xj) in row[..i].iter().zip(solved.chunks_exact(m)) {
@@ -841,23 +1466,13 @@ impl PackedCholesky {
                     }
                 }
                 let d = row[i];
-                for xi in row_i {
+                for xi in row_i.iter_mut() {
                     *xi /= d;
                 }
             }
             c0 = c1;
         }
         Ok(x)
-    }
-
-    /// Expands the packed factor into a dense lower-triangular [`Matrix`].
-    pub fn to_matrix(&self) -> Matrix {
-        let mut m = Matrix::zeros(self.n, self.n);
-        for i in 0..self.n {
-            let row = self.row(i);
-            m.data[i * self.n..i * self.n + i + 1].copy_from_slice(row);
-        }
-        m
     }
 }
 
@@ -1355,5 +1970,200 @@ mod tests {
     #[test]
     fn from_vec_rejects_bad_length() {
         assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn copy_col_into_matches_col() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let mut out = [0.0; 3];
+        for c in 0..2 {
+            m.copy_col_into(c, &mut out);
+            assert_eq!(out.to_vec(), m.col(c));
+        }
+        let empty = Matrix::zeros(0, 3);
+        empty.copy_col_into(1, &mut []);
+    }
+
+    #[test]
+    fn blocked_cholesky_bit_identical_across_edge_shapes() {
+        // Every (size, panel width) pairing — n=0/1, block >= n, ragged
+        // trailing panels — must reproduce the scalar kernel bit for bit,
+        // on the dense and packed layouts alike.
+        for n in [0, 1, 2, 5, 12, 33] {
+            let a = spd(n);
+            let scalar = a.cholesky_scalar().unwrap();
+            for block in [1, 2, 3, 8, 16, 64, 1000] {
+                let blocked = a.cholesky_blocked(block).unwrap();
+                assert_eq!(blocked, scalar, "dense n {n} block {block}");
+                let packed = PackedCholesky::cholesky_blocked(&a, block).unwrap();
+                assert_eq!(packed.to_matrix(), scalar, "packed n {n} block {block}");
+            }
+            // Block width 0 is clamped to 1, not an infinite loop.
+            assert_eq!(a.cholesky_blocked(0).unwrap(), scalar);
+        }
+        // The blocked kernel still rejects indefinite input, whichever
+        // panel the failure lands in.
+        let bad = Matrix::from_fn(8, 8, |i, j| if i == j { -1.0 } else { 0.0 });
+        for block in [1, 3, 8, 100] {
+            assert_eq!(
+                bad.cholesky_blocked(block),
+                Err(MathError::NotPositiveDefinite)
+            );
+        }
+    }
+
+    #[test]
+    fn row_blocked_forward_solve_matches_per_column_across_shapes() {
+        // (col_tile, row_block) combinations covering ragged row blocks
+        // (n not a multiple of the block) and ragged column tiles.
+        for (n, m) in [(1, 3), (7, 5), (13, 29)] {
+            let a = spd(n);
+            let l = a.cholesky().unwrap();
+            let packed = PackedCholesky::cholesky(&a).unwrap();
+            let b = Matrix::from_fn(n, m, |i, j| ((i * 31 + j * 17) % 23) as f64 / 7.0 - 1.5);
+            for row_block in [1, 2, 3, 4, 5, 64] {
+                for col_tile in [1, 4, 11, 256] {
+                    let x = l
+                        .solve_lower_triangular_multi_blocked(&b, col_tile, row_block)
+                        .unwrap();
+                    let xp = packed
+                        .solve_lower_multi_blocked(&b, col_tile, row_block)
+                        .unwrap();
+                    for c in 0..m {
+                        let col = b.col(c);
+                        let want = l.solve_lower_triangular(&col).unwrap();
+                        assert_eq!(x.col(c), want, "dense n {n} rb {row_block} t {col_tile}");
+                        assert_eq!(xp.col(c), want, "packed n {n} rb {row_block} t {col_tile}");
+                    }
+                }
+            }
+            // Row block 0 is clamped to 1.
+            assert_eq!(
+                l.solve_lower_triangular_multi_blocked(&b, 16, 0).unwrap(),
+                l.solve_lower_triangular_multi(&b).unwrap()
+            );
+        }
+        let empty = Matrix::zeros(4, 0);
+        let l = spd(4).cholesky().unwrap();
+        assert_eq!(
+            l.solve_lower_triangular_multi_blocked(&empty, 8, 8)
+                .unwrap()
+                .shape(),
+            (4, 0)
+        );
+    }
+
+    #[test]
+    fn dense_append_rows_matches_sequential_appends() {
+        let n = 7;
+        let a = spd(n);
+        for split in 0..n {
+            let head = Matrix::from_fn(split, split, |i, j| a[(i, j)]);
+            let rows: Vec<Vec<f64>> = (split..n)
+                .map(|r| (0..=r).map(|j| a[(r, j)]).collect())
+                .collect();
+            let mut batched = head.cholesky().unwrap();
+            batched.cholesky_append_rows(&rows).unwrap();
+            let mut seq = head.cholesky().unwrap();
+            for row in &rows {
+                seq.cholesky_append_row(row).unwrap();
+            }
+            assert_eq!(batched, seq, "split {split}");
+            assert_eq!(batched, a.cholesky().unwrap(), "split {split}");
+        }
+        // Empty batch is a no-op.
+        let mut l = a.cholesky().unwrap();
+        l.cholesky_append_rows(&[]).unwrap();
+        assert_eq!(l, a.cholesky().unwrap());
+        // Mis-shaped rows are rejected before anything mutates.
+        let snapshot = l.clone();
+        assert!(matches!(
+            l.cholesky_append_rows(&[vec![1.0; n]]),
+            Err(MathError::ShapeMismatch { .. })
+        ));
+        assert_eq!(l, snapshot);
+        // All-or-nothing: an indefinite extension anywhere in the batch
+        // leaves the factor untouched (stronger than the sequential chain,
+        // which would keep the rows appended before the failure).
+        let good: Vec<f64> = (0..=n).map(|j| if j == n { 10.0 } else { 0.1 }).collect();
+        let bad: Vec<f64> = (0..=n + 1)
+            .map(|j| if j == n { 100.0 } else { 0.1 })
+            .collect();
+        assert_eq!(
+            l.cholesky_append_rows(&[good, bad]),
+            Err(MathError::NotPositiveDefinite)
+        );
+        assert_eq!(l, snapshot);
+    }
+
+    #[test]
+    fn packed_append_rows_matches_sequential_appends() {
+        let n = 7;
+        let a = spd(n);
+        for split in 0..n {
+            let head = Matrix::from_fn(split, split, |i, j| a[(i, j)]);
+            let rows: Vec<Vec<f64>> = (split..n)
+                .map(|r| (0..=r).map(|j| a[(r, j)]).collect())
+                .collect();
+            let mut batched = PackedCholesky::cholesky(&head).unwrap();
+            batched.append_rows(&rows).unwrap();
+            let mut seq = PackedCholesky::cholesky(&head).unwrap();
+            for row in &rows {
+                seq.append_row(row).unwrap();
+            }
+            assert_eq!(batched, seq, "split {split}");
+        }
+        // Growing from the empty factor in one shot.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|r| (0..=r).map(|j| a[(r, j)]).collect())
+            .collect();
+        let mut from_empty = PackedCholesky::empty();
+        from_empty.append_rows(&rows).unwrap();
+        assert_eq!(from_empty, PackedCholesky::cholesky(&a).unwrap());
+        // Empty batch is a no-op; failures are all-or-nothing.
+        let snapshot = from_empty.clone();
+        from_empty.append_rows(&[]).unwrap();
+        assert_eq!(from_empty, snapshot);
+        assert!(matches!(
+            from_empty.append_rows(&[vec![1.0; 3]]),
+            Err(MathError::ShapeMismatch { .. })
+        ));
+        let bad: Vec<f64> = vec![0.0; n + 1];
+        assert_eq!(
+            from_empty.append_rows(&[bad]),
+            Err(MathError::NotPositiveDefinite)
+        );
+        assert_eq!(from_empty, snapshot);
+    }
+
+    #[test]
+    fn f32_shadow_solve_tracks_f64_and_is_tile_invariant() {
+        let n = 24;
+        let m = 17;
+        let a = spd(n);
+        let packed = PackedCholesky::cholesky(&a).unwrap();
+        let shadow = PackedCholeskyF32::from_f64(&packed);
+        assert_eq!(shadow.order(), n);
+        let b = Matrix::from_fn(n, m, |i, j| ((i * 13 + j * 5) % 11) as f64 / 3.0 - 1.5);
+        let b32 = MatrixF32::from_fn(n, m, |i, j| b[(i, j)] as f32);
+        let x64 = packed.solve_lower_multi(&b).unwrap();
+        let x32 = shadow.solve_lower_multi(&b32).unwrap();
+        for r in 0..n {
+            for c in 0..m {
+                let want = x64[(r, c)];
+                let got = f64::from(x32.get(r, c));
+                assert!(
+                    (got - want).abs() <= 1e-4 * (1.0 + want.abs()),
+                    "({r},{c}): f32 {got} vs f64 {want}"
+                );
+            }
+        }
+        // The f32 sweep is tile-invariant bit for bit (same per-element
+        // order in every tile), and shape-checked like the f64 path.
+        for tile in [1, 5, 17, 400] {
+            assert_eq!(shadow.solve_lower_multi_tiled(&b32, tile).unwrap(), x32);
+        }
+        let bad = MatrixF32::from_fn(n + 1, 2, |_, _| 0.0);
+        assert!(shadow.solve_lower_multi(&bad).is_err());
     }
 }

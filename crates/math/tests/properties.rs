@@ -188,6 +188,80 @@ proptest! {
     }
 
     #[test]
+    fn blocked_cholesky_is_bit_identical_to_scalar_for_random_sizes_and_blocks(
+        values in prop::collection::vec(-2.0..2.0f64, 196),
+        n in 1usize..14,
+        block in 1usize..20,
+    ) {
+        // The blocked right-looking kernel is pure scheduling: for every
+        // (matrix size, panel width) pair — including block >= n and ragged
+        // trailing panels — the factor must equal the scalar kernel's bit
+        // for bit, on the dense and the packed layout alike.
+        let b = Matrix::from_vec(14, 14, values).unwrap();
+        let mut big = b.matmul(&b.transpose()).unwrap();
+        big.add_diagonal(1.0);
+        let a = Matrix::from_fn(n, n, |i, j| big[(i, j)]);
+        let scalar = a.cholesky_scalar().expect("SPD matrix must factor");
+        let blocked = a.cholesky_blocked(block).expect("SPD matrix must factor");
+        prop_assert_eq!(&blocked, &scalar, "dense blocked != scalar (n {}, block {})", n, block);
+        let packed = atlas_math::linalg::PackedCholesky::cholesky_blocked(&a, block).unwrap();
+        prop_assert_eq!(packed.to_matrix(), scalar);
+    }
+
+    #[test]
+    fn blocked_forward_solve_is_bit_identical_for_random_tiles_and_blocks(
+        values in prop::collection::vec(-2.0..2.0f64, 100),
+        rhs in prop::collection::vec(-5.0..5.0f64, 90),
+        col_tile in 1usize..12,
+        row_block in 1usize..12,
+    ) {
+        // Row-blocking and column-tiling of the forward sweep are
+        // performance knobs only: every (col_tile, row_block) pair must
+        // reproduce the per-column single-RHS solve exactly.
+        let m = Matrix::from_vec(10, 10, values).unwrap();
+        let mut a = m.matmul(&m.transpose()).unwrap();
+        a.add_diagonal(1.0);
+        let l = a.cholesky().unwrap();
+        let packed = atlas_math::linalg::PackedCholesky::cholesky(&a).unwrap();
+        let b = Matrix::from_vec(10, 9, rhs).unwrap();
+        let x = l.solve_lower_triangular_multi_blocked(&b, col_tile, row_block).unwrap();
+        let xp = packed.solve_lower_multi_blocked(&b, col_tile, row_block).unwrap();
+        for c in 0..9 {
+            let col = b.col(c);
+            prop_assert_eq!(x.col(c), l.solve_lower_triangular(&col).unwrap());
+            prop_assert_eq!(xp.col(c), packed.solve_lower(&col).unwrap());
+        }
+    }
+
+    #[test]
+    fn batched_append_rows_is_bit_identical_to_sequential_appends(
+        values in prop::collection::vec(-2.0..2.0f64, 81),
+        split in 0usize..9,
+    ) {
+        // Factor a leading block, then append the remaining rows in one
+        // batched call and compare with appending them one at a time.
+        let b = Matrix::from_vec(9, 9, values).unwrap();
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diagonal(1.0);
+        let head = Matrix::from_fn(split, split, |i, j| a[(i, j)]);
+        let rows: Vec<Vec<f64>> = (split..9)
+            .map(|r| (0..=r).map(|j| a[(r, j)]).collect())
+            .collect();
+
+        let mut batched = atlas_math::linalg::PackedCholesky::cholesky(&head).unwrap();
+        batched.append_rows(&rows).expect("SPD extension must append");
+        let mut seq = atlas_math::linalg::PackedCholesky::cholesky(&head).unwrap();
+        for row in &rows {
+            seq.append_row(row).unwrap();
+        }
+        prop_assert_eq!(&batched, &seq);
+
+        let mut dense = head.cholesky().unwrap();
+        dense.cholesky_append_rows(&rows).expect("SPD extension must append");
+        prop_assert_eq!(batched.to_matrix(), dense);
+    }
+
+    #[test]
     fn transpose_preserves_frobenius_norm(values in prop::collection::vec(-10.0..10.0f64, 12)) {
         let m = Matrix::from_vec(3, 4, values).unwrap();
         prop_assert!((m.frobenius_norm() - m.transpose().frobenius_norm()).abs() < 1e-10);

@@ -18,7 +18,9 @@ use crate::report::{mean_per_query, FleetReport, LifecycleSpan, RoundReport, Sli
 use crate::scheduler::{QueryScheduler, EVAL_PAR_MIN_CHUNK};
 use crate::shard::ShardPlan;
 use atlas::env::{Environment, QoeSample};
-use atlas::{OnlineLearner, Scenario, SliceConfig, SliceQuery, SliceSession, WindowPolicy};
+use atlas::{
+    OnlineLearner, Scenario, ScoringPrecision, SliceConfig, SliceQuery, SliceSession, WindowPolicy,
+};
 use atlas_math::parallel::par_map_tasks;
 use atlas_netsim::ContentionPolicy;
 
@@ -83,6 +85,18 @@ impl SliceSpec {
     /// whose per-round model cost and memory must plateau.
     pub fn with_gp_window(mut self, window: WindowPolicy) -> Self {
         self.learner = self.learner.with_gp_window(window);
+        self
+    }
+
+    /// Selects this slice's GP candidate-scoring precision — the per-slice
+    /// throughput knob. [`ScoringPrecision::Exact`] (the default) keeps
+    /// the historical f64 scoring bit for bit;
+    /// [`ScoringPrecision::MixedF32`] ranks each round's candidate set
+    /// through an f32 shadow of the factor (observes and refits stay f64)
+    /// with a periodic f64 drift recheck, trading a bounded ranking
+    /// approximation for cheaper rounds on scoring-dominated fleets.
+    pub fn with_gp_scoring(mut self, scoring: ScoringPrecision) -> Self {
+        self.learner = self.learner.with_gp_scoring(scoring);
         self
     }
 }
