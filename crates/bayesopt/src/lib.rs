@@ -57,6 +57,7 @@ pub use optimizer::{BayesOpt, Observation};
 pub use space::SearchSpace;
 pub use surrogate::{BnnSurrogate, GpSurrogate, Surrogate};
 
-// Long-horizon loops bound the surrogate's training window; re-exported so
-// optimiser users configure it without a direct atlas-gp dependency.
-pub use atlas_gp::WindowPolicy;
+// Long-horizon loops bound the surrogate's training window and elastic
+// grids bound its factor maintenance; re-exported so optimiser users
+// configure both without a direct atlas-gp dependency.
+pub use atlas_gp::{GridMaintenance, WindowPolicy};

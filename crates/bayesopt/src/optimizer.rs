@@ -104,6 +104,23 @@ impl<S: Surrogate> BayesOpt<S> {
         self
     }
 
+    /// Switches how the surrogate maintains its hyper-parameter grid
+    /// factors ([`Surrogate::set_grid_maintenance`]). Under
+    /// [`atlas_gp::GridMaintenance::Elastic`] the GP surrogate keeps live
+    /// Cholesky factors only for its hot-set candidates, with periodic
+    /// tournament refreshes re-selecting over the full grid; `Full` (the
+    /// default) keeps every factor live, bit for bit the historical
+    /// behaviour. Surrogates without a factor grid ignore the policy; if
+    /// one does so after observations were already recorded, a full refit
+    /// is scheduled so the surrogate can never be silently stale.
+    pub fn with_grid_maintenance(mut self, grid_maintenance: crate::GridMaintenance) -> Self {
+        let handled = self.surrogate.set_grid_maintenance(grid_maintenance);
+        if !handled && !self.observations.is_empty() {
+            self.surrogate_stale = true;
+        }
+        self
+    }
+
     /// Pins the number of scoped threads used for candidate scoring
     /// (default: the machine's available parallelism, capped at 8). Results
     /// are identical for every thread count — chunks are merged in
@@ -496,6 +513,36 @@ mod tests {
             "incremental windowed surrogate ({im}, {is}) must match a full \
              refit on the retained window ({fm}, {fs})"
         );
+    }
+
+    #[test]
+    fn elastic_grid_maintenance_threads_into_the_gp_surrogate() {
+        use atlas_gp::GridMaintenance;
+        let mut rng = seeded_rng(13);
+        let mut bo = BayesOpt::new(SearchSpace::unit(2), GpSurrogate::new())
+            .with_candidates(200)
+            .with_initial_random(6)
+            .with_grid_maintenance(GridMaintenance::Elastic {
+                hot_set: 6,
+                refresh_every: 16,
+            });
+        for _ in 0..30 {
+            let x = bo.suggest(Acquisition::ExpectedImprovement, &mut rng);
+            let y = objective(&x);
+            bo.observe_and_update(x, y, &mut rng);
+            // Only the hot set keeps live factors throughout the loop.
+            let stats = bo.surrogate().gp().grid_stats();
+            assert_eq!(stats.hot, 6);
+            assert_eq!(stats.grid_len, 35);
+        }
+        assert!(
+            bo.best().unwrap().y < 0.1,
+            "elastic BO still converges: best {}",
+            bo.best().unwrap().y
+        );
+        // Switching back mid-run revives every factor via a rebuild.
+        bo = bo.with_grid_maintenance(GridMaintenance::Full);
+        assert_eq!(bo.surrogate().gp().grid_stats().hot, 35);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! number of observations) and a Bayesian neural network (scalable to the
 //! thousands of offline queries of stages 1–2).
 
-use atlas_gp::{GaussianProcess, GpConfig, WindowPolicy};
+use atlas_gp::{GaussianProcess, GpConfig, GridMaintenance, WindowPolicy};
 use atlas_math::dist::standard_normal_sample;
 use atlas_math::rng::Rng64;
 use atlas_nn::{Bnn, BnnConfig};
@@ -89,6 +89,18 @@ pub trait Surrogate: Send + Sync {
     /// and otherwise degrade to plain sliding-window semantics. The GP
     /// overrides this to evict, downdate and re-weight in place.
     fn set_window(&mut self, _window: WindowPolicy) -> bool {
+        false
+    }
+    /// Switches how the surrogate maintains its hyper-parameter grid
+    /// factors, if it keeps such a grid, returning `true` when the
+    /// surrogate fully re-established its own state under the new policy.
+    /// Called by [`crate::BayesOpt::with_grid_maintenance`].
+    ///
+    /// The default returns `false`: a surrogate without a per-candidate
+    /// factor grid (the BNN) has nothing to maintain elastically and is
+    /// simply refit by the optimiser when needed. The GP overrides this to
+    /// rebuild its grid under the new policy in place.
+    fn set_grid_maintenance(&mut self, _grid_maintenance: GridMaintenance) -> bool {
         false
     }
     /// Evaluates **one** coherent draw from the posterior over functions at
@@ -192,6 +204,12 @@ impl Surrogate for GpSurrogate {
         // A degenerate re-selection (every factor retired) reports false
         // so the optimiser schedules a full refit instead.
         self.gp.set_window(window).is_ok()
+    }
+
+    fn set_grid_maintenance(&mut self, grid_maintenance: GridMaintenance) -> bool {
+        // The switch rebuilds the grid from the retained window; a
+        // degenerate rebuild reports false so the optimiser refits.
+        self.gp.set_grid_maintenance(grid_maintenance).is_ok()
     }
 
     fn thompson_batch(&self, candidates: &[Vec<f64>], rng: &mut Rng64) -> Vec<f64> {

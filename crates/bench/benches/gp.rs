@@ -213,6 +213,47 @@ fn batched_append_rows(c: &mut Criterion) {
     group.finish();
 }
 
+fn gp_elastic_grid(c: &mut Criterion) {
+    use atlas_gp::GridMaintenance;
+    // The elastic hyper-parameter grid's steady state: a warm GP at n = 400
+    // absorbing one more observation, full maintenance (35 live factors)
+    // vs a hot set of 8. `refresh_every` is set beyond the iteration count
+    // so the timed loop measures the pure hot-set observe; the amortised
+    // refresh cost is quantified by the `grid_maintenance` section of
+    // `BENCH_gp.json`.
+    let n = 400usize;
+    let (xs, ys) = dataset(n + 1, 6);
+    let arm = |grid| {
+        let mut gp = GaussianProcess::new(GpConfig {
+            grid_maintenance: grid,
+            ..GpConfig::default()
+        });
+        gp.fit(&xs[..n], &ys[..n]).unwrap();
+        gp
+    };
+    let full = arm(GridMaintenance::Full);
+    let elastic = arm(GridMaintenance::Elastic {
+        hot_set: 8,
+        refresh_every: usize::MAX,
+    });
+    let mut group = c.benchmark_group("gp_elastic_grid");
+    group.bench_function(BenchmarkId::new("full_observe", n), |b| {
+        b.iter(|| {
+            let mut gp = full.clone();
+            gp.observe(xs[n].clone(), ys[n]).unwrap();
+            black_box(gp.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("elastic_hot8_observe", n), |b| {
+        b.iter(|| {
+            let mut gp = elastic.clone();
+            gp.observe(xs[n].clone(), ys[n]).unwrap();
+            black_box(gp.len())
+        })
+    });
+    group.finish();
+}
+
 fn mixed_precision_ranking(c: &mut Criterion) {
     // Opt-in f32 scoring shadow vs the exact f64 batched predictor on the
     // acquisition-ranking path. `recheck_every` is set beyond the
@@ -242,6 +283,6 @@ criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = add_observation_scaling, windowed_observe, predict_batch, blocked_cholesky,
-        blocked_forward_solve, batched_append_rows, mixed_precision_ranking
+        blocked_forward_solve, batched_append_rows, mixed_precision_ranking, gp_elastic_grid
 );
 criterion_main!(benches);

@@ -14,8 +14,8 @@
 
 use atlas_bayesopt::SearchSpace;
 use atlas_gp::{
-    GaussianProcess, GpConfig, ScoringPrecision, WindowPolicy, GRID_PAR_MIN_CANDIDATES,
-    GRID_PAR_MIN_N, PREDICT_PAR_MIN_CHUNK,
+    GaussianProcess, GpConfig, GridMaintenance, ScoringPrecision, WindowPolicy,
+    GRID_PAR_MIN_CANDIDATES, GRID_PAR_MIN_N, PREDICT_PAR_MIN_CHUNK,
 };
 use atlas_math::linalg::{
     l2_distance, Matrix, PackedCholesky, DEFAULT_CHOL_BLOCK, DEFAULT_COL_TILE, DEFAULT_ROW_BLOCK,
@@ -524,6 +524,105 @@ fn main() {
         n_max
     );
 
+    // ---- elastic hyper-parameter grid -----------------------------------
+    // Amortised per-observe cost and resident factor bytes, Full vs
+    // Elastic, at fleet-realistic model sizes. A sliding window at capacity
+    // n keeps both arms at a constant size, so the stream's amortised mean
+    // is a clean per-observe figure: each evicting observe costs the hot
+    // candidates an O(n²) downdate + append, and every `refresh_every`
+    // factor mutations the elastic arm pays the tournament's cold rebuilds
+    // (27 × n³/6 at hot_set = 8) — which is exactly the trade the sweep
+    // quantifies. hot_set = 35 spans the whole grid, so that arm *is* the
+    // Full baseline (bit-for-bit — the property suite pins this).
+    let gm_sizes: &[usize] = &[200, 400];
+    let gm_hot_sets: &[usize] = if quick { &[8, 35] } else { &[4, 8, 16, 35] };
+    let gm_refresh = 256usize;
+    let gm_stream = 288usize;
+    let gm_n_max = *gm_sizes.last().unwrap();
+    let (gm_xs, gm_ys) = dataset(gm_n_max + gm_stream);
+    let gm_points: Vec<(usize, usize, f64, usize, usize)> = gm_sizes
+        .iter()
+        .flat_map(|&n| gm_hot_sets.iter().map(move |&hot_set| (n, hot_set)))
+        .map(|(n, hot_set)| {
+            let mut gp = GaussianProcess::new(GpConfig {
+                window: WindowPolicy::SlidingWindow { capacity: n },
+                grid_maintenance: GridMaintenance::Elastic {
+                    hot_set,
+                    refresh_every: gm_refresh,
+                },
+                refit_every: 10_000,
+                ..GpConfig::default()
+            });
+            gp.fit(&gm_xs[..n], &gm_ys[..n]).unwrap();
+            let start = Instant::now();
+            for i in n..n + gm_stream {
+                gp.observe(gm_xs[i].clone(), gm_ys[i]).unwrap();
+            }
+            let per_observe_ms = start.elapsed().as_secs_f64() * 1e3 / gm_stream as f64;
+            let bytes = gp.factor_bytes();
+            let refreshes = gp.grid_stats().refreshes;
+            println!(
+                "elastic grid n = {n:>3}, hot_set = {hot_set:>2}: observe {per_observe_ms:>7.3} ms \
+                 amortised over {gm_stream} ({bytes:>8} factor bytes, {refreshes} refreshes)"
+            );
+            (n, hot_set, per_observe_ms, bytes, refreshes)
+        })
+        .collect();
+    let gm_at = |n: usize, hot: usize| {
+        gm_points
+            .iter()
+            .find(|p| p.0 == n && p.1 == hot)
+            .expect("swept point")
+    };
+    let gm_speedup = gm_at(gm_n_max, 35).2 / gm_at(gm_n_max, 8).2;
+    let gm_memory_reduction = gm_at(gm_n_max, 35).3 as f64 / gm_at(gm_n_max, 8).3 as f64;
+    println!(
+        "elastic grid at n = {gm_n_max}, hot_set = 8: {gm_speedup:.2}x observe speedup, \
+         {gm_memory_reduction:.2}x factor-memory reduction vs the full grid"
+    );
+    // Selection agreement at refresh points, measured untimed under an
+    // unbounded window (where hot appends and cold rebuilds are both
+    // bit-exact against full maintenance, so agreement is the designed
+    // invariant, not a tolerance): stream observations into an elastic and
+    // a full-maintenance GP in lockstep and compare the selected kernel at
+    // every tournament refresh.
+    let gm_agreement: Vec<(usize, usize, usize)> = gm_sizes
+        .iter()
+        .map(|&n| {
+            let mut elastic = GaussianProcess::new(GpConfig {
+                grid_maintenance: GridMaintenance::Elastic {
+                    hot_set: 8,
+                    refresh_every: 16,
+                },
+                refit_every: 10_000,
+                ..GpConfig::default()
+            });
+            let mut full = GaussianProcess::new(GpConfig {
+                refit_every: 10_000,
+                ..GpConfig::default()
+            });
+            elastic.fit(&gm_xs[..n], &gm_ys[..n]).unwrap();
+            full.fit(&gm_xs[..n], &gm_ys[..n]).unwrap();
+            let (mut refresh_points, mut agreed) = (0, 0);
+            for i in n..n + 96 {
+                let before = elastic.grid_stats().refreshes;
+                elastic.observe(gm_xs[i].clone(), gm_ys[i]).unwrap();
+                full.observe(gm_xs[i].clone(), gm_ys[i]).unwrap();
+                if elastic.grid_stats().refreshes > before {
+                    refresh_points += 1;
+                    if elastic.kernel() == full.kernel() {
+                        agreed += 1;
+                    }
+                }
+            }
+            println!(
+                "elastic grid selection agreement at n = {n}: {agreed}/{refresh_points} \
+                 refresh points"
+            );
+            (n, refresh_points, agreed)
+        })
+        .collect();
+
     let speedup_largest = points.last().expect("non-empty").speedup();
     let full_exp = scaling_exponent(&points, |p| p.full_refit_ms);
     let inc_exp = scaling_exponent(&points, |p| p.incremental_ms);
@@ -712,6 +811,44 @@ fn main() {
     json.push_str("    ],\n");
     let _ = writeln!(json, "    \"windowed_flatness\": {flatness:.3}");
     json.push_str("  },\n");
+    // Elastic hyper-parameter grid: amortised observe cost + resident
+    // factor bytes across the hot-set sweep, and the refresh-point
+    // selection-agreement audit.
+    json.push_str("  \"grid_maintenance\": {\n");
+    let _ = writeln!(json, "    \"refresh_every\": {gm_refresh},");
+    let _ = writeln!(json, "    \"stream_observes\": {gm_stream},");
+    json.push_str(
+        "    \"note\": \"sliding window at capacity n keeps both arms at constant size; \
+         hot_set 35 spans the grid and is the Full baseline\",\n",
+    );
+    json.push_str("    \"points\": [\n");
+    for (i, (n, hot_set, ms, bytes, refreshes)) in gm_points.iter().enumerate() {
+        let comma = if i + 1 < gm_points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"n\": {n}, \"hot_set\": {hot_set}, \"per_observe_ms\": {ms:.4}, \
+             \"factor_bytes\": {bytes}, \"refreshes\": {refreshes}}}{comma}"
+        );
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(
+        json,
+        "    \"observe_speedup_hot8_at_n{gm_n_max}\": {gm_speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"factor_memory_reduction_hot8_at_n{gm_n_max}\": {gm_memory_reduction:.2},"
+    );
+    json.push_str("    \"selection_agreement\": [\n");
+    for (i, (n, refresh_points, agreed)) in gm_agreement.iter().enumerate() {
+        let comma = if i + 1 < gm_agreement.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"n\": {n}, \"refresh_points\": {refresh_points}, \"agreed\": {agreed}}}{comma}"
+        );
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
     let _ = writeln!(json, "  \"speedup_at_largest_n\": {speedup_largest:.2},");
     let _ = writeln!(json, "  \"full_refit_scaling_exponent\": {full_exp:.3},");
     let _ = writeln!(json, "  \"incremental_scaling_exponent\": {inc_exp:.3}");
@@ -723,8 +860,12 @@ fn main() {
     // ratio (every grid candidate's factorisation), so the incremental
     // advantage is structurally smaller than it was against the scalar
     // kernel — especially at quick mode's n = 200, where the refit's
-    // cubic term has less room to dominate.
-    let min_observe_speedup = if quick { 6.0 } else { 10.0 };
+    // cubic term has less room to dominate. The elastic-grid rebuild path
+    // shrank the baseline again (the refit now reuses the cached distance
+    // triangle instead of re-evaluating every pairwise distance per
+    // candidate: ~11.9x became ~8.4x at n = 400 with the incremental side
+    // untouched), so the full-mode floor is recalibrated below it.
+    let min_observe_speedup = if quick { 6.0 } else { 7.0 };
     assert!(
         speedup_largest >= min_observe_speedup,
         "incremental observe must be >= {min_observe_speedup}x faster than the full refit \
@@ -746,4 +887,36 @@ fn main() {
         default_block_ms(chol_400),
         chol_400.scalar_ms
     );
+    // CI smoke for the elastic grid: even on a noisy runner the hot-set-8
+    // arm (4.4x fewer live factors, refresh amortised over 256 mutations)
+    // must never lose to full maintenance at n = 400, and tournament
+    // refreshes must agree with full-grid selection at every refresh point
+    // (the unbounded-window audit is bit-exact by construction). The
+    // calibrated speedup/memory gates run in full mode only.
+    assert!(
+        gm_at(gm_n_max, 8).2 <= gm_at(gm_n_max, 35).2,
+        "elastic observe (hot_set = 8) must not lose to the full grid at n = {gm_n_max} \
+         (elastic {:.3} ms vs full {:.3} ms)",
+        gm_at(gm_n_max, 8).2,
+        gm_at(gm_n_max, 35).2
+    );
+    for (n, refresh_points, agreed) in &gm_agreement {
+        assert!(
+            *refresh_points > 0 && agreed == refresh_points,
+            "tournament refresh must agree with full-grid selection at every refresh \
+             point (n = {n}: {agreed}/{refresh_points})"
+        );
+    }
+    if !quick {
+        assert!(
+            gm_speedup >= 2.0,
+            "elastic observe (hot_set = 8) must be >= 2x faster than the full grid \
+             at n = {gm_n_max} (measured {gm_speedup:.2}x)"
+        );
+        assert!(
+            gm_memory_reduction >= 3.0,
+            "elastic factor memory (hot_set = 8) must be >= 3x below the full grid \
+             at n = {gm_n_max} (measured {gm_memory_reduction:.2}x)"
+        );
+    }
 }

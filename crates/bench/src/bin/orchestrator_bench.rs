@@ -278,6 +278,11 @@ fn main() {
         ms: f64,
         per_round_ms: f64,
         qps: f64,
+        /// Per-round phase breakdown (model-update/suggest vs grant vs
+        /// evaluate+observe), from [`FleetRun::phase_breakdown`].
+        suggest_ms_per_round: f64,
+        grant_ms_per_round: f64,
+        evaluate_ms_per_round: f64,
     }
     let mut shard_points: Vec<ShardPoint> = Vec::with_capacity(shard_counts.len());
     let mut shard_reference = None;
@@ -285,9 +290,19 @@ fn main() {
         let orchestrator = Orchestrator::new(SharedTestbed::new(network))
             .with_threads(4)
             .with_shards(shards);
+        // Drive the fleet through the steppable API (rather than
+        // `Orchestrator::run`) so the per-phase timings are readable
+        // before `finish` consumes the run. The sequence of operations is
+        // identical.
         let start = Instant::now();
-        let report = orchestrator.run(fleet(shard_slices, shard_iterations, shard_duration_s));
+        let mut fleet_run = orchestrator.begin();
+        for spec in fleet(shard_slices, shard_iterations, shard_duration_s) {
+            fleet_run.admit(spec).expect("bench slices admit");
+        }
+        while fleet_run.step().is_some() {}
         let ms = start.elapsed().as_secs_f64() * 1e3;
+        let phases = fleet_run.phase_breakdown();
+        let report = fleet_run.finish();
         match &shard_reference {
             None => shard_reference = Some(report.clone()),
             Some(reference) => assert_eq!(
@@ -295,13 +310,18 @@ fn main() {
                 "sharding must be a pure performance transform (shards = {shards})"
             ),
         }
-        let per_round_ms = ms / report.rounds.max(1) as f64;
+        let rounds = report.rounds.max(1) as f64;
+        let per_round_ms = ms / rounds;
         let qps = report.total_queries as f64 / (ms / 1e3);
         println!(
             "sharding ({shard_slices} slices, {shards} shards): {} queries over {} rounds in \
-             {ms:.0} ms ({per_round_ms:.1} ms/round, {qps:.2} q/s){}",
+             {ms:.0} ms ({per_round_ms:.1} ms/round: {:.1} suggest + {:.2} grant + {:.1} \
+             evaluate, {qps:.2} q/s){}",
             report.total_queries,
             report.rounds,
+            phases.suggest_ms / rounds,
+            phases.grant_ms / rounds,
+            phases.evaluate_ms / rounds,
             if shards == 1 {
                 ""
             } else {
@@ -313,6 +333,9 @@ fn main() {
             ms,
             per_round_ms,
             qps,
+            suggest_ms_per_round: phases.suggest_ms / rounds,
+            grant_ms_per_round: phases.grant_ms / rounds,
+            evaluate_ms_per_round: phases.evaluate_ms / rounds,
         });
     }
     let unsharded_ms = shard_points[0].ms;
@@ -461,8 +484,15 @@ fn main() {
         let _ = writeln!(
             json,
             "      {{\"shards\": {}, \"ms\": {:.1}, \"per_round_ms\": {:.2}, \
-             \"queries_per_s\": {:.3}}}{comma}",
-            p.shards, p.ms, p.per_round_ms, p.qps,
+             \"phase_ms_per_round\": {{\"suggest\": {:.2}, \"grant\": {:.3}, \
+             \"evaluate\": {:.2}}}, \"queries_per_s\": {:.3}}}{comma}",
+            p.shards,
+            p.ms,
+            p.per_round_ms,
+            p.suggest_ms_per_round,
+            p.grant_ms_per_round,
+            p.evaluate_ms_per_round,
+            p.qps,
         );
     }
     json.push_str("    ],\n");

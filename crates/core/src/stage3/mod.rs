@@ -33,7 +33,7 @@ pub use session::{SliceQuery, SliceSession};
 use crate::env::{Environment, SimulatorEnv, Sla};
 use crate::stage2::Stage2Result;
 use atlas_bayesopt::Acquisition;
-use atlas_gp::{ScoringPrecision, WindowPolicy};
+use atlas_gp::{GridMaintenance, ScoringPrecision, WindowPolicy};
 use atlas_netsim::{Scenario, Simulator, SliceConfig};
 use atlas_nn::{Bnn, BnnConfig};
 
@@ -87,6 +87,14 @@ pub struct Stage3Config {
     /// drift recheck — a throughput knob for large fleets where candidate
     /// scoring dominates the round.
     pub gp_scoring: ScoringPrecision,
+    /// How the GP residual model maintains its hyper-parameter grid
+    /// factors. The default ([`GridMaintenance::Full`]) keeps every grid
+    /// candidate's Cholesky factor live — bit-for-bit the historical
+    /// behaviour. [`GridMaintenance::Elastic`] keeps live factors only for
+    /// the top-`hot_set` candidates with periodic tournament refreshes
+    /// over the full grid — the fleet-scale knob that cuts the per-observe
+    /// grid multiplier and the resident factor memory.
+    pub gp_grid: GridMaintenance,
 }
 
 impl Default for Stage3Config {
@@ -107,6 +115,7 @@ impl Default for Stage3Config {
             },
             gp_window: WindowPolicy::Unbounded,
             gp_scoring: ScoringPrecision::Exact,
+            gp_grid: GridMaintenance::Full,
         }
     }
 }
@@ -218,6 +227,18 @@ impl OnlineLearner {
     /// sessions created after the call are affected.
     pub fn with_gp_scoring(mut self, scoring: ScoringPrecision) -> Self {
         self.config.gp_scoring = scoring;
+        self
+    }
+
+    /// Returns the learner with its GP residual grid maintenance replaced
+    /// — the fleet-scale factor-memory knob. [`GridMaintenance::Full`]
+    /// (the default) keeps every hyper-parameter candidate's factor live,
+    /// bit for bit the historical behaviour;
+    /// [`GridMaintenance::Elastic`] keeps only the top-`hot_set` factors
+    /// live with periodic full-grid tournament refreshes. Only sessions
+    /// created after the call are affected.
+    pub fn with_gp_grid(mut self, grid: GridMaintenance) -> Self {
+        self.config.gp_grid = grid;
         self
     }
 

@@ -97,14 +97,16 @@ impl SliceSession {
         let run_scenario = scenario.with_duration(config.duration_s);
         let residual_model = match config.online_model {
             // The configured window policy bounds the residual GP for
-            // long-horizon sessions, and the scoring precision selects the
-            // candidate-ranking path (`Unbounded` + `Exact` — the defaults
-            // — make this construction identical to
+            // long-horizon sessions, the scoring precision selects the
+            // candidate-ranking path, and the grid maintenance caps the
+            // resident factor set (`Unbounded` + `Exact` + `Full` — the
+            // defaults — make this construction identical to
             // `GaussianProcess::default_matern()`).
             OnlineModel::GpResidual => {
                 ResidualModel::Gp(Box::new(GaussianProcess::new(GpConfig {
                     window: config.gp_window,
                     scoring_precision: config.gp_scoring,
+                    grid_maintenance: config.gp_grid,
                     ..GpConfig::default()
                 })))
             }
@@ -705,6 +707,57 @@ mod tests {
         .run(&real, &scenario, 31);
         assert_eq!(mixed.history.len(), baseline.history.len());
         for o in &mixed.history {
+            assert!(o.qoe.is_finite() && (0.0..=1.0).contains(&o.qoe));
+            assert!(o.usage.is_finite());
+        }
+    }
+
+    #[test]
+    fn grid_maintenance_defaults_to_full_and_elastic_runs_end_to_end() {
+        use atlas_gp::GridMaintenance;
+        let real = RealEnv::new(RealNetwork::prototype());
+        let scenario = Scenario::default_with_seed(17).with_duration(2.0);
+        let config = Stage3Config {
+            iterations: 10,
+            offline_updates: 1,
+            candidates: 40,
+            duration_s: 2.0,
+            ..Stage3Config::default()
+        };
+        let learner = |grid| {
+            crate::stage3::OnlineLearner::without_offline(
+                config,
+                Sla::paper_default(),
+                Simulator::with_original_params(),
+            )
+            .with_gp_grid(grid)
+        };
+        // Explicit Full maintenance reproduces the default bit for bit, and
+        // so does an elastic grid whose hot set spans the whole grid
+        // (nothing ever goes cold).
+        let baseline = learner(GridMaintenance::Full).run(&real, &scenario, 41);
+        let default = crate::stage3::OnlineLearner::without_offline(
+            config,
+            Sla::paper_default(),
+            Simulator::with_original_params(),
+        )
+        .run(&real, &scenario, 41);
+        assert_eq!(baseline, default);
+        let wide = learner(GridMaintenance::Elastic {
+            hot_set: 35,
+            refresh_every: 4,
+        })
+        .run(&real, &scenario, 41);
+        assert_eq!(wide, baseline);
+        // A genuinely elastic grid completes the same horizon with sane
+        // outcomes (selection only deviates between tournament refreshes).
+        let elastic = learner(GridMaintenance::Elastic {
+            hot_set: 6,
+            refresh_every: 4,
+        })
+        .run(&real, &scenario, 41);
+        assert_eq!(elastic.history.len(), baseline.history.len());
+        for o in &elastic.history {
             assert!(o.qoe.is_finite() && (0.0..=1.0).contains(&o.qoe));
             assert!(o.usage.is_finite());
         }

@@ -45,9 +45,30 @@
 //! retained window. An evict+append is two factor mutations and advances
 //! the [`GpConfig::refit_every`] counter twice, so the periodic rebuild
 //! also bounds the downdates' numerical drift.
+//!
+//! ## Elastic hyper-parameter grid
+//!
+//! Even incrementally, every observe multiplies its O(n²) work — and its
+//! O(n²/2) resident factor — by the full grid width, although the
+//! marginal-likelihood winner almost always sits in a small stable
+//! neighbourhood of the grid. [`GridMaintenance::Elastic`] keeps live
+//! factors only for the top-`hot_set` candidates by log marginal
+//! likelihood; cold candidates drop their factors and carry a stale LML.
+//! Every `refresh_every` factor mutations — and at every
+//! [`GpConfig::refit_every`] rebuild — a **tournament refresh** rebuilds
+//! the cold factors from the retained window, re-selects over the full
+//! grid, promotes any winning cold candidate (demoting the worst hot one)
+//! and re-drops the cold factors, so at refresh points selection matches
+//! full-grid selection on the same window. The hot factors are *not*
+//! rebuilt by a refresh: their incremental drift stays bounded only by the
+//! `refit_every` backstop, which a refresh deliberately does not reset.
+//! Promotion/demotion/refresh counts are observable via
+//! [`GaussianProcess::grid_stats`].
 
 use crate::kernel::Kernel;
-use atlas_math::linalg::{Matrix, MatrixF32, PackedCholesky, PackedCholeskyF32};
+use atlas_math::linalg::{
+    Matrix, MatrixF32, PackedCholesky, PackedCholeskyF32, DEFAULT_CHOL_BLOCK,
+};
 use atlas_math::{MathError, Result};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -135,6 +156,56 @@ pub enum ScoringPrecision {
     },
 }
 
+/// How the hyper-parameter grid's per-candidate Cholesky factors are
+/// maintained across observations.
+///
+/// Under [`GridMaintenance::Full`] every grid candidate keeps a live
+/// factor, so each observe pays the full grid width in bordering work and
+/// factor memory. [`GridMaintenance::Elastic`] restricts the live factors
+/// to a hot set of the most likely candidates and periodically re-runs the
+/// full-grid tournament — see the [elastic grid](crate::gpr#elastic-hyper-parameter-grid)
+/// module docs for the mechanics and drift guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GridMaintenance {
+    /// Every candidate keeps a live factor (the historical behaviour, bit
+    /// for bit — the default).
+    #[default]
+    Full,
+    /// Only the top-`hot_set` candidates by log marginal likelihood keep
+    /// live factors; the rest drop theirs (freeing O(n²/2) doubles each)
+    /// and carry a stale LML until the next tournament refresh.
+    Elastic {
+        /// Candidates retaining live factors between refreshes (clamped to
+        /// `1..=grid_len`). The selection winner is always hot.
+        hot_set: usize,
+        /// Factor mutations between tournament refreshes (values below 1
+        /// are treated as 1; an evict+append counts as two mutations, like
+        /// [`GpConfig::refit_every`]).
+        refresh_every: usize,
+    },
+}
+
+/// Hot-set maintenance counters of the hyper-parameter grid
+/// ([`GaussianProcess::grid_stats`]): how often candidates moved between
+/// the hot and cold sets, and how many tournament refreshes ran. Under
+/// [`GridMaintenance::Full`] everything stays hot and the counters stay 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GridStats {
+    /// Cold candidates that won a live factor at a tournament (or rebuild).
+    pub promotions: usize,
+    /// Hot candidates that lost their live factor at a tournament (or
+    /// rebuild).
+    pub demotions: usize,
+    /// Cadence-triggered tournament refreshes (periodic
+    /// [`GpConfig::refit_every`] rebuilds re-run the tournament too but are
+    /// counted by their own backstop, not here).
+    pub refreshes: usize,
+    /// Candidates currently in the hot set.
+    pub hot: usize,
+    /// Total grid candidates ([`GaussianProcess::grid_len`]).
+    pub grid_len: usize,
+}
+
 /// Configuration of the GP regressor.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpConfig {
@@ -165,6 +236,10 @@ pub struct GpConfig {
     /// ([`ScoringPrecision::Exact`] — the default — keeps every prediction
     /// path in f64, bit for bit).
     pub scoring_precision: ScoringPrecision,
+    /// How the hyper-parameter grid's per-candidate factors are maintained
+    /// ([`GridMaintenance::Full`] — the default — keeps every candidate's
+    /// factor live, reproducing the historical behaviour bit for bit).
+    pub grid_maintenance: GridMaintenance,
 }
 
 impl Default for GpConfig {
@@ -177,6 +252,7 @@ impl Default for GpConfig {
             refit_every: 64,
             window: WindowPolicy::Unbounded,
             scoring_precision: ScoringPrecision::Exact,
+            grid_maintenance: GridMaintenance::Full,
         }
     }
 }
@@ -262,13 +338,47 @@ fn grid_pin(grid_len: usize, n: usize) -> Option<usize> {
     }
 }
 
+/// Factorises `K + noise·I` for one candidate kernel straight from the
+/// packed distance triangle: the cache stores row `i`'s distances
+/// `d(i, 0..=i)` at offset `i(i+1)/2` — the exact layout
+/// [`PackedCholesky`] factors in place — so the kernel matrix is built by
+/// mapping `eval_dist` over the packed entries (the diagonal distances are
+/// 0, giving `k(x,x)`) plus the noise on the diagonal, with no n² dense
+/// staging. Bit-for-bit identical to building the dense matrix and calling
+/// [`PackedCholesky::cholesky`], since both routes feed the same blocked
+/// kernel the same triangle.
+fn factor_from_dist(kernel: &Kernel, dist: &DistanceCache, noise: f64) -> Option<PackedCholesky> {
+    let mut data: Vec<f64> = dist.packed.iter().map(|&d| kernel.eval_dist(d)).collect();
+    for i in 0..dist.n {
+        data[i * (i + 1) / 2 + i] += noise;
+    }
+    PackedCholesky::cholesky_from_packed(data, DEFAULT_CHOL_BLOCK).ok()
+}
+
 /// One hyper-parameter candidate with its live Cholesky factor of
 /// `K + (σ² + jitter)·I` (or `None` after a failed factorisation, until the
-/// next full rebuild).
+/// next full rebuild — or, under [`GridMaintenance::Elastic`], while the
+/// candidate sits in the cold set).
 #[derive(Debug, Clone)]
 struct GridPoint {
     kernel: Kernel,
     chol: Option<PackedCholesky>,
+    /// Whether the candidate is in the hot set (always `true` under
+    /// [`GridMaintenance::Full`]). Cold candidates carry no factor and are
+    /// revived only at tournament refreshes and rebuilds.
+    hot: bool,
+    /// The candidate's log marginal likelihood from its most recent
+    /// evaluation — live for hot candidates (updated every selection),
+    /// stale for cold ones (their last tournament).
+    stale_lml: Option<f64>,
+}
+
+/// Running promotion/demotion/refresh counts of the elastic grid.
+#[derive(Debug, Clone, Copy, Default)]
+struct GridCounters {
+    promotions: usize,
+    demotions: usize,
+    refreshes: usize,
 }
 
 /// The f32 shadow of the *selected* candidate's factor, refreshed after
@@ -330,6 +440,11 @@ pub struct GaussianProcess {
     alpha: Vec<f64>,
     /// Incremental observations since the last full rebuild.
     since_rebuild: usize,
+    /// Factor mutations since the last tournament refresh (only consulted
+    /// under [`GridMaintenance::Elastic`]).
+    since_refresh: usize,
+    /// Promotion/demotion/refresh counts of the elastic grid.
+    counters: GridCounters,
     /// f32 shadow of the selected factor (mixed-precision scoring only).
     shadow: Option<ScoringShadow>,
     /// Drift guard of the f32 scoring path.
@@ -352,6 +467,8 @@ impl GaussianProcess {
             best_idx: 0,
             alpha: Vec::new(),
             since_rebuild: 0,
+            since_refresh: 0,
+            counters: GridCounters::default(),
             shadow: None,
             guard: ScoringGuard::default(),
         }
@@ -368,6 +485,8 @@ impl GaussianProcess {
             return vec![GridPoint {
                 kernel: base,
                 chol: None,
+                hot: true,
+                stale_lml: None,
             }];
         }
         let mut grid = Vec::with_capacity(LS_MULTIPLIERS.len() * VARIANCES.len());
@@ -378,6 +497,8 @@ impl GaussianProcess {
                         .with_length_scale(base.length_scale() * ls_mult)
                         .with_variance(var),
                     chol: None,
+                    hot: true,
+                    stale_lml: None,
                 });
             }
         }
@@ -433,11 +554,60 @@ impl GaussianProcess {
         }
     }
 
+    /// Number of hyper-parameter grid candidates (one when refinement is
+    /// disabled; the length-scale × variance product grid otherwise — use
+    /// this instead of hardcoding the grid shape).
+    pub fn grid_len(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// The grid-maintenance policy in effect.
+    pub fn grid_maintenance(&self) -> GridMaintenance {
+        self.config.grid_maintenance
+    }
+
+    /// Replaces the grid-maintenance policy in place. On a fitted GP this
+    /// triggers a full rebuild: every candidate's factor is re-derived from
+    /// the retained window and the hot set re-selected under the new policy
+    /// (switching to [`GridMaintenance::Full`] revives every factor;
+    /// switching to [`GridMaintenance::Elastic`] drops the cold ones).
+    pub fn set_grid_maintenance(&mut self, grid_maintenance: GridMaintenance) -> Result<()> {
+        self.config.grid_maintenance = grid_maintenance;
+        if self.train_x.is_empty() {
+            return Ok(());
+        }
+        self.rebuild()
+    }
+
+    /// Hot-set maintenance counters of the hyper-parameter grid: lifetime
+    /// promotion/demotion/tournament-refresh counts plus the current hot
+    /// and total candidate counts. Under [`GridMaintenance::Full`] the
+    /// counters stay 0 and every candidate is hot.
+    pub fn grid_stats(&self) -> GridStats {
+        GridStats {
+            promotions: self.counters.promotions,
+            demotions: self.counters.demotions,
+            refreshes: self.counters.refreshes,
+            hot: self.grid.iter().filter(|p| p.hot).count(),
+            grid_len: self.grid.len(),
+        }
+    }
+
+    /// Per-candidate log marginal likelihoods from each candidate's most
+    /// recent evaluation, in grid order: live values for hot candidates
+    /// (refreshed every selection), stale ones for cold candidates (their
+    /// last tournament), `None` for candidates never successfully
+    /// evaluated.
+    pub fn grid_lmls(&self) -> Vec<Option<f64>> {
+        self.grid.iter().map(|p| p.stale_lml).collect()
+    }
+
     /// Bytes of Cholesky-factor storage resident across every live
     /// hyper-parameter grid candidate. Under a bounded [`WindowPolicy`]
     /// this plateaus at O(grid · capacity²/2) doubles regardless of how
     /// many observations ever flowed through; unbounded it grows as
-    /// O(grid · n²/2).
+    /// O(grid · n²/2) — and under [`GridMaintenance::Elastic`] the grid
+    /// multiplier shrinks from the full grid width to `hot_set`.
     pub fn factor_bytes(&self) -> usize {
         self.grid
             .iter()
@@ -495,6 +665,7 @@ impl GaussianProcess {
             .capacity()
             .is_some_and(|cap| self.train_x.len() >= cap);
         self.since_rebuild += if evicting { 2 } else { 1 };
+        self.since_refresh += if evicting { 2 } else { 1 };
         if self.since_rebuild >= self.config.refit_every.max(1) {
             if evicting {
                 self.train_x.remove(0);
@@ -544,6 +715,9 @@ impl GaussianProcess {
         // the result does not depend on the thread count.
         let pin = grid_pin(self.grid.len(), n);
         atlas_math::parallel::par_for_each_mut(&mut self.grid, 1, pin, extend_point);
+        if self.refresh_due() {
+            return self.tournament_refresh();
+        }
         self.select_best()
     }
 
@@ -573,13 +747,23 @@ impl GaussianProcess {
         let n = self.train_x.len();
         let no_evict = self.config.window.capacity().is_none_or(|cap| n + k <= cap);
         let crosses_rebuild = self.since_rebuild + k >= self.config.refit_every.max(1);
-        if n == 0 || !no_evict || crosses_rebuild {
+        // A batch that crosses the tournament-refresh cadence also takes
+        // the sequential path, so the refresh fires at exactly the same
+        // observation it would have sequentially.
+        let crosses_refresh = match self.config.grid_maintenance {
+            GridMaintenance::Elastic { refresh_every, .. } => {
+                self.since_refresh + k >= refresh_every.max(1)
+            }
+            GridMaintenance::Full => false,
+        };
+        if n == 0 || !no_evict || crosses_rebuild || crosses_refresh {
             for (x, y) in batch {
                 self.observe(x, y)?;
             }
             return Ok(());
         }
         self.since_rebuild += k;
+        self.since_refresh += k;
         for (x, y) in batch {
             self.dist.append(&self.train_x, &x);
             self.train_x.push(x);
@@ -654,17 +838,56 @@ impl GaussianProcess {
             self.dist.append(existing, &rest[0]);
         }
         let noise = self.config.noise_variance + 1e-8;
-        for point in &mut self.grid {
-            let mut k = Matrix::from_fn(n, n, |i, j| point.kernel.eval_dist(self.dist.get(i, j)));
-            k.add_diagonal(noise);
-            point.chol = PackedCholesky::cholesky(&k).ok();
-        }
+        let dist = &self.dist;
+        let refit_point = |point: &mut GridPoint| {
+            point.chol = factor_from_dist(&point.kernel, dist, noise);
+        };
+        let pin = grid_pin(self.grid.len(), n);
+        atlas_math::parallel::par_for_each_mut(&mut self.grid, 1, pin, refit_point);
         self.since_rebuild = 0;
+        self.since_refresh = 0;
         // A from-scratch factorisation resets whatever drift demoted the
         // f32 scoring shadow: re-arm it.
         self.guard.calls.store(0, Ordering::Relaxed);
         self.guard.demoted.store(false, Ordering::Relaxed);
-        self.select_best()
+        // Every factor was just revived, so the rebuild doubles as a
+        // tournament point: select over the full grid and re-derive the
+        // hot set (a no-op under `GridMaintenance::Full`).
+        self.select_full()
+    }
+
+    /// Tournament refresh of the elastic grid: rebuild every cold
+    /// candidate's factor from the currently retained window, re-select
+    /// over the full grid, re-derive the hot set from the result (which
+    /// drops the cold losers' factors again). Hot factors are *not*
+    /// rebuilt — their incremental drift stays bounded only by the
+    /// [`GpConfig::refit_every`] backstop, which this deliberately leaves
+    /// running.
+    fn tournament_refresh(&mut self) -> Result<()> {
+        let n = self.train_x.len();
+        let noise = self.config.noise_variance + 1e-8;
+        let dist = &self.dist;
+        let revive_cold = |point: &mut GridPoint| {
+            if point.hot {
+                return;
+            }
+            point.chol = factor_from_dist(&point.kernel, dist, noise);
+        };
+        let pin = grid_pin(self.grid.len(), n);
+        atlas_math::parallel::par_for_each_mut(&mut self.grid, 1, pin, revive_cold);
+        self.since_refresh = 0;
+        self.counters.refreshes += 1;
+        self.select_full()
+    }
+
+    /// Whether the elastic grid's tournament-refresh cadence has elapsed.
+    fn refresh_due(&self) -> bool {
+        match self.config.grid_maintenance {
+            GridMaintenance::Elastic { refresh_every, .. } => {
+                self.since_refresh >= refresh_every.max(1)
+            }
+            GridMaintenance::Full => false,
+        }
     }
 
     /// Log marginal likelihood of the (normalised) training data given a
@@ -683,7 +906,17 @@ impl GaussianProcess {
     /// refreshes `alpha` for the winner and re-derives the f32 scoring
     /// shadow from the selected factor.
     fn select_best(&mut self) -> Result<()> {
-        let res = self.select_best_inner();
+        let res = self.select_pass(false);
+        self.refresh_shadow(res.is_ok());
+        res
+    }
+
+    /// Full-grid selection at a tournament point (refresh or rebuild):
+    /// every live candidate is evaluated and, under
+    /// [`GridMaintenance::Elastic`], the hot set is re-derived from the
+    /// result.
+    fn select_full(&mut self) -> Result<()> {
+        let res = self.select_pass(true);
         self.refresh_shadow(res.is_ok());
         res
     }
@@ -716,7 +949,7 @@ impl GaussianProcess {
         self.shadow = Some(shadow);
     }
 
-    fn select_best_inner(&mut self) -> Result<()> {
+    fn select_pass(&mut self, apply_hot: bool) -> Result<()> {
         if !self.config.optimize_hyperparameters {
             let point = &self.grid[0];
             let chol = point.chol.as_ref().ok_or(MathError::NotPositiveDefinite)?;
@@ -728,7 +961,9 @@ impl GaussianProcess {
         }
         // Evaluate every live candidate (in parallel when worthwhile), then
         // pick the winner serially in grid order so ties resolve the same
-        // way regardless of the thread count.
+        // way regardless of the thread count. Under the elastic grid, "the
+        // live candidates" is the hot set between tournaments and the full
+        // grid at them.
         let eval_point = |point: &GridPoint| -> Option<(f64, Vec<f64>)> {
             let chol = point.chol.as_ref()?;
             let z = chol.solve_lower(&self.train_y).ok()?;
@@ -739,16 +974,20 @@ impl GaussianProcess {
             atlas_math::parallel::par_chunks_map(&self.grid, 1, pin, |_, points| {
                 points.iter().map(eval_point).collect()
             });
+        let mut lmls: Vec<Option<f64>> = Vec::with_capacity(evals.len());
         let mut best: Option<(usize, f64, Vec<f64>)> = None;
         for (i, eval) in evals.into_iter().enumerate() {
             let Some((lml, z)) = eval else {
+                lmls.push(None);
                 continue;
             };
+            lmls.push(Some(lml));
+            self.grid[i].stale_lml = Some(lml);
             if best.as_ref().is_none_or(|(_, b, _)| lml > *b) {
                 best = Some((i, lml, z));
             }
         }
-        match best {
+        let res = match best {
             Some((i, _, z)) => {
                 self.best_idx = i;
                 self.kernel = self.grid[i].kernel;
@@ -760,6 +999,52 @@ impl GaussianProcess {
                 Ok(())
             }
             None => Err(MathError::NotPositiveDefinite),
+        };
+        if apply_hot && res.is_ok() {
+            self.apply_hot_set(&lmls);
+        }
+        res
+    }
+
+    /// Re-derives the hot set from a full-grid evaluation: the top-`hot_set`
+    /// candidates by log marginal likelihood (unevaluated candidates rank
+    /// last; ties break towards the lower grid index, matching the winner
+    /// pick) keep their factors, everyone else drops theirs. The selection
+    /// winner has the maximal LML, so it is always hot. Under
+    /// [`GridMaintenance::Full`] every candidate is (re-)marked hot and
+    /// nothing is dropped or counted.
+    fn apply_hot_set(&mut self, lmls: &[Option<f64>]) {
+        let GridMaintenance::Elastic { hot_set, .. } = self.config.grid_maintenance else {
+            for point in &mut self.grid {
+                point.hot = true;
+            }
+            return;
+        };
+        let hot_set = hot_set.clamp(1, self.grid.len());
+        let mut order: Vec<usize> = (0..self.grid.len()).collect();
+        order.sort_by(|&a, &b| match (lmls[a], lmls[b]) {
+            (Some(x), Some(y)) => y
+                .partial_cmp(&x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b)),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => a.cmp(&b),
+        });
+        let mut want = vec![false; self.grid.len()];
+        for &i in &order[..hot_set] {
+            want[i] = true;
+        }
+        for (point, &hot) in self.grid.iter_mut().zip(&want) {
+            if hot && !point.hot {
+                self.counters.promotions += 1;
+            } else if !hot && point.hot {
+                self.counters.demotions += 1;
+            }
+            point.hot = hot;
+            if !hot {
+                point.chol = None;
+            }
         }
     }
 
@@ -1105,7 +1390,7 @@ mod tests {
             }
         }
         // Memory plateaus: every live factor holds exactly cap rows.
-        assert!(windowed.factor_bytes() <= 35 * cap * (cap + 1) / 2 * 8);
+        assert!(windowed.factor_bytes() <= windowed.grid_len() * cap * (cap + 1) / 2 * 8);
     }
 
     #[test]
@@ -1480,6 +1765,196 @@ mod tests {
         assert_eq!(top_k_by_mean(&a, 2), vec![0, 3]);
         assert_eq!(top_k_by_mean(&a, 10), vec![0, 1, 2, 3]);
         assert!(top_k_by_mean(&a, 0).is_empty());
+    }
+
+    #[test]
+    fn elastic_grid_caps_live_factors_and_refreshes_on_cadence() {
+        let (xs, ys) = train_sine(40);
+        let mut gp = GaussianProcess::new(GpConfig {
+            grid_maintenance: GridMaintenance::Elastic {
+                hot_set: 4,
+                refresh_every: 8,
+            },
+            refit_every: 10_000,
+            ..GpConfig::default()
+        });
+        let mut full = GaussianProcess::new(GpConfig {
+            refit_every: 10_000,
+            ..GpConfig::default()
+        });
+        let mut refresh_points = 0;
+        for k in 0..xs.len() {
+            let before = gp.grid_stats().refreshes;
+            gp.observe(xs[k].clone(), ys[k]).unwrap();
+            full.observe(xs[k].clone(), ys[k]).unwrap();
+            let stats = gp.grid_stats();
+            // Only the hot set keeps factors resident.
+            assert_eq!(stats.hot, 4, "step {k}");
+            assert_eq!(stats.grid_len, 35);
+            let n = gp.len();
+            assert!(gp.factor_bytes() <= 4 * n * (n + 1) / 2 * 8, "step {k}");
+            if stats.refreshes > before {
+                refresh_points += 1;
+                // At a refresh point the tournament re-selected over the
+                // full grid: unbounded appends are bit-exact, so the
+                // selection must equal full-grid maintenance's exactly.
+                assert_eq!(gp.kernel(), full.kernel(), "refresh at step {k}");
+                // Cold candidates carry their (now current) stale LMLs.
+                assert!(gp.grid_lmls().iter().all(Option::is_some));
+            }
+        }
+        assert!(refresh_points >= 3, "cadence 8 over 40 observes");
+        assert_eq!(gp.grid_stats().refreshes, refresh_points);
+    }
+
+    #[test]
+    fn elastic_with_full_hot_set_is_bit_identical_to_full_maintenance() {
+        let (xs, ys) = train_sine(25);
+        let mut elastic = GaussianProcess::new(GpConfig {
+            grid_maintenance: GridMaintenance::Elastic {
+                hot_set: 35,
+                refresh_every: 6,
+            },
+            ..GpConfig::default()
+        });
+        let mut full = GaussianProcess::default_matern();
+        for (x, y) in xs.iter().zip(&ys) {
+            elastic.observe(x.clone(), *y).unwrap();
+            full.observe(x.clone(), *y).unwrap();
+            assert_eq!(elastic.kernel(), full.kernel());
+            assert_eq!(elastic.predict(&[2.3]), full.predict(&[2.3]));
+        }
+        assert_eq!(elastic.factor_bytes(), full.factor_bytes());
+        let stats = elastic.grid_stats();
+        assert_eq!((stats.promotions, stats.demotions), (0, 0));
+    }
+
+    #[test]
+    fn elastic_tournament_promotes_and_demotes_as_the_winner_moves() {
+        // A stream whose smoothness changes drives the selected length
+        // scale across the grid, forcing hot-set membership to change at
+        // tournaments.
+        let xs: Vec<Vec<f64>> = (0..48).map(|i| vec![i as f64 * 0.25]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                if i < 24 {
+                    x[0].sin() // smooth
+                } else {
+                    (x[0] * 9.0).sin() * 3.0 // fast-varying
+                }
+            })
+            .collect();
+        let mut gp = GaussianProcess::new(GpConfig {
+            grid_maintenance: GridMaintenance::Elastic {
+                hot_set: 3,
+                refresh_every: 6,
+            },
+            refit_every: 10_000,
+            ..GpConfig::default()
+        });
+        for (x, y) in xs.iter().zip(&ys) {
+            gp.observe(x.clone(), *y).unwrap();
+        }
+        let stats = gp.grid_stats();
+        assert!(stats.refreshes >= 5);
+        assert!(
+            stats.promotions > 0 && stats.demotions > 0,
+            "regime change must move candidates across the hot boundary: {stats:?}"
+        );
+        // The grid starts fully hot, so the bootstrap tournament demotes
+        // grid_len − hot_set candidates unpaired; every later change swaps.
+        assert_eq!(
+            stats.demotions,
+            stats.promotions + 32,
+            "hot set is fixed-size after the bootstrap shrink"
+        );
+        assert_eq!(stats.hot, 3);
+    }
+
+    #[test]
+    fn set_grid_maintenance_switches_in_place() {
+        let (xs, ys) = train_sine(20);
+        let mut gp = GaussianProcess::default_matern();
+        gp.fit(&xs, &ys).unwrap();
+        let full_bytes = gp.factor_bytes();
+        gp.set_grid_maintenance(GridMaintenance::Elastic {
+            hot_set: 5,
+            refresh_every: 16,
+        })
+        .unwrap();
+        assert_eq!(gp.grid_stats().hot, 5);
+        assert!(gp.factor_bytes() * 6 < full_bytes, "30 cold factors freed");
+        // Switching is a rebuild: the state matches a fresh elastic fit.
+        let mut fresh = GaussianProcess::new(GpConfig {
+            grid_maintenance: GridMaintenance::Elastic {
+                hot_set: 5,
+                refresh_every: 16,
+            },
+            ..GpConfig::default()
+        });
+        fresh.fit(&xs, &ys).unwrap();
+        assert_eq!(gp.kernel(), fresh.kernel());
+        assert_eq!(gp.predict(&[1.2]), fresh.predict(&[1.2]));
+        // And back: every factor revives.
+        gp.set_grid_maintenance(GridMaintenance::Full).unwrap();
+        assert_eq!(gp.factor_bytes(), full_bytes);
+        assert_eq!(gp.grid_stats().hot, 35);
+        assert_eq!(gp.grid_len(), 35);
+    }
+
+    #[test]
+    fn elastic_hot_set_is_clamped_to_the_grid() {
+        let (xs, ys) = train_sine(10);
+        for hot_set in [0usize, 100] {
+            let mut gp = GaussianProcess::new(GpConfig {
+                grid_maintenance: GridMaintenance::Elastic {
+                    hot_set,
+                    refresh_every: 4,
+                },
+                ..GpConfig::default()
+            });
+            gp.fit(&xs, &ys).unwrap();
+            let stats = gp.grid_stats();
+            let expect = hot_set.clamp(1, 35);
+            assert_eq!(stats.hot, expect, "hot_set {hot_set}");
+            // The winner is always hot, so the GP stays usable.
+            gp.observe(vec![7.0], 51.0).unwrap();
+            assert!(gp.predict(&[1.0]).1 > 0.0);
+        }
+    }
+
+    #[test]
+    fn elastic_observe_batch_falls_back_across_refresh_boundaries() {
+        let (xs, ys) = train_sine(30);
+        let config = GpConfig {
+            grid_maintenance: GridMaintenance::Elastic {
+                hot_set: 6,
+                refresh_every: 7,
+            },
+            refit_every: 10_000,
+            ..GpConfig::default()
+        };
+        let mut batched = GaussianProcess::new(config);
+        let mut seq = GaussianProcess::new(config);
+        for group in xs.chunks(5).zip(ys.chunks(5)) {
+            let batch: Vec<(Vec<f64>, f64)> = group
+                .0
+                .iter()
+                .cloned()
+                .zip(group.1.iter().copied())
+                .collect();
+            batched.observe_batch(batch).unwrap();
+        }
+        for (x, y) in xs.iter().zip(&ys) {
+            seq.observe(x.clone(), *y).unwrap();
+        }
+        assert_eq!(batched.kernel(), seq.kernel());
+        assert_eq!(batched.grid_stats(), seq.grid_stats());
+        for p in xs.iter().take(6) {
+            assert_eq!(batched.predict(p), seq.predict(p));
+        }
     }
 
     #[test]

@@ -56,7 +56,48 @@
 //! }
 //! // The window — observations, distances, factors — has plateaued.
 //! assert_eq!(gp.len(), 64);
-//! assert!(gp.factor_bytes() <= 35 * (64 * 65 / 2) * 8);
+//! assert!(gp.factor_bytes() <= gp.grid_len() * (64 * 65 / 2) * 8);
+//! let (mean, _) = gp.predict(&[0.5]);
+//! assert!((mean - (0.5f64 * 6.0).sin()).abs() < 0.2);
+//! ```
+//!
+//! ## Elastic hyper-parameter grid
+//!
+//! Even incrementally, every observation multiplies its O(n²) bordering
+//! work — and its O(n²/2) resident factor — by the hyper-parameter grid
+//! width (35 candidates by default), although the marginal-likelihood
+//! winner almost always sits in a small stable neighbourhood of the grid.
+//! [`GridMaintenance::Elastic`] keeps live factors only for the top-
+//! `hot_set` candidates; every `refresh_every` factor mutations a
+//! *tournament refresh* rebuilds the cold candidates from the retained
+//! window and re-selects over the full grid, so at refresh points the
+//! selection matches full-grid selection on the same window (promotions,
+//! demotions and refreshes are observable via
+//! [`GaussianProcess::grid_stats`]).
+//!
+//! ```
+//! use atlas_gp::{GaussianProcess, GpConfig, GridMaintenance};
+//!
+//! let mut gp = GaussianProcess::new(GpConfig {
+//!     grid_maintenance: GridMaintenance::Elastic {
+//!         hot_set: 8,
+//!         refresh_every: 32,
+//!     },
+//!     ..GpConfig::default()
+//! });
+//! let mut full = GaussianProcess::default_matern();
+//! for i in 0..96 {
+//!     let x = (i % 24) as f64 / 24.0;
+//!     gp.observe(vec![x], (x * 6.0).sin()).unwrap();
+//!     full.observe(vec![x], (x * 6.0).sin()).unwrap();
+//! }
+//! // Only the hot set keeps factors resident (~8/35 of the full grid)…
+//! let stats = gp.grid_stats();
+//! assert_eq!(stats.hot, 8);
+//! assert!(stats.refreshes >= 1);
+//! assert!(gp.factor_bytes() * 4 < full.factor_bytes());
+//! // …and the last tournament re-selected over all 35 candidates.
+//! assert_eq!(stats.grid_len, gp.grid_len());
 //! let (mean, _) = gp.predict(&[0.5]);
 //! assert!((mean - (0.5f64 * 6.0).sin()).abs() < 0.2);
 //! ```
@@ -68,7 +109,7 @@ pub mod gpr;
 pub mod kernel;
 
 pub use gpr::{
-    GaussianProcess, GpConfig, ScoringPrecision, WindowPolicy, GRID_PAR_MIN_CANDIDATES,
-    GRID_PAR_MIN_N, PREDICT_PAR_MIN_CHUNK,
+    GaussianProcess, GpConfig, GridMaintenance, GridStats, ScoringPrecision, WindowPolicy,
+    GRID_PAR_MIN_CANDIDATES, GRID_PAR_MIN_N, PREDICT_PAR_MIN_CHUNK,
 };
 pub use kernel::Kernel;

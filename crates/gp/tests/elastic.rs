@@ -1,0 +1,146 @@
+//! Property tests of the elastic hyper-parameter grid: a hot set as wide
+//! as the grid must be indistinguishable from full maintenance bit for
+//! bit, the `Full` default must reproduce the historical observe path, and
+//! at every tournament refresh the elastic selection must equal full-grid
+//! selection on the same retained window.
+
+use atlas_gp::{GaussianProcess, GpConfig, GridMaintenance, WindowPolicy};
+use atlas_math::rng::seeded_rng;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A deterministic pseudo-random stream of 2-D observations.
+fn stream(seed: u64, len: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = seeded_rng(seed);
+    let xs: Vec<Vec<f64>> = (0..len)
+        .map(|_| vec![rng.random::<f64>() * 4.0, rng.random::<f64>() * 4.0])
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| (x[0] - 1.7).sin() * 3.0 + (x[1] * 0.8).cos() + 10.0)
+        .collect();
+    (xs, ys)
+}
+
+/// The window policies the elastic grid must compose with.
+fn window_for(choice: u8) -> WindowPolicy {
+    match choice % 3 {
+        0 => WindowPolicy::Unbounded,
+        1 => WindowPolicy::SlidingWindow { capacity: 7 },
+        _ => WindowPolicy::Decayed {
+            capacity: 7,
+            half_life: 3.0,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn elastic_with_grid_wide_hot_set_is_bit_identical_to_full(
+        seed in 0u64..1000,
+        len in 2usize..24,
+        refresh_every in 1usize..10,
+        window_choice in 0u8..3,
+    ) {
+        // hot_set = grid_len: nothing ever goes cold, the tournament
+        // refresh degenerates to a plain re-selection over the same
+        // factors, and every report, selection and posterior must equal
+        // full maintenance's bit for bit — for any refresh cadence and
+        // window policy.
+        let window = window_for(window_choice);
+        let mut elastic = GaussianProcess::new(GpConfig {
+            grid_maintenance: GridMaintenance::Elastic { hot_set: 35, refresh_every },
+            window,
+            ..GpConfig::default()
+        });
+        let mut full = GaussianProcess::new(GpConfig {
+            window,
+            ..GpConfig::default()
+        });
+        let (xs, ys) = stream(seed, len);
+        for (x, y) in xs.iter().zip(&ys) {
+            elastic.observe(x.clone(), *y).unwrap();
+            full.observe(x.clone(), *y).unwrap();
+            prop_assert_eq!(elastic.kernel(), full.kernel());
+            prop_assert_eq!(elastic.raw_targets(), full.raw_targets());
+            prop_assert_eq!(elastic.factor_bytes(), full.factor_bytes());
+            for p in &xs {
+                prop_assert_eq!(elastic.predict(p), full.predict(p));
+            }
+        }
+        let stats = elastic.grid_stats();
+        prop_assert_eq!((stats.promotions, stats.demotions), (0, 0));
+        prop_assert_eq!(stats.hot, stats.grid_len);
+    }
+
+    #[test]
+    fn full_maintenance_default_matches_the_historical_path(
+        seed in 0u64..1000,
+        len in 2usize..20,
+    ) {
+        // An explicit `GridMaintenance::Full` must not perturb a single
+        // bit of the default-constructed observe path (which the PR 7
+        // regression suite pins against full refits).
+        let (xs, ys) = stream(seed, len);
+        let mut explicit = GaussianProcess::new(GpConfig {
+            grid_maintenance: GridMaintenance::Full,
+            ..GpConfig::default()
+        });
+        let mut default = GaussianProcess::default_matern();
+        for (x, y) in xs.iter().zip(&ys) {
+            explicit.observe(x.clone(), *y).unwrap();
+            default.observe(x.clone(), *y).unwrap();
+        }
+        prop_assert_eq!(explicit.kernel(), default.kernel());
+        prop_assert_eq!(explicit.factor_bytes(), default.factor_bytes());
+        for p in &xs {
+            prop_assert_eq!(explicit.predict(p), default.predict(p));
+        }
+        let stats = default.grid_stats();
+        prop_assert_eq!((stats.promotions, stats.demotions, stats.refreshes), (0, 0, 0));
+        prop_assert_eq!(stats.hot, 35);
+    }
+
+    #[test]
+    fn refresh_point_selection_equals_full_grid_selection_on_the_window(
+        seed in 0u64..1000,
+        hot_set in 1usize..12,
+        refresh_every in 2usize..9,
+        window_choice in 0u8..3,
+    ) {
+        // At every tournament refresh the cold factors are rebuilt from
+        // the retained window, so the selection must agree with a
+        // full-maintenance GP fed the same stream (hot factors are
+        // bit-identical to full's, revived cold ones agree to downdate
+        // rounding — exactly under an unbounded window).
+        let window = window_for(window_choice);
+        let mut elastic = GaussianProcess::new(GpConfig {
+            grid_maintenance: GridMaintenance::Elastic { hot_set, refresh_every },
+            window,
+            refit_every: 10_000,
+            ..GpConfig::default()
+        });
+        let mut full = GaussianProcess::new(GpConfig {
+            window,
+            refit_every: 10_000,
+            ..GpConfig::default()
+        });
+        let (xs, ys) = stream(seed, 3 * refresh_every + 4);
+        let mut refreshes_seen = 0;
+        for (k, (x, y)) in xs.iter().zip(&ys).enumerate() {
+            let before = elastic.grid_stats().refreshes;
+            elastic.observe(x.clone(), *y).unwrap();
+            full.observe(x.clone(), *y).unwrap();
+            if elastic.grid_stats().refreshes > before {
+                refreshes_seen += 1;
+                prop_assert_eq!(
+                    elastic.kernel(), full.kernel(),
+                    "refresh at step {} must match full-grid selection", k
+                );
+            }
+        }
+        prop_assert!(refreshes_seen >= 2, "stream spans multiple refresh cadences");
+    }
+}

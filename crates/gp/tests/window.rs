@@ -86,7 +86,7 @@ proptest! {
         prop_assert_eq!(long.raw_targets(), short.raw_targets());
         // The plateau: factor bytes bounded by the capacity, not the
         // stream length.
-        prop_assert!(long.factor_bytes() <= 35 * cap * (cap + 1) / 2 * 8);
+        prop_assert!(long.factor_bytes() <= long.grid_len() * cap * (cap + 1) / 2 * 8);
         prop_assert_eq!(long.factor_bytes(), short.factor_bytes());
     }
 

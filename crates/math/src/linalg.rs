@@ -1101,6 +1101,31 @@ impl PackedCholesky {
         Ok(Self { n, data })
     }
 
+    /// Factorises a symmetric positive-definite matrix supplied directly as
+    /// its packed lower triangle — row `i`'s entries `0..=i` at offset
+    /// `i(i+1)/2`, the same layout the factor itself uses — in place,
+    /// through the same blocked kernel as
+    /// [`PackedCholesky::cholesky_blocked`]. The factor is therefore
+    /// bit-for-bit identical to the dense route while the caller never
+    /// stages the n² dense matrix (this is the elastic-grid cold-candidate
+    /// rebuild path in the GP). The length must be triangular
+    /// (`n(n+1)/2` for some `n`); anything else is a shape error.
+    pub fn cholesky_from_packed(mut data: Vec<f64>, block: usize) -> Result<Self> {
+        let len = data.len();
+        // n(n+1)/2 = len → n = (√(8·len+1) − 1)/2; rounded then verified
+        // exactly so float error at large sizes cannot mis-shape the factor.
+        let n = (((8.0 * len as f64 + 1.0).sqrt() - 1.0) / 2.0).round() as usize;
+        if n * (n + 1) / 2 != len {
+            return Err(MathError::ShapeMismatch {
+                op: "PackedCholesky::cholesky_from_packed",
+                lhs: (len, 1),
+                rhs: (n * (n + 1) / 2, 1),
+            });
+        }
+        blocked_cholesky_in_place(&mut data, n, block, |i| i * (i + 1) / 2)?;
+        Ok(Self { n, data })
+    }
+
     /// Order (number of rows/columns) of the factor.
     pub fn order(&self) -> usize {
         self.n

@@ -209,6 +209,37 @@ proptest! {
     }
 
     #[test]
+    fn cholesky_from_packed_is_bit_identical_to_the_dense_route(
+        values in prop::collection::vec(-2.0..2.0f64, 196),
+        n in 1usize..14,
+        block in 1usize..20,
+    ) {
+        // Feeding the packed lower triangle directly (the elastic-grid
+        // cold-rebuild path) must reproduce the dense-staged factorisation
+        // bit for bit for every size and panel width.
+        let b = Matrix::from_vec(14, 14, values).unwrap();
+        let mut big = b.matmul(&b.transpose()).unwrap();
+        big.add_diagonal(1.0);
+        let a = Matrix::from_fn(n, n, |i, j| big[(i, j)]);
+        let mut tri = Vec::with_capacity(n * (n + 1) / 2);
+        for i in 0..n {
+            for j in 0..=i {
+                tri.push(a[(i, j)]);
+            }
+        }
+        let from_packed =
+            atlas_math::linalg::PackedCholesky::cholesky_from_packed(tri, block).unwrap();
+        let dense = atlas_math::linalg::PackedCholesky::cholesky_blocked(&a, block).unwrap();
+        prop_assert_eq!(&from_packed, &dense);
+        // Non-triangular lengths are rejected, not mis-shaped (consecutive
+        // triangular numbers differ by at least 2, so len + 1 never is one).
+        let bad = vec![1.0; n * (n + 1) / 2 + 1];
+        prop_assert!(
+            atlas_math::linalg::PackedCholesky::cholesky_from_packed(bad, block).is_err()
+        );
+    }
+
+    #[test]
     fn blocked_forward_solve_is_bit_identical_for_random_tiles_and_blocks(
         values in prop::collection::vec(-2.0..2.0f64, 100),
         rhs in prop::collection::vec(-5.0..5.0f64, 90),

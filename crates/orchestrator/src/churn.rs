@@ -14,7 +14,9 @@ use crate::admission::AdmissionPolicy;
 use crate::fleet::{Orchestrator, SliceSpec};
 use crate::report::{FleetReport, RoundReport};
 use atlas::env::{Environment, Sla};
-use atlas::{OnlineLearner, Scenario, Simulator, SliceConfig, Stage3Config, WindowPolicy};
+use atlas::{
+    GridMaintenance, OnlineLearner, Scenario, Simulator, SliceConfig, Stage3Config, WindowPolicy,
+};
 use atlas_math::rng::seeded_rng;
 use rand::Rng;
 
@@ -52,6 +54,12 @@ pub struct ChurnConfig {
     /// slice windowed — admit the long-horizon [`SliceSpec`]s alongside
     /// the driven workload via [`SliceSpec::with_gp_window`].
     pub gp_window: WindowPolicy,
+    /// GP-residual grid maintenance applied to every generated slice
+    /// ([`GridMaintenance::Full`] reproduces the historical workloads bit
+    /// for bit; [`GridMaintenance::Elastic`] caps each slice's resident
+    /// factor memory for large fleets). Mixed fleets admit differently
+    /// configured [`SliceSpec`]s via [`SliceSpec::with_gp_grid`].
+    pub gp_grid: GridMaintenance,
 }
 
 impl ChurnConfig {
@@ -70,6 +78,7 @@ impl ChurnConfig {
             candidates: 40,
             duration_s: 2.0,
             gp_window: WindowPolicy::Unbounded,
+            gp_grid: GridMaintenance::Full,
         }
     }
 
@@ -89,6 +98,7 @@ impl ChurnConfig {
             candidates: 200,
             duration_s: 5.0,
             gp_window: WindowPolicy::Unbounded,
+            gp_grid: GridMaintenance::Full,
         }
     }
 }
@@ -216,6 +226,7 @@ fn churn_spec(config: &ChurnConfig, k: u64) -> SliceSpec {
         candidates: config.candidates,
         duration_s: config.duration_s,
         gp_window: config.gp_window,
+        gp_grid: config.gp_grid,
         ..Stage3Config::default()
     };
     let learner = OnlineLearner::without_offline(

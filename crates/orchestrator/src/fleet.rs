@@ -19,10 +19,12 @@ use crate::scheduler::{QueryScheduler, EVAL_PAR_MIN_CHUNK};
 use crate::shard::ShardPlan;
 use atlas::env::{Environment, QoeSample};
 use atlas::{
-    OnlineLearner, Scenario, ScoringPrecision, SliceConfig, SliceQuery, SliceSession, WindowPolicy,
+    GridMaintenance, OnlineLearner, Scenario, ScoringPrecision, SliceConfig, SliceQuery,
+    SliceSession, WindowPolicy,
 };
 use atlas_math::parallel::par_map_tasks;
 use atlas_netsim::ContentionPolicy;
+use std::time::Instant;
 
 /// One slice to orchestrate: a configured learner plus the slice's
 /// workload scenario, seed and nominal resource demand.
@@ -98,6 +100,46 @@ impl SliceSpec {
     pub fn with_gp_scoring(mut self, scoring: ScoringPrecision) -> Self {
         self.learner = self.learner.with_gp_scoring(scoring);
         self
+    }
+
+    /// Selects this slice's GP hyper-parameter grid maintenance — the
+    /// per-slice factor-memory knob. [`GridMaintenance::Full`] (the
+    /// default) keeps every grid candidate's Cholesky factor live, bit for
+    /// bit the historical behaviour; [`GridMaintenance::Elastic`] keeps
+    /// only the top-`hot_set` factors live between periodic full-grid
+    /// tournament refreshes, cutting the per-observe grid multiplier and
+    /// the resident factor memory — the knob that makes thousand-slice
+    /// fleets fit.
+    pub fn with_gp_grid(mut self, grid: GridMaintenance) -> Self {
+        self.learner = self.learner.with_gp_grid(grid);
+        self
+    }
+}
+
+/// Cumulative wall-clock spent in each phase of the fleet's round loop,
+/// exposed by [`FleetRun::phase_breakdown`] and reported by the
+/// orchestrator bench. The suggest phase covers the model-side work (the
+/// offline-acceleration waves, candidate scoring and `suggest()`); the
+/// grant phase is the single sequential budget grant; the evaluate phase
+/// covers the testbed queries **and** the `observe` model fits — the
+/// sharded round interleaves them per query (shard *k* fits while shard
+/// *k+1* still evaluates), so they are one phase by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseBreakdown {
+    /// Milliseconds in acceleration waves + candidate scoring + suggest.
+    pub suggest_ms: f64,
+    /// Milliseconds in the sequential budget grant.
+    pub grant_ms: f64,
+    /// Milliseconds evaluating granted queries and observing the results.
+    pub evaluate_ms: f64,
+    /// Rounds folded into the accumulators.
+    pub rounds: usize,
+}
+
+impl PhaseBreakdown {
+    /// Total milliseconds across the three phases.
+    pub fn total_ms(&self) -> f64 {
+        self.suggest_ms + self.grant_ms + self.evaluate_ms
     }
 }
 
@@ -227,6 +269,7 @@ impl<E: Environment> Orchestrator<E> {
             granted_usage_sum: 0.0,
             total_queries: 0,
             events: RoundEvents::default(),
+            phases: PhaseBreakdown::default(),
         }
     }
 
@@ -252,6 +295,11 @@ impl<E: Environment> Orchestrator<E> {
         while fleet.step().is_some() {}
         fleet.finish()
     }
+}
+
+/// Elapsed milliseconds between two instants (phase-timing helper).
+fn ms_between(start: Instant, end: Instant) -> f64 {
+    end.duration_since(start).as_secs_f64() * 1e3
 }
 
 /// One admitted, still-running slice.
@@ -311,6 +359,7 @@ pub struct FleetRun<'a, E: Environment> {
     granted_usage_sum: f64,
     total_queries: usize,
     events: RoundEvents,
+    phases: PhaseBreakdown,
 }
 
 impl<'a, E: Environment> FleetRun<'a, E> {
@@ -459,6 +508,7 @@ impl<'a, E: Environment> FleetRun<'a, E> {
     /// scheduler's thread pool and feed the measurements back in slot
     /// order.
     fn unsharded_round(&mut self) -> Vec<(usize, SliceQuery, QoeSample)> {
+        let round_start = Instant::now();
         // ---- offline acceleration: batch the simulator queries of all
         // sessions, wave by wave, over the shared scheduler. Sessions with
         // fewer remaining updates simply drop out of later waves.
@@ -492,15 +542,23 @@ impl<'a, E: Environment> FleetRun<'a, E> {
             .filter_map(|(i, slice)| slice.session.suggest().map(|q| (i, q)))
             .collect();
         let queries: Vec<SliceQuery> = round.iter().map(|(_, q)| *q).collect();
-        let samples = self.scheduler.evaluate(self.env, &queries);
-        round
+        let suggested = Instant::now();
+        let jobs = QueryScheduler::grant(self.env, &queries);
+        let granted = Instant::now();
+        let samples = self.scheduler.evaluate_granted(self.env, &jobs);
+        let outcomes: Vec<_> = round
             .into_iter()
             .zip(samples)
             .map(|((slot, query), sample)| {
                 self.active[slot].session.observe(sample);
                 (slot, query, sample)
             })
-            .collect()
+            .collect();
+        self.phases.suggest_ms += ms_between(round_start, suggested);
+        self.phases.grant_ms += ms_between(suggested, granted);
+        self.phases.evaluate_ms += ms_between(granted, Instant::now());
+        self.phases.rounds += 1;
+        outcomes
     }
 
     /// The sharded round path: each shard drains its own sessions'
@@ -513,6 +571,7 @@ impl<'a, E: Environment> FleetRun<'a, E> {
     /// [`FleetRun::unsharded_round`]: see [`ShardPlan`] for the
     /// determinism contract.
     fn sharded_round(&mut self) -> Vec<(usize, SliceQuery, QoeSample)> {
+        let round_start = Instant::now();
         // Fan out only when every shard can hold a worthwhile chunk of
         // sessions; tiny fleets run the same code inline.
         let parallel = self.active.len() >= self.plan.shards() * EVAL_PAR_MIN_CHUNK;
@@ -531,6 +590,7 @@ impl<'a, E: Environment> FleetRun<'a, E> {
                 .collect::<Vec<_>>()
         });
         let round = ShardPlan::merge_round(suggested);
+        let suggest_done = Instant::now();
 
         // ---- the single shared grant, sequential on this thread: the
         // merged batch is in the exact order the unsharded path produces,
@@ -540,6 +600,7 @@ impl<'a, E: Environment> FleetRun<'a, E> {
             .map(|(_, q)| q.config.with_connectivity_floor())
             .collect();
         let granted = self.env.grant_round(&requested);
+        let grant_done = Instant::now();
 
         // ---- fan-out 2: route each granted query back to its owning
         // shard and let the shard evaluate + observe it, interleaved per
@@ -567,10 +628,15 @@ impl<'a, E: Environment> FleetRun<'a, E> {
             }
             out
         });
-        ShardPlan::merge_round(outcomes)
+        let merged: Vec<_> = ShardPlan::merge_round(outcomes)
             .into_iter()
             .map(|(slot, (query, sample))| (slot, query, sample))
-            .collect()
+            .collect();
+        self.phases.suggest_ms += ms_between(round_start, suggest_done);
+        self.phases.grant_ms += ms_between(suggest_done, grant_done);
+        self.phases.evaluate_ms += ms_between(grant_done, Instant::now());
+        self.phases.rounds += 1;
+        merged
     }
 
     /// Partitions the active slices into per-shard buckets of
@@ -611,6 +677,16 @@ impl<'a, E: Environment> FleetRun<'a, E> {
     /// Number of rounds executed so far.
     pub fn rounds(&self) -> usize {
         self.rounds
+    }
+
+    /// Cumulative per-phase wall-clock of the rounds executed so far —
+    /// suggest (model-side work) vs grant vs evaluate+observe. Pure
+    /// observability: the timings never feed back into scheduling, so
+    /// results stay bit-identical whether or not anyone reads them. The
+    /// orchestrator bench divides these by [`PhaseBreakdown::rounds`] for
+    /// its per-round phase breakdown.
+    pub fn phase_breakdown(&self) -> PhaseBreakdown {
+        self.phases
     }
 
     /// Number of currently active (admitted, unfinished) slices.
@@ -938,6 +1014,68 @@ mod tests {
         let report = fleet.finish();
         assert_eq!(report.slices.len(), 1);
         assert!(!report.slices[0].span.retired_early);
+    }
+
+    #[test]
+    fn elastic_gp_grid_threads_through_slice_specs() {
+        let slices = |grid: Option<GridMaintenance>| {
+            (0..3u64)
+                .map(|i| {
+                    let s = spec(50 + i, 3);
+                    match grid {
+                        Some(g) => s.with_gp_grid(g),
+                        None => s,
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let run =
+            |fleet| Orchestrator::new(SharedTestbed::new(RealNetwork::prototype())).run(fleet);
+        let reference = run(slices(None));
+        // Explicit Full and a grid-wide hot set are both bit-identical to
+        // the default fleet.
+        assert_eq!(run(slices(Some(GridMaintenance::Full))), reference);
+        assert_eq!(
+            run(slices(Some(GridMaintenance::Elastic {
+                hot_set: 35,
+                refresh_every: 4,
+            }))),
+            reference
+        );
+        // A genuinely elastic fleet drains the same horizon and stays
+        // deterministic across shard counts.
+        let elastic = GridMaintenance::Elastic {
+            hot_set: 6,
+            refresh_every: 4,
+        };
+        let capped = run(slices(Some(elastic)));
+        assert_eq!(capped.rounds, reference.rounds);
+        assert_eq!(capped.total_queries, reference.total_queries);
+        let sharded = Orchestrator::new(SharedTestbed::new(RealNetwork::prototype()))
+            .with_shards(2)
+            .run(slices(Some(elastic)));
+        assert_eq!(sharded, capped);
+    }
+
+    #[test]
+    fn phase_breakdown_accumulates_on_both_round_paths() {
+        for shards in [1, 3] {
+            let testbed = SharedTestbed::new(RealNetwork::prototype());
+            let orchestrator = Orchestrator::new(testbed).with_shards(shards);
+            let mut fleet = orchestrator.begin();
+            assert_eq!(fleet.phase_breakdown(), PhaseBreakdown::default());
+            for i in 0..3 {
+                fleet.admit(spec(60 + i, 2)).unwrap();
+            }
+            while fleet.step().is_some() {}
+            let phases = fleet.phase_breakdown();
+            assert_eq!(phases.rounds, fleet.rounds(), "shards = {shards}");
+            assert_eq!(phases.rounds, 2);
+            assert!(phases.suggest_ms > 0.0, "shards = {shards}");
+            assert!(phases.evaluate_ms > 0.0, "shards = {shards}");
+            assert!(phases.grant_ms >= 0.0, "shards = {shards}");
+            assert!(phases.total_ms() >= phases.suggest_ms + phases.evaluate_ms);
+        }
     }
 
     #[test]

@@ -182,7 +182,7 @@ pub use admission::{
     AcceptAll, AdmissionError, AdmissionPolicy, HeadroomThreshold, Occupancy, RetireError,
 };
 pub use churn::{ChurnConfig, ChurnWorkload};
-pub use fleet::{FleetRun, Orchestrator, SliceSpec};
+pub use fleet::{FleetRun, Orchestrator, PhaseBreakdown, SliceSpec};
 pub use report::{FleetReport, LifecycleSpan, RoundReport, SliceReport};
 pub use scheduler::{QueryScheduler, EVAL_PAR_MIN_CHUNK};
 pub use shard::ShardPlan;

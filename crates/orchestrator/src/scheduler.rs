@@ -69,14 +69,38 @@ impl QueryScheduler {
     /// tight budget can be overshot by the floors (by design — a slice
     /// below the floor has no connectivity at all).
     pub fn evaluate<E: Environment>(&self, env: &E, queries: &[SliceQuery]) -> Vec<QoeSample> {
+        let jobs = Self::grant(env, queries);
+        self.evaluate_granted(env, &jobs)
+    }
+
+    /// Grants a batch of queries jointly against the environment's budget,
+    /// pairing each query with its granted (connectivity-floored, possibly
+    /// scaled-down) configuration. Sequential and thread-count independent
+    /// — callers that need per-phase timings (grant vs evaluation) run this
+    /// separately and hand the jobs to
+    /// [`QueryScheduler::evaluate_granted`]; the composition is exactly
+    /// [`QueryScheduler::evaluate`].
+    pub fn grant<E: Environment>(
+        env: &E,
+        queries: &[SliceQuery],
+    ) -> Vec<(SliceConfig, SliceQuery)> {
         let requested: Vec<SliceConfig> = queries
             .iter()
             .map(|q| q.config.with_connectivity_floor())
             .collect();
         let granted = env.grant_round(&requested);
-        let jobs: Vec<(SliceConfig, SliceQuery)> =
-            granted.into_iter().zip(queries.iter().copied()).collect();
-        atlas_math::parallel::par_chunks_map(&jobs, EVAL_PAR_MIN_CHUNK, self.threads, |_, chunk| {
+        granted.into_iter().zip(queries.iter().copied()).collect()
+    }
+
+    /// Fans an already-granted batch (see [`QueryScheduler::grant`]) out
+    /// over the worker pool, returning samples in job order — identical
+    /// for every thread count.
+    pub fn evaluate_granted<E: Environment>(
+        &self,
+        env: &E,
+        jobs: &[(SliceConfig, SliceQuery)],
+    ) -> Vec<QoeSample> {
+        atlas_math::parallel::par_chunks_map(jobs, EVAL_PAR_MIN_CHUNK, self.threads, |_, chunk| {
             chunk
                 .iter()
                 .map(|(config, q)| env.query(config, &q.scenario, &q.sla))
