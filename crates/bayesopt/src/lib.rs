@@ -57,7 +57,8 @@ pub use optimizer::{BayesOpt, Observation};
 pub use space::SearchSpace;
 pub use surrogate::{BnnSurrogate, GpSurrogate, Surrogate};
 
-// Long-horizon loops bound the surrogate's training window and elastic
-// grids bound its factor maintenance; re-exported so optimiser users
-// configure both without a direct atlas-gp dependency.
-pub use atlas_gp::{GridMaintenance, WindowPolicy};
+// Long-horizon loops bound the surrogate's training window, elastic
+// grids bound its factor maintenance and the inducing basis compresses
+// beyond-window history; re-exported so optimiser users configure all
+// three without a direct atlas-gp dependency.
+pub use atlas_gp::{GridMaintenance, InducingSelection, SurrogateBasis, WindowPolicy};

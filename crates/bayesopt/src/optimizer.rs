@@ -121,6 +121,24 @@ impl<S: Surrogate> BayesOpt<S> {
         self
     }
 
+    /// Switches the surrogate's posterior basis ([`Surrogate::set_basis`]).
+    /// Under [`atlas_gp::SurrogateBasis::Inducing`] the GP surrogate
+    /// compresses the retained history through `m` pseudo-inputs once the
+    /// window outgrows the budget, so observes cost O(m²) and batch scoring
+    /// one m×q sweep — independent of the retained count; `Exact` (the
+    /// default) keeps the full-rank posterior, bit for bit the historical
+    /// behaviour. Surrogates without a kernel-matrix posterior ignore the
+    /// basis; if one does so after observations were already recorded, a
+    /// full refit is scheduled so the surrogate can never be silently
+    /// stale.
+    pub fn with_basis(mut self, basis: crate::SurrogateBasis) -> Self {
+        let handled = self.surrogate.set_basis(basis);
+        if !handled && !self.observations.is_empty() {
+            self.surrogate_stale = true;
+        }
+        self
+    }
+
     /// Pins the number of scoped threads used for candidate scoring
     /// (default: the machine's available parallelism, capped at 8). Results
     /// are identical for every thread count — chunks are merged in
@@ -543,6 +561,42 @@ mod tests {
         // Switching back mid-run revives every factor via a rebuild.
         bo = bo.with_grid_maintenance(GridMaintenance::Full);
         assert_eq!(bo.surrogate().gp().grid_stats().hot, 35);
+    }
+
+    #[test]
+    fn inducing_basis_threads_into_the_gp_surrogate() {
+        use atlas_gp::{InducingSelection, SurrogateBasis};
+        let mut rng = seeded_rng(17);
+        let mut bo = BayesOpt::new(SearchSpace::unit(2), GpSurrogate::new())
+            .with_candidates(200)
+            .with_initial_random(6)
+            .with_basis(SurrogateBasis::Inducing {
+                m: 12,
+                selection: InducingSelection::GreedyVariance,
+                refresh_every: 16,
+            });
+        for _ in 0..40 {
+            let x = bo.suggest(Acquisition::ExpectedImprovement, &mut rng);
+            let y = objective(&x);
+            bo.observe_and_update(x, y, &mut rng);
+        }
+        // The history outgrew the budget: 12 pseudo-inputs summarise all
+        // 40 retained observations and factor memory plateaued at two
+        // m×m packed triangles per live candidate.
+        let gp = bo.surrogate().gp();
+        assert!(gp.basis_active());
+        assert_eq!(gp.inducing_len(), 12);
+        assert_eq!(gp.len(), 40);
+        assert!(gp.factor_bytes() <= gp.grid_len() * 2 * (12 * 13 / 2) * 8);
+        assert!(
+            bo.best().unwrap().y < 0.1,
+            "sparse BO still converges: best {}",
+            bo.best().unwrap().y
+        );
+        // Switching back mid-run restores the exact full-rank posterior.
+        bo = bo.with_basis(SurrogateBasis::Exact);
+        assert!(!bo.surrogate().gp().basis_active());
+        assert!(bo.surrogate().gp().factor_bytes() > bo.len() * bo.len() * 4);
     }
 
     #[test]

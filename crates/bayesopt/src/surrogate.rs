@@ -8,7 +8,7 @@
 //! number of observations) and a Bayesian neural network (scalable to the
 //! thousands of offline queries of stages 1–2).
 
-use atlas_gp::{GaussianProcess, GpConfig, GridMaintenance, WindowPolicy};
+use atlas_gp::{GaussianProcess, GpConfig, GridMaintenance, SurrogateBasis, WindowPolicy};
 use atlas_math::dist::standard_normal_sample;
 use atlas_math::rng::Rng64;
 use atlas_nn::{Bnn, BnnConfig};
@@ -101,6 +101,19 @@ pub trait Surrogate: Send + Sync {
     /// simply refit by the optimiser when needed. The GP overrides this to
     /// rebuild its grid under the new policy in place.
     fn set_grid_maintenance(&mut self, _grid_maintenance: GridMaintenance) -> bool {
+        false
+    }
+    /// Switches the surrogate's posterior basis between the exact
+    /// formulation and an inducing-point (sparse) one, returning `true`
+    /// when the surrogate fully re-established its own state under the new
+    /// basis. Called by [`crate::BayesOpt::with_basis`].
+    ///
+    /// The default returns `false`: a surrogate without a kernel-matrix
+    /// posterior (the BNN) already scales past a few thousand points and
+    /// has no basis to compress; the optimiser simply refits it when
+    /// needed. The GP overrides this to rebuild (or release) its sparse
+    /// information state in place.
+    fn set_basis(&mut self, _basis: SurrogateBasis) -> bool {
         false
     }
     /// Evaluates **one** coherent draw from the posterior over functions at
@@ -210,6 +223,12 @@ impl Surrogate for GpSurrogate {
         // The switch rebuilds the grid from the retained window; a
         // degenerate rebuild reports false so the optimiser refits.
         self.gp.set_grid_maintenance(grid_maintenance).is_ok()
+    }
+
+    fn set_basis(&mut self, basis: SurrogateBasis) -> bool {
+        // The switch rebuilds the posterior state under the new basis; a
+        // degenerate rebuild reports false so the optimiser refits.
+        self.gp.set_basis(basis).is_ok()
     }
 
     fn thompson_batch(&self, candidates: &[Vec<f64>], rng: &mut Rng64) -> Vec<f64> {

@@ -254,6 +254,70 @@ fn gp_elastic_grid(c: &mut Criterion) {
     group.finish();
 }
 
+fn gp_inducing(c: &mut Criterion) {
+    use atlas_gp::{InducingSelection, SurrogateBasis, WindowPolicy};
+    // The inducing-point sparse basis' steady state: one observation folded
+    // into the m×m information factor, vs the windowed exact path's
+    // downdate + append at its capacity, vs the unbounded exact append at
+    // the same history size. A single hyper-parameter candidate keeps the
+    // per-iteration warm-state clone cheap, and `refresh_every` sits beyond
+    // the iteration count so the timed loop measures the pure fold; the
+    // amortised refresh cost is quantified by the `inducing` section of
+    // `BENCH_gp.json`.
+    let n = 1024usize;
+    let m = 128usize;
+    let cap = 256usize;
+    let (xs, ys) = dataset(n + 1, 6);
+    let arm = |window, basis| {
+        let mut gp = GaussianProcess::new(GpConfig {
+            optimize_hyperparameters: false,
+            refit_every: usize::MAX,
+            window,
+            basis,
+            ..GpConfig::default()
+        });
+        gp.fit(&xs[..n], &ys[..n]).unwrap();
+        gp
+    };
+    let sparse = arm(
+        WindowPolicy::Unbounded,
+        SurrogateBasis::Inducing {
+            m,
+            selection: InducingSelection::GreedyVariance,
+            refresh_every: usize::MAX,
+        },
+    );
+    assert!(sparse.basis_active());
+    let windowed = arm(
+        WindowPolicy::SlidingWindow { capacity: cap },
+        SurrogateBasis::Exact,
+    );
+    let unbounded = arm(WindowPolicy::Unbounded, SurrogateBasis::Exact);
+    let mut group = c.benchmark_group("gp_inducing");
+    group.bench_function(BenchmarkId::new(format!("sparse_fold_m{m}"), n), |b| {
+        b.iter(|| {
+            let mut gp = sparse.clone();
+            gp.observe(xs[n].clone(), ys[n]).unwrap();
+            black_box(gp.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new(format!("windowed_cap{cap}"), n), |b| {
+        b.iter(|| {
+            let mut gp = windowed.clone();
+            gp.observe(xs[n].clone(), ys[n]).unwrap();
+            black_box(gp.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("unbounded_append", n), |b| {
+        b.iter(|| {
+            let mut gp = unbounded.clone();
+            gp.observe(xs[n].clone(), ys[n]).unwrap();
+            black_box(gp.len())
+        })
+    });
+    group.finish();
+}
+
 fn mixed_precision_ranking(c: &mut Criterion) {
     // Opt-in f32 scoring shadow vs the exact f64 batched predictor on the
     // acquisition-ranking path. `recheck_every` is set beyond the
@@ -283,6 +347,7 @@ criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = add_observation_scaling, windowed_observe, predict_batch, blocked_cholesky,
-        blocked_forward_solve, batched_append_rows, mixed_precision_ranking, gp_elastic_grid
+        blocked_forward_solve, batched_append_rows, mixed_precision_ranking, gp_elastic_grid,
+        gp_inducing
 );
 criterion_main!(benches);

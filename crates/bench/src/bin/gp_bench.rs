@@ -14,7 +14,8 @@
 
 use atlas_bayesopt::SearchSpace;
 use atlas_gp::{
-    GaussianProcess, GpConfig, GridMaintenance, ScoringPrecision, WindowPolicy,
+    GaussianProcess, GpConfig, GridMaintenance, InducingSelection, ScoringPrecision,
+    SurrogateBasis, WindowPolicy, DEFAULT_INDUCING_M, DEFAULT_INDUCING_REFRESH,
     GRID_PAR_MIN_CANDIDATES, GRID_PAR_MIN_N, PREDICT_PAR_MIN_CHUNK,
 };
 use atlas_math::linalg::{
@@ -623,6 +624,237 @@ fn main() {
         })
         .collect();
 
+    // ---- inducing-point sparse surrogate --------------------------------
+    // The opt-in SoR basis: per-observe cost folds into an m×m information
+    // state regardless of how many points the window retains. Both arms run
+    // a single hyper-parameter candidate with the numerical backstop pushed
+    // out of reach (refit_every = 10 000, like the elastic sweep), so the
+    // sparse arm's only rebuilds are its own refresh cadence and the
+    // windowed arm pays no periodic refits — the comparison isolates the
+    // steady-state fold costs. Amortised figures time the final `tail`
+    // observes, with `tail` a multiple of the refresh cadence so every arm
+    // pays exactly `tail / refresh_every` basis rebuilds in the timed
+    // window regardless of phase.
+    let ind_m = DEFAULT_INDUCING_M;
+    let ind_refresh = DEFAULT_INDUCING_REFRESH;
+    let ind_tail = 512usize;
+    let head_n = 2000usize;
+    let ind_full_n = 5000usize;
+    let (ind_xs, ind_ys) = dataset(if quick { head_n } else { ind_full_n });
+    let ind_config = |basis: SurrogateBasis, window: WindowPolicy| GpConfig {
+        optimize_hyperparameters: false,
+        refit_every: 10_000,
+        window,
+        basis,
+        ..GpConfig::default()
+    };
+    let sparse_basis = |m: usize, refresh_every: usize| SurrogateBasis::Inducing {
+        m,
+        selection: InducingSelection::GreedyVariance,
+        refresh_every,
+    };
+    // Fit on the first 64 points, stream the rest, and time the final
+    // `tail` observes: (amortised per-observe ms, factor bytes, the GP).
+    let stream = |config: GpConfig, n: usize, tail: usize| {
+        let mut gp = GaussianProcess::new(config);
+        gp.fit(&ind_xs[..64], &ind_ys[..64]).unwrap();
+        for i in 64..n - tail {
+            gp.observe(ind_xs[i].clone(), ind_ys[i]).unwrap();
+        }
+        let start = Instant::now();
+        for i in n - tail..n {
+            gp.observe(ind_xs[i].clone(), ind_ys[i]).unwrap();
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3 / tail as f64;
+        let bytes = gp.factor_bytes();
+        (ms, bytes, gp)
+    };
+    // Head-to-head at n = 2000: the CI gate. A sparse basis at the default
+    // m = 256 folds into a 256² information state while a 512-capacity
+    // sliding window pays a 512² downdate + append per evicting observe, so
+    // even with the refresh rebuilds amortised in, inducing must never lose
+    // to the windowed exact path here.
+    let (head_sparse_ms, head_sparse_bytes, head_gp) = stream(
+        ind_config(sparse_basis(ind_m, ind_refresh), WindowPolicy::Unbounded),
+        head_n,
+        ind_tail,
+    );
+    assert!(
+        head_gp.basis_active() && head_gp.inducing_len() == ind_m,
+        "the sparse path must be active at n = {head_n} with m = {ind_m}"
+    );
+    let head_cap = 512usize;
+    let (head_win_ms, head_win_bytes, _) = stream(
+        ind_config(
+            SurrogateBasis::Exact,
+            WindowPolicy::SlidingWindow { capacity: head_cap },
+        ),
+        head_n,
+        ind_tail,
+    );
+    println!(
+        "inducing n = {head_n}, m = {ind_m}: sparse observe {head_sparse_ms:.3} ms \
+         ({head_sparse_bytes} factor bytes), windowed cap {head_cap} observe \
+         {head_win_ms:.3} ms ({head_win_bytes} factor bytes)"
+    );
+    // Full mode: the calibrated gates at n = 5000 against the unbounded
+    // exact GP the long-horizon section already measured (same
+    // single-candidate shape; its timed observe never hits a rebuild).
+    let ind_full = (!quick).then(|| {
+        let (s_ms, s_bytes, gp) = stream(
+            ind_config(sparse_basis(ind_m, ind_refresh), WindowPolicy::Unbounded),
+            ind_full_n,
+            ind_tail,
+        );
+        assert!(gp.basis_active() && gp.len() == ind_full_n);
+        let lh = lh_points
+            .iter()
+            .find(|p| p.0 == ind_full_n)
+            .expect("full mode sweeps n = 5000");
+        println!(
+            "inducing n = {ind_full_n}, m = {ind_m}: sparse observe {s_ms:.3} ms \
+             ({s_bytes} factor bytes), unbounded exact observe {:.3} ms ({} factor bytes) \
+             -> {:.1}x observe, {:.1}x memory",
+            lh.3,
+            lh.4,
+            lh.3 / s_ms,
+            lh.4 as f64 / s_bytes as f64
+        );
+        (s_ms, s_bytes, lh.3, lh.4)
+    });
+    // Budget and cadence sweeps at a fixed stream length, each arm scored
+    // by amortised per-observe cost and by posterior fidelity: RMSE of the
+    // predictive mean against the exact unbounded GP on a held-out probe
+    // set (the arms retain the same data, so the gap is purely the SoR
+    // approximation). "Measured best" is the cheapest arm whose RMSE stays
+    // within 2x of the sweep's most faithful arm.
+    let sweep_n = if quick { 1024 } else { head_n };
+    let mut probe_rng = seeded_rng(11);
+    let probe = SearchSpace::unit(DIM).sample_n(256, &mut probe_rng);
+    let mut exact_ref_gp =
+        GaussianProcess::new(ind_config(SurrogateBasis::Exact, WindowPolicy::Unbounded));
+    exact_ref_gp
+        .fit(&ind_xs[..sweep_n], &ind_ys[..sweep_n])
+        .unwrap();
+    let ref_preds = exact_ref_gp.predict_batch(&probe);
+    let rmse_vs_ref = |gp: &GaussianProcess| {
+        let preds = gp.predict_batch(&probe);
+        (preds
+            .iter()
+            .zip(&ref_preds)
+            .map(|(a, b)| (a.0 - b.0).powi(2))
+            .sum::<f64>()
+            / probe.len() as f64)
+            .sqrt()
+    };
+    let m_values: &[usize] = if quick {
+        &[64, 128, 256]
+    } else {
+        &[64, 128, 256, 512]
+    };
+    let m_sweep: Vec<(usize, f64, usize, f64)> = m_values
+        .iter()
+        .map(|&m| {
+            let tail = ind_refresh.max(256);
+            let (ms, bytes, gp) = stream(
+                ind_config(sparse_basis(m, ind_refresh), WindowPolicy::Unbounded),
+                sweep_n,
+                tail,
+            );
+            let rmse = rmse_vs_ref(&gp);
+            println!(
+                "inducing m sweep n = {sweep_n}, m = {m:>3}: observe {ms:>7.3} ms \
+                 ({bytes:>7} factor bytes, probe rmse {rmse:.2e})"
+            );
+            (m, ms, bytes, rmse)
+        })
+        .collect();
+    let m_best_rmse = m_sweep.iter().map(|p| p.3).fold(f64::INFINITY, f64::min);
+    let measured_best_m = m_sweep
+        .iter()
+        .find(|p| p.3 <= m_best_rmse * 2.0)
+        .expect("non-empty sweep")
+        .0;
+    let refresh_values: &[usize] = if quick {
+        &[128, 256]
+    } else {
+        &[128, 256, 512, 1024]
+    };
+    let refresh_sweep: Vec<(usize, f64, f64)> = refresh_values
+        .iter()
+        .map(|&refresh| {
+            let tail = refresh.max(256);
+            let (ms, _, gp) = stream(
+                ind_config(sparse_basis(ind_m, refresh), WindowPolicy::Unbounded),
+                sweep_n,
+                tail,
+            );
+            let rmse = rmse_vs_ref(&gp);
+            println!(
+                "inducing refresh sweep n = {sweep_n}, refresh = {refresh:>4}: observe \
+                 {ms:>7.3} ms (probe rmse {rmse:.2e})"
+            );
+            (refresh, ms, rmse)
+        })
+        .collect();
+    let refresh_best_rmse = refresh_sweep
+        .iter()
+        .map(|p| p.2)
+        .fold(f64::INFINITY, f64::min);
+    let measured_best_refresh = refresh_sweep
+        .iter()
+        .filter(|p| p.2 <= refresh_best_rmse * 2.0)
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite timings"))
+        .expect("non-empty sweep")
+        .0;
+    // Selection agreement at rebuild points: with m >= n the basis never
+    // activates, so every cadence rebuild runs the exact tournament — the
+    // selected kernel (and every prediction in between) must match the
+    // plain exact GP bit for bit. This is the designed invariant the
+    // property suite pins; the bench audits it on the full 35-candidate
+    // grid under the production refit cadence.
+    let ind_agreement: Vec<(usize, usize, usize)> = [128usize, 256]
+        .iter()
+        .map(|&n| {
+            let cadence = 16usize;
+            let roomy = GpConfig {
+                refit_every: cadence,
+                basis: sparse_basis(1 << 20, cadence),
+                ..GpConfig::default()
+            };
+            let exact = GpConfig {
+                refit_every: cadence,
+                ..GpConfig::default()
+            };
+            let mut roomy_gp = GaussianProcess::new(roomy);
+            let mut exact_gp = GaussianProcess::new(exact);
+            roomy_gp.fit(&ind_xs[..n], &ind_ys[..n]).unwrap();
+            exact_gp.fit(&ind_xs[..n], &ind_ys[..n]).unwrap();
+            let (mut rebuild_points, mut agreed) = (0, 0);
+            for i in n..n + 3 * cadence {
+                roomy_gp.observe(ind_xs[i].clone(), ind_ys[i]).unwrap();
+                exact_gp.observe(ind_xs[i].clone(), ind_ys[i]).unwrap();
+                if (i - n + 1) % cadence == 0 {
+                    rebuild_points += 1;
+                    let bit_equal = roomy_gp.kernel() == exact_gp.kernel()
+                        && roomy_gp.predict(&probe[0]) == exact_gp.predict(&probe[0]);
+                    if bit_equal {
+                        agreed += 1;
+                    }
+                }
+            }
+            assert!(
+                !roomy_gp.basis_active(),
+                "m >= n must keep the exact path active"
+            );
+            println!(
+                "inducing selection agreement at n = {n}: {agreed}/{rebuild_points} \
+                 rebuild points"
+            );
+            (n, rebuild_points, agreed)
+        })
+        .collect();
+
     let speedup_largest = points.last().expect("non-empty").speedup();
     let full_exp = scaling_exponent(&points, |p| p.full_refit_ms);
     let inc_exp = scaling_exponent(&points, |p| p.incremental_ms);
@@ -849,6 +1081,82 @@ fn main() {
     }
     json.push_str("    ]\n");
     json.push_str("  },\n");
+    // Inducing-point sparse surrogate: the head-to-head CI gate, the
+    // full-mode calibrated gates vs the unbounded exact GP, the basis /
+    // cadence sweeps, and the m >= n rebuild-point agreement audit.
+    json.push_str("  \"inducing\": {\n");
+    json.push_str(
+        "    \"note\": \"single hyper-parameter candidate, refit_every 10000 in every \
+         arm so only the sparse refresh cadence rebuilds; timed tail is a multiple of \
+         the cadence; 1-CPU benchmark container — re-run the sweeps on a multi-core \
+         box before moving DEFAULT_INDUCING_M / DEFAULT_INDUCING_REFRESH\",\n",
+    );
+    let _ = writeln!(
+        json,
+        "    \"never_loses\": {{\"n\": {head_n}, \"m\": {ind_m}, \"refresh_every\": \
+         {ind_refresh}, \"window_capacity\": {head_cap}, \"sparse_observe_ms\": \
+         {head_sparse_ms:.4}, \"sparse_factor_bytes\": {head_sparse_bytes}, \
+         \"windowed_observe_ms\": {head_win_ms:.4}, \"windowed_factor_bytes\": \
+         {head_win_bytes}}},"
+    );
+    if let Some((s_ms, s_bytes, u_ms, u_bytes)) = ind_full {
+        let _ = writeln!(
+            json,
+            "    \"vs_unbounded_exact\": {{\"n\": {ind_full_n}, \"m\": {ind_m}, \
+             \"sparse_observe_ms\": {s_ms:.4}, \"sparse_factor_bytes\": {s_bytes}, \
+             \"unbounded_observe_ms\": {u_ms:.4}, \"unbounded_factor_bytes\": {u_bytes}, \
+             \"observe_speedup\": {:.2}, \"factor_memory_reduction\": {:.2}}},",
+            u_ms / s_ms,
+            u_bytes as f64 / s_bytes as f64
+        );
+    }
+    let _ = writeln!(json, "    \"m_sweep\": {{\"n\": {sweep_n},");
+    json.push_str("      \"points\": [\n");
+    for (i, (m, ms, bytes, rmse)) in m_sweep.iter().enumerate() {
+        let comma = if i + 1 < m_sweep.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "        {{\"m\": {m}, \"per_observe_ms\": {ms:.4}, \"factor_bytes\": \
+             {bytes}, \"probe_rmse\": {rmse:.6e}}}{comma}"
+        );
+    }
+    json.push_str("      ],\n");
+    let _ = writeln!(json, "      \"measured_best_m\": {measured_best_m},");
+    let _ = writeln!(json, "      \"chosen_default_m\": {DEFAULT_INDUCING_M}");
+    json.push_str("    },\n");
+    let _ = writeln!(
+        json,
+        "    \"refresh_sweep\": {{\"n\": {sweep_n}, \"m\": {ind_m},"
+    );
+    json.push_str("      \"points\": [\n");
+    for (i, (refresh, ms, rmse)) in refresh_sweep.iter().enumerate() {
+        let comma = if i + 1 < refresh_sweep.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "        {{\"refresh_every\": {refresh}, \"per_observe_ms\": {ms:.4}, \
+             \"probe_rmse\": {rmse:.6e}}}{comma}"
+        );
+    }
+    json.push_str("      ],\n");
+    let _ = writeln!(
+        json,
+        "      \"measured_best_refresh\": {measured_best_refresh},"
+    );
+    let _ = writeln!(
+        json,
+        "      \"chosen_default_refresh\": {DEFAULT_INDUCING_REFRESH}"
+    );
+    json.push_str("    },\n");
+    json.push_str("    \"selection_agreement\": [\n");
+    for (i, (n, rebuild_points, agreed)) in ind_agreement.iter().enumerate() {
+        let comma = if i + 1 < ind_agreement.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"n\": {n}, \"rebuild_points\": {rebuild_points}, \"agreed\": {agreed}}}{comma}"
+        );
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
     let _ = writeln!(json, "  \"speedup_at_largest_n\": {speedup_largest:.2},");
     let _ = writeln!(json, "  \"full_refit_scaling_exponent\": {full_exp:.3},");
     let _ = writeln!(json, "  \"incremental_scaling_exponent\": {inc_exp:.3}");
@@ -917,6 +1225,46 @@ fn main() {
             gm_memory_reduction >= 3.0,
             "elastic factor memory (hot_set = 8) must be >= 3x below the full grid \
              at n = {gm_n_max} (measured {gm_memory_reduction:.2}x)"
+        );
+    }
+    // CI smoke for the inducing basis: folding into a 256² information
+    // state (refresh rebuilds amortised in) must never lose to the
+    // 512-capacity sliding window's 512² downdate + append, in time or in
+    // resident factor bytes, at n = 2000.
+    assert!(
+        head_sparse_ms <= head_win_ms,
+        "inducing observe (m = {ind_m}) must not lose to the windowed exact path \
+         (cap {head_cap}) at n = {head_n} (sparse {head_sparse_ms:.3} ms vs windowed \
+         {head_win_ms:.3} ms)"
+    );
+    assert!(
+        head_sparse_bytes < head_win_bytes,
+        "inducing factor memory (m = {ind_m}) must stay below the windowed exact \
+         path's (cap {head_cap}): {head_sparse_bytes} vs {head_win_bytes} bytes"
+    );
+    // The m >= n audit is bit-exact by construction, so it gates both
+    // modes: every rebuild point must reproduce exact-GP selection.
+    for (n, rebuild_points, agreed) in &ind_agreement {
+        assert!(
+            *rebuild_points > 0 && agreed == rebuild_points,
+            "an inducing basis with m >= n must reproduce exact-GP selection at \
+             every rebuild point (n = {n}: {agreed}/{rebuild_points})"
+        );
+    }
+    // The calibrated full-mode gates: the sparse fold at n = 5000 against
+    // the unbounded exact GP's quadratic observe and 100 MB factor.
+    if let Some((s_ms, s_bytes, u_ms, u_bytes)) = ind_full {
+        let observe_speedup = u_ms / s_ms;
+        let memory_reduction = u_bytes as f64 / s_bytes as f64;
+        assert!(
+            observe_speedup >= 5.0,
+            "inducing observe (m = {ind_m}) must be >= 5x faster than the unbounded \
+             exact GP at n = {ind_full_n} (measured {observe_speedup:.2}x)"
+        );
+        assert!(
+            memory_reduction >= 10.0,
+            "inducing factor memory (m = {ind_m}) must be >= 10x below the unbounded \
+             exact GP at n = {ind_full_n} (measured {memory_reduction:.2}x)"
         );
     }
 }

@@ -279,10 +279,12 @@ fn main() {
         per_round_ms: f64,
         qps: f64,
         /// Per-round phase breakdown (model-update/suggest vs grant vs
-        /// evaluate+observe), from [`FleetRun::phase_breakdown`].
+        /// evaluate vs observe/model-fit), from
+        /// [`FleetRun::phase_breakdown`].
         suggest_ms_per_round: f64,
         grant_ms_per_round: f64,
         evaluate_ms_per_round: f64,
+        observe_ms_per_round: f64,
     }
     let mut shard_points: Vec<ShardPoint> = Vec::with_capacity(shard_counts.len());
     let mut shard_reference = None;
@@ -316,12 +318,13 @@ fn main() {
         println!(
             "sharding ({shard_slices} slices, {shards} shards): {} queries over {} rounds in \
              {ms:.0} ms ({per_round_ms:.1} ms/round: {:.1} suggest + {:.2} grant + {:.1} \
-             evaluate, {qps:.2} q/s){}",
+             evaluate + {:.1} observe, {qps:.2} q/s){}",
             report.total_queries,
             report.rounds,
             phases.suggest_ms / rounds,
             phases.grant_ms / rounds,
             phases.evaluate_ms / rounds,
+            phases.observe_ms / rounds,
             if shards == 1 {
                 ""
             } else {
@@ -336,6 +339,7 @@ fn main() {
             suggest_ms_per_round: phases.suggest_ms / rounds,
             grant_ms_per_round: phases.grant_ms / rounds,
             evaluate_ms_per_round: phases.evaluate_ms / rounds,
+            observe_ms_per_round: phases.observe_ms / rounds,
         });
     }
     let unsharded_ms = shard_points[0].ms;
@@ -485,13 +489,14 @@ fn main() {
             json,
             "      {{\"shards\": {}, \"ms\": {:.1}, \"per_round_ms\": {:.2}, \
              \"phase_ms_per_round\": {{\"suggest\": {:.2}, \"grant\": {:.3}, \
-             \"evaluate\": {:.2}}}, \"queries_per_s\": {:.3}}}{comma}",
+             \"evaluate\": {:.2}, \"observe\": {:.2}}}, \"queries_per_s\": {:.3}}}{comma}",
             p.shards,
             p.ms,
             p.per_round_ms,
             p.suggest_ms_per_round,
             p.grant_ms_per_round,
             p.evaluate_ms_per_round,
+            p.observe_ms_per_round,
             p.qps,
         );
     }

@@ -65,7 +65,9 @@ pub use stage3::{
 
 // Re-export the substrate types users need to drive the library.
 pub use atlas_bayesopt::Acquisition;
-pub use atlas_gp::{GridMaintenance, ScoringPrecision, WindowPolicy};
+pub use atlas_gp::{
+    GridMaintenance, InducingSelection, ScoringPrecision, SurrogateBasis, WindowPolicy,
+};
 pub use atlas_netsim::{
     ContentionPolicy, MaxMinFair, Mobility, ProportionalFair, RealNetwork, ResourceBudget,
     Scenario, SimParams, Simulator, SliceConfig,

@@ -33,7 +33,7 @@ pub use session::{SliceQuery, SliceSession};
 use crate::env::{Environment, SimulatorEnv, Sla};
 use crate::stage2::Stage2Result;
 use atlas_bayesopt::Acquisition;
-use atlas_gp::{GridMaintenance, ScoringPrecision, WindowPolicy};
+use atlas_gp::{GridMaintenance, ScoringPrecision, SurrogateBasis, WindowPolicy};
 use atlas_netsim::{Scenario, Simulator, SliceConfig};
 use atlas_nn::{Bnn, BnnConfig};
 
@@ -95,6 +95,14 @@ pub struct Stage3Config {
     /// over the full grid — the fleet-scale knob that cuts the per-observe
     /// grid multiplier and the resident factor memory.
     pub gp_grid: GridMaintenance,
+    /// How the GP residual model represents its posterior. The default
+    /// ([`SurrogateBasis::Exact`]) keeps the full-rank formulation —
+    /// bit-for-bit the historical behaviour.
+    /// [`SurrogateBasis::Inducing`] compresses the retained history
+    /// through `m` pseudo-inputs once the window outgrows the budget, so
+    /// per-round model cost plateaus at O(m²) — the beyond-window
+    /// capacity knob for slices that live for days.
+    pub gp_basis: SurrogateBasis,
 }
 
 impl Default for Stage3Config {
@@ -116,6 +124,7 @@ impl Default for Stage3Config {
             gp_window: WindowPolicy::Unbounded,
             gp_scoring: ScoringPrecision::Exact,
             gp_grid: GridMaintenance::Full,
+            gp_basis: SurrogateBasis::Exact,
         }
     }
 }
@@ -239,6 +248,18 @@ impl OnlineLearner {
     /// created after the call are affected.
     pub fn with_gp_grid(mut self, grid: GridMaintenance) -> Self {
         self.config.gp_grid = grid;
+        self
+    }
+
+    /// Returns the learner with its GP residual posterior basis replaced
+    /// — the beyond-window capacity knob. [`SurrogateBasis::Exact`] (the
+    /// default) keeps the full-rank posterior, bit for bit the historical
+    /// behaviour; [`SurrogateBasis::Inducing`] summarises the retained
+    /// history through `m` pseudo-inputs once the window outgrows the
+    /// budget, bounding per-round model cost at O(m²). Only sessions
+    /// created after the call are affected.
+    pub fn with_gp_basis(mut self, basis: SurrogateBasis) -> Self {
+        self.config.gp_basis = basis;
         self
     }
 

@@ -98,8 +98,9 @@ impl SliceSession {
         let residual_model = match config.online_model {
             // The configured window policy bounds the residual GP for
             // long-horizon sessions, the scoring precision selects the
-            // candidate-ranking path, and the grid maintenance caps the
-            // resident factor set (`Unbounded` + `Exact` + `Full` — the
+            // candidate-ranking path, the grid maintenance caps the
+            // resident factor set and the basis picks the posterior
+            // formulation (`Unbounded` + `Exact` + `Full` + `Exact` — the
             // defaults — make this construction identical to
             // `GaussianProcess::default_matern()`).
             OnlineModel::GpResidual => {
@@ -107,6 +108,7 @@ impl SliceSession {
                     window: config.gp_window,
                     scoring_precision: config.gp_scoring,
                     grid_maintenance: config.gp_grid,
+                    basis: config.gp_basis,
                     ..GpConfig::default()
                 })))
             }
@@ -198,6 +200,19 @@ impl SliceSession {
         match &self.residual_model {
             ResidualModel::Gp(gp) => gp.len(),
             ResidualModel::Bnn { xs, .. } | ResidualModel::Continued { xs, .. } => xs.len(),
+        }
+    }
+
+    /// Bytes resident in the online residual model's posterior factors.
+    /// For the GP this is [`GaussianProcess::factor_bytes`] — the figure
+    /// that plateaus under bounded windows, shrinks under the elastic grid
+    /// and collapses to two m×m triangles per live candidate under the
+    /// inducing basis. The BNN variants keep no per-observation factors
+    /// and report 0.
+    pub fn surrogate_bytes(&self) -> usize {
+        match &self.residual_model {
+            ResidualModel::Gp(gp) => gp.factor_bytes(),
+            ResidualModel::Bnn { .. } | ResidualModel::Continued { .. } => 0,
         }
     }
 
@@ -758,6 +773,65 @@ mod tests {
         .run(&real, &scenario, 41);
         assert_eq!(elastic.history.len(), baseline.history.len());
         for o in &elastic.history {
+            assert!(o.qoe.is_finite() && (0.0..=1.0).contains(&o.qoe));
+            assert!(o.usage.is_finite());
+        }
+    }
+
+    #[test]
+    fn basis_defaults_to_exact_and_inducing_runs_end_to_end() {
+        use atlas_gp::{InducingSelection, SurrogateBasis};
+        let real = RealEnv::new(RealNetwork::prototype());
+        let scenario = Scenario::default_with_seed(19).with_duration(2.0);
+        let config = Stage3Config {
+            iterations: 12,
+            offline_updates: 1,
+            candidates: 40,
+            duration_s: 2.0,
+            ..Stage3Config::default()
+        };
+        let learner = |basis| {
+            crate::stage3::OnlineLearner::without_offline(
+                config,
+                Sla::paper_default(),
+                Simulator::with_original_params(),
+            )
+            .with_gp_basis(basis)
+        };
+        // An explicit Exact basis reproduces the default bit for bit, and
+        // so does an Inducing basis the 12-point horizon never outgrows.
+        let baseline = learner(SurrogateBasis::Exact).run(&real, &scenario, 43);
+        let default = crate::stage3::OnlineLearner::without_offline(
+            config,
+            Sla::paper_default(),
+            Simulator::with_original_params(),
+        )
+        .run(&real, &scenario, 43);
+        assert_eq!(baseline, default);
+        let roomy = learner(SurrogateBasis::Inducing {
+            m: 64,
+            selection: InducingSelection::GreedyVariance,
+            refresh_every: 8,
+        })
+        .run(&real, &scenario, 43);
+        assert_eq!(roomy, baseline);
+        // A genuinely sparse basis completes the same horizon with sane
+        // outcomes, and the session's factor footprint plateaus at two
+        // m×m triangles per live candidate.
+        let sparse = learner(SurrogateBasis::Inducing {
+            m: 5,
+            selection: InducingSelection::GreedyVariance,
+            refresh_every: 8,
+        });
+        let mut session = sparse.begin(&scenario, 43);
+        while let Some(query) = session.suggest() {
+            let sample = real.query(&query.config, &query.scenario, &query.sla);
+            session.observe(sample);
+        }
+        assert_eq!(session.history().len(), 12);
+        assert_eq!(session.residual_observations(), 12);
+        assert!(session.surrogate_bytes() <= 35 * 2 * (5 * 6 / 2) * 8);
+        for o in session.history() {
             assert!(o.qoe.is_finite() && (0.0..=1.0).contains(&o.qoe));
             assert!(o.usage.is_finite());
         }

@@ -64,6 +64,43 @@
 //! `refit_every` backstop, which a refresh deliberately does not reset.
 //! Promotion/demotion/refresh counts are observable via
 //! [`GaussianProcess::grid_stats`].
+//!
+//! ## Inducing-point sparse surrogate
+//!
+//! Windows cap the cost by *discarding* old evidence. The opt-in
+//! [`SurrogateBasis::Inducing`] compresses it instead: a fixed budget of
+//! `m` pseudo-inputs `Z` (re-selected from the retained window every
+//! `refresh_every` mutations) summarises the whole history through the
+//! subset-of-regressors information matrix `P = K_mn·K_nm + σ²·K̃_mm`.
+//! While the retained window holds `n ≤ m` points the exact path runs
+//! untouched (so `Inducing { m ≥ n }` is bit-for-bit the exact GP); once
+//! `n` outgrows `m` the sparse path activates, dropping the O(n²)
+//! distance cache and dense factors:
+//!
+//! * each observe folds the new point's cross-covariance column `φ` into
+//!   every hot candidate's m×m factor by a rank-1 Givens update
+//!   ([`PackedCholesky::rank_one_update`]) in O(m²) — independent of `n` —
+//!   with window evictions handled by the hyperbolic
+//!   [`PackedCholesky::rank_one_downdate`] dual; the projected targets
+//!   `b = K_mn·y` are carried as O(m) raw-target accumulators so
+//!   renormalisation (and [`WindowPolicy::Decayed`] age weighting) never
+//!   rescans the window;
+//! * selection maximises the sparse log marginal likelihood computed via
+//!   the Woodbury data-fit `(yᵀy − |L_p⁻¹b|²)/σ²` and the
+//!   matrix-determinant lemma `log|P| − log|K̃_mm| + (n−m)·ln σ²`;
+//! * prediction solves two m×q multi-RHS sweeps
+//!   ([`PackedCholesky::quad_form_diag`]) instead of an n×q one;
+//! * every boundary — the [`GpConfig::refit_every`] backstop, the
+//!   inducing-set refresh cadence, and the elastic-grid tournament — runs
+//!   the same blocked re-factorisation from the retained window
+//!   (re-selecting `Z`, resetting all cadences), so in sparse mode the
+//!   basis refresh subsumes the refit backstop.
+//!
+//! The [`GridMaintenance::Elastic`] hot set composes: cold candidates drop
+//! their m×m factors too, so per-observe cost is O(hot_set·m²) independent
+//! of `n`. [`ScoringPrecision::MixedF32`] keeps no f32 shadow of the sparse
+//! factors — ranking falls back to exact f64 scoring while the sparse path
+//! is active (scoring is already m-bounded there).
 
 use crate::kernel::Kernel;
 use atlas_math::linalg::{
@@ -206,6 +243,73 @@ pub struct GridStats {
     pub grid_len: usize,
 }
 
+/// Default inducing-point budget of [`SurrogateBasis::default_inducing`].
+/// Calibrated with the `gp_bench` m-sweep (`inducing` section of
+/// `BENCH_gp.json`) on the 1-CPU reference container.
+pub const DEFAULT_INDUCING_M: usize = 256;
+/// Default inducing-set refresh cadence (factor mutations between
+/// pseudo-input re-selections) of [`SurrogateBasis::default_inducing`].
+pub const DEFAULT_INDUCING_REFRESH: usize = 512;
+
+/// How the inducing set is (re-)selected from the retained window at each
+/// sparse rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InducingSelection {
+    /// Farthest-point (max–min-distance) sweep seeded at the newest
+    /// observation — a greedy max-variance heuristic that spreads the
+    /// pseudo-inputs over the occupied region of the input space. O(n·m)
+    /// per rebuild; deterministic (first maximum wins ties). The default.
+    #[default]
+    GreedyVariance,
+    /// `m` evenly strided indices over the retained window, newest point
+    /// always included. O(m) per rebuild; a cheap recency-biased fallback
+    /// when the input geometry is uninformative.
+    StridedRecent,
+}
+
+/// Which basis the surrogate posterior is expressed in.
+///
+/// The exact GP scales as O(n²) per observe; the inducing-point basis
+/// compresses the retained history through `m` pseudo-inputs so observes
+/// cost O(m²) and batch scoring O(m·q), independent of `n` — see the
+/// [sparse surrogate](crate::gpr#inducing-point-sparse-surrogate) module
+/// docs for the mechanics and equivalence guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SurrogateBasis {
+    /// The full exact GP (the historical behaviour, bit for bit — the
+    /// default).
+    #[default]
+    Exact,
+    /// Subset-of-regressors sparse GP over `m` pseudo-inputs. While the
+    /// retained window holds at most `m` points the exact path runs
+    /// untouched (bit for bit); beyond that the sparse path activates.
+    Inducing {
+        /// Pseudo-input budget (values below 1 are treated as 1).
+        m: usize,
+        /// How pseudo-inputs are re-selected at each sparse rebuild.
+        selection: InducingSelection,
+        /// Factor mutations between inducing-set re-selections (values
+        /// below 1 are treated as 1; an evict+append counts as two, like
+        /// [`GpConfig::refit_every`]). In sparse mode this cadence
+        /// subsumes the refit backstop — every boundary runs the same
+        /// blocked re-factorisation.
+        refresh_every: usize,
+    },
+}
+
+impl SurrogateBasis {
+    /// The calibrated default inducing basis
+    /// (`m =` [`DEFAULT_INDUCING_M`], greedy-variance selection,
+    /// `refresh_every =` [`DEFAULT_INDUCING_REFRESH`]).
+    pub fn default_inducing() -> Self {
+        SurrogateBasis::Inducing {
+            m: DEFAULT_INDUCING_M,
+            selection: InducingSelection::GreedyVariance,
+            refresh_every: DEFAULT_INDUCING_REFRESH,
+        }
+    }
+}
+
 /// Configuration of the GP regressor.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpConfig {
@@ -240,6 +344,10 @@ pub struct GpConfig {
     /// ([`GridMaintenance::Full`] — the default — keeps every candidate's
     /// factor live, reproducing the historical behaviour bit for bit).
     pub grid_maintenance: GridMaintenance,
+    /// Which basis the surrogate posterior is expressed in
+    /// ([`SurrogateBasis::Exact`] — the default — keeps the full exact GP,
+    /// bit for bit).
+    pub basis: SurrogateBasis,
 }
 
 impl Default for GpConfig {
@@ -253,6 +361,7 @@ impl Default for GpConfig {
             window: WindowPolicy::Unbounded,
             scoring_precision: ScoringPrecision::Exact,
             grid_maintenance: GridMaintenance::Full,
+            basis: SurrogateBasis::Exact,
         }
     }
 }
@@ -371,6 +480,44 @@ struct GridPoint {
     /// evaluation — live for hot candidates (updated every selection),
     /// stale for cold ones (their last tournament).
     stale_lml: Option<f64>,
+    /// The candidate's m×m sparse-basis state while the inducing-point
+    /// path is active (`None` on the exact path, for cold elastic
+    /// candidates, and after a failed factorisation until the next sparse
+    /// rebuild). Never coexists with `chol`.
+    sparse: Option<SparseState>,
+}
+
+/// One candidate's subset-of-regressors state over the current inducing
+/// set `Z` (m pseudo-inputs): two m×m Cholesky factors plus the O(m)
+/// raw-target accumulators that recover the projected targets under any
+/// normalisation without rescanning the window.
+#[derive(Debug, Clone)]
+struct SparseState {
+    /// Cholesky factor of `K̃_mm = K(Z, Z) + jitter·I`.
+    l_mm: PackedCholesky,
+    /// Cholesky factor of the information matrix
+    /// `P = K_mn·K_nm + σ²·K̃_mm`, maintained by rank-1 Givens
+    /// updates/downdates between rebuilds.
+    l_p: PackedCholesky,
+    /// `Σᵢ wᵢ·φᵢ·yᵢ_raw` over the retained window (`φᵢ = K(Z, xᵢ)`,
+    /// `wᵢ` the [`WindowPolicy::Decayed`] age weight or 1): with the sum
+    /// `s` below, the normalised projected targets are
+    /// `b = (u − ȳ·s)/σ_y` in O(m).
+    u: Vec<f64>,
+    /// `Σᵢ wᵢ·φᵢ` over the retained window.
+    s: Vec<f64>,
+}
+
+/// Shared (kernel-independent) inducing-set state while the sparse path is
+/// active: the pseudo-inputs and the mutation count since they were last
+/// re-selected.
+#[derive(Debug, Clone)]
+struct InducingState {
+    /// The `m` pseudo-inputs, selected from the retained window.
+    z: Vec<Vec<f64>>,
+    /// Factor mutations since the inducing set was last re-selected
+    /// (drives the [`SurrogateBasis::Inducing`] `refresh_every` cadence).
+    since_basis: usize,
 }
 
 /// Running promotion/demotion/refresh counts of the elastic grid.
@@ -449,6 +596,10 @@ pub struct GaussianProcess {
     shadow: Option<ScoringShadow>,
     /// Drift guard of the f32 scoring path.
     guard: ScoringGuard,
+    /// Inducing-set state while the sparse path is active (`None` on the
+    /// exact path — including under [`SurrogateBasis::Inducing`] while the
+    /// retained window still fits in `m`).
+    inducing: Option<InducingState>,
 }
 
 impl GaussianProcess {
@@ -471,6 +622,7 @@ impl GaussianProcess {
             counters: GridCounters::default(),
             shadow: None,
             guard: ScoringGuard::default(),
+            inducing: None,
         }
     }
 
@@ -487,6 +639,7 @@ impl GaussianProcess {
                 chol: None,
                 hot: true,
                 stale_lml: None,
+                sparse: None,
             }];
         }
         let mut grid = Vec::with_capacity(LS_MULTIPLIERS.len() * VARIANCES.len());
@@ -499,6 +652,7 @@ impl GaussianProcess {
                     chol: None,
                     hot: true,
                     stale_lml: None,
+                    sparse: None,
                 });
             }
         }
@@ -547,6 +701,11 @@ impl GaussianProcess {
                 self.rebuild()
             }
             _ if n > 0 => {
+                if self.inducing.is_some() {
+                    // The sparse projected-target accumulators embed the
+                    // old policy's age weights — re-derive them wholesale.
+                    return self.rebuild();
+                }
                 self.update_normalisation();
                 self.select_best()
             }
@@ -577,6 +736,63 @@ impl GaussianProcess {
             return Ok(());
         }
         self.rebuild()
+    }
+
+    /// The surrogate-basis policy in effect.
+    pub fn basis(&self) -> SurrogateBasis {
+        self.config.basis
+    }
+
+    /// Replaces the surrogate-basis policy in place. On a fitted GP this
+    /// triggers a full rebuild under the new policy: switching to
+    /// [`SurrogateBasis::Inducing`] with the retained window beyond `m`
+    /// activates the sparse path (selecting pseudo-inputs and dropping the
+    /// dense distance cache and factors); switching back — or raising `m`
+    /// past the retained count — re-derives the exact state from scratch.
+    pub fn set_basis(&mut self, basis: SurrogateBasis) -> Result<()> {
+        self.config.basis = basis;
+        if self.train_x.is_empty() {
+            return Ok(());
+        }
+        self.rebuild()
+    }
+
+    /// Whether the inducing-point sparse path is currently active (the
+    /// retained window has outgrown the basis budget `m`). Always `false`
+    /// under [`SurrogateBasis::Exact`].
+    pub fn basis_active(&self) -> bool {
+        self.inducing.is_some()
+    }
+
+    /// The current pseudo-input count (0 while the exact path is active).
+    pub fn inducing_len(&self) -> usize {
+        self.inducing.as_ref().map_or(0, |ind| ind.z.len())
+    }
+
+    /// The current pseudo-inputs (empty while the exact path is active).
+    /// Frozen between sparse rebuilds — the incremental folds update the
+    /// factors over this basis, not the basis itself.
+    pub fn inducing_points(&self) -> &[Vec<f64>] {
+        self.inducing.as_ref().map_or(&[], |ind| ind.z.as_slice())
+    }
+
+    /// Whether `n` retained points put the configured basis into sparse
+    /// mode.
+    fn basis_activates(&self, n: usize) -> bool {
+        match self.config.basis {
+            SurrogateBasis::Inducing { m, .. } => n > m.max(1),
+            SurrogateBasis::Exact => false,
+        }
+    }
+
+    /// The retained-window size after absorbing `k` more observations
+    /// (accounting for evictions under a bounded window).
+    fn retained_after(&self, k: usize) -> usize {
+        let n = self.train_x.len() + k;
+        match self.config.window.capacity() {
+            Some(cap) => n.min(cap),
+            None => n,
+        }
     }
 
     /// Hot-set maintenance counters of the hyper-parameter grid: lifetime
@@ -611,8 +827,12 @@ impl GaussianProcess {
     pub fn factor_bytes(&self) -> usize {
         self.grid
             .iter()
-            .filter_map(|p| p.chol.as_ref())
-            .map(PackedCholesky::resident_bytes)
+            .map(|p| {
+                p.chol.as_ref().map_or(0, PackedCholesky::resident_bytes)
+                    + p.sparse
+                        .as_ref()
+                        .map_or(0, |s| s.l_mm.resident_bytes() + s.l_p.resident_bytes())
+            })
             .sum()
     }
 
@@ -649,6 +869,11 @@ impl GaussianProcess {
     /// a full [`GaussianProcess::fit`] on the extended data would produce,
     /// at a fraction of the cost.
     pub fn observe(&mut self, input: Vec<f64>, target: f64) -> Result<()> {
+        // The inducing-point path has its own O(m²) fold; it also takes
+        // over the observe that first pushes the retained window past `m`.
+        if self.inducing.is_some() || self.basis_activates(self.retained_after(1)) {
+            return self.observe_sparse(input, target);
+        }
         if self.train_x.is_empty() {
             self.train_x.push(input);
             self.train_y_raw.push(target);
@@ -745,6 +970,17 @@ impl GaussianProcess {
             return Ok(());
         }
         let n = self.train_x.len();
+        // The inducing-point path folds observations one at a time (each
+        // fold is O(m²) with no shared triangular solve to amortise), and
+        // crossing the activation threshold mid-batch needs the
+        // per-observation path too — batching is bit-identical by
+        // definition since the sequential chain *is* the semantics.
+        if self.inducing.is_some() || self.basis_activates(self.retained_after(k)) {
+            for (x, y) in batch {
+                self.observe(x, y)?;
+            }
+            return Ok(());
+        }
         let no_evict = self.config.window.capacity().is_none_or(|cap| n + k <= cap);
         let crosses_rebuild = self.since_rebuild + k >= self.config.refit_every.max(1);
         // A batch that crosses the tournament-refresh cadence also takes
@@ -826,8 +1062,21 @@ impl GaussianProcess {
     }
 
     /// Rebuilds the distance cache and every grid factor from scratch, then
-    /// reselects the kernel.
+    /// reselects the kernel. Dispatches to the sparse rebuild when the
+    /// configured basis is in (or entering) sparse mode; dropping back —
+    /// fewer retained points than `m`, or a switch to
+    /// [`SurrogateBasis::Exact`] — deactivates the sparse path and
+    /// re-derives the dense state.
     fn rebuild(&mut self) -> Result<()> {
+        if self.basis_activates(self.train_x.len()) {
+            return self.sparse_rebuild();
+        }
+        if self.inducing.is_some() {
+            self.inducing = None;
+            for point in &mut self.grid {
+                point.sparse = None;
+            }
+        }
         self.update_normalisation();
         let n = self.train_x.len();
         self.dist.clear();
@@ -878,6 +1127,284 @@ impl GaussianProcess {
         self.since_refresh = 0;
         self.counters.refreshes += 1;
         self.select_full()
+    }
+
+    /// Absorbs one observation through the sparse inducing-point path in
+    /// O(m²) per hot candidate, independent of the retained-window size.
+    ///
+    /// Cadence boundaries — the [`GpConfig::refit_every`] backstop, the
+    /// inducing-set `refresh_every`, the elastic tournament, and the
+    /// activation transition itself — all route to the same blocked
+    /// [`GaussianProcess::sparse_rebuild`]. Otherwise the new point's
+    /// cross-covariance column `φ` folds into every live candidate's
+    /// information factor by one rank-1 Givens update
+    /// ([`PackedCholesky::rank_one_update`]), an eviction is the
+    /// hyperbolic downdate dual, and the raw-target accumulators absorb
+    /// the new target (scaled by the [`WindowPolicy::Decayed`] age step
+    /// when configured — appending shifts every retained age by one, which
+    /// multiplies every weight by the same factor).
+    fn observe_sparse(&mut self, input: Vec<f64>, target: f64) -> Result<()> {
+        let evicting = self
+            .config
+            .window
+            .capacity()
+            .is_some_and(|cap| self.train_x.len() >= cap);
+        let muts = if evicting { 2 } else { 1 };
+        self.since_rebuild += muts;
+        self.since_refresh += muts;
+        if let Some(ind) = self.inducing.as_mut() {
+            ind.since_basis += muts;
+        }
+        let transition = self.inducing.is_none();
+        let basis_due = match (self.inducing.as_ref(), self.config.basis) {
+            (Some(ind), SurrogateBasis::Inducing { refresh_every, .. }) => {
+                ind.since_basis >= refresh_every.max(1)
+            }
+            _ => false,
+        };
+        let backstop_due = self.since_rebuild >= self.config.refit_every.max(1);
+        let elastic_due = self.refresh_due();
+        if transition || basis_due || backstop_due || elastic_due {
+            if !transition && !basis_due && !backstop_due {
+                // Purely the elastic cadence: count it as a tournament
+                // refresh like the exact path does (the sparse rebuild
+                // revives and re-ranks the full grid).
+                self.counters.refreshes += 1;
+            }
+            if evicting {
+                self.train_x.remove(0);
+                self.train_y_raw.remove(0);
+            }
+            self.train_x.push(input);
+            self.train_y_raw.push(target);
+            return self.rebuild();
+        }
+        let ind = self
+            .inducing
+            .as_ref()
+            .expect("sparse fold requires a live inducing set");
+        let m = ind.z.len();
+        let d_new: Vec<f64> = ind
+            .z
+            .iter()
+            .map(|z| atlas_math::linalg::l2_distance(z, &input))
+            .collect();
+        // Eviction data is captured before the window mutates: the evicted
+        // point's cross-distances, raw target and current age weight.
+        let evict = evicting.then(|| {
+            let d_old: Vec<f64> = ind
+                .z
+                .iter()
+                .map(|z| atlas_math::linalg::l2_distance(z, &self.train_x[0]))
+                .collect();
+            let w_old = self.decay_weight(self.train_x.len() - 1);
+            (d_old, self.train_y_raw[0], w_old)
+        });
+        let g = self.decay_step();
+        let fold = |point: &mut GridPoint| {
+            let Some(state) = point.sparse.as_mut() else {
+                return;
+            };
+            if let Some((d_old, raw_old, w_old)) = &evict {
+                let phi_old: Vec<f64> = d_old.iter().map(|&r| point.kernel.eval_dist(r)).collect();
+                if state.l_p.rank_one_downdate(&phi_old).is_err() {
+                    // Indefinite downdate: retire this candidate's sparse
+                    // state until the next sparse rebuild.
+                    point.sparse = None;
+                    return;
+                }
+                for ((u, s), p) in state.u.iter_mut().zip(&mut state.s).zip(&phi_old) {
+                    *u -= w_old * raw_old * p;
+                    *s -= w_old * p;
+                }
+            }
+            if g != 1.0 {
+                for (u, s) in state.u.iter_mut().zip(&mut state.s) {
+                    *u *= g;
+                    *s *= g;
+                }
+            }
+            let phi_new: Vec<f64> = d_new.iter().map(|&r| point.kernel.eval_dist(r)).collect();
+            if state.l_p.rank_one_update(&phi_new).is_err() {
+                point.sparse = None;
+                return;
+            }
+            for ((u, s), p) in state.u.iter_mut().zip(&mut state.s).zip(&phi_new) {
+                *u += target * p;
+                *s += p;
+            }
+        };
+        let pin = grid_pin(self.grid.len(), m);
+        atlas_math::parallel::par_for_each_mut(&mut self.grid, 1, pin, fold);
+        if evicting {
+            self.train_x.remove(0);
+            self.train_y_raw.remove(0);
+        }
+        self.train_x.push(input);
+        self.train_y_raw.push(target);
+        self.update_normalisation();
+        self.select_best()
+    }
+
+    /// (Re-)establishes the sparse inducing-point state from the retained
+    /// window: re-selects the pseudo-inputs, assembles each candidate's
+    /// rectangular cross-covariance `Φ = K(Z, X)`, accumulates the Gram
+    /// information matrix `P = Φ·Φᵀ + σ²·K̃_mm` straight into a packed
+    /// triangle ([`Matrix::gram_lower_packed`]) and factors both m×m
+    /// systems with the blocked kernel. The O(n²) distance cache and any
+    /// dense factors are dropped — the sparse path never consults them,
+    /// and freeing them is the memory win. Doubles as a tournament point:
+    /// selection re-runs over the full grid and the elastic hot set is
+    /// re-derived.
+    fn sparse_rebuild(&mut self) -> Result<()> {
+        self.update_normalisation();
+        let n = self.train_x.len();
+        let m = match self.config.basis {
+            SurrogateBasis::Inducing { m, .. } => m.max(1).min(n),
+            SurrogateBasis::Exact => unreachable!("sparse rebuild requires an inducing basis"),
+        };
+        self.dist.clear();
+        for point in &mut self.grid {
+            point.chol = None;
+        }
+        let z_idx = self.select_inducing(m);
+        let z: Vec<Vec<f64>> = z_idx.iter().map(|&i| self.train_x[i].clone()).collect();
+        // Kernel-independent geometry, shared across the whole grid (the
+        // kernels are stationary): the m×n inducing↔training
+        // cross-distances and the packed m×m inducing-pair triangle.
+        let cross = atlas_math::linalg::cross_distances(&z, &self.train_x);
+        let mut z_dist = Vec::with_capacity(m * (m + 1) / 2);
+        for i in 0..m {
+            for j in 0..=i {
+                z_dist.push(atlas_math::linalg::l2_distance(&z[i], &z[j]));
+            }
+        }
+        let weights: Vec<f64> = (0..n).map(|i| self.decay_weight(n - 1 - i)).collect();
+        let noise = self.config.noise_variance + 1e-8;
+        let train_y_raw = &self.train_y_raw;
+        let z_dist = &z_dist;
+        let cross = &cross;
+        let weights = &weights;
+        let build = |point: &mut GridPoint| {
+            point.sparse = None;
+            // K̃_mm = K(Z, Z) + jitter·I, factored for the variance term
+            // and the determinant-lemma correction.
+            let mut kmm: Vec<f64> = z_dist.iter().map(|&r| point.kernel.eval_dist(r)).collect();
+            for i in 0..m {
+                kmm[i * (i + 1) / 2 + i] += 1e-8;
+            }
+            let Ok(l_mm) = PackedCholesky::cholesky_from_packed(kmm.clone(), DEFAULT_CHOL_BLOCK)
+            else {
+                return;
+            };
+            let phi = Matrix::from_fn(m, n, |i, j| point.kernel.eval_dist(cross[(i, j)]));
+            let mut p_packed = phi.gram_lower_packed();
+            for (pe, ke) in p_packed.iter_mut().zip(&kmm) {
+                *pe += noise * ke;
+            }
+            let Ok(l_p) = PackedCholesky::cholesky_from_packed(p_packed, DEFAULT_CHOL_BLOCK) else {
+                return;
+            };
+            let mut u = vec![0.0; m];
+            let mut s = vec![0.0; m];
+            for i in 0..m {
+                for ((p, y), w) in phi.row(i).iter().zip(train_y_raw).zip(weights) {
+                    u[i] += w * y * p;
+                    s[i] += w * p;
+                }
+            }
+            point.sparse = Some(SparseState { l_mm, l_p, u, s });
+        };
+        let pin = grid_pin(self.grid.len(), n);
+        atlas_math::parallel::par_for_each_mut(&mut self.grid, 1, pin, build);
+        self.inducing = Some(InducingState { z, since_basis: 0 });
+        self.since_rebuild = 0;
+        self.since_refresh = 0;
+        // The sparse path keeps no f32 shadow; clear the drift guard like
+        // any from-scratch factorisation.
+        self.guard.calls.store(0, Ordering::Relaxed);
+        self.guard.demoted.store(false, Ordering::Relaxed);
+        self.select_full()
+    }
+
+    /// Selects `m` pseudo-input indices (ascending) from the retained
+    /// window according to the configured [`InducingSelection`].
+    fn select_inducing(&self, m: usize) -> Vec<usize> {
+        let n = self.train_x.len();
+        debug_assert!(m >= 1 && m <= n);
+        let selection = match self.config.basis {
+            SurrogateBasis::Inducing { selection, .. } => selection,
+            SurrogateBasis::Exact => InducingSelection::default(),
+        };
+        match selection {
+            InducingSelection::StridedRecent => {
+                if m == 1 {
+                    return vec![n - 1];
+                }
+                let mut idx: Vec<usize> = (0..m).map(|k| n - 1 - k * (n - 1) / (m - 1)).collect();
+                idx.sort_unstable();
+                idx.dedup();
+                idx
+            }
+            InducingSelection::GreedyVariance => {
+                let mut taken = vec![false; n];
+                let mut chosen = Vec::with_capacity(m);
+                taken[n - 1] = true;
+                chosen.push(n - 1);
+                let newest = &self.train_x[n - 1];
+                let mut min_d: Vec<f64> = self
+                    .train_x
+                    .iter()
+                    .map(|x| atlas_math::linalg::l2_distance(x, newest))
+                    .collect();
+                while chosen.len() < m {
+                    // First maximum wins ties, so the sweep is
+                    // deterministic regardless of the input order history.
+                    let mut best = usize::MAX;
+                    let mut best_d = f64::NEG_INFINITY;
+                    for (i, &d) in min_d.iter().enumerate() {
+                        if !taken[i] && d > best_d {
+                            best_d = d;
+                            best = i;
+                        }
+                    }
+                    taken[best] = true;
+                    chosen.push(best);
+                    let picked = &self.train_x[best];
+                    for (i, d) in min_d.iter_mut().enumerate() {
+                        let nd = atlas_math::linalg::l2_distance(&self.train_x[i], picked);
+                        if nd < *d {
+                            *d = nd;
+                        }
+                    }
+                }
+                chosen.sort_unstable();
+                chosen
+            }
+        }
+    }
+
+    /// The per-observation age factor of [`WindowPolicy::Decayed`] (1.0
+    /// under the other policies): appending one observation multiplies
+    /// every retained target's age weight by this.
+    fn decay_step(&self) -> f64 {
+        match self.config.window {
+            WindowPolicy::Decayed { half_life, .. } => 0.5f64.powf(1.0 / half_life.max(1e-9)),
+            _ => 1.0,
+        }
+    }
+
+    /// The [`WindowPolicy::Decayed`] weight of a target `age` observations
+    /// old (1.0 under the other policies), matching
+    /// [`GaussianProcess::update_normalisation`].
+    fn decay_weight(&self, age: usize) -> f64 {
+        match self.config.window {
+            WindowPolicy::Decayed { half_life, .. } => {
+                let rate = 1.0 / half_life.max(1e-9);
+                0.5f64.powf(age as f64 * rate)
+            }
+            _ => 1.0,
+        }
     }
 
     /// Whether the elastic grid's tournament-refresh cadence has elapsed.
@@ -950,6 +1477,9 @@ impl GaussianProcess {
     }
 
     fn select_pass(&mut self, apply_hot: bool) -> Result<()> {
+        if self.inducing.is_some() {
+            return self.select_pass_sparse(apply_hot);
+        }
         if !self.config.optimize_hyperparameters {
             let point = &self.grid[0];
             let chol = point.chol.as_ref().ok_or(MathError::NotPositiveDefinite)?;
@@ -1006,6 +1536,107 @@ impl GaussianProcess {
         res
     }
 
+    /// Sparse-basis mirror of [`GaussianProcess::select_pass`]: candidates
+    /// are ranked by the sparse log marginal likelihood and the winner's
+    /// weight vector `ŵ = P⁻¹·b` replaces `alpha` (predictive means are
+    /// `φ*ᵀ·ŵ`). Each candidate's evaluation is O(m²), so selection never
+    /// rescans the window.
+    fn select_pass_sparse(&mut self, apply_hot: bool) -> Result<()> {
+        let n = self.train_y.len();
+        let noise = self.config.noise_variance + 1e-8;
+        // yᵀy over the normalised (weighted) targets — O(n) once per
+        // selection, shared across every candidate.
+        let y_dot: f64 = self.train_y.iter().map(|y| y * y).sum();
+        let eval_point = |point: &GridPoint| -> Option<(f64, Vec<f64>)> {
+            let state = point.sparse.as_ref()?;
+            let b = self.projected_targets(state);
+            let half = state.l_p.solve_lower(&b).ok()?;
+            Some((self.sparse_lml(state, &half, y_dot, n, noise), half))
+        };
+        if !self.config.optimize_hyperparameters {
+            let Some((_, half)) = eval_point(&self.grid[0]) else {
+                return Err(MathError::NotPositiveDefinite);
+            };
+            self.alpha = self.grid[0]
+                .sparse
+                .as_ref()
+                .expect("evaluated candidate has sparse state")
+                .l_p
+                .solve_upper(&half)?;
+            self.best_idx = 0;
+            self.kernel = self.grid[0].kernel;
+            return Ok(());
+        }
+        let pin = grid_pin(self.grid.len(), self.inducing_len());
+        let evals: Vec<Option<(f64, Vec<f64>)>> =
+            atlas_math::parallel::par_chunks_map(&self.grid, 1, pin, |_, points| {
+                points.iter().map(eval_point).collect()
+            });
+        let mut lmls: Vec<Option<f64>> = Vec::with_capacity(evals.len());
+        let mut best: Option<(usize, f64, Vec<f64>)> = None;
+        for (i, eval) in evals.into_iter().enumerate() {
+            let Some((lml, half)) = eval else {
+                lmls.push(None);
+                continue;
+            };
+            lmls.push(Some(lml));
+            self.grid[i].stale_lml = Some(lml);
+            if best.as_ref().is_none_or(|(_, b, _)| lml > *b) {
+                best = Some((i, lml, half));
+            }
+        }
+        let res = match best {
+            Some((i, _, half)) => {
+                self.best_idx = i;
+                self.kernel = self.grid[i].kernel;
+                self.alpha = self.grid[i]
+                    .sparse
+                    .as_ref()
+                    .expect("selected candidate has sparse state")
+                    .l_p
+                    .solve_upper(&half)?;
+                Ok(())
+            }
+            None => Err(MathError::NotPositiveDefinite),
+        };
+        if apply_hot && res.is_ok() {
+            self.apply_hot_set(&lmls);
+        }
+        res
+    }
+
+    /// The normalised projected targets `b = Φ·y` of one candidate,
+    /// recovered in O(m) from the raw-target accumulators (which carry the
+    /// window's age weights): `b = (u − ȳ·s)/σ_y`.
+    fn projected_targets(&self, state: &SparseState) -> Vec<f64> {
+        state
+            .u
+            .iter()
+            .zip(&state.s)
+            .map(|(u, s)| (u - self.y_mean * s) / self.y_std)
+            .collect()
+    }
+
+    /// Sparse log marginal likelihood via the Woodbury identity for the
+    /// data-fit term and the matrix-determinant lemma for the log
+    /// determinant: given `half = L_p⁻¹·b`,
+    /// `yᵀ(σ²I + K_nm·K̃⁻¹·K_mn)⁻¹y = (yᵀy − |half|²)/σ²` and
+    /// `ln|σ²I + K_nm·K̃⁻¹·K_mn| = ln|P| − ln|K̃_mm| + (n−m)·ln σ²`.
+    fn sparse_lml(
+        &self,
+        state: &SparseState,
+        half: &[f64],
+        y_dot: f64,
+        n: usize,
+        noise: f64,
+    ) -> f64 {
+        let m = state.u.len();
+        let data_fit = (y_dot - half.iter().map(|v| v * v).sum::<f64>()) / noise;
+        let log_det =
+            state.l_p.log_det() - state.l_mm.log_det() + (n as f64 - m as f64) * noise.ln();
+        -0.5 * (data_fit + log_det + n as f64 * (2.0 * std::f64::consts::PI).ln())
+    }
+
     /// Re-derives the hot set from a full-grid evaluation: the top-`hot_set`
     /// candidates by log marginal likelihood (unevaluated candidates rank
     /// last; ties break towards the lower grid index, matching the winner
@@ -1044,6 +1675,7 @@ impl GaussianProcess {
             point.hot = hot;
             if !hot {
                 point.chol = None;
+                point.sparse = None;
             }
         }
     }
@@ -1056,10 +1688,96 @@ impl GaussianProcess {
         self.grid.get(self.best_idx).and_then(|p| p.chol.as_ref())
     }
 
+    /// The selected candidate's sparse state, when the inducing-point path
+    /// is active and the winner's factors are live.
+    fn active_sparse(&self) -> Option<&SparseState> {
+        self.inducing.as_ref()?;
+        self.grid.get(self.best_idx).and_then(|p| p.sparse.as_ref())
+    }
+
+    /// Sparse-basis mirror of [`GaussianProcess::predict`]: two m-vector
+    /// triangular solves instead of an n-vector one. The DTC predictive
+    /// variance is `k** + σ² − |L_mm⁻¹·φ*|² + σ²·|L_p⁻¹·φ*|²` — the prior
+    /// minus what the inducing set explains, plus the weight-uncertainty
+    /// term (clamped away from zero like the exact path).
+    fn predict_sparse(&self, state: &SparseState, x: &[f64]) -> (f64, f64) {
+        let z = &self
+            .inducing
+            .as_ref()
+            .expect("active sparse state implies a live inducing set")
+            .z;
+        let phi: Vec<f64> = z.iter().map(|zi| self.kernel.eval(x, zi)).collect();
+        let mean_norm: f64 = phi.iter().zip(self.alpha.iter()).map(|(p, a)| p * a).sum();
+        let t = state
+            .l_mm
+            .solve_lower(&phi)
+            .expect("triangular solve on live sparse factor");
+        let v = state
+            .l_p
+            .solve_lower(&phi)
+            .expect("triangular solve on live sparse factor");
+        let noise = self.config.noise_variance + 1e-8;
+        let prior_var = self.kernel.eval(x, x) + self.config.noise_variance;
+        let var_norm = (prior_var - t.iter().map(|ti| ti * ti).sum::<f64>()
+            + noise * v.iter().map(|vi| vi * vi).sum::<f64>())
+        .max(1e-12);
+        (
+            mean_norm * self.y_std + self.y_mean,
+            var_norm.sqrt() * self.y_std,
+        )
+    }
+
+    /// Sparse-basis mirror of [`GaussianProcess::predict_batch`]: the
+    /// whole candidate batch goes through two m×q multi-RHS quad-form
+    /// sweeps ([`PackedCholesky::quad_form_diag`]) instead of an n×q
+    /// solve. Bit-for-bit identical to calling
+    /// [`GaussianProcess::predict`] per point.
+    fn predict_batch_sparse(&self, state: &SparseState, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        let z = &self
+            .inducing
+            .as_ref()
+            .expect("active sparse state implies a live inducing set")
+            .z;
+        let m = z.len();
+        let q = xs.len();
+        if q == 0 {
+            return Vec::new();
+        }
+        // Column j of `phi` is φ* for candidate j.
+        let mut phi = Matrix::zeros(m, q);
+        for (j, x) in xs.iter().enumerate() {
+            for (i, zi) in z.iter().enumerate() {
+                phi[(i, j)] = self.kernel.eval(x, zi);
+            }
+        }
+        let (Ok(t), Ok(v)) = (
+            state.l_mm.quad_form_diag(&phi),
+            state.l_p.quad_form_diag(&phi),
+        ) else {
+            return xs.iter().map(|x| self.predict(x)).collect();
+        };
+        let noise = self.config.noise_variance + 1e-8;
+        xs.iter()
+            .enumerate()
+            .map(|(j, x)| {
+                let mean_norm: f64 = (0..m).map(|i| phi[(i, j)] * self.alpha[i]).sum();
+                let prior_var = self.kernel.eval(x, x) + self.config.noise_variance;
+                let var_norm = (prior_var - t[j] + noise * v[j]).max(1e-12);
+                (
+                    mean_norm * self.y_std + self.y_mean,
+                    var_norm.sqrt() * self.y_std,
+                )
+            })
+            .collect()
+    }
+
     /// Predictive mean and standard deviation at `x` (in original target
     /// units). An unfitted GP returns the prior `(0, √variance)` scaled by
     /// the (identity) normalisation.
     pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        if let Some(state) = self.active_sparse() {
+            return self.predict_sparse(state, x);
+        }
         let Some(chol) = self.active_chol() else {
             return (self.y_mean, self.kernel.variance().sqrt() * self.y_std);
         };
@@ -1089,6 +1807,9 @@ impl GaussianProcess {
     /// solve. Results are bit-for-bit identical to calling
     /// [`GaussianProcess::predict`] per point.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        if let Some(state) = self.active_sparse() {
+            return self.predict_batch_sparse(state, xs);
+        }
         let Some(chol) = self.active_chol() else {
             return xs.iter().map(|x| self.predict(x)).collect();
         };
@@ -1973,5 +2694,319 @@ mod tests {
             full.fit(&xs[..=k], &ys[..=k]).unwrap();
             assert_eq!(gp.predict(&[1.7]), full.predict(&[1.7]), "step {k}");
         }
+    }
+
+    fn inducing(m: usize, refresh_every: usize) -> SurrogateBasis {
+        SurrogateBasis::Inducing {
+            m,
+            selection: InducingSelection::GreedyVariance,
+            refresh_every,
+        }
+    }
+
+    #[test]
+    fn exact_basis_is_the_default() {
+        assert_eq!(GpConfig::default().basis, SurrogateBasis::Exact);
+        let gp = GaussianProcess::default_matern();
+        assert_eq!(gp.basis(), SurrogateBasis::Exact);
+        assert!(!gp.basis_active());
+        assert_eq!(
+            SurrogateBasis::default_inducing(),
+            inducing(DEFAULT_INDUCING_M, DEFAULT_INDUCING_REFRESH)
+        );
+    }
+
+    #[test]
+    fn inducing_with_m_at_least_n_is_bit_identical_to_exact() {
+        // While the retained window fits in `m` the exact path runs
+        // untouched, so `Inducing { m ≥ n }` — including every rebuild
+        // point — reproduces exact-GP selection and prediction bit for
+        // bit.
+        let (xs, ys) = train_sine(30);
+        let mut sparse = GaussianProcess::new(GpConfig {
+            basis: inducing(100, 8),
+            refit_every: 7,
+            ..GpConfig::default()
+        });
+        let mut exact = GaussianProcess::new(GpConfig {
+            refit_every: 7,
+            ..GpConfig::default()
+        });
+        for (x, y) in xs.iter().zip(&ys) {
+            sparse.observe(x.clone(), *y).unwrap();
+            exact.observe(x.clone(), *y).unwrap();
+            assert!(!sparse.basis_active());
+            assert_eq!(sparse.kernel(), exact.kernel());
+            assert_eq!(sparse.predict(&[2.3]), exact.predict(&[2.3]));
+        }
+        assert_eq!(sparse.factor_bytes(), exact.factor_bytes());
+    }
+
+    #[test]
+    fn inducing_activates_beyond_m_and_still_fits_the_data() {
+        let (xs, ys) = train_sine(40);
+        let mut gp = GaussianProcess::new(GpConfig {
+            basis: inducing(8, 16),
+            ..GpConfig::default()
+        });
+        for (k, (x, y)) in xs.iter().zip(&ys).enumerate() {
+            gp.observe(x.clone(), *y).unwrap();
+            assert_eq!(gp.basis_active(), k + 1 > 8, "step {k}");
+        }
+        assert_eq!(gp.inducing_len(), 8);
+        // The compressed posterior still explains the sine far better
+        // than the prior mean does.
+        let sq_err: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| {
+                let (mean, std) = gp.predict(x);
+                assert!(std > 0.0 && std.is_finite());
+                (mean - y) * (mean - y)
+            })
+            .sum();
+        let rmse = (sq_err / xs.len() as f64).sqrt();
+        assert!(rmse < 2.0, "rmse {rmse} over a ±10 sine");
+    }
+
+    #[test]
+    fn inducing_rebuild_points_match_a_fresh_fit_exactly() {
+        // With refresh_every = 1 every observe is a rebuild boundary, so
+        // the incremental chain must reproduce a from-scratch fit on the
+        // same retained window bit for bit — including under eviction and
+        // Decayed age weighting.
+        for window in [
+            WindowPolicy::Unbounded,
+            WindowPolicy::SlidingWindow { capacity: 12 },
+            WindowPolicy::Decayed {
+                capacity: 12,
+                half_life: 3.0,
+            },
+        ] {
+            let config = GpConfig {
+                basis: inducing(8, 1),
+                window,
+                ..GpConfig::default()
+            };
+            let (xs, ys) = train_sine(25);
+            let mut gp = GaussianProcess::new(config);
+            let mut fresh = GaussianProcess::new(config);
+            for k in 0..xs.len() {
+                gp.observe(xs[k].clone(), ys[k]).unwrap();
+                fresh.fit(&xs[..=k], &ys[..=k]).unwrap();
+                assert_eq!(gp.kernel(), fresh.kernel(), "{window:?} step {k}");
+                assert_eq!(
+                    gp.predict(&[1.7]),
+                    fresh.predict(&[1.7]),
+                    "{window:?} step {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inducing_incremental_fold_tracks_the_rebuilt_state() {
+        // Between rebuilds the pseudo-inputs are frozen and the rank-1
+        // folds (and eviction downdates) drift only by rounding: the
+        // posterior mean must match a from-scratch subset-of-regressors
+        // computation over the same basis and retained window.
+        let config = GpConfig {
+            basis: inducing(8, 64),
+            window: WindowPolicy::SlidingWindow { capacity: 16 },
+            refit_every: 10_000,
+            normalize_y: false,
+            optimize_hyperparameters: false,
+            ..GpConfig::default()
+        };
+        let (xs, ys) = train_sine(40);
+        let mut gp = GaussianProcess::new(config);
+        let mut window: Vec<(Vec<f64>, f64)> = Vec::new();
+        for k in 0..xs.len() {
+            gp.observe(xs[k].clone(), ys[k]).unwrap();
+            window.push((xs[k].clone(), ys[k]));
+            if window.len() > 16 {
+                window.remove(0);
+            }
+            if !gp.basis_active() {
+                continue;
+            }
+            let z = gp.inducing_points().to_vec();
+            let m = z.len();
+            let n = window.len();
+            let kernel = *gp.kernel();
+            let noise = config.noise_variance + 1e-8;
+            let phi = Matrix::from_fn(m, n, |i, j| kernel.eval(&z[i], &window[j].0));
+            let mut p = phi.matmul(&phi.transpose()).unwrap();
+            for i in 0..m {
+                for j in 0..m {
+                    p[(i, j)] +=
+                        noise * (kernel.eval(&z[i], &z[j]) + if i == j { 1e-8 } else { 0.0 });
+                }
+            }
+            let b: Vec<f64> = (0..m)
+                .map(|i| {
+                    window
+                        .iter()
+                        .enumerate()
+                        .map(|(j, (_, y))| phi[(i, j)] * y)
+                        .sum()
+                })
+                .collect();
+            let w_hat = p.cholesky().unwrap().cholesky_solve(&b).unwrap();
+            let query = [1.7];
+            let expect: f64 = (0..m).map(|i| kernel.eval(&query, &z[i]) * w_hat[i]).sum();
+            let (mean, _) = gp.predict(&query);
+            assert!(
+                (mean - expect).abs() < 1e-6 * (1.0 + expect.abs()),
+                "step {k}: {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn inducing_predict_batch_matches_per_point_predict_exactly() {
+        let (xs, ys) = train_sine(30);
+        let mut gp = GaussianProcess::new(GpConfig {
+            basis: inducing(8, 16),
+            ..GpConfig::default()
+        });
+        for (x, y) in xs.iter().zip(&ys) {
+            gp.observe(x.clone(), *y).unwrap();
+        }
+        assert!(gp.basis_active());
+        let queries: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.6]).collect();
+        let batch = gp.predict_batch(&queries);
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(*b, gp.predict(q));
+        }
+        assert_eq!(gp.predict_batch_par(&queries), batch);
+        assert_eq!(gp.predict_batch_ranking(&queries), batch);
+    }
+
+    #[test]
+    fn inducing_observe_batch_matches_sequential_observes() {
+        let config = GpConfig {
+            basis: inducing(8, 16),
+            ..GpConfig::default()
+        };
+        let (xs, ys) = train_sine(30);
+        let mut batched = GaussianProcess::new(config);
+        let mut seq = GaussianProcess::new(config);
+        for group in xs.chunks(5).zip(ys.chunks(5)) {
+            let batch: Vec<(Vec<f64>, f64)> = group
+                .0
+                .iter()
+                .cloned()
+                .zip(group.1.iter().copied())
+                .collect();
+            batched.observe_batch(batch).unwrap();
+        }
+        for (x, y) in xs.iter().zip(&ys) {
+            seq.observe(x.clone(), *y).unwrap();
+        }
+        assert_eq!(batched.kernel(), seq.kernel());
+        for p in xs.iter().take(6) {
+            assert_eq!(batched.predict(p), seq.predict(p));
+        }
+    }
+
+    #[test]
+    fn inducing_factor_memory_plateaus_at_m() {
+        let mut gp = GaussianProcess::new(GpConfig {
+            basis: inducing(8, 16),
+            refit_every: 10_000,
+            ..GpConfig::default()
+        });
+        let (xs, ys) = train_sine(80);
+        let mut plateau = 0;
+        for (k, (x, y)) in xs.iter().zip(&ys).enumerate() {
+            gp.observe(x.clone(), *y).unwrap();
+            if k + 1 > 8 {
+                // Two m×m packed factors per live candidate, independent
+                // of n.
+                let per_candidate = 2 * (8 * 9 / 2) * 8;
+                assert_eq!(gp.factor_bytes(), 35 * per_candidate, "step {k}");
+                plateau += 1;
+            }
+        }
+        assert!(plateau > 60);
+        // The exact unbounded GP at the same n keeps O(n²/2) per
+        // candidate — orders of magnitude more.
+        let mut exact = GaussianProcess::default_matern();
+        exact.fit(&xs, &ys).unwrap();
+        assert!(exact.factor_bytes() > 10 * gp.factor_bytes());
+    }
+
+    #[test]
+    fn inducing_composes_with_the_elastic_grid() {
+        let (xs, ys) = train_sine(60);
+        let mut gp = GaussianProcess::new(GpConfig {
+            basis: inducing(8, 32),
+            grid_maintenance: GridMaintenance::Elastic {
+                hot_set: 4,
+                refresh_every: 8,
+            },
+            refit_every: 10_000,
+            ..GpConfig::default()
+        });
+        for (x, y) in xs.iter().zip(&ys) {
+            gp.observe(x.clone(), *y).unwrap();
+        }
+        assert!(gp.basis_active());
+        let stats = gp.grid_stats();
+        assert_eq!(stats.hot, 4);
+        assert!(stats.refreshes > 0, "elastic cadence fires in sparse mode");
+        // Only hot candidates keep their two m×m factors.
+        assert_eq!(gp.factor_bytes(), 4 * 2 * (8 * 9 / 2) * 8);
+        assert!(gp.predict(&[1.0]).1 > 0.0);
+    }
+
+    #[test]
+    fn strided_recent_selection_runs_and_fits() {
+        let (xs, ys) = train_sine(40);
+        let mut gp = GaussianProcess::new(GpConfig {
+            basis: SurrogateBasis::Inducing {
+                m: 8,
+                selection: InducingSelection::StridedRecent,
+                refresh_every: 16,
+            },
+            ..GpConfig::default()
+        });
+        for (x, y) in xs.iter().zip(&ys) {
+            gp.observe(x.clone(), *y).unwrap();
+        }
+        assert!(gp.basis_active());
+        assert_eq!(gp.inducing_len(), 8);
+        let (mean, std) = gp.predict(&xs[20]);
+        assert!((mean - ys[20]).abs() < 3.0);
+        assert!(std.is_finite() && std > 0.0);
+    }
+
+    #[test]
+    fn set_basis_switches_in_place_and_back() {
+        let (xs, ys) = train_sine(50);
+        let mut gp = GaussianProcess::default_matern();
+        gp.fit(&xs, &ys).unwrap();
+        let exact_bytes = gp.factor_bytes();
+        let exact_pred = gp.predict(&[1.2]);
+        gp.set_basis(inducing(8, 16)).unwrap();
+        assert!(gp.basis_active());
+        assert!(
+            gp.factor_bytes() * 10 < exact_bytes,
+            "sparse factors are two m×m triangles per candidate"
+        );
+        // Switching is a rebuild: the state matches a fresh sparse fit.
+        let mut fresh = GaussianProcess::new(GpConfig {
+            basis: inducing(8, 16),
+            ..GpConfig::default()
+        });
+        fresh.fit(&xs, &ys).unwrap();
+        assert_eq!(gp.kernel(), fresh.kernel());
+        assert_eq!(gp.predict(&[1.2]), fresh.predict(&[1.2]));
+        // And back: the dense state revives, bit for bit.
+        gp.set_basis(SurrogateBasis::Exact).unwrap();
+        assert!(!gp.basis_active());
+        assert_eq!(gp.factor_bytes(), exact_bytes);
+        assert_eq!(gp.predict(&[1.2]), exact_pred);
     }
 }

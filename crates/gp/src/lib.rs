@@ -101,6 +101,44 @@
 //! let (mean, _) = gp.predict(&[0.5]);
 //! assert!((mean - (0.5f64 * 6.0).sin()).abs() < 0.2);
 //! ```
+//!
+//! ## Beyond the window: inducing-point sparse surrogate
+//!
+//! Windows bound cost by *discarding* old evidence.
+//! [`SurrogateBasis::Inducing`] *compresses* it instead: `m` pseudo-inputs
+//! (re-selected from the retained window every `refresh_every` mutations)
+//! summarise the whole history through an m×m information factor, so each
+//! observe folds in with one O(m²) rank-1 update and batch scoring is one
+//! m×q sweep — independent of how many observations are retained. The
+//! exact GP stays the bit-identical default, and while the window fits in
+//! `m` the exact path runs untouched — see the
+//! [sparse surrogate](gpr#inducing-point-sparse-surrogate) module docs.
+//!
+//! ```
+//! use atlas_gp::{GaussianProcess, GpConfig, InducingSelection, SurrogateBasis};
+//!
+//! let mut gp = GaussianProcess::new(GpConfig {
+//!     basis: SurrogateBasis::Inducing {
+//!         m: 16,
+//!         selection: InducingSelection::GreedyVariance,
+//!         refresh_every: 64,
+//!     },
+//!     ..GpConfig::default()
+//! });
+//! for i in 0..200 {
+//!     let x = (i % 50) as f64 / 50.0;
+//!     gp.observe(vec![x], (x * 6.0).sin()).unwrap();
+//! }
+//! // The sparse path is active: 16 pseudo-inputs summarise all 200
+//! // retained observations, and factor memory is at most two 16×16
+//! // packed triangles per live candidate — independent of n.
+//! assert!(gp.basis_active());
+//! assert_eq!(gp.inducing_len(), 16);
+//! assert_eq!(gp.len(), 200);
+//! assert!(gp.factor_bytes() <= gp.grid_len() * 2 * (16 * 17 / 2) * 8);
+//! let (mean, _) = gp.predict(&[0.5]);
+//! assert!((mean - (0.5f64 * 6.0).sin()).abs() < 0.2);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -109,7 +147,8 @@ pub mod gpr;
 pub mod kernel;
 
 pub use gpr::{
-    GaussianProcess, GpConfig, GridMaintenance, GridStats, ScoringPrecision, WindowPolicy,
+    GaussianProcess, GpConfig, GridMaintenance, GridStats, InducingSelection, ScoringPrecision,
+    SurrogateBasis, WindowPolicy, DEFAULT_INDUCING_M, DEFAULT_INDUCING_REFRESH,
     GRID_PAR_MIN_CANDIDATES, GRID_PAR_MIN_N, PREDICT_PAR_MIN_CHUNK,
 };
 pub use kernel::Kernel;

@@ -4,7 +4,9 @@
 //! at every tournament refresh the elastic selection must equal full-grid
 //! selection on the same retained window.
 
-use atlas_gp::{GaussianProcess, GpConfig, GridMaintenance, WindowPolicy};
+use atlas_gp::{
+    GaussianProcess, GpConfig, GridMaintenance, InducingSelection, SurrogateBasis, WindowPolicy,
+};
 use atlas_math::rng::seeded_rng;
 use proptest::prelude::*;
 use rand::Rng;
@@ -142,5 +144,130 @@ proptest! {
             }
         }
         prop_assert!(refreshes_seen >= 2, "stream spans multiple refresh cadences");
+    }
+
+    #[test]
+    fn exact_basis_default_is_bit_identical_under_every_window_and_grid(
+        seed in 0u64..1000,
+        len in 2usize..20,
+        window_choice in 0u8..3,
+    ) {
+        // An explicit `SurrogateBasis::Exact` — and an `Inducing` basis
+        // whose budget the window never outgrows — must not perturb a
+        // single bit of the default observe path.
+        let window = window_for(window_choice);
+        let config = GpConfig { window, ..GpConfig::default() };
+        let mut default = GaussianProcess::new(config);
+        let mut explicit = GaussianProcess::new(GpConfig {
+            basis: SurrogateBasis::Exact,
+            ..config
+        });
+        let mut roomy = GaussianProcess::new(GpConfig {
+            basis: SurrogateBasis::Inducing {
+                m: 64,
+                selection: InducingSelection::GreedyVariance,
+                refresh_every: 8,
+            },
+            ..config
+        });
+        let (xs, ys) = stream(seed, len);
+        for (x, y) in xs.iter().zip(&ys) {
+            default.observe(x.clone(), *y).unwrap();
+            explicit.observe(x.clone(), *y).unwrap();
+            roomy.observe(x.clone(), *y).unwrap();
+            prop_assert_eq!(explicit.kernel(), default.kernel());
+            prop_assert_eq!(roomy.kernel(), default.kernel());
+            prop_assert!(!roomy.basis_active());
+            for p in &xs {
+                prop_assert_eq!(explicit.predict(p), default.predict(p));
+                prop_assert_eq!(roomy.predict(p), default.predict(p));
+            }
+        }
+        prop_assert_eq!(explicit.factor_bytes(), default.factor_bytes());
+        prop_assert_eq!(roomy.factor_bytes(), default.factor_bytes());
+    }
+}
+
+#[test]
+fn decayed_half_life_weighting_composes_with_the_elastic_grid() {
+    // A regime shift under `Decayed` must fade out of the posterior even
+    // when the grid is elastic: feed a constant-60 prefix then a
+    // constant-40 suffix. At the *old-regime* inputs a short half-life
+    // must have shrunk the stale residuals towards the prior mean while a
+    // long one still remembers the 60 level — with hot-set maintenance
+    // (and its tournament refreshes) active throughout.
+    let at_half_life = |half_life: f64| {
+        let mut gp = GaussianProcess::new(GpConfig {
+            grid_maintenance: GridMaintenance::Elastic {
+                hot_set: 4,
+                refresh_every: 6,
+            },
+            window: WindowPolicy::Decayed {
+                capacity: 24,
+                half_life,
+            },
+            refit_every: 10_000,
+            ..GpConfig::default()
+        });
+        for i in 0..12 {
+            gp.observe(vec![i as f64 * 0.3], 60.0).unwrap();
+        }
+        for i in 12..24 {
+            gp.observe(vec![i as f64 * 0.3], 40.0).unwrap();
+        }
+        let stats = gp.grid_stats();
+        assert_eq!(stats.hot, 4, "half_life {half_life}");
+        assert!(stats.refreshes >= 3, "half_life {half_life}");
+        // Recent observations dominate either way.
+        let (recent, _) = gp.predict(&[6.9]);
+        assert!(
+            (recent - 40.0).abs() < 1.0,
+            "half_life {half_life}: {recent}"
+        );
+        gp.predict(&[1.5]).0
+    };
+    let fast = at_half_life(2.0);
+    let slow = at_half_life(50.0);
+    assert!(
+        (fast - 60.0).abs() > (slow - 60.0).abs() + 1.0,
+        "shorter half-life forgets the old regime faster: fast {fast}, slow {slow}"
+    );
+    assert!(fast < 55.0, "old level mostly forgotten: {fast}");
+    assert!(slow > 55.0, "old level mostly remembered: {slow}");
+}
+
+#[test]
+fn decayed_window_composes_with_elastic_grid_and_inducing_basis() {
+    // The full composition: Decayed age weighting + elastic hot set +
+    // sparse inducing basis, run well past the activation threshold.
+    let mut gp = GaussianProcess::new(GpConfig {
+        grid_maintenance: GridMaintenance::Elastic {
+            hot_set: 4,
+            refresh_every: 8,
+        },
+        window: WindowPolicy::Decayed {
+            capacity: 20,
+            half_life: 5.0,
+        },
+        basis: SurrogateBasis::Inducing {
+            m: 8,
+            selection: InducingSelection::GreedyVariance,
+            refresh_every: 16,
+        },
+        refit_every: 10_000,
+        ..GpConfig::default()
+    });
+    let (xs, ys) = stream(7, 60);
+    for (x, y) in xs.iter().zip(&ys) {
+        gp.observe(x.clone(), *y).unwrap();
+    }
+    assert!(gp.basis_active());
+    assert_eq!(gp.len(), 20);
+    assert_eq!(gp.grid_stats().hot, 4);
+    // Only the hot candidates keep their two m×m factors.
+    assert_eq!(gp.factor_bytes(), 4 * 2 * (8 * 9 / 2) * 8);
+    for p in xs.iter().take(5) {
+        let (mean, std) = gp.predict(p);
+        assert!(mean.is_finite() && std.is_finite() && std > 0.0);
     }
 }

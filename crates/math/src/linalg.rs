@@ -671,6 +671,27 @@ impl Matrix {
         self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
     }
 
+    /// The lower triangle of the Gram matrix `self · selfᵀ`, in the packed
+    /// row-major layout [`PackedCholesky::cholesky_from_packed`] factors in
+    /// place (row `i` holds entries `(i, 0..=i)` at offset `i(i+1)/2`).
+    ///
+    /// This is the `A·Aᵀ` accumulation of the sparse-GP information matrix
+    /// `P = K_mn·K_nm + σ²·K̃_mm`: only the `m(m+1)/2` unique entries are
+    /// computed (each a length-`n` dot product over contiguous rows), so the
+    /// assembly is half the work of a dense `matmul` with the transpose and
+    /// feeds the blocked factorisation without repacking.
+    pub fn gram_lower_packed(&self) -> Vec<f64> {
+        let m = self.rows;
+        let mut packed = Vec::with_capacity(m * (m + 1) / 2);
+        for i in 0..m {
+            let row_i = self.row(i);
+            for j in 0..=i {
+                packed.push(dot(row_i, self.row(j)));
+            }
+        }
+        packed
+    }
+
     /// Returns the diagonal as a vector.
     pub fn diagonal(&self) -> Vec<f64> {
         (0..self.rows.min(self.cols))
@@ -1207,6 +1228,94 @@ impl PackedCholesky {
         Ok(())
     }
 
+    /// Rank-1 *update* of the packed factor: after the call it factors
+    /// `L·Lᵀ + v·vᵀ`, in O(n²/2) via the classic LINPACK Givens sweep (the
+    /// same kernel [`PackedCholesky::delete_row`] uses to restore its
+    /// trailing block). Adding `v·vᵀ` keeps an SPD matrix SPD, so — unlike
+    /// the [`PackedCholesky::rank_one_downdate`] dual — this can never fail
+    /// numerically. This is the O(m²) per-observation fold of the sparse-GP
+    /// information matrix `P = K_mn·K_nm + σ²·K̃_mm`: absorbing one training
+    /// point adds `φ·φᵀ` where `φ` is the new point's inducing-set
+    /// cross-covariance column.
+    pub fn rank_one_update(&mut self, v: &[f64]) -> Result<()> {
+        let n = self.n;
+        if v.len() != n {
+            return Err(MathError::ShapeMismatch {
+                op: "PackedCholesky::rank_one_update",
+                lhs: (n, n),
+                rhs: (v.len(), 1),
+            });
+        }
+        cholesky_rank_one_update(&mut self.data, n, |r, c| r * (r + 1) / 2 + c, 0, v.to_vec());
+        Ok(())
+    }
+
+    /// Rank-1 *downdate* of the packed factor: after the call it factors
+    /// `L·Lᵀ − v·vᵀ`, in O(n²/2) via hyperbolic rotations — the eviction
+    /// dual of [`PackedCholesky::rank_one_update`] a sliding-window sparse
+    /// GP needs when a retained point leaves the window.
+    ///
+    /// Unlike the update, a downdate can fail: if `L·Lᵀ − v·vᵀ` is not
+    /// positive definite the sweep hits a non-positive rotation radius and
+    /// returns [`MathError::NotPositiveDefinite`] with the factor left
+    /// partially modified — like [`PackedCholesky::shift_window`], callers
+    /// treat a failed downdate as a retired factor and rebuild.
+    pub fn rank_one_downdate(&mut self, v: &[f64]) -> Result<()> {
+        let n = self.n;
+        if v.len() != n {
+            return Err(MathError::ShapeMismatch {
+                op: "PackedCholesky::rank_one_downdate",
+                lhs: (n, n),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut v = v.to_vec();
+        for k in 0..n {
+            let kk = k * (k + 1) / 2 + k;
+            let dk = self.data[kk];
+            let vk = v[k];
+            let r2 = dk * dk - vk * vk;
+            if r2 <= 0.0 {
+                return Err(MathError::NotPositiveDefinite);
+            }
+            let r = r2.sqrt();
+            let c = r / dk;
+            let s = vk / dk;
+            self.data[kk] = r;
+            for (j, vj) in v.iter_mut().enumerate().skip(k + 1) {
+                let p = j * (j + 1) / 2 + k;
+                let ljk = (self.data[p] - s * *vj) / c;
+                *vj = c * *vj - s * ljk;
+                self.data[p] = ljk;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rank-k update: after the call the factor corresponds to
+    /// `L·Lᵀ + Σ vᵢ·vᵢᵀ`, applied as the equivalent sequence of
+    /// [`PackedCholesky::rank_one_update`] sweeps in row order (and
+    /// therefore bit-for-bit identical to that sequence) — the batched
+    /// accumulation a round of sparse-GP observations folds in one call.
+    /// Shapes are validated up front, so a [`MathError::ShapeMismatch`]
+    /// leaves the factor untouched.
+    pub fn rank_k_update(&mut self, vs: &[Vec<f64>]) -> Result<()> {
+        let n = self.n;
+        for v in vs {
+            if v.len() != n {
+                return Err(MathError::ShapeMismatch {
+                    op: "PackedCholesky::rank_k_update",
+                    lhs: (n, n),
+                    rhs: (v.len(), 1),
+                });
+            }
+        }
+        for v in vs {
+            cholesky_rank_one_update(&mut self.data, n, |r, c| r * (r + 1) / 2 + c, 0, v.clone());
+        }
+        Ok(())
+    }
+
     /// Removes row/column `i` from the packed factor in O(n²) — the packed
     /// counterpart of [`Matrix::cholesky_delete_row`], and the dual of
     /// [`PackedCholesky::append_row`] the sliding-window GP hot path needs.
@@ -1372,6 +1481,26 @@ impl PackedCholesky {
             row_block,
             SweepDir::Forward,
         ))
+    }
+
+    /// Per-column quadratic forms `bⱼᵀ·A⁻¹·bⱼ` of the factored matrix `A`,
+    /// computed as `|L⁻¹bⱼ|²` with **one** multi-RHS forward sweep
+    /// ([`PackedCholesky::solve_lower_multi`]) over the whole `n×q`
+    /// right-hand side — the GEMM-shaped Woodbury term of sparse-GP batch
+    /// prediction, where the predictive variance of `q` candidates needs
+    /// `φⱼᵀK̃⁻¹φⱼ` and `φⱼᵀP⁻¹φⱼ` per candidate. Column `j` of the result
+    /// is bit-for-bit `|solve_lower(bⱼ)|²`.
+    pub fn quad_form_diag(&self, b: &Matrix) -> Result<Vec<f64>> {
+        let v = self.solve_lower_multi(b)?;
+        let (n, q) = v.shape();
+        let mut out = vec![0.0; q];
+        for i in 0..n {
+            let row = v.row(i);
+            for (o, x) in out.iter_mut().zip(row) {
+                *o += x * x;
+            }
+        }
+        Ok(out)
     }
 
     /// Expands the packed factor into a dense lower-triangular [`Matrix`].
@@ -1541,6 +1670,17 @@ pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
 /// L1 norm of a slice.
 pub fn l1_norm(a: &[f64]) -> f64 {
     a.iter().map(|v| v.abs()).sum()
+}
+
+/// Rectangular cross-distance assembly: entry `(i, j)` of the returned
+/// `a.len()×b.len()` matrix is the Euclidean distance `‖aᵢ − bⱼ‖`. This is
+/// the kernel-independent half of a sparse-GP cross-covariance build
+/// (`K_mn` between `m` inducing inputs and `n` training points): the
+/// distances are assembled once and every hyper-parameter candidate maps
+/// its own `eval_dist` over them. Rows of `a` and `b` must share one
+/// dimensionality (checked in debug builds, like [`l2_distance`]).
+pub fn cross_distances(a: &[Vec<f64>], b: &[Vec<f64>]) -> Matrix {
+    Matrix::from_fn(a.len(), b.len(), |i, j| l2_distance(&a[i], &b[j]))
 }
 
 #[cfg(test)]
@@ -2159,6 +2299,143 @@ mod tests {
             Err(MathError::NotPositiveDefinite)
         );
         assert_eq!(from_empty, snapshot);
+    }
+
+    #[test]
+    fn rank_one_update_matches_refactorisation() {
+        let n = 7;
+        let a = spd(n);
+        let v: Vec<f64> = (0..n)
+            .map(|i| ((i * 5 + 2) % 7) as f64 / 4.0 - 0.6)
+            .collect();
+        let mut inc = PackedCholesky::cholesky(&a).unwrap();
+        inc.rank_one_update(&v).unwrap();
+        let mut updated = a.clone();
+        for i in 0..n {
+            for j in 0..n {
+                updated[(i, j)] += v[i] * v[j];
+            }
+        }
+        let full = PackedCholesky::cholesky(&updated).unwrap();
+        assert_factors_close(&inc.to_matrix(), &full.to_matrix(), 1e-10);
+        // Shape errors leave the factor untouched.
+        let snapshot = inc.clone();
+        assert!(inc.rank_one_update(&v[..n - 1]).is_err());
+        assert_eq!(inc, snapshot);
+    }
+
+    #[test]
+    fn rank_one_downdate_inverts_the_update() {
+        let n = 6;
+        let a = spd(n);
+        let v: Vec<f64> = (0..n)
+            .map(|i| ((i * 3 + 1) % 5) as f64 / 3.0 - 0.5)
+            .collect();
+        let base = PackedCholesky::cholesky(&a).unwrap();
+        let mut roundtrip = base.clone();
+        roundtrip.rank_one_update(&v).unwrap();
+        roundtrip.rank_one_downdate(&v).unwrap();
+        assert_factors_close(&roundtrip.to_matrix(), &base.to_matrix(), 1e-9);
+        // And the downdate tracks a refactorisation of A − v·vᵀ when that
+        // stays positive definite.
+        let small: Vec<f64> = v.iter().map(|x| x * 0.3).collect();
+        let mut down = base.clone();
+        down.rank_one_downdate(&small).unwrap();
+        let mut reduced = a.clone();
+        for i in 0..n {
+            for j in 0..n {
+                reduced[(i, j)] -= small[i] * small[j];
+            }
+        }
+        let full = PackedCholesky::cholesky(&reduced).unwrap();
+        assert_factors_close(&down.to_matrix(), &full.to_matrix(), 1e-10);
+        // Downdating past positive definiteness is rejected.
+        let huge: Vec<f64> = (0..n).map(|_| 100.0).collect();
+        assert_eq!(
+            base.clone().rank_one_downdate(&huge),
+            Err(MathError::NotPositiveDefinite)
+        );
+        assert!(base.clone().rank_one_downdate(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn rank_k_update_matches_sequential_rank_one_updates() {
+        let n = 5;
+        let a = spd(n);
+        let vs: Vec<Vec<f64>> = (0..3)
+            .map(|r| {
+                (0..n)
+                    .map(|i| ((i * 7 + r * 11 + 3) % 9) as f64 / 5.0 - 0.8)
+                    .collect()
+            })
+            .collect();
+        let mut batched = PackedCholesky::cholesky(&a).unwrap();
+        batched.rank_k_update(&vs).unwrap();
+        let mut seq = PackedCholesky::cholesky(&a).unwrap();
+        for v in &vs {
+            seq.rank_one_update(v).unwrap();
+        }
+        assert_eq!(batched, seq);
+        // Shape errors are all-or-nothing (validated before any sweep).
+        let snapshot = batched.clone();
+        assert!(batched
+            .rank_k_update(&[vec![0.0; n], vec![0.0; n - 1]])
+            .is_err());
+        assert_eq!(batched, snapshot);
+    }
+
+    #[test]
+    fn gram_lower_packed_matches_matmul_transpose() {
+        let a = Matrix::from_fn(4, 9, |i, j| ((i * 13 + j * 7) % 11) as f64 / 3.0 - 1.2);
+        let packed = a.gram_lower_packed();
+        let dense = a.matmul(&a.transpose()).unwrap();
+        for i in 0..4 {
+            for j in 0..=i {
+                assert_eq!(packed[i * (i + 1) / 2 + j], dense[(i, j)], "({i},{j})");
+            }
+        }
+        assert_eq!(packed.len(), 4 * 5 / 2);
+        // And the packed triangle feeds the blocked factorisation directly.
+        let mut gram = packed;
+        for i in 0..4 {
+            gram[i * (i + 1) / 2 + i] += 1.0;
+        }
+        let mut dense_reg = dense;
+        dense_reg.add_diagonal(1.0);
+        assert_eq!(
+            PackedCholesky::cholesky_from_packed(gram, 16).unwrap(),
+            PackedCholesky::cholesky(&dense_reg).unwrap()
+        );
+    }
+
+    #[test]
+    fn quad_form_diag_matches_per_column_solves() {
+        let n = 9;
+        let a = spd(n);
+        let packed = PackedCholesky::cholesky(&a).unwrap();
+        let b = Matrix::from_fn(n, 5, |i, j| ((i * 3 + j * 17) % 13) as f64 / 5.0 - 1.0);
+        let diag = packed.quad_form_diag(&b).unwrap();
+        for (c, dc) in diag.iter().enumerate() {
+            let z = packed.solve_lower(&b.col(c)).unwrap();
+            assert_eq!(*dc, z.iter().map(|v| v * v).sum::<f64>(), "col {c}");
+        }
+        assert!(packed.quad_form_diag(&Matrix::zeros(n + 1, 2)).is_err());
+    }
+
+    #[test]
+    fn cross_distances_matches_l2_distance() {
+        let a: Vec<Vec<f64>> = (0..3).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let b: Vec<Vec<f64>> = (0..4)
+            .map(|j| vec![j as f64 * 0.5, 1.0 - j as f64])
+            .collect();
+        let d = cross_distances(&a, &b);
+        assert_eq!(d.shape(), (3, 4));
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(d[(i, j)], l2_distance(&a[i], &b[j]));
+            }
+        }
+        assert_eq!(cross_distances(&[], &b).shape(), (0, 4));
     }
 
     #[test]

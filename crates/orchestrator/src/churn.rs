@@ -15,7 +15,8 @@ use crate::fleet::{Orchestrator, SliceSpec};
 use crate::report::{FleetReport, RoundReport};
 use atlas::env::{Environment, Sla};
 use atlas::{
-    GridMaintenance, OnlineLearner, Scenario, Simulator, SliceConfig, Stage3Config, WindowPolicy,
+    GridMaintenance, OnlineLearner, Scenario, Simulator, SliceConfig, Stage3Config, SurrogateBasis,
+    WindowPolicy,
 };
 use atlas_math::rng::seeded_rng;
 use rand::Rng;
@@ -60,6 +61,13 @@ pub struct ChurnConfig {
     /// factor memory for large fleets). Mixed fleets admit differently
     /// configured [`SliceSpec`]s via [`SliceSpec::with_gp_grid`].
     pub gp_grid: GridMaintenance,
+    /// GP-residual posterior basis applied to every generated slice
+    /// ([`SurrogateBasis::Exact`] reproduces the historical workloads bit
+    /// for bit; [`SurrogateBasis::Inducing`] caps each slice's per-round
+    /// model cost at O(m²) once its window outgrows the budget). Mixed
+    /// fleets admit differently configured [`SliceSpec`]s via
+    /// [`SliceSpec::with_gp_basis`].
+    pub gp_basis: SurrogateBasis,
 }
 
 impl ChurnConfig {
@@ -79,6 +87,7 @@ impl ChurnConfig {
             duration_s: 2.0,
             gp_window: WindowPolicy::Unbounded,
             gp_grid: GridMaintenance::Full,
+            gp_basis: SurrogateBasis::Exact,
         }
     }
 
@@ -99,6 +108,7 @@ impl ChurnConfig {
             duration_s: 5.0,
             gp_window: WindowPolicy::Unbounded,
             gp_grid: GridMaintenance::Full,
+            gp_basis: SurrogateBasis::Exact,
         }
     }
 }
@@ -227,6 +237,7 @@ fn churn_spec(config: &ChurnConfig, k: u64) -> SliceSpec {
         duration_s: config.duration_s,
         gp_window: config.gp_window,
         gp_grid: config.gp_grid,
+        gp_basis: config.gp_basis,
         ..Stage3Config::default()
     };
     let learner = OnlineLearner::without_offline(

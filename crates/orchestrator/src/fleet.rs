@@ -20,7 +20,7 @@ use crate::shard::ShardPlan;
 use atlas::env::{Environment, QoeSample};
 use atlas::{
     GridMaintenance, OnlineLearner, Scenario, ScoringPrecision, SliceConfig, SliceQuery,
-    SliceSession, WindowPolicy,
+    SliceSession, SurrogateBasis, WindowPolicy,
 };
 use atlas_math::parallel::par_map_tasks;
 use atlas_netsim::ContentionPolicy;
@@ -114,6 +114,19 @@ impl SliceSpec {
         self.learner = self.learner.with_gp_grid(grid);
         self
     }
+
+    /// Selects this slice's GP posterior basis — the per-slice
+    /// beyond-window capacity knob. [`SurrogateBasis::Exact`] (the
+    /// default) keeps the full-rank posterior, bit for bit the historical
+    /// behaviour; [`SurrogateBasis::Inducing`] summarises the retained
+    /// history through `m` pseudo-inputs once the window outgrows the
+    /// budget, so the slice's per-round model cost and factor memory
+    /// plateau at O(m²) however long it lives — the knob for slices whose
+    /// tenancy is measured in days rather than rounds.
+    pub fn with_gp_basis(mut self, basis: SurrogateBasis) -> Self {
+        self.learner = self.learner.with_gp_basis(basis);
+        self
+    }
 }
 
 /// Cumulative wall-clock spent in each phase of the fleet's round loop,
@@ -121,25 +134,30 @@ impl SliceSpec {
 /// orchestrator bench. The suggest phase covers the model-side work (the
 /// offline-acceleration waves, candidate scoring and `suggest()`); the
 /// grant phase is the single sequential budget grant; the evaluate phase
-/// covers the testbed queries **and** the `observe` model fits — the
-/// sharded round interleaves them per query (shard *k* fits while shard
-/// *k+1* still evaluates), so they are one phase by construction.
+/// covers the testbed queries; the observe phase covers the `observe`
+/// model fits. The sharded round interleaves evaluation and observation
+/// per query (shard *k* fits while shard *k+1* still evaluates), so there
+/// its two buckets sum the per-query spans across shards — together they
+/// can exceed the fan-out's wall clock when shards overlap, but the
+/// *ratio* between testbed time and model-fit time stays honest.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PhaseBreakdown {
     /// Milliseconds in acceleration waves + candidate scoring + suggest.
     pub suggest_ms: f64,
     /// Milliseconds in the sequential budget grant.
     pub grant_ms: f64,
-    /// Milliseconds evaluating granted queries and observing the results.
+    /// Milliseconds evaluating granted queries on the testbed.
     pub evaluate_ms: f64,
+    /// Milliseconds observing the measurements into the online models.
+    pub observe_ms: f64,
     /// Rounds folded into the accumulators.
     pub rounds: usize,
 }
 
 impl PhaseBreakdown {
-    /// Total milliseconds across the three phases.
+    /// Total milliseconds across the four phases.
     pub fn total_ms(&self) -> f64 {
-        self.suggest_ms + self.grant_ms + self.evaluate_ms
+        self.suggest_ms + self.grant_ms + self.evaluate_ms + self.observe_ms
     }
 }
 
@@ -546,6 +564,7 @@ impl<'a, E: Environment> FleetRun<'a, E> {
         let jobs = QueryScheduler::grant(self.env, &queries);
         let granted = Instant::now();
         let samples = self.scheduler.evaluate_granted(self.env, &jobs);
+        let evaluated = Instant::now();
         let outcomes: Vec<_> = round
             .into_iter()
             .zip(samples)
@@ -556,7 +575,8 @@ impl<'a, E: Environment> FleetRun<'a, E> {
             .collect();
         self.phases.suggest_ms += ms_between(round_start, suggested);
         self.phases.grant_ms += ms_between(suggested, granted);
-        self.phases.evaluate_ms += ms_between(granted, Instant::now());
+        self.phases.evaluate_ms += ms_between(granted, evaluated);
+        self.phases.observe_ms += ms_between(evaluated, Instant::now());
         self.phases.rounds += 1;
         outcomes
     }
@@ -613,8 +633,12 @@ impl<'a, E: Environment> FleetRun<'a, E> {
         }
         let env = self.env;
         let tasks: Vec<_> = jobs.into_iter().zip(self.shard_buckets()).collect();
-        let outcomes = par_map_tasks(tasks, parallel, |_, (jobs, mut bucket)| {
+        let shard_results = par_map_tasks(tasks, parallel, |_, (jobs, mut bucket)| {
             let mut out = Vec::with_capacity(jobs.len());
+            // Per-shard evaluate/observe spans, summed per query so the
+            // interleaved pipeline still attributes testbed time and
+            // model-fit time to the right phase bucket.
+            let (mut eval_ms, mut obs_ms) = (0.0, 0.0);
             // Jobs and the bucket are both in slot order, so a cursor
             // suffices to line each job up with its session.
             let mut cursor = 0;
@@ -622,19 +646,30 @@ impl<'a, E: Environment> FleetRun<'a, E> {
                 while bucket[cursor].0 != slot {
                     cursor += 1;
                 }
+                let eval_start = Instant::now();
                 let sample = env.query(&config, &query.scenario, &query.sla);
+                let observe_start = Instant::now();
                 bucket[cursor].1.session.observe(sample);
+                eval_ms += ms_between(eval_start, observe_start);
+                obs_ms += ms_between(observe_start, Instant::now());
                 out.push((slot, (query, sample)));
             }
-            out
+            (out, eval_ms, obs_ms)
         });
+        // Fold the per-shard phase spans in shard order (deterministic
+        // f64 accumulation), then merge the outcome batches.
+        let mut outcomes = Vec::with_capacity(shard_results.len());
+        for (out, eval_ms, obs_ms) in shard_results {
+            self.phases.evaluate_ms += eval_ms;
+            self.phases.observe_ms += obs_ms;
+            outcomes.push(out);
+        }
         let merged: Vec<_> = ShardPlan::merge_round(outcomes)
             .into_iter()
             .map(|(slot, (query, sample))| (slot, query, sample))
             .collect();
         self.phases.suggest_ms += ms_between(round_start, suggest_done);
         self.phases.grant_ms += ms_between(suggest_done, grant_done);
-        self.phases.evaluate_ms += ms_between(grant_done, Instant::now());
         self.phases.rounds += 1;
         merged
     }
@@ -728,6 +763,16 @@ impl<'a, E: Environment> FleetRun<'a, E> {
             .map(|s| s.session.residual_observations())
     }
 
+    /// Bytes resident in an active slice's online-model posterior factors
+    /// (`None` for unknown or no-longer-active slices) — the live view of
+    /// the figure [`SliceReport::surrogate_bytes`] freezes at departure.
+    pub fn surrogate_bytes(&self, name: &str) -> Option<usize> {
+        self.active
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.session.surrogate_bytes())
+    }
+
     /// Current budget occupancy of the active fleet (all zeros for
     /// environments without a finite budget).
     pub fn occupancy(&self) -> Occupancy {
@@ -761,12 +806,16 @@ impl<'a, E: Environment> FleetRun<'a, E> {
             final_round: self.rounds,
             retired_early,
         };
+        // Captured before `finish()` consumes the session: the departing
+        // model's resident factor footprint, frozen into the report.
+        let surrogate_bytes = slice.session.surrogate_bytes();
         let report = SliceReport::build(
             slice.name,
             &sla,
             slice.session.finish(),
             slice.reference,
             span,
+            surrogate_bytes,
         );
         self.finished.push((slice.index, report.clone()));
         Some(report)
@@ -1058,6 +1107,55 @@ mod tests {
     }
 
     #[test]
+    fn inducing_gp_basis_threads_through_slice_specs() {
+        use atlas::InducingSelection;
+        let slices = |basis: Option<SurrogateBasis>| {
+            (0..3u64)
+                .map(|i| {
+                    let s = spec(70 + i, 4);
+                    match basis {
+                        Some(b) => s.with_gp_basis(b),
+                        None => s,
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let run =
+            |fleet| Orchestrator::new(SharedTestbed::new(RealNetwork::prototype())).run(fleet);
+        let reference = run(slices(None));
+        // Explicit Exact and an Inducing budget the 4-iteration horizon
+        // never outgrows are both bit-identical to the default fleet.
+        assert_eq!(run(slices(Some(SurrogateBasis::Exact))), reference);
+        assert_eq!(
+            run(slices(Some(SurrogateBasis::Inducing {
+                m: 64,
+                selection: InducingSelection::GreedyVariance,
+                refresh_every: 8,
+            }))),
+            reference
+        );
+        // A genuinely sparse fleet drains the same horizon, freezes its
+        // collapsed factor footprint into the report, and stays
+        // deterministic across shard counts.
+        let sparse = SurrogateBasis::Inducing {
+            m: 2,
+            selection: InducingSelection::GreedyVariance,
+            refresh_every: 8,
+        };
+        let compressed = run(slices(Some(sparse)));
+        assert_eq!(compressed.rounds, reference.rounds);
+        assert_eq!(compressed.total_queries, reference.total_queries);
+        for s in &compressed.slices {
+            assert!(s.surrogate_bytes <= 35 * 2 * (2 * 3 / 2) * 8);
+        }
+        assert!(compressed.total_surrogate_bytes < reference.total_surrogate_bytes);
+        let sharded = Orchestrator::new(SharedTestbed::new(RealNetwork::prototype()))
+            .with_shards(2)
+            .run(slices(Some(sparse)));
+        assert_eq!(sharded, compressed);
+    }
+
+    #[test]
     fn phase_breakdown_accumulates_on_both_round_paths() {
         for shards in [1, 3] {
             let testbed = SharedTestbed::new(RealNetwork::prototype());
@@ -1074,7 +1172,12 @@ mod tests {
             assert!(phases.suggest_ms > 0.0, "shards = {shards}");
             assert!(phases.evaluate_ms > 0.0, "shards = {shards}");
             assert!(phases.grant_ms >= 0.0, "shards = {shards}");
-            assert!(phases.total_ms() >= phases.suggest_ms + phases.evaluate_ms);
+            // The observe bucket is timed on both round paths; model fits
+            // always cost *something*, but stay well below evaluation.
+            assert!(phases.observe_ms > 0.0, "shards = {shards}");
+            assert!(
+                phases.total_ms() >= phases.suggest_ms + phases.evaluate_ms + phases.observe_ms
+            );
         }
     }
 

@@ -89,6 +89,13 @@ pub struct SliceReport {
     pub avg_usage_regret: f64,
     /// Average QoE regret against the reference (Eq. 11 / iterations).
     pub avg_qoe_regret: f64,
+    /// Bytes resident in the slice's online-model posterior factors at
+    /// departure — the figure that plateaus under bounded windows,
+    /// shrinks under the elastic grid and collapses to two m×m packed
+    /// triangles per live candidate under the inducing basis (0 for the
+    /// BNN online models, which keep no per-observation factors). Makes
+    /// fleet memory plateaus observable without a bench run.
+    pub surrogate_bytes: usize,
 }
 
 impl SliceReport {
@@ -100,6 +107,7 @@ impl SliceReport {
         result: Stage3Result,
         reference: Option<(f64, f64)>,
         span: LifecycleSpan,
+        surrogate_bytes: usize,
     ) -> Self {
         let n = result.history.len().max(1) as f64;
         let violations = result
@@ -121,6 +129,7 @@ impl SliceReport {
             reference,
             avg_usage_regret,
             avg_qoe_regret,
+            surrogate_bytes,
             result,
         }
     }
@@ -152,6 +161,9 @@ pub struct FleetReport {
     /// Mean requested-minus-granted usage gap per query (0 when the run
     /// was uncontended; positive when a finite budget scaled grants down).
     pub mean_grant_gap: f64,
+    /// Sum of the per-slice [`SliceReport::surrogate_bytes`] — the
+    /// fleet's total resident online-model factor footprint at departure.
+    pub total_surrogate_bytes: usize,
 }
 
 impl FleetReport {
@@ -165,6 +177,7 @@ impl FleetReport {
         mean_grant_gap: f64,
     ) -> Self {
         let total_queries: usize = slices.iter().map(SliceReport::iterations).sum();
+        let total_surrogate_bytes: usize = slices.iter().map(|s| s.surrogate_bytes).sum();
         let n = total_queries.max(1) as f64;
         let weighted = |f: &dyn Fn(&SliceReport) -> f64| -> f64 {
             slices
@@ -182,6 +195,7 @@ impl FleetReport {
             total_queries,
             rejected_admissions,
             mean_grant_gap,
+            total_surrogate_bytes,
         }
     }
 
@@ -198,7 +212,8 @@ impl FleetReport {
             let _ = writeln!(
                 out,
                 "{:<12} iters {:>3}  SLA-viol {:>5.1}%  usage {:>5.1}%  QoE {:.3}  \
-                 regret (usage {:+.3}, qoe {:.3})  best usage {:>5.1}% @ QoE {:.3}",
+                 regret (usage {:+.3}, qoe {:.3})  best usage {:>5.1}% @ QoE {:.3}  \
+                 model {:>7} B",
                 s.name,
                 s.iterations(),
                 s.sla_violation_rate * 100.0,
@@ -208,12 +223,13 @@ impl FleetReport {
                 s.avg_qoe_regret,
                 s.result.best.usage * 100.0,
                 s.result.best.qoe,
+                s.surrogate_bytes,
             );
         }
         let _ = writeln!(
             out,
             "fleet: {} slices, {} rounds, {} queries  SLA-viol {:.1}%  usage {:.1}%  QoE {:.3}  \
-             rejected {}  grant gap {:.2}%",
+             rejected {}  grant gap {:.2}%  model {} B",
             self.slices.len(),
             self.rounds,
             self.total_queries,
@@ -222,6 +238,7 @@ impl FleetReport {
             self.mean_qoe,
             self.rejected_admissions,
             self.mean_grant_gap * 100.0,
+            self.total_surrogate_bytes,
         );
         out
     }
@@ -261,7 +278,7 @@ mod tests {
     fn slice_report_statistics() {
         let sla = Sla::paper_default();
         let r = result(&[(0.4, 0.95), (0.2, 0.92), (0.3, 0.5)]);
-        let report = SliceReport::build("s".into(), &sla, r, None, LifecycleSpan::default());
+        let report = SliceReport::build("s".into(), &sla, r, None, LifecycleSpan::default(), 4096);
         assert!((report.sla_violation_rate - 1.0 / 3.0).abs() < 1e-12);
         assert!((report.mean_usage - 0.3).abs() < 1e-12);
         assert!((report.mean_qoe - (0.95 + 0.92 + 0.5) / 3.0).abs() < 1e-12);
@@ -275,10 +292,12 @@ mod tests {
             final_round: 3,
             retired_early: true,
         };
-        let pinned = SliceReport::build("p".into(), &sla, r2, Some((0.1, 0.9)), span);
+        let pinned = SliceReport::build("p".into(), &sla, r2, Some((0.1, 0.9)), span, 0);
         assert_eq!(pinned.reference, (0.1, 0.9));
         assert!((pinned.avg_usage_regret - 0.3).abs() < 1e-12);
         assert_eq!(pinned.span, span);
+        assert_eq!(pinned.surrogate_bytes, 0);
+        assert_eq!(report.surrogate_bytes, 4096);
     }
 
     #[test]
@@ -291,13 +310,15 @@ mod tests {
             result(&[(0.2, 0.95), (0.4, 0.5)]),
             None,
             span,
+            3000,
         );
-        let b = SliceReport::build("b".into(), &sla, result(&[(0.6, 0.95)]), None, span);
+        let b = SliceReport::build("b".into(), &sla, result(&[(0.6, 0.95)]), None, span, 1500);
         let fleet = FleetReport::build(vec![a, b], 2, 1, 0.05);
         assert_eq!(fleet.total_queries, 3);
         assert_eq!(fleet.rounds, 2);
         assert_eq!(fleet.rejected_admissions, 1);
         assert!((fleet.mean_grant_gap - 0.05).abs() < 1e-12);
+        assert_eq!(fleet.total_surrogate_bytes, 4500);
         // 1 violation of 3 slice-iterations.
         assert!((fleet.sla_violation_rate - 1.0 / 3.0).abs() < 1e-12);
         assert!((fleet.mean_usage - (0.2 + 0.4 + 0.6) / 3.0).abs() < 1e-12);

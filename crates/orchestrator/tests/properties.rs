@@ -279,6 +279,76 @@ fn sharded_fleet_matches_unsharded_and_sequential_bit_for_bit() {
 }
 
 #[test]
+fn sparse_basis_fleets_are_bit_identical_across_shards_and_threads() {
+    // Tentpole property: a fleet whose GP slices run the inducing-point
+    // sparse basis — genuinely active, the 8-iteration horizon outgrows
+    // the m = 3 budget — must stay bit-identical across every shard ×
+    // thread combination, and its sparse slices' factor footprints must
+    // plateau at two m×m packed triangles per live candidate.
+    use atlas::{InducingSelection, SurrogateBasis};
+    let network = RealNetwork::prototype();
+    let sparse_fleet = || {
+        (0..6u64)
+            .map(|i| {
+                let sla = Sla::new(250.0 + 25.0 * (i % 3) as f64, 0.85 + 0.02 * (i % 2) as f64);
+                let model = if i % 4 == 3 {
+                    OnlineModel::BnnResidual
+                } else {
+                    OnlineModel::GpResidual
+                };
+                let config = Stage3Config {
+                    iterations: 8,
+                    offline_updates: 1,
+                    candidates: 40,
+                    duration_s: 2.0,
+                    online_model: model,
+                    bnn: BnnConfig {
+                        hidden: [8, 8, 0, 0],
+                        epochs: 4,
+                        ..BnnConfig::default()
+                    },
+                    ..Stage3Config::default()
+                };
+                let learner =
+                    OnlineLearner::without_offline(config, sla, Simulator::with_original_params());
+                let scenario = Scenario::default_with_seed(i)
+                    .with_duration(2.0)
+                    .with_traffic(1 + (i as u32) % 3);
+                SliceSpec::new(format!("sparse-{i}"), learner, scenario, 7000 + 13 * i)
+                    .with_gp_basis(SurrogateBasis::Inducing {
+                        m: 3,
+                        selection: InducingSelection::GreedyVariance,
+                        refresh_every: 4,
+                    })
+            })
+            .collect::<Vec<_>>()
+    };
+    let reference = Orchestrator::new(SharedTestbed::new(network))
+        .with_threads(1)
+        .run(sparse_fleet());
+    for slice in &reference.slices {
+        // GP slices (i % 4 != 3 in `fleet`) carry collapsed factors; the
+        // BNN slice reports 0.
+        assert!(
+            slice.surrogate_bytes <= 35 * 2 * (3 * 4 / 2) * 8,
+            "slice {} footprint {} exceeds the sparse plateau",
+            slice.name,
+            slice.surrogate_bytes
+        );
+    }
+    assert!(reference.total_surrogate_bytes > 0);
+    for shards in [1, 2, 4, 8] {
+        for threads in [1, 2, 4] {
+            let report = Orchestrator::new(SharedTestbed::new(network))
+                .with_shards(shards)
+                .with_threads(threads)
+                .run(sparse_fleet());
+            assert_eq!(report, reference, "shards = {shards}, threads = {threads}");
+        }
+    }
+}
+
+#[test]
 fn sharded_churn_is_bit_identical_across_the_full_grid() {
     // Tentpole property, elastic fleet: churn (admissions, retirements,
     // tenancy expiries) over unlimited and half-carrier budgets must be
