@@ -1,0 +1,86 @@
+//! Criterion benchmarks of the evaluate-phase simulation fast path.
+//!
+//! Compares the uncached (`SimCachePolicy::Off`) simulation path against
+//! the cached default for the two surfaces the orchestrator's evaluate
+//! phase drives: single `RealNetwork::run` queries and
+//! `SharedTestbed::run_batch` rounds. Criterion's iteration loop replays
+//! the identical workload, so the cached runs measure the warm path —
+//! the same regime the fleet bench's `sim_fastpath` section reports
+//! (cold-vs-warm, with hit counters) in `BENCH_orchestrator.json`. Every
+//! policy is bit-identical by construction; see the netsim property
+//! tests for the asserted comparison.
+
+use atlas_netsim::{RealNetwork, Scenario, SharedTestbed, SimCachePolicy, SliceConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn jobs(traffic: u32, n: u64) -> Vec<(SliceConfig, Scenario)> {
+    (0..n)
+        .map(|i| {
+            let config = SliceConfig {
+                bandwidth_ul: 10.0 + (i % 3) as f64,
+                bandwidth_dl: 5.0 + (i % 2) as f64,
+                mcs_offset_ul: 0.0,
+                mcs_offset_dl: 0.0,
+                backhaul_bw: 20.0,
+                cpu_ratio: 0.8,
+            };
+            let scenario = Scenario::default_with_seed(500 + i)
+                .with_duration(2.0)
+                .with_traffic(traffic);
+            (config, scenario)
+        })
+        .collect()
+}
+
+fn sim_fastpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_fastpath");
+    for traffic in [5u32, 20] {
+        let (config, scenario) = jobs(traffic, 1).pop().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("run_uncached", traffic),
+            &traffic,
+            |b, _| {
+                let network = RealNetwork::prototype().with_cache_policy(SimCachePolicy::Off);
+                b.iter(|| black_box(network.run(&config, &scenario).frames_completed))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("run_cached", traffic), &traffic, |b, _| {
+            // Memoize so the replayed query is served from the sim memo
+            // after the first iteration (the default RealNetwork policy,
+            // Measurement, caches only the carrier measurement).
+            let network = RealNetwork::prototype().with_cache_policy(SimCachePolicy::Memoize);
+            b.iter(|| black_box(network.run(&config, &scenario).frames_completed))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("run_batch_uncached", traffic),
+            &traffic,
+            |b, &traffic| {
+                let testbed = SharedTestbed::new(
+                    RealNetwork::prototype().with_cache_policy(SimCachePolicy::Off),
+                );
+                let batch = jobs(traffic, 8);
+                b.iter(|| black_box(testbed.run_batch(&batch).len()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("run_batch_cached", traffic),
+            &traffic,
+            |b, &traffic| {
+                let testbed = SharedTestbed::new(
+                    RealNetwork::prototype().with_cache_policy(SimCachePolicy::Memoize),
+                );
+                let batch = jobs(traffic, 8);
+                b.iter(|| black_box(testbed.run_batch(&batch).len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sim_fastpath
+);
+criterion_main!(benches);

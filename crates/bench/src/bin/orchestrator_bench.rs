@@ -1,7 +1,7 @@
 //! Multi-slice orchestrator throughput benchmark emitting
 //! `BENCH_orchestrator.json`.
 //!
-//! Three sections:
+//! Sections:
 //!
 //! 1. **fleets** — a fixed fleet of concurrent stage-3 slice sessions
 //!    against one shared emulated testbed: wall-clock of (a) the
@@ -25,6 +25,12 @@
 //!    counts, asserted **bit-identical** to the unsharded run first (the
 //!    determinism smoke CI relies on), plus a sweep calibrating the
 //!    scheduler's `EVAL_PAR_MIN_CHUNK` fan-out threshold.
+//! 5. **sim_fastpath** — the evaluate-phase caches (scenario-keyed
+//!    measurement cache, workspace reuse, sim memoization, batch dedup):
+//!    an uncached (`SimCachePolicy::Off`) fleet vs a cold cached run vs a
+//!    warm replay of the identical fleet, all asserted byte-identical,
+//!    with honest process-wide hit/miss counters — plus the per-session
+//!    replay path where the memo shines.
 //!
 //! ```text
 //! cargo run --release -p atlas-bench --bin orchestrator_bench -- [--quick] [--out BENCH_orchestrator.json]
@@ -34,7 +40,7 @@ use atlas::env::{Environment, RealEnv, Sla};
 use atlas::{
     OnlineLearner, Scenario, Simulator, SliceConfig, SliceQuery, Stage3Config, Stage3Result,
 };
-use atlas_netsim::{RealNetwork, ResourceBudget, SharedTestbed};
+use atlas_netsim::{RealNetwork, ResourceBudget, SharedTestbed, SimCachePolicy, SimCacheStats};
 use atlas_orchestrator::{
     AcceptAll, AdmissionPolicy, ChurnConfig, ChurnWorkload, HeadroomThreshold, Orchestrator,
     SliceSpec, EVAL_PAR_MIN_CHUNK,
@@ -81,6 +87,18 @@ fn main() {
     let duration_s = if quick { 2.0 } else { 30.0 };
     let thread_counts = [1usize, 2, 4, 8];
     let network = RealNetwork::prototype();
+    // The sim caches are process-wide, so an A-vs-B section timed with them
+    // on would hand whichever run goes second a warm-cache advantage. The
+    // co-scheduling comparisons below (sequential vs orchestrated, inline
+    // vs batched) therefore run uncached; the caches get their own honest
+    // section (sim_fastpath) further down.
+    let network_off = RealNetwork::prototype().with_cache_policy(SimCachePolicy::Off);
+    let fleet_off = |n: u64, iterations: usize, duration_s: f64| -> Vec<SliceSpec> {
+        fleet(n, iterations, duration_s)
+            .into_iter()
+            .map(|s| s.with_sim_cache_policy(SimCachePolicy::Off))
+            .collect()
+    };
 
     struct FleetPoint {
         slices: u64,
@@ -93,8 +111,8 @@ fn main() {
     let mut fleet_points = Vec::with_capacity(fleet_sizes.len());
     for &slices in fleet_sizes {
         // ---- sequential baseline: N independent single-slice runs -------
-        let specs = fleet(slices, iterations, duration_s);
-        let real = RealEnv::new(network);
+        let specs = fleet_off(slices, iterations, duration_s);
+        let real = RealEnv::new(network_off);
         let start = Instant::now();
         let sequential: Vec<Stage3Result> = specs
             .iter()
@@ -111,9 +129,10 @@ fn main() {
         // ---- orchestrated runs at several scheduler thread counts --------
         let mut orchestrated = Vec::with_capacity(thread_counts.len());
         for threads in thread_counts {
-            let orchestrator = Orchestrator::new(SharedTestbed::new(network)).with_threads(threads);
+            let orchestrator =
+                Orchestrator::new(SharedTestbed::new(network_off)).with_threads(threads);
             let start = Instant::now();
-            let report = orchestrator.run(fleet(slices, iterations, duration_s));
+            let report = orchestrator.run(fleet_off(slices, iterations, duration_s));
             let ms = start.elapsed().as_secs_f64() * 1e3;
             // Hard acceptance check: orchestration must be bit-identical
             // to the sequential single-slice runs on the same seeds.
@@ -154,22 +173,22 @@ fn main() {
     let sim_slices: u64 = 8;
     let sim_threads = 4;
     println!();
-    let sim_fleet = fleet(sim_slices, iterations, duration_s);
+    let sim_fleet = fleet_off(sim_slices, iterations, duration_s);
     // Each round also runs `offline_updates` simulator queries per slice;
     // read the factor off the fleet's own config so the reported
     // queries/s can never drift from what `fleet()` actually runs.
     let offline_updates = sim_fleet[0].learner.config().offline_updates;
-    let inline_orch = Orchestrator::new(SharedTestbed::new(network))
+    let inline_orch = Orchestrator::new(SharedTestbed::new(network_off))
         .with_threads(sim_threads)
         .with_sim_batching(false);
     let start = Instant::now();
     let inline_report = inline_orch.run(sim_fleet);
     let inline_ms = start.elapsed().as_secs_f64() * 1e3;
-    let batched_orch = Orchestrator::new(SharedTestbed::new(network))
+    let batched_orch = Orchestrator::new(SharedTestbed::new(network_off))
         .with_threads(sim_threads)
         .with_sim_batching(true);
     let start = Instant::now();
-    let batched_report = batched_orch.run(fleet(sim_slices, iterations, duration_s));
+    let batched_report = batched_orch.run(fleet_off(sim_slices, iterations, duration_s));
     let batched_ms = start.elapsed().as_secs_f64() * 1e3;
     assert_eq!(
         batched_report, inline_report,
@@ -280,14 +299,31 @@ fn main() {
         qps: f64,
         /// Per-round phase breakdown (model-update/suggest vs grant vs
         /// evaluate vs observe/model-fit), from
-        /// [`FleetRun::phase_breakdown`].
+        /// [`FleetRun::phase_breakdown`]. The wall fields are the
+        /// critical path (max across shards per round); the `_cpu`
+        /// fields are the per-shard sums.
         suggest_ms_per_round: f64,
         grant_ms_per_round: f64,
         evaluate_ms_per_round: f64,
         observe_ms_per_round: f64,
+        evaluate_cpu_ms_per_round: f64,
+        observe_cpu_ms_per_round: f64,
     }
     let mut shard_points: Vec<ShardPoint> = Vec::with_capacity(shard_counts.len());
     let mut shard_reference = None;
+    // One untimed warm-up run: the four timed runs below replay the same
+    // fleet against the production (cached) path, so without this the
+    // first shard count would pay every process-wide cache miss and the
+    // comparison would mostly measure cache warm-up rather than sharding.
+    {
+        let orchestrator = Orchestrator::new(SharedTestbed::new(network)).with_threads(4);
+        let mut fleet_run = orchestrator.begin();
+        for spec in fleet(shard_slices, shard_iterations, shard_duration_s) {
+            fleet_run.admit(spec).expect("bench slices admit");
+        }
+        while fleet_run.step().is_some() {}
+        let _ = fleet_run.finish();
+    }
     for shards in shard_counts {
         let orchestrator = Orchestrator::new(SharedTestbed::new(network))
             .with_threads(4)
@@ -340,7 +376,29 @@ fn main() {
             grant_ms_per_round: phases.grant_ms / rounds,
             evaluate_ms_per_round: phases.evaluate_ms / rounds,
             observe_ms_per_round: phases.observe_ms / rounds,
+            evaluate_cpu_ms_per_round: phases.evaluate_cpu_ms / rounds,
+            observe_cpu_ms_per_round: phases.observe_cpu_ms / rounds,
         });
+    }
+    // The wall (critical-path) evaluate figure must not be the per-shard
+    // sum: at any shard count it stays comparable to the unsharded round.
+    {
+        let unsharded_eval = shard_points[0].evaluate_ms_per_round;
+        for p in &shard_points {
+            assert!(
+                p.evaluate_ms_per_round <= p.evaluate_cpu_ms_per_round + 1e-9,
+                "critical path cannot exceed the CPU sum (shards = {})",
+                p.shards
+            );
+            assert!(
+                p.evaluate_ms_per_round <= unsharded_eval * 1.2,
+                "sharded evaluate wall time looks summed, not maxed: {} ms/round at {} shards \
+                 vs {} ms/round unsharded",
+                p.evaluate_ms_per_round,
+                p.shards,
+                unsharded_eval
+            );
+        }
     }
     let unsharded_ms = shard_points[0].ms;
     let best_sharded_ms = shard_points
@@ -350,6 +408,187 @@ fn main() {
         .fold(f64::MAX, f64::min);
     let shard_speedup = unsharded_ms / best_sharded_ms;
     println!("sharding: best speedup vs unsharded {shard_speedup:.2}x");
+
+    // ---- sim fast path: the evaluate-phase caches (scenario-keyed
+    // measurement cache, workspace reuse, memoization, batch dedup).
+    // Per-query seeds are unique within a run, so the caches pay off on
+    // *replayed* workloads: we time the uncached path (SimCachePolicy::Off),
+    // a cold cached run, and a warm cached re-run of the identical fleet —
+    // all three asserted byte-identical before any timing is reported.
+    let fastpath_sizes: &[u64] = if quick { &[16] } else { &[16, 1000] };
+    let fastpath_iterations = 2;
+    let fastpath_duration_s = 2.0;
+    let fastpath_threads = 4;
+    println!();
+    struct CachePoint {
+        ms: f64,
+        evaluate_ms_per_round: f64,
+        qps: f64,
+    }
+    struct FastpathPoint {
+        slices: u64,
+        rounds: usize,
+        off: CachePoint,
+        cold: CachePoint,
+        warm: CachePoint,
+        warm_evaluate_speedup: f64,
+        warm_total_speedup: f64,
+        warm_stats: SimCacheStats,
+    }
+    // Seed space disjoint from every other section so the cold cached run
+    // really is cold (the caches are process-wide).
+    let fastpath_fleet = |n: u64, cache: SimCachePolicy| -> Vec<SliceSpec> {
+        (0..n)
+            .map(|i| {
+                let sla = Sla::new(250.0 + 25.0 * (i % 3) as f64, 0.85 + 0.02 * (i % 2) as f64);
+                let config = Stage3Config {
+                    iterations: fastpath_iterations,
+                    offline_updates: 2,
+                    candidates: 200,
+                    duration_s: fastpath_duration_s,
+                    ..Stage3Config::default()
+                };
+                let learner = OnlineLearner::without_offline(
+                    config,
+                    sla,
+                    Simulator::with_original_params().with_cache_policy(cache),
+                );
+                let scenario = Scenario::default_with_seed(30_000 + i)
+                    .with_duration(fastpath_duration_s)
+                    .with_traffic(1 + (i as u32) % 3)
+                    .with_distance(1.0 + 2.0 * (i % 5) as f64);
+                SliceSpec::new(format!("fast-{i}"), learner, scenario, 90_000 + 17 * i)
+            })
+            .collect()
+    };
+    let run_fastpath = |n: u64, cache: SimCachePolicy| {
+        let net = match cache {
+            SimCachePolicy::Off => RealNetwork::prototype().with_cache_policy(SimCachePolicy::Off),
+            _ => RealNetwork::prototype(),
+        };
+        let orchestrator =
+            Orchestrator::new(SharedTestbed::new(net)).with_threads(fastpath_threads);
+        let start = Instant::now();
+        let mut fleet_run = orchestrator.begin();
+        for spec in fastpath_fleet(n, cache) {
+            fleet_run.admit(spec).expect("fastpath slices admit");
+        }
+        while fleet_run.step().is_some() {}
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let phases = fleet_run.phase_breakdown();
+        let stats = fleet_run.sim_cache_stats();
+        let report = fleet_run.finish();
+        (report, ms, phases, stats)
+    };
+    let mut fastpath_points: Vec<FastpathPoint> = Vec::with_capacity(fastpath_sizes.len());
+    for &slices in fastpath_sizes {
+        let (off_report, off_ms, off_phases, _) = run_fastpath(slices, SimCachePolicy::Off);
+        let (cold_report, cold_ms, cold_phases, cold_stats) =
+            run_fastpath(slices, SimCachePolicy::Memoize);
+        let (warm_report, warm_ms, warm_phases, warm_stats) =
+            run_fastpath(slices, SimCachePolicy::Memoize);
+        // Hard acceptance check: every cache layer is a pure performance
+        // transform.
+        assert_eq!(
+            cold_report, off_report,
+            "cold cached fleet diverged from the uncached path ({slices} slices)"
+        );
+        assert_eq!(
+            warm_report, off_report,
+            "warm cached fleet diverged from the uncached path ({slices} slices)"
+        );
+        let rounds = off_report.rounds.max(1) as f64;
+        let point = |report: &atlas_orchestrator::FleetReport,
+                     ms: f64,
+                     phases: &atlas_orchestrator::PhaseBreakdown| CachePoint {
+            ms,
+            evaluate_ms_per_round: phases.evaluate_ms / rounds,
+            qps: report.total_queries as f64 / (ms / 1e3),
+        };
+        let off = point(&off_report, off_ms, &off_phases);
+        let cold = point(&cold_report, cold_ms, &cold_phases);
+        let warm = point(&warm_report, warm_ms, &warm_phases);
+        // The cold run misses every cache; the warm replay must be served.
+        assert!(cold_stats.measurement_misses > 0, "cold run saw no misses");
+        assert!(
+            warm_stats.memo_hits > 0,
+            "warm replay never hit the sim memo"
+        );
+        assert!(
+            warm_stats.measurement_hit_rate() >= 0.9,
+            "warm replay measurement hit rate {:.3} below floor ({}/{} hits/misses)",
+            warm_stats.measurement_hit_rate(),
+            warm_stats.measurement_hits,
+            warm_stats.measurement_misses
+        );
+        // Cached-never-loses: the warm evaluate phase must not regress
+        // past timing noise.
+        assert!(
+            warm.evaluate_ms_per_round <= off.evaluate_ms_per_round * 1.10,
+            "warm cached evaluate {} ms/round lost to uncached {} ms/round",
+            warm.evaluate_ms_per_round,
+            off.evaluate_ms_per_round
+        );
+        let warm_evaluate_speedup =
+            off.evaluate_ms_per_round / warm.evaluate_ms_per_round.max(1e-9);
+        let warm_total_speedup = off.ms / warm.ms.max(1e-9);
+        println!(
+            "sim fastpath ({slices} slices): off {:.0} ms ({:.1} eval ms/round) -> cold {:.0} ms \
+             ({:.1}) -> warm {:.0} ms ({:.1}), warm evaluate speedup {warm_evaluate_speedup:.2}x, \
+             total {warm_total_speedup:.2}x, warm hits: {} measurement / {} memo",
+            off.ms,
+            off.evaluate_ms_per_round,
+            cold.ms,
+            cold.evaluate_ms_per_round,
+            warm.ms,
+            warm.evaluate_ms_per_round,
+            warm_stats.measurement_hits,
+            warm_stats.memo_hits,
+        );
+        fastpath_points.push(FastpathPoint {
+            slices,
+            rounds: off_report.rounds,
+            off,
+            cold,
+            warm,
+            warm_evaluate_speedup,
+            warm_total_speedup,
+            warm_stats,
+        });
+    }
+
+    // Per-session sim path: one slice's identical offline query replayed —
+    // the memo's best case, reported alongside the fleet-level numbers.
+    let session_reps: usize = if quick { 20 } else { 200 };
+    let session_config = SliceConfig::default_generous();
+    let session_scenario = Scenario::default_with_seed(31_077)
+        .with_duration(fastpath_duration_s)
+        .with_traffic(3);
+    let session_sim = Simulator::with_original_params();
+    let session_off = session_sim.with_cache_policy(SimCachePolicy::Off);
+    let start = Instant::now();
+    let mut session_trace = session_off.run(&session_config, &session_scenario);
+    for _ in 1..session_reps {
+        session_trace = session_off.run(&session_config, &session_scenario);
+    }
+    let session_off_ms = start.elapsed().as_secs_f64() * 1e3;
+    let warm_once = session_sim.run(&session_config, &session_scenario);
+    assert_eq!(warm_once, session_trace, "cached sim diverged");
+    let start = Instant::now();
+    for _ in 0..session_reps {
+        session_trace = session_sim.run(&session_config, &session_scenario);
+    }
+    let session_warm_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(warm_once, session_trace, "warm sim replay diverged");
+    let session_speedup = session_off_ms / session_warm_ms.max(1e-9);
+    assert!(
+        session_warm_ms <= session_off_ms * 1.10,
+        "warm per-session sim path lost to uncached"
+    );
+    println!(
+        "sim fastpath (per-session, {session_reps} identical queries): uncached \
+         {session_off_ms:.1} ms -> warm {session_warm_ms:.1} ms ({session_speedup:.1}x)"
+    );
 
     // ---- EVAL_PAR_MIN_CHUNK sweep: time the raw evaluation fan-out at
     // several min-chunk floors over one round-sized batch of real queries.
@@ -369,6 +608,11 @@ fn main() {
         .collect();
     let mut chunk_points: Vec<(usize, f64, f64)> = Vec::new();
     let mut chunk_reference = None;
+    // Untimed warm-up pass so every min-chunk setting runs equally warm
+    // against the process-wide caches.
+    for (config, q) in &sweep_jobs {
+        let _ = sweep_env.query(config, &q.scenario, &q.sla);
+    }
     for min_chunk in [1usize, 2, 4, 8, 16] {
         let start = Instant::now();
         let samples = atlas_math::parallel::par_chunks_map(
@@ -489,7 +733,8 @@ fn main() {
             json,
             "      {{\"shards\": {}, \"ms\": {:.1}, \"per_round_ms\": {:.2}, \
              \"phase_ms_per_round\": {{\"suggest\": {:.2}, \"grant\": {:.3}, \
-             \"evaluate\": {:.2}, \"observe\": {:.2}}}, \"queries_per_s\": {:.3}}}{comma}",
+             \"evaluate\": {:.2}, \"observe\": {:.2}, \"evaluate_cpu\": {:.2}, \
+             \"observe_cpu\": {:.2}}}, \"queries_per_s\": {:.3}}}{comma}",
             p.shards,
             p.ms,
             p.per_round_ms,
@@ -497,6 +742,8 @@ fn main() {
             p.grant_ms_per_round,
             p.evaluate_ms_per_round,
             p.observe_ms_per_round,
+            p.evaluate_cpu_ms_per_round,
+            p.observe_cpu_ms_per_round,
             p.qps,
         );
     }
@@ -522,7 +769,74 @@ fn main() {
     json.push_str(
         "    \"note\": \"timings from a single-CPU container where scoped-thread fan-out is \
          a wash; shards are asserted bit-identical, so re-running this bench on a multi-core \
-         host recalibrates the shard count and EVAL_PAR_MIN_CHUNK with no correctness risk\"\n",
+         host recalibrates the shard count and EVAL_PAR_MIN_CHUNK with no correctness risk; \
+         phase_ms_per_round wall figures are the per-round critical path (max across shards), \
+         the _cpu figures the per-shard sums\"\n",
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"sim_fastpath\": {\n");
+    let _ = writeln!(json, "    \"threads\": {fastpath_threads},");
+    let _ = writeln!(json, "    \"iterations_per_slice\": {fastpath_iterations},");
+    let _ = writeln!(json, "    \"query_duration_s\": {fastpath_duration_s},");
+    json.push_str("    \"bit_identical_across_cache_policies\": true,\n");
+    json.push_str("    \"runs\": [\n");
+    for (i, p) in fastpath_points.iter().enumerate() {
+        let comma = if i + 1 < fastpath_points.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            json,
+            "      {{\"slices\": {}, \"rounds\": {},",
+            p.slices, p.rounds
+        );
+        for (label, cp, trailing) in [
+            ("off", &p.off, ","),
+            ("cached_cold", &p.cold, ","),
+            ("cached_warm", &p.warm, ","),
+        ] {
+            let _ = writeln!(
+                json,
+                "       \"{label}\": {{\"ms\": {:.1}, \"evaluate_ms_per_round\": {:.2}, \
+                 \"queries_per_s\": {:.3}}}{trailing}",
+                cp.ms, cp.evaluate_ms_per_round, cp.qps
+            );
+        }
+        let _ = writeln!(
+            json,
+            "       \"warm_evaluate_speedup_vs_off\": {:.3},",
+            p.warm_evaluate_speedup
+        );
+        let _ = writeln!(
+            json,
+            "       \"warm_total_speedup_vs_off\": {:.3},",
+            p.warm_total_speedup
+        );
+        let _ = writeln!(
+            json,
+            "       \"warm_cache_stats\": {{\"measurement_hits\": {}, \
+             \"measurement_misses\": {}, \"memo_hits\": {}, \"memo_misses\": {}, \
+             \"batch_dedup_hits\": {}, \"measurement_hit_rate\": {:.4}}}}}{comma}",
+            p.warm_stats.measurement_hits,
+            p.warm_stats.measurement_misses,
+            p.warm_stats.memo_hits,
+            p.warm_stats.memo_misses,
+            p.warm_stats.batch_dedup_hits,
+            p.warm_stats.measurement_hit_rate(),
+        );
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(
+        json,
+        "    \"per_session_replay\": {{\"queries\": {session_reps}, \"off_ms\": \
+         {session_off_ms:.1}, \"warm_ms\": {session_warm_ms:.1}, \"speedup\": \
+         {session_speedup:.3}}},"
+    );
+    json.push_str(
+        "    \"note\": \"per-query seeds are unique within a run, so the caches pay off on \
+         replayed workloads (warm re-runs of an identical fleet, in-process replays); every \
+         policy is asserted byte-identical to SimCachePolicy::Off before timing\"\n",
     );
     json.push_str("  },\n");
     json.push_str("  \"deterministic_across_thread_counts\": true,\n");

@@ -70,5 +70,5 @@ pub use atlas_gp::{
 };
 pub use atlas_netsim::{
     ContentionPolicy, MaxMinFair, Mobility, ProportionalFair, RealNetwork, ResourceBudget,
-    Scenario, SimParams, Simulator, SliceConfig,
+    Scenario, SimCachePolicy, SimParams, Simulator, SliceConfig,
 };

@@ -34,7 +34,7 @@ use crate::env::{Environment, SimulatorEnv, Sla};
 use crate::stage2::Stage2Result;
 use atlas_bayesopt::Acquisition;
 use atlas_gp::{GridMaintenance, ScoringPrecision, SurrogateBasis, WindowPolicy};
-use atlas_netsim::{Scenario, Simulator, SliceConfig};
+use atlas_netsim::{Scenario, SimCachePolicy, Simulator, SliceConfig};
 use atlas_nn::{Bnn, BnnConfig};
 
 /// Which model learns the online information (Fig. 23 ablation).
@@ -260,6 +260,17 @@ impl OnlineLearner {
     /// created after the call are affected.
     pub fn with_gp_basis(mut self, basis: SurrogateBasis) -> Self {
         self.config.gp_basis = basis;
+        self
+    }
+
+    /// Returns the learner with its offline simulator's
+    /// [`SimCachePolicy`] replaced — the evaluate-phase fast-path knob.
+    /// Every policy produces bit-identical traces;
+    /// [`SimCachePolicy::Off`] pins the historical uncached path, e.g.
+    /// to benchmark the caches or to rule them out when bisecting. Only
+    /// sessions created after the call are affected.
+    pub fn with_sim_cache_policy(mut self, cache: SimCachePolicy) -> Self {
+        self.simulator = self.simulator.with_cache_policy(cache);
         self
     }
 

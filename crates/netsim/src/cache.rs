@@ -1,0 +1,580 @@
+//! Deterministic evaluate-phase caches for the simulator fast path.
+//!
+//! Three layers, all bit-identity-safe by construction and all opt-out-able
+//! through [`SimCachePolicy`]:
+//!
+//! 1. **Scenario-keyed measurement cache** — the carrier-saturation
+//!    measurement block of `run_end_to_end` (2 × 2000 radio transmissions)
+//!    is independent of the slice configuration and runs on its own derived
+//!    RNG stream (`derive_seed(scenario.seed, 0xFEED)`), so its result is a
+//!    pure function of the adjusted radio environments, the scenario seed
+//!    and the user distance. Caching it can therefore never change a
+//!    result, only skip recomputing one.
+//! 2. **Sim memoization** ([`SimMemo`]) — full `TraceSummary` results keyed
+//!    by the exact `(LinkEnvironment, SliceConfig, Scenario)` triple, for
+//!    the accel/residual simulator path where identical queries recur.
+//! 3. **Batch dedup counters** — `SharedTestbed::run_batch` collapses
+//!    identical granted jobs to one simulation; the hit count is surfaced
+//!    here so the saving is reported honestly rather than assumed.
+//!
+//! Keys are the *bit patterns* of the defining floats (`f64::to_bits`), so
+//! lookups are exact: two inputs that differ in any bit (including
+//! `0.0` vs `-0.0`) simply miss and recompute — a harmless extra
+//! simulation, never a wrong answer. Eviction is bounded FIFO
+//! (LRU-by-insertion): deterministic, allocation-light, and sufficient for
+//! the replay-style access patterns of the online loop.
+//!
+//! The process-wide caches are shared across every [`crate::Simulator`] and
+//! [`crate::RealNetwork`] instance because the values they hold are pure
+//! functions of their keys — sharing can only increase the hit rate. Hit
+//! and miss counts are exposed through [`sim_cache_stats`]; concurrent
+//! users should diff two snapshots via [`SimCacheStats::delta_since`]
+//! rather than assert absolute values.
+
+use crate::config::{Mobility, Scenario, SliceConfig};
+use crate::network::{CarrierMeasurement, LinkEnvironment, TraceSummary};
+use crate::radio::RadioEnvironment;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{LazyLock, Mutex};
+
+/// Which cache layers a simulation entry point may use.
+///
+/// Every layer is a pure performance transform: results are bit-for-bit
+/// identical across all three policies. [`SimCachePolicy::Off`] exists so
+/// property tests (and suspicious operators) can pin the historical
+/// uncached path and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimCachePolicy {
+    /// No caching at all — the historical code path, bit for bit.
+    Off,
+    /// Reuse the config-independent carrier-saturation measurement, but
+    /// re-run every discrete-event simulation.
+    Measurement,
+    /// Measurement reuse plus full-result memoization of exact
+    /// `(environment, config, scenario)` repeats.
+    #[default]
+    Memoize,
+}
+
+impl SimCachePolicy {
+    /// Whether the carrier-saturation measurement cache is consulted.
+    pub fn measurement_enabled(self) -> bool {
+        self != Self::Off
+    }
+
+    /// Whether full-result memoization is consulted.
+    pub fn memo_enabled(self) -> bool {
+        self == Self::Memoize
+    }
+}
+
+/// A bounded map with deterministic FIFO (insertion-order) eviction.
+///
+/// Capacity 0 stores nothing — every lookup misses, which makes it
+/// behaviourally identical to no cache at all.
+#[derive(Debug)]
+struct Bounded<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+    capacity: usize,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> Bounded<K, V> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            order: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+        }
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > self.capacity {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.map.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Packs one radio environment (7 defining floats) into `out`.
+fn pack_radio(env: &RadioEnvironment, out: &mut [u64]) {
+    out[0] = env.pathloss.reference_loss_db.to_bits();
+    out[1] = env.pathloss.exponent.to_bits();
+    out[2] = env.pathloss.reference_distance_m.to_bits();
+    out[3] = env.tx_power_dbm.to_bits();
+    out[4] = env.noise_figure_db.to_bits();
+    out[5] = env.shadow_fading_std_db.to_bits();
+    out[6] = env.interference_margin_db.to_bits();
+}
+
+/// Packs a scenario (7 words: traffic, distance, mobility tag + payload,
+/// duration, background users, seed) into `out`.
+fn pack_scenario(scenario: &Scenario, out: &mut [u64]) {
+    out[0] = u64::from(scenario.traffic);
+    out[1] = scenario.user_distance_m.to_bits();
+    let (tag, payload) = match scenario.mobility {
+        Mobility::Stationary => (0u64, 0u64),
+        Mobility::RandomWalk { max_distance_m } => (1u64, max_distance_m.to_bits()),
+    };
+    out[2] = tag;
+    out[3] = payload;
+    out[4] = scenario.duration_s.to_bits();
+    out[5] = u64::from(scenario.extra_background_users);
+    out[6] = scenario.seed;
+}
+
+/// Exact bit-level identity of one batch job `(config, scenario)` — the
+/// dedup key of `SharedTestbed::run_batch`, where every job already shares
+/// the testbed's environment.
+pub(crate) fn job_key(config: &SliceConfig, scenario: &Scenario) -> [u64; 13] {
+    let mut k = [0u64; 13];
+    k[0] = config.bandwidth_ul.to_bits();
+    k[1] = config.bandwidth_dl.to_bits();
+    k[2] = config.mcs_offset_ul.to_bits();
+    k[3] = config.mcs_offset_dl.to_bits();
+    k[4] = config.backhaul_bw.to_bits();
+    k[5] = config.cpu_ratio.to_bits();
+    pack_scenario(scenario, &mut k[6..13]);
+    k
+}
+
+/// Exact key of the carrier-saturation measurement: the two *adjusted*
+/// radio environments (interference margin already includes the
+/// background-user term), the scenario seed (the measurement RNG stream is
+/// derived from it) and the user distance the sweep measures at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct MeasurementKey([u64; 16]);
+
+impl MeasurementKey {
+    pub(crate) fn new(
+        ul_env: &RadioEnvironment,
+        dl_env: &RadioEnvironment,
+        scenario: &Scenario,
+    ) -> Self {
+        let mut k = [0u64; 16];
+        pack_radio(ul_env, &mut k[0..7]);
+        pack_radio(dl_env, &mut k[7..14]);
+        k[14] = scenario.seed;
+        k[15] = scenario.user_distance_m.to_bits();
+        Self(k)
+    }
+}
+
+/// Exact key of a full simulation result: every float of the link
+/// environment (24), the slice configuration (6) and the scenario (7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MemoKey([u64; 37]);
+
+impl MemoKey {
+    fn new(env: &LinkEnvironment, config: &SliceConfig, scenario: &Scenario) -> Self {
+        let mut k = [0u64; 37];
+        pack_radio(&env.ul_radio, &mut k[0..7]);
+        pack_radio(&env.dl_radio, &mut k[7..14]);
+        k[14] = env.backhaul_delay_ms.to_bits();
+        k[15] = env.backhaul_jitter_std_ms.to_bits();
+        k[16] = env.backhaul_efficiency.to_bits();
+        k[17] = env.backhaul_extra_mbps.to_bits();
+        k[18] = env.extra_compute_ms.to_bits();
+        k[19] = env.compute_tail_probability.to_bits();
+        k[20] = env.compute_tail_factor.to_bits();
+        k[21] = env.extra_loading_ms.to_bits();
+        k[22] = env.core_processing_ms.to_bits();
+        k[23] = env.interference_per_extra_user_db.to_bits();
+        k[24] = config.bandwidth_ul.to_bits();
+        k[25] = config.bandwidth_dl.to_bits();
+        k[26] = config.mcs_offset_ul.to_bits();
+        k[27] = config.mcs_offset_dl.to_bits();
+        k[28] = config.backhaul_bw.to_bits();
+        k[29] = config.cpu_ratio.to_bits();
+        pack_scenario(scenario, &mut k[30..37]);
+        Self(k)
+    }
+}
+
+/// A bounded, deterministic memo of full simulation results keyed by the
+/// exact `(LinkEnvironment, SliceConfig, Scenario)` triple.
+///
+/// Eviction is FIFO in insertion order; capacity 0 stores nothing, so a
+/// zero-capacity memo is behaviourally identical to [`SimCachePolicy::Off`]
+/// (every lookup misses). The process-wide instance behind
+/// [`SimCachePolicy::Memoize`] holds [`SIM_MEMO_CAPACITY`] entries;
+/// standalone instances exist for boundary testing.
+#[derive(Debug)]
+pub struct SimMemo {
+    inner: Bounded<MemoKey, TraceSummary>,
+}
+
+impl SimMemo {
+    /// Creates a memo bounded to `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Bounded::new(capacity),
+        }
+    }
+
+    /// Returns the memoized result of the exact triple, if present.
+    pub fn lookup(
+        &self,
+        env: &LinkEnvironment,
+        config: &SliceConfig,
+        scenario: &Scenario,
+    ) -> Option<TraceSummary> {
+        self.inner
+            .get(&MemoKey::new(env, config, scenario))
+            .cloned()
+    }
+
+    /// Stores a result under the exact triple, evicting the oldest entry
+    /// when over capacity.
+    pub fn store(
+        &mut self,
+        env: &LinkEnvironment,
+        config: &SliceConfig,
+        scenario: &Scenario,
+        trace: TraceSummary,
+    ) {
+        self.inner
+            .insert(MemoKey::new(env, config, scenario), trace);
+    }
+
+    /// Number of memoized results currently held.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the memo holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+
+    /// The eviction bound this memo was created with.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+}
+
+/// Capacity of the process-wide measurement cache. Entries are small (a
+/// 16-word key plus 4 floats), and every query consults it — real *and*
+/// simulated, each with its own derived scenario seed — so one 1000-slice
+/// round loop inserts ≈8000 distinct keys (2 iterations × [1 real +
+/// 1 observe + 2 accel] queries per slice). Sized so that workload
+/// survives intact until an in-process replay; FIFO eviction then drops
+/// the oldest workloads first.
+pub const MEASUREMENT_CACHE_CAPACITY: usize = 16_384;
+/// Capacity of the process-wide sim memo. Sized so one full round-loop
+/// replay of the 1000-slice bench fleet (≈6000 distinct accel/residual
+/// queries at 2 s duration) survives until its replay.
+pub const SIM_MEMO_CAPACITY: usize = 8192;
+
+static MEASUREMENT_CACHE: LazyLock<Mutex<Bounded<MeasurementKey, CarrierMeasurement>>> =
+    LazyLock::new(|| Mutex::new(Bounded::new(MEASUREMENT_CACHE_CAPACITY)));
+static SIM_MEMO: LazyLock<Mutex<SimMemo>> =
+    LazyLock::new(|| Mutex::new(SimMemo::new(SIM_MEMO_CAPACITY)));
+
+static MEASUREMENT_HITS: AtomicU64 = AtomicU64::new(0);
+static MEASUREMENT_MISSES: AtomicU64 = AtomicU64::new(0);
+static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+static BATCH_DEDUP_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic hit/miss counters of the process-wide simulation caches.
+///
+/// Counters only ever grow; to measure one workload, snapshot before and
+/// after with [`sim_cache_stats`] and diff via
+/// [`SimCacheStats::delta_since`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimCacheStats {
+    /// Carrier-saturation measurements served from cache.
+    pub measurement_hits: u64,
+    /// Carrier-saturation measurements computed (2 × 2000 transmissions).
+    pub measurement_misses: u64,
+    /// Full simulation results served from the memo.
+    pub memo_hits: u64,
+    /// Full simulations actually run under a memoizing policy.
+    pub memo_misses: u64,
+    /// Batch jobs answered by another identical job in the same
+    /// `run_batch` call.
+    pub batch_dedup_hits: u64,
+}
+
+impl SimCacheStats {
+    /// Counter increments since `earlier` (saturating, so an out-of-order
+    /// snapshot pair yields zeros rather than wrapping).
+    pub fn delta_since(&self, earlier: &SimCacheStats) -> SimCacheStats {
+        SimCacheStats {
+            measurement_hits: self
+                .measurement_hits
+                .saturating_sub(earlier.measurement_hits),
+            measurement_misses: self
+                .measurement_misses
+                .saturating_sub(earlier.measurement_misses),
+            memo_hits: self.memo_hits.saturating_sub(earlier.memo_hits),
+            memo_misses: self.memo_misses.saturating_sub(earlier.memo_misses),
+            batch_dedup_hits: self
+                .batch_dedup_hits
+                .saturating_sub(earlier.batch_dedup_hits),
+        }
+    }
+
+    /// Fraction of measurement lookups served from cache (0 when no
+    /// lookups happened).
+    pub fn measurement_hit_rate(&self) -> f64 {
+        let total = self.measurement_hits + self.measurement_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.measurement_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Snapshot of the process-wide cache counters.
+pub fn sim_cache_stats() -> SimCacheStats {
+    SimCacheStats {
+        measurement_hits: MEASUREMENT_HITS.load(Ordering::Relaxed),
+        measurement_misses: MEASUREMENT_MISSES.load(Ordering::Relaxed),
+        memo_hits: MEMO_HITS.load(Ordering::Relaxed),
+        memo_misses: MEMO_MISSES.load(Ordering::Relaxed),
+        batch_dedup_hits: BATCH_DEDUP_HITS.load(Ordering::Relaxed),
+    }
+}
+
+/// Serves the carrier-saturation measurement from the process-wide cache,
+/// computing (outside the lock) and storing it on a miss. `compute` must be
+/// a pure function of `key` — which it is for `measure_carrier`, whose RNG
+/// stream is derived solely from the scenario seed.
+pub(crate) fn measurement_cached(
+    key: MeasurementKey,
+    compute: impl FnOnce() -> CarrierMeasurement,
+) -> CarrierMeasurement {
+    let cached = MEASUREMENT_CACHE
+        .lock()
+        .expect("measurement cache lock")
+        .get(&key)
+        .copied();
+    if let Some(hit) = cached {
+        MEASUREMENT_HITS.fetch_add(1, Ordering::Relaxed);
+        return hit;
+    }
+    MEASUREMENT_MISSES.fetch_add(1, Ordering::Relaxed);
+    // Computed outside the lock: a concurrent duplicate costs one extra
+    // deterministic computation, never a wrong or torn result.
+    let value = compute();
+    MEASUREMENT_CACHE
+        .lock()
+        .expect("measurement cache lock")
+        .insert(key, value);
+    value
+}
+
+/// Looks up the process-wide sim memo, counting the hit or miss.
+pub(crate) fn memo_lookup(
+    env: &LinkEnvironment,
+    config: &SliceConfig,
+    scenario: &Scenario,
+) -> Option<TraceSummary> {
+    let hit = SIM_MEMO
+        .lock()
+        .expect("sim memo lock")
+        .lookup(env, config, scenario);
+    match hit {
+        Some(trace) => {
+            MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+            Some(trace)
+        }
+        None => {
+            MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Stores a freshly computed result in the process-wide sim memo.
+pub(crate) fn memo_store(
+    env: &LinkEnvironment,
+    config: &SliceConfig,
+    scenario: &Scenario,
+    trace: TraceSummary,
+) {
+    SIM_MEMO
+        .lock()
+        .expect("sim memo lock")
+        .store(env, config, scenario, trace);
+}
+
+/// Records `n` batch jobs answered by deduplication inside one
+/// `run_batch` call.
+pub(crate) fn note_batch_dedup(n: u64) {
+    if n > 0 {
+        BATCH_DEDUP_HITS.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Scenario, SimParams, SliceConfig};
+    use crate::network::{run_end_to_end, LinkEnvironment};
+
+    #[test]
+    fn policy_layers_are_ordered() {
+        assert_eq!(SimCachePolicy::default(), SimCachePolicy::Memoize);
+        assert!(!SimCachePolicy::Off.measurement_enabled());
+        assert!(!SimCachePolicy::Off.memo_enabled());
+        assert!(SimCachePolicy::Measurement.measurement_enabled());
+        assert!(!SimCachePolicy::Measurement.memo_enabled());
+        assert!(SimCachePolicy::Memoize.measurement_enabled());
+        assert!(SimCachePolicy::Memoize.memo_enabled());
+    }
+
+    #[test]
+    fn bounded_map_evicts_fifo() {
+        let mut b: Bounded<u64, u64> = Bounded::new(2);
+        b.insert(1, 10);
+        b.insert(2, 20);
+        b.insert(3, 30);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(&1), None, "oldest entry is evicted first");
+        assert_eq!(b.get(&2), Some(&20));
+        assert_eq!(b.get(&3), Some(&30));
+        // Re-inserting an existing key neither grows nor reorders.
+        b.insert(2, 21);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(&3), Some(&30));
+    }
+
+    fn memo_fixture() -> (LinkEnvironment, SliceConfig, Scenario, TraceSummary) {
+        let env = LinkEnvironment::from_sim_params(&SimParams::original());
+        let config = SliceConfig::default_generous();
+        let scenario = Scenario::default_with_seed(7).with_duration(2.0);
+        let trace = run_end_to_end(&env, &config, &scenario);
+        (env, config, scenario, trace)
+    }
+
+    #[test]
+    fn sim_memo_roundtrips_exact_triples() {
+        let (env, config, scenario, trace) = memo_fixture();
+        let mut memo = SimMemo::new(4);
+        assert!(memo.is_empty());
+        assert_eq!(memo.lookup(&env, &config, &scenario), None);
+        memo.store(&env, &config, &scenario, trace.clone());
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.lookup(&env, &config, &scenario), Some(trace));
+        // Any bit of difference in the triple misses.
+        let other = scenario.with_seed(8);
+        assert_eq!(memo.lookup(&env, &config, &other), None);
+        let mut other_config = config;
+        other_config.cpu_ratio += 1e-9;
+        assert_eq!(memo.lookup(&env, &other_config, &scenario), None);
+    }
+
+    #[test]
+    fn sim_memo_capacity_one_keeps_only_the_latest() {
+        let (env, config, scenario, trace) = memo_fixture();
+        let mut memo = SimMemo::new(1);
+        assert_eq!(memo.capacity(), 1);
+        memo.store(&env, &config, &scenario, trace.clone());
+        let second = scenario.with_seed(99);
+        memo.store(&env, &config, &second, trace.clone());
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.lookup(&env, &config, &scenario), None);
+        assert_eq!(memo.lookup(&env, &config, &second), Some(trace));
+    }
+
+    #[test]
+    fn sim_memo_capacity_zero_is_equivalent_to_off() {
+        let (env, config, scenario, trace) = memo_fixture();
+        let mut memo = SimMemo::new(0);
+        memo.store(&env, &config, &scenario, trace);
+        assert!(memo.is_empty());
+        assert_eq!(memo.lookup(&env, &config, &scenario), None);
+    }
+
+    #[test]
+    fn measurement_key_distinguishes_seed_distance_and_environment() {
+        let env = LinkEnvironment::from_sim_params(&SimParams::original());
+        let s = Scenario::default_with_seed(1);
+        let base = MeasurementKey::new(&env.ul_radio, &env.dl_radio, &s);
+        assert_eq!(base, MeasurementKey::new(&env.ul_radio, &env.dl_radio, &s));
+        let reseeded = MeasurementKey::new(&env.ul_radio, &env.dl_radio, &s.with_seed(2));
+        assert_ne!(base, reseeded);
+        let moved = MeasurementKey::new(&env.ul_radio, &env.dl_radio, &s.with_distance(2.0));
+        assert_ne!(base, moved);
+        let mut noisy_ul = env.ul_radio;
+        noisy_ul.interference_margin_db += 0.05;
+        assert_ne!(base, MeasurementKey::new(&noisy_ul, &env.dl_radio, &s));
+    }
+
+    #[test]
+    fn stats_deltas_are_saturating_and_hit_rate_is_bounded() {
+        let a = SimCacheStats {
+            measurement_hits: 10,
+            measurement_misses: 5,
+            memo_hits: 1,
+            memo_misses: 2,
+            batch_dedup_hits: 3,
+        };
+        let b = SimCacheStats {
+            measurement_hits: 25,
+            measurement_misses: 5,
+            ..a
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.measurement_hits, 15);
+        assert_eq!(d.measurement_misses, 0);
+        assert_eq!(a.delta_since(&b).measurement_hits, 0);
+        assert!((b.measurement_hit_rate() - 25.0 / 30.0).abs() < 1e-12);
+        assert_eq!(SimCacheStats::default().measurement_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn global_counters_grow_through_the_cached_helpers() {
+        let env = LinkEnvironment::from_sim_params(&SimParams::original());
+        // A seed far outside every other test's range so this test's first
+        // lookup is a genuine miss even when the whole suite shares the
+        // process-wide cache.
+        let scenario = Scenario::default_with_seed(0x00C0_FFEE_0001).with_duration(1.0);
+        let key = MeasurementKey::new(&env.ul_radio, &env.dl_radio, &scenario);
+        let before = sim_cache_stats();
+        let value = CarrierMeasurement {
+            ul_sat_raw: 1.0,
+            ul_sat_per: 0.1,
+            dl_sat: 2.0,
+            dl_sat_per: 0.2,
+        };
+        let first = measurement_cached(key, || value);
+        let second = measurement_cached(key, || panic!("second lookup must hit"));
+        assert_eq!(first, value);
+        assert_eq!(second, value);
+        let delta = sim_cache_stats().delta_since(&before);
+        assert!(delta.measurement_hits >= 1);
+        assert!(delta.measurement_misses >= 1);
+
+        let config = SliceConfig::default_generous();
+        assert_eq!(memo_lookup(&env, &config, &scenario), None);
+        let trace = run_end_to_end(&env, &config, &scenario);
+        memo_store(&env, &config, &scenario, trace.clone());
+        assert_eq!(memo_lookup(&env, &config, &scenario), Some(trace));
+        note_batch_dedup(2);
+        let delta = sim_cache_stats().delta_since(&before);
+        assert!(delta.memo_hits >= 1);
+        assert!(delta.memo_misses >= 1);
+        assert!(delta.batch_dedup_hits >= 2);
+    }
+}

@@ -39,12 +39,34 @@
 //! // The testbed is slower than the idealised simulator.
 //! assert!(real.mean_latency_ms() > sim.mean_latency_ms());
 //! ```
+//!
+//! ## Simulator fast path
+//!
+//! Evaluate-phase queries run through deterministic caches ([`cache`]): a
+//! scenario-keyed carrier-saturation measurement cache, reusable
+//! zero-allocation simulation workspaces, and (for the [`Simulator`]) full
+//! memoization of exact query repeats. All layers are pure performance
+//! transforms — [`SimCachePolicy::Off`] pins the historical uncached path
+//! and produces bit-identical results:
+//!
+//! ```
+//! use atlas_netsim::{Scenario, SimCachePolicy, Simulator, SliceConfig};
+//!
+//! let config = SliceConfig::default_generous();
+//! let scenario = Scenario::default_with_seed(11).with_duration(2.0);
+//! let cached = Simulator::with_original_params(); // Memoize by default
+//! let uncached = cached.with_cache_policy(SimCachePolicy::Off);
+//! let warm = cached.run(&config, &scenario); // fills the caches
+//! assert_eq!(cached.run(&config, &scenario), warm); // served from the memo
+//! assert_eq!(uncached.run(&config, &scenario), warm); // bit-identical
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod app;
 pub mod budget;
+pub mod cache;
 pub mod config;
 pub mod edge;
 pub mod engine;
@@ -56,6 +78,7 @@ pub mod transport;
 pub use budget::{
     ContentionPolicy, GrantFractions, MaxMinFair, ProportionalFair, ResourceBudget, RESOURCE_DIMS,
 };
+pub use cache::{sim_cache_stats, SimCachePolicy, SimCacheStats, SimMemo};
 pub use config::{Mobility, Scenario, SimParams, SliceConfig};
-pub use network::{LatencyBreakdown, LinkEnvironment, Simulator, TraceSummary};
+pub use network::{LatencyBreakdown, LinkEnvironment, SimWorkspace, Simulator, TraceSummary};
 pub use testbed::{RealNetwork, RealWorldProfile, SharedTestbed};

@@ -14,6 +14,7 @@
 
 use crate::app::FrameSource;
 use crate::budget::GrantFractions;
+use crate::cache::{self, MeasurementKey, SimCachePolicy};
 use crate::config::{Mobility, Scenario, SimParams, SliceConfig};
 use crate::edge::EdgeServer;
 use crate::engine::{EventQueue, Station};
@@ -22,6 +23,7 @@ use crate::transport::BackhaulLink;
 use atlas_math::rng::{derive_seed, seeded_rng};
 use atlas_math::stats;
 use rand::Rng;
+use std::cell::RefCell;
 
 /// Everything physical about the end-to-end path: the "world" a run takes
 /// place in. The simulator derives it from [`SimParams`]; the testbed uses
@@ -139,12 +141,13 @@ impl TraceSummary {
     }
 }
 
-/// Which stage a frame reaches next.
+/// Which stage a frame reaches next. The backhaul has no hop of its own:
+/// `UplinkArrival` serves the radio and backhaul stations back to back and
+/// schedules straight to `EdgeArrival`, saving one schedule/pop per frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Hop {
     StartLoading,
     UplinkArrival,
-    BackhaulArrival,
     EdgeArrival,
     DownlinkArrival,
 }
@@ -161,6 +164,91 @@ struct FrameEvent {
     compute_ms: f64,
 }
 
+/// Reusable per-worker scratch for [`run_end_to_end_in`]: the event-queue
+/// heap and a capacity hint for the latency buffer, both carried over from
+/// the previous run so the closed-loop DES allocates nothing per query
+/// beyond the latency vector it returns.
+///
+/// Reuse is bit-identity-safe: [`EventQueue::clear`] rewinds the queue to
+/// a fresh-constructed state (heap capacity never influences pop order),
+/// and the latency buffer's capacity never influences its contents.
+#[derive(Debug, Default)]
+pub struct SimWorkspace {
+    queue: EventQueue<FrameEvent>,
+    /// Completed-frame count of the previous run: the capacity the next
+    /// run's latency vector is allocated with up front.
+    latency_hint: usize,
+}
+
+impl SimWorkspace {
+    /// Creates an empty workspace (the first run allocates as the
+    /// historical path did).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread workspace backing the cached entry points. Worker
+    /// threads are scoped per fan-out call, so this mainly pays off on the
+    /// inline (threads ≤ 1) path and within one chunk of a batch — which
+    /// is where the per-query churn concentrates on small machines.
+    static WORKSPACE: RefCell<SimWorkspace> = RefCell::new(SimWorkspace::new());
+}
+
+/// The config-independent carrier-saturation measurement of one scenario
+/// (Table 1 semantics): full-carrier UL/DL saturation throughputs and
+/// packet error rates. `ul_sat_raw` is the raw sweep result; the UL/DL
+/// power asymmetry factor is applied at the use site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct CarrierMeasurement {
+    pub(crate) ul_sat_raw: f64,
+    pub(crate) ul_sat_per: f64,
+    pub(crate) dl_sat: f64,
+    pub(crate) dl_sat_per: f64,
+}
+
+/// The per-run radio environments after the cross-slice interference
+/// adjustment (kept tiny: the whole point of slicing is isolation,
+/// c.f. Fig. 11).
+fn adjusted_radio_envs(
+    env: &LinkEnvironment,
+    scenario: &Scenario,
+) -> (RadioEnvironment, RadioEnvironment) {
+    let interference =
+        env.interference_per_extra_user_db * f64::from(scenario.extra_background_users);
+    let mut ul_env = env.ul_radio;
+    ul_env.interference_margin_db += interference;
+    let mut dl_env = env.dl_radio;
+    dl_env.interference_margin_db += interference;
+    (ul_env, dl_env)
+}
+
+/// Runs the network-level measurement block (full 10 MHz carrier, as in
+/// Table 1): 2 × 2000 radio transmissions on an RNG stream derived solely
+/// from the scenario seed — a pure function of `(ul_env, dl_env,
+/// scenario.seed, scenario.user_distance_m)`, which is what makes the
+/// measurement cache bit-exact.
+fn measure_carrier(
+    ul_env: &RadioEnvironment,
+    dl_env: &RadioEnvironment,
+    scenario: &Scenario,
+) -> CarrierMeasurement {
+    let mut meas_rng = seeded_rng(derive_seed(scenario.seed, 0xFEED));
+    let full_ul = RadioLink::new(*ul_env, 50.0, 0.0);
+    let full_dl = RadioLink::new(*dl_env, 50.0, 0.0);
+    let (ul_sat_raw, ul_sat_per) =
+        full_ul.saturation_throughput_mbps(scenario.user_distance_m, 2000, &mut meas_rng);
+    let (dl_sat, dl_sat_per) =
+        full_dl.saturation_throughput_mbps(scenario.user_distance_m, 2000, &mut meas_rng);
+    CarrierMeasurement {
+        ul_sat_raw,
+        ul_sat_per,
+        dl_sat,
+        dl_sat_per,
+    }
+}
+
 /// Runs the closed-network frame-offloading workload in `env` under the
 /// given slice configuration and scenario. This is the core of both the
 /// simulator and the emulated testbed.
@@ -169,16 +257,77 @@ pub fn run_end_to_end(
     config: &SliceConfig,
     scenario: &Scenario,
 ) -> TraceSummary {
-    let mut rng = seeded_rng(scenario.seed);
+    run_end_to_end_in(env, config, scenario, &mut SimWorkspace::new())
+}
 
-    // Cross-slice interference from background users (kept tiny: the whole
-    // point of slicing is isolation, c.f. Fig. 11).
-    let interference =
-        env.interference_per_extra_user_db * f64::from(scenario.extra_background_users);
-    let mut ul_env = env.ul_radio;
-    ul_env.interference_margin_db += interference;
-    let mut dl_env = env.dl_radio;
-    dl_env.interference_margin_db += interference;
+/// [`run_end_to_end`] with a caller-supplied reusable [`SimWorkspace`] —
+/// results are bit-identical for every workspace history.
+pub fn run_end_to_end_in(
+    env: &LinkEnvironment,
+    config: &SliceConfig,
+    scenario: &Scenario,
+    ws: &mut SimWorkspace,
+) -> TraceSummary {
+    let (ul_env, dl_env) = adjusted_radio_envs(env, scenario);
+    // The measurement RNG stream is independent of the simulation stream,
+    // so running it before the DES changes nothing.
+    let measurement = measure_carrier(&ul_env, &dl_env, scenario);
+    simulate(env, ul_env, dl_env, config, scenario, measurement, ws)
+}
+
+/// Policy-dispatched entry point behind [`Simulator::run`] and
+/// `RealNetwork::run`: consults the sim memo and the measurement cache as
+/// `policy` allows, running on the thread-local workspace. With
+/// [`SimCachePolicy::Off`] this is exactly [`run_end_to_end`].
+pub(crate) fn run_end_to_end_cached(
+    env: &LinkEnvironment,
+    config: &SliceConfig,
+    scenario: &Scenario,
+    policy: SimCachePolicy,
+) -> TraceSummary {
+    if !policy.measurement_enabled() {
+        return run_end_to_end(env, config, scenario);
+    }
+    if policy.memo_enabled() {
+        if let Some(hit) = cache::memo_lookup(env, config, scenario) {
+            return hit;
+        }
+    }
+    let (ul_env, dl_env) = adjusted_radio_envs(env, scenario);
+    let measurement =
+        cache::measurement_cached(MeasurementKey::new(&ul_env, &dl_env, scenario), || {
+            measure_carrier(&ul_env, &dl_env, scenario)
+        });
+    let trace = WORKSPACE.with(|ws| {
+        simulate(
+            env,
+            ul_env,
+            dl_env,
+            config,
+            scenario,
+            measurement,
+            &mut ws.borrow_mut(),
+        )
+    });
+    if policy.memo_enabled() {
+        cache::memo_store(env, config, scenario, trace.clone());
+    }
+    trace
+}
+
+/// The discrete-event core: builds the tandem of stations, drives the
+/// closed frame loop, and assembles the [`TraceSummary`] from the run plus
+/// the (possibly cached) carrier measurement.
+fn simulate(
+    env: &LinkEnvironment,
+    ul_env: RadioEnvironment,
+    dl_env: RadioEnvironment,
+    config: &SliceConfig,
+    scenario: &Scenario,
+    measurement: CarrierMeasurement,
+    ws: &mut SimWorkspace,
+) -> TraceSummary {
+    let mut rng = seeded_rng(scenario.seed);
 
     let ul_link = RadioLink::new(ul_env, config.bandwidth_ul, config.mcs_offset_ul);
     let dl_link = RadioLink::new(dl_env, config.bandwidth_dl, config.mcs_offset_dl);
@@ -199,7 +348,10 @@ pub fn run_end_to_end(
     let duration_ms = scenario.duration_s * 1000.0;
     let users = scenario.traffic.max(1) as usize;
 
-    let mut queue: EventQueue<FrameEvent> = EventQueue::new();
+    // A cleared queue is indistinguishable from a fresh one; only its heap
+    // allocation is carried over from the previous run.
+    let queue = &mut ws.queue;
+    queue.clear();
     for user in 0..users {
         queue.schedule(
             user as f64 * 7.0,
@@ -215,7 +367,10 @@ pub fn run_end_to_end(
         );
     }
 
-    let mut latencies = Vec::new();
+    // The latency vector moves into the returned trace, so it cannot be
+    // reused outright; sizing it from the previous run's completed-frame
+    // count collapses the growth reallocations to one up-front one.
+    let mut latencies = Vec::with_capacity(ws.latency_hint);
     let mut breakdown_acc = LatencyBreakdown::default();
     let mut ul_blocks = 0u64;
     let mut ul_errors = 0u64;
@@ -241,18 +396,12 @@ pub fn run_end_to_end(
                 ul_errors += u64::from(tx.first_tx_errors);
                 let (_start, finish) = ul_station.serve(now, tx.duration_ms);
                 ev.uplink_ms = finish - now;
-                ev.hop = Hop::BackhaulArrival;
                 // The backhaul carries the same frame onward.
                 let transfer = backhaul.transfer_ms(bits, &mut rng) + env.core_processing_ms;
                 let (_bstart, bfinish) = backhaul_station.serve(finish, transfer);
                 ev.backhaul_ms = bfinish - finish;
                 ev.hop = Hop::EdgeArrival;
                 queue.schedule(bfinish, ev);
-            }
-            Hop::BackhaulArrival => {
-                // Folded into UplinkArrival above; kept for completeness.
-                ev.hop = Hop::EdgeArrival;
-                queue.schedule(now, ev);
             }
             Hop::EdgeArrival => {
                 let service = edge.service_ms(&mut rng);
@@ -302,18 +451,18 @@ pub fn run_end_to_end(
         downlink_ms: breakdown_acc.downlink_ms / n,
     };
 
-    // Network-level measurements (full 10 MHz carrier, as in Table 1).
-    let mut meas_rng = seeded_rng(derive_seed(scenario.seed, 0xFEED));
-    let full_ul = RadioLink::new(ul_env, 50.0, 0.0);
-    let full_dl = RadioLink::new(dl_env, 50.0, 0.0);
-    let (ul_sat, ul_sat_per) =
-        full_ul.saturation_throughput_mbps(scenario.user_distance_m, 2000, &mut meas_rng);
-    let (dl_sat, dl_sat_per) =
-        full_dl.saturation_throughput_mbps(scenario.user_distance_m, 2000, &mut meas_rng);
-    // The uplink of a handset is power limited relative to the eNB; apply
-    // the usual UL/DL asymmetry so the carrier-level numbers resemble a
-    // 10 MHz LTE deployment.
-    let ul_sat = ul_sat * 0.62;
+    // Network-level measurements (full 10 MHz carrier, as in Table 1),
+    // computed by `measure_carrier` on its own derived RNG stream. The
+    // uplink of a handset is power limited relative to the eNB; apply the
+    // usual UL/DL asymmetry so the carrier-level numbers resemble a 10 MHz
+    // LTE deployment.
+    let CarrierMeasurement {
+        ul_sat_raw,
+        ul_sat_per,
+        dl_sat,
+        dl_sat_per,
+    } = measurement;
+    let ul_sat = ul_sat_raw * 0.62;
 
     let residual_ul_per = if ul_blocks > 0 {
         (ul_errors as f64 / ul_blocks as f64) * 0.05 + ul_sat_per * 0.02
@@ -330,6 +479,7 @@ pub fn run_end_to_end(
         + 1.0
         + 0.5 * env.backhaul_jitter_std_ms;
 
+    ws.latency_hint = latencies.len();
     TraceSummary {
         frames_completed: latencies.len(),
         ul_throughput_mbps: ul_sat,
@@ -358,12 +508,18 @@ fn sample_distance<R: Rng + ?Sized>(scenario: &Scenario, rng: &mut R) -> f64 {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Simulator {
     params: SimParams,
+    cache: SimCachePolicy,
 }
 
 impl Simulator {
-    /// Creates a simulator with the given simulation parameters.
+    /// Creates a simulator with the given simulation parameters and the
+    /// default cache policy ([`SimCachePolicy::Memoize`] — the simulator
+    /// serves the accel/residual query path, where exact repeats recur).
     pub fn new(params: SimParams) -> Self {
-        Self { params }
+        Self {
+            params,
+            cache: SimCachePolicy::default(),
+        }
     }
 
     /// Creates a simulator with the original, specification-derived
@@ -383,10 +539,23 @@ impl Simulator {
         self.params = params;
     }
 
+    /// Replaces the cache policy. Results are bit-identical for every
+    /// policy — [`SimCachePolicy::Off`] pins the historical uncached path
+    /// for comparison.
+    pub fn with_cache_policy(mut self, cache: SimCachePolicy) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The cache policy in use.
+    pub fn cache_policy(&self) -> SimCachePolicy {
+        self.cache
+    }
+
     /// Runs one measurement of the slice under `config` in `scenario`.
     pub fn run(&self, config: &SliceConfig, scenario: &Scenario) -> TraceSummary {
         let env = LinkEnvironment::from_sim_params(&self.params);
-        run_end_to_end(&env, config, scenario)
+        run_end_to_end_cached(&env, config, scenario, self.cache)
     }
 }
 
@@ -533,6 +702,40 @@ mod tests {
         assert!(
             (sum - mean).abs() < 0.3 * mean,
             "breakdown sum {sum} vs mean latency {mean}"
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let env = LinkEnvironment::from_sim_params(&SimParams::original());
+        let cfg = decent_config();
+        let mut ws = SimWorkspace::new();
+        // Runs of different sizes through one workspace: each must equal
+        // a fresh-workspace run bit for bit.
+        for (seed, traffic) in [(20, 4), (21, 1), (22, 2)] {
+            let scenario = quick_scenario(seed).with_traffic(traffic);
+            let fresh = run_end_to_end(&env, &cfg, &scenario);
+            let reused = run_end_to_end_in(&env, &cfg, &scenario, &mut ws);
+            assert_eq!(fresh, reused, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cache_policies_are_pure_performance_transforms() {
+        let cfg = decent_config();
+        let scenario = quick_scenario(30).with_traffic(2);
+        let off = Simulator::with_original_params().with_cache_policy(SimCachePolicy::Off);
+        let expected = off.run(&cfg, &scenario);
+        for policy in [SimCachePolicy::Measurement, SimCachePolicy::Memoize] {
+            let sim = Simulator::with_original_params().with_cache_policy(policy);
+            assert_eq!(sim.run(&cfg, &scenario), expected, "{policy:?} cold");
+            // Second run exercises the hit path of every enabled layer.
+            assert_eq!(sim.run(&cfg, &scenario), expected, "{policy:?} warm");
+        }
+        assert_eq!(off.cache_policy(), SimCachePolicy::Off);
+        assert_eq!(
+            Simulator::with_original_params().cache_policy(),
+            SimCachePolicy::Memoize
         );
     }
 

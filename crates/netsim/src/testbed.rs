@@ -26,9 +26,11 @@
 use crate::budget::{
     grant_round, ContentionPolicy, GrantFractions, ProportionalFair, ResourceBudget,
 };
+use crate::cache::{self, SimCachePolicy};
 use crate::config::{Scenario, SliceConfig};
-use crate::network::{run_end_to_end, LinkEnvironment, TraceSummary};
+use crate::network::{run_end_to_end_cached, LinkEnvironment, TraceSummary};
 use crate::radio::{LogDistancePathloss, RadioEnvironment};
+use std::collections::HashMap;
 
 /// The hidden ground-truth description of the real network.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -125,20 +127,42 @@ impl RealWorldProfile {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RealNetwork {
     profile: RealWorldProfile,
+    cache: SimCachePolicy,
 }
 
 impl RealNetwork {
-    /// Creates the default prototype testbed.
+    /// Creates the default prototype testbed. Its cache policy defaults to
+    /// [`SimCachePolicy::Measurement`]: real queries rarely repeat exactly
+    /// (each carries a fresh derived seed) and their traces are long, so
+    /// full-result memoization would mostly consume memory — but the
+    /// carrier-saturation measurement is still shared per scenario.
     pub fn prototype() -> Self {
         Self {
             profile: RealWorldProfile::prototype(),
+            cache: SimCachePolicy::Measurement,
         }
     }
 
     /// Creates a testbed with a custom ground-truth profile (useful for
     /// sensitivity studies and tests).
     pub fn with_profile(profile: RealWorldProfile) -> Self {
-        Self { profile }
+        Self {
+            profile,
+            cache: SimCachePolicy::Measurement,
+        }
+    }
+
+    /// Replaces the cache policy. Results are bit-identical for every
+    /// policy — [`SimCachePolicy::Off`] pins the historical uncached path
+    /// for comparison.
+    pub fn with_cache_policy(mut self, cache: SimCachePolicy) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The cache policy in use.
+    pub fn cache_policy(&self) -> SimCachePolicy {
+        self.cache
     }
 
     /// The hidden ground-truth profile (only meant for tests and analysis;
@@ -149,7 +173,7 @@ impl RealNetwork {
 
     /// Runs one measurement of the slice on the testbed.
     pub fn run(&self, config: &SliceConfig, scenario: &Scenario) -> TraceSummary {
-        run_end_to_end(&self.profile.environment(), config, scenario)
+        run_end_to_end_cached(&self.profile.environment(), config, scenario, self.cache)
     }
 }
 
@@ -307,6 +331,13 @@ impl<P: ContentionPolicy> SharedTestbed<P> {
     /// count. With the default unlimited budget this reduces exactly to
     /// the uncontended per-job runs. Each job's RNG stream comes from its
     /// own scenario seed.
+    ///
+    /// Unless the network's [`SimCachePolicy`] is `Off`, jobs whose
+    /// *granted* `(config, scenario)` is bit-identical to an earlier job in
+    /// the same batch simulate once and share the result (the measurement
+    /// is deterministic, so this cannot change any trace); the collapsed
+    /// job count is reported through
+    /// [`crate::cache::SimCacheStats::batch_dedup_hits`].
     pub fn run_batch(&self, jobs: &[(SliceConfig, Scenario)]) -> Vec<TraceSummary> {
         let requested: Vec<SliceConfig> = jobs.iter().map(|(config, _)| *config).collect();
         let granted = self.grant(&requested);
@@ -315,6 +346,11 @@ impl<P: ContentionPolicy> SharedTestbed<P> {
             .zip(jobs)
             .map(|(g, (r, scenario))| (g, *r, *scenario))
             .collect();
+        if self.network.cache_policy().measurement_enabled() {
+            if let Some(deduped) = self.run_batch_deduped(&granted_jobs) {
+                return deduped;
+            }
+        }
         atlas_math::parallel::par_chunks_map(&granted_jobs, 1, self.threads, |_, chunk| {
             chunk
                 .iter()
@@ -325,6 +361,49 @@ impl<P: ContentionPolicy> SharedTestbed<P> {
                 })
                 .collect()
         })
+    }
+
+    /// Within-batch dedup: identical granted jobs simulate once, then the
+    /// shared trace is scattered back to every original slot with that
+    /// slot's own grant fractions. Returns `None` when every job is unique
+    /// so the direct path runs without the clone/scatter pass.
+    fn run_batch_deduped(
+        &self,
+        granted_jobs: &[(SliceConfig, SliceConfig, Scenario)],
+    ) -> Option<Vec<TraceSummary>> {
+        let mut index_of: HashMap<[u64; 13], usize> = HashMap::with_capacity(granted_jobs.len());
+        let mut unique: Vec<(SliceConfig, Scenario)> = Vec::with_capacity(granted_jobs.len());
+        let mut slot: Vec<usize> = Vec::with_capacity(granted_jobs.len());
+        for (granted, _, scenario) in granted_jobs {
+            let key = cache::job_key(granted, scenario);
+            let idx = *index_of.entry(key).or_insert_with(|| {
+                unique.push((*granted, *scenario));
+                unique.len() - 1
+            });
+            slot.push(idx);
+        }
+        if unique.len() == granted_jobs.len() {
+            return None;
+        }
+        cache::note_batch_dedup((granted_jobs.len() - unique.len()) as u64);
+        let unique_traces: Vec<TraceSummary> =
+            atlas_math::parallel::par_chunks_map(&unique, 1, self.threads, |_, chunk| {
+                chunk
+                    .iter()
+                    .map(|(config, scenario)| self.network.run(config, scenario))
+                    .collect()
+            });
+        Some(
+            granted_jobs
+                .iter()
+                .zip(&slot)
+                .map(|((granted, requested, _), &idx)| {
+                    let mut trace = unique_traces[idx].clone();
+                    trace.grant = GrantFractions::of(requested, granted);
+                    trace
+                })
+                .collect(),
+        )
     }
 }
 
@@ -567,6 +646,56 @@ mod tests {
                 .name(),
             "max-min-fair"
         );
+    }
+
+    #[test]
+    fn real_network_cache_policies_are_pure_performance_transforms() {
+        let cfg = cfg();
+        let s = scenario(40).with_traffic(2);
+        let off = RealNetwork::prototype().with_cache_policy(SimCachePolicy::Off);
+        let expected = off.run(&cfg, &s);
+        for policy in [SimCachePolicy::Measurement, SimCachePolicy::Memoize] {
+            let real = RealNetwork::prototype().with_cache_policy(policy);
+            assert_eq!(real.run(&cfg, &s), expected, "{policy:?} cold");
+            assert_eq!(real.run(&cfg, &s), expected, "{policy:?} warm");
+        }
+        assert_eq!(
+            RealNetwork::prototype().cache_policy(),
+            SimCachePolicy::Measurement
+        );
+    }
+
+    #[test]
+    fn batch_dedup_collapses_identical_jobs_without_changing_results() {
+        let network = RealNetwork::prototype();
+        // Three duplicates of one job interleaved with distinct jobs.
+        let twin = (cfg(), scenario(50).with_traffic(2));
+        let jobs = vec![
+            twin,
+            (cfg(), scenario(51)),
+            twin,
+            (cfg(), scenario(52).with_traffic(3)),
+            twin,
+        ];
+        let sequential: Vec<_> = jobs.iter().map(|(c, s)| network.run(c, s)).collect();
+        let before = crate::cache::sim_cache_stats();
+        for threads in [1, 2, 4] {
+            let batch = SharedTestbed::new(network)
+                .with_threads(threads)
+                .run_batch(&jobs);
+            assert_eq!(batch, sequential, "threads = {threads}");
+        }
+        let delta = crate::cache::sim_cache_stats().delta_since(&before);
+        assert!(
+            delta.batch_dedup_hits >= 6,
+            "2 duplicate jobs x 3 thread counts, saw {}",
+            delta.batch_dedup_hits
+        );
+        // With caching off the historical per-job path runs and still
+        // produces the same traces.
+        let off =
+            SharedTestbed::new(network.with_cache_policy(SimCachePolicy::Off)).run_batch(&jobs);
+        assert_eq!(off, sequential);
     }
 
     #[test]

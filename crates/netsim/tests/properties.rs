@@ -1,6 +1,8 @@
 //! Property-based tests of the network-simulator invariants.
 
-use atlas_netsim::{RealNetwork, Scenario, SimParams, Simulator, SliceConfig};
+use atlas_netsim::{
+    RealNetwork, Scenario, SharedTestbed, SimCachePolicy, SimParams, Simulator, SliceConfig,
+};
 use proptest::prelude::*;
 
 fn arbitrary_config() -> impl Strategy<Value = SliceConfig> {
@@ -84,6 +86,84 @@ proptest! {
         let b = RealNetwork::prototype().run(&cfg, &scenario);
         prop_assert_eq!(a.latencies_ms, b.latencies_ms);
         prop_assert_eq!(a.frames_completed, b.frames_completed);
+    }
+
+    // The cache layers (measurement cache, workspace reuse, memoization)
+    // are pure performance transforms: every TraceSummary field is
+    // bit-identical to the uncached path, on the first (cold) run and on
+    // repeats served from warm caches.
+    #[test]
+    fn cached_simulation_is_bit_identical_to_uncached(
+        config in arbitrary_config(),
+        params in arbitrary_params(),
+        seed in 0u64..500,
+        traffic in 1u32..4,
+    ) {
+        let scenario = Scenario::default_with_seed(seed)
+            .with_duration(3.0)
+            .with_traffic(traffic);
+        let cfg = config.with_connectivity_floor();
+
+        let sim_off = Simulator::new(params).with_cache_policy(SimCachePolicy::Off);
+        let baseline = sim_off.run(&cfg, &scenario);
+        for policy in [SimCachePolicy::Measurement, SimCachePolicy::Memoize] {
+            let sim = Simulator::new(params).with_cache_policy(policy);
+            // Twice: the second run hits the measurement cache (and, under
+            // Memoize, the memo) filled by the first.
+            prop_assert_eq!(&sim.run(&cfg, &scenario), &baseline);
+            prop_assert_eq!(&sim.run(&cfg, &scenario), &baseline);
+        }
+
+        let real_off = RealNetwork::prototype().with_cache_policy(SimCachePolicy::Off);
+        let real_baseline = real_off.run(&cfg, &scenario);
+        for policy in [SimCachePolicy::Measurement, SimCachePolicy::Memoize] {
+            let real = RealNetwork::prototype().with_cache_policy(policy);
+            prop_assert_eq!(&real.run(&cfg, &scenario), &real_baseline);
+            prop_assert_eq!(&real.run(&cfg, &scenario), &real_baseline);
+        }
+    }
+
+    // Batch-level dedup (identical granted jobs simulate once and fan the
+    // result out) never changes results, at any worker-thread count, with
+    // or without deliberately duplicated jobs in the batch.
+    #[test]
+    fn batched_dedup_matches_sequential_runs(
+        configs in proptest::collection::vec(arbitrary_config(), 1..5),
+        seed in 0u64..200,
+        duplicate in (0u32..2).prop_map(|b| b == 1),
+    ) {
+        let mut jobs: Vec<(SliceConfig, Scenario)> = configs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let scenario = Scenario::default_with_seed(seed + i as u64).with_duration(2.0);
+                (c.with_connectivity_floor(), scenario)
+            })
+            .collect();
+        if duplicate {
+            // Repeat the first job at the back so the dedup path triggers.
+            jobs.push(jobs[0]);
+        }
+        let reference: Vec<_> = {
+            let testbed =
+                SharedTestbed::new(RealNetwork::prototype().with_cache_policy(SimCachePolicy::Off));
+            let granted = testbed.grant(&jobs.iter().map(|(c, _)| *c).collect::<Vec<_>>());
+            granted
+                .iter()
+                .zip(&jobs)
+                .map(|(g, (r, s))| {
+                    let mut trace = testbed.network().run(g, s);
+                    trace.grant = atlas_netsim::GrantFractions::of(r, g);
+                    trace
+                })
+                .collect()
+        };
+        for threads in [1usize, 2, 4, 8] {
+            let testbed =
+                SharedTestbed::new(RealNetwork::prototype()).with_threads(threads);
+            let batched = testbed.run_batch(&jobs);
+            prop_assert_eq!(&batched, &reference, "threads = {}", threads);
+        }
     }
 }
 

@@ -23,7 +23,7 @@ use atlas::{
     SliceSession, SurrogateBasis, WindowPolicy,
 };
 use atlas_math::parallel::par_map_tasks;
-use atlas_netsim::ContentionPolicy;
+use atlas_netsim::{ContentionPolicy, SimCacheStats};
 use std::time::Instant;
 
 /// One slice to orchestrate: a configured learner plus the slice's
@@ -127,35 +127,59 @@ impl SliceSpec {
         self.learner = self.learner.with_gp_basis(basis);
         self
     }
+
+    /// Selects this slice's offline-simulator cache policy — the
+    /// evaluate-phase fast-path knob. Every policy produces bit-identical
+    /// results; [`atlas_netsim::SimCachePolicy::Off`] pins the historical
+    /// uncached path (used by the bench and the cached-vs-uncached
+    /// identity properties).
+    pub fn with_sim_cache_policy(mut self, cache: atlas_netsim::SimCachePolicy) -> Self {
+        self.learner = self.learner.with_sim_cache_policy(cache);
+        self
+    }
 }
 
-/// Cumulative wall-clock spent in each phase of the fleet's round loop,
-/// exposed by [`FleetRun::phase_breakdown`] and reported by the
-/// orchestrator bench. The suggest phase covers the model-side work (the
+/// Cumulative time spent in each phase of the fleet's round loop, exposed
+/// by [`FleetRun::phase_breakdown`] and reported by the orchestrator
+/// bench. The suggest phase covers the model-side work (the
 /// offline-acceleration waves, candidate scoring and `suggest()`); the
 /// grant phase is the single sequential budget grant; the evaluate phase
 /// covers the testbed queries; the observe phase covers the `observe`
-/// model fits. The sharded round interleaves evaluation and observation
-/// per query (shard *k* fits while shard *k+1* still evaluates), so there
-/// its two buckets sum the per-query spans across shards — together they
-/// can exceed the fan-out's wall clock when shards overlap, but the
-/// *ratio* between testbed time and model-fit time stays honest.
+/// model fits.
+///
+/// The sharded round interleaves evaluation and observation per query
+/// (shard *k* fits while shard *k+1* still evaluates), so two views of its
+/// two interleaved phases are kept: `evaluate_ms`/`observe_ms` record the
+/// **critical path** — the maximum per-shard span per round, an honest
+/// estimate of the wall clock the phase contributes — while
+/// `evaluate_cpu_ms`/`observe_cpu_ms` record the **sum across shard
+/// workers**, the total CPU time spent in the phase (which can exceed the
+/// wall clock whenever shards overlap). On the unsharded path the two
+/// views are identical by construction.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PhaseBreakdown {
     /// Milliseconds in acceleration waves + candidate scoring + suggest.
     pub suggest_ms: f64,
     /// Milliseconds in the sequential budget grant.
     pub grant_ms: f64,
-    /// Milliseconds evaluating granted queries on the testbed.
+    /// Critical-path milliseconds evaluating granted queries on the
+    /// testbed (max across shard workers per round).
     pub evaluate_ms: f64,
-    /// Milliseconds observing the measurements into the online models.
+    /// Critical-path milliseconds observing the measurements into the
+    /// online models (max across shard workers per round).
     pub observe_ms: f64,
+    /// Total CPU milliseconds evaluating granted queries, summed across
+    /// shard workers.
+    pub evaluate_cpu_ms: f64,
+    /// Total CPU milliseconds observing measurements, summed across shard
+    /// workers.
+    pub observe_cpu_ms: f64,
     /// Rounds folded into the accumulators.
     pub rounds: usize,
 }
 
 impl PhaseBreakdown {
-    /// Total milliseconds across the four phases.
+    /// Total critical-path milliseconds across the four phases.
     pub fn total_ms(&self) -> f64 {
         self.suggest_ms + self.grant_ms + self.evaluate_ms + self.observe_ms
     }
@@ -288,6 +312,7 @@ impl<E: Environment> Orchestrator<E> {
             total_queries: 0,
             events: RoundEvents::default(),
             phases: PhaseBreakdown::default(),
+            cache_origin: atlas_netsim::sim_cache_stats(),
         }
     }
 
@@ -378,6 +403,9 @@ pub struct FleetRun<'a, E: Environment> {
     total_queries: usize,
     events: RoundEvents,
     phases: PhaseBreakdown,
+    /// Process-wide simulation-cache counters at [`Orchestrator::begin`],
+    /// so [`FleetRun::sim_cache_stats`] can report this run's share.
+    cache_origin: SimCacheStats,
 }
 
 impl<'a, E: Environment> FleetRun<'a, E> {
@@ -575,8 +603,13 @@ impl<'a, E: Environment> FleetRun<'a, E> {
             .collect();
         self.phases.suggest_ms += ms_between(round_start, suggested);
         self.phases.grant_ms += ms_between(suggested, granted);
-        self.phases.evaluate_ms += ms_between(granted, evaluated);
-        self.phases.observe_ms += ms_between(evaluated, Instant::now());
+        // One worker: the critical path and the CPU sum are the same span.
+        let eval_ms = ms_between(granted, evaluated);
+        let obs_ms = ms_between(evaluated, Instant::now());
+        self.phases.evaluate_ms += eval_ms;
+        self.phases.evaluate_cpu_ms += eval_ms;
+        self.phases.observe_ms += obs_ms;
+        self.phases.observe_cpu_ms += obs_ms;
         self.phases.rounds += 1;
         outcomes
     }
@@ -657,13 +690,21 @@ impl<'a, E: Environment> FleetRun<'a, E> {
             (out, eval_ms, obs_ms)
         });
         // Fold the per-shard phase spans in shard order (deterministic
-        // f64 accumulation), then merge the outcome batches.
+        // f64 accumulation): the max across shards is the round's critical
+        // path, the sum is the round's CPU time. Summing the maxima into
+        // the wall-clock bucket is what made the old 8-shard bench report
+        // 1452 ms/round of "evaluate" against a 191 ms unsharded round.
         let mut outcomes = Vec::with_capacity(shard_results.len());
+        let (mut round_eval_max, mut round_obs_max) = (0.0f64, 0.0f64);
         for (out, eval_ms, obs_ms) in shard_results {
-            self.phases.evaluate_ms += eval_ms;
-            self.phases.observe_ms += obs_ms;
+            round_eval_max = round_eval_max.max(eval_ms);
+            round_obs_max = round_obs_max.max(obs_ms);
+            self.phases.evaluate_cpu_ms += eval_ms;
+            self.phases.observe_cpu_ms += obs_ms;
             outcomes.push(out);
         }
+        self.phases.evaluate_ms += round_eval_max;
+        self.phases.observe_ms += round_obs_max;
         let merged: Vec<_> = ShardPlan::merge_round(outcomes)
             .into_iter()
             .map(|(slot, (query, sample))| (slot, query, sample))
@@ -722,6 +763,16 @@ impl<'a, E: Environment> FleetRun<'a, E> {
     /// its per-round phase breakdown.
     pub fn phase_breakdown(&self) -> PhaseBreakdown {
         self.phases
+    }
+
+    /// Process-wide simulation-cache activity since this run began. The
+    /// counters are shared by every simulator in the process, so under a
+    /// parallel test runner the delta may include other runs' traffic; a
+    /// single-workload process (the orchestrator bench) reads exact
+    /// per-run figures. Pure observability — cache hits never change
+    /// simulation results, only how fast they are produced.
+    pub fn sim_cache_stats(&self) -> SimCacheStats {
+        atlas_netsim::sim_cache_stats().delta_since(&self.cache_origin)
     }
 
     /// Number of currently active (admitted, unfinished) slices.
@@ -1179,6 +1230,38 @@ mod tests {
                 phases.total_ms() >= phases.suggest_ms + phases.evaluate_ms + phases.observe_ms
             );
         }
+    }
+
+    #[test]
+    fn sharded_phase_breakdown_records_critical_path_not_sum() {
+        // One slice per shard: every shard does real work each round, so
+        // the per-shard CPU sum strictly exceeds the max-across-shards
+        // critical path the wall fields now record. Before the fix the
+        // wall fields *were* the sum, inflating evaluate_ms ~8x here.
+        let testbed = SharedTestbed::new(RealNetwork::prototype());
+        let orchestrator = Orchestrator::new(testbed).with_shards(8);
+        let mut fleet = orchestrator.begin();
+        for i in 0..8 {
+            fleet.admit(spec(70 + i, 2)).unwrap();
+        }
+        while fleet.step().is_some() {}
+        let phases = fleet.phase_breakdown();
+        assert!(phases.evaluate_ms > 0.0);
+        assert!(phases.evaluate_cpu_ms > phases.evaluate_ms);
+        assert!(phases.evaluate_ms <= phases.evaluate_cpu_ms + 1e-9);
+        assert!(phases.observe_cpu_ms >= phases.observe_ms);
+
+        // Unsharded, wall and CPU views are the same measurement.
+        let testbed = SharedTestbed::new(RealNetwork::prototype());
+        let orchestrator = Orchestrator::new(testbed).with_shards(1);
+        let mut fleet = orchestrator.begin();
+        for i in 0..8 {
+            fleet.admit(spec(70 + i, 2)).unwrap();
+        }
+        while fleet.step().is_some() {}
+        let phases = fleet.phase_breakdown();
+        assert_eq!(phases.evaluate_ms, phases.evaluate_cpu_ms);
+        assert_eq!(phases.observe_ms, phases.observe_cpu_ms);
     }
 
     #[test]

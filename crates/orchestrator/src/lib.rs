@@ -181,7 +181,7 @@ pub mod shard;
 pub use admission::{
     AcceptAll, AdmissionError, AdmissionPolicy, HeadroomThreshold, Occupancy, RetireError,
 };
-pub use churn::{ChurnConfig, ChurnWorkload};
+pub use churn::{ChurnArrival, ChurnConfig, ChurnWorkload};
 pub use fleet::{FleetRun, Orchestrator, PhaseBreakdown, SliceSpec};
 pub use report::{FleetReport, LifecycleSpan, RoundReport, SliceReport};
 pub use scheduler::{QueryScheduler, EVAL_PAR_MIN_CHUNK};

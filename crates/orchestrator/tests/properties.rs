@@ -403,6 +403,74 @@ fn sharded_churn_is_bit_identical_across_the_full_grid() {
 }
 
 #[test]
+fn cached_churn_fleets_equal_the_uncached_path_bit_for_bit() {
+    // Tentpole property: the evaluate-phase fast path (measurement cache,
+    // workspace reuse, memoization, batch dedup) is a pure performance
+    // transform. A churning fleet with every cache disabled — the
+    // historical code path — must produce byte-identical FleetReports and
+    // RoundReports to the cached default, across shard counts, thread
+    // counts and budget tightness.
+    use atlas_netsim::{ResourceBudget, SimCachePolicy};
+    use atlas_orchestrator::{
+        AcceptAll, AdmissionPolicy, ChurnArrival, ChurnConfig, ChurnWorkload, HeadroomThreshold,
+    };
+    let workload = ChurnWorkload::generate(&ChurnConfig::quick(33));
+    // The same schedule with every slice's offline simulator pinned to the
+    // uncached path.
+    let uncached_workload = ChurnWorkload {
+        arrivals: workload
+            .arrivals
+            .iter()
+            .map(|a| ChurnArrival {
+                round: a.round,
+                spec: a.spec.clone().with_sim_cache_policy(SimCachePolicy::Off),
+                lifetime_rounds: a.lifetime_rounds,
+            })
+            .collect(),
+        max_concurrent: workload.max_concurrent,
+    };
+    let budgets: [Option<ResourceBudget>; 2] =
+        [None, Some(ResourceBudget::carrier_default().scaled(0.5))];
+    for budget in budgets {
+        let drive = |workload: &ChurnWorkload, cached: bool, shards: usize, threads: usize| {
+            let network = if cached {
+                RealNetwork::prototype()
+            } else {
+                RealNetwork::prototype().with_cache_policy(SimCachePolicy::Off)
+            };
+            let testbed = match budget {
+                Some(b) => SharedTestbed::new(network).with_budget(b),
+                None => SharedTestbed::new(network),
+            };
+            let orchestrator = Orchestrator::new(testbed)
+                .with_shards(shards)
+                .with_threads(threads);
+            let policy: Box<dyn AdmissionPolicy> = match budget {
+                Some(_) => Box::new(HeadroomThreshold {
+                    max_occupancy: 1.25,
+                }),
+                None => Box::new(AcceptAll),
+            };
+            workload.drive(&orchestrator, policy)
+        };
+        let tight = budget.is_some();
+        let reference = drive(&uncached_workload, false, 1, 1);
+        // Every cached run after the first replays the identical workload
+        // against warm process-wide caches, so the grid exercises both the
+        // cold and the memo-served paths.
+        for shards in [1, 2, 4, 8] {
+            for threads in [1, 2, 4, 8] {
+                let cached = drive(&workload, true, shards, threads);
+                assert_eq!(
+                    cached, reference,
+                    "shards = {shards}, threads = {threads}, tight = {tight}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn mid_pipeline_churn_lands_on_fixed_shards() {
     // Satellite coverage: admitting and retiring slices between sharded
     // rounds keeps shard assignments fixed (admission-index round-robin,
